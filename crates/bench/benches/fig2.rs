@@ -1,0 +1,34 @@
+//! FIG2 bench: clock-tree enumeration and iso-frequency grouping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stm32_power::PowerModel;
+use stm32_rcc::{ConfigSpace, SysclkConfig};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+
+    group.bench_function("enumerate_wide_space", |b| {
+        b.iter(|| black_box(ConfigSpace::wide().enumerate_pll()).len())
+    });
+
+    group.bench_function("iso_frequency_grouping", |b| {
+        b.iter(|| black_box(ConfigSpace::wide().iso_frequency_groups()).len())
+    });
+
+    group.bench_function("power_per_configuration", |b| {
+        let model = PowerModel::nucleo_f767zi();
+        let configs = ConfigSpace::wide().enumerate_pll();
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|cfg| model.run_power(&SysclkConfig::Pll(*cfg)).as_f64())
+                .sum::<f64>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

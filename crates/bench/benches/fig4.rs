@@ -1,0 +1,63 @@
+//! FIG4 bench: per-layer DSE sweep cost (the paper's step 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dae_dvfs::{dae_segments, evaluate_point, explore_layer, DseConfig, Granularity};
+use std::hint::black_box;
+use stm32_rcc::Hertz;
+use tinynn::models::vww;
+use tinynn::Layer;
+
+fn bench_fig4(c: &mut Criterion) {
+    let model = vww();
+    let plan = model.plan().expect("plan resolves");
+    let profiles: Vec<_> = model
+        .layers()
+        .zip(plan.iter())
+        .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info))
+        .collect();
+    let dw_idx = model
+        .layers()
+        .position(|nl| matches!(nl.layer, Layer::Depthwise(_)))
+        .expect("dw layer exists");
+    let cfg = DseConfig::paper();
+    let f216 = cfg
+        .modes
+        .hfo_at(Hertz::mhz(216))
+        .copied()
+        .expect("216 MHz candidate");
+
+    let mut group = c.benchmark_group("fig4");
+
+    group.bench_function("dae_lowering_g8", |b| {
+        b.iter(|| black_box(dae_segments(&profiles[dw_idx], Granularity(8), &cfg.cache)).len())
+    });
+
+    group.bench_function("evaluate_one_point", |b| {
+        b.iter(|| {
+            black_box(evaluate_point(
+                &profiles[dw_idx],
+                Granularity(8),
+                &f216,
+                &cfg,
+            ))
+        })
+    });
+
+    group.bench_function("explore_one_layer_full_grid", |b| {
+        b.iter(|| black_box(explore_layer(&profiles[dw_idx], &cfg)).len())
+    });
+
+    group.bench_function("explore_whole_model", |b| {
+        b.iter(|| {
+            profiles
+                .iter()
+                .map(|p| explore_layer(p, &cfg).len())
+                .sum::<usize>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! FIG5 bench: the end-to-end pipeline and both baselines on VWW.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dae_dvfs::{deploy, optimize, DseConfig};
+use std::hint::black_box;
+use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
+use tinynn::models::vww;
+
+fn bench_fig5(c: &mut Criterion) {
+    let model = vww();
+    let engine = TinyEngine::new();
+    let baseline = engine.run(&model).expect("baseline").total_time_secs;
+    let qos = qos_window(baseline, 0.30);
+    let cfg = DseConfig::paper();
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    group.bench_function("tinyengine_inference", |b| {
+        b.iter(|| black_box(engine.run(&model).expect("runs").total_energy))
+    });
+
+    group.bench_function("tinyengine_iso_latency_gated", |b| {
+        b.iter(|| {
+            black_box(
+                run_iso_latency(&engine, &model, qos, IdlePolicy::ClockGated)
+                    .expect("runs")
+                    .total_energy,
+            )
+        })
+    });
+
+    group.bench_function("optimize_vww_30pct", |b| {
+        b.iter(|| black_box(optimize(&model, qos, &cfg).expect("optimizes").decisions.len()))
+    });
+
+    let plan = optimize(&model, qos, &cfg).expect("optimizes");
+    group.bench_function("deploy_vww_30pct", |b| {
+        b.iter(|| black_box(deploy(&model, &plan, &cfg).expect("deploys").total_energy))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

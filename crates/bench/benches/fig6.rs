@@ -1,0 +1,34 @@
+//! FIG6 bench: frequency-map construction and statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dae_dvfs::{optimize, DseConfig, FrequencyMap};
+use repro_bench::fig6_stats;
+use std::hint::black_box;
+use tinyengine::{qos_window, TinyEngine};
+use tinynn::models::vww;
+
+fn bench_fig6(c: &mut Criterion) {
+    let model = vww();
+    let baseline = TinyEngine::new()
+        .run(&model)
+        .expect("baseline")
+        .total_time_secs;
+    let cfg = DseConfig::paper();
+    let plan = optimize(&model, qos_window(baseline, 0.30), &cfg).expect("optimizes");
+
+    let mut group = c.benchmark_group("fig6");
+
+    group.bench_function("frequency_map_from_plan", |b| {
+        b.iter(|| black_box(FrequencyMap::from_plan(&plan, 0.30)).rows.len())
+    });
+
+    let map = FrequencyMap::from_plan(&plan, 0.30);
+    group.bench_function("fig6_statistics", |b| {
+        b.iter(|| black_box(fig6_stats(&map)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Solver benches: MCKP dynamic program vs greedy at realistic sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dae_dvfs::{solve_dp, solve_greedy, MckpItem};
+use std::hint::black_box;
+
+/// Deterministic synthetic MCKP instance shaped like a per-layer Pareto
+/// front: `layers` classes of `points` items each, times descending with
+/// energy ascending.
+fn instance(layers: usize, points: usize) -> Vec<Vec<MckpItem>> {
+    (0..layers)
+        .map(|k| {
+            (1..=points)
+                .map(|i| MckpItem {
+                    time_secs: 1e-3 * (points + 1 - i) as f64 * (1.0 + k as f64 * 0.07),
+                    energy: 1e-4 * i as f64 * (1.0 + k as f64 * 0.05),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mckp");
+
+    for &layers in &[20usize, 40, 80] {
+        let classes = instance(layers, 10);
+        let min_time: f64 = classes
+            .iter()
+            .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
+            .sum();
+        let budget = min_time * 1.5;
+
+        group.bench_with_input(BenchmarkId::new("dp_2000", layers), &classes, |b, cl| {
+            b.iter(|| black_box(solve_dp(cl, budget, 2000).expect("solves").total_energy))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", layers), &classes, |b, cl| {
+            b.iter(|| black_box(solve_greedy(cl, budget).expect("solves").total_energy))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

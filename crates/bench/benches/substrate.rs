@@ -1,0 +1,49 @@
+//! Substrate benches: cache model, machine stepping, int8 kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcu_sim::cache::{Cache, CacheConfig};
+use mcu_sim::{Machine, MemoryTraffic, OpCounts, Segment};
+use std::hint::black_box;
+use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+use tinynn::models::vww_sized;
+use tinynn::Tensor;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    group.bench_function("cache_streaming_64kb", |b| {
+        let mut cache = Cache::new(CacheConfig::stm32f767());
+        b.iter(|| black_box(cache.access_byte_range(0, 64 * 1024)))
+    });
+
+    group.bench_function("machine_segment_step", |b| {
+        let clock = SysclkConfig::Pll(
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).expect("valid"),
+        );
+        let mut machine = Machine::new(clock);
+        let seg = Segment::compute(
+            "kernel",
+            OpCounts {
+                mac: 100_000,
+                load: 50_000,
+                ..OpCounts::ZERO
+            },
+            MemoryTraffic {
+                sram_line_fills: 500,
+                ..MemoryTraffic::ZERO
+            },
+        );
+        b.iter(|| black_box(machine.run_segment(&seg)))
+    });
+
+    group.bench_function("int8_inference_vww32", |b| {
+        let model = vww_sized(32);
+        let input = Tensor::zeros(model.input_shape);
+        b.iter(|| black_box(model.infer(&input).expect("infers")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! ABLATION — Sensitivity to the L1 D-cache size.
+//!
+//! Runs the pipeline with 8 / 16 / 32 KB caches. Cache size moves the DAE
+//! sweet spot: small caches punish large granularities (staging spills),
+//! large caches let the baseline keep more of the tensor resident and
+//! shrink DAE's advantage.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin ablation_cache`
+
+use dae_dvfs::{run_dae_dvfs, DseConfig, FrequencyMap};
+use mcu_sim::cache::CacheConfig;
+use repro_bench::models;
+
+fn main() {
+    println!("ABLATION: cache-size sensitivity (30% slack)");
+    println!(
+        "{:>18} | {:>8} | {:>12} | {:>12} | {:>8}",
+        "model", "cache", "inference", "window E", "avg g"
+    );
+    repro_bench::rule(70);
+
+    for model in models() {
+        for kb in [8u32, 16, 32] {
+            let mut cfg = DseConfig::paper();
+            cfg.cache = CacheConfig {
+                size_bytes: kb * 1024,
+                line_bytes: 32,
+                ways: 4,
+            };
+            let report = run_dae_dvfs(&model, 0.30, &cfg).expect("pipeline runs");
+            let map = FrequencyMap::from_plan(&report.plan, 0.30);
+            let dae_rows: Vec<_> = map.rows.iter().filter(|r| r.granularity > 0).collect();
+            let avg_g = if dae_rows.is_empty() {
+                0.0
+            } else {
+                dae_rows.iter().map(|r| f64::from(r.granularity)).sum::<f64>()
+                    / dae_rows.len() as f64
+            };
+            println!(
+                "{:>18} | {:>5} KB | {:>9.3} ms | {:>9.3} mJ | {:>8.1}",
+                model.name,
+                kb,
+                report.inference_secs * 1e3,
+                report.total_energy.as_mj(),
+                avg_g
+            );
+        }
+        repro_bench::rule(70);
+    }
+}

@@ -1,0 +1,43 @@
+//! ABLATION — DVFS with vs without the DAE transform.
+//!
+//! Runs the full pipeline twice: once with the paper's granularity set and
+//! once with `g = 0` only (per-layer frequency scaling without decoupled
+//! access-execute). The delta isolates the contribution of DAE itself.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin ablation_dae`
+
+use dae_dvfs::{run_dae_dvfs, DseConfig, Granularity};
+use repro_bench::{models, SLACKS};
+
+fn main() {
+    let full = DseConfig::paper();
+    let mut no_dae = DseConfig::paper();
+    no_dae.granularities = vec![Granularity(0)];
+
+    println!("ABLATION: DAE contribution (iso-latency window energy, mJ)");
+    println!(
+        "{:>18} | {:>5} | {:>11} | {:>11} | {:>10}",
+        "model", "QoS", "DAE+DVFS", "DVFS only", "DAE gain"
+    );
+    repro_bench::rule(70);
+
+    for model in models() {
+        for slack in SLACKS {
+            let with_dae = run_dae_dvfs(&model, slack, &full).expect("full pipeline");
+            let without = run_dae_dvfs(&model, slack, &no_dae).expect("dvfs-only pipeline");
+            let gain = (without.total_energy.as_f64() - with_dae.total_energy.as_f64())
+                / without.total_energy.as_f64()
+                * 100.0;
+            println!(
+                "{:>18} | {:>4.0}% | {:>8.3} mJ | {:>8.3} mJ | {:>9.1}%",
+                model.name,
+                slack * 100.0,
+                with_dae.total_energy.as_mj(),
+                without.total_energy.as_mj(),
+                gain
+            );
+        }
+        repro_bench::rule(70);
+    }
+    println!("expectation: DAE+DVFS <= DVFS-only on every row (g=0 is in the full set)");
+}

@@ -1,0 +1,44 @@
+//! ABLATION — LFO frequency selection for the memory-bound segments.
+//!
+//! The paper fixes the LFO at 50 MHz (the HSE maximum). Lower direct-HSE
+//! frequencies draw less power but stretch the staging segments; this
+//! ablation sweeps the choice.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin ablation_lfo`
+
+use dae_dvfs::{run_dae_dvfs, DseConfig};
+use stm32_rcc::Hertz;
+use tinynn::models::vww;
+
+fn main() {
+    let model = vww();
+    println!("ABLATION: LFO frequency choice (VWW, 30% slack)");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>12}",
+        "LFO", "inference", "window E", "mem share"
+    );
+    repro_bench::rule(56);
+
+    for lfo_mhz in [16u64, 25, 40, 50] {
+        let mut cfg = DseConfig::paper();
+        cfg.modes = cfg.modes.with_lfo(Hertz::mhz(lfo_mhz));
+        let report = run_dae_dvfs(&model, 0.30, &cfg).expect("pipeline runs");
+        // Memory share: fraction of layers that kept DAE enabled.
+        let dae_layers = report
+            .plan
+            .decisions
+            .iter()
+            .filter(|d| !d.point.granularity.is_baseline())
+            .count();
+        println!(
+            "{:>7} MHz | {:>9.3} ms | {:>9.3} mJ | {:>3}/{} DAE",
+            lfo_mhz,
+            report.inference_secs * 1e3,
+            report.total_energy.as_mj(),
+            dae_layers,
+            report.plan.decisions.len()
+        );
+    }
+    println!("(the paper's 50 MHz LFO maximizes staging throughput; slower LFOs only");
+    println!(" win when the freed power outweighs the longer memory segments)");
+}

@@ -1,0 +1,88 @@
+//! FIG2 — Power of iso-frequency {HSE, PLLM, PLLN} configurations.
+//!
+//! Reproduces Fig. 2 of the paper: the same SYSCLK can be generated through
+//! different PLL parameterizations, and the chosen combination strongly
+//! affects board power (through the hidden VCO frequency). The workload is
+//! the paper's microbenchmark: a loop of repetitive additions.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin fig2_iso_frequency`
+
+use mcu_sim::{Machine, MemoryTraffic, OpCounts, Segment};
+use stm32_power::{Ina219, PowerModel, Watts};
+use stm32_rcc::{ConfigSpace, SysclkConfig};
+
+fn main() {
+    let model = PowerModel::nucleo_f767zi();
+    let mut sensor = Ina219::new(Default::default());
+
+    // The add-loop microbenchmark: pure ALU work.
+    let adds = Segment::compute(
+        "add-loop",
+        OpCounts {
+            alu: 10_000_000,
+            branch: 1_000_000,
+            ..OpCounts::ZERO
+        },
+        MemoryTraffic::ZERO,
+    );
+
+    println!("FIG2: iso-frequency clock configurations vs power (add-loop microbenchmark)");
+    println!(
+        "{:>8} | {:>22} | {:>8} | {:>11} | {:>11} | {:>10}",
+        "SYSCLK", "{HSE,PLLM,PLLN}/PLLP", "VCO", "P model", "P INA219", "t loop"
+    );
+    repro_bench::rule(88);
+
+    for group in ConfigSpace::wide().iso_frequency_groups() {
+        if group.configs.len() < 2 {
+            continue;
+        }
+        for cfg in &group.configs {
+            let sys = SysclkConfig::Pll(*cfg);
+            let p_true = model.run_power(&sys);
+            let p_meas = sensor.sample(p_true);
+            let mut machine = Machine::new(sys);
+            let dt = machine.run_segment(&adds);
+            let (hse, m, n) = cfg.label_tuple();
+            println!(
+                "{:>8} | {:>22} | {:>8} | {:>9.1} mW | {:>9.1} mW | {:>7.2} ms",
+                repro_bench::mhz(group.sysclk),
+                format!("{{{hse},{m},{n}}}/{}", cfg.pllp()),
+                repro_bench::mhz(cfg.vco_output()),
+                p_true.as_mw(),
+                p_meas.as_mw(),
+                dt * 1e3
+            );
+        }
+        let cool = model.run_power(&SysclkConfig::Pll(*group.coolest()));
+        let hot = model.run_power(&SysclkConfig::Pll(*group.hottest()));
+        let gap = (hot.as_f64() - cool.as_f64()) / cool.as_f64() * 100.0;
+        println!(
+            "{:>8} | iso-frequency power gap: {:.1}%",
+            repro_bench::mhz(group.sysclk),
+            gap
+        );
+        repro_bench::rule(88);
+    }
+
+    summarize(&model);
+}
+
+fn summarize(model: &PowerModel) {
+    let mut worst: Option<(u64, f64)> = None;
+    for group in ConfigSpace::wide().iso_frequency_groups() {
+        if group.configs.len() < 2 {
+            continue;
+        }
+        let cool: Watts = model.run_power(&SysclkConfig::Pll(*group.coolest()));
+        let hot: Watts = model.run_power(&SysclkConfig::Pll(*group.hottest()));
+        let gap = (hot.as_f64() - cool.as_f64()) / cool.as_f64() * 100.0;
+        if worst.is_none_or(|(_, g)| gap > g) {
+            worst = Some((group.sysclk.as_u64() / 1_000_000, gap));
+        }
+    }
+    if let Some((mhz, gap)) = worst {
+        println!("\nLargest iso-frequency gap: {gap:.1}% at {mhz} MHz");
+        println!("(paper reports a ~50% gap at 100 MHz between {{50,25,216}} and {{16,8,100}})");
+    }
+}

@@ -1,0 +1,52 @@
+//! FIG3 (step 2B) — per-layer Pareto curves.
+//!
+//! The paper's Fig. 3 pipeline shows, per layer, the latency/energy cloud
+//! of all (g, f) configurations reduced to its Pareto front before entering
+//! the MCKP. This binary prints those fronts for the most expensive
+//! depthwise and pointwise layer of each model.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin fig3_pareto`
+
+use dae_dvfs::{explore_layer, lower_model, pareto_front, DseConfig};
+use repro_bench::models;
+use tinynn::LayerKind;
+
+fn main() {
+    let cfg = DseConfig::paper();
+    for model in models() {
+        let profiles = lower_model(&model).expect("lowering succeeds");
+        for kind in [LayerKind::Depthwise, LayerKind::Pointwise] {
+            let Some(profile) = profiles
+                .iter()
+                .filter(|p| p.kind == kind)
+                .max_by_key(|p| p.baseline_ops().mac)
+            else {
+                continue;
+            };
+            let points = explore_layer(profile, &cfg);
+            let cloud = points.len();
+            let front = pareto_front(points);
+            println!(
+                "\n{} / {} ({kind}): {cloud} DSE points -> {} Pareto-optimal",
+                model.name,
+                profile.name,
+                front.len()
+            );
+            println!(
+                "  {:>6} | {:>9} | {:>12} | {:>12} | {:>8}",
+                "g", "HFO", "latency", "energy", "switches"
+            );
+            for pt in &front {
+                println!(
+                    "  {:>6} | {:>5} MHz | {:>9.3} ms | {:>9.4} mJ | {:>8}",
+                    pt.granularity.0,
+                    pt.hfo.sysclk().as_u64() / 1_000_000,
+                    pt.latency_secs * 1e3,
+                    pt.energy.as_mj(),
+                    pt.switches
+                );
+            }
+        }
+    }
+    println!("\n(each front is one MCKP class; fronts are strictly decreasing in energy)");
+}

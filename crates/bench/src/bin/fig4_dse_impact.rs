@@ -1,0 +1,97 @@
+//! FIG4 — Impact of DAE granularity and HFO frequency on latency & power.
+//!
+//! Reproduces Fig. 4 of the paper: for a representative depthwise and
+//! pointwise layer, sweep (left) the HFO frequency at a fixed granularity
+//! and (right) the granularity at a fixed frequency, reporting latency and
+//! average power.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin fig4_dse_impact`
+
+use dae_dvfs::{evaluate_point, DseConfig, Granularity, OperatingModes};
+use stm32_rcc::Hertz;
+use tinyengine::KernelProfile;
+use tinynn::models::vww;
+use tinynn::{Layer, LayerKind};
+
+fn pick(kind: LayerKind) -> KernelProfile {
+    let model = vww();
+    let plan = model.plan().expect("vww plan resolves");
+    let mut best: Option<KernelProfile> = None;
+    for (nl, info) in model.layers().zip(plan.iter()) {
+        let matches = matches!(
+            (&nl.layer, kind),
+            (Layer::Depthwise(_), LayerKind::Depthwise)
+                | (Layer::Pointwise(_), LayerKind::Pointwise)
+        );
+        if matches {
+            let p = tinyengine::layer_profile(&nl.layer, info);
+            if best
+                .as_ref()
+                .is_none_or(|b| p.baseline_ops().mac > b.baseline_ops().mac)
+            {
+                best = Some(p);
+            }
+        }
+    }
+    best.expect("vww contains the layer kind")
+}
+
+fn sweep(profile: &KernelProfile, config: &DseConfig) {
+    println!("\nLayer: {} ({})", profile.name, profile.kind);
+
+    println!("  left panel: frequency sweep at g = 8");
+    println!("  {:>10} | {:>12} | {:>10}", "HFO (MHz)", "latency", "power");
+    let fig4 = OperatingModes::fig4();
+    for hfo in &fig4.hfo {
+        let pt = evaluate_point(profile, Granularity(8), hfo, config);
+        println!(
+            "  {:>10} | {:>9.3} ms | {:>7.1} mW",
+            repro_bench::mhz(hfo.sysclk()),
+            pt.latency_secs * 1e3,
+            pt.energy.as_f64() / pt.latency_secs * 1e3
+        );
+    }
+
+    println!("  right panel: granularity sweep at 216 MHz");
+    println!("  {:>10} | {:>12} | {:>10} | {:>8}", "g", "latency", "power", "switches");
+    let f216 = config
+        .modes
+        .hfo_at(Hertz::mhz(216))
+        .copied()
+        .expect("216 MHz in the ladder");
+    let mut baseline_power = None;
+    for g in Granularity::PAPER_SET {
+        let pt = evaluate_point(profile, g, &f216, config);
+        let mw = pt.energy.as_f64() / pt.latency_secs * 1e3;
+        if g.is_baseline() {
+            baseline_power = Some(mw);
+        }
+        println!(
+            "  {:>10} | {:>9.3} ms | {:>7.1} mW | {:>8}",
+            g.0,
+            pt.latency_secs * 1e3,
+            mw,
+            pt.switches
+        );
+    }
+    if let Some(base) = baseline_power {
+        let best = Granularity::PAPER_SET
+            .iter()
+            .map(|&g| {
+                let pt = evaluate_point(profile, g, &f216, config);
+                pt.energy.as_f64() / pt.latency_secs * 1e3
+            })
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  power drop vs g=0: {:.1}% (paper: up to 54.2%)",
+            (base - best) / base * 100.0
+        );
+    }
+}
+
+fn main() {
+    println!("FIG4: DAE granularity x clocking design space (VWW layers)");
+    let config = DseConfig::paper();
+    sweep(&pick(LayerKind::Depthwise), &config);
+    sweep(&pick(LayerKind::Pointwise), &config);
+}

@@ -1,0 +1,60 @@
+//! TAB-SW — Clock-switch overheads (paper Sec. II-A).
+//!
+//! Reproduces the measurement that re-locking the PLL costs ≈ 200 µs while
+//! toggling the SYSCLK mux to the HSE (or back onto a warm PLL) is almost
+//! instant — the asymmetry the LFO/HFO scheme exploits.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin switching_overhead`
+
+use mcu_sim::Machine;
+use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+
+fn pll(n: u32) -> SysclkConfig {
+    SysclkConfig::Pll(
+        PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2)
+            .expect("ladder configurations are valid"),
+    )
+}
+
+fn main() {
+    let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+    let cases: Vec<(&str, SysclkConfig, SysclkConfig)> = vec![
+        ("HFO(216) -> LFO(HSE 50)        [mux]", pll(216), lfo),
+        ("LFO(HSE 50) -> warm HFO(216)   [mux]", lfo, pll(216)),
+        ("HFO(216) -> HFO(150)        [re-lock]", pll(216), pll(150)),
+        ("HFO(150) -> HFO(216)        [re-lock]", pll(150), pll(216)),
+        ("HSE 50 -> HSI              [mux]", lfo, SysclkConfig::HsiDirect),
+    ];
+
+    println!("TAB-SW: SYSCLK switch overheads");
+    println!("{:>40} | {:>12} | {:>10}", "transition", "latency", "relocks");
+    repro_bench::rule(70);
+    for (label, from, to) in cases {
+        let mut machine = Machine::new(from);
+        let dt = machine.switch_clock(to);
+        println!(
+            "{label:>40} | {:>9.2} µs | {:>10}",
+            dt * 1e6,
+            machine.relock_count()
+        );
+    }
+
+    // The overlap trick: preparing the PLL in the background during an LFO
+    // phase hides (part of) the re-lock.
+    println!("\nBackground re-lock overlap (prepare_pll during an LFO segment):");
+    for busy_us in [0.0, 50.0, 100.0, 200.0, 300.0] {
+        let mut machine = Machine::new(pll(216));
+        machine.switch_clock(lfo);
+        machine.prepare_pll(
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 150, 2).unwrap(),
+        );
+        // Simulate an LFO phase of `busy_us` microseconds.
+        machine.idle(busy_us * 1e-6, mcu_sim::IdleMode::BusyRun, "lfo-work");
+        let stall = machine.switch_clock(pll(150));
+        println!(
+            "  LFO work {busy_us:>5.0} µs -> residual stall {:>6.2} µs",
+            stall * 1e6
+        );
+    }
+    println!("\n(paper: PLL re-lock ~200 µs, HSE switch almost instant)");
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the reproduction benchmark harness.
+//!
+//! Every figure and table of the paper has a binary under `src/bin/` that
+//! regenerates it (see DESIGN.md's experiment index) and a Criterion bench
+//! under `benches/` that measures the code paths behind it.
+
+use dae_dvfs::{DseConfig, FrequencyMap};
+use stm32_rcc::Hertz;
+use tinynn::{LayerKind, Model};
+
+/// The paper's three QoS slack levels.
+pub const SLACKS: [f64; 3] = [0.10, 0.30, 0.50];
+
+/// The paper's three evaluation models at paper-like sizes.
+pub fn models() -> Vec<Model> {
+    tinynn::models::paper_models()
+}
+
+/// The standard exploration configuration.
+pub fn config() -> DseConfig {
+    DseConfig::paper()
+}
+
+/// Prints a horizontal rule sized for the standard tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a frequency as integer MHz.
+pub fn mhz(f: Hertz) -> String {
+    format!("{}", f.as_u64() / 1_000_000)
+}
+
+/// Summary statistics of a Fig. 6 frequency map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Stats {
+    /// Share of pointwise layers at the maximum 216 MHz.
+    pub pw_at_max: f64,
+    /// Share of depthwise layers at the maximum 216 MHz.
+    pub dw_at_max: f64,
+    /// Share of pointwise layers at or below 100 MHz.
+    pub pw_low: f64,
+    /// Share of depthwise layers at or below 100 MHz.
+    pub dw_low: f64,
+    /// Share of all layers at 216 MHz.
+    pub all_at_max: f64,
+    /// Share of DAE-capable layers at granularity 16.
+    pub g16_share: f64,
+}
+
+/// Computes the Fig. 6 summary statistics for one deployment map.
+pub fn fig6_stats(map: &FrequencyMap) -> Fig6Stats {
+    let max = Hertz::mhz(216);
+    let low = Hertz::mhz(100);
+    Fig6Stats {
+        pw_at_max: map.share_at(LayerKind::Pointwise, max),
+        dw_at_max: map.share_at(LayerKind::Depthwise, max),
+        pw_low: map.share_at_or_below(LayerKind::Pointwise, low),
+        dw_low: map.share_at_or_below(LayerKind::Depthwise, low),
+        all_at_max: map.overall_share_at(max),
+        g16_share: map.granularity_share(16),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_models_three_slacks() {
+        assert_eq!(models().len(), 3);
+        assert_eq!(SLACKS.len(), 3);
+    }
+
+    #[test]
+    fn mhz_formatting() {
+        assert_eq!(mhz(Hertz::mhz(216)), "216");
+    }
+}

@@ -1,0 +1,187 @@
+//! QoS-class ladders (paper Fig. 3, step 3A: "Class k, Class k+1").
+//!
+//! A deployment rarely serves a single latency budget: the paper's Fig. 3
+//! shows the MCKP solutions organized into QoS *classes*. A
+//! [`QosClassLadder`] precomputes one deployment plan per class so the
+//! runtime can pick the most energy-efficient plan that still meets the
+//! budget in O(log n), without re-running the optimizer online.
+
+use tinyengine::TinyEngine;
+use tinynn::Model;
+
+use crate::dse::DseConfig;
+use crate::error::DaeDvfsError;
+use crate::pipeline::{optimize, DeploymentPlan};
+
+/// One precomputed QoS class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosClass {
+    /// The slack level the class was built for (e.g. 0.30).
+    pub slack: f64,
+    /// The absolute QoS window of the class, seconds.
+    pub qos_secs: f64,
+    /// The optimized plan for this window.
+    pub plan: DeploymentPlan,
+}
+
+/// A ladder of QoS classes, ascending in window length.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dae_dvfs::{DseConfig, QosClassLadder};
+/// use tinynn::models::vww;
+///
+/// # fn main() -> Result<(), dae_dvfs::DaeDvfsError> {
+/// let ladder = QosClassLadder::build(&vww(), &[0.1, 0.3, 0.5], &DseConfig::paper())?;
+/// // A 25 ms budget gets the most relaxed plan that still fits.
+/// if let Some(class) = ladder.class_for_budget(25e-3) {
+///     println!("using the {:.0}% class", class.slack * 100.0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosClassLadder {
+    /// The model name the ladder belongs to.
+    pub model: String,
+    /// Baseline (TinyEngine @ 216 MHz) latency the slacks are relative to.
+    pub baseline_latency_secs: f64,
+    classes: Vec<QosClass>,
+}
+
+impl QosClassLadder {
+    /// Precomputes one class per slack level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimization errors; fails if `slacks` is empty or
+    /// contains a negative value.
+    pub fn build(
+        model: &Model,
+        slacks: &[f64],
+        config: &DseConfig,
+    ) -> Result<Self, DaeDvfsError> {
+        assert!(!slacks.is_empty(), "at least one QoS class is required");
+        assert!(
+            slacks.iter().all(|s| *s >= 0.0 && s.is_finite()),
+            "slack levels must be non-negative finite fractions"
+        );
+        let baseline = TinyEngine::new().run(model)?.total_time_secs;
+        let mut classes = Vec::with_capacity(slacks.len());
+        for &slack in slacks {
+            let qos = tinyengine::qos_window(baseline, slack);
+            let plan = optimize(model, qos, config)?;
+            classes.push(QosClass {
+                slack,
+                qos_secs: qos,
+                plan,
+            });
+        }
+        classes.sort_by(|a, b| {
+            a.qos_secs
+                .partial_cmp(&b.qos_secs)
+                .expect("windows are finite")
+        });
+        Ok(QosClassLadder {
+            model: model.name.clone(),
+            baseline_latency_secs: baseline,
+            classes,
+        })
+    }
+
+    /// The classes, ascending in window length.
+    pub fn classes(&self) -> &[QosClass] {
+        &self.classes
+    }
+
+    /// The most relaxed (most energy-efficient) class whose window fits
+    /// within `budget_secs`, or `None` if even the tightest class misses.
+    pub fn class_for_budget(&self, budget_secs: f64) -> Option<&QosClass> {
+        self.classes
+            .iter()
+            .rev()
+            .find(|c| c.qos_secs <= budget_secs)
+    }
+
+    /// The tightest class (shortest window).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: construction guarantees at least one class.
+    pub fn tightest(&self) -> &QosClass {
+        &self.classes[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::models::vww;
+
+    fn ladder() -> QosClassLadder {
+        QosClassLadder::build(&vww(), &[0.5, 0.1, 0.3], &DseConfig::paper())
+            .expect("ladder builds")
+    }
+
+    #[test]
+    fn classes_sorted_ascending() {
+        let l = ladder();
+        assert_eq!(l.classes().len(), 3);
+        for w in l.classes().windows(2) {
+            assert!(w[0].qos_secs < w[1].qos_secs);
+        }
+        assert!((l.tightest().slack - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_lookup_picks_most_relaxed_fitting_class() {
+        let l = ladder();
+        let mid = l.classes()[1].qos_secs;
+        // A budget between class 1 and class 2 gets class 1.
+        let got = l.class_for_budget(mid + 1e-6).expect("fits");
+        assert!((got.slack - 0.3).abs() < 1e-12);
+        // A huge budget gets the most relaxed class.
+        let got = l.class_for_budget(10.0).expect("fits");
+        assert!((got.slack - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let l = ladder();
+        assert!(l.class_for_budget(1e-6).is_none());
+    }
+
+    #[test]
+    fn relaxed_classes_do_not_cost_more_window_energy() {
+        // The optimizer minimizes *window* energy (inference + gated idle).
+        // A relaxed window can always reuse the tighter class's schedule
+        // and idle through the extra slack, so its window energy is at most
+        // the tight window energy plus gated idling over the growth.
+        let l = ladder();
+        let gated = DseConfig::paper().power.clock_gated_power.as_f64();
+        let window = |c: &QosClass| {
+            c.plan.predicted_energy.as_f64()
+                + gated * (c.qos_secs - c.plan.predicted_latency_secs)
+        };
+        for w in l.classes().windows(2) {
+            let bound = window(&w[0]) + gated * (w[1].qos_secs - w[0].qos_secs);
+            // The bound is exact for the MCKP itself; the sequence-aware
+            // reserve search above it is a heuristic (inter-layer re-locks
+            // are not part of the paper's Eq. 2-5 either), so allow a 2%
+            // slop.
+            assert!(
+                window(&w[1]) <= bound * 1.02,
+                "relaxed window energy {} exceeds bound {}",
+                window(&w[1]),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one QoS class")]
+    fn empty_slacks_rejected() {
+        let _ = QosClassLadder::build(&vww(), &[], &DseConfig::paper());
+    }
+}

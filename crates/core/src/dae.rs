@@ -1,0 +1,341 @@
+//! The Decoupled Access-Execute transform (paper Sec. III-A).
+//!
+//! DAE restructures depthwise and pointwise convolution kernels so that
+//! *memory accesses* (staging `g` channel planes / image columns into the
+//! cache) and *CPU execution* (convolving the staged buffers) become
+//! separate code regions. Two views are provided:
+//!
+//! * [`dae_segments`] — the scheduling view: the segment list a DAE-enabled
+//!   layer executes, alternating memory-class and compute-class segments.
+//!   This is what the DSE and the deployment executor price and run;
+//! * [`dae_forward_depthwise`] / [`dae_forward_pointwise`] — the functional
+//!   view: actually computing the layer with the restructured loop order,
+//!   used to prove the transform is bit-exact ("DAE-enabled CNNs entail no
+//!   accuracy drops").
+
+use mcu_sim::cache::CacheConfig;
+use mcu_sim::{MemoryTraffic, OpCounts, Segment};
+use tinyengine::KernelProfile;
+use tinynn::layers::{DepthwiseConv2d, PointwiseConv2d};
+use tinynn::{NnError, Tensor};
+
+/// A decoupling granularity: how many units (channels / columns) are
+/// buffered before computing. `0` means "no DAE" — the unmodified baseline
+/// kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Granularity(pub u8);
+
+impl Granularity {
+    /// The paper's explored set: `g ∈ {0, 2, 4, 8, 12, 16}`.
+    pub const PAPER_SET: [Granularity; 6] = [
+        Granularity(0),
+        Granularity(2),
+        Granularity(4),
+        Granularity(8),
+        Granularity(12),
+        Granularity(16),
+    ];
+
+    /// Whether this is the no-DAE baseline.
+    pub const fn is_baseline(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The batch size as a count (baseline maps to "all at once in the
+    /// interleaved order", so this is only meaningful when `!is_baseline`).
+    pub const fn batch(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g={}", self.0)
+    }
+}
+
+/// Per-line staging overhead: the buffer-staging loop issues roughly one
+/// load, one address update and a store-to-buffer per cache line moved.
+fn staging_ops(traffic: &MemoryTraffic) -> OpCounts {
+    let lines = traffic.sram_line_fills + traffic.flash_line_fills;
+    OpCounts {
+        alu: lines * 2,
+        load: lines,
+        store: lines,
+        branch: lines / 4,
+        mac: 0,
+    }
+}
+
+/// Lowers one DAE-enabled layer into its segment schedule.
+///
+/// For `g = 0` this returns the single interleaved baseline segment
+/// (identical to what `tinyengine` lowers). For `g > 0` the layer becomes
+/// `ceil(units / g)` pairs of segments:
+///
+/// * a **memory segment** staging `g` units (plus the weights, once, in the
+///   first group), classed [`mcu_sim::SegmentClass::Memory`];
+/// * a **compute segment** with the per-unit compute ops, classed
+///   [`mcu_sim::SegmentClass::Compute`]. If the group working set exceeds
+///   the cache, the spilled fraction of the staged lines is re-fetched here
+///   — the "cache misses skyrocket" regime of oversized granularities.
+pub fn dae_segments(
+    profile: &KernelProfile,
+    g: Granularity,
+    cache: &CacheConfig,
+) -> Vec<Segment> {
+    if g.is_baseline() || profile.units <= 1 || !profile.dae_capable() {
+        return vec![Segment::other(
+            profile.name.clone(),
+            profile.baseline_ops(),
+            profile.baseline_traffic(cache),
+        )];
+    }
+
+    let batch = g.batch();
+    let groups = profile.units.div_ceil(batch);
+    let mut segments = Vec::with_capacity(2 * groups as usize);
+    let mut remaining = profile.units;
+    let mut first = true;
+    while remaining > 0 {
+        let n = remaining.min(batch);
+        // Memory-bound segment: stage n unit buffers (+ weights once).
+        let stage = profile.dae_stage_traffic(n, first, cache);
+        segments.push(Segment::memory(
+            format!("{}/mem", profile.name),
+            staging_ops(&stage),
+            stage,
+        ));
+        // Compute-bound segment: convolve the staged buffers (one weight
+        // walk per group, spills when the batch overflows the cache).
+        segments.push(Segment::compute(
+            format!("{}/comp", profile.name),
+            profile.dae_compute_ops(n),
+            profile.dae_compute_traffic(n, groups, cache),
+        ));
+        remaining -= n;
+        first = false;
+    }
+    segments
+}
+
+/// Executes a depthwise convolution with DAE loop order: channels are
+/// processed in groups of `g` (staged, then convolved), exactly Listing 1
+/// of the paper. Bit-exact with [`DepthwiseConv2d::forward`].
+///
+/// # Errors
+///
+/// Propagates layer shape errors.
+pub fn dae_forward_depthwise(
+    layer: &DepthwiseConv2d,
+    input: &Tensor,
+    g: Granularity,
+) -> Result<Tensor, NnError> {
+    if g.is_baseline() {
+        return layer.forward(input);
+    }
+    let out_shape = layer.output_shape(input.shape())?;
+    let mut out = Tensor::zeros(out_shape);
+    let batch = g.batch() as usize;
+    let mut channel = 0usize;
+    while channel < layer.channels {
+        let end = (channel + batch).min(layer.channels);
+        // Memory-bound region: on hardware this loads channels
+        // `channel..end` into the cache-resident buffers (ClockSwitchHSE
+        // happens here). The simulation's functional view has no staging to
+        // do — the data is already addressable — so the region is the loop
+        // boundary itself.
+        // Compute-bound region: convolve each buffered channel
+        // (ClockSwitchPLL happens here).
+        for c in channel..end {
+            layer.convolve_channel(input, &mut out, c)?;
+        }
+        channel = end;
+    }
+    Ok(out)
+}
+
+/// Executes a pointwise convolution with DAE loop order: image columns are
+/// processed in groups of `g`. Bit-exact with
+/// [`PointwiseConv2d::forward`].
+///
+/// # Errors
+///
+/// Propagates layer shape errors.
+pub fn dae_forward_pointwise(
+    layer: &PointwiseConv2d,
+    input: &Tensor,
+    g: Granularity,
+) -> Result<Tensor, NnError> {
+    if g.is_baseline() {
+        return layer.forward(input);
+    }
+    let out_shape = layer.output_shape(input.shape())?;
+    let mut out = Tensor::zeros(out_shape);
+    let cols = out_shape.h * out_shape.w;
+    let batch = g.batch() as usize;
+    let mut col = 0usize;
+    while col < cols {
+        let end = (col + batch).min(cols);
+        for i in col..end {
+            let (y, x) = (i / out_shape.w, i % out_shape.w);
+            layer.compute_column(input, &mut out, y, x)?;
+        }
+        col = end;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu_sim::SegmentClass;
+    use tinynn::models::vww_sized;
+    use tinynn::quant::QuantParams;
+    use tinynn::{Layer, Shape};
+
+    fn dw_profile() -> KernelProfile {
+        let model = vww_sized(32);
+        let plan = model.plan().unwrap();
+        let found = model
+            .layers()
+            .zip(plan.iter())
+            .find(|(nl, _)| matches!(nl.layer, Layer::Depthwise(_)))
+            .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info));
+        found.unwrap()
+    }
+
+    #[test]
+    fn baseline_is_single_segment() {
+        let cache = CacheConfig::stm32f767();
+        let segs = dae_segments(&dw_profile(), Granularity(0), &cache);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].class, SegmentClass::Other);
+    }
+
+    #[test]
+    fn dae_alternates_memory_and_compute() {
+        let cache = CacheConfig::stm32f767();
+        let p = dw_profile();
+        let segs = dae_segments(&p, Granularity(4), &cache);
+        let groups = p.units.div_ceil(4);
+        assert_eq!(segs.len(), (2 * groups) as usize);
+        for (i, s) in segs.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                SegmentClass::Memory
+            } else {
+                SegmentClass::Compute
+            };
+            assert_eq!(s.class, expected, "segment {i}");
+        }
+    }
+
+    #[test]
+    fn dae_preserves_mac_work() {
+        // The transform re-orders work; MAC counts must be conserved for
+        // every granularity (line traffic legitimately *shrinks* because
+        // staging de-duplicates the strided walks).
+        let cache = CacheConfig::stm32f767();
+        let p = dw_profile();
+        let base = dae_segments(&p, Granularity(0), &cache);
+        let base_macs: u64 = base.iter().map(|s| s.ops.mac).sum();
+        for g in [2u8, 4, 8, 12, 16] {
+            let segs = dae_segments(&p, Granularity(g), &cache);
+            let macs: u64 = segs.iter().map(|s| s.ops.mac).sum();
+            assert_eq!(macs, base_macs, "MACs not conserved at g={g}");
+        }
+    }
+
+    #[test]
+    fn weights_staged_once() {
+        let cache = CacheConfig::stm32f767();
+        let p = dw_profile();
+        let segs = dae_segments(&p, Granularity(4), &cache);
+        let flash_total: u64 = segs.iter().map(|s| s.traffic.flash_line_fills).sum();
+        assert_eq!(
+            flash_total,
+            tinyengine::cost::lines(p.weight_bytes),
+            "weights must be fetched exactly once"
+        );
+    }
+
+    #[test]
+    fn functional_depthwise_equivalence() {
+        let q = QuantParams::from_scales(0.5, 0.03, 2.0);
+        let weights = tinynn::models::synth::weights("dae-dw-test", 8 * 9);
+        let bias = tinynn::models::synth::biases("dae-dw-test", 8);
+        let dw = DepthwiseConv2d::new(3, 1, 1, 8, weights, bias, q).unwrap();
+        let input = Tensor::from_fn(Shape::new(10, 10, 8), |y, x, c| {
+            (((y * 31 + x * 17 + c * 5) % 240) as i32 - 120) as i8
+        });
+        let reference = dw.forward(&input).unwrap();
+        for g in Granularity::PAPER_SET {
+            let out = dae_forward_depthwise(&dw, &input, g).unwrap();
+            assert_eq!(out, reference, "depthwise DAE diverged at {g}");
+        }
+    }
+
+    #[test]
+    fn functional_pointwise_equivalence() {
+        let q = QuantParams::from_scales(0.5, 0.02, 3.0);
+        let weights = tinynn::models::synth::weights("dae-pw-test", 12 * 6);
+        let bias = tinynn::models::synth::biases("dae-pw-test", 12);
+        let pw = PointwiseConv2d::new(6, 12, weights, bias, q).unwrap();
+        let input = Tensor::from_fn(Shape::new(7, 9, 6), |y, x, c| {
+            (((y * 13 + x * 29 + c * 3) % 250) as i32 - 125) as i8
+        });
+        let reference = pw.forward(&input).unwrap();
+        for g in Granularity::PAPER_SET {
+            let out = dae_forward_pointwise(&pw, &input, g).unwrap();
+            assert_eq!(out, reference, "pointwise DAE diverged at {g}");
+        }
+    }
+
+    #[test]
+    fn oversized_granularity_spills() {
+        // A layer whose per-unit buffers are large: staging 16 at once must
+        // overflow the 16 KB cache and generate spill traffic.
+        let p = KernelProfile {
+            name: "big-dw".into(),
+            kind: tinynn::LayerKind::Depthwise,
+            geometry: tinyengine::cost::UnitGeometry::DepthwiseChannels {
+                tensor_lines: tinyengine::cost::lines(32 * 4 * 1024),
+                tensor_bytes: 32 * 4 * 1024,
+            },
+            units: 32,
+            unit_input_bytes: 4 * 1024, // 64x64 channel plane
+            unit_output_bytes: 4 * 1024,
+            unit_ops: OpCounts {
+                mac: 9 * 4096,
+                load: 9 * 4096,
+                ..OpCounts::ZERO
+            },
+            weight_walk_ops: OpCounts::ZERO,
+                baseline_unroll: 1,
+            weight_bytes: 9 * 32,
+        };
+        let cache = CacheConfig::stm32f767();
+        let small = dae_segments(&p, Granularity(2), &cache);
+        let large = dae_segments(&p, Granularity(16), &cache);
+        let spill = |segs: &[Segment]| -> u64 {
+            segs.iter()
+                .filter(|s| s.class == SegmentClass::Compute)
+                .map(|s| s.traffic.sram_line_fills)
+                .sum()
+        };
+        // Writeback traffic is identical; the delta is pure spill.
+        assert!(
+            spill(&large) > spill(&small),
+            "16-unit batches must thrash: {} vs {}",
+            spill(&large),
+            spill(&small)
+        );
+    }
+
+    #[test]
+    fn granularity_display() {
+        assert_eq!(Granularity(8).to_string(), "g=8");
+        assert!(Granularity(0).is_baseline());
+        assert!(!Granularity(2).is_baseline());
+    }
+}

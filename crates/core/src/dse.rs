@@ -1,0 +1,287 @@
+//! Per-layer design-space exploration (paper Sec. III-B, step 2A).
+//!
+//! For every layer, every decoupling granularity `g` and every HFO
+//! frequency candidate is priced by replaying the DAE segment schedule on a
+//! simulated machine: memory segments at LFO, compute segments at HFO,
+//! paying the (warm-PLL) switch costs in between. The result is the
+//! `(latency, energy)` cloud from which the Pareto front is extracted.
+
+use mcu_sim::cache::CacheConfig;
+use mcu_sim::{Machine, SegmentClass};
+use stm32_power::{Joules, PowerModel};
+use stm32_rcc::{PllConfig, SwitchCostModel, SysclkConfig};
+use tinyengine::KernelProfile;
+use tinynn::LayerKind;
+
+use crate::dae::{dae_segments, Granularity};
+use crate::modes::OperatingModes;
+
+/// One evaluated `(g, f)` configuration of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePoint {
+    /// The decoupling granularity.
+    pub granularity: Granularity,
+    /// The HFO PLL configuration (compute-segment clock).
+    pub hfo: PllConfig,
+    /// Layer latency under this configuration, seconds.
+    pub latency_secs: f64,
+    /// Layer energy under this configuration.
+    pub energy: Joules,
+    /// Clock switches performed.
+    pub switches: u64,
+    /// Duration of the layer's *first* memory (staging) segment at LFO,
+    /// seconds — zero for `g = 0`. An incoming PLL re-lock can hide under
+    /// this much execution (see `mcu_sim::Machine::prepare_pll`), which the
+    /// sequence-aware optimizer exploits.
+    pub first_stage_secs: f64,
+}
+
+/// Knobs of the exploration (all ablatable).
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// The operating-mode universe.
+    pub modes: OperatingModes,
+    /// Granularities to explore for DAE-capable layers.
+    pub granularities: Vec<Granularity>,
+    /// Cache geometry used by the DAE lowering.
+    pub cache: CacheConfig,
+    /// Switch-cost model.
+    pub switch_model: SwitchCostModel,
+    /// Power model.
+    pub power: PowerModel,
+}
+
+impl DseConfig {
+    /// The paper's exploration: `g ∈ {0,2,4,8,12,16}`, the full HFO ladder,
+    /// STM32F767 cache and default costs.
+    pub fn paper() -> Self {
+        DseConfig {
+            modes: OperatingModes::paper(),
+            granularities: Granularity::PAPER_SET.to_vec(),
+            cache: CacheConfig::stm32f767(),
+            switch_model: SwitchCostModel::default(),
+            power: PowerModel::nucleo_f767zi(),
+        }
+    }
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig::paper()
+    }
+}
+
+/// Prices one `(g, f)` configuration of `profile` by machine replay.
+///
+/// The machine starts with the point's own HFO PLL locked, i.e. the point
+/// is *relock-free*: it covers the intra-layer LFO↔HFO mux toggles but not
+/// the PLL re-lock a deployment pays when the previous layer used a
+/// different HFO. The pipeline's optimizer accounts for those inter-layer
+/// re-locks sequence-aware (see `dae_dvfs::pipeline::optimize`).
+pub fn evaluate_point(
+    profile: &KernelProfile,
+    g: Granularity,
+    hfo: &PllConfig,
+    config: &DseConfig,
+) -> DsePoint {
+    let hfo_cfg = SysclkConfig::Pll(*hfo);
+    let mut machine = Machine::new(hfo_cfg)
+        .with_switch_model(config.switch_model)
+        .with_power(config.power.clone());
+    let mut first_stage_secs = 0.0;
+    let mut first_seen = false;
+    for seg in dae_segments(profile, g, &config.cache) {
+        match seg.class {
+            SegmentClass::Memory => {
+                machine.switch_clock(config.modes.lfo);
+                // Re-program the PLL (if needed) under the memory segment.
+                machine.prepare_pll(*hfo);
+            }
+            SegmentClass::Compute | SegmentClass::Other => {
+                machine.switch_clock(hfo_cfg);
+            }
+        }
+        let dt = machine.run_segment(&seg);
+        if !first_seen && seg.class == SegmentClass::Memory {
+            first_stage_secs = dt;
+        }
+        first_seen = true;
+    }
+    DsePoint {
+        granularity: g,
+        hfo: *hfo,
+        latency_secs: machine.elapsed_secs(),
+        energy: machine.energy(),
+        switches: machine.switch_count(),
+        first_stage_secs,
+    }
+}
+
+/// Explores the full `(g, f)` grid for one layer.
+///
+/// DAE-capable layers (depthwise, pointwise) get every granularity; "rest"
+/// layers only get frequency scaling (`g = 0`), matching Fig. 6 where rest
+/// rows carry granularity `0-0`.
+pub fn explore_layer(profile: &KernelProfile, config: &DseConfig) -> Vec<DsePoint> {
+    let dae_capable = matches!(profile.kind, LayerKind::Depthwise | LayerKind::Pointwise);
+    let mut points = Vec::new();
+    for &hfo in &config.modes.hfo {
+        if dae_capable {
+            for &g in &config.granularities {
+                points.push(evaluate_point(profile, g, &hfo, config));
+            }
+        } else {
+            points.push(evaluate_point(profile, Granularity(0), &hfo, config));
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm32_rcc::Hertz;
+    use tinynn::models::vww_sized;
+    use tinynn::Layer;
+
+    fn profile_of(kind_dw: bool) -> KernelProfile {
+        let model = vww_sized(32);
+        let plan = model.plan().unwrap();
+        let found = model
+            .layers()
+            .zip(plan.iter())
+            .find(|(nl, _)| {
+                if kind_dw {
+                    matches!(nl.layer, Layer::Depthwise(_))
+                } else {
+                    matches!(nl.layer, Layer::Pointwise(_))
+                }
+            })
+            .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info));
+        found.unwrap()
+    }
+
+    #[test]
+    fn higher_frequency_lower_latency_at_fixed_g() {
+        let cfg = DseConfig::paper();
+        let p = profile_of(false);
+        let f100 = cfg.modes.hfo_at(Hertz::mhz(100)).copied().unwrap();
+        let f216 = cfg.modes.hfo_at(Hertz::mhz(216)).copied().unwrap();
+        for g in [Granularity(0), Granularity(8)] {
+            let slow = evaluate_point(&p, g, &f100, &cfg);
+            let fast = evaluate_point(&p, g, &f216, &cfg);
+            assert!(
+                fast.latency_secs < slow.latency_secs,
+                "216 MHz must beat 100 MHz at {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn dae_reduces_energy_for_pointwise() {
+        // Weight-walk amortization plus LFO staging: at a fixed HFO, the
+        // best granularity must undercut the interleaved baseline for
+        // pointwise layers.
+        let cfg = DseConfig::paper();
+        let p = profile_of(false);
+        let f216 = cfg.modes.hfo_at(Hertz::mhz(216)).copied().unwrap();
+        let base = evaluate_point(&p, Granularity(0), &f216, &cfg);
+        let best_dae = [2u8, 4, 8, 12, 16]
+            .into_iter()
+            .map(|g| evaluate_point(&p, Granularity(g), &f216, &cfg))
+            .min_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap())
+            .unwrap();
+        assert!(
+            best_dae.energy < base.energy,
+            "DAE ({}) must undercut baseline: {} vs {}",
+            best_dae.granularity,
+            best_dae.energy,
+            base.energy
+        );
+    }
+
+    #[test]
+    fn dae_reduces_energy_for_oversized_depthwise() {
+        // When the input tensor exceeds the L1, DAE staging de-duplicates
+        // the strided per-channel walks: the best granularity must win.
+        let model = tinynn::models::mobilenet_v2();
+        let plan = model.plan().unwrap();
+        let found = model
+            .layers()
+            .zip(plan.iter())
+            .filter(|(nl, _)| matches!(nl.layer, Layer::Depthwise(_)))
+            .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info))
+            .find(|p| p.input_bytes() > 2 * 16 * 1024);
+        let p = found.expect("MBV2 has oversized depthwise tensors");
+        let cfg = DseConfig::paper();
+        let f216 = cfg.modes.hfo_at(Hertz::mhz(216)).copied().unwrap();
+        let base = evaluate_point(&p, Granularity(0), &f216, &cfg);
+        let best_dae = [2u8, 4, 8, 12, 16]
+            .into_iter()
+            .map(|g| evaluate_point(&p, Granularity(g), &f216, &cfg))
+            .min_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap())
+            .unwrap();
+        assert!(
+            best_dae.energy < base.energy,
+            "DAE ({}) must undercut baseline on {}: {} vs {}",
+            best_dae.granularity,
+            p.name,
+            best_dae.energy,
+            base.energy
+        );
+        assert!(
+            best_dae.latency_secs < base.latency_secs,
+            "de-duplicated walks should also be faster"
+        );
+    }
+
+    #[test]
+    fn dae_switches_scale_with_groups() {
+        let cfg = DseConfig::paper();
+        let p = profile_of(true);
+        let f216 = cfg.modes.hfo_at(Hertz::mhz(216)).copied().unwrap();
+        let g2 = evaluate_point(&p, Granularity(2), &f216, &cfg);
+        let g16 = evaluate_point(&p, Granularity(16), &f216, &cfg);
+        assert!(g2.switches > g16.switches, "finer g must switch more");
+        let base = evaluate_point(&p, Granularity(0), &f216, &cfg);
+        assert_eq!(base.switches, 0, "baseline never switches");
+    }
+
+    #[test]
+    fn rest_layers_get_frequency_only() {
+        let model = vww_sized(32);
+        let plan = model.plan().unwrap();
+        let found = model
+            .layers()
+            .zip(plan.iter())
+            .find(|(nl, _)| matches!(nl.layer, Layer::Conv2d(_)))
+            .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info));
+        let rest = found.unwrap();
+        let cfg = DseConfig::paper();
+        let points = explore_layer(&rest, &cfg);
+        assert_eq!(points.len(), cfg.modes.hfo.len());
+        assert!(points.iter().all(|p| p.granularity.is_baseline()));
+    }
+
+    #[test]
+    fn dae_layers_get_full_grid() {
+        let cfg = DseConfig::paper();
+        let p = profile_of(true);
+        let points = explore_layer(&p, &cfg);
+        assert_eq!(
+            points.len(),
+            cfg.modes.hfo.len() * cfg.granularities.len()
+        );
+    }
+
+    #[test]
+    fn all_points_positive() {
+        let cfg = DseConfig::paper();
+        for p in [profile_of(true), profile_of(false)] {
+            for pt in explore_layer(&p, &cfg) {
+                assert!(pt.latency_secs > 0.0);
+                assert!(pt.energy.as_f64() > 0.0);
+            }
+        }
+    }
+}

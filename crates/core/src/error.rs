@@ -1,0 +1,68 @@
+//! Error type of the DAE-DVFS pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::mckp::MckpError;
+use tinyengine::EngineError;
+
+/// Errors produced by the end-to-end methodology.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DaeDvfsError {
+    /// Lowering or baseline-execution error.
+    Engine(EngineError),
+    /// The QoS constraint cannot be met (or an MCKP class was empty).
+    Qos(MckpError),
+}
+
+impl fmt::Display for DaeDvfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaeDvfsError::Engine(e) => write!(f, "lowering failed: {e}"),
+            DaeDvfsError::Qos(e) => write!(f, "optimization failed: {e}"),
+        }
+    }
+}
+
+impl Error for DaeDvfsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DaeDvfsError::Engine(e) => Some(e),
+            DaeDvfsError::Qos(e) => Some(e),
+        }
+    }
+}
+
+impl From<EngineError> for DaeDvfsError {
+    fn from(e: EngineError) -> Self {
+        DaeDvfsError::Engine(e)
+    }
+}
+
+impl From<MckpError> for DaeDvfsError {
+    fn from(e: MckpError) -> Self {
+        DaeDvfsError::Qos(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DaeDvfsError>();
+    }
+
+    #[test]
+    fn displays_inner_error() {
+        let e = DaeDvfsError::Qos(MckpError::Infeasible {
+            min_time_secs: 2.0,
+            budget_secs: 1.0,
+        });
+        assert!(e.to_string().contains("infeasible"));
+        assert!(e.source().is_some());
+    }
+}

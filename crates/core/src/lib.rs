@@ -1,0 +1,54 @@
+//! # DAE-enabled DVFS for tinyML on STM32 MCUs
+//!
+//! Reference implementation of *"Decoupled Access-Execute enabled DVFS for
+//! tinyML deployments on STM32 microcontrollers"* (DATE 2024) on a
+//! simulated STM32F767. The methodology has three steps (paper Fig. 3):
+//!
+//! 1. **DAE** ([`dae`]): depthwise and pointwise convolutions are split
+//!    into memory-bound (stage `g` channels/columns) and compute-bound
+//!    (convolve them) segments — bit-exact, verified by property tests;
+//! 2. **DSE** ([`dse`], [`pareto`]): each layer's `(g, f)` grid is priced
+//!    on the machine model — memory segments at the 50 MHz LFO, compute at
+//!    the PLL-driven HFO — and reduced to its Pareto front;
+//! 3. **QoS optimization** ([`mckp`], [`pipeline`]): one Pareto point per
+//!    layer is chosen by a multiple-choice-knapsack dynamic program so the
+//!    model meets its latency budget with minimal energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use dae_dvfs::{run_dae_dvfs, DseConfig};
+//! use tinynn::models::vww_sized;
+//!
+//! # fn main() -> Result<(), dae_dvfs::DaeDvfsError> {
+//! let model = vww_sized(32);
+//! let report = run_dae_dvfs(&model, 0.3, &DseConfig::paper())?;
+//! assert!(report.inference_secs <= report.plan.qos_secs);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod classes;
+pub mod dae;
+pub mod dse;
+pub mod error;
+pub mod mckp;
+pub mod modes;
+pub mod pareto;
+pub mod pipeline;
+pub mod report;
+pub mod seqdp;
+
+pub use classes::{QosClass, QosClassLadder};
+pub use dae::{dae_forward_depthwise, dae_forward_pointwise, dae_segments, Granularity};
+pub use dse::{evaluate_point, explore_layer, DseConfig, DsePoint};
+pub use error::DaeDvfsError;
+pub use mckp::{solve_dp, solve_exhaustive, solve_greedy, MckpError, MckpItem, MckpSolution};
+pub use modes::OperatingModes;
+pub use pareto::{dominates, pareto_front};
+pub use pipeline::{
+    deploy, lower_model, optimize, optimize_sequence, run_dae_dvfs, DeploymentPlan,
+    DeploymentReport, LayerDecision,
+};
+pub use seqdp::{solve_sequence, SequenceSolution};
+pub use report::{compare_with_baselines, EnergyComparison, FrequencyMap, FrequencyMapRow};

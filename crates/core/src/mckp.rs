@@ -1,0 +1,429 @@
+//! Multiple-Choice Knapsack optimization (paper Sec. III-C, step 3).
+//!
+//! Each layer contributes a *class* of items (its Pareto-optimal
+//! `(latency, energy)` points); exactly one item per class must be chosen
+//! so that total latency stays within the QoS budget and total energy is
+//! minimal. Following the paper, the minimization is solved with a
+//! pseudo-polynomial dynamic program over a discretized time axis (the
+//! standard min↔max transformation of Kellerer et al. applies; we keep the
+//! minimization form directly).
+//!
+//! A greedy heuristic and an exhaustive solver are provided for ablation
+//! and testing.
+
+use std::error::Error;
+use std::fmt;
+
+/// One selectable item: a latency "weight" and an energy "cost".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MckpItem {
+    /// Latency contribution, seconds.
+    pub time_secs: f64,
+    /// Energy contribution, joules.
+    pub energy: f64,
+}
+
+/// Errors from the solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MckpError {
+    /// Even the fastest choice per class exceeds the budget.
+    Infeasible {
+        /// Sum of per-class minimum times.
+        min_time_secs: f64,
+        /// The budget that was requested.
+        budget_secs: f64,
+    },
+    /// A class has no items.
+    EmptyClass {
+        /// Index of the offending class.
+        class: usize,
+    },
+}
+
+impl fmt::Display for MckpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MckpError::Infeasible {
+                min_time_secs,
+                budget_secs,
+            } => write!(
+                f,
+                "QoS budget {budget_secs:.6}s infeasible: fastest schedule needs {min_time_secs:.6}s"
+            ),
+            MckpError::EmptyClass { class } => {
+                write!(f, "class {class} has no items")
+            }
+        }
+    }
+}
+
+impl Error for MckpError {}
+
+/// A solved selection: one item index per class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MckpSolution {
+    /// Chosen item index per class.
+    pub choices: Vec<usize>,
+    /// Total time of the selection, seconds.
+    pub total_time_secs: f64,
+    /// Total energy of the selection, joules.
+    pub total_energy: f64,
+}
+
+fn validate(classes: &[Vec<MckpItem>], budget_secs: f64) -> Result<(), MckpError> {
+    for (i, class) in classes.iter().enumerate() {
+        if class.is_empty() {
+            return Err(MckpError::EmptyClass { class: i });
+        }
+    }
+    let min_time: f64 = classes
+        .iter()
+        .map(|c| {
+            c.iter()
+                .map(|i| i.time_secs)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    if min_time > budget_secs {
+        return Err(MckpError::Infeasible {
+            min_time_secs: min_time,
+            budget_secs,
+        });
+    }
+    Ok(())
+}
+
+fn tally(classes: &[Vec<MckpItem>], choices: &[usize]) -> (f64, f64) {
+    let mut t = 0.0;
+    let mut e = 0.0;
+    for (class, &c) in classes.iter().zip(choices) {
+        t += class[c].time_secs;
+        e += class[c].energy;
+    }
+    (t, e)
+}
+
+/// Solves the MCKP with dynamic programming over a discretized time axis.
+///
+/// `resolution` is the number of time buckets (default use: 2000). Item
+/// times are rounded *up* to buckets, so any returned solution is feasible
+/// in real time; optimality is within the discretization error.
+///
+/// # Errors
+///
+/// [`MckpError::EmptyClass`] if a class has no items;
+/// [`MckpError::Infeasible`] if even the fastest selection overruns.
+///
+/// # Panics
+///
+/// Panics if `budget_secs` is not positive/finite or `resolution` is zero.
+pub fn solve_dp(
+    classes: &[Vec<MckpItem>],
+    budget_secs: f64,
+    resolution: usize,
+) -> Result<MckpSolution, MckpError> {
+    assert!(
+        budget_secs.is_finite() && budget_secs > 0.0,
+        "budget must be a positive finite time"
+    );
+    assert!(resolution > 0, "resolution must be non-zero");
+    validate(classes, budget_secs)?;
+
+    let scale = budget_secs / resolution as f64;
+    let buckets = resolution + 1;
+    let weight = |t: f64| -> usize { (t / scale).ceil() as usize };
+
+    const INF: f64 = f64::INFINITY;
+    // dp[b] = min energy with total bucket-weight exactly ≤ b.
+    let mut dp = vec![INF; buckets];
+    dp[0] = 0.0;
+    // choice[k][b] = item chosen for class k at budget b.
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(classes.len());
+
+    for class in classes {
+        let mut next = vec![INF; buckets];
+        let mut pick = vec![u32::MAX; buckets];
+        for (i, item) in class.iter().enumerate() {
+            let w = weight(item.time_secs);
+            if w >= buckets {
+                continue;
+            }
+            for b in w..buckets {
+                let base = dp[b - w];
+                if base.is_finite() {
+                    let cand = base + item.energy;
+                    if cand < next[b] {
+                        next[b] = cand;
+                        pick[b] = i as u32;
+                    }
+                }
+            }
+        }
+        // Prefix-minimize so dp[b] means "≤ b": keep the cheapest energy at
+        // or below each budget, remembering where it sits via the pick
+        // table (we instead keep exact-weight semantics and scan at the
+        // end; prefix-minimizing here would corrupt backtracking).
+        dp = next;
+        choice.push(pick);
+    }
+
+    // Find the best reachable bucket.
+    let mut best_b = None;
+    let mut best_e = INF;
+    for (b, &e) in dp.iter().enumerate() {
+        if e < best_e {
+            best_e = e;
+            best_b = Some(b);
+        }
+    }
+    let mut b = best_b.ok_or(MckpError::Infeasible {
+        // All-finite was pre-validated; reaching here means rounding pushed
+        // everything out, which the ceil weighting makes near-impossible,
+        // but report honestly.
+        min_time_secs: budget_secs,
+        budget_secs,
+    })?;
+
+    // Backtrack.
+    let mut choices = vec![0usize; classes.len()];
+    for k in (0..classes.len()).rev() {
+        let i = choice[k][b];
+        assert!(i != u32::MAX, "backtracking hit an unreachable state");
+        choices[k] = i as usize;
+        b -= weight(classes[k][i as usize].time_secs);
+    }
+    let (total_time_secs, total_energy) = tally(classes, &choices);
+    Ok(MckpSolution {
+        choices,
+        total_time_secs,
+        total_energy,
+    })
+}
+
+/// Exhaustive solver (for tests and tiny instances).
+///
+/// # Errors
+///
+/// Same conditions as [`solve_dp`].
+pub fn solve_exhaustive(
+    classes: &[Vec<MckpItem>],
+    budget_secs: f64,
+) -> Result<MckpSolution, MckpError> {
+    validate(classes, budget_secs)?;
+    let mut best: Option<MckpSolution> = None;
+    let mut choices = vec![0usize; classes.len()];
+    loop {
+        let (t, e) = tally(classes, &choices);
+        if t <= budget_secs && best.as_ref().is_none_or(|b| e < b.total_energy) {
+            best = Some(MckpSolution {
+                choices: choices.clone(),
+                total_time_secs: t,
+                total_energy: e,
+            });
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == classes.len() {
+                return best.ok_or(MckpError::Infeasible {
+                    min_time_secs: f64::INFINITY,
+                    budget_secs,
+                });
+            }
+            choices[k] += 1;
+            if choices[k] < classes[k].len() {
+                break;
+            }
+            choices[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Greedy heuristic for the ablation study: start from the per-class
+/// energy minimum, then while the budget is violated repeatedly switch the
+/// class/item with the best energy-penalty-per-time-saved ratio.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_dp`].
+pub fn solve_greedy(
+    classes: &[Vec<MckpItem>],
+    budget_secs: f64,
+) -> Result<MckpSolution, MckpError> {
+    validate(classes, budget_secs)?;
+    let mut choices: Vec<usize> = classes
+        .iter()
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.energy.partial_cmp(&b.1.energy).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty class")
+        })
+        .collect();
+    loop {
+        let (t, _) = tally(classes, &choices);
+        if t <= budget_secs {
+            break;
+        }
+        // Best swap: maximize time saved per energy added.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (k, class) in classes.iter().enumerate() {
+            let cur = class[choices[k]];
+            for (i, item) in class.iter().enumerate() {
+                let saved = cur.time_secs - item.time_secs;
+                if saved <= 0.0 {
+                    continue;
+                }
+                let penalty = (item.energy - cur.energy).max(0.0);
+                let ratio = saved / (penalty + 1e-12);
+                if best.is_none_or(|(_, _, r)| ratio > r) {
+                    best = Some((k, i, ratio));
+                }
+            }
+        }
+        let (k, i, _) = best.expect("validated feasible, a faster item must exist");
+        choices[k] = i;
+    }
+    let (total_time_secs, total_energy) = tally(classes, &choices);
+    Ok(MckpSolution {
+        choices,
+        total_time_secs,
+        total_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(t: f64, e: f64) -> MckpItem {
+        MckpItem {
+            time_secs: t,
+            energy: e,
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_instances() {
+        let classes = vec![
+            vec![item(1.0, 10.0), item(2.0, 6.0), item(4.0, 3.0)],
+            vec![item(1.0, 8.0), item(3.0, 2.0)],
+            vec![item(0.5, 5.0), item(1.5, 4.0), item(2.5, 1.0)],
+        ];
+        for budget in [3.0, 4.5, 6.0, 9.0] {
+            let resolution = 4000;
+            let dp = solve_dp(&classes, budget, resolution).unwrap();
+            // Ceil-rounding guarantees real-time feasibility but can lose
+            // selections sitting exactly on the budget; the standard bound
+            // is: dp(budget) ≤ optimum(budget − n·scale).
+            let slack = classes.len() as f64 * budget / resolution as f64;
+            let ex_tight = solve_exhaustive(&classes, budget - slack).unwrap();
+            let ex_full = solve_exhaustive(&classes, budget).unwrap();
+            assert!(
+                dp.total_energy <= ex_tight.total_energy + 1e-9,
+                "budget {budget}: dp {} worse than shrunken-budget optimum {}",
+                dp.total_energy,
+                ex_tight.total_energy
+            );
+            assert!(
+                dp.total_energy >= ex_full.total_energy - 1e-9,
+                "dp beat the true optimum?!"
+            );
+            assert!(dp.total_time_secs <= budget + 1e-9);
+        }
+    }
+
+    #[test]
+    fn relaxed_budget_never_costs_more() {
+        let classes = vec![
+            vec![item(1.0, 10.0), item(2.0, 6.0), item(4.0, 3.0)],
+            vec![item(1.0, 8.0), item(3.0, 2.0)],
+        ];
+        let tight = solve_dp(&classes, 2.5, 2000).unwrap();
+        let relaxed = solve_dp(&classes, 7.0, 2000).unwrap();
+        assert!(relaxed.total_energy <= tight.total_energy);
+    }
+
+    #[test]
+    fn infeasible_budget_detected() {
+        let classes = vec![vec![item(2.0, 1.0)], vec![item(3.0, 1.0)]];
+        match solve_dp(&classes, 4.0, 1000) {
+            Err(MckpError::Infeasible { min_time_secs, .. }) => {
+                assert!((min_time_secs - 5.0).abs() < 1e-12);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_class_detected() {
+        let classes = vec![vec![item(1.0, 1.0)], vec![]];
+        assert_eq!(
+            solve_dp(&classes, 10.0, 100),
+            Err(MckpError::EmptyClass { class: 1 })
+        );
+    }
+
+    #[test]
+    fn solution_is_feasible_in_real_time() {
+        // Rounding up item weights guarantees real-time feasibility.
+        let classes: Vec<Vec<MckpItem>> = (0..10)
+            .map(|k| {
+                (1..=5)
+                    .map(|i| item(0.013 * i as f64 + 0.001 * k as f64, 10.0 / i as f64))
+                    .collect()
+            })
+            .collect();
+        let budget = 0.4;
+        let sol = solve_dp(&classes, budget, 500).unwrap();
+        assert!(sol.total_time_secs <= budget + 1e-12);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_close() {
+        let classes = vec![
+            vec![item(1.0, 10.0), item(2.0, 6.0), item(4.0, 3.0)],
+            vec![item(1.0, 8.0), item(3.0, 2.0)],
+            vec![item(0.5, 5.0), item(2.5, 1.0)],
+        ];
+        let budget = 6.0;
+        let greedy = solve_greedy(&classes, budget).unwrap();
+        let exact = solve_exhaustive(&classes, budget).unwrap();
+        assert!(greedy.total_time_secs <= budget);
+        assert!(greedy.total_energy >= exact.total_energy - 1e-12);
+    }
+
+    #[test]
+    fn single_item_classes_trivial() {
+        let classes = vec![vec![item(1.0, 2.0)], vec![item(2.0, 3.0)]];
+        let sol = solve_dp(&classes, 5.0, 100).unwrap();
+        assert_eq!(sol.choices, vec![0, 0]);
+        assert!((sol.total_energy - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choices_indices_valid() {
+        let classes = vec![
+            vec![item(1.0, 5.0), item(2.0, 1.0)],
+            vec![item(1.0, 5.0), item(2.0, 1.0)],
+            vec![item(1.0, 5.0), item(2.0, 1.0)],
+        ];
+        // Budget slightly above the all-slow sum so ceil-rounding cannot
+        // push the boundary selection out.
+        let sol = solve_dp(&classes, 6.1, 1000).unwrap();
+        for (k, &c) in sol.choices.iter().enumerate() {
+            assert!(c < classes[k].len());
+        }
+        // Budget 6.1 admits all-slow: total energy 3.
+        assert!((sol.total_energy - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn zero_budget_panics() {
+        let _ = solve_dp(&[vec![item(1.0, 1.0)]], 0.0, 10);
+    }
+}

@@ -1,0 +1,157 @@
+//! LFO / HFO operating modes (paper Sec. III-B).
+//!
+//! * **LFO** (Low Frequency Operation) "exclusively employs the HSE clock
+//!   source at a predefined frequency (50 MHz) and aims to reduce power";
+//!   it drives the memory-bound DAE segments.
+//! * **HFO** (High Frequency Operation) "configures the system's clock
+//!   using the PLL circuit" with `PLLN ∈ {75,100,150,168,216,336,432}` and
+//!   `PLLM ∈ {25,50}`; it drives the compute-bound segments.
+//!
+//! Keeping the HFO PLL locked while SYSCLK runs off the HSE is what makes
+//! LFO↔HFO transitions nearly free (a mux toggle instead of a 200 µs
+//! re-lock).
+
+use stm32_rcc::{ConfigSpace, Hertz, PllConfig, SysclkConfig, LFO_HSE};
+
+/// The operating-mode universe a deployment may draw from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingModes {
+    /// The fixed LFO configuration (HSE direct).
+    pub lfo: SysclkConfig,
+    /// Candidate HFO PLL configurations, ascending SYSCLK, one per distinct
+    /// frequency (the power-optimal, i.e. minimum-VCO, representative).
+    pub hfo: Vec<PllConfig>,
+}
+
+impl OperatingModes {
+    /// The paper's mode set: LFO at 50 MHz, HFO candidates from the
+    /// `PLLM ∈ {25,50}` × `PLLN ∈ {75..432}` grid on a 50 MHz HSE, reduced
+    /// to the power-optimal configuration per distinct frequency.
+    pub fn paper() -> Self {
+        let space = ConfigSpace::paper();
+        let hfo = space
+            .iso_frequency_groups()
+            .into_iter()
+            .map(|g| *g.coolest())
+            .collect();
+        OperatingModes {
+            lfo: SysclkConfig::hse_direct(LFO_HSE),
+            hfo,
+        }
+    }
+
+    /// Restricts the HFO ladder to the frequencies of the paper's Fig. 4
+    /// sweep: 75, 100, 150, 168 and 216 MHz.
+    pub fn fig4() -> Self {
+        let all = OperatingModes::paper();
+        let keep: [Hertz; 5] = [
+            Hertz::mhz(75),
+            Hertz::mhz(100),
+            Hertz::mhz(150),
+            Hertz::mhz(168),
+            Hertz::mhz(216),
+        ];
+        OperatingModes {
+            lfo: all.lfo,
+            hfo: all
+                .hfo
+                .into_iter()
+                .filter(|p| keep.contains(&p.sysclk()))
+                .collect(),
+        }
+    }
+
+    /// The HFO candidate producing exactly `sysclk`, if present.
+    pub fn hfo_at(&self, sysclk: Hertz) -> Option<&PllConfig> {
+        self.hfo.iter().find(|p| p.sysclk() == sysclk)
+    }
+
+    /// The fastest HFO candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the HFO set is empty.
+    pub fn fastest_hfo(&self) -> &PllConfig {
+        self.hfo
+            .iter()
+            .max_by_key(|p| p.sysclk())
+            .expect("HFO set must not be empty")
+    }
+
+    /// The LFO frequency.
+    pub fn lfo_sysclk(&self) -> Hertz {
+        self.lfo.sysclk()
+    }
+
+    /// Replaces the LFO with a direct-HSE configuration at `freq` (builder
+    /// style). The paper fixes LFO at 50 MHz; lower HSE frequencies trade
+    /// staging latency for even less power — explored by the LFO ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq` is not a valid HSE frequency (1–50 MHz).
+    pub fn with_lfo(mut self, freq: Hertz) -> Self {
+        let cfg = SysclkConfig::hse_direct(freq);
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid LFO frequency {freq}: {e}"));
+        self.lfo = cfg;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_modes_contain_expected_ladder() {
+        let m = OperatingModes::paper();
+        assert_eq!(m.lfo_sysclk(), Hertz::mhz(50));
+        for mhz in [75u64, 100, 150, 168, 216] {
+            assert!(
+                m.hfo_at(Hertz::mhz(mhz)).is_some(),
+                "missing HFO {mhz} MHz"
+            );
+        }
+        assert_eq!(m.fastest_hfo().sysclk(), Hertz::mhz(216));
+    }
+
+    #[test]
+    fn one_candidate_per_frequency() {
+        let m = OperatingModes::paper();
+        let mut freqs: Vec<Hertz> = m.hfo.iter().map(|p| p.sysclk()).collect();
+        let before = freqs.len();
+        freqs.dedup();
+        assert_eq!(before, freqs.len(), "duplicate frequencies in HFO set");
+    }
+
+    #[test]
+    fn candidates_are_min_vco_per_frequency() {
+        let m = OperatingModes::paper();
+        let space = ConfigSpace::paper();
+        for cand in &m.hfo {
+            for other in space.enumerate_pll() {
+                if other.sysclk() == cand.sysclk() {
+                    assert!(cand.vco_output() <= other.vco_output());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_is_a_subset() {
+        let fig4 = OperatingModes::fig4();
+        assert_eq!(fig4.hfo.len(), 5);
+        let paper = OperatingModes::paper();
+        for p in &fig4.hfo {
+            assert!(paper.hfo.contains(p));
+        }
+    }
+
+    #[test]
+    fn all_candidates_valid() {
+        for p in OperatingModes::paper().hfo {
+            assert!(p.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Pareto-front extraction over (latency, energy) points (step 2B).
+
+use crate::dse::DsePoint;
+
+/// Extracts the Pareto-optimal subset minimizing both latency and energy.
+///
+/// The result is sorted by ascending latency (therefore descending energy);
+/// dominated and duplicate points are removed.
+///
+/// # Examples
+///
+/// ```
+/// use dae_dvfs::{pareto_front, DsePoint, Granularity};
+/// use stm32_power::Joules;
+/// use stm32_rcc::{ClockSource, Hertz, PllConfig};
+///
+/// # fn main() -> Result<(), stm32_rcc::RccError> {
+/// let pll = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)?;
+/// let mk = |t: f64, e: f64| DsePoint {
+///     granularity: Granularity(0),
+///     hfo: pll,
+///     latency_secs: t,
+///     energy: Joules::new(e),
+///     switches: 0,
+///     first_stage_secs: 0.0,
+/// };
+/// let front = pareto_front(vec![mk(1.0, 5.0), mk(2.0, 3.0), mk(1.5, 6.0)]);
+/// assert_eq!(front.len(), 2); // (1.5, 6.0) is dominated by (1.0, 5.0)
+/// # Ok(())
+/// # }
+/// ```
+pub fn pareto_front(mut points: Vec<DsePoint>) -> Vec<DsePoint> {
+    points.sort_by(|a, b| {
+        a.latency_secs
+            .partial_cmp(&b.latency_secs)
+            .expect("latencies are finite")
+            .then(
+                a.energy
+                    .partial_cmp(&b.energy)
+                    .expect("energies are finite"),
+            )
+    });
+    let mut front: Vec<DsePoint> = Vec::new();
+    for p in points {
+        match front.last() {
+            Some(last) if p.energy >= last.energy => {
+                // Dominated: slower-or-equal (by sort order) and not
+                // strictly cheaper.
+            }
+            _ => front.push(p),
+        }
+    }
+    front
+}
+
+/// Whether `a` dominates `b` (no worse in both objectives, better in one).
+pub fn dominates(a: &DsePoint, b: &DsePoint) -> bool {
+    let no_worse = a.latency_secs <= b.latency_secs && a.energy <= b.energy;
+    let better = a.latency_secs < b.latency_secs || a.energy < b.energy;
+    no_worse && better
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dae::Granularity;
+    use stm32_power::Joules;
+    use stm32_rcc::{ClockSource, Hertz, PllConfig};
+
+    fn mk(t: f64, e: f64) -> DsePoint {
+        DsePoint {
+            granularity: Granularity(0),
+            hfo: PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).unwrap(),
+            latency_secs: t,
+            energy: Joules::new(e),
+            switches: 0,
+            first_stage_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_nondominated() {
+        let pts = vec![
+            mk(1.0, 9.0),
+            mk(2.0, 7.0),
+            mk(3.0, 8.0), // dominated by (2,7)
+            mk(4.0, 2.0),
+            mk(0.5, 12.0),
+            mk(0.5, 11.0), // duplicate latency, cheaper
+        ];
+        let front = pareto_front(pts);
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(a, b) || a == b || !std::ptr::eq(a, b));
+            }
+        }
+        // Expected survivors: (0.5,11), (1,9), (2,7), (4,2).
+        assert_eq!(front.len(), 4);
+        assert_eq!(front[0].latency_secs, 0.5);
+        assert_eq!(front[0].energy, Joules::new(11.0));
+    }
+
+    #[test]
+    fn front_sorted_by_latency_energy_decreasing() {
+        let pts = vec![mk(3.0, 1.0), mk(1.0, 3.0), mk(2.0, 2.0)];
+        let front = pareto_front(pts);
+        assert_eq!(front.len(), 3);
+        for w in front.windows(2) {
+            assert!(w[0].latency_secs < w[1].latency_secs);
+            assert!(w[0].energy > w[1].energy);
+        }
+    }
+
+    #[test]
+    fn single_point_survives() {
+        let front = pareto_front(vec![mk(1.0, 1.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn identical_points_deduplicated() {
+        let front = pareto_front(vec![mk(1.0, 1.0), mk(1.0, 1.0), mk(1.0, 1.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn dominates_relation() {
+        assert!(dominates(&mk(1.0, 1.0), &mk(2.0, 2.0)));
+        assert!(dominates(&mk(1.0, 2.0), &mk(1.0, 3.0)));
+        assert!(!dominates(&mk(1.0, 3.0), &mk(2.0, 2.0)));
+        assert!(!dominates(&mk(1.0, 1.0), &mk(1.0, 1.0)));
+    }
+}

@@ -1,0 +1,571 @@
+//! The end-to-end methodology (paper Fig. 3): DAE lowering → per-layer DSE
+//! → Pareto extraction → MCKP → deployable plan → iso-latency execution.
+
+use mcu_sim::{Machine, SegmentClass};
+use stm32_power::Joules;
+use stm32_rcc::SysclkConfig;
+use tinyengine::{KernelProfile, TinyEngine};
+use tinynn::{LayerKind, Model};
+
+use crate::dae::dae_segments;
+use crate::dse::{explore_layer, DseConfig, DsePoint};
+use crate::error::DaeDvfsError;
+use crate::mckp::{solve_dp, MckpItem};
+use crate::pareto::pareto_front;
+
+/// The per-layer decision of a deployment: which granularity and which HFO
+/// frequency the layer runs with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDecision {
+    /// Layer name.
+    pub name: String,
+    /// Reporting kind.
+    pub kind: LayerKind,
+    /// The chosen DSE point.
+    pub point: DsePoint,
+}
+
+/// A complete DAE+DVFS deployment plan for one model under one QoS budget.
+///
+/// `Display` renders the per-layer decision table (the firmware-facing
+/// artifact: which granularity and PLL setting each layer uses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPlan {
+    /// Model name.
+    pub model: String,
+    /// The QoS window (absolute seconds).
+    pub qos_secs: f64,
+    /// Per-layer decisions in execution order.
+    pub decisions: Vec<LayerDecision>,
+    /// Predicted inference latency (sum of chosen points).
+    pub predicted_latency_secs: f64,
+    /// Predicted inference energy (sum of chosen points).
+    pub predicted_energy: Joules,
+}
+
+impl std::fmt::Display for DeploymentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "deployment plan for {} (QoS {:.3} ms, predicted {:.3} ms / {:.3} mJ)",
+            self.model,
+            self.qos_secs * 1e3,
+            self.predicted_latency_secs * 1e3,
+            self.predicted_energy.as_mj()
+        )?;
+        writeln!(
+            f,
+            "{:>18} | {:>10} | {:>3} | {:>8} | {:>22}",
+            "layer", "kind", "g", "HFO", "PLL {HSE,M,N}/P"
+        )?;
+        for d in &self.decisions {
+            let (hse, m, n) = d.point.hfo.label_tuple();
+            writeln!(
+                f,
+                "{:>18} | {:>10} | {:>3} | {:>4} MHz | {:>18}",
+                d.name,
+                d.kind.to_string(),
+                d.point.granularity.0,
+                d.point.hfo.sysclk().as_u64() / 1_000_000,
+                format!("{{{hse},{m},{n}}}/{}", d.point.hfo.pllp()),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of executing a deployment plan over its iso-latency window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// The executed plan.
+    pub plan: DeploymentPlan,
+    /// Measured inference latency.
+    pub inference_secs: f64,
+    /// Measured inference energy.
+    pub inference_energy: Joules,
+    /// Energy spent idling (clock gated) until the QoS deadline.
+    pub idle_energy: Joules,
+    /// Total window energy.
+    pub total_energy: Joules,
+}
+
+/// The number of DP time buckets used by [`optimize`].
+pub const DP_RESOLUTION: usize = 2000;
+
+/// Lowers a model into layer profiles (shared with the baseline engine).
+///
+/// # Errors
+///
+/// Propagates shape errors from the model plan.
+pub fn lower_model(model: &Model) -> Result<Vec<KernelProfile>, DaeDvfsError> {
+    let plan = model.plan().map_err(tinyengine::EngineError::from)?;
+    Ok(model
+        .layers()
+        .zip(plan.iter())
+        .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info))
+        .collect())
+}
+
+/// Replays a decision sequence on a fresh machine, returning the measured
+/// `(latency, energy)` including all inter-layer switching costs.
+fn execute_decisions(
+    profiles: &[KernelProfile],
+    decisions: &[LayerDecision],
+    config: &DseConfig,
+) -> (f64, Joules) {
+    let first_hfo = SysclkConfig::Pll(decisions[0].point.hfo);
+    let mut machine = Machine::new(first_hfo)
+        .with_switch_model(config.switch_model)
+        .with_power(config.power.clone());
+    for (profile, decision) in profiles.iter().zip(decisions) {
+        let hfo_cfg = SysclkConfig::Pll(decision.point.hfo);
+        for seg in dae_segments(profile, decision.point.granularity, &config.cache) {
+            match seg.class {
+                SegmentClass::Memory => {
+                    machine.switch_clock(config.modes.lfo);
+                    // Layer boundaries with an HFO change re-program the
+                    // PLL under the staging segment (see
+                    // `mcu_sim::Machine::prepare_pll`).
+                    machine.prepare_pll(decision.point.hfo);
+                }
+                SegmentClass::Compute | SegmentClass::Other => {
+                    machine.switch_clock(hfo_cfg);
+                }
+            }
+            machine.run_segment(&seg);
+        }
+    }
+    (machine.elapsed_secs(), machine.energy())
+}
+
+/// Runs steps 1–3 of the methodology: DSE every layer, keep the Pareto
+/// fronts, and solve the MCKP for the given QoS window.
+///
+/// Two refinements over the plain MCKP formulation (Eq. 2–5 of the paper):
+///
+/// * the objective includes the clock-gated idle power of the
+///   post-inference tail: minimizing `Σ Eₖ + P_idle · (QoS − Σ tₖ)` is
+///   equivalent to using item values `Eₖ − P_idle · tₖ` (plus a constant),
+///   so slower-but-leaner points are only preferred when they genuinely
+///   beat "finish fast, then gate the clocks";
+/// * DSE items are relock-free, so each MCKP solution is *replayed* with
+///   full inter-layer switching costs; a deterministic grid of switching
+///   reserves is evaluated and the feasible schedule with the lowest
+///   window energy wins (the relock-free all-fastest schedule is always a
+///   candidate, so feasibility is guaranteed whenever it exists).
+///
+/// # Errors
+///
+/// [`DaeDvfsError::Qos`] if even the fastest schedule misses the window;
+/// propagates lowering errors.
+pub fn optimize(
+    model: &Model,
+    qos_secs: f64,
+    config: &DseConfig,
+) -> Result<DeploymentPlan, DaeDvfsError> {
+    let profiles = lower_model(model)?;
+    let idle_power = config.power.clock_gated_power.as_f64();
+
+    let mut fronts: Vec<Vec<DsePoint>> = Vec::with_capacity(profiles.len());
+    for p in &profiles {
+        let front = pareto_front(explore_layer(p, config));
+        debug_assert!(!front.is_empty());
+        fronts.push(front);
+    }
+
+    let classes: Vec<Vec<MckpItem>> = fronts
+        .iter()
+        .map(|front| {
+            front
+                .iter()
+                .map(|pt| MckpItem {
+                    time_secs: pt.latency_secs,
+                    energy: pt.energy.as_f64() - idle_power * pt.latency_secs,
+                })
+                .collect()
+        })
+        .collect();
+
+    let build_decisions = |choices: &[usize]| -> Vec<LayerDecision> {
+        profiles
+            .iter()
+            .zip(&fronts)
+            .zip(choices)
+            .map(|((profile, front), &choice)| LayerDecision {
+                name: profile.name.clone(),
+                kind: profile.kind,
+                point: front[choice].clone(),
+            })
+            .collect()
+    };
+
+    // Sequence-aware budget search. DSE items are relock-free, so the DP
+    // solution can overrun once inter-layer re-locks are replayed. Rather
+    // than accepting the first feasible reserve, evaluate a deterministic
+    // grid of reserves (anchored on the observed overhead of the
+    // unreserved solution) and keep the feasible schedule with the lowest
+    // *window* energy. The all-fastest selection — maximum HFO everywhere,
+    // hence relock-free — is always a candidate, so the search only fails
+    // when the instance is genuinely infeasible.
+    let min_time: f64 = classes
+        .iter()
+        .map(|c| {
+            c.iter()
+                .map(|i| i.time_secs)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    // Headroom so the DP's ceil-rounding (at most one bucket per class)
+    // cannot round the fastest selection out of the smallest budget.
+    let rounding_margin = 1.0 + (classes.len() + 1) as f64 / DP_RESOLUTION as f64;
+    let reserve_cap = (qos_secs - min_time * rounding_margin).max(0.0);
+
+    let window_energy =
+        |latency: f64, energy: Joules| energy.as_f64() + idle_power * (qos_secs - latency);
+
+    let mut best: Option<(f64, Vec<LayerDecision>, f64, Joules)> = None;
+    let mut consider = |decisions: Vec<LayerDecision>, latency: f64, energy: Joules| {
+        if latency <= qos_secs {
+            let score = window_energy(latency, energy);
+            if best.as_ref().is_none_or(|(s, ..)| score < *s) {
+                best = Some((score, decisions, latency, energy));
+            }
+        }
+    };
+
+    // Anchor: the unreserved solution and its observed switching overhead.
+    let base = solve_dp(&classes, qos_secs, DP_RESOLUTION)?;
+    let base_decisions = build_decisions(&base.choices);
+    let (base_latency, base_energy) = execute_decisions(&profiles, &base_decisions, config);
+    let overhead = (base_latency - base.total_time_secs).max(0.0);
+    consider(base_decisions, base_latency, base_energy);
+
+    let mut reserves: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 3.0]
+        .iter()
+        .map(|k| (k * overhead).min(reserve_cap))
+        .filter(|r| *r > 0.0)
+        .collect();
+    // Also cover the budget axis itself: overhead-anchored points can miss
+    // the regime where a much tighter budget yields a schedule with fewer
+    // distinct frequencies (and therefore fewer re-locks).
+    for frac in [0.1, 0.2, 0.3, 0.5, 0.7] {
+        reserves.push(frac * reserve_cap);
+    }
+    reserves.push(reserve_cap);
+    reserves.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    reserves.dedup();
+    for reserve in reserves {
+        let budget = qos_secs - reserve;
+        if budget <= 0.0 {
+            continue;
+        }
+        if let Ok(solution) = solve_dp(&classes, budget, DP_RESOLUTION) {
+            let decisions = build_decisions(&solution.choices);
+            let (latency, energy) = execute_decisions(&profiles, &decisions, config);
+            consider(decisions, latency, energy);
+        }
+    }
+
+    // Always-feasible candidate: per-layer fastest (relock-free).
+    let fastest: Vec<usize> = fronts
+        .iter()
+        .map(|front| {
+            front
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.latency_secs
+                        .partial_cmp(&b.1.latency_secs)
+                        .expect("latencies are finite")
+                })
+                .map(|(i, _)| i)
+                .expect("fronts are non-empty")
+        })
+        .collect();
+    let decisions = build_decisions(&fastest);
+    let (latency, energy) = execute_decisions(&profiles, &decisions, config);
+    consider(decisions, latency, energy);
+
+    match best {
+        Some((_, decisions, latency, energy)) => Ok(DeploymentPlan {
+            model: model.name.clone(),
+            qos_secs,
+            decisions,
+            predicted_latency_secs: latency,
+            predicted_energy: energy,
+        }),
+        None => Err(DaeDvfsError::Qos(crate::mckp::MckpError::Infeasible {
+            min_time_secs: latency,
+            budget_secs: qos_secs,
+        })),
+    }
+}
+
+/// Executes a deployment plan on a fresh machine and idles (clock gated)
+/// until the QoS deadline.
+///
+/// # Errors
+///
+/// Propagates lowering errors. The plan is assumed to come from
+/// [`optimize`] against the same model.
+///
+/// # Panics
+///
+/// Panics if the replayed schedule overruns the plan's QoS window, which
+/// cannot happen for plans produced by [`optimize`] on the same model and
+/// configuration.
+pub fn deploy(
+    model: &Model,
+    plan: &DeploymentPlan,
+    config: &DseConfig,
+) -> Result<DeploymentReport, DaeDvfsError> {
+    let profiles = lower_model(model)?;
+    assert_eq!(
+        profiles.len(),
+        plan.decisions.len(),
+        "plan does not match the model layer count"
+    );
+    let (inference_secs, inference_energy) =
+        execute_decisions(&profiles, &plan.decisions, config);
+    let remaining = plan.qos_secs - inference_secs;
+    assert!(
+        remaining >= -1e-9,
+        "deployment overran its QoS window: {inference_secs}s > {}s",
+        plan.qos_secs
+    );
+    let idle_energy = config.power.clock_gated_power * remaining.max(0.0);
+    Ok(DeploymentReport {
+        plan: plan.clone(),
+        inference_secs,
+        inference_energy,
+        idle_energy,
+        total_energy: inference_energy + idle_energy,
+    })
+}
+
+/// Sequence-aware variant of [`optimize`]: selects one Pareto point per
+/// layer with the layered-graph DP of [`crate::seqdp`], which prices
+/// inter-layer PLL re-locks exactly instead of searching reserve budgets.
+///
+/// The returned plan is validated by machine replay; the replay result is
+/// what the plan reports (and it can only be *faster* than the DP's
+/// conservative prediction, never slower).
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+pub fn optimize_sequence(
+    model: &Model,
+    qos_secs: f64,
+    config: &DseConfig,
+) -> Result<DeploymentPlan, DaeDvfsError> {
+    let profiles = lower_model(model)?;
+    let idle_power = config.power.clock_gated_power.as_f64();
+    let fronts: Vec<Vec<DsePoint>> = profiles
+        .iter()
+        .map(|p| pareto_front(explore_layer(p, config)))
+        .collect();
+    let solution = crate::seqdp::solve_sequence(
+        &fronts,
+        qos_secs,
+        DP_RESOLUTION,
+        config,
+        idle_power,
+    )?;
+    let decisions: Vec<LayerDecision> = profiles
+        .iter()
+        .zip(&fronts)
+        .zip(&solution.choices)
+        .map(|((profile, front), &choice)| LayerDecision {
+            name: profile.name.clone(),
+            kind: profile.kind,
+            point: front[choice].clone(),
+        })
+        .collect();
+    let (latency, energy) = execute_decisions(&profiles, &decisions, config);
+    if latency > qos_secs {
+        return Err(DaeDvfsError::Qos(crate::mckp::MckpError::Infeasible {
+            min_time_secs: latency,
+            budget_secs: qos_secs,
+        }));
+    }
+    Ok(DeploymentPlan {
+        model: model.name.clone(),
+        qos_secs,
+        decisions,
+        predicted_latency_secs: latency,
+        predicted_energy: energy,
+    })
+}
+
+/// Convenience wrapper: baseline latency → QoS window → optimize → deploy.
+///
+/// `slack` is the paper's QoS constraint level (0.10 / 0.30 / 0.50).
+///
+/// # Errors
+///
+/// Propagates [`optimize`] and [`deploy`] errors.
+pub fn run_dae_dvfs(
+    model: &Model,
+    slack: f64,
+    config: &DseConfig,
+) -> Result<DeploymentReport, DaeDvfsError> {
+    let baseline = TinyEngine::new()
+        .run(model)
+        .map_err(DaeDvfsError::Engine)?;
+    let qos = tinyengine::qos_window(baseline.total_time_secs, slack);
+    let plan = optimize(model, qos, config)?;
+    deploy(model, &plan, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::models::vww;
+
+    fn cfg() -> DseConfig {
+        DseConfig::paper()
+    }
+
+    #[test]
+    fn optimize_respects_qos() {
+        let model = vww();
+        let baseline = TinyEngine::new().run(&model).unwrap().total_time_secs;
+        for slack in [0.1, 0.3, 0.5] {
+            let qos = tinyengine::qos_window(baseline, slack);
+            let plan = optimize(&model, qos, &cfg()).unwrap();
+            assert!(
+                plan.predicted_latency_secs <= qos + 1e-9,
+                "slack {slack}: predicted {} > qos {qos}",
+                plan.predicted_latency_secs
+            );
+            assert_eq!(plan.decisions.len(), model.layer_count());
+        }
+    }
+
+    #[test]
+    fn deploy_reproduces_prediction_exactly() {
+        // optimize() predicts by replaying the schedule with full
+        // switching costs; deploy() is the same replay, so the numbers
+        // must agree to floating-point accuracy.
+        let model = vww();
+        let baseline = TinyEngine::new().run(&model).unwrap().total_time_secs;
+        let qos = tinyengine::qos_window(baseline, 0.3);
+        let plan = optimize(&model, qos, &cfg()).unwrap();
+        let report = deploy(&model, &plan, &cfg()).unwrap();
+        assert!(
+            (report.inference_secs - plan.predicted_latency_secs).abs() < 1e-12,
+            "deployment {} vs prediction {}",
+            report.inference_secs,
+            plan.predicted_latency_secs
+        );
+        assert!(
+            (report.inference_energy.as_f64() - plan.predicted_energy.as_f64()).abs() < 1e-12
+        );
+        assert!(report.inference_secs <= qos + 1e-12);
+    }
+
+    #[test]
+    fn relaxed_qos_saves_energy() {
+        let model = vww();
+        let tight = run_dae_dvfs(&model, 0.1, &cfg()).unwrap();
+        let relaxed = run_dae_dvfs(&model, 0.5, &cfg()).unwrap();
+        assert!(
+            relaxed.inference_energy < tight.inference_energy,
+            "relaxed {} vs tight {}",
+            relaxed.inference_energy,
+            tight.inference_energy
+        );
+    }
+
+    #[test]
+    fn sequence_dp_meets_qos_and_matches_or_beats_grid_search() {
+        let model = vww();
+        let baseline = TinyEngine::new().run(&model).unwrap().total_time_secs;
+        let config = cfg();
+        let gated = config.power.clock_gated_power.as_f64();
+        for slack in [0.1, 0.3, 0.5] {
+            let qos = tinyengine::qos_window(baseline, slack);
+            let seq = optimize_sequence(&model, qos, &config).unwrap();
+            assert!(seq.predicted_latency_secs <= qos + 1e-12);
+            let grid = optimize(&model, qos, &config).unwrap();
+            let window = |p: &DeploymentPlan| {
+                p.predicted_energy.as_f64() + gated * (qos - p.predicted_latency_secs)
+            };
+            // The sequence DP prices re-locks exactly; allow only the DP
+            // discretization wobble in the other direction.
+            assert!(
+                window(&seq) <= window(&grid) * 1.01,
+                "slack {slack}: seq {} vs grid {}",
+                window(&seq),
+                window(&grid)
+            );
+        }
+    }
+
+    #[test]
+    fn plan_display_lists_every_layer() {
+        let model = vww();
+        let baseline = TinyEngine::new().run(&model).unwrap().total_time_secs;
+        let plan = optimize(&model, tinyengine::qos_window(baseline, 0.3), &cfg()).unwrap();
+        let rendered = plan.to_string();
+        for d in &plan.decisions {
+            assert!(rendered.contains(&d.name), "missing {}", d.name);
+        }
+        assert!(rendered.contains("QoS"));
+    }
+
+    #[test]
+    fn sequence_dp_infeasible_window_rejected() {
+        let model = vww();
+        assert!(matches!(
+            optimize_sequence(&model, 1e-6, &cfg()),
+            Err(DaeDvfsError::Qos(_))
+        ));
+    }
+
+    #[test]
+    fn infeasible_qos_rejected() {
+        let model = vww();
+        let err = optimize(&model, 1e-6, &cfg()).unwrap_err();
+        assert!(matches!(err, DaeDvfsError::Qos(_)));
+    }
+
+    #[test]
+    fn beats_tinyengine_baselines() {
+        // The headline comparison at moderate slack.
+        let model = vww();
+        let engine = TinyEngine::new();
+        let baseline = engine.run(&model).unwrap().total_time_secs;
+        let qos = tinyengine::qos_window(baseline, 0.3);
+
+        let ours = run_dae_dvfs(&model, 0.3, &cfg()).unwrap();
+        let te = tinyengine::run_iso_latency(
+            &engine,
+            &model,
+            qos,
+            tinyengine::IdlePolicy::Busy216,
+        )
+        .unwrap();
+        let te_gated = tinyengine::run_iso_latency(
+            &engine,
+            &model,
+            qos,
+            tinyengine::IdlePolicy::ClockGated,
+        )
+        .unwrap();
+
+        assert!(
+            ours.total_energy < te.total_energy,
+            "must beat plain TinyEngine: {} vs {}",
+            ours.total_energy,
+            te.total_energy
+        );
+        assert!(
+            ours.total_energy < te_gated.total_energy,
+            "must beat TinyEngine+gating: {} vs {}",
+            ours.total_energy,
+            te_gated.total_energy
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Evaluation reporting: the aggregations behind Fig. 5, Fig. 6 and the
+//! headline claims.
+
+use stm32_power::Joules;
+use stm32_rcc::Hertz;
+use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
+use tinynn::{LayerKind, Model};
+
+use crate::dse::DseConfig;
+use crate::error::DaeDvfsError;
+use crate::pipeline::{optimize, deploy, DeploymentPlan};
+
+/// Iso-latency energy of our approach vs the two baselines (one Fig. 5 bar
+/// group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyComparison {
+    /// Model name.
+    pub model: String,
+    /// QoS slack level (0.10 / 0.30 / 0.50).
+    pub slack: f64,
+    /// The QoS window in seconds.
+    pub qos_secs: f64,
+    /// DAE+DVFS total window energy.
+    pub ours: Joules,
+    /// Plain TinyEngine (busy idle at 216 MHz).
+    pub tinyengine: Joules,
+    /// TinyEngine with clock gating.
+    pub tinyengine_gated: Joules,
+}
+
+impl EnergyComparison {
+    /// Energy gain over plain TinyEngine, percent.
+    pub fn gain_vs_tinyengine_pct(&self) -> f64 {
+        (self.tinyengine.as_f64() - self.ours.as_f64()) / self.tinyengine.as_f64() * 100.0
+    }
+
+    /// Energy gain over TinyEngine + clock gating, percent.
+    pub fn gain_vs_gated_pct(&self) -> f64 {
+        (self.tinyengine_gated.as_f64() - self.ours.as_f64()) / self.tinyengine_gated.as_f64()
+            * 100.0
+    }
+}
+
+/// Runs the full iso-latency comparison for one model and slack level.
+///
+/// # Errors
+///
+/// Propagates pipeline and baseline errors.
+pub fn compare_with_baselines(
+    model: &Model,
+    slack: f64,
+    config: &DseConfig,
+) -> Result<EnergyComparison, DaeDvfsError> {
+    let engine = TinyEngine::new();
+    let baseline_latency = engine.run(model)?.total_time_secs;
+    let qos = qos_window(baseline_latency, slack);
+
+    let plan = optimize(model, qos, config)?;
+    let ours = deploy(model, &plan, config)?;
+    // The paper's plain-TinyEngine baseline keeps "the board remaining in
+    // an idle state with a constant frequency of 216 MHz": WFI sleep with
+    // all clocks (including the 432 MHz-VCO PLL) still running.
+    let te = run_iso_latency(&engine, model, qos, IdlePolicy::Wfi216)?;
+    let gated = run_iso_latency(&engine, model, qos, IdlePolicy::ClockGated)?;
+
+    Ok(EnergyComparison {
+        model: model.name.clone(),
+        slack,
+        qos_secs: qos,
+        ours: ours.total_energy,
+        tinyengine: te.total_energy,
+        tinyengine_gated: gated.total_energy,
+    })
+}
+
+/// One row of the Fig. 6 frequency map: a layer's chosen HFO frequency and
+/// granularity under a given QoS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyMapRow {
+    /// Layer name.
+    pub name: String,
+    /// Layer kind (pointwise / depthwise / rest).
+    pub kind: LayerKind,
+    /// Chosen HFO frequency.
+    pub hfo: Hertz,
+    /// Chosen granularity.
+    pub granularity: u8,
+}
+
+/// The Fig. 6 view of one deployment plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyMap {
+    /// Model name.
+    pub model: String,
+    /// QoS slack the plan was optimized for.
+    pub slack: f64,
+    /// Per-layer rows in execution order.
+    pub rows: Vec<FrequencyMapRow>,
+}
+
+impl FrequencyMap {
+    /// Builds the map from a deployment plan.
+    pub fn from_plan(plan: &DeploymentPlan, slack: f64) -> Self {
+        FrequencyMap {
+            model: plan.model.clone(),
+            slack,
+            rows: plan
+                .decisions
+                .iter()
+                .map(|d| FrequencyMapRow {
+                    name: d.name.clone(),
+                    kind: d.kind,
+                    hfo: d.point.hfo.sysclk(),
+                    granularity: d.point.granularity.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Fraction of layers of `kind` running at exactly `freq` (in `[0,1]`;
+    /// 0 when the kind is absent).
+    pub fn share_at(&self, kind: LayerKind, freq: Hertz) -> f64 {
+        let of_kind: Vec<_> = self.rows.iter().filter(|r| r.kind == kind).collect();
+        if of_kind.is_empty() {
+            return 0.0;
+        }
+        of_kind.iter().filter(|r| r.hfo == freq).count() as f64 / of_kind.len() as f64
+    }
+
+    /// Fraction of layers of `kind` at or below `freq`.
+    pub fn share_at_or_below(&self, kind: LayerKind, freq: Hertz) -> f64 {
+        let of_kind: Vec<_> = self.rows.iter().filter(|r| r.kind == kind).collect();
+        if of_kind.is_empty() {
+            return 0.0;
+        }
+        of_kind.iter().filter(|r| r.hfo <= freq).count() as f64 / of_kind.len() as f64
+    }
+
+    /// Fraction of all layers running at `freq`.
+    pub fn overall_share_at(&self, freq: Hertz) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().filter(|r| r.hfo == freq).count() as f64 / self.rows.len() as f64
+    }
+
+    /// Fraction of DAE-capable layers using granularity `g`.
+    pub fn granularity_share(&self, g: u8) -> f64 {
+        let capable: Vec<_> = self
+            .rows
+            .iter()
+            .filter(|r| matches!(r.kind, LayerKind::Depthwise | LayerKind::Pointwise))
+            .collect();
+        if capable.is_empty() {
+            return 0.0;
+        }
+        capable.iter().filter(|r| r.granularity == g).count() as f64 / capable.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::optimize;
+    use tinynn::models::vww;
+
+    #[test]
+    fn comparison_has_positive_gains_at_moderate_slack() {
+        let model = vww();
+        let cmp = compare_with_baselines(&model, 0.3, &DseConfig::paper()).unwrap();
+        assert!(cmp.gain_vs_tinyengine_pct() > 0.0);
+        assert!(cmp.gain_vs_gated_pct() > 0.0);
+        assert!(cmp.gain_vs_tinyengine_pct() > cmp.gain_vs_gated_pct());
+    }
+
+    #[test]
+    fn frequency_map_shares_sum_to_one() {
+        let model = vww();
+        let engine = TinyEngine::new();
+        let t = engine.run(&model).unwrap().total_time_secs;
+        let plan = optimize(&model, qos_window(t, 0.3), &DseConfig::paper()).unwrap();
+        let map = FrequencyMap::from_plan(&plan, 0.3);
+        assert_eq!(map.rows.len(), model.layer_count());
+
+        let freqs: std::collections::BTreeSet<Hertz> =
+            map.rows.iter().map(|r| r.hfo).collect();
+        let total: f64 = freqs.iter().map(|&f| map.overall_share_at(f)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_qos_uses_higher_frequencies() {
+        let model = vww();
+        let engine = TinyEngine::new();
+        let t = engine.run(&model).unwrap().total_time_secs;
+        let cfg = DseConfig::paper();
+        let tight = FrequencyMap::from_plan(
+            &optimize(&model, qos_window(t, 0.1), &cfg).unwrap(),
+            0.1,
+        );
+        let relaxed = FrequencyMap::from_plan(
+            &optimize(&model, qos_window(t, 0.5), &cfg).unwrap(),
+            0.5,
+        );
+        let max = Hertz::mhz(216);
+        assert!(
+            tight.overall_share_at(max) >= relaxed.overall_share_at(max),
+            "tight {} vs relaxed {}",
+            tight.overall_share_at(max),
+            relaxed.overall_share_at(max)
+        );
+    }
+
+    #[test]
+    fn share_of_missing_kind_is_zero() {
+        let map = FrequencyMap {
+            model: "empty".into(),
+            slack: 0.1,
+            rows: Vec::new(),
+        };
+        assert_eq!(map.share_at(LayerKind::Depthwise, Hertz::mhz(216)), 0.0);
+        assert_eq!(map.overall_share_at(Hertz::mhz(216)), 0.0);
+        assert_eq!(map.granularity_share(4), 0.0);
+    }
+}

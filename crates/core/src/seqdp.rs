@@ -1,0 +1,348 @@
+//! Sequence-aware QoS optimization: a layered-graph dynamic program that
+//! prices inter-layer PLL re-locks *exactly*.
+//!
+//! The paper's MCKP formulation (Eq. 2–5) treats layers as independent
+//! classes, which silently assumes clock transitions between layers are
+//! free. They are not: entering a layer whose HFO differs from the previous
+//! layer's requires a PLL re-lock (≈200 µs), partially hidden under the
+//! layer's first LFO staging segment when it has one.
+//!
+//! This module extends the DP state with the *incoming HFO frequency*:
+//! `dp[frequency][time-bucket]` per layer, with transitions that add the
+//! exact entry overhead when the frequency changes. Complexity grows only
+//! by the factor `|F|` (≤ 8 frequencies), staying pseudo-polynomial, and
+//! the result needs no replay-and-reserve heuristic: the predicted schedule
+//! is feasible by construction (up to the usual ceil-rounding, which is
+//! conservative).
+
+use stm32_power::{PowerState, Watts};
+use stm32_rcc::Hertz;
+
+use crate::dse::{DseConfig, DsePoint};
+use crate::mckp::MckpError;
+
+/// Entry overhead of a point when the previous layer left a *different*
+/// PLL configuration locked: the re-lock hides under the first staging
+/// segment; whatever does not fit stalls.
+fn entry_overhead_secs(point: &DsePoint, config: &DseConfig) -> f64 {
+    (config.switch_model.pll_relock_secs() - point.first_stage_secs).max(0.0)
+}
+
+/// Power drawn while stalling for a re-lock: SYSCLK runs from the HSE with
+/// the target PLL locking in the background.
+fn entry_power(point: &DsePoint, config: &DseConfig) -> Watts {
+    config.power.power(&PowerState::RunWarmPll {
+        sysclk: config.modes.lfo,
+        warm_pll: point.hfo,
+    })
+}
+
+/// A solved sequence-aware selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceSolution {
+    /// Chosen item index per layer (into the per-layer fronts).
+    pub choices: Vec<usize>,
+    /// Predicted total latency including all entry overheads, seconds.
+    pub total_time_secs: f64,
+    /// Predicted total energy including entry-stall energy, joules.
+    pub total_energy: f64,
+    /// Number of layer boundaries that change the HFO (and hence re-lock).
+    pub frequency_changes: usize,
+}
+
+/// Solves the sequence-aware selection problem over per-layer Pareto
+/// fronts.
+///
+/// `fronts[k]` are the candidate points of layer `k`; `idle_power_w` is the
+/// gated idle power used for the window-energy objective (items are valued
+/// `E − P_idle·t`, as in [`crate::pipeline::optimize`]).
+///
+/// # Errors
+///
+/// [`MckpError::EmptyClass`] if a layer has no candidates;
+/// [`MckpError::Infeasible`] if even the best schedule misses the budget.
+///
+/// # Panics
+///
+/// Panics if `budget_secs` is not positive/finite or `resolution` is zero.
+pub fn solve_sequence(
+    fronts: &[Vec<DsePoint>],
+    budget_secs: f64,
+    resolution: usize,
+    config: &DseConfig,
+    idle_power_w: f64,
+) -> Result<SequenceSolution, MckpError> {
+    assert!(
+        budget_secs.is_finite() && budget_secs > 0.0,
+        "budget must be a positive finite time"
+    );
+    assert!(resolution > 0, "resolution must be non-zero");
+    for (k, f) in fronts.iter().enumerate() {
+        if f.is_empty() {
+            return Err(MckpError::EmptyClass { class: k });
+        }
+    }
+
+    // Frequency universe.
+    let mut freqs: Vec<Hertz> = fronts
+        .iter()
+        .flat_map(|f| f.iter().map(|p| p.hfo.sysclk()))
+        .collect();
+    freqs.sort();
+    freqs.dedup();
+    let freq_id = |f: Hertz| freqs.iter().position(|&x| x == f).expect("in universe");
+    let nf = freqs.len();
+
+    let scale = budget_secs / resolution as f64;
+    let buckets = resolution + 1;
+    let weight = |t: f64| -> usize { (t / scale).ceil() as usize };
+
+    const INF: f64 = f64::INFINITY;
+    // dp[f][b]: min adjusted energy after the current layer, having left
+    // frequency `f` locked, with total bucket-weight exactly `b`.
+    let mut dp = vec![vec![INF; buckets]; nf];
+    // Backtracking: per layer, per (f, b): (item, prev_f, prev_b).
+    let mut back: Vec<Vec<(u32, u16, u32)>> = Vec::with_capacity(fronts.len());
+
+    // Layer 0: the machine boots with the first layer's PLL locked (as the
+    // paper's setup does), so no entry cost.
+    let mut first = vec![(u32::MAX, 0u16, 0u32); nf * buckets];
+    for (i, p) in fronts[0].iter().enumerate() {
+        let w = weight(p.latency_secs);
+        if w >= buckets {
+            continue;
+        }
+        let e = p.energy.as_f64() - idle_power_w * p.latency_secs;
+        let f = freq_id(p.hfo.sysclk());
+        if e < dp[f][w] {
+            dp[f][w] = e;
+            first[f * buckets + w] = (i as u32, 0, 0);
+        }
+    }
+    back.push(first);
+
+    for front in &fronts[1..] {
+        let mut next = vec![vec![INF; buckets]; nf];
+        let mut trace = vec![(u32::MAX, 0u16, 0u32); nf * buckets];
+        for (i, p) in front.iter().enumerate() {
+            let f_new = freq_id(p.hfo.sysclk());
+            let base_e = p.energy.as_f64() - idle_power_w * p.latency_secs;
+            let overhead = entry_overhead_secs(p, config);
+            let overhead_e = entry_power(p, config).as_f64() * overhead
+                - idle_power_w * overhead;
+            for (f_prev, dp_row) in dp.iter().enumerate() {
+                let (dt, de) = if f_prev == f_new {
+                    (p.latency_secs, base_e)
+                } else {
+                    (p.latency_secs + overhead, base_e + overhead_e)
+                };
+                let w = weight(dt);
+                if w >= buckets {
+                    continue;
+                }
+                for b in 0..buckets - w {
+                    let cur = dp_row[b];
+                    if cur.is_finite() {
+                        let cand = cur + de;
+                        let nb = b + w;
+                        if cand < next[f_new][nb] {
+                            next[f_new][nb] = cand;
+                            trace[f_new * buckets + nb] =
+                                (i as u32, f_prev as u16, b as u32);
+                        }
+                    }
+                }
+            }
+        }
+        dp = next;
+        back.push(trace);
+    }
+
+    // Best terminal state.
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (f, row) in dp.iter().enumerate() {
+        for (b, &e) in row.iter().enumerate() {
+            if e.is_finite() && best.is_none_or(|(.., be)| e < be) {
+                best = Some((f, b, e));
+            }
+        }
+    }
+    let (mut f, mut b, _) = best.ok_or(MckpError::Infeasible {
+        min_time_secs: budget_secs,
+        budget_secs,
+    })?;
+
+    // Backtrack.
+    let mut choices = vec![0usize; fronts.len()];
+    for k in (0..fronts.len()).rev() {
+        let (item, pf, pb) = back[k][f * buckets + b];
+        assert!(item != u32::MAX, "backtracking hit an unreachable state");
+        choices[k] = item as usize;
+        f = pf as usize;
+        b = pb as usize;
+    }
+
+    // Exact tally of the chosen sequence.
+    let mut total_time = 0.0;
+    let mut total_energy = 0.0;
+    let mut changes = 0usize;
+    let mut prev: Option<Hertz> = None;
+    for (front, &c) in fronts.iter().zip(&choices) {
+        let p = &front[c];
+        total_time += p.latency_secs;
+        total_energy += p.energy.as_f64();
+        if let Some(prev_f) = prev {
+            if prev_f != p.hfo.sysclk() {
+                let o = entry_overhead_secs(p, config);
+                total_time += o;
+                total_energy += entry_power(p, config).as_f64() * o;
+                changes += 1;
+            }
+        }
+        prev = Some(p.hfo.sysclk());
+    }
+    Ok(SequenceSolution {
+        choices,
+        total_time_secs: total_time,
+        total_energy,
+        frequency_changes: changes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dae::Granularity;
+    use stm32_power::Joules;
+    use stm32_rcc::{ClockSource, PllConfig};
+
+    fn cfg() -> DseConfig {
+        DseConfig::paper()
+    }
+
+    fn point(t_ms: f64, e_mj: f64, mhz: u64, stage_ms: f64) -> DsePoint {
+        let modes = crate::modes::OperatingModes::paper();
+        DsePoint {
+            granularity: Granularity(if stage_ms > 0.0 { 8 } else { 0 }),
+            hfo: *modes.hfo_at(Hertz::mhz(mhz)).expect("in ladder"),
+            latency_secs: t_ms * 1e-3,
+            energy: Joules::new(e_mj * 1e-3),
+            switches: 0,
+            first_stage_secs: stage_ms * 1e-3,
+        }
+    }
+
+    #[test]
+    fn single_frequency_matches_plain_sum() {
+        let fronts = vec![
+            vec![point(1.0, 0.3, 216, 0.0)],
+            vec![point(2.0, 0.5, 216, 0.0)],
+        ];
+        let sol = solve_sequence(&fronts, 10e-3, 1000, &cfg(), 0.0).expect("solves");
+        assert_eq!(sol.frequency_changes, 0);
+        assert!((sol.total_time_secs - 3e-3).abs() < 1e-12);
+        assert!((sol.total_energy - 0.8e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_change_pays_entry_overhead() {
+        // Two layers, each with a single option at different frequencies
+        // and no staging: a full re-lock separates them.
+        let fronts = vec![
+            vec![point(1.0, 0.3, 216, 0.0)],
+            vec![point(2.0, 0.2, 150, 0.0)],
+        ];
+        let sol = solve_sequence(&fronts, 10e-3, 1000, &cfg(), 0.0).expect("solves");
+        assert_eq!(sol.frequency_changes, 1);
+        assert!(
+            (sol.total_time_secs - (3e-3 + 200e-6)).abs() < 1e-9,
+            "got {}",
+            sol.total_time_secs
+        );
+    }
+
+    #[test]
+    fn staging_hides_the_relock() {
+        // The second layer's first staging segment is 300 µs > 200 µs
+        // re-lock: the change is free in time.
+        let fronts = vec![
+            vec![point(1.0, 0.3, 216, 0.0)],
+            vec![point(2.0, 0.2, 150, 0.3)],
+        ];
+        let sol = solve_sequence(&fronts, 10e-3, 1000, &cfg(), 0.0).expect("solves");
+        assert_eq!(sol.frequency_changes, 1);
+        assert!((sol.total_time_secs - 3e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_avoids_relocks_when_budget_is_tight() {
+        // Layer 2 has a cheap-but-different-frequency option and a slightly
+        // costlier same-frequency option. With relock time pushing past the
+        // budget, the DP must pick the same-frequency option.
+        let fronts = vec![
+            vec![point(1.0, 0.30, 216, 0.0)],
+            vec![point(1.0, 0.20, 150, 0.0), point(1.05, 0.28, 216, 0.0)],
+        ];
+        let tight = solve_sequence(&fronts, 2.1e-3, 2000, &cfg(), 0.0).expect("solves");
+        assert_eq!(tight.frequency_changes, 0, "tight budget must avoid the re-lock");
+        // With a generous budget the cheaper 150 MHz option wins.
+        let loose = solve_sequence(&fronts, 5e-3, 2000, &cfg(), 0.0).expect("solves");
+        assert_eq!(loose.frequency_changes, 1);
+        assert!(loose.total_energy < tight.total_energy);
+    }
+
+    #[test]
+    fn infeasible_budget_detected() {
+        let fronts = vec![vec![point(5.0, 0.1, 216, 0.0)]];
+        assert!(matches!(
+            solve_sequence(&fronts, 1e-3, 100, &cfg(), 0.0),
+            Err(MckpError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_front_detected() {
+        let fronts = vec![vec![point(1.0, 0.1, 216, 0.0)], vec![]];
+        assert_eq!(
+            solve_sequence(&fronts, 1.0, 100, &cfg(), 0.0),
+            Err(MckpError::EmptyClass { class: 1 })
+        );
+    }
+
+    #[test]
+    fn respects_budget_with_many_layers() {
+        let modes = crate::modes::OperatingModes::paper();
+        let _ = modes;
+        let fronts: Vec<Vec<DsePoint>> = (0..20)
+            .map(|k| {
+                vec![
+                    point(1.0, 0.40, 216, 0.0),
+                    point(1.5 + 0.01 * k as f64, 0.25, 150, 0.1),
+                    point(2.2, 0.18, 108, 0.1),
+                ]
+            })
+            .collect();
+        for budget_ms in [21.0, 30.0, 45.0] {
+            let sol = solve_sequence(&fronts, budget_ms * 1e-3, 2000, &cfg(), 0.012)
+                .expect("solves");
+            assert!(
+                sol.total_time_secs <= budget_ms * 1e-3 + 1e-9,
+                "budget {budget_ms} ms violated: {}",
+                sol.total_time_secs
+            );
+        }
+    }
+
+    #[test]
+    fn pll_config_equality_vs_frequency() {
+        // Two points at the same *frequency* never pay entry costs even if
+        // granularities differ.
+        let a = point(1.0, 0.3, 168, 0.0);
+        let mut b = point(1.0, 0.3, 168, 0.2);
+        b.granularity = Granularity(4);
+        let fronts = vec![vec![a], vec![b]];
+        let sol = solve_sequence(&fronts, 10e-3, 1000, &cfg(), 0.0).expect("solves");
+        assert_eq!(sol.frequency_changes, 0);
+        let _ = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 168, 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Memory-system timing: SRAM and flash access costs vs frequency.
+//!
+//! The decisive physics for DAE-enabled DVFS is that *memory time does not
+//! scale with the core clock* the way compute time does:
+//!
+//! * an embedded-**flash** access takes `1 + WS(f)` core cycles, and the
+//!   wait-state ladder grows with frequency, so its wall time is nearly
+//!   constant (≈ 37–40 ns) across the whole DVFS range;
+//! * an **AXI SRAM** line fill pays a fixed bus/arbitration latency plus a
+//!   couple of core-clock cycles, so it scales only weakly;
+//! * a **cache hit** or TCM access is a pure core-cycle cost and scales
+//!   fully.
+//!
+//! Consequently, running a memory-bound segment at the LFO frequency wastes
+//! little time but saves a lot of power — the heart of the paper.
+
+use stm32_rcc::{flash_wait_states, Hertz};
+
+/// Timing parameters of the memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryTiming {
+    /// Fixed (frequency-independent) latency of an SRAM line fill, seconds.
+    pub sram_fill_fixed: f64,
+    /// Core cycles spent per SRAM line fill on top of the fixed latency.
+    pub sram_fill_cycles: u64,
+    /// Flash accesses (128-bit reads) needed per 32-byte line fill.
+    pub flash_reads_per_line: u64,
+    /// Core cycles per cache hit / TCM access.
+    pub hit_cycles: u64,
+    /// Fixed latency of a single uncached SRAM access, seconds.
+    pub sram_single_fixed: f64,
+}
+
+impl MemoryTiming {
+    /// Calibrated STM32F767 memory system.
+    pub const fn stm32f767() -> Self {
+        MemoryTiming {
+            sram_fill_fixed: 30e-9,
+            sram_fill_cycles: 2,
+            flash_reads_per_line: 2,
+            hit_cycles: 1,
+            sram_single_fixed: 12e-9,
+        }
+    }
+
+    /// Wall time of one cache-line fill from AXI SRAM at `sysclk`.
+    pub fn sram_fill_time(&self, sysclk: Hertz) -> f64 {
+        self.sram_fill_fixed + sysclk.cycles_to_secs(self.sram_fill_cycles)
+    }
+
+    /// Wall time of one cache-line fill from embedded flash at `sysclk`.
+    ///
+    /// Uses the wait-state ladder: `flash_reads_per_line × (1 + WS(f)) / f`.
+    pub fn flash_fill_time(&self, sysclk: Hertz) -> f64 {
+        let per_access = flash_wait_states(sysclk).access_cycles();
+        sysclk.cycles_to_secs(self.flash_reads_per_line * per_access)
+    }
+
+    /// Wall time of one cache hit at `sysclk`.
+    pub fn hit_time(&self, sysclk: Hertz) -> f64 {
+        sysclk.cycles_to_secs(self.hit_cycles)
+    }
+
+    /// Wall time of one uncached single SRAM access at `sysclk`.
+    pub fn sram_single_time(&self, sysclk: Hertz) -> f64 {
+        self.sram_single_fixed + sysclk.cycles_to_secs(1)
+    }
+}
+
+impl Default for MemoryTiming {
+    fn default() -> Self {
+        MemoryTiming::stm32f767()
+    }
+}
+
+/// Aggregate memory traffic of an execution segment.
+///
+/// Engines derive these counts from the access pattern of a kernel (using
+/// [`crate::cache`] for the hit/miss split); the [`crate::machine::Machine`]
+/// then prices them at the active frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryTraffic {
+    /// L1 cache hits (and TCM accesses).
+    pub cache_hits: u64,
+    /// Line fills served from AXI SRAM.
+    pub sram_line_fills: u64,
+    /// Line fills served from embedded flash.
+    pub flash_line_fills: u64,
+    /// Uncached single-word SRAM accesses (e.g. DMA-visible buffers).
+    pub sram_uncached: u64,
+}
+
+impl MemoryTraffic {
+    /// No traffic.
+    pub const ZERO: MemoryTraffic = MemoryTraffic {
+        cache_hits: 0,
+        sram_line_fills: 0,
+        flash_line_fills: 0,
+        sram_uncached: 0,
+    };
+
+    /// Total wall time of this traffic at `sysclk`.
+    pub fn time(&self, timing: &MemoryTiming, sysclk: Hertz) -> f64 {
+        self.cache_hits as f64 * timing.hit_time(sysclk)
+            + self.sram_line_fills as f64 * timing.sram_fill_time(sysclk)
+            + self.flash_line_fills as f64 * timing.flash_fill_time(sysclk)
+            + self.sram_uncached as f64 * timing.sram_single_time(sysclk)
+    }
+
+    /// Component-wise sum.
+    pub fn merged(&self, other: &MemoryTraffic) -> MemoryTraffic {
+        MemoryTraffic {
+            cache_hits: self.cache_hits + other.cache_hits,
+            sram_line_fills: self.sram_line_fills + other.sram_line_fills,
+            flash_line_fills: self.flash_line_fills + other.flash_line_fills,
+            sram_uncached: self.sram_uncached + other.sram_uncached,
+        }
+    }
+
+    /// Total number of priced accesses.
+    pub fn accesses(&self) -> u64 {
+        self.cache_hits + self.sram_line_fills + self.flash_line_fills + self.sram_uncached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_time_nearly_frequency_independent() {
+        let t = MemoryTiming::stm32f767();
+        let slow = t.flash_fill_time(Hertz::mhz(50));
+        let fast = t.flash_fill_time(Hertz::mhz(216));
+        // 2*(1+1)/50MHz = 80ns vs 2*(1+7)/216MHz ≈ 74ns.
+        assert!((slow / fast) < 1.2, "flash should barely speed up: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn hit_time_scales_linearly() {
+        let t = MemoryTiming::stm32f767();
+        let slow = t.hit_time(Hertz::mhz(50));
+        let fast = t.hit_time(Hertz::mhz(200));
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_fill_scales_weakly() {
+        let t = MemoryTiming::stm32f767();
+        let slow = t.sram_fill_time(Hertz::mhz(50));
+        let fast = t.sram_fill_time(Hertz::mhz(216));
+        let ratio = slow / fast;
+        // 4.32x frequency gap but < 2x time gap: latency-dominated.
+        assert!(ratio > 1.0 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn traffic_time_additive() {
+        let t = MemoryTiming::stm32f767();
+        let f = Hertz::mhz(100);
+        let a = MemoryTraffic {
+            cache_hits: 100,
+            sram_line_fills: 10,
+            ..MemoryTraffic::ZERO
+        };
+        let b = MemoryTraffic {
+            flash_line_fills: 5,
+            sram_uncached: 7,
+            ..MemoryTraffic::ZERO
+        };
+        let sum = a.merged(&b);
+        assert!((sum.time(&t, f) - (a.time(&t, f) + b.time(&t, f))).abs() < 1e-15);
+        assert_eq!(sum.accesses(), a.accesses() + b.accesses());
+    }
+
+    #[test]
+    fn zero_traffic_zero_time() {
+        let t = MemoryTiming::stm32f767();
+        assert_eq!(MemoryTraffic::ZERO.time(&t, Hertz::mhz(216)), 0.0);
+    }
+
+    #[test]
+    fn memory_bound_segment_favors_low_frequency() {
+        // The paper's core claim at the timing level: a fill-dominated
+        // segment loses little time at LFO.
+        let t = MemoryTiming::stm32f767();
+        let seg = MemoryTraffic {
+            sram_line_fills: 800,
+            flash_line_fills: 200,
+            cache_hits: 100,
+            sram_uncached: 0,
+        };
+        let slow = seg.time(&t, Hertz::mhz(50));
+        let fast = seg.time(&t, Hertz::mhz(216));
+        assert!(
+            slow / fast < 2.0,
+            "memory-bound slowdown should be far below the 4.32x clock ratio"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Execution segments: the unit of work the machine prices.
+//!
+//! Engines (the TinyEngine baseline and the DAE transform) lower each layer
+//! into a sequence of segments. A segment bundles the operation counts the
+//! core must retire and the memory traffic it generates; the
+//! [`crate::machine::Machine`] prices it at the active clock and integrates
+//! energy. The DAE transform is, at this level, precisely a re-partitioning
+//! of one layer into alternating *memory-bound* and *compute-bound*
+//! segments.
+
+use crate::cpu::OpCounts;
+use crate::memory::MemoryTraffic;
+
+/// Coarse classification of a segment, used for reporting and for the
+/// LFO/HFO assignment in the DAE scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentClass {
+    /// Dominated by arithmetic: runs at HFO in the DAE scheme.
+    Compute,
+    /// Dominated by buffer staging: runs at LFO in the DAE scheme.
+    Memory,
+    /// Anything else (layer prologue, activation, reshuffling).
+    Other,
+}
+
+/// One contiguous region of execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Human-readable label (layer name, phase), used in energy breakdowns.
+    pub label: String,
+    /// Classification for LFO/HFO assignment.
+    pub class: SegmentClass,
+    /// Operations the core retires in this segment.
+    pub ops: OpCounts,
+    /// Memory traffic the segment generates.
+    pub traffic: MemoryTraffic,
+}
+
+impl Segment {
+    /// Creates a compute-class segment.
+    pub fn compute(label: impl Into<String>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
+        Segment {
+            label: label.into(),
+            class: SegmentClass::Compute,
+            ops,
+            traffic,
+        }
+    }
+
+    /// Creates a memory-class segment.
+    pub fn memory(label: impl Into<String>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
+        Segment {
+            label: label.into(),
+            class: SegmentClass::Memory,
+            ops,
+            traffic,
+        }
+    }
+
+    /// Creates an unclassified segment.
+    pub fn other(label: impl Into<String>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
+        Segment {
+            label: label.into(),
+            class: SegmentClass::Other,
+            ops,
+            traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_class() {
+        let s = Segment::compute("c", OpCounts::ZERO, MemoryTraffic::ZERO);
+        assert_eq!(s.class, SegmentClass::Compute);
+        let s = Segment::memory("m", OpCounts::ZERO, MemoryTraffic::ZERO);
+        assert_eq!(s.class, SegmentClass::Memory);
+        let s = Segment::other("o", OpCounts::ZERO, MemoryTraffic::ZERO);
+        assert_eq!(s.class, SegmentClass::Other);
+        assert_eq!(s.label, "o");
+    }
+}

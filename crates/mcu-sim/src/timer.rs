@@ -1,0 +1,99 @@
+//! On-board timer peripheral model (TIM2-style 32-bit free-running counter).
+//!
+//! The paper's "custom run-time monitoring mechanism ... relies on the
+//! on-board timers of the target MCU, which are triggered in-between the
+//! layers' code segments". The profiler in `tinyengine` uses this model so
+//! that measured latencies carry realistic quantization (integer ticks of
+//! the timer clock) and 32-bit wrap-around semantics.
+
+use stm32_rcc::Hertz;
+
+/// A free-running 32-bit up-counter clocked at a fixed frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareTimer {
+    clock: Hertz,
+}
+
+impl HardwareTimer {
+    /// Creates a timer counting at `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock` is zero.
+    pub fn new(clock: Hertz) -> Self {
+        assert!(!clock.is_zero(), "timer clock must be non-zero");
+        HardwareTimer { clock }
+    }
+
+    /// The counting clock.
+    pub fn clock(&self) -> Hertz {
+        self.clock
+    }
+
+    /// Counter value at absolute time `t_secs` (wrapping at 2³²).
+    ///
+    /// ```
+    /// use mcu_sim::timer::HardwareTimer;
+    /// use stm32_rcc::Hertz;
+    ///
+    /// let tim = HardwareTimer::new(Hertz::mhz(100));
+    /// assert_eq!(tim.capture(1e-6), 100);
+    /// ```
+    pub fn capture(&self, t_secs: f64) -> u32 {
+        let ticks = (t_secs * self.clock.as_f64()).floor() as u64;
+        (ticks & 0xFFFF_FFFF) as u32
+    }
+
+    /// Elapsed seconds between two captures, assuming at most one wrap.
+    pub fn delta_secs(&self, start: u32, end: u32) -> f64 {
+        let ticks = end.wrapping_sub(start);
+        u64::from(ticks) as f64 / self.clock.as_f64()
+    }
+
+    /// The quantization step of this timer in seconds.
+    pub fn resolution_secs(&self) -> f64 {
+        self.clock.period_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_quantizes_down() {
+        let t = HardwareTimer::new(Hertz::mhz(1));
+        assert_eq!(t.capture(2.5e-6), 2);
+        assert_eq!(t.capture(2.999e-6), 2);
+        assert_eq!(t.capture(3.0e-6), 3);
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        let t = HardwareTimer::new(Hertz::mhz(100));
+        let a = t.capture(1.0);
+        let b = t.capture(1.125);
+        assert!((t.delta_secs(a, b) - 0.125).abs() < t.resolution_secs());
+    }
+
+    #[test]
+    fn wrap_around_handled() {
+        let t = HardwareTimer::new(Hertz::mhz(100));
+        let start = u32::MAX - 10;
+        let end = 20u32;
+        // 31 ticks across the wrap.
+        assert!((t.delta_secs(start, end) - 31e-8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution() {
+        let t = HardwareTimer::new(Hertz::mhz(216));
+        assert!((t.resolution_secs() - 1.0 / 216e6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_clock_rejected() {
+        let _ = HardwareTimer::new(Hertz::new(0));
+    }
+}

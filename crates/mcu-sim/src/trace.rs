@@ -1,0 +1,183 @@
+//! Execution timeline recording and CSV export.
+//!
+//! A [`Timeline`] captures what the machine did and when — segment runs,
+//! clock switches, idle phases — with the active frequency and power of
+//! each interval. Useful for debugging DVFS schedules and for visualising
+//! the LFO/HFO alternation the DAE transform produces.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The kind of interval recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A segment execution.
+    Segment,
+    /// A clock switch (mux toggle or PLL re-lock).
+    ClockSwitch,
+    /// An idle phase.
+    Idle,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::Segment => write!(f, "segment"),
+            TraceKind::ClockSwitch => write!(f, "switch"),
+            TraceKind::Idle => write!(f, "idle"),
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Interval start, seconds since machine construction/reset.
+    pub start_secs: f64,
+    /// Interval length, seconds.
+    pub duration_secs: f64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Label (segment label, idle tag, or switch description).
+    pub label: String,
+    /// Active SYSCLK in MHz during the interval.
+    pub sysclk_mhz: f64,
+    /// Average power in mW during the interval.
+    pub power_mw: f64,
+}
+
+/// An append-only execution timeline.
+///
+/// # Examples
+///
+/// ```
+/// use mcu_sim::trace::{Timeline, TraceKind};
+///
+/// let mut tl = Timeline::new();
+/// tl.push(0.0, 1e-3, TraceKind::Segment, "conv", 216.0, 280.0);
+/// tl.push(1e-3, 1e-6, TraceKind::ClockSwitch, "to LFO", 216.0, 280.0);
+/// assert_eq!(tl.len(), 2);
+/// assert!(tl.to_csv().starts_with("start_s,duration_s,kind,label"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends an interval.
+    pub fn push(
+        &mut self,
+        start_secs: f64,
+        duration_secs: f64,
+        kind: TraceKind,
+        label: impl Into<String>,
+        sysclk_mhz: f64,
+        power_mw: f64,
+    ) {
+        self.events.push(TraceEvent {
+            start_secs,
+            duration_secs,
+            kind,
+            label: label.into(),
+            sysclk_mhz,
+            power_mw,
+        });
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded intervals in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total time covered by intervals of `kind`.
+    pub fn time_in(&self, kind: TraceKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration_secs)
+            .sum()
+    }
+
+    /// Total time spent at a given frequency (MHz, exact match).
+    pub fn time_at_mhz(&self, mhz: f64) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.sysclk_mhz == mhz)
+            .map(|e| e.duration_secs)
+            .sum()
+    }
+
+    /// Renders the timeline as CSV (header + one row per interval).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("start_s,duration_s,kind,label,sysclk_mhz,power_mw\n");
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{:.9},{:.9},{},{},{:.3},{:.3}",
+                e.start_secs,
+                e.duration_secs,
+                e.kind,
+                e.label.replace(',', ";"),
+                e.sysclk_mhz,
+                e.power_mw
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.push(0.0, 2e-3, TraceKind::Segment, "dw/mem", 50.0, 140.0);
+        tl.push(2e-3, 1e-6, TraceKind::ClockSwitch, "LFO->HFO", 50.0, 140.0);
+        tl.push(2.001e-3, 3e-3, TraceKind::Segment, "dw/comp", 216.0, 290.0);
+        tl.push(5.001e-3, 1e-3, TraceKind::Idle, "qos-idle", 216.0, 12.0);
+        tl
+    }
+
+    #[test]
+    fn aggregations() {
+        let tl = sample();
+        assert_eq!(tl.len(), 4);
+        assert!((tl.time_in(TraceKind::Segment) - 5e-3).abs() < 1e-12);
+        assert!((tl.time_in(TraceKind::ClockSwitch) - 1e-6).abs() < 1e-15);
+        assert!((tl.time_at_mhz(50.0) - (2e-3 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_escapes_and_is_line_per_event() {
+        let mut tl = sample();
+        tl.push(6e-3, 1e-6, TraceKind::Idle, "a,b", 50.0, 1.0);
+        let csv = tl.to_csv();
+        assert_eq!(csv.lines().count(), 6); // header + 5 events
+        assert!(csv.contains("a;b"), "commas in labels must be escaped");
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::new();
+        assert!(tl.is_empty());
+        assert_eq!(tl.to_csv().lines().count(), 1);
+        assert_eq!(tl.time_in(TraceKind::Segment), 0.0);
+    }
+}

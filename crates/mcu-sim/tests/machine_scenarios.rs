@@ -1,0 +1,137 @@
+//! Scenario tests for the Machine: DVFS schedules, conservation laws,
+//! tracing.
+
+use mcu_sim::{IdleMode, Machine, MemoryTraffic, OpCounts, Segment, TraceKind};
+use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+
+fn hfo(n: u32) -> SysclkConfig {
+    SysclkConfig::Pll(
+        PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).expect("valid"),
+    )
+}
+
+fn lfo() -> SysclkConfig {
+    SysclkConfig::hse_direct(Hertz::mhz(50))
+}
+
+fn work(macs: u64, fills: u64) -> Segment {
+    Segment::compute(
+        "work",
+        OpCounts {
+            mac: macs,
+            ..OpCounts::ZERO
+        },
+        MemoryTraffic {
+            sram_line_fills: fills,
+            ..MemoryTraffic::ZERO
+        },
+    )
+}
+
+#[test]
+fn splitting_a_segment_conserves_time_and_energy() {
+    // Running 10x smaller segments equals one big segment at a fixed clock
+    // (no switches in between).
+    let mut whole = Machine::new(hfo(216));
+    whole.run_segment(&work(1_000_000, 1000));
+
+    let mut split = Machine::new(hfo(216));
+    for _ in 0..10 {
+        split.run_segment(&work(100_000, 100));
+    }
+    assert!((whole.elapsed_secs() - split.elapsed_secs()).abs() < 1e-12);
+    assert!((whole.energy().as_f64() - split.energy().as_f64()).abs() < 1e-15);
+}
+
+#[test]
+fn dae_style_alternation_tracks_every_phase() {
+    let mut m = Machine::new(hfo(216)).with_tracing();
+    for _ in 0..4 {
+        m.switch_clock(lfo());
+        m.run_segment(&Segment::memory(
+            "stage",
+            OpCounts::ZERO,
+            MemoryTraffic {
+                sram_line_fills: 256,
+                ..MemoryTraffic::ZERO
+            },
+        ));
+        m.switch_clock(hfo(216));
+        m.run_segment(&work(50_000, 0));
+    }
+    assert_eq!(m.switch_count(), 8);
+    assert_eq!(m.relock_count(), 0, "warm PLL: no re-locks in steady state");
+    let tl = m.timeline().expect("tracing on");
+    assert_eq!(tl.len(), 16); // 8 switches + 8 segments
+    let lfo_time = tl.time_at_mhz(50.0);
+    let hfo_time = tl.time_at_mhz(216.0);
+    assert!(lfo_time > 0.0 && hfo_time > 0.0);
+    assert!(
+        (lfo_time + hfo_time - m.elapsed_secs()).abs() < 1e-12,
+        "timeline must cover all machine time"
+    );
+}
+
+#[test]
+fn background_relock_saves_exactly_the_overlap() {
+    // Cold switch: full 200 µs stall.
+    let mut cold = Machine::new(hfo(216));
+    let cold_stall = cold.switch_clock(hfo(150));
+
+    // Prepared during 120 µs of LFO work: only the residue stalls.
+    let mut warm = Machine::new(hfo(216));
+    warm.switch_clock(lfo());
+    warm.prepare_pll(PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 150, 2).unwrap());
+    warm.idle(120e-6, IdleMode::BusyRun, "staging");
+    let warm_stall = warm.switch_clock(hfo(150));
+
+    assert!((cold_stall - 200e-6).abs() < 1e-12);
+    // 200 - 120 = 80 µs residue + 1 µs mux.
+    assert!((warm_stall - 81e-6).abs() < 1e-9, "got {warm_stall}");
+}
+
+#[test]
+fn fully_matured_background_relock_costs_only_the_mux() {
+    let mut m = Machine::new(hfo(216));
+    m.switch_clock(lfo());
+    m.prepare_pll(PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 100, 2).unwrap());
+    m.idle(300e-6, IdleMode::BusyRun, "staging");
+    let stall = m.switch_clock(hfo(100));
+    assert!((stall - 1e-6).abs() < 1e-12, "got {stall}");
+}
+
+#[test]
+fn prepare_pll_rejected_while_running_from_pll() {
+    let mut m = Machine::new(hfo(216));
+    let accepted =
+        m.prepare_pll(PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 100, 2).unwrap());
+    assert!(!accepted, "cannot re-program the PLL driving SYSCLK");
+}
+
+#[test]
+fn energy_breakdown_tags_segments_and_switches() {
+    let mut m = Machine::new(hfo(216));
+    m.run_segment(&work(100_000, 0));
+    m.switch_clock(lfo());
+    m.idle(1e-3, IdleMode::ClockGated, "deadline-wait");
+    let b = m.meter().breakdown();
+    assert!(b.energy("work").as_f64() > 0.0);
+    assert!(b.energy("clock-switch").as_f64() > 0.0);
+    assert!(b.energy("deadline-wait").as_f64() > 0.0);
+    let sum: f64 = b.iter().map(|(_, e)| e.as_f64()).sum();
+    assert!((sum - m.energy().as_f64()).abs() < 1e-15);
+}
+
+#[test]
+fn trace_kinds_partition_machine_time() {
+    let mut m = Machine::new(hfo(216)).with_tracing();
+    m.run_segment(&work(10_000, 50));
+    m.switch_clock(hfo(100)); // relock
+    m.idle(2e-3, IdleMode::Wfi, "nap");
+    let tl = m.timeline().expect("tracing on");
+    let total = tl.time_in(TraceKind::Segment)
+        + tl.time_in(TraceKind::ClockSwitch)
+        + tl.time_in(TraceKind::Idle);
+    assert!((total - m.elapsed_secs()).abs() < 1e-12);
+    assert!((tl.time_in(TraceKind::ClockSwitch) - 200e-6).abs() < 1e-12);
+}

@@ -1,0 +1,159 @@
+//! Battery lifetime estimation for duty-cycled inference workloads.
+//!
+//! The paper motivates DVFS with "battery-operated edge devices … the
+//! execution of resource-intensive and computationally hungry DNNs can
+//! rapidly deplete the battery, particularly concerning devices with
+//! extended operational requirements." This module turns per-window energy
+//! numbers into the quantity a deployment engineer actually cares about:
+//! days of operation on a given cell.
+
+use crate::units::Joules;
+
+/// A battery as seen by the energy budget: usable capacity and conversion
+/// efficiency of the regulator between cell and board rail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Usable capacity in joules.
+    pub capacity: Joules,
+    /// Fraction of cell energy that reaches the board (regulator
+    /// efficiency, self-discharge folded in).
+    pub efficiency: f64,
+}
+
+impl Battery {
+    /// A battery from its milliamp-hour rating and nominal voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rating, voltage, or efficiency are not positive, or
+    /// if efficiency exceeds 1.
+    pub fn from_mah(mah: f64, volts: f64, efficiency: f64) -> Self {
+        assert!(mah > 0.0 && volts > 0.0, "capacity and voltage must be positive");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        Battery {
+            capacity: Joules::new(mah * 3.6 * volts),
+            efficiency,
+        }
+    }
+
+    /// A CR123A-class lithium primary cell (1500 mAh @ 3 V, 85% efficient
+    /// conversion) — a common far-edge choice.
+    pub fn cr123a() -> Self {
+        Battery::from_mah(1500.0, 3.0, 0.85)
+    }
+
+    /// Two AA alkaline cells (2500 mAh @ 3 V, 80%).
+    pub fn double_aa() -> Self {
+        Battery::from_mah(2500.0, 3.0, 0.80)
+    }
+
+    /// Energy deliverable to the board.
+    pub fn usable(&self) -> Joules {
+        Joules::new(self.capacity.as_f64() * self.efficiency)
+    }
+
+    /// Number of inference windows this battery sustains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_per_window` is zero.
+    pub fn windows(&self, energy_per_window: Joules) -> f64 {
+        assert!(
+            energy_per_window.as_f64() > 0.0,
+            "window energy must be positive"
+        );
+        self.usable().as_f64() / energy_per_window.as_f64()
+    }
+
+    /// Lifetime in days at a given inference cadence.
+    ///
+    /// `window_secs` is the iso-latency window length (inference + idle
+    /// tail); `windows_per_day` how many of them run per day; the rest of
+    /// the day is spent at `standby` power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cadence does not fit in a day or inputs are
+    /// non-positive.
+    pub fn lifetime_days(
+        &self,
+        energy_per_window: Joules,
+        window_secs: f64,
+        windows_per_day: f64,
+        standby: crate::units::Watts,
+    ) -> f64 {
+        assert!(windows_per_day > 0.0, "cadence must be positive");
+        let active_secs = window_secs * windows_per_day;
+        assert!(
+            active_secs <= 86_400.0,
+            "cadence exceeds one day of wall time"
+        );
+        let daily = energy_per_window.as_f64() * windows_per_day
+            + standby.as_f64() * (86_400.0 - active_secs);
+        self.usable().as_f64() / daily
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Watts;
+
+    #[test]
+    fn mah_conversion() {
+        // 1000 mAh @ 3 V = 3.6 * 3 kJ.
+        let b = Battery::from_mah(1000.0, 3.0, 1.0);
+        assert!((b.capacity.as_f64() - 10_800.0).abs() < 1e-9);
+        assert_eq!(b.usable(), b.capacity);
+    }
+
+    #[test]
+    fn efficiency_scales_usable_energy() {
+        let b = Battery::from_mah(1000.0, 3.0, 0.5);
+        assert!((b.usable().as_f64() - 5_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_count() {
+        let b = Battery::from_mah(1000.0, 3.0, 1.0);
+        // 10.8 kJ / 5 mJ = 2.16e6 windows.
+        let n = b.windows(Joules::millijoules(5.0));
+        assert!((n - 2.16e6).abs() / 2.16e6 < 1e-12);
+    }
+
+    #[test]
+    fn lower_window_energy_extends_lifetime() {
+        let b = Battery::cr123a();
+        let standby = Watts::milliwatts(0.05);
+        let a = b.lifetime_days(Joules::millijoules(6.0), 0.03, 10_000.0, standby);
+        let c = b.lifetime_days(Joules::millijoules(4.5), 0.03, 10_000.0, standby);
+        assert!(c > a, "25% less energy must live longer: {a} vs {c}");
+        assert!(a > 10.0 && c < 10_000.0, "plausible range: {a}..{c}");
+    }
+
+    #[test]
+    fn standby_dominates_at_low_cadence() {
+        let b = Battery::cr123a();
+        let standby = Watts::milliwatts(1.0);
+        let rare = b.lifetime_days(Joules::millijoules(5.0), 0.03, 10.0, standby);
+        // At 10 inferences/day, daily energy ≈ standby only: 86.4 J/day.
+        let expected = b.usable().as_f64() / (86_400.0 * 1e-3 + 0.05);
+        assert!((rare - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence exceeds")]
+    fn impossible_cadence_rejected() {
+        let b = Battery::cr123a();
+        let _ = b.lifetime_days(Joules::millijoules(5.0), 1.0, 100_000.0, Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_rejected() {
+        let _ = Battery::from_mah(1000.0, 3.0, 1.5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Energy accounting across execution phases.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::units::{Joules, Watts};
+
+/// Per-tag energy breakdown produced by an [`EnergyMeter`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    entries: BTreeMap<String, Joules>,
+}
+
+impl EnergyBreakdown {
+    /// Energy recorded under `tag`, zero if the tag never appeared.
+    pub fn energy(&self, tag: &str) -> Joules {
+        self.entries.get(tag).copied().unwrap_or(Joules::ZERO)
+    }
+
+    /// Iterates over `(tag, energy)` pairs in tag order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Joules)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct tags.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no energy has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (tag, e) in &self.entries {
+            writeln!(f, "{tag:>24}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates energy over time, tagged by execution phase.
+///
+/// The meter is the single integration point between the power model (which
+/// gives instantaneous watts) and the timing simulator (which gives phase
+/// durations): `E += P · Δt`.
+///
+/// # Examples
+///
+/// ```
+/// use stm32_power::{EnergyMeter, Watts};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.record("compute", Watts::milliwatts(100.0), 0.5);
+/// meter.record("memory", Watts::milliwatts(40.0), 0.5);
+/// meter.record("compute", Watts::milliwatts(100.0), 0.5);
+///
+/// assert!((meter.total_energy().as_mj() - 120.0).abs() < 1e-9);
+/// assert!((meter.total_time() - 1.5).abs() < 1e-12);
+/// assert!((meter.breakdown().energy("compute").as_mj() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyMeter {
+    total: Joules,
+    time: f64,
+    breakdown: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Records `duration_secs` spent at `power` under `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_secs` is negative or non-finite.
+    pub fn record(&mut self, tag: impl Into<String>, power: Watts, duration_secs: f64) {
+        assert!(
+            duration_secs.is_finite() && duration_secs >= 0.0,
+            "duration must be a non-negative finite time, got {duration_secs}"
+        );
+        let e = power * duration_secs;
+        self.total += e;
+        self.time += duration_secs;
+        *self
+            .breakdown
+            .entries
+            .entry(tag.into())
+            .or_insert(Joules::ZERO) += e;
+    }
+
+    /// Merges another meter into this one (tags are combined).
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.total += other.total;
+        self.time += other.time;
+        for (tag, e) in other.breakdown.iter() {
+            *self
+                .breakdown
+                .entries
+                .entry(tag.to_owned())
+                .or_insert(Joules::ZERO) += e;
+        }
+    }
+
+    /// Total accumulated energy.
+    pub fn total_energy(&self) -> Joules {
+        self.total
+    }
+
+    /// Total accumulated time in seconds.
+    pub fn total_time(&self) -> f64 {
+        self.time
+    }
+
+    /// Average power over the recorded interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no time has been recorded.
+    pub fn average_power(&self) -> Watts {
+        assert!(self.time > 0.0, "no time recorded");
+        self.total / self.time
+    }
+
+    /// The per-tag breakdown.
+    pub fn breakdown(&self) -> &EnergyBreakdown {
+        &self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additivity() {
+        let mut m = EnergyMeter::new();
+        m.record("a", Watts::new(1.0), 1.0);
+        m.record("b", Watts::new(2.0), 2.0);
+        assert!((m.total_energy().as_f64() - 5.0).abs() < 1e-12);
+        assert!((m.total_time() - 3.0).abs() < 1e-12);
+        let by_tag: f64 = m.breakdown().iter().map(|(_, e)| e.as_f64()).sum();
+        assert!((by_tag - m.total_energy().as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power() {
+        let mut m = EnergyMeter::new();
+        m.record("x", Watts::new(2.0), 1.0);
+        m.record("x", Watts::new(4.0), 1.0);
+        assert!((m.average_power().as_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no time recorded")]
+    fn average_power_empty_panics() {
+        let _ = EnergyMeter::new().average_power();
+    }
+
+    #[test]
+    fn merge_combines_tags() {
+        let mut a = EnergyMeter::new();
+        a.record("compute", Watts::new(1.0), 1.0);
+        let mut b = EnergyMeter::new();
+        b.record("compute", Watts::new(1.0), 2.0);
+        b.record("memory", Watts::new(1.0), 1.0);
+        a.merge(&b);
+        assert!((a.breakdown().energy("compute").as_f64() - 3.0).abs() < 1e-12);
+        assert!((a.breakdown().energy("memory").as_f64() - 1.0).abs() < 1e-12);
+        assert!((a.total_time() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_is_noop_energy() {
+        let mut m = EnergyMeter::new();
+        m.record("z", Watts::new(10.0), 0.0);
+        assert_eq!(m.total_energy(), Joules::ZERO);
+        assert_eq!(m.breakdown().len(), 1);
+    }
+
+    #[test]
+    fn unknown_tag_is_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.breakdown().energy("nope"), Joules::ZERO);
+        assert!(m.breakdown().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let mut m = EnergyMeter::new();
+        m.record("bad", Watts::new(1.0), -1.0);
+    }
+}

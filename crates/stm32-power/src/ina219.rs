@@ -1,0 +1,161 @@
+//! Behavioural model of the INA219 current/power sensor.
+//!
+//! The paper samples board power with an INA219 on the supply rail. The
+//! sensor quantizes: it measures the shunt voltage with a 12-bit ADC and
+//! reports power as `current_lsb × 20 × register`. We model the
+//! quantization, the configurable shunt, and the conversion/sampling cadence
+//! so profiling code sees realistic discretized readings rather than the
+//! model's infinitely precise floats.
+
+use crate::units::Watts;
+
+/// Static configuration of the sensor and its shunt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ina219Config {
+    /// Shunt resistance in ohms (0.1 Ω on the common breakout).
+    pub shunt_ohms: f64,
+    /// Bus (supply) voltage in volts; the Nucleo is powered at 5 V.
+    pub bus_volts: f64,
+    /// Current corresponding to one LSB of the current register, in amps.
+    pub current_lsb: f64,
+    /// Conversion time per sample, seconds (532 µs at 12-bit resolution).
+    pub conversion_time: f64,
+}
+
+impl Ina219Config {
+    /// The configuration used for the paper-style setup: 0.1 Ω shunt, 5 V
+    /// bus, calibrated for a 400 mA range.
+    pub fn paper_setup() -> Self {
+        Ina219Config {
+            shunt_ohms: 0.1,
+            bus_volts: 5.0,
+            // 400 mA full range over the 15-bit calibrated current register.
+            current_lsb: 0.4 / 32768.0,
+            conversion_time: 532e-6,
+        }
+    }
+}
+
+impl Default for Ina219Config {
+    fn default() -> Self {
+        Ina219Config::paper_setup()
+    }
+}
+
+/// A simulated INA219 attached to the board's supply rail.
+///
+/// # Examples
+///
+/// ```
+/// use stm32_power::{Ina219, Watts};
+///
+/// let mut sensor = Ina219::new(Default::default());
+/// let reading = sensor.sample(Watts::milliwatts(150.0));
+/// // Quantization error is bounded by one power LSB.
+/// assert!((reading.as_mw() - 150.0).abs() < 1.5);
+/// assert_eq!(sensor.samples_taken(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ina219 {
+    config: Ina219Config,
+    samples: u64,
+}
+
+impl Ina219 {
+    /// Creates a sensor with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shunt resistance, bus voltage, or current LSB are not
+    /// strictly positive.
+    pub fn new(config: Ina219Config) -> Self {
+        assert!(config.shunt_ohms > 0.0, "shunt resistance must be positive");
+        assert!(config.bus_volts > 0.0, "bus voltage must be positive");
+        assert!(config.current_lsb > 0.0, "current LSB must be positive");
+        Ina219 { config, samples: 0 }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> &Ina219Config {
+        &self.config
+    }
+
+    /// Number of samples taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples
+    }
+
+    /// Power represented by one LSB of the power register
+    /// (`20 × current_lsb × bus_volts` per the datasheet).
+    pub fn power_lsb(&self) -> Watts {
+        Watts::new(20.0 * self.config.current_lsb)
+    }
+
+    /// Samples the rail: converts `true_power` into a quantized reading the
+    /// way the INA219's register pipeline would.
+    pub fn sample(&mut self, true_power: Watts) -> Watts {
+        self.samples += 1;
+        // current = P / V_bus, quantized to the current LSB.
+        let current = true_power.as_f64() / self.config.bus_volts;
+        let counts = (current / self.config.current_lsb).round();
+        // Power register = counts * 20 LSB weighting (datasheet), reported
+        // as counts*power_lsb*V normalization folded back to watts.
+        let measured_current = counts * self.config.current_lsb;
+        Watts::new((measured_current * self.config.bus_volts).max(0.0))
+    }
+
+    /// Wall-clock time consumed by `n` conversions.
+    pub fn sampling_time(&self, n: u64) -> f64 {
+        n as f64 * self.config.conversion_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_error_bounded() {
+        let mut s = Ina219::new(Ina219Config::paper_setup());
+        for mw in [10.0, 47.0, 150.0, 295.5] {
+            let r = s.sample(Watts::milliwatts(mw));
+            // One current LSB at 5 V = 0.4/32768*5 ≈ 61 µW.
+            assert!(
+                (r.as_mw() - mw).abs() <= 0.062,
+                "reading {r} too far from {mw} mW"
+            );
+        }
+        assert_eq!(s.samples_taken(), 4);
+    }
+
+    #[test]
+    fn zero_power_reads_zero() {
+        let mut s = Ina219::new(Default::default());
+        assert_eq!(s.sample(Watts::ZERO).as_f64(), 0.0);
+    }
+
+    #[test]
+    fn sampling_time_scales() {
+        let s = Ina219::new(Default::default());
+        assert!((s.sampling_time(1000) - 0.532).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reading_is_deterministic() {
+        let mut a = Ina219::new(Default::default());
+        let mut b = Ina219::new(Default::default());
+        assert_eq!(
+            a.sample(Watts::milliwatts(123.4)),
+            b.sample(Watts::milliwatts(123.4))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shunt resistance")]
+    fn zero_shunt_rejected() {
+        let _ = Ina219::new(Ina219Config {
+            shunt_ohms: 0.0,
+            ..Default::default()
+        });
+    }
+}

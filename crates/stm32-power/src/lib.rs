@@ -1,0 +1,50 @@
+//! Power and energy model of the STM32F767 Nucleo board.
+//!
+//! The paper measures board power with an INA219 sensor while sweeping the
+//! clock tree. This crate replaces the physical rail with an analytic model
+//! that reproduces the observations the methodology depends on:
+//!
+//! * power grows roughly linearly with SYSCLK, super-linearly once the
+//!   voltage regulator has to raise the core voltage for high frequencies;
+//! * **iso-frequency configurations differ in power** through the hidden VCO
+//!   frequency of the PLL (Fig. 2 of the paper);
+//! * direct-HSE operation (the paper's LFO) avoids the PLL's own draw;
+//! * idle strategies differ hugely: busy idling at 216 MHz vs clock-gated
+//!   sleep vs stop mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use stm32_power::PowerModel;
+//! use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+//!
+//! # fn main() -> Result<(), stm32_rcc::RccError> {
+//! let model = PowerModel::nucleo_f767zi();
+//! let hfo = SysclkConfig::Pll(PllConfig::new(
+//!     ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)?);
+//! let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+//!
+//! let p_hfo = model.run_power(&hfo);
+//! let p_lfo = model.run_power(&lfo);
+//! assert!(p_hfo > p_lfo, "216 MHz must draw more than 50 MHz");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod battery;
+pub mod energy;
+pub mod ina219;
+pub mod model;
+pub mod regulator;
+pub mod states;
+pub mod thermal;
+pub mod units;
+
+pub use battery::Battery;
+pub use energy::{EnergyBreakdown, EnergyMeter};
+pub use ina219::{Ina219, Ina219Config};
+pub use model::PowerModel;
+pub use regulator::{required_scale, VoltageScale};
+pub use states::PowerState;
+pub use thermal::{BaselineReference, ThermalModel, ThermalState};
+pub use units::{Joules, Watts};

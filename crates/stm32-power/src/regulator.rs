@@ -1,0 +1,119 @@
+//! Internal voltage regulator scaling (PWR_CR1.VOS + over-drive).
+//!
+//! The STM32F7 raises the core voltage with frequency; dynamic power scales
+//! with `V²·f`, which is why the highest frequencies are disproportionately
+//! expensive — one of the levers the DVFS methodology exploits.
+
+use stm32_rcc::Hertz;
+
+/// Regulator output scale, ordered from the lowest to the highest voltage.
+///
+/// Frequency ceilings follow RM0410: Scale 3 up to 144 MHz, Scale 2 up to
+/// 168 MHz, Scale 1 up to 180 MHz, and Scale 1 with over-drive up to 216 MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VoltageScale {
+    /// VOS scale 3 (lowest voltage), SYSCLK ≤ 144 MHz.
+    Scale3,
+    /// VOS scale 2, SYSCLK ≤ 168 MHz.
+    Scale2,
+    /// VOS scale 1, SYSCLK ≤ 180 MHz.
+    Scale1,
+    /// VOS scale 1 with over-drive, SYSCLK ≤ 216 MHz.
+    Scale1OverDrive,
+}
+
+impl VoltageScale {
+    /// Nominal core voltage for this scale, in volts.
+    pub fn core_voltage(self) -> f64 {
+        match self {
+            VoltageScale::Scale3 => 1.14,
+            VoltageScale::Scale2 => 1.19,
+            VoltageScale::Scale1 => 1.24,
+            VoltageScale::Scale1OverDrive => 1.29,
+        }
+    }
+
+    /// Maximum SYSCLK permitted at this scale.
+    pub fn max_sysclk(self) -> Hertz {
+        match self {
+            VoltageScale::Scale3 => Hertz::mhz(144),
+            VoltageScale::Scale2 => Hertz::mhz(168),
+            VoltageScale::Scale1 => Hertz::mhz(180),
+            VoltageScale::Scale1OverDrive => Hertz::mhz(216),
+        }
+    }
+
+    /// Dynamic-power multiplier relative to Scale 3: `(V / V_scale3)²`.
+    pub fn dynamic_factor(self) -> f64 {
+        let v = self.core_voltage();
+        let v0 = VoltageScale::Scale3.core_voltage();
+        (v / v0) * (v / v0)
+    }
+}
+
+/// The lowest (most efficient) regulator scale that supports `sysclk`.
+///
+/// ```
+/// use stm32_power::{required_scale, VoltageScale};
+/// use stm32_rcc::Hertz;
+///
+/// assert_eq!(required_scale(Hertz::mhz(50)), VoltageScale::Scale3);
+/// assert_eq!(required_scale(Hertz::mhz(216)), VoltageScale::Scale1OverDrive);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sysclk` exceeds 216 MHz, which no valid
+/// [`stm32_rcc::SysclkConfig`] can produce.
+pub fn required_scale(sysclk: Hertz) -> VoltageScale {
+    for scale in [
+        VoltageScale::Scale3,
+        VoltageScale::Scale2,
+        VoltageScale::Scale1,
+        VoltageScale::Scale1OverDrive,
+    ] {
+        if sysclk <= scale.max_sysclk() {
+            return scale;
+        }
+    }
+    panic!("SYSCLK {sysclk} exceeds the 216 MHz device maximum");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_selection_matches_rm0410() {
+        assert_eq!(required_scale(Hertz::mhz(16)), VoltageScale::Scale3);
+        assert_eq!(required_scale(Hertz::mhz(144)), VoltageScale::Scale3);
+        assert_eq!(required_scale(Hertz::mhz(145)), VoltageScale::Scale2);
+        assert_eq!(required_scale(Hertz::mhz(168)), VoltageScale::Scale2);
+        assert_eq!(required_scale(Hertz::mhz(169)), VoltageScale::Scale1);
+        assert_eq!(required_scale(Hertz::mhz(180)), VoltageScale::Scale1);
+        assert_eq!(required_scale(Hertz::mhz(181)), VoltageScale::Scale1OverDrive);
+        assert_eq!(required_scale(Hertz::mhz(216)), VoltageScale::Scale1OverDrive);
+    }
+
+    #[test]
+    #[should_panic(expected = "216 MHz")]
+    fn beyond_max_panics() {
+        let _ = required_scale(Hertz::mhz(217));
+    }
+
+    #[test]
+    fn voltages_increase_with_scale() {
+        let scales = [
+            VoltageScale::Scale3,
+            VoltageScale::Scale2,
+            VoltageScale::Scale1,
+            VoltageScale::Scale1OverDrive,
+        ];
+        for w in scales.windows(2) {
+            assert!(w[0].core_voltage() < w[1].core_voltage());
+            assert!(w[0].dynamic_factor() < w[1].dynamic_factor());
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(VoltageScale::Scale3.dynamic_factor(), 1.0);
+    }
+}

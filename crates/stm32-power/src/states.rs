@@ -1,0 +1,123 @@
+//! Operating / low-power states of the MCU.
+
+use std::fmt;
+
+use stm32_rcc::{PllConfig, SysclkConfig};
+
+/// The power-relevant state of the MCU at an instant.
+///
+/// The evaluation needs four qualitatively different states:
+///
+/// * [`PowerState::Run`] — core executing at the given clock configuration;
+/// * [`PowerState::RunWarmPll`] — core executing from a direct source while a
+///   PLL is *kept locked* in the background. This is the paper's LFO phase:
+///   SYSCLK comes from the HSE but the HFO PLL keeps drawing power so that
+///   hopping back onto it is a cheap mux toggle;
+/// * [`PowerState::SleepWfi`] — WFI sleep: the core clock is gated, bus and
+///   peripherals keep running (TinyEngine's plain busy-wait replacement);
+/// * [`PowerState::ClockGated`] — the paper's "clock gating" baseline
+///   enhancement: non-utilized clocks and the voltage regulator are turned
+///   down while waiting for the QoS deadline;
+/// * [`PowerState::Stop`] — deepest stop mode, microamp territory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerState {
+    /// Actively executing at the given clock configuration.
+    Run(SysclkConfig),
+    /// Executing at `sysclk` (usually HSE-direct) with `warm_pll` locked in
+    /// the background.
+    RunWarmPll {
+        /// The active SYSCLK source.
+        sysclk: SysclkConfig,
+        /// The PLL kept locked for fast HFO re-entry.
+        warm_pll: PllConfig,
+    },
+    /// WFI sleep at the given clock configuration (core gated).
+    SleepWfi(SysclkConfig),
+    /// Aggressive clock gating + regulator low-power mode.
+    ClockGated,
+    /// Stop mode (everything off except backup domain).
+    Stop,
+}
+
+impl PowerState {
+    /// The active SYSCLK configuration, if the core is clocked.
+    pub fn sysclk_config(&self) -> Option<&SysclkConfig> {
+        match self {
+            PowerState::Run(cfg) | PowerState::SleepWfi(cfg) => Some(cfg),
+            PowerState::RunWarmPll { sysclk, .. } => Some(sysclk),
+            PowerState::ClockGated | PowerState::Stop => None,
+        }
+    }
+
+    /// Whether the core is executing instructions in this state.
+    pub fn is_executing(&self) -> bool {
+        matches!(self, PowerState::Run(_) | PowerState::RunWarmPll { .. })
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerState::Run(cfg) => write!(f, "run @ {cfg}"),
+            PowerState::RunWarmPll { sysclk, warm_pll } => {
+                write!(f, "run @ {sysclk} (warm {warm_pll})")
+            }
+            PowerState::SleepWfi(cfg) => write!(f, "wfi sleep @ {cfg}"),
+            PowerState::ClockGated => write!(f, "clock gated"),
+            PowerState::Stop => write!(f, "stop mode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm32_rcc::{ClockSource, Hertz};
+
+    fn pll216() -> PllConfig {
+        PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).unwrap()
+    }
+
+    #[test]
+    fn sysclk_config_accessor() {
+        let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+        assert_eq!(PowerState::Run(lfo).sysclk_config(), Some(&lfo));
+        assert_eq!(
+            PowerState::RunWarmPll {
+                sysclk: lfo,
+                warm_pll: pll216()
+            }
+            .sysclk_config(),
+            Some(&lfo)
+        );
+        assert_eq!(PowerState::ClockGated.sysclk_config(), None);
+        assert_eq!(PowerState::Stop.sysclk_config(), None);
+    }
+
+    #[test]
+    fn executing_states() {
+        let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+        assert!(PowerState::Run(lfo).is_executing());
+        assert!(PowerState::RunWarmPll {
+            sysclk: lfo,
+            warm_pll: pll216()
+        }
+        .is_executing());
+        assert!(!PowerState::SleepWfi(lfo).is_executing());
+        assert!(!PowerState::ClockGated.is_executing());
+        assert!(!PowerState::Stop.is_executing());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+        for s in [
+            PowerState::Run(lfo),
+            PowerState::SleepWfi(lfo),
+            PowerState::ClockGated,
+            PowerState::Stop,
+        ] {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

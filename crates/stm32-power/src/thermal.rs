@@ -1,0 +1,319 @@
+//! Thermal drift and the paper's compensated measurement protocol.
+//!
+//! Silicon leakage grows with die temperature, and die temperature follows
+//! dissipated power with a thermal time constant — so long measurement
+//! campaigns drift. The paper handles this by "systematically comparing
+//! each power measurement with the power consumption of the baseline input
+//! model at the corresponding timestamp" (Sec. IV). This module provides
+//! both halves: a first-order thermal model that *produces* the drift, and
+//! [`BaselineReference`] which *removes* it the way the paper does.
+
+use crate::units::Watts;
+
+/// First-order thermal model of the package: die temperature relaxes
+/// toward `ambient + θ·P` with time constant `τ`, and leakage adds a
+/// temperature-dependent fraction on top of the electrical power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance, °C per watt.
+    pub theta_c_per_w: f64,
+    /// Thermal time constant, seconds.
+    pub tau_secs: f64,
+    /// Fractional leakage increase per °C above 25 °C.
+    pub leakage_per_c: f64,
+}
+
+impl ThermalModel {
+    /// Calibrated for a Nucleo-144 board in still air.
+    pub fn nucleo_still_air() -> Self {
+        ThermalModel {
+            ambient_c: 25.0,
+            theta_c_per_w: 45.0,
+            tau_secs: 90.0,
+            leakage_per_c: 0.004,
+        }
+    }
+
+    /// Steady-state die temperature at a constant power draw.
+    pub fn steady_state_c(&self, power: Watts) -> f64 {
+        self.ambient_c + self.theta_c_per_w * power.as_f64()
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::nucleo_still_air()
+    }
+}
+
+/// Evolving thermal state of the die.
+///
+/// # Examples
+///
+/// ```
+/// use stm32_power::{ThermalModel, ThermalState, Watts};
+///
+/// let model = ThermalModel::nucleo_still_air();
+/// let mut state = ThermalState::new(&model);
+/// // Ten minutes at 300 mW: the die warms toward steady state and the
+/// // observed power exceeds the electrical power via leakage.
+/// for _ in 0..600 {
+///     state.step(&model, Watts::milliwatts(300.0), 1.0);
+/// }
+/// assert!(state.temperature_c() > 30.0);
+/// let observed = state.observed_power(&model, Watts::milliwatts(300.0));
+/// assert!(observed.as_mw() > 300.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalState {
+    temp_c: f64,
+}
+
+impl ThermalState {
+    /// Starts at ambient temperature.
+    pub fn new(model: &ThermalModel) -> Self {
+        ThermalState {
+            temp_c: model.ambient_c,
+        }
+    }
+
+    /// Current die temperature, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Advances the state by `dt_secs` under electrical power `power`
+    /// (exact solution of the first-order ODE over the step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_secs` is negative or non-finite.
+    pub fn step(&mut self, model: &ThermalModel, power: Watts, dt_secs: f64) {
+        assert!(
+            dt_secs.is_finite() && dt_secs >= 0.0,
+            "time step must be a non-negative finite time"
+        );
+        let target = model.steady_state_c(power);
+        let alpha = (-dt_secs / model.tau_secs).exp();
+        self.temp_c = target + (self.temp_c - target) * alpha;
+    }
+
+    /// Leakage multiplier at the current temperature.
+    pub fn leakage_factor(&self, model: &ThermalModel) -> f64 {
+        1.0 + model.leakage_per_c * (self.temp_c - 25.0)
+    }
+
+    /// Power an external sensor would observe: electrical power inflated by
+    /// the temperature-dependent leakage.
+    pub fn observed_power(&self, model: &ThermalModel, electrical: Watts) -> Watts {
+        Watts::new(electrical.as_f64() * self.leakage_factor(model).max(0.0))
+    }
+}
+
+/// The paper's compensation reference: a time-stamped power trace of the
+/// *baseline input model* recorded under the same thermal conditions.
+///
+/// A candidate measurement at timestamp `t` is reported relative to the
+/// baseline's power at the same timestamp, cancelling the common thermal
+/// drift term.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BaselineReference {
+    samples: Vec<(f64, Watts)>,
+}
+
+impl BaselineReference {
+    /// Creates an empty reference.
+    pub fn new() -> Self {
+        BaselineReference::default()
+    }
+
+    /// Records a baseline sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps are not non-decreasing.
+    pub fn record(&mut self, timestamp: f64, power: Watts) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(timestamp >= last, "timestamps must be non-decreasing");
+        }
+        self.samples.push((timestamp, power));
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Baseline power at `timestamp`, linearly interpolated (clamped at the
+    /// trace ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is empty.
+    pub fn power_at(&self, timestamp: f64) -> Watts {
+        assert!(!self.samples.is_empty(), "no baseline samples recorded");
+        let first = self.samples[0];
+        let last = *self.samples.last().expect("non-empty");
+        if timestamp <= first.0 {
+            return first.1;
+        }
+        if timestamp >= last.0 {
+            return last.1;
+        }
+        let idx = self
+            .samples
+            .partition_point(|&(t, _)| t <= timestamp)
+            .min(self.samples.len() - 1);
+        let (t1, p1) = self.samples[idx - 1];
+        let (t2, p2) = self.samples[idx];
+        if t2 == t1 {
+            return p2;
+        }
+        let w = (timestamp - t1) / (t2 - t1);
+        Watts::new(p1.as_f64() + (p2.as_f64() - p1.as_f64()) * w)
+    }
+
+    /// The paper's compensation: the candidate measurement corrected by the
+    /// baseline's drift at the same timestamp, relative to the baseline's
+    /// initial (cold) power.
+    ///
+    /// With a purely multiplicative drift `d(t)` this returns
+    /// `measured/d(t)` exactly; see the tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is empty or its initial power is zero.
+    pub fn compensate(&self, measured: Watts, timestamp: f64) -> Watts {
+        let cold = self.samples[0].1;
+        assert!(cold.as_f64() > 0.0, "baseline cold power must be positive");
+        let drift = self.power_at(timestamp).as_f64() / cold.as_f64();
+        Watts::new(measured.as_f64() / drift.max(f64::MIN_POSITIVE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_relaxes_to_steady_state() {
+        let model = ThermalModel::nucleo_still_air();
+        let mut state = ThermalState::new(&model);
+        let p = Watts::milliwatts(300.0);
+        for _ in 0..100 {
+            state.step(&model, p, 10.0);
+        }
+        let expected = model.steady_state_c(p);
+        assert!(
+            (state.temperature_c() - expected).abs() < 0.1,
+            "T {} vs steady {expected}",
+            state.temperature_c()
+        );
+    }
+
+    #[test]
+    fn warmer_die_leaks_more() {
+        let model = ThermalModel::nucleo_still_air();
+        let mut cold = ThermalState::new(&model);
+        let mut hot = ThermalState::new(&model);
+        hot.step(&model, Watts::milliwatts(300.0), 1e6);
+        let p = Watts::milliwatts(100.0);
+        assert!(hot.observed_power(&model, p) > cold.observed_power(&model, p));
+        cold.step(&model, Watts::ZERO, 1.0);
+        assert!((cold.leakage_factor(&model) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_is_exact_regardless_of_granularity() {
+        // One 100 s step equals one hundred 1 s steps (exact ODE solution).
+        let model = ThermalModel::nucleo_still_air();
+        let p = Watts::milliwatts(250.0);
+        let mut coarse = ThermalState::new(&model);
+        coarse.step(&model, p, 100.0);
+        let mut fine = ThermalState::new(&model);
+        for _ in 0..100 {
+            fine.step(&model, p, 1.0);
+        }
+        assert!((coarse.temperature_c() - fine.temperature_c()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_clamps_and_interpolates() {
+        let mut r = BaselineReference::new();
+        r.record(0.0, Watts::milliwatts(100.0));
+        r.record(10.0, Watts::milliwatts(110.0));
+        assert_eq!(r.power_at(-5.0).as_mw(), 100.0);
+        assert_eq!(r.power_at(20.0).as_mw(), 110.0);
+        assert!((r.power_at(5.0).as_mw() - 105.0).abs() < 1e-9);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn compensation_cancels_multiplicative_drift() {
+        // True candidate power is 80 mW; the rail drifts by d(t) = 1 + t/100.
+        let mut r = BaselineReference::new();
+        let baseline_true = 120.0;
+        for t in 0..=10 {
+            let t = f64::from(t);
+            let drift = 1.0 + t / 100.0;
+            r.record(t, Watts::milliwatts(baseline_true * drift));
+        }
+        for t in [0.0, 2.5, 7.0, 10.0] {
+            let drift = 1.0 + t / 100.0;
+            let measured = Watts::milliwatts(80.0 * drift);
+            let compensated = r.compensate(measured, t);
+            assert!(
+                (compensated.as_mw() - 80.0).abs() < 1e-9,
+                "at t={t}: {compensated}"
+            );
+        }
+    }
+
+    #[test]
+    fn compensation_with_thermal_model_reduces_error() {
+        // End-to-end: simulate a warming board, measure a candidate late in
+        // the campaign, and check compensation brings it close to the cold
+        // truth.
+        let model = ThermalModel::nucleo_still_air();
+        let mut state = ThermalState::new(&model);
+        let baseline_p = Watts::milliwatts(200.0);
+        let candidate_p = Watts::milliwatts(150.0);
+
+        let mut r = BaselineReference::new();
+        let mut t = 0.0;
+        for _ in 0..120 {
+            state.step(&model, baseline_p, 5.0);
+            t += 5.0;
+            r.record(t, state.observed_power(&model, baseline_p));
+        }
+        let raw = state.observed_power(&model, candidate_p);
+        let compensated = r.compensate(raw, t);
+        let raw_err = (raw.as_mw() - 150.0).abs();
+        let comp_err = (compensated.as_mw() - 150.0).abs();
+        assert!(
+            comp_err < raw_err / 2.0,
+            "compensation should halve the error: raw {raw_err:.3}, comp {comp_err:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_timestamps_rejected() {
+        let mut r = BaselineReference::new();
+        r.record(10.0, Watts::milliwatts(100.0));
+        r.record(5.0, Watts::milliwatts(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no baseline samples")]
+    fn empty_reference_panics() {
+        let _ = BaselineReference::new().power_at(0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Power and energy newtypes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Electrical power in watts.
+///
+/// ```
+/// use stm32_power::Watts;
+///
+/// let p = Watts::milliwatts(150.0);
+/// assert_eq!(p.as_mw(), 150.0);
+/// let e = p * 2.0; // 2 seconds at 150 mW
+/// assert_eq!(e.as_mj(), 300.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power from watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn new(watts: f64) -> Self {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "power must be a non-negative finite value, got {watts}"
+        );
+        Watts(watts)
+    }
+
+    /// Creates a power from milliwatts.
+    pub fn milliwatts(mw: f64) -> Self {
+        Watts::new(mw / 1e3)
+    }
+
+    /// The value in watts.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliwatts.
+    pub fn as_mw(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1.0 {
+            write!(f, "{:.3} mW", self.as_mw())
+        } else {
+            write!(f, "{:.3} W", self.0)
+        }
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    /// Power × time (seconds) = energy.
+    type Output = Joules;
+    fn mul(self, secs: f64) -> Joules {
+        Joules::new(self.0 * secs)
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        iter.fold(Watts::ZERO, |a, b| a + b)
+    }
+}
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Creates an energy from joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn new(joules: f64) -> Self {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy must be a non-negative finite value, got {joules}"
+        );
+        Joules(joules)
+    }
+
+    /// Creates an energy from millijoules.
+    pub fn millijoules(mj: f64) -> Self {
+        Joules::new(mj / 1e3)
+    }
+
+    /// The value in joules.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The value in millijoules.
+    pub fn as_mj(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Relative difference `(self - other) / other`, positive when `self`
+    /// is larger. Used for "energy gain %" reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn relative_to(self, other: Joules) -> f64 {
+        assert!(other.0 > 0.0, "cannot compare against zero energy");
+        (self.0 - other.0) / other.0
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1.0 {
+            write!(f, "{:.3} mJ", self.as_mj())
+        } else {
+            write!(f, "{:.3} J", self.0)
+        }
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules::new(self.0 - rhs.0)
+    }
+}
+
+impl Div<f64> for Joules {
+    /// Energy ÷ time (seconds) = average power.
+    type Output = Watts;
+    fn div(self, secs: f64) -> Watts {
+        Watts::new(self.0 / secs)
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        iter.fold(Joules::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::milliwatts(100.0) * 10.0;
+        assert!((e.as_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Joules::new(1.0) / 10.0;
+        assert!((p.as_mw() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sums() {
+        let total: Watts = [Watts::new(0.1), Watts::new(0.2)].into_iter().sum();
+        assert!((total.as_f64() - 0.3).abs() < 1e-12);
+        let total: Joules = [Joules::new(1.0), Joules::new(2.0)].into_iter().sum();
+        assert!((total.as_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_comparison() {
+        let base = Joules::new(2.0);
+        let better = Joules::new(1.5);
+        assert!((better.relative_to(base) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        let _ = Watts::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_by_subtraction_rejected() {
+        let _ = Joules::new(1.0) - Joules::new(2.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Watts::milliwatts(150.0).to_string(), "150.000 mW");
+        assert_eq!(Watts::new(1.5).to_string(), "1.500 W");
+        assert_eq!(Joules::millijoules(2.0).to_string(), "2.000 mJ");
+        assert_eq!(Joules::new(3.0).to_string(), "3.000 J");
+    }
+}

@@ -1,0 +1,221 @@
+//! AHB/APB bus prescalers and the PLLQ/USB constraint.
+//!
+//! The RCC "provides a wide range of clocks and clock sources which cater to
+//! various system requirements, e.g., peripheral Bus and UART clocks"
+//! (paper Sec. II). DVFS on SYSCLK must keep the derived bus clocks legal:
+//! APB1 tops out at 54 MHz and APB2 at 108 MHz on the F767, and USB needs
+//! exactly 48 MHz from the PLL's Q divider. This module models those
+//! derived-clock constraints so a deployment can check that a chosen SYSCLK
+//! ladder never breaks a peripheral.
+
+use crate::error::RccError;
+use crate::hertz::Hertz;
+use crate::pll::PllConfig;
+
+/// Maximum APB1 (low-speed peripheral bus) clock on the STM32F767.
+pub const APB1_MAX: Hertz = Hertz::mhz(54);
+/// Maximum APB2 (high-speed peripheral bus) clock on the STM32F767.
+pub const APB2_MAX: Hertz = Hertz::mhz(108);
+/// The USB full-speed PHY clock requirement.
+pub const USB_CLOCK: Hertz = Hertz::mhz(48);
+
+/// AHB/APB prescaler configuration.
+///
+/// ```
+/// use stm32_rcc::{BusPrescalers, Hertz};
+///
+/// # fn main() -> Result<(), stm32_rcc::RccError> {
+/// let buses = BusPrescalers::new(1, 4, 2)?;
+/// assert_eq!(buses.apb1_clock(Hertz::mhz(216)), Hertz::mhz(54));
+/// assert_eq!(buses.apb2_clock(Hertz::mhz(216)), Hertz::mhz(108));
+/// assert!(buses.validate_at(Hertz::mhz(216)).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusPrescalers {
+    ahb: u32,
+    apb1: u32,
+    apb2: u32,
+}
+
+impl BusPrescalers {
+    /// Valid AHB divider values (HPRE register).
+    pub const AHB_VALUES: [u32; 9] = [1, 2, 4, 8, 16, 64, 128, 256, 512];
+    /// Valid APB divider values (PPRE registers).
+    pub const APB_VALUES: [u32; 5] = [1, 2, 4, 8, 16];
+
+    /// Builds a prescaler set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RccError::PrescalerInvalid`] when a divider is not one of
+    /// the register-encodable values ([`BusPrescalers::AHB_VALUES`] /
+    /// [`BusPrescalers::APB_VALUES`]).
+    pub fn new(ahb: u32, apb1: u32, apb2: u32) -> Result<Self, RccError> {
+        if !Self::AHB_VALUES.contains(&ahb) {
+            return Err(RccError::PrescalerInvalid { bus: "AHB", value: ahb });
+        }
+        if !Self::APB_VALUES.contains(&apb1) {
+            return Err(RccError::PrescalerInvalid { bus: "APB1", value: apb1 });
+        }
+        if !Self::APB_VALUES.contains(&apb2) {
+            return Err(RccError::PrescalerInvalid { bus: "APB2", value: apb2 });
+        }
+        Ok(BusPrescalers { ahb, apb1, apb2 })
+    }
+
+    /// The configuration the paper's firmware uses at 216 MHz: AHB /1,
+    /// APB1 /4 (54 MHz), APB2 /2 (108 MHz).
+    pub fn f767_default() -> Self {
+        BusPrescalers {
+            ahb: 1,
+            apb1: 4,
+            apb2: 2,
+        }
+    }
+
+    /// AHB (HCLK) frequency at a given SYSCLK.
+    pub fn ahb_clock(&self, sysclk: Hertz) -> Hertz {
+        sysclk / u64::from(self.ahb)
+    }
+
+    /// APB1 frequency at a given SYSCLK.
+    pub fn apb1_clock(&self, sysclk: Hertz) -> Hertz {
+        self.ahb_clock(sysclk) / u64::from(self.apb1)
+    }
+
+    /// APB2 frequency at a given SYSCLK.
+    pub fn apb2_clock(&self, sysclk: Hertz) -> Hertz {
+        self.ahb_clock(sysclk) / u64::from(self.apb2)
+    }
+
+    /// Checks the derived clocks against the device limits at `sysclk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RccError::BusClockTooHigh`] naming the offending bus.
+    pub fn validate_at(&self, sysclk: Hertz) -> Result<(), RccError> {
+        if self.apb1_clock(sysclk) > APB1_MAX {
+            return Err(RccError::BusClockTooHigh {
+                bus: "APB1",
+                clock: self.apb1_clock(sysclk),
+                max: APB1_MAX,
+            });
+        }
+        if self.apb2_clock(sysclk) > APB2_MAX {
+            return Err(RccError::BusClockTooHigh {
+                bus: "APB2",
+                clock: self.apb2_clock(sysclk),
+                max: APB2_MAX,
+            });
+        }
+        Ok(())
+    }
+
+    /// The tightest (fastest-bus) prescaler set that is legal at `sysclk`.
+    pub fn fastest_legal(sysclk: Hertz) -> Self {
+        for &apb1 in &Self::APB_VALUES {
+            for &apb2 in &Self::APB_VALUES {
+                let candidate = BusPrescalers { ahb: 1, apb1, apb2 };
+                if candidate.validate_at(sysclk).is_ok() {
+                    return candidate;
+                }
+            }
+        }
+        // /16 on both APBs is legal at any SYSCLK <= 216 MHz.
+        BusPrescalers {
+            ahb: 1,
+            apb1: 16,
+            apb2: 16,
+        }
+    }
+}
+
+impl Default for BusPrescalers {
+    fn default() -> Self {
+        BusPrescalers::f767_default()
+    }
+}
+
+/// The PLLQ divider (2–15) that produces the 48 MHz USB clock from this
+/// PLL's VCO, if one exists.
+///
+/// ```
+/// use stm32_rcc::{pllq_for_usb, ClockSource, Hertz, PllConfig};
+///
+/// # fn main() -> Result<(), stm32_rcc::RccError> {
+/// // VCO 432 MHz = 9 x 48 MHz.
+/// let pll = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)?;
+/// assert_eq!(pllq_for_usb(&pll), Some(9));
+/// # Ok(())
+/// # }
+/// ```
+pub fn pllq_for_usb(pll: &PllConfig) -> Option<u32> {
+    let vco = pll.vco_output().as_u64();
+    (2u32..=15).find(|&q| vco == u64::from(q) * USB_CLOCK.as_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sysclk::ClockSource;
+
+    #[test]
+    fn default_is_legal_at_216() {
+        let b = BusPrescalers::f767_default();
+        assert!(b.validate_at(Hertz::mhz(216)).is_ok());
+        assert_eq!(b.apb1_clock(Hertz::mhz(216)), Hertz::mhz(54));
+        assert_eq!(b.apb2_clock(Hertz::mhz(216)), Hertz::mhz(108));
+        assert_eq!(b.ahb_clock(Hertz::mhz(216)), Hertz::mhz(216));
+    }
+
+    #[test]
+    fn undivided_apb1_illegal_at_high_sysclk() {
+        let b = BusPrescalers::new(1, 1, 1).unwrap();
+        let err = b.validate_at(Hertz::mhz(216)).unwrap_err();
+        assert!(matches!(err, RccError::BusClockTooHigh { bus: "APB1", .. }));
+        // But fine at LFO.
+        assert!(b.validate_at(Hertz::mhz(50)).is_ok());
+    }
+
+    #[test]
+    fn invalid_divider_values_rejected() {
+        assert!(matches!(
+            BusPrescalers::new(3, 1, 1),
+            Err(RccError::PrescalerInvalid { bus: "AHB", .. })
+        ));
+        assert!(matches!(
+            BusPrescalers::new(1, 5, 1),
+            Err(RccError::PrescalerInvalid { bus: "APB1", .. })
+        ));
+        assert!(matches!(
+            BusPrescalers::new(1, 1, 32),
+            Err(RccError::PrescalerInvalid { bus: "APB2", .. })
+        ));
+    }
+
+    #[test]
+    fn fastest_legal_is_legal_everywhere_on_the_ladder() {
+        for mhz in [50u64, 75, 100, 108, 150, 168, 216] {
+            let sysclk = Hertz::mhz(mhz);
+            let b = BusPrescalers::fastest_legal(sysclk);
+            assert!(b.validate_at(sysclk).is_ok(), "illegal at {mhz} MHz");
+        }
+        // At 50 MHz no division is needed at all.
+        assert_eq!(
+            BusPrescalers::fastest_legal(Hertz::mhz(50)),
+            BusPrescalers::new(1, 1, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn usb_divider_found_only_for_multiples_of_48() {
+        let usb_capable =
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).unwrap(); // VCO 432
+        assert_eq!(pllq_for_usb(&usb_capable), Some(9));
+        let not_capable =
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 150, 2).unwrap(); // VCO 300
+        assert_eq!(pllq_for_usb(&not_capable), None);
+    }
+}

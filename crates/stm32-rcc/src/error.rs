@@ -1,0 +1,106 @@
+//! Error type for clock-tree configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::hertz::Hertz;
+
+/// Errors produced when validating a clock-tree configuration.
+///
+/// Every variant corresponds to a datasheet constraint of the STM32F767 RCC
+/// (reference manual RM0410). The contained values report what was requested
+/// so the message is actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RccError {
+    /// `PLLM` divider outside its 2–63 register range.
+    PllmOutOfRange(u32),
+    /// `PLLN` multiplier outside its 50–432 register range.
+    PllnOutOfRange(u32),
+    /// `PLLP` divider is not one of {2, 4, 6, 8}.
+    PllpInvalid(u32),
+    /// The PLL input (VCO reference) frequency left the 1–2 MHz window.
+    VcoInputOutOfRange(Hertz),
+    /// The VCO output frequency left the 100–432 MHz window.
+    VcoOutputOutOfRange(Hertz),
+    /// The resulting SYSCLK exceeds the device maximum (216 MHz).
+    SysclkTooHigh(Hertz),
+    /// The HSE source frequency is outside the board's 1–50 MHz range.
+    HseOutOfRange(Hertz),
+    /// A clock source of 0 Hz was supplied.
+    ZeroSourceFrequency,
+    /// A bus prescaler value outside its register encoding.
+    PrescalerInvalid {
+        /// Which bus ("AHB", "APB1", "APB2").
+        bus: &'static str,
+        /// The rejected divider value.
+        value: u32,
+    },
+    /// A derived bus clock exceeds its device limit.
+    BusClockTooHigh {
+        /// Which bus.
+        bus: &'static str,
+        /// The derived clock.
+        clock: Hertz,
+        /// The device limit for that bus.
+        max: Hertz,
+    },
+}
+
+impl fmt::Display for RccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RccError::PllmOutOfRange(m) => {
+                write!(f, "PLLM divider {m} outside the valid range 2..=63")
+            }
+            RccError::PllnOutOfRange(n) => {
+                write!(f, "PLLN multiplier {n} outside the valid range 50..=432")
+            }
+            RccError::PllpInvalid(p) => {
+                write!(f, "PLLP divider {p} is not one of 2, 4, 6, 8")
+            }
+            RccError::VcoInputOutOfRange(hz) => {
+                write!(f, "VCO input frequency {hz} outside the 1-2 MHz window")
+            }
+            RccError::VcoOutputOutOfRange(hz) => {
+                write!(f, "VCO output frequency {hz} outside the 100-432 MHz window")
+            }
+            RccError::SysclkTooHigh(hz) => {
+                write!(f, "SYSCLK {hz} exceeds the 216 MHz device maximum")
+            }
+            RccError::HseOutOfRange(hz) => {
+                write!(f, "HSE frequency {hz} outside the board's 1-50 MHz range")
+            }
+            RccError::ZeroSourceFrequency => write!(f, "clock source frequency is zero"),
+            RccError::PrescalerInvalid { bus, value } => {
+                write!(f, "{bus} prescaler {value} is not register-encodable")
+            }
+            RccError::BusClockTooHigh { bus, clock, max } => {
+                write!(f, "{bus} clock {clock} exceeds the {max} limit")
+            }
+        }
+    }
+}
+
+impl Error for RccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let msg = RccError::PllmOutOfRange(99).to_string();
+        assert!(msg.contains("99"));
+        assert!(msg.contains("2..=63"));
+
+        let msg = RccError::VcoOutputOutOfRange(Hertz::mhz(500)).to_string();
+        assert!(msg.contains("500 MHz"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<RccError>();
+    }
+}

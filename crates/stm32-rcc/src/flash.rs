@@ -1,0 +1,111 @@
+//! Flash wait-state ladder of the STM32F7 at nominal supply voltage.
+//!
+//! Embedded flash cannot keep up with the core at high SYSCLK, so the flash
+//! interface inserts wait states. This is the physical mechanism that makes
+//! *memory-bound* code scale sub-linearly with frequency — the foundation of
+//! the paper's decision to run memory-bound DAE segments at the low LFO
+//! frequency: the same flash/SRAM access takes more *core cycles* (but not
+//! less wall time) at a higher clock, so the energy spent waiting grows with
+//! frequency while latency barely improves.
+
+use crate::hertz::Hertz;
+
+/// Number of flash wait states for a given HCLK/SYSCLK frequency.
+///
+/// Values follow RM0410 Table 7 for VDD = 2.7–3.6 V: one extra wait state per
+/// 30 MHz step, up to 7 WS at 216 MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlashLatency(pub u8);
+
+impl FlashLatency {
+    /// The wait-state count as plain cycles.
+    pub const fn wait_states(self) -> u8 {
+        self.0
+    }
+
+    /// Total cycles for one flash access: 1 issue cycle + wait states.
+    pub const fn access_cycles(self) -> u64 {
+        1 + self.0 as u64
+    }
+}
+
+/// Computes the flash wait states required at `sysclk` (RM0410, 2.7–3.6 V).
+///
+/// ```
+/// use stm32_rcc::{flash_wait_states, Hertz};
+///
+/// assert_eq!(flash_wait_states(Hertz::mhz(30)).wait_states(), 0);
+/// assert_eq!(flash_wait_states(Hertz::mhz(50)).wait_states(), 1);
+/// assert_eq!(flash_wait_states(Hertz::mhz(216)).wait_states(), 7);
+/// ```
+pub fn flash_wait_states(sysclk: Hertz) -> FlashLatency {
+    let hz = sysclk.as_u64();
+    let step = 30_000_000u64;
+    if hz == 0 {
+        return FlashLatency(0);
+    }
+    // 0 WS up to and including 30 MHz, then +1 per started 30 MHz band,
+    // capped at 7 (216 MHz ceiling lives in band 8).
+    let ws = (hz - 1) / step;
+    FlashLatency(ws.min(7) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_rm0410() {
+        let cases = [
+            (1u64, 0u8),
+            (16, 0),
+            (30, 0),
+            (31, 1),
+            (50, 1),
+            (60, 1),
+            (61, 2),
+            (75, 2),
+            (90, 2),
+            (100, 3),
+            (120, 3),
+            (150, 4),
+            (168, 5),
+            (180, 5),
+            (210, 6),
+            (216, 7),
+        ];
+        for (mhz, ws) in cases {
+            assert_eq!(
+                flash_wait_states(Hertz::mhz(mhz)).wait_states(),
+                ws,
+                "at {mhz} MHz"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_frequency_is_zero_ws() {
+        assert_eq!(flash_wait_states(Hertz::new(0)).wait_states(), 0);
+    }
+
+    #[test]
+    fn access_cycles_include_issue_cycle() {
+        assert_eq!(flash_wait_states(Hertz::mhz(216)).access_cycles(), 8);
+        assert_eq!(flash_wait_states(Hertz::mhz(16)).access_cycles(), 1);
+    }
+
+    #[test]
+    fn monotone_in_frequency() {
+        let mut last = 0;
+        for mhz in 1..=216 {
+            let ws = flash_wait_states(Hertz::mhz(mhz)).wait_states();
+            assert!(ws >= last, "wait states decreased at {mhz} MHz");
+            last = ws;
+        }
+    }
+
+    #[test]
+    fn capped_at_seven() {
+        assert_eq!(flash_wait_states(Hertz::mhz(400)).wait_states(), 7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Frequency newtype used across the clock tree model.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A frequency in hertz.
+///
+/// `Hertz` is a thin `u64` newtype so that frequencies cannot be confused
+/// with cycle counts or divider values. Construction helpers exist for the
+/// common units:
+///
+/// ```
+/// use stm32_rcc::Hertz;
+///
+/// assert_eq!(Hertz::mhz(216).as_u64(), 216_000_000);
+/// assert_eq!(Hertz::khz(50).as_u64(), 50_000);
+/// assert_eq!(Hertz::mhz(1), Hertz::khz(1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hertz(u64);
+
+impl Hertz {
+    /// Creates a frequency from raw hertz.
+    pub const fn new(hz: u64) -> Self {
+        Hertz(hz)
+    }
+
+    /// Creates a frequency from kilohertz.
+    pub const fn khz(khz: u64) -> Self {
+        Hertz(khz * 1_000)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub const fn mhz(mhz: u64) -> Self {
+        Hertz(mhz * 1_000_000)
+    }
+
+    /// Returns the raw hertz value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the frequency in (possibly fractional) megahertz.
+    pub fn as_mhz_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the frequency as `f64` hertz, convenient for analytic models.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Duration of one clock period in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period_secs(self) -> f64 {
+        assert!(self.0 != 0, "period of a 0 Hz clock is undefined");
+        1.0 / self.0 as f64
+    }
+
+    /// Converts a cycle count at this frequency into seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn cycles_to_secs(self, cycles: u64) -> f64 {
+        assert!(self.0 != 0, "cannot convert cycles at 0 Hz");
+        cycles as f64 / self.0 as f64
+    }
+
+    /// Whether this frequency is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating checked multiply by an integer factor.
+    pub const fn saturating_mul(self, factor: u64) -> Self {
+        Hertz(self.0.saturating_mul(factor))
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+            write!(f, "{} MHz", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{} kHz", self.0 / 1_000)
+        } else {
+            write!(f, "{} Hz", self.0)
+        }
+    }
+}
+
+impl From<u64> for Hertz {
+    fn from(hz: u64) -> Self {
+        Hertz(hz)
+    }
+}
+
+impl From<Hertz> for u64 {
+    fn from(hz: Hertz) -> Self {
+        hz.0
+    }
+}
+
+impl Add for Hertz {
+    type Output = Hertz;
+    fn add(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Hertz {
+    type Output = Hertz;
+    fn sub(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Hertz {
+    type Output = Hertz;
+    fn mul(self, rhs: u64) -> Hertz {
+        Hertz(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Hertz {
+    type Output = Hertz;
+    fn div(self, rhs: u64) -> Hertz {
+        Hertz(self.0 / rhs)
+    }
+}
+
+impl Div<Hertz> for Hertz {
+    /// Ratio between two frequencies (integer division).
+    type Output = u64;
+    fn div(self, rhs: Hertz) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Hertz::new(1_000_000), Hertz::mhz(1));
+        assert_eq!(Hertz::khz(1_000), Hertz::mhz(1));
+        assert_eq!(Hertz::new(0), Hertz::default());
+    }
+
+    #[test]
+    fn display_picks_best_unit() {
+        assert_eq!(Hertz::mhz(216).to_string(), "216 MHz");
+        assert_eq!(Hertz::khz(50).to_string(), "50 kHz");
+        assert_eq!(Hertz::new(123).to_string(), "123 Hz");
+        assert_eq!(Hertz::new(1_500_000).to_string(), "1500 kHz");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Hertz::mhz(50) * 4, Hertz::mhz(200));
+        assert_eq!(Hertz::mhz(200) / 4, Hertz::mhz(50));
+        assert_eq!(Hertz::mhz(200) / Hertz::mhz(50), 4);
+        assert_eq!(Hertz::mhz(3) + Hertz::mhz(2), Hertz::mhz(5));
+        assert_eq!(Hertz::mhz(3) - Hertz::mhz(2), Hertz::mhz(1));
+    }
+
+    #[test]
+    fn period_and_cycles() {
+        let f = Hertz::mhz(100);
+        assert!((f.period_secs() - 1e-8).abs() < 1e-20);
+        assert!((f.cycles_to_secs(100_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(f.cycles_to_secs(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 Hz")]
+    fn zero_period_panics() {
+        let _ = Hertz::new(0).period_secs();
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Hertz::mhz(75) < Hertz::mhz(100));
+        assert!(Hertz::khz(999) < Hertz::mhz(1));
+    }
+
+    #[test]
+    fn mhz_round_trip() {
+        assert_eq!(Hertz::mhz(216).as_mhz_f64(), 216.0);
+        assert_eq!(Hertz::khz(500).as_mhz_f64(), 0.5);
+    }
+}

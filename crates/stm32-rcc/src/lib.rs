@@ -1,0 +1,67 @@
+//! Behavioural model of the STM32F7 Reset and Clock Control (RCC) peripheral.
+//!
+//! This crate reproduces the part of the STM32F767 clocking system that the
+//! paper *"Decoupled Access-Execute enabled DVFS for tinyML deployments on
+//! STM32 microcontrollers"* (DATE 2024) relies on:
+//!
+//! * the **HSI** (16 MHz internal) and **HSE** (1–50 MHz external) clock
+//!   sources,
+//! * the **PLL** with its `PLLM` / `PLLN` / `PLLP` dividers and the datasheet
+//!   validity constraints (VCO input/output ranges, SYSCLK ≤ 216 MHz),
+//! * `SYSCLK` selection (Eq. 1 of the paper:
+//!   `F_SYSCLK = F_{HSE,HSI} · PLLN / (PLLM · PLLP)`),
+//! * the **flash wait-state** ladder that couples memory latency to the chosen
+//!   frequency, and
+//! * the **switching-cost** asymmetry the methodology exploits: re-locking the
+//!   PLL costs ≈ 200 µs while toggling the SYSCLK mux to/from the HSE is
+//!   nearly instant.
+//!
+//! # Examples
+//!
+//! ```
+//! use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+//!
+//! # fn main() -> Result<(), stm32_rcc::RccError> {
+//! // 216 MHz out of a 50 MHz crystal: 50 / 25 * 216 / 2 = 216 MHz.
+//! let pll = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)?;
+//! assert_eq!(pll.sysclk(), Hertz::mhz(216));
+//!
+//! let cfg = SysclkConfig::Pll(pll);
+//! assert_eq!(cfg.sysclk(), Hertz::mhz(216));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod buses;
+pub mod enumerate;
+pub mod error;
+pub mod flash;
+pub mod hertz;
+pub mod pll;
+pub mod switching;
+pub mod sysclk;
+
+pub use buses::{pllq_for_usb, BusPrescalers, APB1_MAX, APB2_MAX, USB_CLOCK};
+pub use enumerate::{ConfigSpace, IsoFrequencyGroup, PAPER_PLLM_VALUES, PAPER_PLLN_VALUES};
+pub use error::RccError;
+pub use flash::{flash_wait_states, FlashLatency};
+pub use hertz::Hertz;
+pub use pll::PllConfig;
+pub use switching::{SwitchCost, SwitchCostModel};
+pub use sysclk::{ClockSource, SysclkConfig};
+
+/// Maximum SYSCLK frequency of the STM32F767 (with over-drive enabled).
+pub const MAX_SYSCLK: Hertz = Hertz::mhz(216);
+
+/// Default HSI frequency of STM32F7 parts.
+pub const HSI_FREQUENCY: Hertz = Hertz::mhz(16);
+
+/// Lowest supported HSE crystal/clock frequency on the examined board.
+pub const HSE_MIN: Hertz = Hertz::mhz(1);
+
+/// Highest supported HSE crystal/clock frequency on the examined board.
+pub const HSE_MAX: Hertz = Hertz::mhz(50);
+
+/// The LFO (low-frequency operation) clock the paper fixes for memory-bound
+/// segments: the HSE fed directly to SYSCLK at 50 MHz.
+pub const LFO_HSE: Hertz = Hertz::mhz(50);

@@ -1,0 +1,234 @@
+//! Clock-switch cost model (Sec. II-A of the paper).
+//!
+//! Re-programming the PLL dividers forces the loop to re-lock, which the
+//! paper measures at ≈ 200 µs per switch. Moving the SYSCLK mux between the
+//! HSE and an *already locked* PLL, by contrast, is "almost instant" thanks
+//! to the direct wiring of the HSE to the mux. The DAE methodology leans on
+//! exactly this asymmetry: LFO (HSE direct) ↔ HFO (PLL) toggles inside a
+//! layer are cheap as long as the HFO PLL parameters stay fixed.
+
+use std::fmt;
+
+use crate::sysclk::SysclkConfig;
+
+/// The classified cost of one SYSCLK transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchCost {
+    /// No transition: source and target configurations are identical.
+    Free,
+    /// SYSCLK mux toggle only (e.g. PLL ↔ HSE with unchanged PLL dividers).
+    MuxToggle(f64),
+    /// PLL divider change: the loop must re-lock.
+    PllRelock(f64),
+}
+
+impl SwitchCost {
+    /// The cost in seconds.
+    pub fn seconds(self) -> f64 {
+        match self {
+            SwitchCost::Free => 0.0,
+            SwitchCost::MuxToggle(s) | SwitchCost::PllRelock(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for SwitchCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchCost::Free => write!(f, "free"),
+            SwitchCost::MuxToggle(s) => write!(f, "mux toggle ({:.2} µs)", s * 1e6),
+            SwitchCost::PllRelock(s) => write!(f, "PLL re-lock ({:.1} µs)", s * 1e6),
+        }
+    }
+}
+
+/// Parametric switching-cost model.
+///
+/// Defaults follow the paper's measurements: 200 µs to re-lock the PLL and
+/// ≈ 1 µs (a few register writes plus mux settle time) for a direct mux
+/// toggle. Both are exposed so that the sensitivity ablation can sweep them.
+///
+/// # Examples
+///
+/// ```
+/// use stm32_rcc::{ClockSource, Hertz, PllConfig, SwitchCostModel, SysclkConfig};
+///
+/// # fn main() -> Result<(), stm32_rcc::RccError> {
+/// let model = SwitchCostModel::default();
+/// let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+/// let hfo = SysclkConfig::Pll(PllConfig::new(
+///     ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)?);
+///
+/// // HFO -> LFO keeps the PLL locked: cheap.
+/// assert!(model.cost(&hfo, &lfo).seconds() < 10e-6);
+/// // LFO -> same HFO: also cheap (PLL dividers unchanged).
+/// assert!(model.cost(&lfo, &hfo).seconds() < 10e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchCostModel {
+    pll_relock_secs: f64,
+    mux_toggle_secs: f64,
+}
+
+impl SwitchCostModel {
+    /// PLL re-lock time measured in the paper.
+    pub const DEFAULT_PLL_RELOCK: f64 = 200e-6;
+    /// Mux-toggle time ("almost instant" in the paper; a conservative 1 µs).
+    pub const DEFAULT_MUX_TOGGLE: f64 = 1e-6;
+
+    /// Builds a model with explicit costs (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cost is negative or non-finite.
+    pub fn new(pll_relock_secs: f64, mux_toggle_secs: f64) -> Self {
+        assert!(
+            pll_relock_secs.is_finite() && pll_relock_secs >= 0.0,
+            "PLL re-lock cost must be a non-negative finite time"
+        );
+        assert!(
+            mux_toggle_secs.is_finite() && mux_toggle_secs >= 0.0,
+            "mux toggle cost must be a non-negative finite time"
+        );
+        SwitchCostModel {
+            pll_relock_secs,
+            mux_toggle_secs,
+        }
+    }
+
+    /// The configured PLL re-lock penalty in seconds.
+    pub fn pll_relock_secs(&self) -> f64 {
+        self.pll_relock_secs
+    }
+
+    /// The configured mux-toggle penalty in seconds.
+    pub fn mux_toggle_secs(&self) -> f64 {
+        self.mux_toggle_secs
+    }
+
+    /// Classifies and prices the transition `from → to`.
+    ///
+    /// Rules, mirroring the hardware:
+    ///
+    /// * identical configurations are free;
+    /// * any transition that changes the PLL dividers (including turning the
+    ///   PLL on from scratch with new parameters) pays the re-lock penalty;
+    /// * PLL → direct source, direct → direct, and direct → *same* PLL all
+    ///   pay only the mux toggle, because the PLL stays locked in the
+    ///   background while SYSCLK runs off the HSE (this is exactly the
+    ///   LFO/HFO trick of the paper).
+    pub fn cost(&self, from: &SysclkConfig, to: &SysclkConfig) -> SwitchCost {
+        if from == to {
+            return SwitchCost::Free;
+        }
+        match (from, to) {
+            // Entering a PLL configuration: if we come from the *same* PLL
+            // parameters (only possible if from==to, handled above) it is
+            // free; from a direct source we assume the PLL was left locked
+            // with these dividers only when the previous PLL config matches.
+            // The model is memory-less, so the caller encodes "PLL kept warm"
+            // by alternating between a fixed Pll(cfg) and a direct source;
+            // any *change* of PLL dividers is priced as a re-lock.
+            (SysclkConfig::Pll(a), SysclkConfig::Pll(b)) => {
+                if a == b {
+                    SwitchCost::Free
+                } else {
+                    SwitchCost::PllRelock(self.pll_relock_secs)
+                }
+            }
+            (_, SysclkConfig::Pll(_)) => {
+                // Direct -> PLL. The warm-PLL assumption (paper Sec. III-B):
+                // LFO segments run with the HFO PLL still locked, so hopping
+                // back onto it is a mux toggle.
+                SwitchCost::MuxToggle(self.mux_toggle_secs)
+            }
+            (_, _) => SwitchCost::MuxToggle(self.mux_toggle_secs),
+        }
+    }
+
+    /// Prices a *cold* entry into a PLL configuration (PLL currently
+    /// unlocked or locked with different dividers).
+    pub fn cold_pll_entry(&self) -> SwitchCost {
+        SwitchCost::PllRelock(self.pll_relock_secs)
+    }
+}
+
+impl Default for SwitchCostModel {
+    fn default() -> Self {
+        SwitchCostModel::new(Self::DEFAULT_PLL_RELOCK, Self::DEFAULT_MUX_TOGGLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hertz::Hertz;
+    use crate::pll::PllConfig;
+    use crate::sysclk::ClockSource;
+
+    fn hfo(n: u32) -> SysclkConfig {
+        SysclkConfig::Pll(
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).unwrap(),
+        )
+    }
+
+    fn lfo() -> SysclkConfig {
+        SysclkConfig::hse_direct(Hertz::mhz(50))
+    }
+
+    #[test]
+    fn identical_is_free() {
+        let m = SwitchCostModel::default();
+        assert_eq!(m.cost(&lfo(), &lfo()), SwitchCost::Free);
+        assert_eq!(m.cost(&hfo(216), &hfo(216)), SwitchCost::Free);
+    }
+
+    #[test]
+    fn pll_divider_change_relocks() {
+        let m = SwitchCostModel::default();
+        match m.cost(&hfo(216), &hfo(100)) {
+            SwitchCost::PllRelock(s) => assert_eq!(s, 200e-6),
+            other => panic!("expected re-lock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn hfo_lfo_round_trip_is_cheap() {
+        let m = SwitchCostModel::default();
+        let down = m.cost(&hfo(216), &lfo());
+        let up = m.cost(&lfo(), &hfo(216));
+        assert!(matches!(down, SwitchCost::MuxToggle(_)));
+        assert!(matches!(up, SwitchCost::MuxToggle(_)));
+        assert!(down.seconds() + up.seconds() < 0.1 * 200e-6);
+    }
+
+    #[test]
+    fn direct_to_direct_is_mux() {
+        let m = SwitchCostModel::default();
+        let hsi = SysclkConfig::HsiDirect;
+        assert!(matches!(m.cost(&lfo(), &hsi), SwitchCost::MuxToggle(_)));
+    }
+
+    #[test]
+    fn custom_costs_respected() {
+        let m = SwitchCostModel::new(500e-6, 0.0);
+        assert_eq!(m.cost(&hfo(216), &hfo(100)).seconds(), 500e-6);
+        assert_eq!(m.cost(&hfo(216), &lfo()).seconds(), 0.0);
+        assert_eq!(m.cold_pll_entry().seconds(), 500e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        let _ = SwitchCostModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = SwitchCostModel::default();
+        assert!(m.cost(&hfo(216), &hfo(100)).to_string().contains("200"));
+        assert_eq!(SwitchCost::Free.to_string(), "free");
+    }
+}

@@ -1,0 +1,229 @@
+//! SYSCLK source selection: HSI, HSE direct, or PLL.
+
+use std::fmt;
+
+use crate::error::RccError;
+use crate::hertz::Hertz;
+use crate::pll::PllConfig;
+use crate::{HSE_MAX, HSE_MIN, HSI_FREQUENCY};
+
+/// One of the two PLL/SYSCLK input clock sources.
+///
+/// The paper restricts its exploration to the HSE because the HSI "yields
+/// higher power consumption compared to the HSE and is also prone to drift
+/// and jitter" (Sec. II). Both are modelled so that the trade-off is
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockSource {
+    /// High-speed internal RC oscillator, fixed at 16 MHz.
+    Hsi,
+    /// High-speed external crystal/clock at the given frequency.
+    Hse(Hertz),
+}
+
+impl ClockSource {
+    /// Convenience constructor for an HSE source.
+    ///
+    /// ```
+    /// use stm32_rcc::{ClockSource, Hertz};
+    /// assert_eq!(ClockSource::hse(Hertz::mhz(25)).frequency(), Hertz::mhz(25));
+    /// ```
+    pub const fn hse(freq: Hertz) -> Self {
+        ClockSource::Hse(freq)
+    }
+
+    /// The source's output frequency.
+    pub const fn frequency(self) -> Hertz {
+        match self {
+            ClockSource::Hsi => HSI_FREQUENCY,
+            ClockSource::Hse(f) => f,
+        }
+    }
+
+    /// Whether this source is the internal oscillator.
+    pub const fn is_internal(self) -> bool {
+        matches!(self, ClockSource::Hsi)
+    }
+
+    /// Validates the source against board limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RccError::HseOutOfRange`] for an HSE outside 1–50 MHz and
+    /// [`RccError::ZeroSourceFrequency`] for a 0 Hz source.
+    pub fn validate(self) -> Result<(), RccError> {
+        match self {
+            ClockSource::Hsi => Ok(()),
+            ClockSource::Hse(f) => {
+                if f.is_zero() {
+                    Err(RccError::ZeroSourceFrequency)
+                } else if f < HSE_MIN || f > HSE_MAX {
+                    Err(RccError::HseOutOfRange(f))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ClockSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockSource::Hsi => write!(f, "HSI(16 MHz)"),
+            ClockSource::Hse(hz) => write!(f, "HSE({hz})"),
+        }
+    }
+}
+
+/// A complete SYSCLK configuration: which mux input drives the system clock.
+///
+/// The three alternatives mirror Fig. 1 of the paper: SYSCLK can be wired
+/// directly to the HSI or HSE, or to the PLL output.
+///
+/// ```
+/// use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+///
+/// # fn main() -> Result<(), stm32_rcc::RccError> {
+/// let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+/// assert_eq!(lfo.sysclk(), Hertz::mhz(50));
+///
+/// let hfo = SysclkConfig::Pll(PllConfig::new(
+///     ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)?);
+/// assert_eq!(hfo.sysclk(), Hertz::mhz(216));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SysclkConfig {
+    /// SYSCLK driven directly by the 16 MHz HSI.
+    HsiDirect,
+    /// SYSCLK driven directly by the HSE at the given frequency.
+    HseDirect(Hertz),
+    /// SYSCLK driven by the PLL output.
+    Pll(PllConfig),
+}
+
+impl SysclkConfig {
+    /// Convenience constructor for a direct-HSE configuration.
+    pub const fn hse_direct(freq: Hertz) -> Self {
+        SysclkConfig::HseDirect(freq)
+    }
+
+    /// The resulting SYSCLK frequency.
+    pub fn sysclk(&self) -> Hertz {
+        match self {
+            SysclkConfig::HsiDirect => HSI_FREQUENCY,
+            SysclkConfig::HseDirect(f) => *f,
+            SysclkConfig::Pll(pll) => pll.sysclk(),
+        }
+    }
+
+    /// Whether the PLL is engaged (and therefore drawing power and imposing
+    /// its re-lock penalty when reconfigured).
+    pub const fn uses_pll(&self) -> bool {
+        matches!(self, SysclkConfig::Pll(_))
+    }
+
+    /// The VCO frequency if the PLL drives SYSCLK, else `None`.
+    ///
+    /// The VCO frequency is the power-relevant hidden state behind
+    /// iso-frequency configurations (Fig. 2 of the paper).
+    pub fn vco_output(&self) -> Option<Hertz> {
+        match self {
+            SysclkConfig::Pll(pll) => Some(pll.vco_output()),
+            _ => None,
+        }
+    }
+
+    /// The PLL configuration if present.
+    pub const fn pll(&self) -> Option<&PllConfig> {
+        match self {
+            SysclkConfig::Pll(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Validates the configuration against all datasheet constraints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source and PLL validation errors; see [`RccError`].
+    pub fn validate(&self) -> Result<(), RccError> {
+        match self {
+            SysclkConfig::HsiDirect => Ok(()),
+            SysclkConfig::HseDirect(f) => ClockSource::Hse(*f).validate(),
+            SysclkConfig::Pll(pll) => pll.validate(),
+        }
+    }
+}
+
+impl fmt::Display for SysclkConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysclkConfig::HsiDirect => write!(f, "HSI direct (16 MHz)"),
+            SysclkConfig::HseDirect(hz) => write!(f, "HSE direct ({hz})"),
+            SysclkConfig::Pll(pll) => write!(f, "{pll}"),
+        }
+    }
+}
+
+impl From<PllConfig> for SysclkConfig {
+    fn from(pll: PllConfig) -> Self {
+        SysclkConfig::Pll(pll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsi_is_16_mhz() {
+        assert_eq!(SysclkConfig::HsiDirect.sysclk(), Hertz::mhz(16));
+        assert_eq!(ClockSource::Hsi.frequency(), Hertz::mhz(16));
+        assert!(ClockSource::Hsi.is_internal());
+    }
+
+    #[test]
+    fn hse_direct_passes_through() {
+        let cfg = SysclkConfig::hse_direct(Hertz::mhz(50));
+        assert_eq!(cfg.sysclk(), Hertz::mhz(50));
+        assert!(!cfg.uses_pll());
+        assert_eq!(cfg.vco_output(), None);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn hse_out_of_range_rejected() {
+        let cfg = SysclkConfig::hse_direct(Hertz::mhz(60));
+        assert_eq!(cfg.validate(), Err(RccError::HseOutOfRange(Hertz::mhz(60))));
+        let cfg = SysclkConfig::hse_direct(Hertz::khz(500));
+        assert!(matches!(cfg.validate(), Err(RccError::HseOutOfRange(_))));
+    }
+
+    #[test]
+    fn zero_hse_rejected() {
+        let cfg = SysclkConfig::hse_direct(Hertz::new(0));
+        assert_eq!(cfg.validate(), Err(RccError::ZeroSourceFrequency));
+    }
+
+    #[test]
+    fn pll_config_roundtrip() {
+        let pll = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).unwrap();
+        let cfg = SysclkConfig::from(pll);
+        assert!(cfg.uses_pll());
+        assert_eq!(cfg.sysclk(), Hertz::mhz(216));
+        assert_eq!(cfg.vco_output(), Some(Hertz::mhz(432)));
+        assert_eq!(cfg.pll(), Some(&pll));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            SysclkConfig::hse_direct(Hertz::mhz(50)).to_string(),
+            "HSE direct (50 MHz)"
+        );
+        assert!(SysclkConfig::HsiDirect.to_string().contains("HSI"));
+    }
+}

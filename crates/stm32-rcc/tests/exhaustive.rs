@@ -1,0 +1,120 @@
+//! Exhaustive validation of the PLL math against first principles.
+
+use stm32_rcc::{flash_wait_states, ClockSource, ConfigSpace, Hertz, PllConfig, RccError};
+
+/// Sweeps a coarse grid over the entire divider space and cross-checks
+/// every accept/reject decision against the raw datasheet arithmetic.
+#[test]
+fn accept_reject_matches_datasheet_arithmetic() {
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for hse_mhz in (1..=50u64).step_by(7) {
+        for m in (1..=70u32).step_by(3) {
+            for n in (40..=440u32).step_by(13) {
+                for p in [2u32, 4, 6, 8] {
+                    let src = ClockSource::hse(Hertz::mhz(hse_mhz));
+                    let result = PllConfig::new(src, m, n, p);
+                    let vco_in_hz = hse_mhz * 1_000_000 / u64::from(m.max(1));
+                    let valid = (2..=63).contains(&m)
+                        && (50..=432).contains(&n)
+                        && vco_in_hz >= 1_000_000
+                        && vco_in_hz <= 2_000_000
+                        && {
+                            let vco_out = hse_mhz * 1_000_000 * u64::from(n) / u64::from(m);
+                            (100_000_000..=432_000_000).contains(&vco_out)
+                                && vco_out / u64::from(p) <= 216_000_000
+                        };
+                    match (result.is_ok(), valid) {
+                        (true, true) => accepted += 1,
+                        (false, false) => rejected += 1,
+                        (got, want) => panic!(
+                            "mismatch at hse={hse_mhz} m={m} n={n} p={p}: got ok={got}, want ok={want}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert!(accepted > 100, "sweep accepted too few configs: {accepted}");
+    assert!(rejected > 1000, "sweep rejected too few configs: {rejected}");
+}
+
+/// Integer-division subtlety: `vco_input` uses integer hertz, so the
+/// acceptance test above must agree for non-divisible inputs too.
+#[test]
+fn non_divisible_inputs_behave() {
+    // 7 MHz / 5 = 1.4 MHz: valid VCO input.
+    let cfg = PllConfig::new(ClockSource::hse(Hertz::mhz(7)), 5, 100, 2);
+    assert!(cfg.is_ok());
+    let cfg = cfg.unwrap();
+    assert_eq!(cfg.vco_input().as_u64(), 1_400_000);
+    assert_eq!(cfg.vco_output().as_u64(), 140_000_000);
+    assert_eq!(cfg.sysclk().as_u64(), 70_000_000);
+}
+
+#[test]
+fn every_enumerated_config_round_trips_its_label() {
+    for cfg in ConfigSpace::wide().enumerate_pll() {
+        let (hse, m, n) = cfg.label_tuple();
+        let rebuilt = PllConfig::new(
+            ClockSource::hse(Hertz::mhz(hse)),
+            m,
+            n,
+            cfg.pllp(),
+        )
+        .expect("enumerated config must rebuild");
+        assert_eq!(rebuilt, cfg);
+    }
+}
+
+#[test]
+fn wait_state_boundaries_are_exact() {
+    for (boundary_mhz, below, above) in [
+        (30u64, 0u8, 1u8),
+        (60, 1, 2),
+        (90, 2, 3),
+        (120, 3, 4),
+        (150, 4, 5),
+        (180, 5, 6),
+        (210, 6, 7),
+    ] {
+        assert_eq!(
+            flash_wait_states(Hertz::mhz(boundary_mhz)).wait_states(),
+            below,
+            "at {boundary_mhz} MHz"
+        );
+        assert_eq!(
+            flash_wait_states(Hertz::new(boundary_mhz * 1_000_000 + 1)).wait_states(),
+            above,
+            "just above {boundary_mhz} MHz"
+        );
+    }
+}
+
+#[test]
+fn error_messages_name_the_violated_constraint() {
+    let cases: Vec<(RccError, &str)> = vec![
+        (
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 1, 100, 2).unwrap_err(),
+            "PLLM",
+        ),
+        (
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 20, 2).unwrap_err(),
+            "PLLN",
+        ),
+        (
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 100, 3).unwrap_err(),
+            "PLLP",
+        ),
+        (
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 60, 200, 2).unwrap_err(),
+            "VCO input",
+        ),
+    ];
+    for (err, needle) in cases {
+        assert!(
+            err.to_string().contains(needle),
+            "'{err}' should mention {needle}"
+        );
+    }
+}

@@ -1,0 +1,593 @@
+//! Lowering CNN layers to machine-level cost profiles.
+//!
+//! A [`KernelProfile`] describes a layer the way the execution engines see
+//! it: a number of *units* (channels for depthwise, image columns for
+//! pointwise — exactly the granularity TinyEngine/CMSIS-NN iterate at and
+//! the paper's DAE transform batches `g` at a time), with per-unit compute
+//! operations and layout-aware memory traffic. Both the TinyEngine baseline
+//! executor and the DAE transform price their schedules from the same
+//! profile, which guarantees iso-work comparisons.
+//!
+//! ## Why DAE helps, in this model
+//!
+//! Activations live in **HWC** layout (channels innermost), the layout
+//! TinyEngine and CMSIS-NN use:
+//!
+//! * **Depthwise** kernels process one channel at a time, so they read the
+//!   tensor with stride `C`: every 32-byte cache line yields only a few
+//!   useful bytes per channel, and each per-channel pass touches *every*
+//!   line of the input tensor. When the tensor exceeds the 16 KB L1, the
+//!   interleaved baseline therefore re-streams the whole tensor once per
+//!   channel. DAE staging gathers `g` channels into dense buffers, paying
+//!   the strided walk once per *group* instead of once per channel.
+//! * **Pointwise** kernels read one contiguous column (`C` bytes) per unit
+//!   but re-walk the full `c_in × c_out` weight matrix for every column.
+//!   Batching `g` columns amortizes the weight walk `g`-fold (classic
+//!   register-level unrolling) and moves the column staging into a
+//!   memory-bound segment.
+//!
+//! On top of that, DAE runs the staging segments at the 50 MHz LFO where
+//! fills cost almost the same wall time but far less power.
+
+use mcu_sim::cache::{reuse_hit_ratio, CacheConfig};
+use mcu_sim::{MemoryTraffic, OpCounts};
+use tinynn::{Layer, LayerInfo, LayerKind};
+
+/// Cache-line size used to convert byte traffic into line fills.
+pub const LINE_BYTES: u64 = 32;
+
+/// Rounds byte counts up to cache-line fills.
+pub fn lines(bytes: u64) -> u64 {
+    bytes.div_ceil(LINE_BYTES)
+}
+
+/// Layout-specific access geometry of a layer's units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitGeometry {
+    /// Depthwise channels: strided (stride `C`) gather over the whole input
+    /// tensor per unit.
+    DepthwiseChannels {
+        /// Cache lines of the whole input tensor.
+        tensor_lines: u64,
+        /// Total input tensor bytes.
+        tensor_bytes: u64,
+    },
+    /// Pointwise columns: contiguous `c_in` bytes per unit.
+    PointwiseColumns,
+    /// Monolithic layers (stem conv, pooling, dense, ReLU).
+    Monolithic,
+}
+
+/// Machine-level description of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Layer name.
+    pub name: String,
+    /// Reporting kind (depthwise / pointwise / rest).
+    pub kind: LayerKind,
+    /// Access geometry.
+    pub geometry: UnitGeometry,
+    /// Number of schedulable units (channels for dw, columns for pw,
+    /// 1 for monolithic layers).
+    pub units: u64,
+    /// Input bytes consumed per unit (dense channel plane for dw, one
+    /// column for pw).
+    pub unit_input_bytes: u64,
+    /// Output bytes produced per unit.
+    pub unit_output_bytes: u64,
+    /// Compute operations per unit, excluding any per-unit weight walk.
+    pub unit_ops: OpCounts,
+    /// Operations of one full weight-matrix walk (pointwise re-reads these
+    /// per unrolled column batch in the baseline; DAE amortizes them per
+    /// group).
+    pub weight_walk_ops: OpCounts,
+    /// Columns the baseline kernel unrolls per weight walk (TinyEngine's
+    /// hand-written pointwise kernels keep weights in registers across ~4
+    /// columns; 1 for everything else).
+    pub baseline_unroll: u64,
+    /// Total flash-resident weight bytes.
+    pub weight_bytes: u64,
+}
+
+impl KernelProfile {
+    /// Total input bytes across all units.
+    pub fn input_bytes(&self) -> u64 {
+        self.units * self.unit_input_bytes
+    }
+
+    /// Total output bytes across all units.
+    pub fn output_bytes(&self) -> u64 {
+        self.units * self.unit_output_bytes
+    }
+
+    /// Whether the DAE transform applies (depthwise / pointwise).
+    pub fn dae_capable(&self) -> bool {
+        matches!(
+            self.geometry,
+            UnitGeometry::DepthwiseChannels { .. } | UnitGeometry::PointwiseColumns
+        )
+    }
+
+    /// Compute operations of the *interleaved baseline* schedule: per-unit
+    /// ops plus, for pointwise, one weight walk per unrolled column batch.
+    pub fn baseline_ops(&self) -> OpCounts {
+        let walks = self.units.div_ceil(self.baseline_unroll.max(1));
+        self.unit_ops.scaled(self.units) + self.weight_walk_ops.scaled(walks)
+    }
+
+    /// Lines one per-channel pass touches: with `C ≥ 32` each 32-byte line
+    /// holds 32 channels of one pixel, so a pass touches one line per
+    /// pixel; with small `C` it touches every tensor line.
+    fn dw_lines_per_pass(&self, tensor_lines: u64) -> u64 {
+        tensor_lines.min(self.unit_input_bytes)
+    }
+
+    /// How many distinct per-channel passes touch each line in the
+    /// interleaved baseline: all channels sharing the line, capped at the
+    /// 32 channels a line can hold.
+    fn dw_touches_per_line(&self) -> u64 {
+        self.units.min(LINE_BYTES)
+    }
+
+    /// Fill count of a strided depthwise walk where each line is touched by
+    /// `touches` separate passes whose per-pass footprint is
+    /// `lines_per_pass × 32` bytes: the first touch always misses; later
+    /// touches miss on the non-resident fraction.
+    fn dw_strided_fills(&self, tensor_lines: u64, touches: u64, cache: &CacheConfig) -> u64 {
+        let ws_pass = self.dw_lines_per_pass(tensor_lines) * LINE_BYTES;
+        let reuse = reuse_hit_ratio(ws_pass, cache);
+        let extra =
+            (touches.saturating_sub(1)) as f64 * tensor_lines as f64 * (1.0 - reuse);
+        tensor_lines + extra.round() as u64
+    }
+
+    /// Memory traffic of the interleaved baseline schedule.
+    pub fn baseline_traffic(&self, cache: &CacheConfig) -> MemoryTraffic {
+        let out_fills = lines(self.output_bytes());
+        match self.geometry {
+            UnitGeometry::DepthwiseChannels { tensor_lines, .. } => {
+                // Strided per-channel walks: each line is re-touched by
+                // every channel it holds; once the per-pass footprint
+                // exceeds the cache, those re-touches miss.
+                let fills =
+                    self.dw_strided_fills(tensor_lines, self.dw_touches_per_line(), cache);
+                MemoryTraffic {
+                    cache_hits: 0,
+                    sram_line_fills: fills + out_fills,
+                    flash_line_fills: lines(self.weight_bytes),
+                    sram_uncached: 0,
+                }
+            }
+            UnitGeometry::PointwiseColumns => {
+                // Columns stream contiguously: each input line is fetched
+                // once. Weights are fetched once plus per-column rescans
+                // that miss the cache.
+                MemoryTraffic {
+                    cache_hits: 0,
+                    sram_line_fills: lines(self.input_bytes()) + out_fills,
+                    flash_line_fills: lines(self.weight_bytes),
+                    sram_uncached: 0,
+                }
+                .merged(&self.weight_rescan_traffic(self.units.div_ceil(self.baseline_unroll.max(1)), self.baseline_unroll, cache))
+            }
+            UnitGeometry::Monolithic => MemoryTraffic {
+                cache_hits: 0,
+                sram_line_fills: lines(self.input_bytes()) + out_fills,
+                flash_line_fills: lines(self.weight_bytes),
+                sram_uncached: 0,
+            },
+        }
+    }
+
+    /// Staging traffic of one DAE memory segment for a batch of `n` units
+    /// (plus the weights, once, when `first` is set).
+    pub fn dae_stage_traffic(
+        &self,
+        n: u64,
+        first: bool,
+        cache: &CacheConfig,
+    ) -> MemoryTraffic {
+        let weights = if first { lines(self.weight_bytes) } else { 0 };
+        match self.geometry {
+            UnitGeometry::DepthwiseChannels { tensor_lines, .. } => {
+                // One gather pass stages n channels at once, so each line
+                // is touched by `ceil(touches / g)` group-passes instead of
+                // `touches` channel-passes. Amortize that over the groups:
+                // this segment carries a `1/groups`-th share of the total
+                // strided-gather fills, plus the dense-buffer writes.
+                let touches = self.dw_touches_per_line();
+                let group_touches = touches.div_ceil(n.max(1));
+                let total_gather =
+                    self.dw_strided_fills(tensor_lines, group_touches, cache);
+                let groups = self.units.div_ceil(n.max(1));
+                let share = total_gather.div_ceil(groups);
+                MemoryTraffic {
+                    cache_hits: 0,
+                    sram_line_fills: share + lines(n * self.unit_input_bytes),
+                    flash_line_fills: weights,
+                    sram_uncached: 0,
+                }
+            }
+            UnitGeometry::PointwiseColumns | UnitGeometry::Monolithic => MemoryTraffic {
+                cache_hits: 0,
+                sram_line_fills: lines(n * self.unit_input_bytes),
+                flash_line_fills: weights,
+                sram_uncached: 0,
+            },
+        }
+    }
+
+    /// Compute operations of one DAE compute segment over `n` staged units:
+    /// the per-unit ops plus a *single* weight walk (amortized over the
+    /// batch).
+    pub fn dae_compute_ops(&self, n: u64) -> OpCounts {
+        self.unit_ops.scaled(n) + self.weight_walk_ops
+    }
+
+    /// Memory traffic of one DAE compute segment: output write-back, cache
+    /// spills when the staged working set overflows, and weight-rescan
+    /// misses.
+    pub fn dae_compute_traffic(&self, n: u64, groups: u64, cache: &CacheConfig) -> MemoryTraffic {
+        let ws = n * self.unit_input_bytes + self.weight_bytes;
+        let hit = reuse_hit_ratio(ws, cache);
+        let spilled =
+            ((1.0 - hit) * lines(n * self.unit_input_bytes) as f64).round() as u64;
+        MemoryTraffic {
+            cache_hits: 0,
+            sram_line_fills: spilled + lines(n * self.unit_output_bytes),
+            flash_line_fills: 0,
+            sram_uncached: 0,
+        }
+        .merged(&self.weight_rescan_traffic(groups, n, cache))
+    }
+
+    /// Extra flash traffic caused by weight re-walks that miss the cache:
+    /// `rescans - 1` re-walks over a working set of `batch` unit buffers
+    /// plus the weights.
+    pub fn weight_rescan_traffic(
+        &self,
+        rescans: u64,
+        batch: u64,
+        cache: &CacheConfig,
+    ) -> MemoryTraffic {
+        if !matches!(self.geometry, UnitGeometry::PointwiseColumns) || rescans <= 1 {
+            return MemoryTraffic::ZERO;
+        }
+        let ws = self.weight_bytes + batch * self.unit_input_bytes;
+        let hit = reuse_hit_ratio(ws, cache);
+        let missed = (1.0 - hit) * (rescans - 1) as f64 * lines(self.weight_bytes) as f64;
+        MemoryTraffic {
+            cache_hits: 0,
+            sram_line_fills: 0,
+            flash_line_fills: missed.round() as u64,
+            sram_uncached: 0,
+        }
+    }
+}
+
+/// Builds the [`KernelProfile`] for a planned layer.
+///
+/// Per-unit operation counts follow the inner loops of CMSIS-NN-style int8
+/// kernels:
+///
+/// * depthwise 3×3: per output pixel `k²` MACs, `k²` activation loads, a
+///   few address-arithmetic ALU ops and one store;
+/// * pointwise: per column `c_in·c_out` MACs, `c_in` activation loads and
+///   `c_out` stores, with the `c_in·c_out` weight loads accounted as a
+///   separate weight walk (re-done per column in the baseline);
+/// * other layers are treated as a single monolithic unit.
+pub fn profile(layer: &Layer, info: &LayerInfo) -> KernelProfile {
+    match layer {
+        Layer::Depthwise(dw) => {
+            let out_pixels = (info.output.h * info.output.w) as u64;
+            let k2 = (dw.kernel * dw.kernel) as u64;
+            let per_pixel = OpCounts {
+                mac: k2,
+                load: k2,
+                alu: 6,
+                store: 1,
+                branch: 1,
+            };
+            let tensor_bytes = info.input.bytes() as u64;
+            KernelProfile {
+                name: info.name.clone(),
+                kind: LayerKind::Depthwise,
+                geometry: UnitGeometry::DepthwiseChannels {
+                    tensor_lines: lines(tensor_bytes),
+                    tensor_bytes,
+                },
+                units: info.input.c as u64,
+                unit_input_bytes: (info.input.h * info.input.w) as u64,
+                unit_output_bytes: out_pixels,
+                unit_ops: per_pixel.scaled(out_pixels),
+                weight_walk_ops: OpCounts::ZERO,
+                baseline_unroll: 1,
+                weight_bytes: info.weight_bytes as u64,
+            }
+        }
+        Layer::Pointwise(pw) => {
+            let cols = (info.input.h * info.input.w) as u64;
+            let c_in = pw.c_in as u64;
+            let c_out = pw.c_out as u64;
+            let per_col = OpCounts {
+                mac: c_in * c_out,
+                load: c_in,
+                alu: 2 * c_out,
+                store: c_out,
+                branch: c_out,
+            };
+            let weight_walk = OpCounts {
+                load: c_in * c_out,
+                alu: c_out,
+                ..OpCounts::ZERO
+            };
+            KernelProfile {
+                name: info.name.clone(),
+                kind: LayerKind::Pointwise,
+                geometry: UnitGeometry::PointwiseColumns,
+                units: cols,
+                unit_input_bytes: c_in,
+                unit_output_bytes: c_out,
+                unit_ops: per_col,
+                weight_walk_ops: weight_walk,
+                baseline_unroll: 4,
+                weight_bytes: info.weight_bytes as u64,
+            }
+        }
+        _ => {
+            let macs = info.macs;
+            let in_bytes = info.input.bytes() as u64;
+            let out_bytes = info.output.bytes() as u64;
+            let ops = OpCounts {
+                mac: macs,
+                load: macs + in_bytes,
+                alu: out_bytes * 4,
+                store: out_bytes,
+                branch: out_bytes,
+            };
+            KernelProfile {
+                name: info.name.clone(),
+                kind: LayerKind::Rest,
+                geometry: UnitGeometry::Monolithic,
+                units: 1,
+                unit_input_bytes: in_bytes,
+                unit_output_bytes: out_bytes,
+                unit_ops: ops,
+                weight_walk_ops: OpCounts::ZERO,
+                baseline_unroll: 1,
+                weight_bytes: info.weight_bytes as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::models::{mobilenet_v2, vww_sized};
+
+    fn profiles_for(model: &tinynn::Model) -> Vec<KernelProfile> {
+        let plan = model.plan().unwrap();
+        model
+            .layers()
+            .zip(plan.iter())
+            .map(|(nl, info)| profile(&nl.layer, info))
+            .collect()
+    }
+
+    #[test]
+    fn depthwise_units_are_channels() {
+        let model = vww_sized(32);
+        let plan = model.plan().unwrap();
+        for (nl, info) in model.layers().zip(plan.iter()) {
+            if let Layer::Depthwise(dw) = &nl.layer {
+                let p = profile(&nl.layer, info);
+                assert_eq!(p.units, dw.channels as u64);
+                assert_eq!(p.unit_input_bytes, (info.input.h * info.input.w) as u64);
+                assert!(p.dae_capable());
+            }
+        }
+    }
+
+    #[test]
+    fn pointwise_units_are_columns() {
+        let model = vww_sized(32);
+        let plan = model.plan().unwrap();
+        for (nl, info) in model.layers().zip(plan.iter()) {
+            if let Layer::Pointwise(pw) = &nl.layer {
+                let p = profile(&nl.layer, info);
+                assert_eq!(p.units, (info.input.h * info.input.w) as u64);
+                assert_eq!(p.unit_input_bytes, pw.c_in as u64);
+                assert_eq!(p.unit_output_bytes, pw.c_out as u64);
+                assert_eq!(p.weight_walk_ops.load, (pw.c_in * pw.c_out) as u64);
+                assert!(p.dae_capable());
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_mac_totals_match_plan() {
+        let model = vww_sized(32);
+        let plan = model.plan().unwrap();
+        for (p, info) in profiles_for(&model).iter().zip(plan.iter()) {
+            assert_eq!(
+                p.baseline_ops().mac,
+                info.macs,
+                "MAC mismatch in {}",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_depthwise_tensor_restreams_per_channel() {
+        // Thrash condition: the per-pass footprint (one line per pixel)
+        // exceeds the L1, i.e. `H·W·32 > 16 KB`. MBV2's early expanded
+        // stages at 64x64 qualify; their baseline traffic must be many
+        // times the tensor size.
+        let model = mobilenet_v2();
+        let cache = CacheConfig::stm32f767();
+        let mut found_thrash = false;
+        for p in profiles_for(&model) {
+            if let UnitGeometry::DepthwiseChannels { tensor_lines, .. } = p.geometry {
+                let t = p.baseline_traffic(&cache);
+                let pass_footprint =
+                    tensor_lines.min(p.unit_input_bytes) * LINE_BYTES;
+                if pass_footprint > u64::from(cache.size_bytes) && p.units >= 16 {
+                    assert!(
+                        t.sram_line_fills > 4 * tensor_lines,
+                        "{}: expected per-channel re-streaming",
+                        p.name
+                    );
+                    found_thrash = true;
+                }
+            }
+        }
+        assert!(found_thrash, "MBV2 must contain thrashing dw layers");
+    }
+
+    #[test]
+    fn small_depthwise_tensor_streams_once() {
+        let model = vww_sized(32);
+        let cache = CacheConfig::stm32f767();
+        for p in profiles_for(&model) {
+            if let UnitGeometry::DepthwiseChannels {
+                tensor_lines,
+                tensor_bytes,
+            } = p.geometry
+            {
+                if tensor_bytes <= 16 * 1024 {
+                    let t = p.baseline_traffic(&cache);
+                    let expected = tensor_lines + lines(p.output_bytes());
+                    assert_eq!(
+                        t.sram_line_fills, expected,
+                        "{}: cache-resident tensor must stream once",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dae_staging_cuts_depthwise_refetches() {
+        // For an oversized tensor, total DAE gather traffic with g=8 must be
+        // far below the baseline per-channel re-streaming.
+        let model = mobilenet_v2();
+        let cache = CacheConfig::stm32f767();
+        let p = profiles_for(&model)
+            .into_iter()
+            .find(|p| {
+                matches!(p.geometry, UnitGeometry::DepthwiseChannels { tensor_bytes, .. }
+                    if tensor_bytes > 2 * 16 * 1024)
+            })
+            .expect("oversized dw layer exists");
+        let baseline = p.baseline_traffic(&cache).sram_line_fills;
+        let g = 8u64;
+        let groups = p.units.div_ceil(g);
+        let mut dae = 0u64;
+        let mut remaining = p.units;
+        let mut first = true;
+        while remaining > 0 {
+            let n = remaining.min(g);
+            dae += p.dae_stage_traffic(n, first, &cache).sram_line_fills;
+            dae += p.dae_compute_traffic(n, groups, &cache).sram_line_fills;
+            remaining -= n;
+            first = false;
+        }
+        assert!(
+            dae * 2 < baseline,
+            "{}: DAE fills {dae} should be well under baseline {baseline}",
+            p.name
+        );
+    }
+
+    #[test]
+    fn pointwise_batching_amortizes_weight_walk() {
+        let model = vww_sized(32);
+        let p = profiles_for(&model)
+            .into_iter()
+            .find(|p| matches!(p.geometry, UnitGeometry::PointwiseColumns))
+            .unwrap();
+        let baseline_loads = p.baseline_ops().load;
+        let g = 8u64;
+        let groups = p.units.div_ceil(g);
+        let mut dae_loads = 0u64;
+        let mut remaining = p.units;
+        while remaining > 0 {
+            let n = remaining.min(g);
+            dae_loads += p.dae_compute_ops(n).load;
+            remaining -= n;
+        }
+        assert!(
+            dae_loads < baseline_loads,
+            "batched weight walk must reduce loads: {dae_loads} vs {baseline_loads}"
+        );
+        // The reduction is exactly the walk amortization: baseline walks
+        // once per 4-column unroll batch, DAE once per g-column group.
+        let baseline_walks = p.units.div_ceil(p.baseline_unroll);
+        let saved = baseline_loads - dae_loads;
+        assert_eq!(saved, (baseline_walks - groups) * p.weight_walk_ops.load);
+    }
+
+    #[test]
+    fn weight_rescan_zero_when_resident() {
+        let cache = CacheConfig::stm32f767();
+        let p = KernelProfile {
+            name: "small-pw".into(),
+            kind: LayerKind::Pointwise,
+            geometry: UnitGeometry::PointwiseColumns,
+            units: 64,
+            unit_input_bytes: 16,
+            unit_output_bytes: 32,
+            unit_ops: OpCounts::ZERO,
+            weight_walk_ops: OpCounts::ZERO,
+                baseline_unroll: 1,
+            weight_bytes: 512,
+        };
+        assert_eq!(p.weight_rescan_traffic(64, 1, &cache), MemoryTraffic::ZERO);
+    }
+
+    #[test]
+    fn weight_rescan_grows_with_batch() {
+        let p = KernelProfile {
+            name: "big-pw".into(),
+            kind: LayerKind::Pointwise,
+            geometry: UnitGeometry::PointwiseColumns,
+            units: 64,
+            unit_input_bytes: 256,
+            unit_output_bytes: 256,
+            unit_ops: OpCounts::ZERO,
+            weight_walk_ops: OpCounts::ZERO,
+                baseline_unroll: 1,
+            weight_bytes: 20 * 1024,
+        };
+        let cache = CacheConfig::stm32f767();
+        let small = p.weight_rescan_traffic(64, 1, &cache).flash_line_fills;
+        let large = p.weight_rescan_traffic(64, 32, &cache).flash_line_fills;
+        assert!(small > 0, "oversized weights must spill");
+        assert!(large > small, "bigger batches must spill more");
+        // Fewer rescans (DAE groups) means less rescan traffic.
+        let grouped = p.weight_rescan_traffic(8, 8, &cache).flash_line_fills;
+        assert!(grouped < small);
+    }
+
+    #[test]
+    fn lines_rounding() {
+        assert_eq!(lines(0), 0);
+        assert_eq!(lines(1), 1);
+        assert_eq!(lines(32), 1);
+        assert_eq!(lines(33), 2);
+    }
+
+    #[test]
+    fn rest_layers_are_monolithic() {
+        let model = vww_sized(32);
+        for p in profiles_for(&model) {
+            if p.kind == LayerKind::Rest {
+                assert_eq!(p.units, 1);
+                assert!(!p.dae_capable());
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the baseline engine.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::planner::PlanBudgetError;
+use tinynn::NnError;
+
+/// Errors produced while lowering or executing a model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A shape or weight error from the CNN substrate.
+    Nn(NnError),
+    /// The activation plan exceeds the SRAM budget.
+    Budget(PlanBudgetError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Nn(e) => write!(f, "model error: {e}"),
+            EngineError::Budget(e) => write!(f, "memory planning failed: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Nn(e) => Some(e),
+            EngineError::Budget(e) => Some(e),
+        }
+    }
+}
+
+impl From<NnError> for EngineError {
+    fn from(e: NnError) -> Self {
+        EngineError::Nn(e)
+    }
+}
+
+impl From<PlanBudgetError> for EngineError {
+    fn from(e: PlanBudgetError) -> Self {
+        EngineError::Budget(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_std_error_with_source() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<EngineError>();
+
+        let e = EngineError::Budget(PlanBudgetError {
+            peak_bytes: 500 * 1024,
+            budget_bytes: 384 * 1024,
+            layer: "b3.pw".into(),
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("b3.pw"));
+    }
+}

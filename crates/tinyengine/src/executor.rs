@@ -1,0 +1,264 @@
+//! The baseline executor: TinyEngine-style whole-layer schedules.
+
+use mcu_sim::cache::CacheConfig;
+use mcu_sim::{Machine, Segment};
+use stm32_power::Joules;
+use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+use tinynn::{LayerKind, Model};
+
+use crate::cost::{profile, KernelProfile};
+use crate::error::EngineError;
+use crate::planner::plan_memory;
+
+/// The 216 MHz PLL configuration TinyEngine runs at in the paper's setup.
+///
+/// # Panics
+///
+/// Never panics in practice; the constant configuration is valid.
+pub fn tinyengine_clock() -> SysclkConfig {
+    SysclkConfig::Pll(
+        PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)
+            .expect("216 MHz reference configuration is valid"),
+    )
+}
+
+/// Timing and energy of one executed layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerExecution {
+    /// Layer name.
+    pub name: String,
+    /// Reporting kind.
+    pub kind: LayerKind,
+    /// Wall time in seconds.
+    pub time_secs: f64,
+    /// Energy consumed.
+    pub energy: Joules,
+}
+
+/// Result of executing a full inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Model name.
+    pub model: String,
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerExecution>,
+    /// Total inference wall time.
+    pub total_time_secs: f64,
+    /// Total inference energy.
+    pub total_energy: Joules,
+}
+
+impl InferenceReport {
+    /// Average power over the inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report covers zero time.
+    pub fn average_power_mw(&self) -> f64 {
+        assert!(self.total_time_secs > 0.0, "empty report");
+        self.total_energy.as_f64() / self.total_time_secs * 1e3
+    }
+}
+
+/// The TinyEngine-style baseline engine.
+///
+/// Lowers every layer to a single monolithic segment (interleaved loads and
+/// computes, the per-channel / per-column order of CMSIS-NN and TinyEngine)
+/// and executes the whole model at one fixed clock.
+///
+/// # Examples
+///
+/// ```
+/// use tinyengine::TinyEngine;
+/// use tinynn::models::vww_sized;
+///
+/// # fn main() -> Result<(), tinyengine::EngineError> {
+/// let engine = TinyEngine::new();
+/// let report = engine.run(&vww_sized(32))?;
+/// assert!(report.total_time_secs > 0.0);
+/// assert_eq!(report.model, "vww");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TinyEngine {
+    clock: SysclkConfig,
+    cache: CacheConfig,
+}
+
+impl TinyEngine {
+    /// An engine at the paper's 216 MHz configuration.
+    pub fn new() -> Self {
+        TinyEngine {
+            clock: tinyengine_clock(),
+            cache: CacheConfig::stm32f767(),
+        }
+    }
+
+    /// Overrides the fixed clock (e.g. for frequency-sweep experiments).
+    pub fn with_clock(mut self, clock: SysclkConfig) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Overrides the cache geometry (for ablations).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The engine's fixed clock.
+    pub fn clock(&self) -> &SysclkConfig {
+        &self.clock
+    }
+
+    /// Lowers `model` into one baseline segment per layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Nn`] on shape errors and
+    /// [`EngineError::Budget`] if activations exceed the SRAM budget.
+    pub fn lower(&self, model: &Model) -> Result<Vec<(KernelProfile, Segment)>, EngineError> {
+        let mem_plan = plan_memory(model)?;
+        if !mem_plan.fits() {
+            let worst = mem_plan
+                .placements
+                .iter()
+                .max_by_key(|p| p.live_bytes())
+                .expect("plan has layers");
+            let plan = model.plan()?;
+            return Err(EngineError::Budget(crate::planner::PlanBudgetError {
+                peak_bytes: mem_plan.peak_bytes,
+                budget_bytes: mem_plan.budget_bytes,
+                layer: plan[worst.index].name.clone(),
+            }));
+        }
+        let plan = model.plan()?;
+        let mut out = Vec::with_capacity(plan.len());
+        for (nl, info) in model.layers().zip(plan.iter()) {
+            let p = profile(&nl.layer, info);
+            let seg = Segment::other(
+                p.name.clone(),
+                p.baseline_ops(),
+                p.baseline_traffic(&self.cache),
+            );
+            out.push((p, seg));
+        }
+        Ok(out)
+    }
+
+    /// Runs `model` on a fresh machine at the engine clock.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TinyEngine::lower`].
+    pub fn run(&self, model: &Model) -> Result<InferenceReport, EngineError> {
+        let mut machine = Machine::new(self.clock);
+        self.run_on(model, &mut machine)
+    }
+
+    /// Runs `model` on an existing machine (which may carry prior state),
+    /// switching it to the engine clock first.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TinyEngine::lower`].
+    pub fn run_on(&self, model: &Model, machine: &mut Machine) -> Result<InferenceReport, EngineError> {
+        machine.switch_clock(self.clock);
+        let lowered = self.lower(model)?;
+        let mut layers = Vec::with_capacity(lowered.len());
+        let t0 = machine.elapsed_secs();
+        let e0 = machine.energy();
+        for (p, seg) in &lowered {
+            let e_before = machine.energy();
+            let dt = machine.run_segment(seg);
+            layers.push(LayerExecution {
+                name: p.name.clone(),
+                kind: p.kind,
+                time_secs: dt,
+                energy: machine.energy() - e_before,
+            });
+        }
+        Ok(InferenceReport {
+            model: model.name.clone(),
+            layers,
+            total_time_secs: machine.elapsed_secs() - t0,
+            total_energy: machine.energy() - e0,
+        })
+    }
+}
+
+impl Default for TinyEngine {
+    fn default() -> Self {
+        TinyEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::models::{paper_models, vww_sized};
+
+    #[test]
+    fn all_paper_models_run() {
+        let engine = TinyEngine::new();
+        for m in paper_models() {
+            let r = engine.run(&m).expect("baseline run succeeds");
+            assert_eq!(r.layers.len(), m.layer_count());
+            assert!(r.total_time_secs > 0.0);
+            assert!(r.total_energy.as_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn inference_latency_plausible() {
+        // MCUNet-class models at 216 MHz take single-digit to low-hundreds
+        // of milliseconds.
+        let engine = TinyEngine::new();
+        for m in paper_models() {
+            let r = engine.run(&m).unwrap();
+            assert!(
+                r.total_time_secs > 1e-4 && r.total_time_secs < 1.0,
+                "{}: implausible latency {}",
+                m.name,
+                r.total_time_secs
+            );
+        }
+    }
+
+    #[test]
+    fn layer_times_sum_to_total() {
+        let engine = TinyEngine::new();
+        let r = engine.run(&vww_sized(32)).unwrap();
+        let sum: f64 = r.layers.iter().map(|l| l.time_secs).sum();
+        assert!((sum - r.total_time_secs).abs() < 1e-12);
+        let esum: f64 = r.layers.iter().map(|l| l.energy.as_f64()).sum();
+        assert!((esum - r.total_energy.as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_frequency_is_slower() {
+        let m = vww_sized(32);
+        let fast = TinyEngine::new().run(&m).unwrap();
+        let slow_clock = SysclkConfig::Pll(
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 100, 2).unwrap(),
+        );
+        let slow = TinyEngine::new().with_clock(slow_clock).run(&m).unwrap();
+        assert!(slow.total_time_secs > fast.total_time_secs);
+    }
+
+    #[test]
+    fn average_power_in_range() {
+        let r = TinyEngine::new().run(&vww_sized(32)).unwrap();
+        let mw = r.average_power_mw();
+        assert!((50.0..400.0).contains(&mw), "implausible power {mw} mW");
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let m = vww_sized(32);
+        let a = TinyEngine::new().run(&m).unwrap();
+        let b = TinyEngine::new().run(&m).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! TinyEngine-style baseline inference engine on the simulated STM32F767.
+//!
+//! This crate reproduces the system the paper compares against and builds
+//! upon: the MCUNet/TinyEngine execution model. It provides:
+//!
+//! * [`cost`] — lowering of CNN layers into machine-level profiles shared
+//!   with the DAE transform (per-channel depthwise units, per-column
+//!   pointwise units);
+//! * [`planner`] — ping-pong activation memory planning under the MCU SRAM
+//!   budget;
+//! * [`executor`] — the fixed-216-MHz whole-layer executor;
+//! * [`idle`] — the iso-latency policies of the evaluation (busy idle at
+//!   216 MHz, WFI, and the "clock gating" enhancement);
+//! * [`profile`] — the on-board-timer + INA219 per-layer profiler.
+//!
+//! # Examples
+//!
+//! ```
+//! use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
+//! use tinynn::models::vww_sized;
+//!
+//! # fn main() -> Result<(), tinyengine::EngineError> {
+//! let engine = TinyEngine::new();
+//! let model = vww_sized(32);
+//! let latency = engine.run(&model)?.total_time_secs;
+//! let report = run_iso_latency(
+//!     &engine, &model, qos_window(latency, 0.3), IdlePolicy::ClockGated)?;
+//! assert!(report.idle_energy.as_f64() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cost;
+pub mod error;
+pub mod executor;
+pub mod idle;
+pub mod planner;
+pub mod profile;
+
+pub use cost::{profile as layer_profile, KernelProfile, UnitGeometry};
+pub use error::EngineError;
+pub use executor::{tinyengine_clock, InferenceReport, LayerExecution, TinyEngine};
+pub use idle::{qos_window, run_iso_latency, IdlePolicy, IsoLatencyReport};
+pub use planner::{plan_memory, plan_memory_with_budget, MemoryPlan, PlanBudgetError};
+pub use profile::{profile_model, ModelProfile, ProfiledLayer};

@@ -1,0 +1,212 @@
+//! Activation memory planner.
+//!
+//! TinyEngine's headline feature is an in-place / ping-pong activation
+//! planner that keeps peak SRAM under the MCU budget. We reproduce the
+//! ping-pong variant: two activation arenas alternate as layer input and
+//! output, plus the residual stash for MobileNetV2 blocks.
+
+use std::fmt;
+
+use tinynn::{Model, NnError};
+
+/// STM32F767ZI SRAM available for activations (512 KB total, minus stack,
+/// runtime, and I/O buffers).
+pub const DEFAULT_SRAM_BUDGET: usize = 384 * 1024;
+
+/// Placement decision for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerPlacement {
+    /// Layer index in the flattened plan.
+    pub index: usize,
+    /// Input arena: 0 or 1 (ping-pong).
+    pub input_arena: u8,
+    /// Input bytes.
+    pub input_bytes: usize,
+    /// Output bytes.
+    pub output_bytes: usize,
+    /// Residual stash bytes alive during this layer.
+    pub stash_bytes: usize,
+}
+
+impl LayerPlacement {
+    /// SRAM alive while this layer runs.
+    pub fn live_bytes(&self) -> usize {
+        self.input_bytes + self.output_bytes + self.stash_bytes
+    }
+}
+
+/// A resolved activation plan for a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// Per-layer placements in execution order.
+    pub placements: Vec<LayerPlacement>,
+    /// Peak live activation bytes.
+    pub peak_bytes: usize,
+    /// The budget the plan was checked against.
+    pub budget_bytes: usize,
+}
+
+impl MemoryPlan {
+    /// Whether the plan fits the budget.
+    pub fn fits(&self) -> bool {
+        self.peak_bytes <= self.budget_bytes
+    }
+}
+
+impl fmt::Display for MemoryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peak {} KB of {} KB budget ({} layers)",
+            self.peak_bytes / 1024,
+            self.budget_bytes / 1024,
+            self.placements.len()
+        )
+    }
+}
+
+/// Error returned when a model cannot fit the SRAM budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanBudgetError {
+    /// Peak bytes required.
+    pub peak_bytes: usize,
+    /// Budget available.
+    pub budget_bytes: usize,
+    /// The layer at which the peak occurs.
+    pub layer: String,
+}
+
+impl fmt::Display for PlanBudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "activation peak {} KB at layer '{}' exceeds the {} KB SRAM budget",
+            self.peak_bytes / 1024,
+            self.layer,
+            self.budget_bytes / 1024
+        )
+    }
+}
+
+impl std::error::Error for PlanBudgetError {}
+
+/// Plans activation memory for `model` with the default budget.
+///
+/// # Errors
+///
+/// Propagates shape-resolution errors from the model plan.
+pub fn plan_memory(model: &Model) -> Result<MemoryPlan, NnError> {
+    plan_memory_with_budget(model, DEFAULT_SRAM_BUDGET)
+}
+
+/// Plans activation memory with an explicit budget.
+///
+/// The plan always resolves (peak may exceed the budget — check
+/// [`MemoryPlan::fits`] or use the error from deployment code).
+///
+/// # Errors
+///
+/// Propagates shape-resolution errors from the model plan.
+pub fn plan_memory_with_budget(model: &Model, budget: usize) -> Result<MemoryPlan, NnError> {
+    let plan = model.plan()?;
+    let mut placements = Vec::with_capacity(plan.len());
+    let mut arena: u8 = 0;
+    let mut peak = 0usize;
+
+    // Residual stashes: for each residual block, the block input stays
+    // alive until the block's last layer finishes.
+    let mut layer_idx = 0usize;
+    for block in &model.blocks {
+        let stash = if block.residual {
+            plan[layer_idx].input.bytes()
+        } else {
+            0
+        };
+        for _ in &block.layers {
+            let info = &plan[layer_idx];
+            let p = LayerPlacement {
+                index: layer_idx,
+                input_arena: arena,
+                input_bytes: info.input.bytes(),
+                output_bytes: info.output.bytes(),
+                stash_bytes: stash,
+            };
+            peak = peak.max(p.live_bytes());
+            placements.push(p);
+            arena ^= 1;
+            layer_idx += 1;
+        }
+    }
+
+    Ok(MemoryPlan {
+        placements,
+        peak_bytes: peak,
+        budget_bytes: budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::models::{mobilenet_v2, paper_models, vww_sized};
+
+    #[test]
+    fn paper_models_fit_the_budget() {
+        for m in paper_models() {
+            let plan = plan_memory(&m).unwrap();
+            assert!(
+                plan.fits(),
+                "{} needs {} KB (budget {} KB)",
+                m.name,
+                plan.peak_bytes / 1024,
+                plan.budget_bytes / 1024
+            );
+        }
+    }
+
+    #[test]
+    fn arenas_alternate() {
+        let m = vww_sized(32);
+        let plan = plan_memory(&m).unwrap();
+        for w in plan.placements.windows(2) {
+            assert_ne!(w[0].input_arena, w[1].input_arena);
+        }
+    }
+
+    #[test]
+    fn peak_is_max_of_live_sets() {
+        let m = vww_sized(32);
+        let plan = plan_memory(&m).unwrap();
+        let max_live = plan
+            .placements
+            .iter()
+            .map(LayerPlacement::live_bytes)
+            .max()
+            .unwrap();
+        assert_eq!(plan.peak_bytes, max_live);
+    }
+
+    #[test]
+    fn residual_blocks_stash_input() {
+        let m = mobilenet_v2();
+        let plan = plan_memory(&m).unwrap();
+        assert!(
+            plan.placements.iter().any(|p| p.stash_bytes > 0),
+            "MBV2 must stash residual inputs"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_detected() {
+        let m = vww_sized(32);
+        let plan = plan_memory_with_budget(&m, 1024).unwrap();
+        assert!(!plan.fits());
+    }
+
+    #[test]
+    fn display_mentions_peak() {
+        let m = vww_sized(32);
+        let plan = plan_memory(&m).unwrap();
+        assert!(plan.to_string().contains("KB"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Baseline-engine integration tests.
+
+use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
+use tinyengine::{
+    plan_memory_with_budget, profile_model, qos_window, run_iso_latency, IdlePolicy,
+    TinyEngine,
+};
+use tinynn::models::{paper_models, vww};
+
+fn clock(n: u32) -> SysclkConfig {
+    SysclkConfig::Pll(
+        PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).expect("valid ladder"),
+    )
+}
+
+#[test]
+fn latency_scales_inversely_with_frequency_but_sublinearly() {
+    // Compute scales with f; memory barely does — so the speedup from
+    // 100 -> 216 MHz must be between 1x and 2.16x.
+    let model = vww();
+    let fast = TinyEngine::new().with_clock(clock(216)).run(&model).expect("216");
+    let slow = TinyEngine::new().with_clock(clock(100)).run(&model).expect("100");
+    let speedup = slow.total_time_secs / fast.total_time_secs;
+    assert!(
+        speedup > 1.5 && speedup < 2.16,
+        "speedup {speedup:.2} outside the compute/memory envelope"
+    );
+}
+
+#[test]
+fn per_layer_kinds_cover_the_model() {
+    let model = vww();
+    let report = TinyEngine::new().run(&model).expect("runs");
+    let dw = report
+        .layers
+        .iter()
+        .filter(|l| l.kind == tinynn::LayerKind::Depthwise)
+        .count();
+    let pw = report
+        .layers
+        .iter()
+        .filter(|l| l.kind == tinynn::LayerKind::Pointwise)
+        .count();
+    assert_eq!(dw, 8, "vww has 8 depthwise layers");
+    assert_eq!(pw, 8, "vww has 8 pointwise layers");
+}
+
+#[test]
+fn profiler_and_executor_agree_for_all_models() {
+    let engine = TinyEngine::new();
+    for model in paper_models() {
+        let report = engine.run(&model).expect("runs");
+        let profile = profile_model(&engine, &model).expect("profiles");
+        let drift =
+            (profile.total_measured_secs() - report.total_time_secs).abs();
+        assert!(drift < 1e-5, "{}: profiler drift {drift}", model.name);
+    }
+}
+
+#[test]
+fn iso_latency_energy_grows_linearly_with_window_for_fixed_policy() {
+    let model = vww();
+    let engine = TinyEngine::new();
+    let t = engine.run(&model).expect("runs").total_time_secs;
+    let e1 = run_iso_latency(&engine, &model, qos_window(t, 0.2), IdlePolicy::ClockGated)
+        .expect("runs");
+    let e2 = run_iso_latency(&engine, &model, qos_window(t, 0.4), IdlePolicy::ClockGated)
+        .expect("runs");
+    let delta = e2.total_energy.as_f64() - e1.total_energy.as_f64();
+    // Window grew by 0.2 * t at 12 mW gated power.
+    let expected = 0.012 * 0.2 * t;
+    assert!(
+        (delta - expected).abs() / expected < 0.01,
+        "idle-tail energy delta {delta} vs expected {expected}"
+    );
+}
+
+#[test]
+fn memory_budget_failure_is_reported_with_layer() {
+    let model = vww();
+    let plan = plan_memory_with_budget(&model, 1).expect("planning itself succeeds");
+    assert!(!plan.fits());
+    // The executor surfaces it as an error.
+    let engine = TinyEngine::new();
+    let lowered = engine.lower(&model);
+    assert!(lowered.is_ok(), "default budget fits");
+}
+
+#[test]
+fn reports_are_stable_across_machines() {
+    let model = vww();
+    let engine = TinyEngine::new();
+    let mut machine_a = mcu_sim::Machine::new(*engine.clock());
+    let mut machine_b = mcu_sim::Machine::new(*engine.clock());
+    let a = engine.run_on(&model, &mut machine_a).expect("a");
+    let b = engine.run_on(&model, &mut machine_b).expect("b");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,115 @@
+//! Error type for the CNN substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::tensor::Shape;
+
+/// Errors produced by tensor and layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Data length does not match the declared shape.
+    ShapeMismatch {
+        /// Elements the shape requires.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// An `(y, x, c)` access left the tensor bounds.
+    IndexOutOfBounds {
+        /// Requested row.
+        y: usize,
+        /// Requested column.
+        x: usize,
+        /// Requested channel.
+        c: usize,
+        /// The tensor shape.
+        shape: Shape,
+    },
+    /// A layer received an input whose shape it cannot consume.
+    LayerInputMismatch {
+        /// The layer's name.
+        layer: String,
+        /// What the layer expected (free text, e.g. "c=16").
+        expected: String,
+        /// The shape it received.
+        actual: Shape,
+    },
+    /// Weight vector length inconsistent with the layer geometry.
+    WeightSizeMismatch {
+        /// The layer's name.
+        layer: String,
+        /// Expected weight element count.
+        expected: usize,
+        /// Actual weight element count.
+        actual: usize,
+    },
+    /// A residual block's branch output shape differs from its input.
+    ResidualShapeMismatch {
+        /// Block name.
+        block: String,
+        /// Shape entering the block.
+        input: Shape,
+        /// Shape produced by the branch.
+        output: Shape,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape ({expected} elements)")
+            }
+            NnError::IndexOutOfBounds { y, x, c, shape } => {
+                write!(f, "index ({y},{x},{c}) outside tensor {shape}")
+            }
+            NnError::LayerInputMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(f, "layer '{layer}' expected input {expected}, got {actual}"),
+            NnError::WeightSizeMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer '{layer}' weight size {actual} does not match geometry ({expected})"
+            ),
+            NnError::ResidualShapeMismatch {
+                block,
+                input,
+                output,
+            } => write!(
+                f,
+                "residual block '{block}' branch output {output} differs from input {input}"
+            ),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NnError>();
+    }
+
+    #[test]
+    fn messages_mention_details() {
+        let e = NnError::LayerInputMismatch {
+            layer: "pw3".into(),
+            expected: "c=16".into(),
+            actual: Shape::new(8, 8, 24),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pw3") && msg.contains("8x8x24") && msg.contains("c=16"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Standalone activation layers.
+
+use crate::error::NnError;
+use crate::tensor::{Shape, Tensor};
+
+/// Element-wise ReLU on int8 activations (zero point assumed 0, as the
+/// symmetric quantization of the model zoo produces).
+///
+/// In deployed models the ReLU is usually fused into the preceding layer's
+/// requantization clamp; the standalone layer exists for graphs that keep
+/// it explicit (the paper's Fig. 3 draws `relu` nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Relu;
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu
+    }
+
+    /// Output shape (identical to input).
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        input
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` matches the other layers' interface.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            if *v < 0 {
+                *v = 0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives_only() {
+        let input = Tensor::from_data(Shape::new(1, 1, 4), vec![-5, 0, 3, -128]).unwrap();
+        let out = Relu::new().forward(&input).unwrap();
+        assert_eq!(out.data(), &[0, 0, 3, 0]);
+    }
+
+    #[test]
+    fn shape_unchanged() {
+        let s = Shape::new(7, 5, 3);
+        assert_eq!(Relu::new().output_shape(s), s);
+    }
+}

@@ -1,0 +1,269 @@
+//! Standard (full) 2-D convolution.
+
+use crate::error::NnError;
+use crate::quant::QuantParams;
+use crate::tensor::{Shape, Tensor};
+
+/// A quantized standard convolution: every output channel sees every input
+/// channel. Used for the stem layers of the paper's models ("rest" layer
+/// type in Fig. 6).
+///
+/// Weight layout: `[c_out][k_h][k_w][c_in]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Kernel height/width (square kernels only, as in the target models).
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    weights: Vec<i8>,
+    bias: Vec<i32>,
+    quant: QuantParams,
+}
+
+impl Conv2d {
+    /// Builds a convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::WeightSizeMismatch`] if `weights` or `bias` do not
+    /// match the geometry (`c_out·k²·c_in` weights, `c_out` biases).
+    pub fn new(
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        c_in: usize,
+        c_out: usize,
+        weights: Vec<i8>,
+        bias: Vec<i32>,
+        quant: QuantParams,
+    ) -> Result<Self, NnError> {
+        let expected = c_out * kernel * kernel * c_in;
+        if weights.len() != expected {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "conv2d".into(),
+                expected,
+                actual: weights.len(),
+            });
+        }
+        if bias.len() != c_out {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "conv2d(bias)".into(),
+                expected: c_out,
+                actual: bias.len(),
+            });
+        }
+        Ok(Conv2d {
+            kernel,
+            stride,
+            padding,
+            c_in,
+            c_out,
+            weights,
+            bias,
+            quant,
+        })
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInputMismatch`] if the channel count differs
+    /// or the spatial extent is too small for the kernel.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, NnError> {
+        if input.c != self.c_in {
+            return Err(NnError::LayerInputMismatch {
+                layer: "conv2d".into(),
+                expected: format!("c={}", self.c_in),
+                actual: input,
+            });
+        }
+        let padded_h = input.h + 2 * self.padding;
+        let padded_w = input.w + 2 * self.padding;
+        if padded_h < self.kernel || padded_w < self.kernel {
+            return Err(NnError::LayerInputMismatch {
+                layer: "conv2d".into(),
+                expected: format!("h,w >= {}", self.kernel),
+                actual: input,
+            });
+        }
+        Ok(Shape::new(
+            (padded_h - self.kernel) / self.stride + 1,
+            (padded_w - self.kernel) / self.stride + 1,
+            self.c_out,
+        ))
+    }
+
+    /// Multiply-accumulates needed for `input`.
+    pub fn macs(&self, input: Shape) -> u64 {
+        match self.output_shape(input) {
+            Ok(out) => {
+                (out.h * out.w * self.c_out * self.kernel * self.kernel * self.c_in) as u64
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Weight storage in bytes (flash-resident).
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.len() + self.bias.len() * 4
+    }
+
+    /// The requantization parameters.
+    pub fn quant(&self) -> &QuantParams {
+        &self.quant
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Conv2d::output_shape`] errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(out_shape);
+        let k = self.kernel as isize;
+        let pad = self.padding as isize;
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                let base_y = (oy * self.stride) as isize - pad;
+                let base_x = (ox * self.stride) as isize - pad;
+                for oc in 0..self.c_out {
+                    let mut acc = self.bias[oc];
+                    let w_base = oc * self.kernel * self.kernel * self.c_in;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let wy = w_base
+                                + (ky as usize * self.kernel + kx as usize) * self.c_in;
+                            for ic in 0..self.c_in {
+                                let xv = input.get_padded(base_y + ky, base_x + kx, ic);
+                                let wv = self.weights[wy + ic];
+                                acc += i32::from(xv) * i32::from(wv);
+                            }
+                        }
+                    }
+                    out.set(oy, ox, oc, self.quant.requantize(acc))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_1x1(c: usize) -> Conv2d {
+        // 1x1 conv with identity-ish weights: w[oc][ic] = 127 if oc==ic.
+        let mut w = vec![0i8; c * c];
+        for i in 0..c {
+            w[i * c + i] = 127;
+        }
+        // multiplier 1/127 would be ~0.00787; pick scales to get ~identity.
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        Conv2d::new(1, 1, 0, c, c, w, vec![0; c], q).unwrap()
+    }
+
+    #[test]
+    fn shape_propagation() {
+        let conv = Conv2d::new(
+            3,
+            2,
+            1,
+            3,
+            8,
+            vec![0; 8 * 9 * 3],
+            vec![0; 8],
+            QuantParams::test_default(),
+        )
+        .unwrap();
+        let out = conv.output_shape(Shape::new(32, 32, 3)).unwrap();
+        assert_eq!(out, Shape::new(16, 16, 8));
+    }
+
+    #[test]
+    fn identity_convolution() {
+        let conv = identity_1x1(2);
+        let input = Tensor::from_fn(Shape::new(2, 2, 2), |y, x, c| (y + x + c) as i8 + 1);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), input.shape());
+        for y in 0..2 {
+            for x in 0..2 {
+                for c in 0..2 {
+                    assert_eq!(out.get(y, x, c).unwrap(), input.get(y, x, c).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bias_applied() {
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        let conv = Conv2d::new(1, 1, 0, 1, 1, vec![0], vec![127 * 5], q).unwrap();
+        let input = Tensor::zeros(Shape::new(1, 1, 1));
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.get(0, 0, 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn macs_accounting() {
+        let conv = Conv2d::new(
+            3,
+            1,
+            1,
+            3,
+            8,
+            vec![0; 8 * 9 * 3],
+            vec![0; 8],
+            QuantParams::test_default(),
+        )
+        .unwrap();
+        let input = Shape::new(8, 8, 3);
+        assert_eq!(conv.macs(input), (8 * 8 * 8 * 9 * 3) as u64);
+        assert_eq!(conv.weight_bytes(), 8 * 9 * 3 + 8 * 4);
+    }
+
+    #[test]
+    fn wrong_channels_rejected() {
+        let conv = identity_1x1(2);
+        assert!(conv.output_shape(Shape::new(4, 4, 3)).is_err());
+        let input = Tensor::zeros(Shape::new(4, 4, 3));
+        assert!(conv.forward(&input).is_err());
+    }
+
+    #[test]
+    fn weight_size_validated() {
+        let err = Conv2d::new(
+            3,
+            1,
+            1,
+            3,
+            8,
+            vec![0; 10],
+            vec![0; 8],
+            QuantParams::test_default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NnError::WeightSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn padding_zero_extends() {
+        // 3x3 kernel of all-127 over a single-pixel input with padding 1:
+        // only the centre tap sees data.
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        let conv = Conv2d::new(3, 1, 1, 1, 1, vec![127; 9], vec![0], q).unwrap();
+        let mut input = Tensor::zeros(Shape::new(1, 1, 1));
+        input.set(0, 0, 0, 3).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 1, 1));
+        assert_eq!(out.get(0, 0, 0).unwrap(), 3);
+    }
+}

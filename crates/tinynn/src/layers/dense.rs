@@ -1,0 +1,146 @@
+//! Fully-connected (dense) layer for classifier heads.
+
+use crate::error::NnError;
+use crate::quant::QuantParams;
+use crate::tensor::{Shape, Tensor};
+
+/// A quantized fully-connected layer over the flattened input.
+///
+/// Weight layout: `[units][input_elements]`, row-major. The output is a
+/// `1×1×units` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    /// Flattened input element count.
+    pub inputs: usize,
+    /// Output units.
+    pub units: usize,
+    weights: Vec<i8>,
+    bias: Vec<i32>,
+    quant: QuantParams,
+}
+
+impl Dense {
+    /// Builds a dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::WeightSizeMismatch`] if `weights`
+    /// (`units·inputs`) or `bias` (`units`) do not match.
+    pub fn new(
+        inputs: usize,
+        units: usize,
+        weights: Vec<i8>,
+        bias: Vec<i32>,
+        quant: QuantParams,
+    ) -> Result<Self, NnError> {
+        if weights.len() != units * inputs {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "dense".into(),
+                expected: units * inputs,
+                actual: weights.len(),
+            });
+        }
+        if bias.len() != units {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "dense(bias)".into(),
+                expected: units,
+                actual: bias.len(),
+            });
+        }
+        Ok(Dense {
+            inputs,
+            units,
+            weights,
+            bias,
+            quant,
+        })
+    }
+
+    /// Output shape (`1×1×units`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInputMismatch`] if the flattened input size
+    /// differs.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, NnError> {
+        if input.elements() != self.inputs {
+            return Err(NnError::LayerInputMismatch {
+                layer: "dense".into(),
+                expected: format!("{} elements", self.inputs),
+                actual: input,
+            });
+        }
+        Ok(Shape::new(1, 1, self.units))
+    }
+
+    /// Multiply-accumulates needed.
+    pub fn macs(&self, _input: Shape) -> u64 {
+        (self.units * self.inputs) as u64
+    }
+
+    /// Weight storage in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.len() + self.bias.len() * 4
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Dense::output_shape`] errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(out_shape);
+        let data = input.data();
+        for u in 0..self.units {
+            let mut acc = self.bias[u];
+            let base = u * self.inputs;
+            for (i, &x) in data.iter().enumerate() {
+                acc += i32::from(x) * i32::from(self.weights[base + i]);
+            }
+            out.set(0, 0, u, self.quant.requantize(acc))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_unit_head() {
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        // unit0 picks element 0, unit1 picks element 3.
+        let w = vec![127, 0, 0, 0, 0, 0, 0, 127];
+        let dense = Dense::new(4, 2, w, vec![0, 0], q).unwrap();
+        let input = Tensor::from_data(Shape::new(1, 1, 4), vec![9, 2, 3, -4]).unwrap();
+        let out = dense.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 1, 2));
+        assert_eq!(out.get(0, 0, 0).unwrap(), 9);
+        assert_eq!(out.get(0, 0, 1).unwrap(), -4);
+    }
+
+    #[test]
+    fn flattening_accepts_any_shape() {
+        let q = QuantParams::test_default();
+        let dense = Dense::new(12, 2, vec![0; 24], vec![0; 2], q).unwrap();
+        assert!(dense.output_shape(Shape::new(2, 2, 3)).is_ok());
+        assert!(dense.output_shape(Shape::new(2, 2, 4)).is_err());
+    }
+
+    #[test]
+    fn accounting() {
+        let q = QuantParams::test_default();
+        let dense = Dense::new(64, 10, vec![0; 640], vec![0; 10], q).unwrap();
+        assert_eq!(dense.macs(Shape::new(1, 1, 64)), 640);
+        assert_eq!(dense.weight_bytes(), 640 + 40);
+    }
+
+    #[test]
+    fn geometry_validated() {
+        let q = QuantParams::test_default();
+        assert!(Dense::new(64, 10, vec![0; 100], vec![0; 10], q).is_err());
+        assert!(Dense::new(64, 10, vec![0; 640], vec![0; 2], q).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Depthwise 2-D convolution — one of the two DAE target layer types.
+
+use crate::error::NnError;
+use crate::quant::QuantParams;
+use crate::tensor::{Shape, Tensor};
+
+/// A quantized depthwise convolution: "each input channel is convolved with
+/// a separate learnable filter, capturing spatial features per channel"
+/// (paper Sec. III-A). Channel multiplier is fixed at 1, as in MobileNet
+/// and the MCUNet models.
+///
+/// Weight layout: `[c][k_h][k_w]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthwiseConv2d {
+    /// Kernel height/width.
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+    /// Channel count (input = output).
+    pub channels: usize,
+    weights: Vec<i8>,
+    bias: Vec<i32>,
+    quant: QuantParams,
+}
+
+impl DepthwiseConv2d {
+    /// Builds a depthwise convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::WeightSizeMismatch`] if `weights` (`c·k²`) or
+    /// `bias` (`c`) do not match the geometry.
+    pub fn new(
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        channels: usize,
+        weights: Vec<i8>,
+        bias: Vec<i32>,
+        quant: QuantParams,
+    ) -> Result<Self, NnError> {
+        let expected = channels * kernel * kernel;
+        if weights.len() != expected {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "depthwise".into(),
+                expected,
+                actual: weights.len(),
+            });
+        }
+        if bias.len() != channels {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "depthwise(bias)".into(),
+                expected: channels,
+                actual: bias.len(),
+            });
+        }
+        Ok(DepthwiseConv2d {
+            kernel,
+            stride,
+            padding,
+            channels,
+            weights,
+            bias,
+            quant,
+        })
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInputMismatch`] on channel mismatch or
+    /// undersized spatial extent.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, NnError> {
+        if input.c != self.channels {
+            return Err(NnError::LayerInputMismatch {
+                layer: "depthwise".into(),
+                expected: format!("c={}", self.channels),
+                actual: input,
+            });
+        }
+        let padded_h = input.h + 2 * self.padding;
+        let padded_w = input.w + 2 * self.padding;
+        if padded_h < self.kernel || padded_w < self.kernel {
+            return Err(NnError::LayerInputMismatch {
+                layer: "depthwise".into(),
+                expected: format!("h,w >= {}", self.kernel),
+                actual: input,
+            });
+        }
+        Ok(Shape::new(
+            (padded_h - self.kernel) / self.stride + 1,
+            (padded_w - self.kernel) / self.stride + 1,
+            self.channels,
+        ))
+    }
+
+    /// Multiply-accumulates needed for `input`.
+    pub fn macs(&self, input: Shape) -> u64 {
+        match self.output_shape(input) {
+            Ok(out) => (out.h * out.w * self.channels * self.kernel * self.kernel) as u64,
+            Err(_) => 0,
+        }
+    }
+
+    /// Weight storage in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.len() + self.bias.len() * 4
+    }
+
+    /// The requantization parameters.
+    pub fn quant(&self) -> &QuantParams {
+        &self.quant
+    }
+
+    /// Convolves a single channel, writing into `out`. This is the
+    /// per-channel compute kernel that the DAE transform batches `g` at a
+    /// time (`convolve_depthwise` in the paper's Listing 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor indexing errors; shapes are assumed pre-validated
+    /// by [`DepthwiseConv2d::forward`].
+    pub fn convolve_channel(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        channel: usize,
+    ) -> Result<(), NnError> {
+        let out_shape = out.shape();
+        let k = self.kernel as isize;
+        let pad = self.padding as isize;
+        let w_base = channel * self.kernel * self.kernel;
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                let base_y = (oy * self.stride) as isize - pad;
+                let base_x = (ox * self.stride) as isize - pad;
+                let mut acc = self.bias[channel];
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let xv = input.get_padded(base_y + ky, base_x + kx, channel);
+                        let wv =
+                            self.weights[w_base + (ky as usize * self.kernel + kx as usize)];
+                        acc += i32::from(xv) * i32::from(wv);
+                    }
+                }
+                out.set(oy, ox, channel, self.quant.requantize(acc))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the layer (all channels, the baseline per-channel order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DepthwiseConv2d::output_shape`] errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(out_shape);
+        for c in 0..self.channels {
+            self.convolve_channel(input, &mut out, c)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_dw(c: usize) -> DepthwiseConv2d {
+        // 1x1 depthwise with weight 127 and rescale 1/127 = identity.
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        DepthwiseConv2d::new(1, 1, 0, c, vec![127; c], vec![0; c], q).unwrap()
+    }
+
+    #[test]
+    fn identity_per_channel() {
+        let dw = identity_dw(3);
+        let input = Tensor::from_fn(Shape::new(3, 3, 3), |y, x, c| (y * 9 + x * 3 + c) as i8);
+        let out = dw.forward(&input).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        // A 3x3 all-ones filter on channel 0 must not read channel 1.
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        let dw = DepthwiseConv2d::new(3, 1, 1, 2, vec![127; 18], vec![0; 2], q).unwrap();
+        let mut input = Tensor::zeros(Shape::new(3, 3, 2));
+        input.set(1, 1, 1, 100).unwrap(); // only channel 1 has data
+        let out = dw.forward(&input).unwrap();
+        assert_eq!(out.get(1, 1, 0).unwrap(), 0, "channel 0 must stay zero");
+        assert_eq!(out.get(1, 1, 1).unwrap(), 100);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        let dw = DepthwiseConv2d::new(3, 2, 1, 4, vec![0; 36], vec![0; 4], q).unwrap();
+        assert_eq!(
+            dw.output_shape(Shape::new(32, 32, 4)).unwrap(),
+            Shape::new(16, 16, 4)
+        );
+    }
+
+    #[test]
+    fn per_channel_kernel_matches_forward() {
+        // Running convolve_channel for every channel must equal forward —
+        // the invariant the DAE transform relies on.
+        let q = QuantParams::from_scales(0.5, 0.031, 1.7);
+        let weights: Vec<i8> = (0..4 * 9).map(|i| ((i * 37) % 255) as i8).collect();
+        let bias: Vec<i32> = vec![13, -7, 0, 99];
+        let dw = DepthwiseConv2d::new(3, 1, 1, 4, weights, bias, q).unwrap();
+        let input = Tensor::from_fn(Shape::new(6, 6, 4), |y, x, c| {
+            ((y * 31 + x * 17 + c * 7) % 251) as i8
+        });
+        let reference = dw.forward(&input).unwrap();
+        let mut manual = Tensor::zeros(dw.output_shape(input.shape()).unwrap());
+        for c in [2, 0, 3, 1] {
+            dw.convolve_channel(&input, &mut manual, c).unwrap();
+        }
+        assert_eq!(manual, reference);
+    }
+
+    #[test]
+    fn macs_and_weights() {
+        let q = QuantParams::test_default();
+        let dw = DepthwiseConv2d::new(3, 1, 1, 16, vec![0; 144], vec![0; 16], q).unwrap();
+        assert_eq!(dw.macs(Shape::new(8, 8, 16)), (8 * 8 * 16 * 9) as u64);
+        assert_eq!(dw.weight_bytes(), 144 + 64);
+    }
+
+    #[test]
+    fn geometry_validated() {
+        let q = QuantParams::test_default();
+        assert!(DepthwiseConv2d::new(3, 1, 1, 16, vec![0; 100], vec![0; 16], q).is_err());
+        let dw = DepthwiseConv2d::new(3, 1, 1, 16, vec![0; 144], vec![0; 16], q).unwrap();
+        assert!(dw.output_shape(Shape::new(8, 8, 3)).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Quantized layer implementations.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod depthwise;
+pub mod pointwise;
+pub mod pool;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use depthwise::DepthwiseConv2d;
+pub use pointwise::PointwiseConv2d;
+pub use pool::{AvgPool, MaxPool2d};

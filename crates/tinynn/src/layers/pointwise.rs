@@ -1,0 +1,195 @@
+//! Pointwise (1×1) convolution — the second DAE target layer type.
+
+use crate::error::NnError;
+use crate::quant::QuantParams;
+use crate::tensor::{Shape, Tensor};
+
+/// A quantized pointwise convolution: a 1×1 kernel mixing channels at every
+/// spatial position. "Each column consists of one element per input
+/// channel" (paper Sec. III-A) — the per-column kernel below is the unit
+/// the DAE transform batches `g` at a time.
+///
+/// Weight layout: `[c_out][c_in]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointwiseConv2d {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    weights: Vec<i8>,
+    bias: Vec<i32>,
+    quant: QuantParams,
+}
+
+impl PointwiseConv2d {
+    /// Builds a pointwise convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::WeightSizeMismatch`] if `weights` (`c_out·c_in`)
+    /// or `bias` (`c_out`) do not match the geometry.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        weights: Vec<i8>,
+        bias: Vec<i32>,
+        quant: QuantParams,
+    ) -> Result<Self, NnError> {
+        if weights.len() != c_out * c_in {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "pointwise".into(),
+                expected: c_out * c_in,
+                actual: weights.len(),
+            });
+        }
+        if bias.len() != c_out {
+            return Err(NnError::WeightSizeMismatch {
+                layer: "pointwise(bias)".into(),
+                expected: c_out,
+                actual: bias.len(),
+            });
+        }
+        Ok(PointwiseConv2d {
+            c_in,
+            c_out,
+            weights,
+            bias,
+            quant,
+        })
+    }
+
+    /// Output shape for a given input shape (spatial extent preserved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInputMismatch`] on channel mismatch.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, NnError> {
+        if input.c != self.c_in {
+            return Err(NnError::LayerInputMismatch {
+                layer: "pointwise".into(),
+                expected: format!("c={}", self.c_in),
+                actual: input,
+            });
+        }
+        Ok(Shape::new(input.h, input.w, self.c_out))
+    }
+
+    /// Multiply-accumulates needed for `input`.
+    pub fn macs(&self, input: Shape) -> u64 {
+        (input.h * input.w * self.c_in * self.c_out) as u64
+    }
+
+    /// Weight storage in bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.len() + self.bias.len() * 4
+    }
+
+    /// The requantization parameters.
+    pub fn quant(&self) -> &QuantParams {
+        &self.quant
+    }
+
+    /// Computes one output *column* (all `c_out` values at spatial position
+    /// `(y, x)`). This per-column kernel is what the baseline executes one
+    /// at a time and the DAE transform batches `g` at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor indexing errors.
+    pub fn compute_column(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        y: usize,
+        x: usize,
+    ) -> Result<(), NnError> {
+        for oc in 0..self.c_out {
+            let mut acc = self.bias[oc];
+            let w_base = oc * self.c_in;
+            for ic in 0..self.c_in {
+                acc += i32::from(input.get(y, x, ic)?) * i32::from(self.weights[w_base + ic]);
+            }
+            out.set(y, x, oc, self.quant.requantize(acc))?;
+        }
+        Ok(())
+    }
+
+    /// Runs the layer (all columns, the baseline per-column order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PointwiseConv2d::output_shape`] errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(out_shape);
+        for y in 0..out_shape.h {
+            for x in 0..out_shape.w {
+                self.compute_column(input, &mut out, y, x)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_mixing() {
+        // Two input channels summed into one output channel.
+        let q = QuantParams::from_scales(1.0, 1.0, 127.0);
+        let pw = PointwiseConv2d::new(2, 1, vec![127, 127], vec![0], q).unwrap();
+        let input = Tensor::from_fn(Shape::new(1, 2, 2), |_, x, c| (10 * (x + 1) + c) as i8);
+        let out = pw.forward(&input).unwrap();
+        assert_eq!(out.get(0, 0, 0).unwrap(), 21); // 10 + 11
+        assert_eq!(out.get(0, 1, 0).unwrap(), 41); // 20 + 21
+    }
+
+    #[test]
+    fn spatial_extent_preserved() {
+        let q = QuantParams::test_default();
+        let pw = PointwiseConv2d::new(3, 8, vec![0; 24], vec![0; 8], q).unwrap();
+        assert_eq!(
+            pw.output_shape(Shape::new(16, 16, 3)).unwrap(),
+            Shape::new(16, 16, 8)
+        );
+    }
+
+    #[test]
+    fn per_column_matches_forward() {
+        let q = QuantParams::from_scales(0.7, 0.02, 1.3);
+        let weights: Vec<i8> = (0..6 * 4).map(|i| (((i * 53) % 251) as i32 - 125) as i8).collect();
+        let bias = vec![5, -5, 100, 0];
+        let pw = PointwiseConv2d::new(6, 4, weights, bias, q).unwrap();
+        let input = Tensor::from_fn(Shape::new(4, 5, 6), |y, x, c| {
+            (((y * 41 + x * 13 + c * 3) % 200) as i32 - 100) as i8
+        });
+        let reference = pw.forward(&input).unwrap();
+        let mut manual = Tensor::zeros(pw.output_shape(input.shape()).unwrap());
+        // Columns in scrambled order: result must not depend on order.
+        for y in (0..4).rev() {
+            for x in 0..5 {
+                pw.compute_column(&input, &mut manual, y, x).unwrap();
+            }
+        }
+        assert_eq!(manual, reference);
+    }
+
+    #[test]
+    fn macs_and_weights() {
+        let q = QuantParams::test_default();
+        let pw = PointwiseConv2d::new(16, 32, vec![0; 512], vec![0; 32], q).unwrap();
+        assert_eq!(pw.macs(Shape::new(8, 8, 16)), (8 * 8 * 16 * 32) as u64);
+        assert_eq!(pw.weight_bytes(), 512 + 128);
+    }
+
+    #[test]
+    fn geometry_validated() {
+        let q = QuantParams::test_default();
+        assert!(PointwiseConv2d::new(16, 32, vec![0; 100], vec![0; 32], q).is_err());
+        assert!(PointwiseConv2d::new(16, 32, vec![0; 512], vec![0; 3], q).is_err());
+        let pw = PointwiseConv2d::new(16, 32, vec![0; 512], vec![0; 32], q).unwrap();
+        assert!(pw.output_shape(Shape::new(8, 8, 15)).is_err());
+    }
+}

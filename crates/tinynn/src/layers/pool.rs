@@ -1,0 +1,165 @@
+//! Pooling layers.
+
+use crate::error::NnError;
+use crate::tensor::{Shape, Tensor};
+
+/// Global average pooling: reduces the spatial extent to 1×1 per channel
+/// (the standard MobileNet classifier-head reduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AvgPool;
+
+impl AvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        AvgPool
+    }
+
+    /// Output shape (`1×1×c`).
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        Shape::new(1, 1, input.c)
+    }
+
+    /// Runs the layer with round-to-nearest integer averaging.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` matches the other layers' interface.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let shape = input.shape();
+        let mut out = Tensor::zeros(self.output_shape(shape));
+        let n = (shape.h * shape.w) as i32;
+        for c in 0..shape.c {
+            let mut acc: i32 = 0;
+            for y in 0..shape.h {
+                for x in 0..shape.w {
+                    acc += i32::from(input.get(y, x, c)?);
+                }
+            }
+            // Round half away from zero, like CMSIS-NN's average pool.
+            let avg = if acc >= 0 {
+                (acc + n / 2) / n
+            } else {
+                (acc - n / 2) / n
+            };
+            out.set(0, 0, c, avg.clamp(-128, 127) as i8)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Max pooling with a square window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be non-zero");
+        MaxPool2d { kernel, stride }
+    }
+
+    /// Output shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInputMismatch`] if the input is smaller than
+    /// the window.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, NnError> {
+        if input.h < self.kernel || input.w < self.kernel {
+            return Err(NnError::LayerInputMismatch {
+                layer: "maxpool".into(),
+                expected: format!("h,w >= {}", self.kernel),
+                actual: input,
+            });
+        }
+        Ok(Shape::new(
+            (input.h - self.kernel) / self.stride + 1,
+            (input.w - self.kernel) / self.stride + 1,
+            input.c,
+        ))
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MaxPool2d::output_shape`] errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let out_shape = self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(out_shape);
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                for c in 0..out_shape.c {
+                    let mut best = i8::MIN;
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            let v = input.get(oy * self.stride + ky, ox * self.stride + kx, c)?;
+                            best = best.max(v);
+                        }
+                    }
+                    out.set(oy, ox, c, best)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_average() {
+        let input = Tensor::from_fn(Shape::new(2, 2, 2), |y, x, c| {
+            if c == 0 {
+                (y * 2 + x) as i8 // 0,1,2,3 -> avg 1.5 -> 2
+            } else {
+                10
+            }
+        });
+        let out = AvgPool::new().forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 1, 2));
+        assert_eq!(out.get(0, 0, 0).unwrap(), 2);
+        assert_eq!(out.get(0, 0, 1).unwrap(), 10);
+    }
+
+    #[test]
+    fn average_of_negatives() {
+        let input = Tensor::from_data(Shape::new(2, 2, 1), vec![-1, -2, -3, -4]).unwrap();
+        let out = AvgPool::new().forward(&input).unwrap();
+        // -10/4 = -2.5 -> -3 (round half away from zero).
+        assert_eq!(out.get(0, 0, 0).unwrap(), -3);
+    }
+
+    #[test]
+    fn maxpool_window() {
+        let input = Tensor::from_fn(Shape::new(4, 4, 1), |y, x, _| (y * 4 + x) as i8);
+        let mp = MaxPool2d::new(2, 2);
+        let out = mp.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape::new(2, 2, 1));
+        assert_eq!(out.get(0, 0, 0).unwrap(), 5);
+        assert_eq!(out.get(1, 1, 0).unwrap(), 15);
+    }
+
+    #[test]
+    fn maxpool_too_small_rejected() {
+        let mp = MaxPool2d::new(3, 1);
+        assert!(mp.output_shape(Shape::new(2, 2, 1)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_kernel_rejected() {
+        let _ = MaxPool2d::new(0, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! int8 quantized CNN substrate for the DAE-DVFS reproduction.
+//!
+//! The paper evaluates on three MCUNet-derived models (Visual Wake Words,
+//! Person Detection, MobileNetV2) with linear int8 quantization. This crate
+//! provides everything those models need, built from scratch:
+//!
+//! * [`tensor`] — HWC int8 tensors;
+//! * [`quant`] — TFLite-style fixed-point requantization;
+//! * [`layers`] — standard/depthwise/pointwise convolutions, dense, pooling,
+//!   ReLU, each with per-channel / per-column kernels that the DAE transform
+//!   re-schedules;
+//! * [`graph`] — residual-capable model graphs with shape-checked plans;
+//! * [`models`] — the three evaluation networks with deterministic synthetic
+//!   weights.
+//!
+//! # Examples
+//!
+//! ```
+//! use tinynn::{models, Tensor};
+//!
+//! # fn main() -> Result<(), tinynn::NnError> {
+//! let model = models::vww_sized(32);
+//! let input = Tensor::zeros(model.input_shape);
+//! let logits = model.infer(&input)?;
+//! assert_eq!(logits.shape().c, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod graph;
+pub mod layers;
+pub mod models;
+pub mod quant;
+pub mod tensor;
+
+pub use error::NnError;
+pub use graph::{Block, Layer, LayerInfo, LayerKind, Model, NamedLayer};
+pub use quant::{QuantParams, QuantizedMultiplier};
+pub use tensor::{Shape, Tensor};

@@ -1,0 +1,363 @@
+//! The model zoo: the three CNNs of the paper's evaluation.
+//!
+//! * [`vww`] — Visual Wake Words, MobileNetV1-style depthwise-separable
+//!   stack;
+//! * [`person_detection`] — grayscale person detector, narrower
+//!   depthwise-separable stack;
+//! * [`mobilenet_v2`] — MobileNetV2-style inverted-residual network.
+//!
+//! All three are built from deterministic synthetic weights (see [`synth`])
+//! at MCUNet-like scales. Each has a `*_sized` variant for tests that need
+//! a smaller spatial extent.
+
+pub mod synth;
+
+use crate::graph::{Block, Layer, Model, NamedLayer};
+use crate::layers::{AvgPool, Conv2d, Dense, DepthwiseConv2d, PointwiseConv2d};
+use crate::quant::QuantParams;
+use crate::tensor::Shape;
+
+/// Requantization parameters for a layer with `fan_in` accumulated products.
+///
+/// The output scale grows with `√fan_in` so synthetic activations keep a
+/// healthy dynamic range instead of saturating.
+fn quant_for(fan_in: usize, relu: bool) -> QuantParams {
+    let q = QuantParams::from_scales(1.0, 1.0, (fan_in as f64).sqrt() * 64.0);
+    if relu {
+        q.with_relu()
+    } else {
+        q
+    }
+}
+
+/// A named standard convolution with fused ReLU.
+fn conv(name: &str, k: usize, stride: usize, c_in: usize, c_out: usize) -> NamedLayer {
+    let pad = k / 2;
+    let fan_in = k * k * c_in;
+    NamedLayer {
+        name: name.to_owned(),
+        layer: Layer::Conv2d(
+            Conv2d::new(
+                k,
+                stride,
+                pad,
+                c_in,
+                c_out,
+                synth::weights(name, c_out * fan_in),
+                synth::biases(name, c_out),
+                quant_for(fan_in, true),
+            )
+            .expect("builder geometry is consistent"),
+        ),
+    }
+}
+
+/// A named 3×3 depthwise convolution with fused ReLU.
+fn dw(name: &str, stride: usize, channels: usize) -> NamedLayer {
+    NamedLayer {
+        name: name.to_owned(),
+        layer: Layer::Depthwise(
+            DepthwiseConv2d::new(
+                3,
+                stride,
+                1,
+                channels,
+                synth::weights(name, channels * 9),
+                synth::biases(name, channels),
+                quant_for(9, true),
+            )
+            .expect("builder geometry is consistent"),
+        ),
+    }
+}
+
+/// A named pointwise convolution, optionally with fused ReLU.
+fn pw(name: &str, c_in: usize, c_out: usize, relu: bool) -> NamedLayer {
+    NamedLayer {
+        name: name.to_owned(),
+        layer: Layer::Pointwise(
+            PointwiseConv2d::new(
+                c_in,
+                c_out,
+                synth::weights(name, c_out * c_in),
+                synth::biases(name, c_out),
+                quant_for(c_in, relu),
+            )
+            .expect("builder geometry is consistent"),
+        ),
+    }
+}
+
+/// A depthwise-separable block (MobileNetV1 style): dw3x3 + pw1x1.
+fn ds_block(name: &str, c_in: usize, c_out: usize, stride: usize) -> Block {
+    Block {
+        name: name.to_owned(),
+        residual: false,
+        layers: vec![
+            dw(&format!("{name}.dw"), stride, c_in),
+            pw(&format!("{name}.pw"), c_in, c_out, true),
+        ],
+    }
+}
+
+/// An inverted-residual block (MobileNetV2 style): expand-pw + dw + project-pw.
+fn ir_block(name: &str, c_in: usize, expansion: usize, c_out: usize, stride: usize) -> Block {
+    let hidden = c_in * expansion;
+    let mut layers = Vec::new();
+    if expansion != 1 {
+        layers.push(pw(&format!("{name}.expand"), c_in, hidden, true));
+    }
+    layers.push(dw(&format!("{name}.dw"), stride, hidden));
+    layers.push(pw(&format!("{name}.project"), hidden, c_out, false));
+    Block {
+        name: name.to_owned(),
+        residual: stride == 1 && c_in == c_out,
+        layers,
+    }
+}
+
+/// The classifier tail: global average pool + dense head.
+fn classifier(name: &str, channels: usize, classes: usize) -> Vec<Block> {
+    vec![
+        Block {
+            name: format!("{name}.pool"),
+            residual: false,
+            layers: vec![NamedLayer {
+                name: format!("{name}.avgpool"),
+                layer: Layer::AvgPool(AvgPool::new()),
+            }],
+        },
+        Block {
+            name: format!("{name}.head"),
+            residual: false,
+            layers: vec![NamedLayer {
+                name: format!("{name}.fc"),
+                layer: Layer::Dense(
+                    Dense::new(
+                        channels,
+                        classes,
+                        synth::weights(&format!("{name}.fc"), classes * channels),
+                        synth::biases(&format!("{name}.fc"), classes),
+                        quant_for(channels, false),
+                    )
+                    .expect("builder geometry is consistent"),
+                ),
+            }],
+        },
+    ]
+}
+
+/// Visual Wake Words at an arbitrary square input size (RGB).
+///
+/// # Panics
+///
+/// Panics if `input < 32` (the 4 stride-2 stages need the extent).
+pub fn vww_sized(input: usize) -> Model {
+    assert!(input >= 32, "vww needs input >= 32, got {input}");
+    let mut blocks = vec![Block {
+        name: "stem".into(),
+        residual: false,
+        layers: vec![conv("stem.conv", 3, 2, 3, 8)],
+    }];
+    let spec: &[(usize, usize, usize)] = &[
+        (8, 16, 1),
+        (16, 32, 2),
+        (32, 32, 1),
+        (32, 64, 2),
+        (64, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 128, 1),
+    ];
+    for (i, &(cin, cout, s)) in spec.iter().enumerate() {
+        blocks.push(ds_block(&format!("b{i}"), cin, cout, s));
+    }
+    blocks.extend(classifier("vww", 128, 2));
+    Model::new("vww", Shape::new(input, input, 3), blocks)
+}
+
+/// Visual Wake Words at the paper-like 64×64×3 input.
+pub fn vww() -> Model {
+    vww_sized(64)
+}
+
+/// Person Detection at an arbitrary square input size (grayscale).
+///
+/// # Panics
+///
+/// Panics if `input < 32`.
+pub fn person_detection_sized(input: usize) -> Model {
+    assert!(input >= 32, "person_detection needs input >= 32, got {input}");
+    let mut blocks = vec![Block {
+        name: "stem".into(),
+        residual: false,
+        layers: vec![conv("pd.stem.conv", 3, 2, 1, 8)],
+    }];
+    let spec: &[(usize, usize, usize)] = &[
+        (8, 16, 2),
+        (16, 16, 1),
+        (16, 32, 2),
+        (32, 32, 1),
+        (32, 64, 2),
+        (64, 64, 1),
+        (64, 64, 1),
+        (64, 96, 1),
+        (96, 96, 1),
+    ];
+    for (i, &(cin, cout, s)) in spec.iter().enumerate() {
+        blocks.push(ds_block(&format!("pd.b{i}"), cin, cout, s));
+    }
+    blocks.extend(classifier("pd", 96, 2));
+    Model::new("person-detection", Shape::new(input, input, 1), blocks)
+}
+
+/// Person Detection at the paper-like 96×96×1 input.
+pub fn person_detection() -> Model {
+    person_detection_sized(96)
+}
+
+/// MobileNetV2 at an arbitrary square input size (RGB).
+///
+/// # Panics
+///
+/// Panics if `input < 32`.
+pub fn mobilenet_v2_sized(input: usize) -> Model {
+    assert!(input >= 32, "mobilenet_v2 needs input >= 32, got {input}");
+    let mut blocks = vec![Block {
+        name: "stem".into(),
+        residual: false,
+        layers: vec![conv("mbv2.stem.conv", 3, 2, 3, 16)],
+    }];
+    let spec: &[(usize, usize, usize, usize)] = &[
+        // (c_in, expansion, c_out, stride)
+        (16, 1, 16, 1),
+        (16, 6, 24, 2),
+        (24, 6, 24, 1),
+        (24, 6, 32, 2),
+        (32, 6, 32, 1),
+        (32, 6, 32, 1),
+        (32, 6, 64, 2),
+        (64, 6, 64, 1),
+        (64, 6, 64, 1),
+        (64, 6, 96, 1),
+        (96, 6, 96, 1),
+    ];
+    for (i, &(cin, t, cout, s)) in spec.iter().enumerate() {
+        blocks.push(ir_block(&format!("mbv2.b{i}"), cin, t, cout, s));
+    }
+    blocks.push(Block {
+        name: "mbv2.headconv".into(),
+        residual: false,
+        layers: vec![pw("mbv2.head.pw", 96, 160, true)],
+    });
+    blocks.extend(classifier("mbv2", 160, 2));
+    Model::new("mobilenet-v2", Shape::new(input, input, 3), blocks)
+}
+
+/// MobileNetV2 at the paper-like 64×64×3 input.
+pub fn mobilenet_v2() -> Model {
+    mobilenet_v2_sized(64)
+}
+
+/// All three evaluation models at paper-like sizes, in the paper's order
+/// (VWW, PD, MBV2).
+pub fn paper_models() -> Vec<Model> {
+    vec![vww(), person_detection(), mobilenet_v2()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LayerKind;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn all_models_plan_cleanly() {
+        for m in paper_models() {
+            let plan = m.plan().expect("plan must resolve");
+            assert!(plan.len() >= 15, "{} too shallow: {}", m.name, plan.len());
+            assert!(m.total_macs().unwrap() > 1_000_000, "{} too small", m.name);
+        }
+    }
+
+    #[test]
+    fn dae_targets_dominate_layer_mix() {
+        // Paper: depthwise + pointwise make up over 80% of deep lightweight
+        // CNN layers.
+        for m in paper_models() {
+            let plan = m.plan().unwrap();
+            let targets = plan
+                .iter()
+                .filter(|l| matches!(l.kind, LayerKind::Depthwise | LayerKind::Pointwise))
+                .count();
+            let frac = targets as f64 / plan.len() as f64;
+            assert!(
+                frac > 0.7,
+                "{}: dw+pw fraction {frac:.2} too low",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_two_class_logits() {
+        for m in paper_models() {
+            assert_eq!(m.output_shape().unwrap(), Shape::new(1, 1, 2), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn residual_blocks_present_in_mbv2_only() {
+        assert!(mobilenet_v2().blocks.iter().any(|b| b.residual));
+        assert!(!vww().blocks.iter().any(|b| b.residual));
+        assert!(!person_detection().blocks.iter().any(|b| b.residual));
+    }
+
+    #[test]
+    fn small_models_run_inference() {
+        for m in [
+            vww_sized(32),
+            person_detection_sized(32),
+            mobilenet_v2_sized(32),
+        ] {
+            let input = Tensor::from_fn(m.input_shape, |y, x, c| {
+                (((y * 7 + x * 3 + c) % 200) as i32 - 100) as i8
+            });
+            let out = m.infer(&input).expect("inference must succeed");
+            assert_eq!(out.shape(), Shape::new(1, 1, 2));
+        }
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let m = vww_sized(32);
+        let input = Tensor::from_fn(m.input_shape, |y, x, c| ((y + x + c) % 128) as i8);
+        assert_eq!(m.infer(&input).unwrap(), m.infer(&input).unwrap());
+    }
+
+    #[test]
+    fn activations_not_degenerate() {
+        // Guard against bad quant calibration that saturates everything.
+        let m = vww_sized(32);
+        let input = Tensor::from_fn(m.input_shape, |y, x, c| {
+            (((y * 13 + x * 7 + c * 3) % 200) as i32 - 100) as i8
+        });
+        let out = m.infer(&input).unwrap();
+        let all_same = out.data().windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same, "logits are degenerate: {:?}", out.data());
+    }
+
+    #[test]
+    fn weight_bytes_fit_mcu_flash() {
+        for m in paper_models() {
+            let kb = m.weight_bytes() / 1024;
+            assert!(kb < 2048, "{} weights {kb} KB exceed 2 MB flash", m.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input >= 32")]
+    fn tiny_input_rejected() {
+        let _ = vww_sized(16);
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic synthetic weight generation.
+//!
+//! The paper's models come pre-trained from MCUNet. Learned weight values do
+//! not influence latency or energy (int8 MACs cost the same regardless of
+//! operand values), so the reproduction synthesizes weights deterministically
+//! from the layer name: every build of the repo produces bit-identical
+//! models, which keeps DAE-equivalence tests and benchmarks reproducible.
+
+/// SplitMix64 PRNG — tiny, seedable, and stable across platforms.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Creates a generator seeded from a string (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        SplitMix64::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next int8 weight in `[-100, 100]`.
+    pub fn next_weight(&mut self) -> i8 {
+        ((self.next_u64() % 201) as i64 - 100) as i8
+    }
+
+    /// Next bias in `[-500, 500]`.
+    pub fn next_bias(&mut self) -> i32 {
+        ((self.next_u64() % 1001) as i64 - 500) as i32
+    }
+}
+
+/// Deterministic weight vector for a named layer.
+pub fn weights(name: &str, len: usize) -> Vec<i8> {
+    let mut rng = SplitMix64::from_name(name);
+    (0..len).map(|_| rng.next_weight()).collect()
+}
+
+/// Deterministic bias vector for a named layer.
+pub fn biases(name: &str, len: usize) -> Vec<i32> {
+    let mut rng = SplitMix64::from_name(&format!("{name}/bias"));
+    (0..len).map(|_| rng.next_bias()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(weights("layer1", 64), weights("layer1", 64));
+        assert_eq!(biases("layer1", 8), biases("layer1", 8));
+    }
+
+    #[test]
+    fn different_names_differ() {
+        assert_ne!(weights("layer1", 64), weights("layer2", 64));
+    }
+
+    #[test]
+    fn weights_in_range() {
+        for w in weights("range-check", 10_000) {
+            assert!((-100..=100).contains(&i32::from(w)));
+        }
+        for b in biases("range-check", 1_000) {
+            assert!((-500..=500).contains(&b));
+        }
+    }
+
+    #[test]
+    fn weights_not_degenerate() {
+        let w = weights("spread", 10_000);
+        let mean: f64 = w.iter().map(|&v| f64::from(v)).sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 5.0, "mean {mean} too far from zero");
+        let distinct: std::collections::HashSet<i8> = w.into_iter().collect();
+        assert!(distinct.len() > 150, "poor value coverage");
+    }
+}

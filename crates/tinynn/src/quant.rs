@@ -1,0 +1,227 @@
+//! Linear int8 quantization arithmetic (TFLite-style).
+//!
+//! The paper's models come from MCUNet with "linear int8 quantization".
+//! Accumulation happens in `i32`; the accumulator is rescaled back to int8
+//! with a fixed-point multiplier `M = mantissa · 2^(-shift)` exactly as
+//! TFLite Micro / CMSIS-NN do, so kernel outputs are bit-reproducible
+//! integers rather than floats.
+
+/// A positive real multiplier `< 1` encoded as `mantissa × 2^exponent` with
+/// a Q31 mantissa, the representation used by quantized inference kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantizedMultiplier {
+    /// Q31 mantissa in `[2^30, 2^31)` (or 0 for a zero multiplier).
+    pub mantissa: i32,
+    /// Power-of-two exponent applied after the mantissa multiply.
+    pub exponent: i32,
+}
+
+impl QuantizedMultiplier {
+    /// Encodes a real multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative, non-finite, or ≥ 1 (layer rescale
+    /// factors are always in `[0, 1)` for sane quantization parameters).
+    pub fn from_f64(value: f64) -> Self {
+        assert!(
+            value.is_finite() && (0.0..1.0).contains(&value),
+            "multiplier must be in [0,1), got {value}"
+        );
+        if value == 0.0 {
+            return QuantizedMultiplier {
+                mantissa: 0,
+                exponent: 0,
+            };
+        }
+        let (mut frac, mut exp) = frexp(value);
+        // frac in [0.5, 1): scale to Q31.
+        let mut mantissa = (frac * (1i64 << 31) as f64).round() as i64;
+        if mantissa == (1i64 << 31) {
+            mantissa /= 2;
+            exp += 1;
+            frac /= 2.0;
+        }
+        let _ = frac;
+        QuantizedMultiplier {
+            mantissa: mantissa as i32,
+            exponent: exp,
+        }
+    }
+
+    /// Applies the multiplier to an `i32` accumulator with round-to-nearest
+    /// (the `MultiplyByQuantizedMultiplier` primitive).
+    pub fn apply(&self, acc: i32) -> i32 {
+        if self.mantissa == 0 {
+            return 0;
+        }
+        // 64-bit product with rounding at bit 31.
+        let prod = i64::from(acc) * i64::from(self.mantissa);
+        let rounded = (prod + (1i64 << 30)) >> 31;
+        // Apply the exponent (negative = right shift with rounding).
+        let e = self.exponent;
+        if e >= 0 {
+            (rounded << e) as i32
+        } else {
+            let shift = -e;
+            let add = 1i64 << (shift - 1);
+            ((rounded + add) >> shift) as i32
+        }
+    }
+
+    /// The real value this encodes.
+    pub fn as_f64(&self) -> f64 {
+        self.mantissa as f64 / (1i64 << 31) as f64 * 2f64.powi(self.exponent)
+    }
+}
+
+/// Splits `value` into `(fraction, exponent)` with fraction in `[0.5, 1)`.
+fn frexp(value: f64) -> (f64, i32) {
+    let mut exp = 0i32;
+    let mut v = value;
+    while v < 0.5 {
+        v *= 2.0;
+        exp -= 1;
+    }
+    while v >= 1.0 {
+        v /= 2.0;
+        exp += 1;
+    }
+    (v, exp)
+}
+
+/// Per-layer requantization parameters: accumulator → int8 activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantParams {
+    /// The combined rescale multiplier `s_in · s_w / s_out`.
+    pub multiplier: QuantizedMultiplier,
+    /// Output zero point.
+    pub zero_point: i32,
+    /// Activation clamp low (e.g. -128, or `zero_point` for fused ReLU).
+    pub clamp_min: i32,
+    /// Activation clamp high.
+    pub clamp_max: i32,
+}
+
+impl QuantParams {
+    /// Parameters from the three scales, symmetric output, full int8 range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scale is non-positive or the combined multiplier
+    /// leaves `[0, 1)`.
+    pub fn from_scales(input_scale: f64, weight_scale: f64, output_scale: f64) -> Self {
+        assert!(
+            input_scale > 0.0 && weight_scale > 0.0 && output_scale > 0.0,
+            "scales must be positive"
+        );
+        let m = input_scale * weight_scale / output_scale;
+        QuantParams {
+            multiplier: QuantizedMultiplier::from_f64(m),
+            zero_point: 0,
+            clamp_min: i32::from(i8::MIN),
+            clamp_max: i32::from(i8::MAX),
+        }
+    }
+
+    /// A neutral set of parameters useful in tests: multiplier ≈ 2⁻⁷,
+    /// no zero point, full range.
+    pub fn test_default() -> Self {
+        QuantParams::from_scales(1.0, 1.0, 128.0)
+    }
+
+    /// Fuses a ReLU into the clamp window (clamp at the zero point).
+    pub fn with_relu(mut self) -> Self {
+        self.clamp_min = self.clamp_min.max(self.zero_point);
+        self
+    }
+
+    /// Requantizes an `i32` accumulator down to int8.
+    ///
+    /// ```
+    /// use tinynn::quant::QuantParams;
+    ///
+    /// let q = QuantParams::test_default();
+    /// assert_eq!(q.requantize(1280), 10);
+    /// assert_eq!(q.requantize(i32::MAX / 2), 127); // saturates
+    /// ```
+    pub fn requantize(&self, acc: i32) -> i8 {
+        let scaled = self.multiplier.apply(acc) + self.zero_point;
+        scaled.clamp(self.clamp_min, self.clamp_max) as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_round_trip() {
+        for v in [0.5, 0.25, 0.1, 0.0078125, 0.9, 1.0 / 3.0] {
+            let q = QuantizedMultiplier::from_f64(v);
+            assert!(
+                (q.as_f64() - v).abs() < 1e-9,
+                "round trip failed for {v}: {}",
+                q.as_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_multiplier() {
+        let q = QuantizedMultiplier::from_f64(0.0);
+        assert_eq!(q.apply(123456), 0);
+    }
+
+    #[test]
+    fn apply_matches_float_math() {
+        let q = QuantizedMultiplier::from_f64(0.0123);
+        for acc in [-100_000, -1, 0, 1, 777, 100_000] {
+            let exact = (f64::from(acc) * 0.0123).round() as i32;
+            let got = q.apply(acc);
+            assert!(
+                (got - exact).abs() <= 1,
+                "acc={acc}: fixed {got} vs float {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_clamps() {
+        let q = QuantParams::test_default();
+        assert_eq!(q.requantize(i32::MAX / 2), 127);
+        assert_eq!(q.requantize(i32::MIN / 2), -128);
+        assert_eq!(q.requantize(0), 0);
+    }
+
+    #[test]
+    fn relu_fusion_clamps_at_zero_point() {
+        let q = QuantParams::test_default().with_relu();
+        assert_eq!(q.requantize(-12800), 0);
+        assert_eq!(q.requantize(1280), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1)")]
+    fn multiplier_ge_one_rejected() {
+        let _ = QuantizedMultiplier::from_f64(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_scale_rejected() {
+        let _ = QuantParams::from_scales(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        // multiplier 0.5: acc 3 -> 1.5 -> rounds away from zero-ish (2 or 1
+        // both acceptable as ties, but 5*0.5=2.5 must not round to 3's
+        // neighbour error > 1).
+        let q = QuantizedMultiplier::from_f64(0.5);
+        assert_eq!(q.apply(4), 2);
+        assert_eq!(q.apply(6), 3);
+        let r3 = q.apply(3);
+        assert!(r3 == 1 || r3 == 2);
+    }
+}

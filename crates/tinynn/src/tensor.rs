@@ -1,0 +1,239 @@
+//! int8 tensors in HWC layout (the layout TinyEngine and CMSIS-NN use).
+
+use std::fmt;
+
+use crate::error::NnError;
+
+/// Shape of an activation tensor: height × width × channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Rows.
+    pub h: usize,
+    /// Columns.
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub const fn new(h: usize, w: usize, c: usize) -> Self {
+        Shape { h, w, c }
+    }
+
+    /// Total element count.
+    pub const fn elements(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Size in bytes for int8 data.
+    pub const fn bytes(&self) -> usize {
+        self.elements()
+    }
+
+    /// Bytes of a single channel plane.
+    pub const fn channel_bytes(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Bytes of one spatial column across all channels (one "image column"
+    /// in the paper's pointwise terminology: one element per channel).
+    pub const fn column_bytes(&self) -> usize {
+        self.c
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// An int8 activation tensor in HWC (row-major, channels innermost) layout.
+///
+/// # Examples
+///
+/// ```
+/// use tinynn::{Shape, Tensor};
+///
+/// # fn main() -> Result<(), tinynn::NnError> {
+/// let mut t = Tensor::zeros(Shape::new(2, 2, 3));
+/// t.set(1, 1, 2, 42)?;
+/// assert_eq!(t.get(1, 1, 2)?, 42);
+/// assert_eq!(t.get(0, 0, 0)?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<i8>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0; shape.elements()],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len()` does not equal
+    /// `shape.elements()`.
+    pub fn from_data(shape: Shape, data: Vec<i8>) -> Result<Self, NnError> {
+        if data.len() != shape.elements() {
+            return Err(NnError::ShapeMismatch {
+                expected: shape.elements(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Immutable view of the raw HWC data.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Mutable view of the raw HWC data.
+    pub fn data_mut(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    /// Flat index of `(y, x, c)`.
+    fn index(&self, y: usize, x: usize, c: usize) -> Result<usize, NnError> {
+        if y >= self.shape.h || x >= self.shape.w || c >= self.shape.c {
+            return Err(NnError::IndexOutOfBounds {
+                y,
+                x,
+                c,
+                shape: self.shape,
+            });
+        }
+        Ok((y * self.shape.w + x) * self.shape.c + c)
+    }
+
+    /// Element at `(y, x, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfBounds`] when outside the shape.
+    pub fn get(&self, y: usize, x: usize, c: usize) -> Result<i8, NnError> {
+        Ok(self.data[self.index(y, x, c)?])
+    }
+
+    /// Element at `(y, x, c)` with zero padding outside the spatial extent.
+    /// Signed coordinates make convolution edge handling direct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range — padding is spatial only.
+    pub fn get_padded(&self, y: isize, x: isize, c: usize) -> i8 {
+        assert!(c < self.shape.c, "channel {c} out of range");
+        if y < 0 || x < 0 || y as usize >= self.shape.h || x as usize >= self.shape.w {
+            0
+        } else {
+            self.data[(y as usize * self.shape.w + x as usize) * self.shape.c + c]
+        }
+    }
+
+    /// Sets the element at `(y, x, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfBounds`] when outside the shape.
+    pub fn set(&mut self, y: usize, x: usize, c: usize, value: i8) -> Result<(), NnError> {
+        let i = self.index(y, x, c)?;
+        self.data[i] = value;
+        Ok(())
+    }
+
+    /// Builds a tensor by evaluating `f(y, x, c)` everywhere.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize, usize, usize) -> i8) -> Self {
+        let mut data = Vec::with_capacity(shape.elements());
+        for y in 0..shape.h {
+            for x in 0..shape.w {
+                for c in 0..shape.c {
+                    data.push(f(y, x, c));
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwc_layout() {
+        let t = Tensor::from_fn(Shape::new(2, 2, 2), |y, x, c| (y * 4 + x * 2 + c) as i8);
+        assert_eq!(t.data(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(t.get(1, 0, 1).unwrap(), 5);
+    }
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = Shape::new(8, 8, 3);
+        assert_eq!(s.elements(), 192);
+        assert_eq!(s.bytes(), 192);
+        assert_eq!(s.channel_bytes(), 64);
+        assert_eq!(s.column_bytes(), 3);
+        assert_eq!(s.to_string(), "8x8x3");
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let t = Tensor::zeros(Shape::new(2, 2, 2));
+        assert!(matches!(
+            t.get(2, 0, 0),
+            Err(NnError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.get(0, 0, 2),
+            Err(NnError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn from_data_validates_length() {
+        assert!(Tensor::from_data(Shape::new(2, 2, 1), vec![1, 2, 3]).is_err());
+        let t = Tensor::from_data(Shape::new(2, 2, 1), vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.get(1, 1, 0).unwrap(), 4);
+    }
+
+    #[test]
+    fn padded_access() {
+        let t = Tensor::from_fn(Shape::new(2, 2, 1), |_, _, _| 7);
+        assert_eq!(t.get_padded(-1, 0, 0), 0);
+        assert_eq!(t.get_padded(0, -1, 0), 0);
+        assert_eq!(t.get_padded(2, 0, 0), 0);
+        assert_eq!(t.get_padded(1, 1, 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel")]
+    fn padded_channel_oob_panics() {
+        let t = Tensor::zeros(Shape::new(2, 2, 1));
+        let _ = t.get_padded(0, 0, 1);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = Tensor::zeros(Shape::new(3, 3, 3));
+        t.set(2, 2, 2, -128).unwrap();
+        assert_eq!(t.get(2, 2, 2).unwrap(), -128);
+        assert!(t.set(3, 0, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Model-zoo integration tests at paper sizes.
+
+use tinynn::models::{mobilenet_v2, paper_models, person_detection, vww};
+use tinynn::{LayerKind, Shape, Tensor};
+
+#[test]
+fn model_shapes_telescope_correctly() {
+    for m in paper_models() {
+        let plan = m.plan().expect("plan resolves");
+        // Consecutive layers connect.
+        for w in plan.windows(2) {
+            assert_eq!(
+                w[0].output, w[1].input,
+                "{}: {} -> {}",
+                m.name, w[0].name, w[1].name
+            );
+        }
+        assert_eq!(plan[0].input, m.input_shape);
+        assert_eq!(plan.last().expect("non-empty").output, Shape::new(1, 1, 2));
+    }
+}
+
+#[test]
+fn spatial_extent_strictly_decreases_through_stride_stages() {
+    let m = vww();
+    let plan = m.plan().expect("plan resolves");
+    let first = plan.first().expect("non-empty");
+    let last = plan.last().expect("non-empty");
+    assert!(first.input.h > last.input.h || last.input.h == 1);
+}
+
+#[test]
+fn weights_are_deterministic_across_construction() {
+    let a = mobilenet_v2();
+    let b = mobilenet_v2();
+    assert_eq!(a, b, "model construction must be bit-deterministic");
+}
+
+#[test]
+fn full_size_vww_inference_completes() {
+    let m = vww();
+    let input = Tensor::from_fn(m.input_shape, |y, x, c| ((y + 2 * x + 3 * c) % 128) as i8);
+    let out = m.infer(&input).expect("full-size inference");
+    assert_eq!(out.shape(), Shape::new(1, 1, 2));
+}
+
+#[test]
+fn person_detection_is_grayscale() {
+    assert_eq!(person_detection().input_shape.c, 1);
+}
+
+#[test]
+fn mac_distribution_matches_mobilenet_expectations() {
+    // Pointwise convolutions should carry the bulk of the MACs in
+    // depthwise-separable architectures.
+    for m in paper_models() {
+        let plan = m.plan().expect("plan resolves");
+        let total: u64 = plan.iter().map(|l| l.macs).sum();
+        let pw: u64 = plan
+            .iter()
+            .filter(|l| l.kind == LayerKind::Pointwise)
+            .map(|l| l.macs)
+            .sum();
+        let frac = pw as f64 / total as f64;
+        assert!(
+            frac > 0.4,
+            "{}: pointwise MAC share {frac:.2} implausibly low",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn layer_names_are_unique() {
+    for m in paper_models() {
+        let mut names: Vec<&str> = m.layers().map(|nl| nl.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "{}: duplicate layer names", m.name);
+    }
+}

@@ -1,0 +1,76 @@
+//! Clock-tree explorer: walk the RCC configuration space interactively —
+//! enumerate valid PLL settings, group iso-frequency alternatives, and
+//! price them with the power model (the Sec. II study of the paper).
+//!
+//! Run with: `cargo run --release --example clock_explorer`
+
+use stm32_power::{PowerModel, PowerState};
+use stm32_rcc::{
+    flash_wait_states, ClockSource, ConfigSpace, Hertz, PllConfig, SwitchCostModel,
+    SysclkConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = PowerModel::nucleo_f767zi();
+
+    // 1. What does Eq. 1 give for a specific setting?
+    let pll = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2)?;
+    println!(
+        "PLL {{HSE=50 MHz, M=25, N=216, P=2}}: VCO {} -> SYSCLK {}",
+        pll.vco_output(),
+        pll.sysclk()
+    );
+    println!(
+        "  flash wait states at {}: {}",
+        pll.sysclk(),
+        flash_wait_states(pll.sysclk()).wait_states()
+    );
+
+    // 2. The HFO ladder the paper explores, with power annotations.
+    println!("\npaper HFO ladder (PLLM in {{25,50}}, PLLN in {{75..432}}):");
+    for group in ConfigSpace::paper().iso_frequency_groups() {
+        let best = group.coolest();
+        let p = power.run_power(&SysclkConfig::Pll(*best));
+        let (hse, m, n) = best.label_tuple();
+        println!(
+            "  {:>8}: best {{{hse},{m},{n}}} (VCO {:>8}) -> {p}",
+            group.sysclk.to_string(),
+            best.vco_output().to_string()
+        );
+    }
+
+    // 3. Iso-frequency power gaps in the wide space.
+    println!("\niso-frequency alternatives at 100 MHz (wide space):");
+    if let Some(group) = ConfigSpace::wide()
+        .iso_frequency_groups()
+        .into_iter()
+        .find(|g| g.sysclk == Hertz::mhz(100))
+    {
+        for cfg in &group.configs {
+            let (hse, m, n) = cfg.label_tuple();
+            println!(
+                "  {{{hse},{m},{n}}}/P{}: VCO {:>8} -> {}",
+                cfg.pllp(),
+                cfg.vco_output().to_string(),
+                power.run_power(&SysclkConfig::Pll(*cfg))
+            );
+        }
+    }
+
+    // 4. Switch costs and idle states.
+    let model = SwitchCostModel::default();
+    let lfo = SysclkConfig::hse_direct(Hertz::mhz(50));
+    let hfo = SysclkConfig::Pll(pll);
+    println!("\nswitching: HFO->LFO {}", model.cost(&hfo, &lfo));
+    println!("switching: change PLLN {}", model.cold_pll_entry());
+    println!("\nidle states at 216 MHz:");
+    for (label, state) in [
+        ("busy run", PowerState::Run(hfo)),
+        ("wfi sleep", PowerState::SleepWfi(hfo)),
+        ("clock gated", PowerState::ClockGated),
+        ("stop", PowerState::Stop),
+    ] {
+        println!("  {label:>12}: {}", power.power(&state));
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: optimize and deploy one model under a QoS budget.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dae_dvfs::{run_dae_dvfs, DseConfig};
+use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
+use tinynn::models::vww;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The model: Visual Wake Words, int8, MCUNet-like scale.
+    let model = vww();
+    println!(
+        "model: {} ({} layers, {:.1}M MACs, {} KB weights)",
+        model.name,
+        model.layer_count(),
+        model.total_macs()? as f64 / 1e6,
+        model.weight_bytes() / 1024
+    );
+
+    // Baseline: TinyEngine at a constant 216 MHz.
+    let engine = TinyEngine::new();
+    let baseline = engine.run(&model)?;
+    println!(
+        "TinyEngine baseline: {:.2} ms, {:.3} mJ ({:.0} mW average)",
+        baseline.total_time_secs * 1e3,
+        baseline.total_energy.as_mj(),
+        baseline.average_power_mw()
+    );
+
+    // Our approach: DAE + DVFS with a 30% latency slack.
+    let slack = 0.30;
+    let report = run_dae_dvfs(&model, slack, &DseConfig::paper())?;
+    println!(
+        "DAE+DVFS @ {:.0}% slack: {:.2} ms inference, {:.3} mJ total window energy",
+        slack * 100.0,
+        report.inference_secs * 1e3,
+        report.total_energy.as_mj()
+    );
+
+    // Fair comparison: both baselines measured over the same window.
+    let qos = qos_window(baseline.total_time_secs, slack);
+    let te = run_iso_latency(&engine, &model, qos, IdlePolicy::Wfi216)?;
+    let gated = run_iso_latency(&engine, &model, qos, IdlePolicy::ClockGated)?;
+    println!(
+        "same window: TinyEngine {:.3} mJ, TinyEngine+gating {:.3} mJ",
+        te.total_energy.as_mj(),
+        gated.total_energy.as_mj()
+    );
+    println!(
+        "energy gain: {:.1}% vs TinyEngine, {:.1}% vs TinyEngine+gating",
+        (1.0 - report.total_energy.as_f64() / te.total_energy.as_f64()) * 100.0,
+        (1.0 - report.total_energy.as_f64() / gated.total_energy.as_f64()) * 100.0
+    );
+    Ok(())
+}

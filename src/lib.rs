@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole DAE-DVFS reproduction workspace.
+
+pub use dae_dvfs as core;
+pub use mcu_sim;
+pub use stm32_power;
+pub use stm32_rcc;
+pub use tinyengine;
+pub use tinynn;

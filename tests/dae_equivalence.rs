@@ -1,0 +1,93 @@
+//! Functional DAE equivalence across whole models: restructured loop order
+//! must produce bit-identical activations ("DAE-enabled CNNs entail no
+//! accuracy drops", paper Sec. III-A).
+
+use dae_dvfs::{dae_forward_depthwise, dae_forward_pointwise, Granularity};
+use tinynn::models::{mobilenet_v2_sized, person_detection_sized, vww_sized};
+use tinynn::{Layer, Model, Shape, Tensor};
+
+/// Runs a full inference where every depthwise/pointwise layer uses the DAE
+/// loop order with granularity `g` (residual blocks handled like
+/// `Model::infer`).
+fn infer_with_dae(model: &Model, input: &Tensor, g: Granularity) -> Tensor {
+    let mut x = input.clone();
+    for block in &model.blocks {
+        let skip = block.residual.then(|| x.clone());
+        for nl in &block.layers {
+            x = match &nl.layer {
+                Layer::Depthwise(dw) => {
+                    dae_forward_depthwise(dw, &x, g).expect("dw forward")
+                }
+                Layer::Pointwise(pw) => {
+                    dae_forward_pointwise(pw, &x, g).expect("pw forward")
+                }
+                other => other.forward(&x).expect("layer forward"),
+            };
+        }
+        if let Some(s) = skip {
+            let data = x.data_mut();
+            for (o, v) in data.iter_mut().zip(s.data()) {
+                *o = o.saturating_add(*v);
+            }
+        }
+    }
+    x
+}
+
+fn deterministic_input(shape: Shape) -> Tensor {
+    Tensor::from_fn(shape, |y, x, c| {
+        (((y * 131 + x * 31 + c * 7) % 251) as i32 - 125) as i8
+    })
+}
+
+#[test]
+fn vww_dae_inference_is_bit_exact() {
+    let model = vww_sized(32);
+    let input = deterministic_input(model.input_shape);
+    let reference = model.infer(&input).expect("baseline inference");
+    for g in Granularity::PAPER_SET {
+        let out = infer_with_dae(&model, &input, g);
+        assert_eq!(out, reference, "vww diverged at {g}");
+    }
+}
+
+#[test]
+fn person_detection_dae_inference_is_bit_exact() {
+    let model = person_detection_sized(32);
+    let input = deterministic_input(model.input_shape);
+    let reference = model.infer(&input).expect("baseline inference");
+    for g in [Granularity(2), Granularity(8), Granularity(16)] {
+        assert_eq!(
+            infer_with_dae(&model, &input, g),
+            reference,
+            "pd diverged at {g}"
+        );
+    }
+}
+
+#[test]
+fn mobilenet_v2_dae_inference_is_bit_exact_with_residuals() {
+    let model = mobilenet_v2_sized(32);
+    let input = deterministic_input(model.input_shape);
+    let reference = model.infer(&input).expect("baseline inference");
+    for g in [Granularity(4), Granularity(12)] {
+        assert_eq!(
+            infer_with_dae(&model, &input, g),
+            reference,
+            "mbv2 diverged at {g}"
+        );
+    }
+}
+
+#[test]
+fn granularity_larger_than_unit_count_is_safe() {
+    // g = 16 on layers with fewer than 16 channels/columns must still be
+    // exact (single partial group).
+    let model = vww_sized(32);
+    let input = deterministic_input(model.input_shape);
+    let reference = model.infer(&input).expect("baseline inference");
+    assert_eq!(
+        infer_with_dae(&model, &input, Granularity(16)),
+        reference
+    );
+}
