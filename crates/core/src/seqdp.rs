@@ -140,8 +140,7 @@ pub fn solve_sequence(
                 if w >= buckets {
                     continue;
                 }
-                for b in 0..buckets - w {
-                    let cur = dp_row[b];
+                for (b, &cur) in dp_row.iter().enumerate().take(buckets - w) {
                     if cur.is_finite() {
                         let cand = cur + de;
                         let nb = b + w;

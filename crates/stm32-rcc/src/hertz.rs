@@ -83,9 +83,9 @@ impl Hertz {
 
 impl fmt::Display for Hertz {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.0 / 1_000_000)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{} kHz", self.0 / 1_000)
         } else {
             write!(f, "{} Hz", self.0)

@@ -17,8 +17,7 @@ fn accept_reject_matches_datasheet_arithmetic() {
                     let vco_in_hz = hse_mhz * 1_000_000 / u64::from(m.max(1));
                     let valid = (2..=63).contains(&m)
                         && (50..=432).contains(&n)
-                        && vco_in_hz >= 1_000_000
-                        && vco_in_hz <= 2_000_000
+                        && (1_000_000..=2_000_000).contains(&vco_in_hz)
                         && {
                             let vco_out = hse_mhz * 1_000_000 * u64::from(n) / u64::from(m);
                             (100_000_000..=432_000_000).contains(&vco_out)

@@ -33,6 +33,7 @@ impl Conv2d {
     ///
     /// Returns [`NnError::WeightSizeMismatch`] if `weights` or `bias` do not
     /// match the geometry (`c_out·k²·c_in` weights, `c_out` biases).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         kernel: usize,
         stride: usize,

@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn per_column_matches_forward() {
         let q = QuantParams::from_scales(0.7, 0.02, 1.3);
-        let weights: Vec<i8> = (0..6 * 4).map(|i| (((i * 53) % 251) as i32 - 125) as i8).collect();
+        let weights: Vec<i8> = (0..6 * 4).map(|i| (((i * 53) % 251) - 125) as i8).collect();
         let bias = vec![5, -5, 100, 0];
         let pw = PointwiseConv2d::new(6, 4, weights, bias, q).unwrap();
         let input = Tensor::from_fn(Shape::new(4, 5, 6), |y, x, c| {

@@ -1,0 +1,38 @@
+//! Smoke test: every root example must build and exit 0.
+//!
+//! Examples are load-bearing documentation; without this gate they can
+//! silently rot (they are compiled by `cargo test` but never executed).
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "clock_explorer",
+    "qos_sweep",
+    "battery_lifetime",
+    "vww_deployment",
+];
+
+#[test]
+fn all_examples_exit_zero() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--release", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} printed nothing — expected a report"
+        );
+    }
+}

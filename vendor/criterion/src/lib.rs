@@ -1,0 +1,226 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! cargo registry, so the real `criterion` cannot be fetched. This crate
+//! implements the (small) subset of criterion's API that the `repro-bench`
+//! benches use — [`Criterion`], [`BenchmarkId`], [`black_box`], the
+//! `benchmark_group` flow, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — backed by a simple wall-clock harness: each benchmark is warmed
+//! up briefly, then timed over enough iterations to fill a fixed measurement
+//! window, and the mean ns/iter is printed.
+//!
+//! Swapping back to the real criterion is a one-line change in
+//! `crates/bench/Cargo.toml`; no bench source needs to change.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("example");
+//! group.sample_size(10);
+//! group.bench_function("add", |b| b.iter(|| black_box(2 + 2)));
+//! group.finish();
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    measured: Option<MeasuredSample>,
+    measurement_window: Duration,
+}
+
+struct MeasuredSample {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Warm up, then run `routine` repeatedly until the measurement window
+    /// is filled, recording mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~10% of the window has elapsed (at least once).
+        let warmup_budget = self.measurement_window / 10;
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+
+        let mut iterations: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= self.measurement_window {
+                break;
+            }
+        }
+        self.measured = Some(MeasuredSample {
+            total: start.elapsed(),
+            iterations,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; scales the measurement window so
+    /// smaller sample sizes finish faster, as with real criterion.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<S: Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        self.run_one(&full_name, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        self.run_one(&full_name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, full_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Real criterion's default is 100 samples; scale the window down for
+        // groups that lowered sample_size to keep heavy benches quick.
+        let window = self.criterion.measurement_window * (self.sample_size as u32).min(100) / 100;
+        let mut bencher = Bencher {
+            measured: None,
+            measurement_window: window.max(Duration::from_millis(10)),
+        };
+        f(&mut bencher);
+        match bencher.measured {
+            Some(m) => {
+                let ns_per_iter = m.total.as_nanos() as f64 / m.iterations as f64;
+                println!(
+                    "{full_name:<50} {:>14} ns/iter  ({} iters in {:?})",
+                    format_ns(ns_per_iter),
+                    m.iterations,
+                    m.total
+                );
+            }
+            None => println!("{full_name:<50}  (no measurement: closure never called iter)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Much shorter than real criterion's 5 s: the full suite has
+            // dozens of benches and must stay runnable in CI.
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with `criterion_group!`'s standard
+    /// expansion; command-line filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<S: Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a function running each listed benchmark under one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares a `main` that runs each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
