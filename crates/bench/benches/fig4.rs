@@ -1,8 +1,12 @@
 //! FIG4 bench: per-layer DSE sweep cost (the paper's step 2).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dae_dvfs::{dae_segments, evaluate_point, explore_layer, DseConfig, Granularity};
+use dae_dvfs::{
+    dae_segments, evaluate_point, evaluate_schedule, explore_layer, explore_model,
+    CompiledLayer, DseConfig, Granularity,
+};
 use std::hint::black_box;
+use std::sync::Arc;
 use stm32_rcc::Hertz;
 use tinynn::models::vww;
 use tinynn::Layer;
@@ -43,6 +47,24 @@ fn bench_fig4(c: &mut Criterion) {
         })
     });
 
+    let power = Arc::new(cfg.power.clone());
+    let compiled = CompiledLayer::compile(profiles[dw_idx].clone(), &cfg);
+    let schedule = compiled
+        .schedule(Granularity(8))
+        .expect("g=8 is in the paper set")
+        .clone();
+    group.bench_function("evaluate_one_point_compiled", |b| {
+        b.iter(|| {
+            black_box(evaluate_schedule(
+                &schedule,
+                Granularity(8),
+                &f216,
+                &cfg,
+                &power,
+            ))
+        })
+    });
+
     group.bench_function("explore_one_layer_full_grid", |b| {
         b.iter(|| black_box(explore_layer(&profiles[dw_idx], &cfg)).len())
     });
@@ -54,6 +76,14 @@ fn bench_fig4(c: &mut Criterion) {
                 .map(|p| explore_layer(p, &cfg).len())
                 .sum::<usize>()
         })
+    });
+
+    let layers: Vec<CompiledLayer> = profiles
+        .iter()
+        .map(|p| CompiledLayer::compile(p.clone(), &cfg))
+        .collect();
+    group.bench_function("explore_whole_model_compiled", |b| {
+        b.iter(|| black_box(explore_model(&layers, &cfg, &power)).len())
     });
 
     group.finish();

@@ -1,20 +1,20 @@
 //! FIG6 bench: frequency-map construction and statistics.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dae_dvfs::{optimize, DseConfig, FrequencyMap};
+use dae_dvfs::{DseConfig, FrequencyMap, Planner};
 use repro_bench::fig6_stats;
 use std::hint::black_box;
-use tinyengine::{qos_window, TinyEngine};
+use tinyengine::qos_window;
 use tinynn::models::vww;
 
 fn bench_fig6(c: &mut Criterion) {
     let model = vww();
-    let baseline = TinyEngine::new()
-        .run(&model)
-        .expect("baseline")
-        .total_time_secs;
     let cfg = DseConfig::paper();
-    let plan = optimize(&model, qos_window(baseline, 0.30), &cfg).expect("optimizes");
+    let planner = Planner::new(&model, &cfg).expect("planner builds");
+    let baseline = planner.baseline_latency().expect("baseline");
+    let plan = planner
+        .optimize(qos_window(baseline, 0.30))
+        .expect("optimizes");
 
     let mut group = c.benchmark_group("fig6");
 

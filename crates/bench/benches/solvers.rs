@@ -1,7 +1,7 @@
 //! Solver benches: MCKP dynamic program vs greedy at realistic sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dae_dvfs::{solve_dp, solve_greedy, MckpItem};
+use dae_dvfs::{solve_dp, solve_greedy, DseConfig, MckpItem};
 use std::hint::black_box;
 
 /// Deterministic synthetic MCKP instance shaped like a per-layer Pareto
@@ -31,8 +31,15 @@ fn bench_solvers(c: &mut Criterion) {
             .sum();
         let budget = min_time * 1.5;
 
+        let resolution = DseConfig::DEFAULT_DP_RESOLUTION;
         group.bench_with_input(BenchmarkId::new("dp_2000", layers), &classes, |b, cl| {
-            b.iter(|| black_box(solve_dp(cl, budget, 2000).expect("solves").total_energy))
+            b.iter(|| {
+                black_box(
+                    solve_dp(cl, budget, resolution)
+                        .expect("solves")
+                        .total_energy,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("greedy", layers), &classes, |b, cl| {
             b.iter(|| black_box(solve_greedy(cl, budget).expect("solves").total_energy))

@@ -4,6 +4,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mcu_sim::cache::{Cache, CacheConfig};
 use mcu_sim::{Machine, MemoryTraffic, OpCounts, Segment};
 use std::hint::black_box;
+use std::sync::Arc;
+use stm32_power::PowerModel;
 use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
 use tinynn::models::vww_sized;
 use tinynn::Tensor;
@@ -34,6 +36,37 @@ fn bench_substrate(c: &mut Criterion) {
             },
         );
         b.iter(|| black_box(machine.run_segment(&seg)))
+    });
+
+    // Per-DSE-point setup cost: one machine construction per evaluated
+    // point. The power model rides in a shared Arc, so this is a refcount
+    // bump instead of a model clone.
+    group.bench_function("machine_setup_shared_power", |b| {
+        let clock = SysclkConfig::Pll(
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).expect("valid"),
+        );
+        let power = Arc::new(PowerModel::nucleo_f767zi());
+        b.iter(|| {
+            black_box(
+                Machine::new(clock)
+                    .with_power(Arc::clone(&power))
+                    .run_power(),
+            )
+        })
+    });
+
+    group.bench_function("machine_setup_cloned_power", |b| {
+        let clock = SysclkConfig::Pll(
+            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).expect("valid"),
+        );
+        let power = PowerModel::nucleo_f767zi();
+        b.iter(|| {
+            black_box(
+                Machine::new(clock)
+                    .with_power(power.clone())
+                    .run_power(),
+            )
+        })
     });
 
     group.bench_function("int8_inference_vww32", |b| {

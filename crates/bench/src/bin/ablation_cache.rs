@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin ablation_cache`
 
-use dae_dvfs::{run_dae_dvfs, DseConfig, FrequencyMap};
+use dae_dvfs::{DseConfig, FrequencyMap, Planner};
 use mcu_sim::cache::CacheConfig;
 use repro_bench::models;
 
@@ -27,7 +27,10 @@ fn main() {
                 line_bytes: 32,
                 ways: 4,
             };
-            let report = run_dae_dvfs(&model, 0.30, &cfg).expect("pipeline runs");
+            // Each cache geometry needs its own compiled schedules, so a
+            // fresh planner per configuration is the correct granularity.
+            let planner = Planner::new(&model, &cfg).expect("planner builds");
+            let report = planner.run(0.30).expect("pipeline runs");
             let map = FrequencyMap::from_plan(&report.plan, 0.30);
             let dae_rows: Vec<_> = map.rows.iter().filter(|r| r.granularity > 0).collect();
             let avg_g = if dae_rows.is_empty() {

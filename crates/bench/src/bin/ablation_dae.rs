@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin ablation_dae`
 
-use dae_dvfs::{run_dae_dvfs, DseConfig, Granularity};
+use dae_dvfs::{DseConfig, Granularity, Planner};
 use repro_bench::{models, SLACKS};
 
 fn main() {
@@ -22,9 +22,13 @@ fn main() {
     repro_bench::rule(70);
 
     for model in models() {
+        // Two planners per model (one per granularity universe); each is
+        // shared by all three slack levels.
+        let full_planner = Planner::new(&model, &full).expect("full planner builds");
+        let no_dae_planner = Planner::new(&model, &no_dae).expect("dvfs-only planner builds");
         for slack in SLACKS {
-            let with_dae = run_dae_dvfs(&model, slack, &full).expect("full pipeline");
-            let without = run_dae_dvfs(&model, slack, &no_dae).expect("dvfs-only pipeline");
+            let with_dae = full_planner.run(slack).expect("full pipeline");
+            let without = no_dae_planner.run(slack).expect("dvfs-only pipeline");
             let gain = (without.total_energy.as_f64() - with_dae.total_energy.as_f64())
                 / without.total_energy.as_f64()
                 * 100.0;

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin ablation_lfo`
 
-use dae_dvfs::{run_dae_dvfs, DseConfig};
+use dae_dvfs::{DseConfig, Planner};
 use stm32_rcc::Hertz;
 use tinynn::models::vww;
 
@@ -22,7 +22,10 @@ fn main() {
     for lfo_mhz in [16u64, 25, 40, 50] {
         let mut cfg = DseConfig::paper();
         cfg.modes = cfg.modes.with_lfo(Hertz::mhz(lfo_mhz));
-        let report = run_dae_dvfs(&model, 0.30, &cfg).expect("pipeline runs");
+        let report = Planner::new(&model, &cfg)
+            .expect("planner builds")
+            .run(0.30)
+            .expect("pipeline runs");
         // Memory share: fraction of layers that kept DAE enabled.
         let dae_layers = report
             .plan

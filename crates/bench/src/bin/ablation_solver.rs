@@ -6,16 +6,12 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin ablation_solver`
 
-use dae_dvfs::{
-    explore_layer, lower_model, optimize_sequence, pareto_front, solve_dp, solve_greedy,
-    Granularity, MckpItem,
-};
+use dae_dvfs::{solve_dp, solve_greedy, Granularity, MckpItem, Planner};
 use repro_bench::{config, models, SLACKS};
-use tinyengine::{qos_window, TinyEngine};
+use tinyengine::qos_window;
 
 fn main() {
     let cfg = config();
-    let engine = TinyEngine::new();
     println!("ABLATION: solver quality (inference energy, mJ — lower is better)");
     println!(
         "{:>18} | {:>5} | {:>9} | {:>9} | {:>9} | {:>12}",
@@ -24,13 +20,12 @@ fn main() {
     repro_bench::rule(78);
 
     for model in models() {
-        let baseline = engine.run(&model).expect("baseline").total_time_secs;
-        let profiles = lower_model(&model).expect("lowering");
-        let fronts: Vec<_> = profiles
-            .iter()
-            .map(|p| pareto_front(explore_layer(p, &cfg)))
-            .collect();
-        let classes: Vec<Vec<MckpItem>> = fronts
+        // One planner per model: fronts, compiled schedules and the
+        // baseline lowering feed every solver under comparison.
+        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let baseline = planner.baseline_latency().expect("baseline");
+        let classes: Vec<Vec<MckpItem>> = planner
+            .fronts()
             .iter()
             .map(|f| {
                 f.iter()
@@ -44,7 +39,7 @@ fn main() {
 
         for slack in SLACKS {
             let qos = qos_window(baseline, slack);
-            let dp = solve_dp(&classes, qos, 2000).expect("dp solves");
+            let dp = solve_dp(&classes, qos, cfg.dp_resolution).expect("dp solves");
             let greedy = solve_greedy(&classes, qos).expect("greedy solves");
 
             // Uniform frequency: per HFO candidate, take every layer's
@@ -54,10 +49,10 @@ fn main() {
             for hfo in &cfg.modes.hfo {
                 let mut t = 0.0;
                 let mut e = 0.0;
-                for profile in &profiles {
+                for layer in planner.layers() {
                     let best = Granularity::PAPER_SET
                         .iter()
-                        .map(|&g| dae_dvfs::evaluate_point(profile, g, hfo, &cfg))
+                        .map(|&g| layer.evaluate(g, hfo, &cfg, planner.power()))
                         .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite"))
                         .expect("non-empty granularity set");
                     t += best.latency_secs;
@@ -68,7 +63,7 @@ fn main() {
                 }
             }
 
-            let seq = optimize_sequence(&model, qos, &cfg).expect("sequence DP solves");
+            let seq = planner.optimize_sequence(qos).expect("sequence DP solves");
             println!(
                 "{:>18} | {:>4.0}% | {:>9.3} | {:>9.3} | {:>9.3} | {:>12.3}",
                 model.name,

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin ablation_switch_cost`
 
-use dae_dvfs::{optimize, DseConfig, FrequencyMap};
+use dae_dvfs::{DseConfig, FrequencyMap, Planner};
 use stm32_rcc::SwitchCostModel;
 use tinyengine::{qos_window, TinyEngine};
 use tinynn::models::vww;
@@ -29,7 +29,12 @@ fn main() {
     for relock_us in [0.0, 50.0, 100.0, 200.0, 500.0, 1000.0] {
         let mut cfg = DseConfig::paper();
         cfg.switch_model = SwitchCostModel::new(relock_us * 1e-6, 1e-6);
-        let plan = optimize(&model, qos, &cfg).expect("optimize succeeds");
+        // Switch costs are priced at replay time, but they feed the DSE
+        // points too, so each cost level gets its own planner.
+        let plan = Planner::new(&model, &cfg)
+            .expect("planner builds")
+            .optimize(qos)
+            .expect("optimize succeeds");
         let map = FrequencyMap::from_plan(&plan, 0.30);
         let dae_layers: Vec<_> = map.rows.iter().filter(|r| r.granularity > 0).collect();
         let avg_g = if dae_layers.is_empty() {

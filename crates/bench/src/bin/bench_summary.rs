@@ -1,0 +1,99 @@
+//! BENCH-SUMMARY — machine-readable end-to-end timing of the planning
+//! stack.
+//!
+//! Times one [`Planner`] construction plus a 10-point QoS sweep for each
+//! paper model, and contrasts it with the historical per-call path (a
+//! fresh DSE per QoS point, i.e. `optimize()` called 10 times). Emits a
+//! single JSON object on stdout and writes it to `BENCH_SUMMARY.json` in
+//! the current directory, so CI and the repo's benchmark trajectory can
+//! track the numbers without scraping human-formatted tables.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin bench_summary`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dae_dvfs::{optimize, Planner};
+use repro_bench::config;
+use tinyengine::qos_window;
+
+/// Slack levels of the 10-point sweep (5% … 95% in 10% steps).
+fn sweep_slacks() -> Vec<f64> {
+    (0..10).map(|i| 0.05 + 0.10 * i as f64).collect()
+}
+
+fn main() {
+    let cfg = config();
+    let mut entries = Vec::new();
+
+    for model in repro_bench::models() {
+        // Cached path: one planner, ten QoS points.
+        let t0 = Instant::now();
+        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let construction_secs = t0.elapsed().as_secs_f64();
+
+        let baseline = planner.baseline_latency().expect("baseline runs");
+        let windows: Vec<f64> = sweep_slacks()
+            .into_iter()
+            .map(|s| qos_window(baseline, s))
+            .collect();
+
+        let t1 = Instant::now();
+        let plans = planner.sweep(windows.iter().copied()).expect("sweep solves");
+        let sweep_secs = t1.elapsed().as_secs_f64();
+
+        // Historical path: a fresh DSE per QoS point.
+        let t2 = Instant::now();
+        let mut percall_energy = 0.0;
+        for &qos in &windows {
+            percall_energy += optimize(&model, qos, &cfg)
+                .expect("per-call optimize solves")
+                .predicted_energy
+                .as_f64();
+        }
+        let percall_secs = t2.elapsed().as_secs_f64();
+
+        let cached_energy: f64 = plans.iter().map(|p| p.predicted_energy.as_f64()).sum();
+        assert!(
+            (cached_energy - percall_energy).abs() < 1e-12,
+            "cached and per-call sweeps must agree: {cached_energy} vs {percall_energy}"
+        );
+
+        let cached_total = construction_secs + sweep_secs;
+        entries.push((
+            model.name.clone(),
+            model.layer_count(),
+            construction_secs,
+            sweep_secs,
+            cached_total,
+            percall_secs,
+            percall_secs / cached_total,
+        ));
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"planner_sweep10\",\n  \"qos_points\": 10,\n  \"models\": [\n");
+    for (i, (name, layers, construction, sweep, cached, percall, speedup)) in
+        entries.iter().enumerate()
+    {
+        let _ = write!(
+            json,
+            "    {{\"model\": \"{name}\", \"layers\": {layers}, \
+             \"planner_construction_secs\": {construction:.6}, \
+             \"planner_sweep_secs\": {sweep:.6}, \
+             \"cached_total_secs\": {cached:.6}, \
+             \"percall_total_secs\": {percall:.6}, \
+             \"speedup\": {speedup:.2}}}"
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    let geomean: f64 = (entries.iter().map(|e| e.6.ln()).sum::<f64>()
+        / entries.len() as f64)
+        .exp();
+    let _ = write!(json, "  ],\n  \"speedup_geomean\": {geomean:.2}\n}}");
+
+    println!("{json}");
+    json.push('\n');
+    if let Err(e) = std::fs::write("BENCH_SUMMARY.json", &json) {
+        eprintln!("warning: could not write BENCH_SUMMARY.json: {e}");
+    }
+}

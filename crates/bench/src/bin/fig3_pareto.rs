@@ -7,25 +7,27 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin fig3_pareto`
 
-use dae_dvfs::{explore_layer, lower_model, pareto_front, DseConfig};
+use dae_dvfs::{DseConfig, Planner};
 use repro_bench::models;
 use tinynn::LayerKind;
 
 fn main() {
     let cfg = DseConfig::paper();
     for model in models() {
-        let profiles = lower_model(&model).expect("lowering succeeds");
+        let planner = Planner::new(&model, &cfg).expect("planner builds");
         for kind in [LayerKind::Depthwise, LayerKind::Pointwise] {
-            let Some(profile) = profiles
+            let Some((idx, layer)) = planner
+                .layers()
                 .iter()
-                .filter(|p| p.kind == kind)
-                .max_by_key(|p| p.baseline_ops().mac)
+                .enumerate()
+                .filter(|(_, l)| l.profile().kind == kind)
+                .max_by_key(|(_, l)| l.profile().baseline_ops().mac)
             else {
                 continue;
             };
-            let points = explore_layer(profile, &cfg);
-            let cloud = points.len();
-            let front = pareto_front(points);
+            let profile = layer.profile();
+            let cloud = cfg.modes.hfo.len() * layer.granularities().count();
+            let front = &planner.fronts()[idx];
             println!(
                 "\n{} / {} ({kind}): {cloud} DSE points -> {} Pareto-optimal",
                 model.name,
@@ -36,7 +38,7 @@ fn main() {
                 "  {:>6} | {:>9} | {:>12} | {:>12} | {:>8}",
                 "g", "HFO", "latency", "energy", "switches"
             );
-            for pt in &front {
+            for pt in front {
                 println!(
                     "  {:>6} | {:>5} MHz | {:>9.3} ms | {:>9.4} mJ | {:>8}",
                     pt.granularity.0,

@@ -7,43 +7,32 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin fig4_dse_impact`
 
-use dae_dvfs::{evaluate_point, DseConfig, Granularity, OperatingModes};
-use stm32_rcc::Hertz;
-use tinyengine::KernelProfile;
-use tinynn::models::vww;
-use tinynn::{Layer, LayerKind};
+use std::sync::Arc;
 
-fn pick(kind: LayerKind) -> KernelProfile {
-    let model = vww();
-    let plan = model.plan().expect("vww plan resolves");
-    let mut best: Option<KernelProfile> = None;
-    for (nl, info) in model.layers().zip(plan.iter()) {
-        let matches = matches!(
-            (&nl.layer, kind),
-            (Layer::Depthwise(_), LayerKind::Depthwise)
-                | (Layer::Pointwise(_), LayerKind::Pointwise)
-        );
-        if matches {
-            let p = tinyengine::layer_profile(&nl.layer, info);
-            if best
-                .as_ref()
-                .is_none_or(|b| p.baseline_ops().mac > b.baseline_ops().mac)
-            {
-                best = Some(p);
-            }
-        }
-    }
-    best.expect("vww contains the layer kind")
+use dae_dvfs::{CompiledLayer, DseConfig, Granularity, OperatingModes, Planner};
+use stm32_power::PowerModel;
+use stm32_rcc::Hertz;
+use tinynn::models::vww;
+use tinynn::LayerKind;
+
+fn pick(planner: &Planner, kind: LayerKind) -> &CompiledLayer {
+    planner
+        .layers()
+        .iter()
+        .filter(|l| l.profile().kind == kind)
+        .max_by_key(|l| l.profile().baseline_ops().mac)
+        .expect("vww contains the layer kind")
 }
 
-fn sweep(profile: &KernelProfile, config: &DseConfig) {
+fn sweep(layer: &CompiledLayer, config: &DseConfig, power: &Arc<PowerModel>) {
+    let profile = layer.profile();
     println!("\nLayer: {} ({})", profile.name, profile.kind);
 
     println!("  left panel: frequency sweep at g = 8");
     println!("  {:>10} | {:>12} | {:>10}", "HFO (MHz)", "latency", "power");
     let fig4 = OperatingModes::fig4();
     for hfo in &fig4.hfo {
-        let pt = evaluate_point(profile, Granularity(8), hfo, config);
+        let pt = layer.evaluate(Granularity(8), hfo, config, power);
         println!(
             "  {:>10} | {:>9.3} ms | {:>7.1} mW",
             repro_bench::mhz(hfo.sysclk()),
@@ -61,7 +50,7 @@ fn sweep(profile: &KernelProfile, config: &DseConfig) {
         .expect("216 MHz in the ladder");
     let mut baseline_power = None;
     for g in Granularity::PAPER_SET {
-        let pt = evaluate_point(profile, g, &f216, config);
+        let pt = layer.evaluate(g, &f216, config, power);
         let mw = pt.energy.as_f64() / pt.latency_secs * 1e3;
         if g.is_baseline() {
             baseline_power = Some(mw);
@@ -78,7 +67,7 @@ fn sweep(profile: &KernelProfile, config: &DseConfig) {
         let best = Granularity::PAPER_SET
             .iter()
             .map(|&g| {
-                let pt = evaluate_point(profile, g, &f216, config);
+                let pt = layer.evaluate(g, &f216, config, power);
                 pt.energy.as_f64() / pt.latency_secs * 1e3
             })
             .fold(f64::INFINITY, f64::min);
@@ -92,6 +81,7 @@ fn sweep(profile: &KernelProfile, config: &DseConfig) {
 fn main() {
     println!("FIG4: DAE granularity x clocking design space (VWW layers)");
     let config = DseConfig::paper();
-    sweep(&pick(LayerKind::Depthwise), &config);
-    sweep(&pick(LayerKind::Pointwise), &config);
+    let planner = Planner::new(&vww(), &config).expect("planner builds");
+    sweep(pick(&planner, LayerKind::Depthwise), &config, planner.power());
+    sweep(pick(&planner, LayerKind::Pointwise), &config, planner.power());
 }

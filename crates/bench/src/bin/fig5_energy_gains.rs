@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin fig5_energy_gains`
 
-use dae_dvfs::compare_with_baselines;
+use dae_dvfs::Planner;
 use repro_bench::{config, models, SLACKS};
 
 fn main() {
@@ -20,8 +20,12 @@ fn main() {
     let mut max_te: f64 = 0.0;
     let mut max_cg: f64 = 0.0;
     for model in models() {
+        // One planner per model: the DSE sweep is shared by all three
+        // slack levels.
+        let planner = Planner::new(&model, &cfg).expect("planner builds");
         for slack in SLACKS {
-            let cmp = compare_with_baselines(&model, slack, &cfg)
+            let cmp = planner
+                .compare_with_baselines(slack)
                 .expect("comparison runs for every model/slack");
             max_te = max_te.max(cmp.gain_vs_tinyengine_pct());
             max_cg = max_cg.max(cmp.gain_vs_gated_pct());

@@ -9,22 +9,21 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin fig6_frequency_map`
 
-use dae_dvfs::{optimize, FrequencyMap};
+use dae_dvfs::{FrequencyMap, Planner};
 use repro_bench::{config, fig6_stats, models};
-use tinyengine::{qos_window, TinyEngine};
+use tinyengine::qos_window;
 
 fn main() {
     let cfg = config();
-    let engine = TinyEngine::new();
 
     for model in models() {
-        let baseline = engine
-            .run(&model)
-            .expect("baseline runs")
-            .total_time_secs;
+        // One planner per model: both QoS maps reuse the same DSE sweep.
+        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let baseline = planner.baseline_latency().expect("baseline runs");
         let mut maps = Vec::new();
         for slack in [0.10, 0.50] {
-            let plan = optimize(&model, qos_window(baseline, slack), &cfg)
+            let plan = planner
+                .optimize(qos_window(baseline, slack))
                 .expect("optimization succeeds");
             maps.push(FrequencyMap::from_plan(&plan, slack));
         }

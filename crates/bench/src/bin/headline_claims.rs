@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin headline_claims`
 
-use dae_dvfs::compare_with_baselines;
+use dae_dvfs::Planner;
 use repro_bench::{config, models, SLACKS};
 
 fn main() {
@@ -17,8 +17,10 @@ fn main() {
     let mut mbv2_relaxed = None;
 
     for model in models() {
+        let planner = Planner::new(&model, &cfg).expect("planner builds");
         for slack in SLACKS {
-            let cmp = compare_with_baselines(&model, slack, &cfg)
+            let cmp = planner
+                .compare_with_baselines(slack)
                 .expect("comparison runs");
             max_te = max_te.max(cmp.gain_vs_tinyengine_pct());
             max_cg = max_cg.max(cmp.gain_vs_gated_pct());

@@ -6,15 +6,16 @@
 //! paying the (warm-PLL) switch costs in between. The result is the
 //! `(latency, energy)` cloud from which the Pareto front is extracted.
 
+use std::sync::Arc;
+
 use mcu_sim::cache::CacheConfig;
-use mcu_sim::{Machine, SegmentClass};
 use stm32_power::{Joules, PowerModel};
-use stm32_rcc::{PllConfig, SwitchCostModel, SysclkConfig};
+use stm32_rcc::{PllConfig, SwitchCostModel};
 use tinyengine::KernelProfile;
-use tinynn::LayerKind;
 
 use crate::dae::{dae_segments, Granularity};
 use crate::modes::OperatingModes;
+use crate::schedule::{evaluate_schedule, explore_compiled, CompiledLayer};
 
 /// One evaluated `(g, f)` configuration of one layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,9 +50,16 @@ pub struct DseConfig {
     pub switch_model: SwitchCostModel,
     /// Power model.
     pub power: PowerModel,
+    /// Number of time buckets the MCKP / sequence DPs discretize the QoS
+    /// budget into. Finer resolutions tighten the ceil-rounding at the cost
+    /// of solver time; ablatable like every other knob.
+    pub dp_resolution: usize,
 }
 
 impl DseConfig {
+    /// The default DP time-axis resolution.
+    pub const DEFAULT_DP_RESOLUTION: usize = 2000;
+
     /// The paper's exploration: `g ∈ {0,2,4,8,12,16}`, the full HFO ladder,
     /// STM32F767 cache and default costs.
     pub fn paper() -> Self {
@@ -61,7 +69,19 @@ impl DseConfig {
             cache: CacheConfig::stm32f767(),
             switch_model: SwitchCostModel::default(),
             power: PowerModel::nucleo_f767zi(),
+            dp_resolution: Self::DEFAULT_DP_RESOLUTION,
         }
+    }
+
+    /// Overrides the DP resolution (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn with_dp_resolution(mut self, resolution: usize) -> Self {
+        assert!(resolution > 0, "resolution must be non-zero");
+        self.dp_resolution = resolution;
+        self
     }
 }
 
@@ -84,37 +104,8 @@ pub fn evaluate_point(
     hfo: &PllConfig,
     config: &DseConfig,
 ) -> DsePoint {
-    let hfo_cfg = SysclkConfig::Pll(*hfo);
-    let mut machine = Machine::new(hfo_cfg)
-        .with_switch_model(config.switch_model)
-        .with_power(config.power.clone());
-    let mut first_stage_secs = 0.0;
-    let mut first_seen = false;
-    for seg in dae_segments(profile, g, &config.cache) {
-        match seg.class {
-            SegmentClass::Memory => {
-                machine.switch_clock(config.modes.lfo);
-                // Re-program the PLL (if needed) under the memory segment.
-                machine.prepare_pll(*hfo);
-            }
-            SegmentClass::Compute | SegmentClass::Other => {
-                machine.switch_clock(hfo_cfg);
-            }
-        }
-        let dt = machine.run_segment(&seg);
-        if !first_seen && seg.class == SegmentClass::Memory {
-            first_stage_secs = dt;
-        }
-        first_seen = true;
-    }
-    DsePoint {
-        granularity: g,
-        hfo: *hfo,
-        latency_secs: machine.elapsed_secs(),
-        energy: machine.energy(),
-        switches: machine.switch_count(),
-        first_stage_secs,
-    }
+    let segments = dae_segments(profile, g, &config.cache);
+    evaluate_schedule(&segments, g, hfo, config, &Arc::new(config.power.clone()))
 }
 
 /// Explores the full `(g, f)` grid for one layer.
@@ -122,19 +113,13 @@ pub fn evaluate_point(
 /// DAE-capable layers (depthwise, pointwise) get every granularity; "rest"
 /// layers only get frequency scaling (`g = 0`), matching Fig. 6 where rest
 /// rows carry granularity `0-0`.
+///
+/// Single-shot convenience: lowers the layer once into a throw-away
+/// [`CompiledLayer`] and sweeps it. Callers that revisit layers should
+/// hold a [`crate::Planner`] (or their own `CompiledLayer`) instead.
 pub fn explore_layer(profile: &KernelProfile, config: &DseConfig) -> Vec<DsePoint> {
-    let dae_capable = matches!(profile.kind, LayerKind::Depthwise | LayerKind::Pointwise);
-    let mut points = Vec::new();
-    for &hfo in &config.modes.hfo {
-        if dae_capable {
-            for &g in &config.granularities {
-                points.push(evaluate_point(profile, g, &hfo, config));
-            }
-        } else {
-            points.push(evaluate_point(profile, Granularity(0), &hfo, config));
-        }
-    }
-    points
+    let layer = CompiledLayer::compile(profile.clone(), config);
+    explore_compiled(&layer, config, &Arc::new(config.power.clone()))
 }
 
 #[cfg(test)]

@@ -14,6 +14,11 @@ pub enum DaeDvfsError {
     Engine(EngineError),
     /// The QoS constraint cannot be met (or an MCKP class was empty).
     Qos(MckpError),
+    /// The model has no layers: there is nothing to schedule or deploy.
+    EmptyModel {
+        /// Name of the offending model.
+        model: String,
+    },
 }
 
 impl fmt::Display for DaeDvfsError {
@@ -21,6 +26,9 @@ impl fmt::Display for DaeDvfsError {
         match self {
             DaeDvfsError::Engine(e) => write!(f, "lowering failed: {e}"),
             DaeDvfsError::Qos(e) => write!(f, "optimization failed: {e}"),
+            DaeDvfsError::EmptyModel { model } => {
+                write!(f, "model {model:?} has no layers to plan")
+            }
         }
     }
 }
@@ -30,6 +38,7 @@ impl Error for DaeDvfsError {
         match self {
             DaeDvfsError::Engine(e) => Some(e),
             DaeDvfsError::Qos(e) => Some(e),
+            DaeDvfsError::EmptyModel { .. } => None,
         }
     }
 }

@@ -36,7 +36,9 @@ pub mod mckp;
 pub mod modes;
 pub mod pareto;
 pub mod pipeline;
+pub mod planner;
 pub mod report;
+pub mod schedule;
 pub mod seqdp;
 
 pub use classes::{QosClass, QosClassLadder};
@@ -50,5 +52,7 @@ pub use pipeline::{
     deploy, lower_model, optimize, optimize_sequence, run_dae_dvfs, DeploymentPlan,
     DeploymentReport, LayerDecision,
 };
+pub use planner::Planner;
+pub use schedule::{evaluate_schedule, explore_compiled, explore_model, CompiledLayer};
 pub use seqdp::{solve_sequence, SequenceSolution};
 pub use report::{compare_with_baselines, EnergyComparison, FrequencyMap, FrequencyMapRow};

@@ -1,17 +1,21 @@
 //! The end-to-end methodology (paper Fig. 3): DAE lowering → per-layer DSE
 //! → Pareto extraction → MCKP → deployable plan → iso-latency execution.
+//!
+//! The functions here are single-shot conveniences: each builds a
+//! throw-away [`Planner`] (which owns the compiled schedules and Pareto
+//! fronts) and runs one step. Callers that revisit the same model —
+//! several QoS points, repeated deployments, baseline comparisons —
+//! should construct the [`Planner`] once and amortize the DSE.
 
-use mcu_sim::{Machine, SegmentClass};
+use std::sync::Arc;
+
 use stm32_power::Joules;
-use stm32_rcc::SysclkConfig;
-use tinyengine::{KernelProfile, TinyEngine};
 use tinynn::{LayerKind, Model};
 
-use crate::dae::dae_segments;
-use crate::dse::{explore_layer, DseConfig, DsePoint};
+use crate::dse::{DseConfig, DsePoint};
 use crate::error::DaeDvfsError;
-use crate::mckp::{solve_dp, MckpItem};
-use crate::pareto::pareto_front;
+use crate::planner::Planner;
+use crate::schedule::{replay_decisions, CompiledLayer};
 
 /// The per-layer decision of a deployment: which granularity and which HFO
 /// frequency the layer runs with.
@@ -89,53 +93,18 @@ pub struct DeploymentReport {
     pub total_energy: Joules,
 }
 
-/// The number of DP time buckets used by [`optimize`].
-pub const DP_RESOLUTION: usize = 2000;
-
 /// Lowers a model into layer profiles (shared with the baseline engine).
 ///
 /// # Errors
 ///
 /// Propagates shape errors from the model plan.
-pub fn lower_model(model: &Model) -> Result<Vec<KernelProfile>, DaeDvfsError> {
+pub fn lower_model(model: &Model) -> Result<Vec<tinyengine::KernelProfile>, DaeDvfsError> {
     let plan = model.plan().map_err(tinyengine::EngineError::from)?;
     Ok(model
         .layers()
         .zip(plan.iter())
         .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info))
         .collect())
-}
-
-/// Replays a decision sequence on a fresh machine, returning the measured
-/// `(latency, energy)` including all inter-layer switching costs.
-fn execute_decisions(
-    profiles: &[KernelProfile],
-    decisions: &[LayerDecision],
-    config: &DseConfig,
-) -> (f64, Joules) {
-    let first_hfo = SysclkConfig::Pll(decisions[0].point.hfo);
-    let mut machine = Machine::new(first_hfo)
-        .with_switch_model(config.switch_model)
-        .with_power(config.power.clone());
-    for (profile, decision) in profiles.iter().zip(decisions) {
-        let hfo_cfg = SysclkConfig::Pll(decision.point.hfo);
-        for seg in dae_segments(profile, decision.point.granularity, &config.cache) {
-            match seg.class {
-                SegmentClass::Memory => {
-                    machine.switch_clock(config.modes.lfo);
-                    // Layer boundaries with an HFO change re-program the
-                    // PLL under the staging segment (see
-                    // `mcu_sim::Machine::prepare_pll`).
-                    machine.prepare_pll(decision.point.hfo);
-                }
-                SegmentClass::Compute | SegmentClass::Other => {
-                    machine.switch_clock(hfo_cfg);
-                }
-            }
-            machine.run_segment(&seg);
-        }
-    }
-    (machine.elapsed_secs(), machine.energy())
 }
 
 /// Runs steps 1–3 of the methodology: DSE every layer, keep the Pareto
@@ -163,151 +132,20 @@ pub fn optimize(
     qos_secs: f64,
     config: &DseConfig,
 ) -> Result<DeploymentPlan, DaeDvfsError> {
-    let profiles = lower_model(model)?;
-    let idle_power = config.power.clock_gated_power.as_f64();
-
-    let mut fronts: Vec<Vec<DsePoint>> = Vec::with_capacity(profiles.len());
-    for p in &profiles {
-        let front = pareto_front(explore_layer(p, config));
-        debug_assert!(!front.is_empty());
-        fronts.push(front);
-    }
-
-    let classes: Vec<Vec<MckpItem>> = fronts
-        .iter()
-        .map(|front| {
-            front
-                .iter()
-                .map(|pt| MckpItem {
-                    time_secs: pt.latency_secs,
-                    energy: pt.energy.as_f64() - idle_power * pt.latency_secs,
-                })
-                .collect()
-        })
-        .collect();
-
-    let build_decisions = |choices: &[usize]| -> Vec<LayerDecision> {
-        profiles
-            .iter()
-            .zip(&fronts)
-            .zip(choices)
-            .map(|((profile, front), &choice)| LayerDecision {
-                name: profile.name.clone(),
-                kind: profile.kind,
-                point: front[choice].clone(),
-            })
-            .collect()
-    };
-
-    // Sequence-aware budget search. DSE items are relock-free, so the DP
-    // solution can overrun once inter-layer re-locks are replayed. Rather
-    // than accepting the first feasible reserve, evaluate a deterministic
-    // grid of reserves (anchored on the observed overhead of the
-    // unreserved solution) and keep the feasible schedule with the lowest
-    // *window* energy. The all-fastest selection — maximum HFO everywhere,
-    // hence relock-free — is always a candidate, so the search only fails
-    // when the instance is genuinely infeasible.
-    let min_time: f64 = classes
-        .iter()
-        .map(|c| {
-            c.iter()
-                .map(|i| i.time_secs)
-                .fold(f64::INFINITY, f64::min)
-        })
-        .sum();
-    // Headroom so the DP's ceil-rounding (at most one bucket per class)
-    // cannot round the fastest selection out of the smallest budget.
-    let rounding_margin = 1.0 + (classes.len() + 1) as f64 / DP_RESOLUTION as f64;
-    let reserve_cap = (qos_secs - min_time * rounding_margin).max(0.0);
-
-    let window_energy =
-        |latency: f64, energy: Joules| energy.as_f64() + idle_power * (qos_secs - latency);
-
-    let mut best: Option<(f64, Vec<LayerDecision>, f64, Joules)> = None;
-    let mut consider = |decisions: Vec<LayerDecision>, latency: f64, energy: Joules| {
-        if latency <= qos_secs {
-            let score = window_energy(latency, energy);
-            if best.as_ref().is_none_or(|(s, ..)| score < *s) {
-                best = Some((score, decisions, latency, energy));
-            }
-        }
-    };
-
-    // Anchor: the unreserved solution and its observed switching overhead.
-    let base = solve_dp(&classes, qos_secs, DP_RESOLUTION)?;
-    let base_decisions = build_decisions(&base.choices);
-    let (base_latency, base_energy) = execute_decisions(&profiles, &base_decisions, config);
-    let overhead = (base_latency - base.total_time_secs).max(0.0);
-    consider(base_decisions, base_latency, base_energy);
-
-    let mut reserves: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 3.0]
-        .iter()
-        .map(|k| (k * overhead).min(reserve_cap))
-        .filter(|r| *r > 0.0)
-        .collect();
-    // Also cover the budget axis itself: overhead-anchored points can miss
-    // the regime where a much tighter budget yields a schedule with fewer
-    // distinct frequencies (and therefore fewer re-locks).
-    for frac in [0.1, 0.2, 0.3, 0.5, 0.7] {
-        reserves.push(frac * reserve_cap);
-    }
-    reserves.push(reserve_cap);
-    reserves.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    reserves.dedup();
-    for reserve in reserves {
-        let budget = qos_secs - reserve;
-        if budget <= 0.0 {
-            continue;
-        }
-        if let Ok(solution) = solve_dp(&classes, budget, DP_RESOLUTION) {
-            let decisions = build_decisions(&solution.choices);
-            let (latency, energy) = execute_decisions(&profiles, &decisions, config);
-            consider(decisions, latency, energy);
-        }
-    }
-
-    // Always-feasible candidate: per-layer fastest (relock-free).
-    let fastest: Vec<usize> = fronts
-        .iter()
-        .map(|front| {
-            front
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    a.1.latency_secs
-                        .partial_cmp(&b.1.latency_secs)
-                        .expect("latencies are finite")
-                })
-                .map(|(i, _)| i)
-                .expect("fronts are non-empty")
-        })
-        .collect();
-    let decisions = build_decisions(&fastest);
-    let (latency, energy) = execute_decisions(&profiles, &decisions, config);
-    consider(decisions, latency, energy);
-
-    match best {
-        Some((_, decisions, latency, energy)) => Ok(DeploymentPlan {
-            model: model.name.clone(),
-            qos_secs,
-            decisions,
-            predicted_latency_secs: latency,
-            predicted_energy: energy,
-        }),
-        None => Err(DaeDvfsError::Qos(crate::mckp::MckpError::Infeasible {
-            min_time_secs: latency,
-            budget_secs: qos_secs,
-        })),
-    }
+    Planner::new(model, config)?.optimize(qos_secs)
 }
 
 /// Executes a deployment plan on a fresh machine and idles (clock gated)
 /// until the QoS deadline.
 ///
+/// Unlike [`optimize`], this only compiles the schedules the plan needs —
+/// no DSE sweep is paid.
+///
 /// # Errors
 ///
-/// Propagates lowering errors. The plan is assumed to come from
-/// [`optimize`] against the same model.
+/// Propagates lowering errors; [`DaeDvfsError::EmptyModel`] for zero-layer
+/// models. The plan is assumed to come from [`optimize`] against the same
+/// model.
 ///
 /// # Panics
 ///
@@ -320,13 +158,23 @@ pub fn deploy(
     config: &DseConfig,
 ) -> Result<DeploymentReport, DaeDvfsError> {
     let profiles = lower_model(model)?;
+    if profiles.is_empty() {
+        return Err(DaeDvfsError::EmptyModel {
+            model: model.name.clone(),
+        });
+    }
     assert_eq!(
         profiles.len(),
         plan.decisions.len(),
         "plan does not match the model layer count"
     );
+    let layers: Vec<CompiledLayer> = profiles
+        .into_iter()
+        .map(|p| CompiledLayer::compile(p, config))
+        .collect();
+    let power = Arc::new(config.power.clone());
     let (inference_secs, inference_energy) =
-        execute_decisions(&profiles, &plan.decisions, config);
+        replay_decisions(&layers, &plan.decisions, config, &power);
     let remaining = plan.qos_secs - inference_secs;
     assert!(
         remaining >= -1e-9,
@@ -359,43 +207,7 @@ pub fn optimize_sequence(
     qos_secs: f64,
     config: &DseConfig,
 ) -> Result<DeploymentPlan, DaeDvfsError> {
-    let profiles = lower_model(model)?;
-    let idle_power = config.power.clock_gated_power.as_f64();
-    let fronts: Vec<Vec<DsePoint>> = profiles
-        .iter()
-        .map(|p| pareto_front(explore_layer(p, config)))
-        .collect();
-    let solution = crate::seqdp::solve_sequence(
-        &fronts,
-        qos_secs,
-        DP_RESOLUTION,
-        config,
-        idle_power,
-    )?;
-    let decisions: Vec<LayerDecision> = profiles
-        .iter()
-        .zip(&fronts)
-        .zip(&solution.choices)
-        .map(|((profile, front), &choice)| LayerDecision {
-            name: profile.name.clone(),
-            kind: profile.kind,
-            point: front[choice].clone(),
-        })
-        .collect();
-    let (latency, energy) = execute_decisions(&profiles, &decisions, config);
-    if latency > qos_secs {
-        return Err(DaeDvfsError::Qos(crate::mckp::MckpError::Infeasible {
-            min_time_secs: latency,
-            budget_secs: qos_secs,
-        }));
-    }
-    Ok(DeploymentPlan {
-        model: model.name.clone(),
-        qos_secs,
-        decisions,
-        predicted_latency_secs: latency,
-        predicted_energy: energy,
-    })
+    Planner::new(model, config)?.optimize_sequence(qos_secs)
 }
 
 /// Convenience wrapper: baseline latency → QoS window → optimize → deploy.
@@ -410,17 +222,13 @@ pub fn run_dae_dvfs(
     slack: f64,
     config: &DseConfig,
 ) -> Result<DeploymentReport, DaeDvfsError> {
-    let baseline = TinyEngine::new()
-        .run(model)
-        .map_err(DaeDvfsError::Engine)?;
-    let qos = tinyengine::qos_window(baseline.total_time_secs, slack);
-    let plan = optimize(model, qos, config)?;
-    deploy(model, &plan, config)
+    Planner::new(model, config)?.run(slack)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tinyengine::TinyEngine;
     use tinynn::models::vww;
 
     fn cfg() -> DseConfig {
@@ -529,6 +337,50 @@ mod tests {
         let model = vww();
         let err = optimize(&model, 1e-6, &cfg()).unwrap_err();
         assert!(matches!(err, DaeDvfsError::Qos(_)));
+    }
+
+    #[test]
+    fn empty_model_is_an_error_not_a_panic() {
+        // Regression: the replay path used to index `decisions[0]` and
+        // panic on zero-layer models.
+        let model = Model::new("hollow", tinynn::Shape::new(4, 4, 1), Vec::new());
+        assert!(matches!(
+            optimize(&model, 1.0, &cfg()),
+            Err(DaeDvfsError::EmptyModel { .. })
+        ));
+        assert!(matches!(
+            optimize_sequence(&model, 1.0, &cfg()),
+            Err(DaeDvfsError::EmptyModel { .. })
+        ));
+        assert!(matches!(
+            run_dae_dvfs(&model, 0.3, &cfg()),
+            Err(DaeDvfsError::EmptyModel { .. })
+        ));
+        let hollow_plan = DeploymentPlan {
+            model: "hollow".into(),
+            qos_secs: 1.0,
+            decisions: Vec::new(),
+            predicted_latency_secs: 0.0,
+            predicted_energy: Joules::ZERO,
+        };
+        assert!(matches!(
+            deploy(&model, &hollow_plan, &cfg()),
+            Err(DaeDvfsError::EmptyModel { .. })
+        ));
+    }
+
+    #[test]
+    fn dp_resolution_is_ablatable() {
+        // Coarser resolutions still produce feasible plans; the knob rides
+        // in the config instead of a hard-coded constant.
+        let model = vww();
+        let baseline = TinyEngine::new().run(&model).unwrap().total_time_secs;
+        let qos = tinyengine::qos_window(baseline, 0.3);
+        for resolution in [250usize, 2000] {
+            let cfg = DseConfig::paper().with_dp_resolution(resolution);
+            let plan = optimize(&model, qos, &cfg).unwrap();
+            assert!(plan.predicted_latency_secs <= qos + 1e-9, "res {resolution}");
+        }
     }
 
     #[test]

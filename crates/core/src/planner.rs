@@ -1,0 +1,456 @@
+//! The reusable planning front-end: one construction, many QoS points.
+//!
+//! [`Planner::new`] pays the expensive, QoS-independent work exactly once
+//! — lowering the model, compiling the per-layer segment schedules
+//! ([`crate::schedule`]), sweeping the DSE grid (in parallel) and
+//! reducing each layer to its Pareto front. Every subsequent
+//! [`Planner::optimize`] / [`Planner::optimize_sequence`] /
+//! [`Planner::deploy`] call is a solver run plus machine replays against
+//! the cache, which is why sweeping many QoS points
+//! ([`Planner::sweep`]) costs barely more than solving one.
+//!
+//! The single-shot functions ([`crate::pipeline::optimize`],
+//! [`crate::pipeline::run_dae_dvfs`], …) are thin wrappers that build a
+//! throw-away `Planner`; their results are bit-identical to the
+//! pre-`Planner` straight-line pipeline.
+
+use std::sync::{Arc, OnceLock};
+
+use stm32_power::{Joules, PowerModel};
+use tinyengine::{qos_window, LoweredModel, TinyEngine};
+use tinynn::Model;
+
+use crate::dse::{DseConfig, DsePoint};
+use crate::error::DaeDvfsError;
+use crate::mckp::{solve_dp, MckpItem};
+use crate::pareto::pareto_front;
+use crate::pipeline::{DeploymentPlan, DeploymentReport, LayerDecision};
+use crate::schedule::{explore_model, replay_decisions, CompiledLayer};
+
+/// A reusable planner for one `(model, configuration)` pair.
+///
+/// Owns the lowered profiles, the compiled segment schedules and the
+/// per-layer Pareto fronts; borrow it wherever repeated QoS points, plan
+/// replays or baseline comparisons are needed.
+///
+/// # Examples
+///
+/// ```
+/// use dae_dvfs::{DseConfig, Planner};
+/// use tinynn::models::vww_sized;
+///
+/// # fn main() -> Result<(), dae_dvfs::DaeDvfsError> {
+/// let model = vww_sized(32);
+/// let planner = Planner::new(&model, &DseConfig::paper())?;
+/// let baseline = planner.baseline_latency()?;
+/// // The DSE is paid once; each optimize call reuses it.
+/// for slack in [0.1, 0.3, 0.5] {
+///     let plan = planner.optimize(baseline * (1.0 + slack))?;
+///     assert!(plan.predicted_latency_secs <= baseline * (1.0 + slack));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Planner {
+    model: Model,
+    config: DseConfig,
+    power: Arc<PowerModel>,
+    layers: Vec<CompiledLayer>,
+    fronts: Vec<Vec<DsePoint>>,
+    baseline: OnceLock<LoweredModel>,
+}
+
+impl Planner {
+    /// Lowers `model`, compiles its schedules and runs the full DSE sweep
+    /// under `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::EmptyModel`] for zero-layer models; propagates
+    /// lowering errors.
+    pub fn new(model: &Model, config: &DseConfig) -> Result<Self, DaeDvfsError> {
+        let profiles = crate::pipeline::lower_model(model)?;
+        if profiles.is_empty() {
+            return Err(DaeDvfsError::EmptyModel {
+                model: model.name.clone(),
+            });
+        }
+        let power = Arc::new(config.power.clone());
+        let layers: Vec<CompiledLayer> = profiles
+            .into_iter()
+            .map(|p| CompiledLayer::compile(p, config))
+            .collect();
+        let fronts: Vec<Vec<DsePoint>> = explore_model(&layers, config, &power)
+            .into_iter()
+            .map(pareto_front)
+            .collect();
+        debug_assert!(fronts.iter().all(|f| !f.is_empty()));
+        Ok(Planner {
+            model: model.clone(),
+            config: config.clone(),
+            power,
+            layers,
+            fronts,
+            baseline: OnceLock::new(),
+        })
+    }
+
+    /// The model this planner was built for.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The exploration configuration (immutable: schedules and fronts were
+    /// compiled under it).
+    pub fn config(&self) -> &DseConfig {
+        &self.config
+    }
+
+    /// The compiled per-layer schedules, in execution order.
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    /// The per-layer Pareto fronts the solvers select from.
+    pub fn fronts(&self) -> &[Vec<DsePoint>] {
+        &self.fronts
+    }
+
+    /// The shared power model every machine replay prices against; pass it
+    /// to [`CompiledLayer::evaluate`] to avoid re-allocating one.
+    pub fn power(&self) -> &Arc<PowerModel> {
+        &self.power
+    }
+
+    /// The TinyEngine baseline of this model, lowered once and cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline lowering errors (e.g. SRAM budget overflows the
+    /// DAE path does not check).
+    pub fn baseline(&self) -> Result<&LoweredModel, DaeDvfsError> {
+        if let Some(lowered) = self.baseline.get() {
+            return Ok(lowered);
+        }
+        let lowered = TinyEngine::new()
+            .compile(&self.model)
+            .map_err(DaeDvfsError::Engine)?;
+        // A concurrent caller may have won the race; either value is
+        // identical, so the set result is irrelevant.
+        let _ = self.baseline.set(lowered);
+        Ok(self.baseline.get().expect("baseline just initialized"))
+    }
+
+    /// The baseline inference latency at TinyEngine's fixed 216 MHz.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Planner::baseline`].
+    pub fn baseline_latency(&self) -> Result<f64, DaeDvfsError> {
+        Ok(self.baseline()?.run().total_time_secs)
+    }
+
+    /// Replays a decision sequence with full inter-layer switching costs.
+    fn execute(&self, decisions: &[LayerDecision]) -> (f64, Joules) {
+        replay_decisions(&self.layers, decisions, &self.config, &self.power)
+    }
+
+    fn build_decisions(&self, choices: &[usize]) -> Vec<LayerDecision> {
+        self.layers
+            .iter()
+            .zip(&self.fronts)
+            .zip(choices)
+            .map(|((layer, front), &choice)| LayerDecision {
+                name: layer.profile().name.clone(),
+                kind: layer.profile().kind,
+                point: front[choice].clone(),
+            })
+            .collect()
+    }
+
+    /// Solves the MCKP for one QoS window against the cached fronts (steps
+    /// 2C–3 of the methodology; the DSE was paid at construction).
+    ///
+    /// Algorithm and numerics are identical to the historical single-shot
+    /// `optimize`: a reserve-grid budget search around the relock-free DP
+    /// solution, every candidate validated by machine replay, the feasible
+    /// schedule with the lowest window energy winning.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::Qos`] if even the fastest schedule misses the
+    /// window.
+    pub fn optimize(&self, qos_secs: f64) -> Result<DeploymentPlan, DaeDvfsError> {
+        let idle_power = self.config.power.clock_gated_power.as_f64();
+        let resolution = self.config.dp_resolution;
+
+        let classes: Vec<Vec<MckpItem>> = self
+            .fronts
+            .iter()
+            .map(|front| {
+                front
+                    .iter()
+                    .map(|pt| MckpItem {
+                        time_secs: pt.latency_secs,
+                        energy: pt.energy.as_f64() - idle_power * pt.latency_secs,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Sequence-aware budget search. DSE items are relock-free, so the
+        // DP solution can overrun once inter-layer re-locks are replayed.
+        // Rather than accepting the first feasible reserve, evaluate a
+        // deterministic grid of reserves (anchored on the observed overhead
+        // of the unreserved solution) and keep the feasible schedule with
+        // the lowest *window* energy. The all-fastest selection — maximum
+        // HFO everywhere, hence relock-free — is always a candidate, so the
+        // search only fails when the instance is genuinely infeasible.
+        let min_time: f64 = classes
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|i| i.time_secs)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        // Headroom so the DP's ceil-rounding (at most one bucket per class)
+        // cannot round the fastest selection out of the smallest budget.
+        let rounding_margin = 1.0 + (classes.len() + 1) as f64 / resolution as f64;
+        let reserve_cap = (qos_secs - min_time * rounding_margin).max(0.0);
+
+        let window_energy =
+            |latency: f64, energy: Joules| energy.as_f64() + idle_power * (qos_secs - latency);
+
+        let mut best: Option<(f64, Vec<LayerDecision>, f64, Joules)> = None;
+        let mut consider = |decisions: Vec<LayerDecision>, latency: f64, energy: Joules| {
+            if latency <= qos_secs {
+                let score = window_energy(latency, energy);
+                if best.as_ref().is_none_or(|(s, ..)| score < *s) {
+                    best = Some((score, decisions, latency, energy));
+                }
+            }
+        };
+
+        // Anchor: the unreserved solution and its observed switching
+        // overhead.
+        let base = solve_dp(&classes, qos_secs, resolution)?;
+        let base_decisions = self.build_decisions(&base.choices);
+        let (base_latency, base_energy) = self.execute(&base_decisions);
+        let overhead = (base_latency - base.total_time_secs).max(0.0);
+        consider(base_decisions, base_latency, base_energy);
+
+        let mut reserves: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 3.0]
+            .iter()
+            .map(|k| (k * overhead).min(reserve_cap))
+            .filter(|r| *r > 0.0)
+            .collect();
+        // Also cover the budget axis itself: overhead-anchored points can
+        // miss the regime where a much tighter budget yields a schedule
+        // with fewer distinct frequencies (and therefore fewer re-locks).
+        for frac in [0.1, 0.2, 0.3, 0.5, 0.7] {
+            reserves.push(frac * reserve_cap);
+        }
+        reserves.push(reserve_cap);
+        reserves.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        reserves.dedup();
+        for reserve in reserves {
+            let budget = qos_secs - reserve;
+            if budget <= 0.0 {
+                continue;
+            }
+            if let Ok(solution) = solve_dp(&classes, budget, resolution) {
+                let decisions = self.build_decisions(&solution.choices);
+                let (latency, energy) = self.execute(&decisions);
+                consider(decisions, latency, energy);
+            }
+        }
+
+        // Always-feasible candidate: per-layer fastest (relock-free).
+        let fastest: Vec<usize> = self
+            .fronts
+            .iter()
+            .map(|front| {
+                front
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.latency_secs
+                            .partial_cmp(&b.1.latency_secs)
+                            .expect("latencies are finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("fronts are non-empty")
+            })
+            .collect();
+        let decisions = self.build_decisions(&fastest);
+        let (latency, energy) = self.execute(&decisions);
+        consider(decisions, latency, energy);
+
+        match best {
+            Some((_, decisions, latency, energy)) => Ok(DeploymentPlan {
+                model: self.model.name.clone(),
+                qos_secs,
+                decisions,
+                predicted_latency_secs: latency,
+                predicted_energy: energy,
+            }),
+            None => Err(DaeDvfsError::Qos(crate::mckp::MckpError::Infeasible {
+                min_time_secs: latency,
+                budget_secs: qos_secs,
+            })),
+        }
+    }
+
+    /// Sequence-aware variant of [`Planner::optimize`]: selects one Pareto
+    /// point per layer with the layered-graph DP of [`crate::seqdp`],
+    /// which prices inter-layer PLL re-locks exactly instead of searching
+    /// reserve budgets.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Planner::optimize`].
+    pub fn optimize_sequence(&self, qos_secs: f64) -> Result<DeploymentPlan, DaeDvfsError> {
+        let idle_power = self.config.power.clock_gated_power.as_f64();
+        let solution = crate::seqdp::solve_sequence(
+            &self.fronts,
+            qos_secs,
+            self.config.dp_resolution,
+            &self.config,
+            idle_power,
+        )?;
+        let decisions = self.build_decisions(&solution.choices);
+        let (latency, energy) = self.execute(&decisions);
+        if latency > qos_secs {
+            return Err(DaeDvfsError::Qos(crate::mckp::MckpError::Infeasible {
+                min_time_secs: latency,
+                budget_secs: qos_secs,
+            }));
+        }
+        Ok(DeploymentPlan {
+            model: self.model.name.clone(),
+            qos_secs,
+            decisions,
+            predicted_latency_secs: latency,
+            predicted_energy: energy,
+        })
+    }
+
+    /// Executes a deployment plan against the compiled schedules and idles
+    /// (clock gated) until the QoS deadline.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for plans produced by this planner; the
+    /// `Result` mirrors the pipeline-level [`crate::pipeline::deploy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's layer count does not match the model, or if
+    /// the replayed schedule overruns the plan's QoS window — neither can
+    /// happen for plans produced by this planner.
+    pub fn deploy(&self, plan: &DeploymentPlan) -> Result<DeploymentReport, DaeDvfsError> {
+        assert_eq!(
+            self.layers.len(),
+            plan.decisions.len(),
+            "plan does not match the model layer count"
+        );
+        let (inference_secs, inference_energy) = self.execute(&plan.decisions);
+        let remaining = plan.qos_secs - inference_secs;
+        assert!(
+            remaining >= -1e-9,
+            "deployment overran its QoS window: {inference_secs}s > {}s",
+            plan.qos_secs
+        );
+        let idle_energy = self.config.power.clock_gated_power * remaining.max(0.0);
+        Ok(DeploymentReport {
+            plan: plan.clone(),
+            inference_secs,
+            inference_energy,
+            idle_energy,
+            total_energy: inference_energy + idle_energy,
+        })
+    }
+
+    /// Optimizes a batch of QoS windows against the shared caches.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first window that is infeasible.
+    pub fn sweep(
+        &self,
+        qos_windows: impl IntoIterator<Item = f64>,
+    ) -> Result<Vec<DeploymentPlan>, DaeDvfsError> {
+        qos_windows.into_iter().map(|q| self.optimize(q)).collect()
+    }
+
+    /// Convenience: baseline latency → QoS window at `slack` → optimize →
+    /// deploy (the per-planner equivalent of
+    /// [`crate::pipeline::run_dae_dvfs`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline, optimization and deployment errors.
+    pub fn run(&self, slack: f64) -> Result<DeploymentReport, DaeDvfsError> {
+        let qos = qos_window(self.baseline_latency()?, slack);
+        let plan = self.optimize(qos)?;
+        self.deploy(&plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::models::vww;
+
+    #[test]
+    fn sweep_reuses_one_dse() {
+        let model = vww();
+        let planner = Planner::new(&model, &DseConfig::paper()).unwrap();
+        let baseline = planner.baseline_latency().unwrap();
+        let plans = planner
+            .sweep([0.1, 0.3, 0.5].map(|s| qos_window(baseline, s)))
+            .unwrap();
+        assert_eq!(plans.len(), 3);
+        for plan in &plans {
+            assert_eq!(plan.decisions.len(), model.layer_count());
+            assert!(plan.predicted_latency_secs <= plan.qos_secs + 1e-12);
+        }
+        // Relaxing the window must not cost more window energy.
+        let gated = planner.config().power.clock_gated_power.as_f64();
+        let window = |p: &DeploymentPlan| {
+            p.predicted_energy.as_f64() + gated * (p.qos_secs - p.predicted_latency_secs)
+        };
+        assert!(window(&plans[2]) <= window(&plans[0]) + 1e-12);
+    }
+
+    #[test]
+    fn planner_deploy_matches_prediction() {
+        let model = vww();
+        let planner = Planner::new(&model, &DseConfig::paper()).unwrap();
+        let qos = qos_window(planner.baseline_latency().unwrap(), 0.3);
+        let plan = planner.optimize(qos).unwrap();
+        let report = planner.deploy(&plan).unwrap();
+        assert_eq!(report.inference_secs, plan.predicted_latency_secs);
+        assert_eq!(report.inference_energy, plan.predicted_energy);
+    }
+
+    #[test]
+    fn empty_model_rejected_at_construction() {
+        let model = Model::new("empty", tinynn::Shape::new(8, 8, 3), Vec::new());
+        match Planner::new(&model, &DseConfig::paper()) {
+            Err(DaeDvfsError::EmptyModel { model }) => assert_eq!(model, "empty"),
+            other => panic!("expected EmptyModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fronts_cover_every_layer() {
+        let model = vww();
+        let planner = Planner::new(&model, &DseConfig::paper()).unwrap();
+        assert_eq!(planner.fronts().len(), model.layer_count());
+        assert_eq!(planner.layers().len(), model.layer_count());
+        assert!(planner.fronts().iter().all(|f| !f.is_empty()));
+    }
+}

@@ -3,12 +3,13 @@
 
 use stm32_power::Joules;
 use stm32_rcc::Hertz;
-use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
+use tinyengine::{qos_window, IdlePolicy};
 use tinynn::{LayerKind, Model};
 
 use crate::dse::DseConfig;
 use crate::error::DaeDvfsError;
-use crate::pipeline::{optimize, deploy, DeploymentPlan};
+use crate::pipeline::DeploymentPlan;
+use crate::planner::Planner;
 
 /// Iso-latency energy of our approach vs the two baselines (one Fig. 5 bar
 /// group).
@@ -43,6 +44,10 @@ impl EnergyComparison {
 
 /// Runs the full iso-latency comparison for one model and slack level.
 ///
+/// Single-shot convenience over [`Planner::compare_with_baselines`]; use
+/// the planner directly to compare several slack levels without repeating
+/// the DSE.
+///
 /// # Errors
 ///
 /// Propagates pipeline and baseline errors.
@@ -51,26 +56,37 @@ pub fn compare_with_baselines(
     slack: f64,
     config: &DseConfig,
 ) -> Result<EnergyComparison, DaeDvfsError> {
-    let engine = TinyEngine::new();
-    let baseline_latency = engine.run(model)?.total_time_secs;
-    let qos = qos_window(baseline_latency, slack);
+    Planner::new(model, config)?.compare_with_baselines(slack)
+}
 
-    let plan = optimize(model, qos, config)?;
-    let ours = deploy(model, &plan, config)?;
-    // The paper's plain-TinyEngine baseline keeps "the board remaining in
-    // an idle state with a constant frequency of 216 MHz": WFI sleep with
-    // all clocks (including the 432 MHz-VCO PLL) still running.
-    let te = run_iso_latency(&engine, model, qos, IdlePolicy::Wfi216)?;
-    let gated = run_iso_latency(&engine, model, qos, IdlePolicy::ClockGated)?;
+impl Planner {
+    /// Runs the iso-latency comparison of one slack level against the
+    /// cached fronts and the cached TinyEngine lowering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline and optimization errors.
+    pub fn compare_with_baselines(&self, slack: f64) -> Result<EnergyComparison, DaeDvfsError> {
+        let baseline = self.baseline()?;
+        let qos = qos_window(baseline.run().total_time_secs, slack);
 
-    Ok(EnergyComparison {
-        model: model.name.clone(),
-        slack,
-        qos_secs: qos,
-        ours: ours.total_energy,
-        tinyengine: te.total_energy,
-        tinyengine_gated: gated.total_energy,
-    })
+        let plan = self.optimize(qos)?;
+        let ours = self.deploy(&plan)?;
+        // The paper's plain-TinyEngine baseline keeps "the board remaining
+        // in an idle state with a constant frequency of 216 MHz": WFI sleep
+        // with all clocks (including the 432 MHz-VCO PLL) still running.
+        let te = baseline.run_iso_latency(qos, IdlePolicy::Wfi216);
+        let gated = baseline.run_iso_latency(qos, IdlePolicy::ClockGated);
+
+        Ok(EnergyComparison {
+            model: self.model().name.clone(),
+            slack,
+            qos_secs: qos,
+            ours: ours.total_energy,
+            tinyengine: te.total_energy,
+            tinyengine_gated: gated.total_energy,
+        })
+    }
 }
 
 /// One row of the Fig. 6 frequency map: a layer's chosen HFO frequency and
@@ -162,6 +178,7 @@ impl FrequencyMap {
 mod tests {
     use super::*;
     use crate::pipeline::optimize;
+    use tinyengine::TinyEngine;
     use tinynn::models::vww;
 
     #[test]

@@ -6,6 +6,8 @@
 //! low-power state. Time advances and energy accumulates as a side effect,
 //! tagged per phase so experiments can report breakdowns.
 
+use std::sync::{Arc, OnceLock};
+
 use stm32_power::{EnergyMeter, Joules, PowerModel, PowerState, Watts};
 use stm32_rcc::{Hertz, PllConfig, SwitchCostModel, SysclkConfig};
 
@@ -57,7 +59,7 @@ pub enum IdleMode {
 pub struct Machine {
     cpu: CpuModel,
     memory: MemoryTiming,
-    power: PowerModel,
+    power: Arc<PowerModel>,
     switch_model: SwitchCostModel,
     clock: SysclkConfig,
     warm_pll: Option<PllConfig>,
@@ -77,10 +79,15 @@ impl Machine {
     /// If `clock` uses the PLL, the PLL starts locked (boot code paid that
     /// cost before our measurement window, as in the paper's setup).
     pub fn new(clock: SysclkConfig) -> Self {
+        // The default power model is shared process-wide: constructing a
+        // machine per DSE point must not re-allocate it.
+        static DEFAULT_POWER: OnceLock<Arc<PowerModel>> = OnceLock::new();
         Machine {
             cpu: CpuModel::cortex_m7(),
             memory: MemoryTiming::stm32f767(),
-            power: PowerModel::nucleo_f767zi(),
+            power: Arc::clone(
+                DEFAULT_POWER.get_or_init(|| Arc::new(PowerModel::nucleo_f767zi())),
+            ),
             switch_model: SwitchCostModel::default(),
             warm_pll: clock.pll().copied(),
             pending_pll: None,
@@ -133,8 +140,12 @@ impl Machine {
     }
 
     /// Replaces the power model (builder style).
-    pub fn with_power(mut self, power: PowerModel) -> Self {
-        self.power = power;
+    ///
+    /// Accepts either an owned [`PowerModel`] or a shared
+    /// `Arc<PowerModel>`; passing an `Arc` lets many machines (e.g. one per
+    /// DSE point) share a single allocation instead of cloning the model.
+    pub fn with_power(mut self, power: impl Into<Arc<PowerModel>>) -> Self {
+        self.power = power.into();
         self
     }
 
@@ -211,6 +222,12 @@ impl Machine {
         &self.power
     }
 
+    /// The shared handle to the power model (cheap to clone into another
+    /// machine via [`Machine::with_power`]).
+    pub fn power_model_shared(&self) -> &Arc<PowerModel> {
+        &self.power
+    }
+
     /// The instantaneous power state while executing. A PLL that is locked
     /// in the background *or still locking* draws its full power.
     fn run_state(&self) -> PowerState {
@@ -270,17 +287,17 @@ impl Machine {
     /// Executes `segment` at the current clock, tagging energy with the
     /// segment label. Returns the wall time consumed.
     pub fn run_segment(&mut self, segment: &Segment) -> f64 {
-        self.run_segment_tagged(segment, segment.label.clone())
+        self.run_segment_tagged(segment, &segment.label)
     }
 
     /// Executes `segment`, tagging energy with an explicit `tag`.
-    pub fn run_segment_tagged(&mut self, segment: &Segment, tag: impl Into<String>) -> f64 {
+    pub fn run_segment_tagged(&mut self, segment: &Segment, tag: impl AsRef<str>) -> f64 {
         let dt = self.segment_time_at(segment, self.sysclk());
         let p = self.run_power();
         let start = self.elapsed;
         self.meter.record(tag, p, dt);
         self.elapsed += dt;
-        self.record_trace(start, dt, TraceKind::Segment, &segment.label.clone(), p.as_mw());
+        self.record_trace(start, dt, TraceKind::Segment, &segment.label, p.as_mw());
         dt
     }
 
@@ -359,7 +376,7 @@ impl Machine {
         let p = self.power.power(&state);
         let tag = tag.into();
         let start = self.elapsed;
-        self.meter.record(tag.clone(), p, duration_secs);
+        self.meter.record(&tag, p, duration_secs);
         self.elapsed += duration_secs;
         self.record_trace(start, duration_secs, TraceKind::Idle, &tag, p.as_mw());
     }

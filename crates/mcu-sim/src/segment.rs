@@ -7,6 +7,13 @@
 //! energy. The DAE transform is, at this level, precisely a re-partitioning
 //! of one layer into alternating *memory-bound* and *compute-bound*
 //! segments.
+//!
+//! Segments are designed to be *compiled once and replayed many times*:
+//! the label is an interned [`Arc<str>`], so cloning a segment (or a whole
+//! schedule) never re-allocates label storage, and
+//! [`crate::machine::Machine::run_segment`] takes segments by reference.
+
+use std::sync::Arc;
 
 use crate::cpu::OpCounts;
 use crate::memory::MemoryTraffic;
@@ -24,10 +31,14 @@ pub enum SegmentClass {
 }
 
 /// One contiguous region of execution.
+///
+/// The label is an interned `Arc<str>`: cloning a segment shares the label
+/// storage, which is what makes compiled schedules cheap to reuse across
+/// many machine replays.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Segment {
     /// Human-readable label (layer name, phase), used in energy breakdowns.
-    pub label: String,
+    pub label: Arc<str>,
     /// Classification for LFO/HFO assignment.
     pub class: SegmentClass,
     /// Operations the core retires in this segment.
@@ -38,7 +49,7 @@ pub struct Segment {
 
 impl Segment {
     /// Creates a compute-class segment.
-    pub fn compute(label: impl Into<String>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
+    pub fn compute(label: impl Into<Arc<str>>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
         Segment {
             label: label.into(),
             class: SegmentClass::Compute,
@@ -48,7 +59,7 @@ impl Segment {
     }
 
     /// Creates a memory-class segment.
-    pub fn memory(label: impl Into<String>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
+    pub fn memory(label: impl Into<Arc<str>>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
         Segment {
             label: label.into(),
             class: SegmentClass::Memory,
@@ -58,7 +69,7 @@ impl Segment {
     }
 
     /// Creates an unclassified segment.
-    pub fn other(label: impl Into<String>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
+    pub fn other(label: impl Into<Arc<str>>, ops: OpCounts, traffic: MemoryTraffic) -> Self {
         Segment {
             label: label.into(),
             class: SegmentClass::Other,
@@ -80,6 +91,6 @@ mod tests {
         assert_eq!(s.class, SegmentClass::Memory);
         let s = Segment::other("o", OpCounts::ZERO, MemoryTraffic::ZERO);
         assert_eq!(s.class, SegmentClass::Other);
-        assert_eq!(s.label, "o");
+        assert_eq!(&*s.label, "o");
     }
 }

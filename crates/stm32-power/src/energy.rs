@@ -77,10 +77,13 @@ impl EnergyMeter {
 
     /// Records `duration_secs` spent at `power` under `tag`.
     ///
+    /// The tag is borrowed: recording under an already-seen tag (the hot
+    /// path when replaying a compiled schedule) performs no allocation.
+    ///
     /// # Panics
     ///
     /// Panics if `duration_secs` is negative or non-finite.
-    pub fn record(&mut self, tag: impl Into<String>, power: Watts, duration_secs: f64) {
+    pub fn record(&mut self, tag: impl AsRef<str>, power: Watts, duration_secs: f64) {
         assert!(
             duration_secs.is_finite() && duration_secs >= 0.0,
             "duration must be a non-negative finite time, got {duration_secs}"
@@ -88,11 +91,12 @@ impl EnergyMeter {
         let e = power * duration_secs;
         self.total += e;
         self.time += duration_secs;
-        *self
-            .breakdown
-            .entries
-            .entry(tag.into())
-            .or_insert(Joules::ZERO) += e;
+        let tag = tag.as_ref();
+        if let Some(slot) = self.breakdown.entries.get_mut(tag) {
+            *slot += e;
+        } else {
+            self.breakdown.entries.insert(tag.to_owned(), e);
+        }
     }
 
     /// Merges another meter into this one (tags are combined).

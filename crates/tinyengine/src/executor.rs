@@ -147,14 +147,30 @@ impl TinyEngine {
         Ok(out)
     }
 
+    /// Lowers `model` once into a replayable [`LoweredModel`].
+    ///
+    /// Baseline segments depend only on the model and the cache geometry,
+    /// so repeated runs (iso-latency sweeps, baseline comparisons at many
+    /// QoS points) should compile once and replay the result.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TinyEngine::lower`].
+    pub fn compile(&self, model: &Model) -> Result<LoweredModel, EngineError> {
+        Ok(LoweredModel {
+            model_name: model.name.clone(),
+            clock: self.clock,
+            lowered: self.lower(model)?,
+        })
+    }
+
     /// Runs `model` on a fresh machine at the engine clock.
     ///
     /// # Errors
     ///
     /// Same conditions as [`TinyEngine::lower`].
     pub fn run(&self, model: &Model) -> Result<InferenceReport, EngineError> {
-        let mut machine = Machine::new(self.clock);
-        self.run_on(model, &mut machine)
+        Ok(self.compile(model)?.run())
     }
 
     /// Runs `model` on an existing machine (which may carry prior state),
@@ -164,12 +180,52 @@ impl TinyEngine {
     ///
     /// Same conditions as [`TinyEngine::lower`].
     pub fn run_on(&self, model: &Model, machine: &mut Machine) -> Result<InferenceReport, EngineError> {
+        Ok(self.compile(model)?.run_on(machine))
+    }
+}
+
+/// A model lowered once into its baseline whole-layer segments,
+/// replayable any number of times without re-lowering.
+///
+/// Produced by [`TinyEngine::compile`]; replays are bit-identical to
+/// [`TinyEngine::run`].
+#[derive(Debug, Clone)]
+pub struct LoweredModel {
+    model_name: String,
+    clock: SysclkConfig,
+    lowered: Vec<(KernelProfile, Segment)>,
+}
+
+impl LoweredModel {
+    /// The name of the model this was lowered from.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// The engine clock the segments will run at.
+    pub fn clock(&self) -> &SysclkConfig {
+        &self.clock
+    }
+
+    /// The lowered `(profile, segment)` pairs in execution order.
+    pub fn lowered(&self) -> &[(KernelProfile, Segment)] {
+        &self.lowered
+    }
+
+    /// Replays the inference on a fresh machine at the engine clock.
+    pub fn run(&self) -> InferenceReport {
+        let mut machine = Machine::new(self.clock);
+        self.run_on(&mut machine)
+    }
+
+    /// Replays the inference on an existing machine (which may carry prior
+    /// state), switching it to the engine clock first.
+    pub fn run_on(&self, machine: &mut Machine) -> InferenceReport {
         machine.switch_clock(self.clock);
-        let lowered = self.lower(model)?;
-        let mut layers = Vec::with_capacity(lowered.len());
+        let mut layers = Vec::with_capacity(self.lowered.len());
         let t0 = machine.elapsed_secs();
         let e0 = machine.energy();
-        for (p, seg) in &lowered {
+        for (p, seg) in &self.lowered {
             let e_before = machine.energy();
             let dt = machine.run_segment(seg);
             layers.push(LayerExecution {
@@ -179,12 +235,12 @@ impl TinyEngine {
                 energy: machine.energy() - e_before,
             });
         }
-        Ok(InferenceReport {
-            model: model.name.clone(),
+        InferenceReport {
+            model: self.model_name.clone(),
             layers,
             total_time_secs: machine.elapsed_secs() - t0,
             total_energy: machine.energy() - e0,
-        })
+        }
     }
 }
 

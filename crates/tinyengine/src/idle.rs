@@ -11,7 +11,7 @@ use stm32_power::Joules;
 use tinynn::Model;
 
 use crate::error::EngineError;
-use crate::executor::{InferenceReport, TinyEngine};
+use crate::executor::{InferenceReport, LoweredModel, TinyEngine};
 
 /// How the baseline waits out the remainder of the QoS window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,24 +66,38 @@ pub fn run_iso_latency(
     qos_secs: f64,
     policy: IdlePolicy,
 ) -> Result<IsoLatencyReport, EngineError> {
-    let mut machine = Machine::new(*engine.clock());
-    let inference = engine.run_on(model, &mut machine)?;
-    let remaining = qos_secs - inference.total_time_secs;
-    assert!(
-        remaining >= 0.0,
-        "QoS window {qos_secs}s shorter than inference {}s",
-        inference.total_time_secs
-    );
-    let e_before = machine.energy();
-    machine.idle(remaining, policy.mode(), "iso-latency-idle");
-    let idle_energy = machine.energy() - e_before;
-    Ok(IsoLatencyReport {
-        total_energy: inference.total_energy + idle_energy,
-        inference,
-        qos_secs,
-        idle_energy,
-        policy,
-    })
+    Ok(engine.compile(model)?.run_iso_latency(qos_secs, policy))
+}
+
+impl LoweredModel {
+    /// Replays one inference and idles until `qos_secs` — the compiled
+    /// counterpart of [`run_iso_latency`], for sweeping many QoS windows
+    /// over a single lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inference itself overruns the QoS window (see
+    /// [`run_iso_latency`]).
+    pub fn run_iso_latency(&self, qos_secs: f64, policy: IdlePolicy) -> IsoLatencyReport {
+        let mut machine = Machine::new(*self.clock());
+        let inference = self.run_on(&mut machine);
+        let remaining = qos_secs - inference.total_time_secs;
+        assert!(
+            remaining >= 0.0,
+            "QoS window {qos_secs}s shorter than inference {}s",
+            inference.total_time_secs
+        );
+        let e_before = machine.energy();
+        machine.idle(remaining, policy.mode(), "iso-latency-idle");
+        let idle_energy = machine.energy() - e_before;
+        IsoLatencyReport {
+            total_energy: inference.total_energy + idle_energy,
+            inference,
+            qos_secs,
+            idle_energy,
+            policy,
+        }
+    }
 }
 
 /// Converts the paper's QoS slack percentage (10 / 30 / 50 %) into an

@@ -39,7 +39,7 @@ pub mod profile;
 
 pub use cost::{profile as layer_profile, KernelProfile, UnitGeometry};
 pub use error::EngineError;
-pub use executor::{tinyengine_clock, InferenceReport, LayerExecution, TinyEngine};
+pub use executor::{tinyengine_clock, InferenceReport, LayerExecution, LoweredModel, TinyEngine};
 pub use idle::{qos_window, run_iso_latency, IdlePolicy, IsoLatencyReport};
 pub use planner::{plan_memory, plan_memory_with_budget, MemoryPlan, PlanBudgetError};
 pub use profile::{profile_model, ModelProfile, ProfiledLayer};

@@ -3,21 +3,20 @@
 //!
 //! Run with: `cargo run --release --example battery_lifetime`
 
-use dae_dvfs::{run_dae_dvfs, DseConfig};
+use dae_dvfs::{DseConfig, Planner};
 use stm32_power::{Battery, Watts};
-use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
 use tinynn::models::person_detection;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = person_detection();
-    let engine = TinyEngine::new();
-    let baseline = engine.run(&model)?;
     let slack = 0.30;
-    let qos = qos_window(baseline.total_time_secs, slack);
 
-    let ours = run_dae_dvfs(&model, slack, &DseConfig::paper())?;
-    let te = run_iso_latency(&engine, &model, qos, IdlePolicy::Wfi216)?;
-    let gated = run_iso_latency(&engine, &model, qos, IdlePolicy::ClockGated)?;
+    // One planner gives all three contenders over the same window: our
+    // deployment plus both TinyEngine baselines (replayed from one cached
+    // lowering).
+    let planner = Planner::new(&model, &DseConfig::paper())?;
+    let cmp = planner.compare_with_baselines(slack)?;
+    let qos = cmp.qos_secs;
 
     let battery = Battery::cr123a();
     let standby = Watts::milliwatts(0.05); // stop-mode sensor between bursts
@@ -33,9 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(58));
     for (name, energy) in [
-        ("TinyEngine (idle @216)", te.total_energy),
-        ("TinyEngine + clock gating", gated.total_energy),
-        ("DAE + DVFS (this work)", ours.total_energy),
+        ("TinyEngine (idle @216)", cmp.tinyengine),
+        ("TinyEngine + clock gating", cmp.tinyengine_gated),
+        ("DAE + DVFS (this work)", cmp.ours),
     ] {
         let days = battery.lifetime_days(energy, qos, per_day, standby);
         println!(
@@ -46,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nper-window gain vs TinyEngine: {:.1}% -> proportionally longer deployments",
-        (1.0 - ours.total_energy.as_f64() / te.total_energy.as_f64()) * 100.0
+        cmp.gain_vs_tinyengine_pct()
     );
     Ok(())
 }

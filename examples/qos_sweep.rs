@@ -3,12 +3,15 @@
 //!
 //! Run with: `cargo run --release --example qos_sweep`
 
-use dae_dvfs::{run_dae_dvfs, DseConfig, FrequencyMap};
+use dae_dvfs::{DseConfig, FrequencyMap, Planner};
 use tinynn::models::paper_models;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = DseConfig::paper();
     for model in paper_models() {
+        // The planner compiles schedules and runs the DSE once; the seven
+        // slack levels below only pay the (cheap) solver + replay.
+        let planner = Planner::new(&model, &cfg)?;
         println!("\n{}: QoS slack sweep", model.name);
         println!(
             "{:>7} | {:>12} | {:>12} | {:>12} | {:>8}",
@@ -16,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("{}", "-".repeat(64));
         for slack in [0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.00] {
-            let report = run_dae_dvfs(&model, slack, &cfg)?;
+            let report = planner.run(slack)?;
             let map = FrequencyMap::from_plan(&report.plan, slack);
             println!(
                 "{:>6.0}% | {:>9.2} ms | {:>9.3} mJ | {:>9.1} mW | {:>7.0}%",

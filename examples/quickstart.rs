@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dae_dvfs::{run_dae_dvfs, DseConfig};
+use dae_dvfs::{DseConfig, Planner};
 use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
 use tinynn::models::vww;
 
@@ -27,9 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.average_power_mw()
     );
 
-    // Our approach: DAE + DVFS with a 30% latency slack.
+    // Our approach: DAE + DVFS with a 30% latency slack. The planner owns
+    // the compiled schedules and Pareto fronts; further QoS points would
+    // reuse them for free.
     let slack = 0.30;
-    let report = run_dae_dvfs(&model, slack, &DseConfig::paper())?;
+    let planner = Planner::new(&model, &DseConfig::paper())?;
+    let report = planner.run(slack)?;
     println!(
         "DAE+DVFS @ {:.0}% slack: {:.2} ms inference, {:.3} mJ total window energy",
         slack * 100.0,

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example vww_deployment`
 
 use dae_dvfs::{
-    dae_forward_depthwise, deploy, optimize, DseConfig, FrequencyMap, Granularity,
+    dae_forward_depthwise, DseConfig, FrequencyMap, Granularity, Planner,
 };
 use tinyengine::{profile_model, qos_window, TinyEngine};
 use tinynn::models::{vww, vww_sized};
@@ -51,11 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = input;
     println!("\nDAE bit-exactness verified on {checked} depthwise layers x 6 granularities");
 
-    // Steps 2-3: optimize for a 30% slack window and deploy.
-    let baseline = engine.run(&model)?;
-    let qos = qos_window(baseline.total_time_secs, 0.30);
+    // Steps 2-3: optimize for a 30% slack window and deploy. The planner
+    // compiles schedules + Pareto fronts once; optimize and deploy are
+    // solver runs and replays against that cache.
     let cfg = DseConfig::paper();
-    let plan = optimize(&model, qos, &cfg)?;
+    let planner = Planner::new(&model, &cfg)?;
+    let qos = qos_window(planner.baseline_latency()?, 0.30);
+    let plan = planner.optimize(qos)?;
     println!(
         "\nplan: {:.2} ms predicted (QoS {:.2} ms), {:.3} mJ predicted",
         plan.predicted_latency_secs * 1e3,
@@ -75,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let report = deploy(&model, &plan, &cfg)?;
+    let report = planner.deploy(&plan)?;
     println!(
         "\ndeployed: {:.2} ms inference + {:.2} ms gated idle = {:.3} mJ window energy",
         report.inference_secs * 1e3,

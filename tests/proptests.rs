@@ -463,3 +463,54 @@ proptest! {
         }
     }
 }
+
+// ---- compiled schedule cache -----------------------------------------
+
+proptest! {
+    #[test]
+    fn compiled_schedules_match_fresh_lowering(
+        g in 0u8..=24,
+        size_kb_idx in 0usize..5,
+        ways_idx in 0usize..3,
+        layer_idx in 0usize..32,
+    ) {
+        use dae_dvfs::CompiledLayer;
+
+        let cache = CacheConfig {
+            size_bytes: [4u32, 8, 16, 32, 64][size_kb_idx] * 1024,
+            line_bytes: 32,
+            ways: [2u32, 4, 8][ways_idx],
+        };
+        let mut config = DseConfig::paper();
+        config.cache = cache;
+        // Make the arbitrary granularity part of the compiled universe.
+        let g = Granularity(g);
+        if !config.granularities.contains(&g) {
+            config.granularities.push(g);
+        }
+
+        let model = tinynn::models::vww_sized(32);
+        let plan = model.plan().expect("plan resolves");
+        let profiles: Vec<KernelProfile> = model
+            .layers()
+            .zip(plan.iter())
+            .map(|(nl, info)| tinyengine::layer_profile(&nl.layer, info))
+            .collect();
+        let profile = &profiles[layer_idx % profiles.len()];
+
+        let compiled = CompiledLayer::compile(profile.clone(), &config);
+        let fresh = dae_segments(profile, g, &cache);
+        if profile.dae_capable() {
+            // In the compiled universe: cached slice must equal the fresh
+            // lowering element-wise.
+            let cached = compiled.schedule(g).expect("g was added to the universe");
+            prop_assert_eq!(cached.as_ref(), fresh.as_slice());
+        } else {
+            // Rest layers only compile the baseline schedule; the fallback
+            // path must still agree with a fresh lowering.
+            prop_assert!(compiled.schedule(Granularity(0)).is_some());
+        }
+        let via_fallback = compiled.schedule_for(g, &cache);
+        prop_assert_eq!(via_fallback.as_ref(), fresh.as_slice());
+    }
+}
