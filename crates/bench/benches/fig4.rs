@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dae_dvfs::{
-    dae_segments, evaluate_point, evaluate_schedule, explore_layer, explore_model,
-    CompiledLayer, DseConfig, Granularity,
+    dae_segments, evaluate_point, evaluate_schedule, explore_layer, explore_model, CompiledLayer,
+    DseConfig, Granularity,
 };
 use std::hint::black_box;
 use std::sync::Arc;

@@ -31,18 +31,38 @@ fn bench_fig5(c: &mut Criterion) {
     });
 
     group.bench_function("tinyengine_iso_latency_gated", |b| {
-        b.iter(|| black_box(lowered.run_iso_latency(qos, IdlePolicy::ClockGated).total_energy))
+        b.iter(|| {
+            black_box(
+                lowered
+                    .run_iso_latency(qos, IdlePolicy::ClockGated)
+                    .total_energy,
+            )
+        })
     });
 
     group.bench_function("optimize_vww_30pct_percall", |b| {
-        b.iter(|| black_box(optimize(&model, qos, &cfg).expect("optimizes").decisions.len()))
+        b.iter(|| {
+            black_box(
+                optimize(&model, qos, &cfg)
+                    .expect("optimizes")
+                    .decisions
+                    .len(),
+            )
+        })
     });
 
     group.bench_function("planner_construction", |b| {
-        b.iter(|| black_box(Planner::new(&model, &cfg).expect("builds").fronts().len()))
+        b.iter(|| {
+            black_box(
+                Planner::for_target(repro_bench::target(), &model)
+                    .expect("builds")
+                    .fronts()
+                    .len(),
+            )
+        })
     });
 
-    let planner = Planner::new(&model, &cfg).expect("builds");
+    let planner = Planner::for_target(repro_bench::target(), &model).expect("builds");
     group.bench_function("planner_optimize_cached", |b| {
         b.iter(|| black_box(planner.optimize(qos).expect("optimizes").decisions.len()))
     });
@@ -51,7 +71,14 @@ fn bench_fig5(c: &mut Criterion) {
         .map(|i| qos_window(baseline, 0.05 + 0.10 * i as f64))
         .collect();
     group.bench_function("planner_sweep10_cached", |b| {
-        b.iter(|| black_box(planner.sweep(windows.iter().copied()).expect("sweeps").len()))
+        b.iter(|| {
+            black_box(
+                planner
+                    .sweep(windows.iter().copied())
+                    .expect("sweeps")
+                    .len(),
+            )
+        })
     });
 
     let plan = planner.optimize(qos).expect("optimizes");

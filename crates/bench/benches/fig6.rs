@@ -1,7 +1,7 @@
 //! FIG6 bench: frequency-map construction and statistics.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dae_dvfs::{DseConfig, FrequencyMap, Planner};
+use dae_dvfs::{FrequencyMap, Planner};
 use repro_bench::fig6_stats;
 use std::hint::black_box;
 use tinyengine::qos_window;
@@ -9,8 +9,7 @@ use tinynn::models::vww;
 
 fn bench_fig6(c: &mut Criterion) {
     let model = vww();
-    let cfg = DseConfig::paper();
-    let planner = Planner::new(&model, &cfg).expect("planner builds");
+    let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
     let baseline = planner.baseline_latency().expect("baseline");
     let plan = planner
         .optimize(qos_window(baseline, 0.30))

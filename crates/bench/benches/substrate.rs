@@ -60,13 +60,7 @@ fn bench_substrate(c: &mut Criterion) {
             PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).expect("valid"),
         );
         let power = PowerModel::nucleo_f767zi();
-        b.iter(|| {
-            black_box(
-                Machine::new(clock)
-                    .with_power(power.clone())
-                    .run_power(),
-            )
-        })
+        b.iter(|| black_box(Machine::new(clock).with_power(power.clone()).run_power()))
     });
 
     group.bench_function("int8_inference_vww32", |b| {

@@ -36,7 +36,10 @@ fn main() {
             let avg_g = if dae_rows.is_empty() {
                 0.0
             } else {
-                dae_rows.iter().map(|r| f64::from(r.granularity)).sum::<f64>()
+                dae_rows
+                    .iter()
+                    .map(|r| f64::from(r.granularity))
+                    .sum::<f64>()
                     / dae_rows.len() as f64
             };
             println!(

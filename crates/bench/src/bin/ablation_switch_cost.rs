@@ -40,11 +40,13 @@ fn main() {
         let avg_g = if dae_layers.is_empty() {
             0.0
         } else {
-            dae_layers.iter().map(|r| f64::from(r.granularity)).sum::<f64>()
+            dae_layers
+                .iter()
+                .map(|r| f64::from(r.granularity))
+                .sum::<f64>()
                 / dae_layers.len() as f64
         };
-        let distinct: std::collections::BTreeSet<_> =
-            map.rows.iter().map(|r| r.hfo).collect();
+        let distinct: std::collections::BTreeSet<_> = map.rows.iter().map(|r| r.hfo).collect();
         println!(
             "{:>9.0} µs | {:>9.3} ms | {:>9.3} mJ | {:>10.1} | {:>8}",
             relock_us,

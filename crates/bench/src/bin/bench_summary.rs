@@ -10,12 +10,14 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin bench_summary`
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
-use dae_dvfs::{optimize, Planner};
-use repro_bench::config;
+use dae_dvfs::{optimize, Planner, Stm32F767Target, Target};
+use repro_bench::{config, json};
 use tinyengine::qos_window;
+
+/// Schema version of the `BENCH_SUMMARY.json` document.
+const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 2;
 
 /// Slack levels of the 10-point sweep (5% … 95% in 10% steps).
 fn sweep_slacks() -> Vec<f64> {
@@ -29,7 +31,7 @@ fn main() {
     for model in repro_bench::models() {
         // Cached path: one planner, ten QoS points.
         let t0 = Instant::now();
-        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
         let construction_secs = t0.elapsed().as_secs_f64();
 
         let baseline = planner.baseline_latency().expect("baseline runs");
@@ -39,7 +41,9 @@ fn main() {
             .collect();
 
         let t1 = Instant::now();
-        let plans = planner.sweep(windows.iter().copied()).expect("sweep solves");
+        let plans = planner
+            .sweep(windows.iter().copied())
+            .expect("sweep solves");
         let sweep_secs = t1.elapsed().as_secs_f64();
 
         // Historical path: a fresh DSE per QoS point.
@@ -71,29 +75,35 @@ fn main() {
         ));
     }
 
-    let mut json = String::from("{\n  \"benchmark\": \"planner_sweep10\",\n  \"qos_points\": 10,\n  \"models\": [\n");
-    for (i, (name, layers, construction, sweep, cached, percall, speedup)) in
-        entries.iter().enumerate()
-    {
-        let _ = write!(
-            json,
-            "    {{\"model\": \"{name}\", \"layers\": {layers}, \
-             \"planner_construction_secs\": {construction:.6}, \
-             \"planner_sweep_secs\": {sweep:.6}, \
-             \"cached_total_secs\": {cached:.6}, \
-             \"percall_total_secs\": {percall:.6}, \
-             \"speedup\": {speedup:.2}}}"
-        );
-        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
-    }
-    let geomean: f64 = (entries.iter().map(|e| e.6.ln()).sum::<f64>()
-        / entries.len() as f64)
-        .exp();
-    let _ = write!(json, "  ],\n  \"speedup_geomean\": {geomean:.2}\n}}");
+    let rows: Vec<String> = entries
+        .iter()
+        .map(
+            |(name, layers, construction, sweep, cached, percall, speedup)| {
+                json::Object::new()
+                    .str_field("model", name)
+                    .u64_field("layers", *layers as u64)
+                    .f64_field("planner_construction_secs", *construction, 6)
+                    .f64_field("planner_sweep_secs", *sweep, 6)
+                    .f64_field("cached_total_secs", *cached, 6)
+                    .f64_field("percall_total_secs", *percall, 6)
+                    .f64_field("speedup", *speedup, 2)
+                    .render()
+            },
+        )
+        .collect();
+    let geomean: f64 = (entries.iter().map(|e| e.6.ln()).sum::<f64>() / entries.len() as f64).exp();
+    let mut document = json::Object::new()
+        .str_field("benchmark", "planner_sweep10")
+        .u64_field("schema_version", BENCH_SUMMARY_SCHEMA_VERSION)
+        .str_field("target", Stm32F767Target::paper().id())
+        .u64_field("qos_points", 10)
+        .array_field("models", &rows)
+        .f64_field("speedup_geomean", geomean, 2)
+        .render_pretty();
 
-    println!("{json}");
-    json.push('\n');
-    if let Err(e) = std::fs::write("BENCH_SUMMARY.json", &json) {
+    println!("{document}");
+    document.push('\n');
+    if let Err(e) = std::fs::write("BENCH_SUMMARY.json", &document) {
         eprintln!("warning: could not write BENCH_SUMMARY.json: {e}");
     }
 }

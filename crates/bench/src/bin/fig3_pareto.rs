@@ -14,7 +14,7 @@ use tinynn::LayerKind;
 fn main() {
     let cfg = DseConfig::paper();
     for model in models() {
-        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
         for kind in [LayerKind::Depthwise, LayerKind::Pointwise] {
             let Some((idx, layer)) = planner
                 .layers()

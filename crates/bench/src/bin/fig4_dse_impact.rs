@@ -29,7 +29,10 @@ fn sweep(layer: &CompiledLayer, config: &DseConfig, power: &Arc<PowerModel>) {
     println!("\nLayer: {} ({})", profile.name, profile.kind);
 
     println!("  left panel: frequency sweep at g = 8");
-    println!("  {:>10} | {:>12} | {:>10}", "HFO (MHz)", "latency", "power");
+    println!(
+        "  {:>10} | {:>12} | {:>10}",
+        "HFO (MHz)", "latency", "power"
+    );
     let fig4 = OperatingModes::fig4();
     for hfo in &fig4.hfo {
         let pt = layer.evaluate(Granularity(8), hfo, config, power);
@@ -42,7 +45,10 @@ fn sweep(layer: &CompiledLayer, config: &DseConfig, power: &Arc<PowerModel>) {
     }
 
     println!("  right panel: granularity sweep at 216 MHz");
-    println!("  {:>10} | {:>12} | {:>10} | {:>8}", "g", "latency", "power", "switches");
+    println!(
+        "  {:>10} | {:>12} | {:>10} | {:>8}",
+        "g", "latency", "power", "switches"
+    );
     let f216 = config
         .modes
         .hfo_at(Hertz::mhz(216))
@@ -82,6 +88,14 @@ fn main() {
     println!("FIG4: DAE granularity x clocking design space (VWW layers)");
     let config = DseConfig::paper();
     let planner = Planner::new(&vww(), &config).expect("planner builds");
-    sweep(pick(&planner, LayerKind::Depthwise), &config, planner.power());
-    sweep(pick(&planner, LayerKind::Pointwise), &config, planner.power());
+    sweep(
+        pick(&planner, LayerKind::Depthwise),
+        &config,
+        planner.power(),
+    );
+    sweep(
+        pick(&planner, LayerKind::Pointwise),
+        &config,
+        planner.power(),
+    );
 }

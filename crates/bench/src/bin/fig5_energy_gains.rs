@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release -p repro-bench --bin fig5_energy_gains`
 
 use dae_dvfs::Planner;
-use repro_bench::{config, models, SLACKS};
+use repro_bench::{models, SLACKS};
 
 fn main() {
     println!("FIG5: iso-latency energy gains of DAE+DVFS");
@@ -16,13 +16,12 @@ fn main() {
     );
     repro_bench::rule(92);
 
-    let cfg = config();
     let mut max_te: f64 = 0.0;
     let mut max_cg: f64 = 0.0;
     for model in models() {
         // One planner per model: the DSE sweep is shared by all three
         // slack levels.
-        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
         for slack in SLACKS {
             let cmp = planner
                 .compare_with_baselines(slack)

@@ -10,15 +10,13 @@
 //! Run with: `cargo run --release -p repro-bench --bin fig6_frequency_map`
 
 use dae_dvfs::{FrequencyMap, Planner};
-use repro_bench::{config, fig6_stats, models};
+use repro_bench::{fig6_stats, models};
 use tinyengine::qos_window;
 
 fn main() {
-    let cfg = config();
-
     for model in models() {
         // One planner per model: both QoS maps reuse the same DSE sweep.
-        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
         let baseline = planner.baseline_latency().expect("baseline runs");
         let mut maps = Vec::new();
         for slack in [0.10, 0.50] {

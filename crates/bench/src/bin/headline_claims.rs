@@ -7,17 +7,16 @@
 //! Run with: `cargo run --release -p repro-bench --bin headline_claims`
 
 use dae_dvfs::Planner;
-use repro_bench::{config, models, SLACKS};
+use repro_bench::{models, SLACKS};
 
 fn main() {
-    let cfg = config();
     let mut max_te: f64 = 0.0;
     let mut max_cg: f64 = 0.0;
     let mut mbv2_tight = None;
     let mut mbv2_relaxed = None;
 
     for model in models() {
-        let planner = Planner::new(&model, &cfg).expect("planner builds");
+        let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
         for slack in SLACKS {
             let cmp = planner
                 .compare_with_baselines(slack)
@@ -40,17 +39,11 @@ fn main() {
 
     println!("TAB-HEAD: headline claims");
     repro_bench::rule(72);
-    println!(
-        "max energy gain vs TinyEngine:             {max_te:5.1}%  (paper: up to 25.2%)"
-    );
-    println!(
-        "max energy gain vs TinyEngine+ClockGating: {max_cg:5.1}%  (paper: up to  7.2%)"
-    );
+    println!("max energy gain vs TinyEngine:             {max_te:5.1}%  (paper: up to 25.2%)");
+    println!("max energy gain vs TinyEngine+ClockGating: {max_cg:5.1}%  (paper: up to  7.2%)");
     if let (Some(t), Some(r)) = (mbv2_tight, mbv2_relaxed) {
         let drop = (t - r) / t * 100.0;
-        println!(
-            "MBV2 avg-power drop, 50% vs 10% QoS:       {drop:5.1}%  (paper: 20.4%)"
-        );
+        println!("MBV2 avg-power drop, 50% vs 10% QoS:       {drop:5.1}%  (paper: 20.4%)");
     }
     repro_bench::rule(72);
     let ok = max_te > 0.0 && max_cg > 0.0;

@@ -23,11 +23,18 @@ fn main() {
         ("LFO(HSE 50) -> warm HFO(216)   [mux]", lfo, pll(216)),
         ("HFO(216) -> HFO(150)        [re-lock]", pll(216), pll(150)),
         ("HFO(150) -> HFO(216)        [re-lock]", pll(150), pll(216)),
-        ("HSE 50 -> HSI              [mux]", lfo, SysclkConfig::HsiDirect),
+        (
+            "HSE 50 -> HSI              [mux]",
+            lfo,
+            SysclkConfig::HsiDirect,
+        ),
     ];
 
     println!("TAB-SW: SYSCLK switch overheads");
-    println!("{:>40} | {:>12} | {:>10}", "transition", "latency", "relocks");
+    println!(
+        "{:>40} | {:>12} | {:>10}",
+        "transition", "latency", "relocks"
+    );
     repro_bench::rule(70);
     for (label, from, to) in cases {
         let mut machine = Machine::new(from);
@@ -45,9 +52,7 @@ fn main() {
     for busy_us in [0.0, 50.0, 100.0, 200.0, 300.0] {
         let mut machine = Machine::new(pll(216));
         machine.switch_clock(lfo);
-        machine.prepare_pll(
-            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 150, 2).unwrap(),
-        );
+        machine.prepare_pll(PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 150, 2).unwrap());
         // Simulate an LFO phase of `busy_us` microseconds.
         machine.idle(busy_us * 1e-6, mcu_sim::IdleMode::BusyRun, "lfo-work");
         let stall = machine.switch_clock(pll(150));

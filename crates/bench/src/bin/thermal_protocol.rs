@@ -47,6 +47,9 @@ fn main() {
         t += 60.0;
     }
 
-    println!("\ntrue candidate power: {:.1} mW — the compensated column stays on it while", candidate_electrical.as_mw());
+    println!(
+        "\ntrue candidate power: {:.1} mW — the compensated column stays on it while",
+        candidate_electrical.as_mw()
+    );
     println!("the raw column drifts with leakage as the die warms");
 }

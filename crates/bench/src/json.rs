@@ -1,0 +1,216 @@
+//! A tiny JSON string builder for the machine-readable outputs.
+//!
+//! The workspace is offline (no serde), so the benchmark and example
+//! binaries hand-roll their JSON. This module centralizes the
+//! string-building that used to live inline in `bench_summary.rs` —
+//! escaping, field assembly, array joining — so every emitter (the bench
+//! summary, the cross-target example's plan index, future reports)
+//! produces consistent, parseable output.
+
+use std::fmt::Write as _;
+
+/// Escapes and quotes a string for JSON.
+///
+/// Delegates to the single escaper the plan-artifact writer uses
+/// ([`dae_dvfs::artifact::json_quote`]) so escaping rules cannot diverge
+/// between emitters.
+pub fn quote(s: &str) -> String {
+    dae_dvfs::artifact::json_quote(s)
+}
+
+/// An ordered JSON object under construction. Values are raw JSON
+/// fragments; use the typed `*_field` methods for scalars.
+#[derive(Debug, Clone, Default)]
+pub struct Object {
+    fields: Vec<(String, String)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Appends a raw JSON fragment (an already-rendered object, array or
+    /// scalar).
+    pub fn raw_field(mut self, key: &str, raw: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), raw.into()));
+        self
+    }
+
+    /// Appends a string field (escaped and quoted).
+    pub fn str_field(self, key: &str, value: &str) -> Self {
+        let quoted = quote(value);
+        self.raw_field(key, quoted)
+    }
+
+    /// Appends an integer field.
+    pub fn u64_field(self, key: &str, value: u64) -> Self {
+        self.raw_field(key, value.to_string())
+    }
+
+    /// Appends a floating-point field with `decimals` fractional digits.
+    pub fn f64_field(self, key: &str, value: f64, decimals: usize) -> Self {
+        self.raw_field(key, format!("{value:.decimals$}"))
+    }
+
+    /// Appends an array field from already-rendered element fragments.
+    pub fn array_field(self, key: &str, elements: &[String]) -> Self {
+        let rendered = render_array(elements);
+        self.raw_field(key, rendered)
+    }
+
+    /// Renders the object compactly (single line).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {v}", quote(k));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the object with each top-level field on its own line —
+    /// the diff-friendly layout the committed `BENCH_SUMMARY.json` uses.
+    /// Array fields additionally get one line per element.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let _ = write!(out, "  {}: ", quote(k));
+            if v == "[]" {
+                out.push_str("[]");
+            } else if v.starts_with('[') && v.ends_with(']') {
+                // Re-indent array elements (top-level commas only).
+                let inner = &v[1..v.len() - 1];
+                out.push_str("[\n");
+                for element in split_top_level(inner) {
+                    let _ = write!(out, "    {element}");
+                    out.push_str(",\n");
+                }
+                // Drop the trailing comma of the last element.
+                out.truncate(out.len() - 2);
+                out.push('\n');
+                out.push_str("  ]");
+            } else {
+                out.push_str(v);
+            }
+            out.push_str(if i + 1 < self.fields.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders an array from already-rendered element fragments.
+pub fn render_array(elements: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in elements.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(e);
+    }
+    out.push(']');
+    out
+}
+
+/// Splits a comma-joined fragment list at top level (commas inside
+/// nested brackets, braces or strings do not split).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut depth, mut start, mut in_str, mut escaped) = (0i32, 0usize, false, false);
+    for (i, b) in s.bytes().enumerate() {
+        if in_str {
+            match b {
+                _ if escaped => escaped = false,
+                b'\\' => escaped = true,
+                b'"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = s[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn object_renders_in_insertion_order() {
+        let obj = Object::new()
+            .str_field("name", "vww")
+            .u64_field("layers", 19)
+            .f64_field("speedup", 3.844, 2);
+        assert_eq!(
+            obj.render(),
+            "{\"name\": \"vww\", \"layers\": 19, \"speedup\": 3.84}"
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_expands_arrays() {
+        let rows = vec![
+            Object::new().str_field("m", "a").render(),
+            Object::new().str_field("m", "b").render(),
+        ];
+        let out = Object::new()
+            .u64_field("v", 1)
+            .array_field("models", &rows)
+            .render_pretty();
+        assert_eq!(
+            out,
+            "{\n  \"v\": 1,\n  \"models\": [\n    {\"m\": \"a\"},\n    {\"m\": \"b\"}\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn empty_array_field_renders_inline() {
+        let out = Object::new().array_field("models", &[]).render_pretty();
+        assert_eq!(out, "{\n  \"models\": []\n}");
+    }
+
+    #[test]
+    fn nested_arrays_survive_pretty_rendering() {
+        let out = Object::new()
+            .array_field("grid", &["[1, 2]".to_string(), "[3, 4]".to_string()])
+            .render_pretty();
+        assert_eq!(out, "{\n  \"grid\": [\n    [1, 2],\n    [3, 4]\n  ]\n}");
+    }
+
+    #[test]
+    fn top_level_split_ignores_nested_commas() {
+        assert_eq!(
+            split_top_level("{\"a\": [1, 2]}, {\"b\": \"x,y\"}, 3"),
+            vec!["{\"a\": [1, 2]}", "{\"b\": \"x,y\"}", "3"]
+        );
+    }
+}

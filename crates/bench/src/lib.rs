@@ -4,7 +4,9 @@
 //! regenerates it (see DESIGN.md's experiment index) and a Criterion bench
 //! under `benches/` that measures the code paths behind it.
 
-use dae_dvfs::{DseConfig, FrequencyMap};
+pub mod json;
+
+use dae_dvfs::{DseConfig, FrequencyMap, Stm32F767Target};
 use stm32_rcc::Hertz;
 use tinynn::{LayerKind, Model};
 
@@ -19,6 +21,15 @@ pub fn models() -> Vec<Model> {
 /// The standard exploration configuration.
 pub fn config() -> DseConfig {
     DseConfig::paper()
+}
+
+/// The standard target platform (the paper's STM32F767).
+///
+/// Figure bins that sweep the *paper* setup build their planners through
+/// this; the ablation bins, which mutate individual `DseConfig` fields,
+/// stay on the `Planner::new` compatibility layer by design.
+pub fn target() -> Stm32F767Target {
+    Stm32F767Target::paper()
 }
 
 /// Prints a horizontal rule sized for the standard tables.

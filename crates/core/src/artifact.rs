@@ -1,0 +1,993 @@
+//! Versioned, serializable deployment-plan artifacts.
+//!
+//! A [`crate::DeploymentPlan`] is the output of an expensive optimization
+//! (DSE sweep + solver); this module makes it *portable*: a plan optimized
+//! in one process can be written to JSON, shipped, validated against the
+//! receiving planner and [`crate::Planner::deploy`]-ed in another process
+//! — the compile-once / replay-many posture of the compiled schedules,
+//! lifted to the whole plan.
+//!
+//! # Schema
+//!
+//! The artifact is a single JSON object (hand-rolled writer and parser —
+//! the workspace is offline, so no serde):
+//!
+//! ```json
+//! {
+//!   "artifact": "dae-dvfs-deployment-plan",
+//!   "schema_version": 1,
+//!   "target": "stm32f767",
+//!   "model": "vww",
+//!   "model_fingerprint": "9f86d081884c7d65",
+//!   "config_fingerprint": "2c26b46b68ffc68f",
+//!   "qos_secs": 0.0123,
+//!   "predicted_latency_secs": 0.0119,
+//!   "predicted_energy_j": 0.0009,
+//!   "decisions": [
+//!     {"layer": "pw3", "kind": "pointwise", "granularity": 8,
+//!      "source": "hse", "source_hz": 50000000,
+//!      "pllm": 25, "plln": 150, "pllp": 2,
+//!      "latency_secs": 0.0004, "energy_j": 0.00003,
+//!      "switches": 12, "first_stage_secs": 0.00002}
+//!   ]
+//! }
+//! ```
+//!
+//! Floating-point values are emitted with Rust's shortest-round-trip
+//! formatting and parsed with `str::parse::<f64>`, so a round trip is
+//! bit-identical for every finite value (pinned by property tests).
+//!
+//! # Fingerprints & invalidation
+//!
+//! `model_fingerprint` hashes the lowered layer profiles,
+//! `config_fingerprint` hashes the full [`DseConfig`] (modes, costs,
+//! power/CPU/memory models, DP resolution). An import
+//! ([`crate::DeploymentPlan::from_artifact`]) is rejected with
+//! [`DaeDvfsError::ArtifactMismatch`] unless schema version, target id,
+//! model name, both fingerprints *and* the decision count agree with the
+//! receiving planner — the same invalidation rule compiled schedules
+//! follow (any change to the model or the board description invalidates),
+//! enforced across process boundaries.
+
+use std::fmt::Write as _;
+
+use stm32_power::Joules;
+use stm32_rcc::{ClockSource, Hertz, PllConfig};
+use tinynn::LayerKind;
+
+use crate::dse::DseConfig;
+use crate::error::DaeDvfsError;
+use crate::pipeline::{DeploymentPlan, LayerDecision};
+use crate::planner::Planner;
+use crate::schedule::CompiledLayer;
+
+/// Version of the artifact JSON schema this build writes and accepts.
+pub const PLAN_ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// The `"artifact"` discriminator value.
+const ARTIFACT_KIND: &str = "dae-dvfs-deployment-plan";
+
+// ---- fingerprints -------------------------------------------------------
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of a lowered model: the model name plus every compiled
+/// layer profile. Any change to shapes, quantization-derived op counts or
+/// layer order changes the fingerprint.
+pub fn model_fingerprint(model_name: &str, layers: &[CompiledLayer]) -> u64 {
+    let mut repr = String::from(model_name);
+    for layer in layers {
+        let _ = write!(repr, "|{:?}", layer.profile());
+    }
+    fnv1a(repr.as_bytes())
+}
+
+/// Fingerprint of a full exploration configuration (the board
+/// description): modes, granularities, cache, switch costs, power, CPU
+/// and memory models, DP resolution.
+pub fn config_fingerprint(config: &DseConfig) -> u64 {
+    fnv1a(format!("{config:?}").as_bytes())
+}
+
+// ---- the artifact type --------------------------------------------------
+
+/// One serialized per-layer decision.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ArtifactDecision {
+    /// Layer name.
+    pub layer: String,
+    /// Layer kind (`depthwise` / `pointwise` / `rest`).
+    pub kind: LayerKind,
+    /// Chosen decoupling granularity.
+    pub granularity: u8,
+    /// The chosen HFO PLL configuration.
+    pub hfo: PllConfig,
+    /// Layer latency under this decision, seconds.
+    pub latency_secs: f64,
+    /// Layer energy under this decision, joules.
+    pub energy_j: f64,
+    /// Clock switches the layer performs.
+    pub switches: u64,
+    /// Duration of the layer's first staging segment, seconds.
+    pub first_stage_secs: f64,
+}
+
+/// A versioned, serializable deployment plan.
+///
+/// Produce one with [`DeploymentPlan::to_artifact`], serialize with
+/// [`PlanArtifact::to_json`], and on the receiving side parse with
+/// [`PlanArtifact::from_json`] and validate + decode with
+/// [`DeploymentPlan::from_artifact`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct PlanArtifact {
+    /// Schema version the artifact was written with.
+    pub schema_version: u32,
+    /// Identifier of the target platform the plan was optimized for.
+    pub target: String,
+    /// Model name.
+    pub model: String,
+    /// Fingerprint of the lowered model (see [`model_fingerprint`]).
+    pub model_fingerprint: u64,
+    /// Fingerprint of the board configuration (see
+    /// [`config_fingerprint`]).
+    pub config_fingerprint: u64,
+    /// The QoS window the plan was optimized for, seconds.
+    pub qos_secs: f64,
+    /// Predicted inference latency, seconds.
+    pub predicted_latency_secs: f64,
+    /// Predicted inference energy, joules.
+    pub predicted_energy_j: f64,
+    /// Per-layer decisions in execution order.
+    pub decisions: Vec<ArtifactDecision>,
+}
+
+impl PlanArtifact {
+    /// Packages a plan under explicit provenance (target id and
+    /// fingerprints). [`DeploymentPlan::to_artifact`] is the planner-aware
+    /// convenience over this.
+    pub fn from_plan(
+        plan: &DeploymentPlan,
+        target: impl Into<String>,
+        model_fingerprint: u64,
+        config_fingerprint: u64,
+    ) -> Self {
+        PlanArtifact {
+            schema_version: PLAN_ARTIFACT_SCHEMA_VERSION,
+            target: target.into(),
+            model: plan.model.clone(),
+            model_fingerprint,
+            config_fingerprint,
+            qos_secs: plan.qos_secs,
+            predicted_latency_secs: plan.predicted_latency_secs,
+            predicted_energy_j: plan.predicted_energy.as_f64(),
+            decisions: plan
+                .decisions
+                .iter()
+                .map(|d| ArtifactDecision {
+                    layer: d.name.clone(),
+                    kind: d.kind,
+                    granularity: d.point.granularity.0,
+                    hfo: d.point.hfo,
+                    latency_secs: d.point.latency_secs,
+                    energy_j: d.point.energy.as_f64(),
+                    switches: d.point.switches,
+                    first_stage_secs: d.point.first_stage_secs,
+                })
+                .collect(),
+        }
+    }
+
+    /// Decodes the artifact back into a [`DeploymentPlan`] *without*
+    /// provenance validation — the raw inverse of
+    /// [`PlanArtifact::from_plan`]. Use [`DeploymentPlan::from_artifact`]
+    /// for the validated import path.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::ArtifactParse`] if a decision's PLL parameters are
+    /// outside the datasheet windows, or any time/energy value is
+    /// negative or non-finite (JSON numbers like `1e999` parse to
+    /// infinity; letting them through would produce plans the writer
+    /// cannot re-serialize).
+    pub fn to_plan_unchecked(&self) -> Result<DeploymentPlan, DaeDvfsError> {
+        let finite = |what: &str, unit: &str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(v)
+            } else {
+                Err(parse_err(format!(
+                    "{what}: {unit} must be non-negative and finite, got {v}"
+                )))
+            }
+        };
+        let energy = |what: &str, j: f64| finite(what, "energy", j).map(Joules::new);
+        let time = |what: &str, secs: f64| finite(what, "time", secs);
+        let decisions = self
+            .decisions
+            .iter()
+            .map(|d| {
+                d.hfo.validate().map_err(|e| DaeDvfsError::ArtifactParse {
+                    reason: format!("layer {:?}: invalid PLL configuration: {e}", d.layer),
+                })?;
+                Ok(LayerDecision {
+                    name: d.layer.clone(),
+                    kind: d.kind,
+                    point: crate::dse::DsePoint {
+                        granularity: crate::dae::Granularity(d.granularity),
+                        hfo: d.hfo,
+                        latency_secs: time(&d.layer, d.latency_secs)?,
+                        energy: energy(&d.layer, d.energy_j)?,
+                        switches: d.switches,
+                        first_stage_secs: time(&d.layer, d.first_stage_secs)?,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, DaeDvfsError>>()?;
+        Ok(DeploymentPlan {
+            model: self.model.clone(),
+            qos_secs: time("qos_secs", self.qos_secs)?,
+            decisions,
+            predicted_latency_secs: time("predicted_latency_secs", self.predicted_latency_secs)?,
+            predicted_energy: energy("predicted_energy_j", self.predicted_energy_j)?,
+        })
+    }
+
+    /// Serializes the artifact to its JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 256 * self.decisions.len());
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"artifact\": \"{ARTIFACT_KIND}\",");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"target\": {},", json_quote(&self.target));
+        let _ = writeln!(out, "  \"model\": {},", json_quote(&self.model));
+        let _ = writeln!(
+            out,
+            "  \"model_fingerprint\": \"{:016x}\",",
+            self.model_fingerprint
+        );
+        let _ = writeln!(
+            out,
+            "  \"config_fingerprint\": \"{:016x}\",",
+            self.config_fingerprint
+        );
+        let _ = writeln!(out, "  \"qos_secs\": {},", json_f64(self.qos_secs));
+        let _ = writeln!(
+            out,
+            "  \"predicted_latency_secs\": {},",
+            json_f64(self.predicted_latency_secs)
+        );
+        let _ = writeln!(
+            out,
+            "  \"predicted_energy_j\": {},",
+            json_f64(self.predicted_energy_j)
+        );
+        out.push_str("  \"decisions\": [\n");
+        for (i, d) in self.decisions.iter().enumerate() {
+            let source = match d.hfo.source() {
+                ClockSource::Hsi => "\"source\": \"hsi\", \"source_hz\": 0".to_string(),
+                ClockSource::Hse(f) => {
+                    format!("\"source\": \"hse\", \"source_hz\": {}", f.as_u64())
+                }
+            };
+            let _ = write!(
+                out,
+                "    {{\"layer\": {}, \"kind\": \"{}\", \"granularity\": {}, {source}, \
+                 \"pllm\": {}, \"plln\": {}, \"pllp\": {}, \"latency_secs\": {}, \
+                 \"energy_j\": {}, \"switches\": {}, \"first_stage_secs\": {}}}",
+                json_quote(&d.layer),
+                d.kind,
+                d.granularity,
+                d.hfo.pllm(),
+                d.hfo.plln(),
+                d.hfo.pllp(),
+                json_f64(d.latency_secs),
+                json_f64(d.energy_j),
+                d.switches,
+                json_f64(d.first_stage_secs),
+            );
+            out.push_str(if i + 1 < self.decisions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses an artifact from its JSON schema.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::ArtifactParse`] for malformed JSON, a wrong
+    /// `"artifact"` discriminator, missing fields or out-of-range values.
+    pub fn from_json(text: &str) -> Result<Self, DaeDvfsError> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("artifact root")?;
+        let kind = obj.get_str("artifact")?;
+        if kind != ARTIFACT_KIND {
+            return Err(parse_err(format!(
+                "not a deployment-plan artifact: {kind:?}"
+            )));
+        }
+        let decisions_value = obj.get("decisions")?;
+        let decisions = decisions_value
+            .as_array("decisions")?
+            .iter()
+            .map(|v| {
+                let d = v.as_object("decision")?;
+                let source = match d.get_str("source")? {
+                    "hsi" => ClockSource::Hsi,
+                    "hse" => ClockSource::hse(Hertz::new(d.get_u64("source_hz")?)),
+                    other => return Err(parse_err(format!("unknown clock source {other:?}"))),
+                };
+                let kind = match d.get_str("kind")? {
+                    "depthwise" => LayerKind::Depthwise,
+                    "pointwise" => LayerKind::Pointwise,
+                    "rest" => LayerKind::Rest,
+                    other => return Err(parse_err(format!("unknown layer kind {other:?}"))),
+                };
+                let granularity = u8::try_from(d.get_u64("granularity")?)
+                    .map_err(|_| parse_err("granularity out of range".into()))?;
+                Ok(ArtifactDecision {
+                    layer: d.get_str("layer")?.to_string(),
+                    kind,
+                    granularity,
+                    hfo: PllConfig::new_unchecked(
+                        source,
+                        u32::try_from(d.get_u64("pllm")?)
+                            .map_err(|_| parse_err("pllm out of range".into()))?,
+                        u32::try_from(d.get_u64("plln")?)
+                            .map_err(|_| parse_err("plln out of range".into()))?,
+                        u32::try_from(d.get_u64("pllp")?)
+                            .map_err(|_| parse_err("pllp out of range".into()))?,
+                    ),
+                    latency_secs: d.get_f64("latency_secs")?,
+                    energy_j: d.get_f64("energy_j")?,
+                    switches: d.get_u64("switches")?,
+                    first_stage_secs: d.get_f64("first_stage_secs")?,
+                })
+            })
+            .collect::<Result<Vec<_>, DaeDvfsError>>()?;
+        Ok(PlanArtifact {
+            schema_version: u32::try_from(obj.get_u64("schema_version")?)
+                .map_err(|_| parse_err("schema_version out of range".into()))?,
+            target: obj.get_str("target")?.to_string(),
+            model: obj.get_str("model")?.to_string(),
+            model_fingerprint: obj.get_hex64("model_fingerprint")?,
+            config_fingerprint: obj.get_hex64("config_fingerprint")?,
+            qos_secs: obj.get_f64("qos_secs")?,
+            predicted_latency_secs: obj.get_f64("predicted_latency_secs")?,
+            predicted_energy_j: obj.get_f64("predicted_energy_j")?,
+            decisions,
+        })
+    }
+}
+
+impl DeploymentPlan {
+    /// Packages this plan as a versioned artifact carrying the planner's
+    /// target id and model/configuration fingerprints.
+    pub fn to_artifact(&self, planner: &Planner) -> PlanArtifact {
+        PlanArtifact::from_plan(
+            self,
+            planner.target().id(),
+            model_fingerprint(&planner.model().name, planner.layers()),
+            config_fingerprint(planner.config()),
+        )
+    }
+
+    /// Validates an artifact against `planner` and decodes it back into a
+    /// deployable plan.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::ArtifactMismatch`] if the schema version, target
+    /// id, model name, either fingerprint or the decision count disagree
+    /// with the planner; [`DaeDvfsError::ArtifactParse`] if a decision is
+    /// undecodable.
+    pub fn from_artifact(
+        artifact: &PlanArtifact,
+        planner: &Planner,
+    ) -> Result<DeploymentPlan, DaeDvfsError> {
+        let mismatch = |field: &'static str, expected: String, found: String| {
+            Err(DaeDvfsError::ArtifactMismatch {
+                field,
+                expected,
+                found,
+            })
+        };
+        if artifact.schema_version != PLAN_ARTIFACT_SCHEMA_VERSION {
+            return mismatch(
+                "schema_version",
+                PLAN_ARTIFACT_SCHEMA_VERSION.to_string(),
+                artifact.schema_version.to_string(),
+            );
+        }
+        if artifact.target != planner.target().id() {
+            return mismatch(
+                "target",
+                planner.target().id().to_string(),
+                artifact.target.clone(),
+            );
+        }
+        if artifact.model != planner.model().name {
+            return mismatch(
+                "model",
+                planner.model().name.clone(),
+                artifact.model.clone(),
+            );
+        }
+        let expected_model = model_fingerprint(&planner.model().name, planner.layers());
+        if artifact.model_fingerprint != expected_model {
+            return mismatch(
+                "model_fingerprint",
+                format!("{expected_model:016x}"),
+                format!("{:016x}", artifact.model_fingerprint),
+            );
+        }
+        let expected_config = config_fingerprint(planner.config());
+        if artifact.config_fingerprint != expected_config {
+            return mismatch(
+                "config_fingerprint",
+                format!("{expected_config:016x}"),
+                format!("{:016x}", artifact.config_fingerprint),
+            );
+        }
+        if artifact.decisions.len() != planner.layers().len() {
+            return mismatch(
+                "decisions",
+                planner.layers().len().to_string(),
+                artifact.decisions.len().to_string(),
+            );
+        }
+        artifact.to_plan_unchecked()
+    }
+}
+
+// ---- JSON primitives ----------------------------------------------------
+
+fn parse_err(reason: String) -> DaeDvfsError {
+    DaeDvfsError::ArtifactParse { reason }
+}
+
+/// Escapes and quotes a string for JSON.
+///
+/// Shared by every hand-rolled JSON emitter in the workspace (the
+/// artifact writer here, `repro_bench::json` downstream) so escaping
+/// rules cannot diverge.
+pub fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite `f64` so that parsing the text recovers the exact bit
+/// pattern (Rust's `Display` is shortest-round-trip). Always includes a
+/// decimal point or exponent-free integer form acceptable to JSON.
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "plan artifacts require finite values");
+    // `Display` prints integral floats without a fraction ("3"), which is
+    // valid JSON; negative zero round-trips as "-0".
+    format!("{v}")
+}
+
+/// The minimal JSON subset parser behind [`PlanArtifact::from_json`]:
+/// objects, arrays, strings (with escapes), numbers (kept as raw text so
+/// `f64` parsing is exact), booleans and null.
+mod json {
+    use super::parse_err;
+    use crate::error::DaeDvfsError;
+
+    /// A parsed JSON value. Numbers keep their raw text.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<Object<'_>, DaeDvfsError> {
+            match self {
+                Value::Obj(fields) => Ok(Object { fields }),
+                other => Err(parse_err(format!("{what}: expected object, got {other:?}"))),
+            }
+        }
+
+        pub fn as_array(&self, what: &str) -> Result<&[Value], DaeDvfsError> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                other => Err(parse_err(format!("{what}: expected array, got {other:?}"))),
+            }
+        }
+    }
+
+    /// Field access over a parsed object.
+    pub struct Object<'a> {
+        fields: &'a [(String, Value)],
+    }
+
+    impl<'a> Object<'a> {
+        pub fn get(&self, key: &'static str) -> Result<&'a Value, DaeDvfsError> {
+            self.fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| parse_err(format!("missing field {key:?}")))
+        }
+
+        pub fn get_str(&self, key: &'static str) -> Result<&'a str, DaeDvfsError> {
+            match self.get(key)? {
+                Value::Str(s) => Ok(s),
+                other => Err(parse_err(format!("{key}: expected string, got {other:?}"))),
+            }
+        }
+
+        pub fn get_f64(&self, key: &'static str) -> Result<f64, DaeDvfsError> {
+            match self.get(key)? {
+                Value::Num(raw) => raw
+                    .parse::<f64>()
+                    .map_err(|e| parse_err(format!("{key}: bad number {raw:?}: {e}"))),
+                other => Err(parse_err(format!("{key}: expected number, got {other:?}"))),
+            }
+        }
+
+        pub fn get_u64(&self, key: &'static str) -> Result<u64, DaeDvfsError> {
+            match self.get(key)? {
+                Value::Num(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|e| parse_err(format!("{key}: bad integer {raw:?}: {e}"))),
+                other => Err(parse_err(format!("{key}: expected integer, got {other:?}"))),
+            }
+        }
+
+        /// A 64-bit fingerprint serialized as a 16-digit hex string.
+        pub fn get_hex64(&self, key: &'static str) -> Result<u64, DaeDvfsError> {
+            let s = self.get_str(key)?;
+            u64::from_str_radix(s, 16)
+                .map_err(|e| parse_err(format!("{key}: bad fingerprint {s:?}: {e}")))
+        }
+    }
+
+    /// Parses a complete JSON document (one value plus whitespace).
+    pub fn parse(text: &str) -> Result<Value, DaeDvfsError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(parse_err(format!("trailing characters at byte {}", p.pos)));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Result<u8, DaeDvfsError> {
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| parse_err("unexpected end of input".into()))
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), DaeDvfsError> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(parse_err(format!(
+                    "expected {:?} at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn expect_literal(&mut self, lit: &str) -> Result<(), DaeDvfsError> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(())
+            } else {
+                Err(parse_err(format!("expected {lit:?} at byte {}", self.pos)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, DaeDvfsError> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.expect_literal("true").map(|()| Value::Bool(true)),
+                b'f' => self.expect_literal("false").map(|()| Value::Bool(false)),
+                b'n' => self.expect_literal("null").map(|()| Value::Null),
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(parse_err(format!(
+                    "unexpected character {:?} at byte {}",
+                    other as char, self.pos
+                ))),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, DaeDvfsError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    other => {
+                        return Err(parse_err(format!(
+                            "expected ',' or '}}', got {:?} at byte {}",
+                            other as char, self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, DaeDvfsError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => {
+                        return Err(parse_err(format!(
+                            "expected ',' or ']', got {:?} at byte {}",
+                            other as char, self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, DaeDvfsError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                // Fast-forward over the unescaped run.
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| parse_err(format!("invalid UTF-8 in string: {e}")))?,
+                );
+                match self.peek()? {
+                    b'"' => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        match self.peek()? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                self.pos += 1;
+                                let code = self.hex4()?;
+                                let c = if (0xD800..0xDC00).contains(&code) {
+                                    // Surrogate pair: expect \uDC00-\uDFFF.
+                                    self.expect(b'\\')?;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(parse_err("invalid low surrogate".into()));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    char::from_u32(code)
+                                };
+                                out.push(
+                                    c.ok_or_else(|| parse_err("invalid unicode escape".into()))?,
+                                );
+                                continue;
+                            }
+                            other => {
+                                return Err(parse_err(format!(
+                                    "unknown escape \\{:?}",
+                                    other as char
+                                )))
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    _ => unreachable!("loop exits only on quote or backslash"),
+                }
+            }
+        }
+
+        /// Parses exactly four hex digits (after `\u`), leaving `pos` on
+        /// the next character.
+        fn hex4(&mut self) -> Result<u32, DaeDvfsError> {
+            if self.pos + 4 > self.bytes.len() {
+                return Err(parse_err("truncated unicode escape".into()));
+            }
+            let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                .map_err(|_| parse_err("invalid unicode escape".into()))?;
+            let code = u32::from_str_radix(digits, 16)
+                .map_err(|_| parse_err(format!("invalid unicode escape \\u{digits}")))?;
+            self.pos += 4;
+            Ok(code)
+        }
+
+        fn number(&mut self) -> Result<Value, DaeDvfsError> {
+            let start = self.pos;
+            if self.peek()? == b'-' {
+                self.pos += 1;
+            }
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.pos == start {
+                return Err(parse_err(format!("empty number at byte {start}")));
+            }
+            let raw =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+            Ok(Value::Num(raw.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dae::Granularity;
+    use crate::dse::DsePoint;
+    use stm32_rcc::PllConfig;
+
+    fn pll(mhz_n: u32) -> PllConfig {
+        PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, mhz_n, 2).expect("valid")
+    }
+
+    fn sample_plan() -> DeploymentPlan {
+        DeploymentPlan {
+            model: "unit \"quoted\"\nmodel".into(),
+            qos_secs: 0.1 + 0.2, // deliberately non-representable: 0.30000000000000004
+            decisions: vec![
+                LayerDecision {
+                    name: "pw0".into(),
+                    kind: LayerKind::Pointwise,
+                    point: DsePoint {
+                        granularity: Granularity(8),
+                        hfo: pll(150),
+                        latency_secs: 1.2345678901234567e-3,
+                        energy: Joules::new(7.0e-5),
+                        switches: 17,
+                        first_stage_secs: 3.3e-6,
+                    },
+                },
+                LayerDecision {
+                    name: "rest1".into(),
+                    kind: LayerKind::Rest,
+                    point: DsePoint {
+                        granularity: Granularity(0),
+                        hfo: pll(216),
+                        latency_secs: 0.25,
+                        energy: Joules::new(-0.0),
+                        switches: 0,
+                        first_stage_secs: 0.0,
+                    },
+                },
+            ],
+            predicted_latency_secs: f64::MIN_POSITIVE,
+            predicted_energy: Joules::new(1e300),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let plan = sample_plan();
+        let artifact = PlanArtifact::from_plan(&plan, "stm32f767", 0xdead_beef, 0x1234);
+        let text = artifact.to_json();
+        let parsed = PlanArtifact::from_json(&text).expect("parses");
+        assert_eq!(parsed, artifact);
+        let back = parsed.to_plan_unchecked().expect("decodes");
+        assert_eq!(back.model, plan.model);
+        assert_eq!(back.qos_secs.to_bits(), plan.qos_secs.to_bits());
+        assert_eq!(
+            back.predicted_latency_secs.to_bits(),
+            plan.predicted_latency_secs.to_bits()
+        );
+        assert_eq!(
+            back.predicted_energy.as_f64().to_bits(),
+            plan.predicted_energy.as_f64().to_bits()
+        );
+        assert_eq!(back.decisions, plan.decisions);
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        for bad in [
+            "",
+            "{",
+            "{\"artifact\": \"dae-dvfs-deployment-plan\"",
+            "[1,2,3]",
+            "{\"artifact\": \"something-else\"}",
+            "{\"artifact\": \"dae-dvfs-deployment-plan\", \"schema_version\": \"x\"}",
+        ] {
+            assert!(
+                matches!(
+                    PlanArtifact::from_json(bad),
+                    Err(DaeDvfsError::ArtifactParse { .. })
+                ),
+                "{bad:?} should fail to parse"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_field_names_the_field() {
+        let err = PlanArtifact::from_json(
+            "{\"artifact\": \"dae-dvfs-deployment-plan\", \"model\": \"m\"}",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("decisions") || err.to_string().contains("schema"));
+    }
+
+    #[test]
+    fn non_finite_times_rejected_at_decode() {
+        // JSON numbers like 1e999 lex fine and parse to infinity; the
+        // decoder must refuse them so imported plans stay serializable.
+        let plan = sample_plan();
+        for field in 0..3 {
+            let mut artifact = PlanArtifact::from_plan(&plan, "t", 1, 2);
+            match field {
+                0 => artifact.qos_secs = f64::INFINITY,
+                1 => artifact.predicted_latency_secs = f64::NAN,
+                _ => artifact.decisions[0].latency_secs = f64::INFINITY,
+            }
+            assert!(
+                matches!(
+                    artifact.to_plan_unchecked(),
+                    Err(DaeDvfsError::ArtifactParse { .. })
+                ),
+                "field {field} should be rejected"
+            );
+        }
+        // End to end: an overflowing literal parses to infinity and is
+        // refused at decode, not silently accepted.
+        let mut artifact = PlanArtifact::from_plan(&plan, "t", 1, 2);
+        artifact.qos_secs = 1.0;
+        let json = artifact
+            .to_json()
+            .replace("\"qos_secs\": 1", "\"qos_secs\": 1e999");
+        let parsed = PlanArtifact::from_json(&json).expect("overflowing literal still parses");
+        assert!(parsed.qos_secs.is_infinite());
+        assert!(matches!(
+            parsed.to_plan_unchecked(),
+            Err(DaeDvfsError::ArtifactParse { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_pll_rejected_at_decode() {
+        let plan = sample_plan();
+        let mut artifact = PlanArtifact::from_plan(&plan, "t", 1, 2);
+        artifact.decisions[0].hfo =
+            PllConfig::new_unchecked(ClockSource::hse(Hertz::mhz(50)), 20, 100, 2);
+        assert!(matches!(
+            artifact.to_plan_unchecked(),
+            Err(DaeDvfsError::ArtifactParse { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let a = config_fingerprint(&DseConfig::paper());
+        let b = config_fingerprint(&DseConfig::paper());
+        assert_eq!(a, b, "fingerprint must be deterministic");
+        let c = config_fingerprint(&DseConfig::paper().with_dp_resolution(999));
+        assert_ne!(a, c, "config changes must change the fingerprint");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "control\tchars\nnewline\r",
+            "unicode: Ωμέγα 漢字 🎛",
+        ] {
+            let quoted = json_quote(s);
+            match json::parse(&quoted).expect("parses") {
+                json::Value::Str(back) => assert_eq!(back, s),
+                other => panic!("expected string, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        match json::parse("\"\\u00e9\\ud83c\\udf9b\"").expect("parses") {
+            json::Value::Str(s) => assert_eq!(s, "é🎛"),
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}

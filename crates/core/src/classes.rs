@@ -57,11 +57,7 @@ impl QosClassLadder {
     ///
     /// Propagates optimization errors; fails if `slacks` is empty or
     /// contains a negative value.
-    pub fn build(
-        model: &Model,
-        slacks: &[f64],
-        config: &DseConfig,
-    ) -> Result<Self, DaeDvfsError> {
+    pub fn build(model: &Model, slacks: &[f64], config: &DseConfig) -> Result<Self, DaeDvfsError> {
         assert!(!slacks.is_empty(), "at least one QoS class is required");
         assert!(
             slacks.iter().all(|s| *s >= 0.0 && s.is_finite()),
@@ -120,8 +116,7 @@ mod tests {
     use tinynn::models::vww;
 
     fn ladder() -> QosClassLadder {
-        QosClassLadder::build(&vww(), &[0.5, 0.1, 0.3], &DseConfig::paper())
-            .expect("ladder builds")
+        QosClassLadder::build(&vww(), &[0.5, 0.1, 0.3], &DseConfig::paper()).expect("ladder builds")
     }
 
     #[test]
@@ -161,8 +156,7 @@ mod tests {
         let l = ladder();
         let gated = DseConfig::paper().power.clock_gated_power.as_f64();
         let window = |c: &QosClass| {
-            c.plan.predicted_energy.as_f64()
-                + gated * (c.qos_secs - c.plan.predicted_latency_secs)
+            c.plan.predicted_energy.as_f64() + gated * (c.qos_secs - c.plan.predicted_latency_secs)
         };
         for w in l.classes().windows(2) {
             let bound = window(&w[0]) + gated * (w[1].qos_secs - w[0].qos_secs);

@@ -79,11 +79,7 @@ fn staging_ops(traffic: &MemoryTraffic) -> OpCounts {
 ///   [`mcu_sim::SegmentClass::Compute`]. If the group working set exceeds
 ///   the cache, the spilled fraction of the staged lines is re-fetched here
 ///   — the "cache misses skyrocket" regime of oversized granularities.
-pub fn dae_segments(
-    profile: &KernelProfile,
-    g: Granularity,
-    cache: &CacheConfig,
-) -> Vec<Segment> {
+pub fn dae_segments(profile: &KernelProfile, g: Granularity, cache: &CacheConfig) -> Vec<Segment> {
     if g.is_baseline() || profile.units <= 1 || !profile.dae_capable() {
         return vec![Segment::other(
             profile.name.clone(),
@@ -311,7 +307,7 @@ mod tests {
                 ..OpCounts::ZERO
             },
             weight_walk_ops: OpCounts::ZERO,
-                baseline_unroll: 1,
+            baseline_unroll: 1,
             weight_bytes: 9 * 32,
         };
         let cache = CacheConfig::stm32f767();

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use mcu_sim::cache::CacheConfig;
+use mcu_sim::{CpuModel, MemoryTiming};
 use stm32_power::{Joules, PowerModel};
 use stm32_rcc::{PllConfig, SwitchCostModel};
 use tinyengine::KernelProfile;
@@ -38,6 +39,14 @@ pub struct DsePoint {
 }
 
 /// Knobs of the exploration (all ablatable).
+///
+/// This is the *lowered* board description every pricing and solver routine
+/// consumes. Prefer producing one through a [`crate::target::Target`]
+/// (`target.dse_config()`) or through the `with_*` builder methods below;
+/// the raw public fields remain available as the compatibility layer for
+/// existing ablation code, but new code should not construct the struct
+/// literally so future fields (like `cpu` and `memory`, added for the
+/// target abstraction) can keep appearing without breaking callers.
 #[derive(Debug, Clone)]
 pub struct DseConfig {
     /// The operating-mode universe.
@@ -50,6 +59,10 @@ pub struct DseConfig {
     pub switch_model: SwitchCostModel,
     /// Power model.
     pub power: PowerModel,
+    /// CPU timing model the machine replays price against.
+    pub cpu: CpuModel,
+    /// Memory-system timing (SRAM latencies, flash wait-state ladder).
+    pub memory: MemoryTiming,
     /// Number of time buckets the MCKP / sequence DPs discretize the QoS
     /// budget into. Finer resolutions tighten the ceil-rounding at the cost
     /// of solver time; ablatable like every other knob.
@@ -61,7 +74,7 @@ impl DseConfig {
     pub const DEFAULT_DP_RESOLUTION: usize = 2000;
 
     /// The paper's exploration: `g ∈ {0,2,4,8,12,16}`, the full HFO ladder,
-    /// STM32F767 cache and default costs.
+    /// STM32F767 cache, substrate models and default costs.
     pub fn paper() -> Self {
         DseConfig {
             modes: OperatingModes::paper(),
@@ -69,8 +82,52 @@ impl DseConfig {
             cache: CacheConfig::stm32f767(),
             switch_model: SwitchCostModel::default(),
             power: PowerModel::nucleo_f767zi(),
+            cpu: CpuModel::cortex_m7(),
+            memory: MemoryTiming::stm32f767(),
             dp_resolution: Self::DEFAULT_DP_RESOLUTION,
         }
+    }
+
+    /// Replaces the operating-mode universe (builder style).
+    pub fn with_modes(mut self, modes: OperatingModes) -> Self {
+        self.modes = modes;
+        self
+    }
+
+    /// Replaces the explored granularity set (builder style).
+    pub fn with_granularities(mut self, granularities: Vec<Granularity>) -> Self {
+        self.granularities = granularities;
+        self
+    }
+
+    /// Replaces the cache geometry (builder style).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the switch-cost model (builder style).
+    pub fn with_switch_model(mut self, switch_model: SwitchCostModel) -> Self {
+        self.switch_model = switch_model;
+        self
+    }
+
+    /// Replaces the power model (builder style).
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Replaces the CPU timing model (builder style).
+    pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Replaces the memory-system timing (builder style).
+    pub fn with_memory(mut self, memory: MemoryTiming) -> Self {
+        self.memory = memory;
+        self
     }
 
     /// Overrides the DP resolution (builder style).
@@ -253,10 +310,7 @@ mod tests {
         let cfg = DseConfig::paper();
         let p = profile_of(true);
         let points = explore_layer(&p, &cfg);
-        assert_eq!(
-            points.len(),
-            cfg.modes.hfo.len() * cfg.granularities.len()
-        );
+        assert_eq!(points.len(), cfg.modes.hfo.len() * cfg.granularities.len());
     }
 
     #[test]

@@ -19,6 +19,31 @@ pub enum DaeDvfsError {
         /// Name of the offending model.
         model: String,
     },
+    /// A planning request (or configuration) carries a degenerate value —
+    /// NaN, non-positive, or zero where a positive quantity is required.
+    InvalidRequest {
+        /// The offending field (e.g. `"qos_secs"`, `"dp_resolution"`).
+        field: &'static str,
+        /// Why the value was rejected, including the value itself.
+        reason: String,
+    },
+    /// A [`crate::PlanArtifact`] does not match the planner it is being
+    /// imported into (schema version, target, model or configuration
+    /// fingerprint disagree).
+    ArtifactMismatch {
+        /// The disagreeing field.
+        field: &'static str,
+        /// What the importing planner expected.
+        expected: String,
+        /// What the artifact carries.
+        found: String,
+    },
+    /// A plan artifact could not be decoded (malformed JSON or values
+    /// outside the schema).
+    ArtifactParse {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DaeDvfsError {
@@ -29,6 +54,22 @@ impl fmt::Display for DaeDvfsError {
             DaeDvfsError::EmptyModel { model } => {
                 write!(f, "model {model:?} has no layers to plan")
             }
+            DaeDvfsError::InvalidRequest { field, reason } => {
+                write!(f, "invalid request: {field} {reason}")
+            }
+            DaeDvfsError::ArtifactMismatch {
+                field,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "plan artifact mismatch on {field}: expected {expected}, found {found}"
+                )
+            }
+            DaeDvfsError::ArtifactParse { reason } => {
+                write!(f, "plan artifact parse error: {reason}")
+            }
         }
     }
 }
@@ -38,7 +79,10 @@ impl Error for DaeDvfsError {
         match self {
             DaeDvfsError::Engine(e) => Some(e),
             DaeDvfsError::Qos(e) => Some(e),
-            DaeDvfsError::EmptyModel { .. } => None,
+            DaeDvfsError::EmptyModel { .. }
+            | DaeDvfsError::InvalidRequest { .. }
+            | DaeDvfsError::ArtifactMismatch { .. }
+            | DaeDvfsError::ArtifactParse { .. } => None,
         }
     }
 }
@@ -63,6 +107,29 @@ mod tests {
     fn implements_std_error() {
         fn assert_error<E: Error + Send + Sync + 'static>() {}
         assert_error::<DaeDvfsError>();
+    }
+
+    #[test]
+    fn new_variants_display_their_context() {
+        let invalid = DaeDvfsError::InvalidRequest {
+            field: "qos_secs",
+            reason: "must be positive, got -1".into(),
+        };
+        assert!(invalid.to_string().contains("qos_secs"));
+        assert!(invalid.source().is_none());
+
+        let mismatch = DaeDvfsError::ArtifactMismatch {
+            field: "target",
+            expected: "stm32f767".into(),
+            found: "generic".into(),
+        };
+        let s = mismatch.to_string();
+        assert!(s.contains("target") && s.contains("stm32f767") && s.contains("generic"));
+
+        let parse = DaeDvfsError::ArtifactParse {
+            reason: "unexpected end of input".into(),
+        };
+        assert!(parse.to_string().contains("unexpected end"));
     }
 
     #[test]

@@ -14,7 +14,35 @@
 //!    layer is chosen by a multiple-choice-knapsack dynamic program so the
 //!    model meets its latency budget with minimal energy.
 //!
+//! The methodology itself is board-agnostic; everything board-specific
+//! lives behind the [`target::Target`] trait ([`Stm32F767Target`] is the
+//! paper's platform, [`GenericCortexMTarget`] a parameterized alternative),
+//! requests are expressed with the typed [`PlanRequest`] builder, and
+//! optimized plans travel across processes as versioned [`PlanArtifact`]s.
+//!
 //! # Examples
+//!
+//! The typed request surface: build a [`Planner`] for a target, describe
+//! what to optimize with [`PlanRequest`], deploy the plan.
+//!
+//! ```
+//! use dae_dvfs::{PlanRequest, Planner, Stm32F767Target};
+//! use tinynn::models::vww_sized;
+//!
+//! # fn main() -> Result<(), dae_dvfs::DaeDvfsError> {
+//! let model = vww_sized(32);
+//! let planner = Planner::for_target(Stm32F767Target::paper(), &model)?;
+//! let plan = planner.plan(&PlanRequest::slack(0.3))?;
+//! let report = planner.deploy(&plan)?;
+//! assert!(report.inference_secs <= plan.qos_secs);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The historical free functions remain available, bit-identical for
+//! every valid input (degenerate inputs — NaN / zero / negative budgets —
+//! are now rejected with [`DaeDvfsError::InvalidRequest`] instead of
+//! silently producing degenerate plans):
 //!
 //! ```
 //! use dae_dvfs::{run_dae_dvfs, DseConfig};
@@ -28,6 +56,7 @@
 //! # }
 //! ```
 
+pub mod artifact;
 pub mod classes;
 pub mod dae;
 pub mod dse;
@@ -38,9 +67,15 @@ pub mod pareto;
 pub mod pipeline;
 pub mod planner;
 pub mod report;
+pub mod request;
 pub mod schedule;
 pub mod seqdp;
+pub mod target;
 
+pub use artifact::{
+    config_fingerprint, model_fingerprint, ArtifactDecision, PlanArtifact,
+    PLAN_ARTIFACT_SCHEMA_VERSION,
+};
 pub use classes::{QosClass, QosClassLadder};
 pub use dae::{dae_forward_depthwise, dae_forward_pointwise, dae_segments, Granularity};
 pub use dse::{evaluate_point, explore_layer, DseConfig, DsePoint};
@@ -53,6 +88,8 @@ pub use pipeline::{
     DeploymentReport, LayerDecision,
 };
 pub use planner::Planner;
+pub use report::{compare_with_baselines, EnergyComparison, FrequencyMap, FrequencyMapRow};
+pub use request::{PlanRequest, QosBudget, Solver};
 pub use schedule::{evaluate_schedule, explore_compiled, explore_model, CompiledLayer};
 pub use seqdp::{solve_sequence, SequenceSolution};
-pub use report::{compare_with_baselines, EnergyComparison, FrequencyMap, FrequencyMapRow};
+pub use target::{GenericCortexMTarget, Stm32F767Target, Target};

@@ -79,11 +79,7 @@ fn validate(classes: &[Vec<MckpItem>], budget_secs: f64) -> Result<(), MckpError
     }
     let min_time: f64 = classes
         .iter()
-        .map(|c| {
-            c.iter()
-                .map(|i| i.time_secs)
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
         .sum();
     if min_time > budget_secs {
         return Err(MckpError::Infeasible {

@@ -61,6 +61,50 @@ impl OperatingModes {
         }
     }
 
+    /// Builds a mode universe from an explicit LFO configuration and HFO
+    /// ladder — the constructor a non-F767 target description uses.
+    ///
+    /// The ladder is sorted ascending by SYSCLK and de-duplicated per
+    /// distinct frequency (first, i.e. coolest-VCO, representative wins,
+    /// matching [`OperatingModes::paper`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hfo` is empty or `lfo` is invalid.
+    pub fn custom(lfo: SysclkConfig, mut hfo: Vec<PllConfig>) -> Self {
+        assert!(!hfo.is_empty(), "HFO ladder must not be empty");
+        lfo.validate()
+            .unwrap_or_else(|e| panic!("invalid LFO configuration: {e}"));
+        hfo.sort_by_key(|p| (p.sysclk(), p.vco_output(), p.label_tuple()));
+        hfo.dedup_by_key(|p| p.sysclk());
+        OperatingModes { lfo, hfo }
+    }
+
+    /// Builds a mode universe from target SYSCLK frequencies: for each
+    /// requested frequency the power-optimal (minimum-VCO) PLL
+    /// configuration reachable from `hse` over the full divider space is
+    /// selected.
+    ///
+    /// Returns `None` if any requested frequency is unreachable from
+    /// `hse` within the datasheet windows.
+    pub fn from_sysclks(lfo: Hertz, hse: Hertz, sysclks: &[Hertz]) -> Option<Self> {
+        let mut space = ConfigSpace::new();
+        space.hse(hse);
+        for m in 2..=63 {
+            space.pllm(m);
+        }
+        for n in 50..=432 {
+            space.plln(n);
+        }
+        space.pllp_set(&[2, 4, 6, 8]);
+        let groups = space.iso_frequency_groups();
+        let hfo = sysclks
+            .iter()
+            .map(|&f| groups.iter().find(|g| g.sysclk == f).map(|g| *g.coolest()))
+            .collect::<Option<Vec<_>>>()?;
+        Some(OperatingModes::custom(SysclkConfig::hse_direct(lfo), hfo))
+    }
+
     /// The HFO candidate producing exactly `sysclk`, if present.
     pub fn hfo_at(&self, sysclk: Hertz) -> Option<&PllConfig> {
         self.hfo.iter().find(|p| p.sysclk() == sysclk)
@@ -108,10 +152,7 @@ mod tests {
         let m = OperatingModes::paper();
         assert_eq!(m.lfo_sysclk(), Hertz::mhz(50));
         for mhz in [75u64, 100, 150, 168, 216] {
-            assert!(
-                m.hfo_at(Hertz::mhz(mhz)).is_some(),
-                "missing HFO {mhz} MHz"
-            );
+            assert!(m.hfo_at(Hertz::mhz(mhz)).is_some(), "missing HFO {mhz} MHz");
         }
         assert_eq!(m.fastest_hfo().sysclk(), Hertz::mhz(216));
     }
@@ -153,5 +194,45 @@ mod tests {
         for p in OperatingModes::paper().hfo {
             assert!(p.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn custom_ladder_sorted_and_deduplicated() {
+        let paper = OperatingModes::paper();
+        // Feed the paper ladder in reverse with a duplicate frequency: the
+        // constructor must restore ascending order and one-per-frequency.
+        let mut shuffled: Vec<_> = paper.hfo.iter().rev().copied().collect();
+        shuffled.push(paper.hfo[0]);
+        let rebuilt = OperatingModes::custom(paper.lfo, shuffled);
+        assert_eq!(rebuilt.hfo, paper.hfo);
+        assert_eq!(rebuilt.lfo, paper.lfo);
+    }
+
+    #[test]
+    fn from_sysclks_picks_min_vco_per_frequency() {
+        let modes = OperatingModes::from_sysclks(
+            Hertz::mhz(25),
+            Hertz::mhz(25),
+            &[Hertz::mhz(100), Hertz::mhz(150), Hertz::mhz(180)],
+        )
+        .expect("all frequencies reachable from a 25 MHz HSE");
+        assert_eq!(modes.lfo_sysclk(), Hertz::mhz(25));
+        assert_eq!(modes.hfo.len(), 3);
+        for p in &modes.hfo {
+            assert!(p.validate().is_ok());
+        }
+        // 100 MHz min-VCO from 25 MHz HSE: VCO 200 (e.g. /25 x200 /2 or
+        // equivalent); never more than the 2x floor imposed by PLLP=2.
+        let f100 = modes.hfo_at(Hertz::mhz(100)).unwrap();
+        assert_eq!(f100.vco_output(), Hertz::mhz(200));
+    }
+
+    #[test]
+    fn from_sysclks_rejects_unreachable_frequency() {
+        // 217 MHz exceeds the SYSCLK ceiling: unreachable.
+        assert!(
+            OperatingModes::from_sysclks(Hertz::mhz(50), Hertz::mhz(50), &[Hertz::mhz(217)])
+                .is_none()
+        );
     }
 }

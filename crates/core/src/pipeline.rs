@@ -216,7 +216,11 @@ pub fn optimize_sequence(
 ///
 /// # Errors
 ///
-/// Propagates [`optimize`] and [`deploy`] errors.
+/// [`DaeDvfsError::InvalidRequest`] for NaN, zero or negative slacks
+/// (degenerate inputs are rejected at the API boundary instead of
+/// producing degenerate plans; a zero-slack *window* remains expressible
+/// via [`optimize`] with `qos_secs` equal to the baseline latency);
+/// otherwise propagates [`optimize`] and [`deploy`] errors.
 pub fn run_dae_dvfs(
     model: &Model,
     slack: f64,
@@ -267,9 +271,7 @@ mod tests {
             report.inference_secs,
             plan.predicted_latency_secs
         );
-        assert!(
-            (report.inference_energy.as_f64() - plan.predicted_energy.as_f64()).abs() < 1e-12
-        );
+        assert!((report.inference_energy.as_f64() - plan.predicted_energy.as_f64()).abs() < 1e-12);
         assert!(report.inference_secs <= qos + 1e-12);
     }
 
@@ -379,7 +381,10 @@ mod tests {
         for resolution in [250usize, 2000] {
             let cfg = DseConfig::paper().with_dp_resolution(resolution);
             let plan = optimize(&model, qos, &cfg).unwrap();
-            assert!(plan.predicted_latency_secs <= qos + 1e-9, "res {resolution}");
+            assert!(
+                plan.predicted_latency_secs <= qos + 1e-9,
+                "res {resolution}"
+            );
         }
     }
 
@@ -392,20 +397,11 @@ mod tests {
         let qos = tinyengine::qos_window(baseline, 0.3);
 
         let ours = run_dae_dvfs(&model, 0.3, &cfg()).unwrap();
-        let te = tinyengine::run_iso_latency(
-            &engine,
-            &model,
-            qos,
-            tinyengine::IdlePolicy::Busy216,
-        )
-        .unwrap();
-        let te_gated = tinyengine::run_iso_latency(
-            &engine,
-            &model,
-            qos,
-            tinyengine::IdlePolicy::ClockGated,
-        )
-        .unwrap();
+        let te = tinyengine::run_iso_latency(&engine, &model, qos, tinyengine::IdlePolicy::Busy216)
+            .unwrap();
+        let te_gated =
+            tinyengine::run_iso_latency(&engine, &model, qos, tinyengine::IdlePolicy::ClockGated)
+                .unwrap();
 
         assert!(
             ours.total_energy < te.total_energy,

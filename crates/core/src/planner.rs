@@ -17,7 +17,7 @@
 use std::sync::{Arc, OnceLock};
 
 use stm32_power::{Joules, PowerModel};
-use tinyengine::{qos_window, LoweredModel, TinyEngine};
+use tinyengine::{qos_window, LoweredModel};
 use tinynn::Model;
 
 use crate::dse::{DseConfig, DsePoint};
@@ -25,13 +25,15 @@ use crate::error::DaeDvfsError;
 use crate::mckp::{solve_dp, MckpItem};
 use crate::pareto::pareto_front;
 use crate::pipeline::{DeploymentPlan, DeploymentReport, LayerDecision};
+use crate::request::{validate_positive_time, PlanRequest, QosBudget, Solver};
 use crate::schedule::{explore_model, replay_decisions, CompiledLayer};
+use crate::target::{Stm32F767Target, Target};
 
-/// A reusable planner for one `(model, configuration)` pair.
+/// A reusable planner for one `(model, target)` pair.
 ///
-/// Owns the lowered profiles, the compiled segment schedules and the
-/// per-layer Pareto fronts; borrow it wherever repeated QoS points, plan
-/// replays or baseline comparisons are needed.
+/// Owns the target description, the lowered profiles, the compiled
+/// segment schedules and the per-layer Pareto fronts; borrow it wherever
+/// repeated QoS points, plan replays or baseline comparisons are needed.
 ///
 /// # Examples
 ///
@@ -53,6 +55,7 @@ use crate::schedule::{explore_model, replay_decisions, CompiledLayer};
 /// ```
 #[derive(Debug)]
 pub struct Planner {
+    target: Arc<dyn Target>,
     model: Model,
     config: DseConfig,
     power: Arc<PowerModel>,
@@ -63,13 +66,52 @@ pub struct Planner {
 
 impl Planner {
     /// Lowers `model`, compiles its schedules and runs the full DSE sweep
-    /// under `config`.
+    /// under `config` on the paper's STM32F767 platform.
+    ///
+    /// Thin wrapper over [`Planner::for_target`] with
+    /// [`Stm32F767Target::with_config`] (or, for the default
+    /// configuration, [`Stm32F767Target::paper`]); plans are bit-identical
+    /// to the pre-target pipeline.
     ///
     /// # Errors
     ///
-    /// [`DaeDvfsError::EmptyModel`] for zero-layer models; propagates
-    /// lowering errors.
+    /// Same conditions as [`Planner::for_target`].
     pub fn new(model: &Model, config: &DseConfig) -> Result<Self, DaeDvfsError> {
+        Planner::for_target(Stm32F767Target::with_config(config.clone()), model)
+    }
+
+    /// Lowers `model`, compiles its schedules and runs the full DSE sweep
+    /// for an arbitrary [`Target`] platform.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::EmptyModel`] for zero-layer models;
+    /// [`DaeDvfsError::InvalidRequest`] if the target's configuration is
+    /// degenerate (zero DP resolution, empty granularity set); propagates
+    /// lowering errors.
+    pub fn for_target(target: impl Target + 'static, model: &Model) -> Result<Self, DaeDvfsError> {
+        Planner::for_target_arc(Arc::new(target), model)
+    }
+
+    /// [`Planner::for_target`] for an already-shared target handle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Planner::for_target`].
+    pub fn for_target_arc(target: Arc<dyn Target>, model: &Model) -> Result<Self, DaeDvfsError> {
+        let config = target.dse_config();
+        if config.dp_resolution == 0 {
+            return Err(DaeDvfsError::InvalidRequest {
+                field: "dp_resolution",
+                reason: "must be non-zero".into(),
+            });
+        }
+        if config.granularities.is_empty() {
+            return Err(DaeDvfsError::InvalidRequest {
+                field: "granularities",
+                reason: "must not be empty".into(),
+            });
+        }
         let profiles = crate::pipeline::lower_model(model)?;
         if profiles.is_empty() {
             return Err(DaeDvfsError::EmptyModel {
@@ -79,21 +121,27 @@ impl Planner {
         let power = Arc::new(config.power.clone());
         let layers: Vec<CompiledLayer> = profiles
             .into_iter()
-            .map(|p| CompiledLayer::compile(p, config))
+            .map(|p| CompiledLayer::compile(p, &config))
             .collect();
-        let fronts: Vec<Vec<DsePoint>> = explore_model(&layers, config, &power)
+        let fronts: Vec<Vec<DsePoint>> = explore_model(&layers, &config, &power)
             .into_iter()
             .map(pareto_front)
             .collect();
         debug_assert!(fronts.iter().all(|f| !f.is_empty()));
         Ok(Planner {
+            target,
             model: model.clone(),
-            config: config.clone(),
+            config,
             power,
             layers,
             fronts,
             baseline: OnceLock::new(),
         })
+    }
+
+    /// The platform this planner prices against.
+    pub fn target(&self) -> &dyn Target {
+        self.target.as_ref()
     }
 
     /// The model this planner was built for.
@@ -123,7 +171,9 @@ impl Planner {
         &self.power
     }
 
-    /// The TinyEngine baseline of this model, lowered once and cached.
+    /// The target's baseline lowering of this model, compiled once and
+    /// cached (TinyEngine at 216 MHz on the F767; the target's fastest HFO
+    /// elsewhere).
     ///
     /// # Errors
     ///
@@ -133,22 +183,23 @@ impl Planner {
         if let Some(lowered) = self.baseline.get() {
             return Ok(lowered);
         }
-        let lowered = TinyEngine::new()
-            .compile(&self.model)
-            .map_err(DaeDvfsError::Engine)?;
+        let lowered = self.target.compile_baseline(&self.model)?;
         // A concurrent caller may have won the race; either value is
         // identical, so the set result is irrelevant.
         let _ = self.baseline.set(lowered);
         Ok(self.baseline.get().expect("baseline just initialized"))
     }
 
-    /// The baseline inference latency at TinyEngine's fixed 216 MHz.
+    /// The baseline inference latency at the target's fixed baseline
+    /// clock, priced on the target's machine substrate.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Planner::baseline`].
     pub fn baseline_latency(&self) -> Result<f64, DaeDvfsError> {
-        Ok(self.baseline()?.run().total_time_secs)
+        let lowered = self.baseline()?;
+        let mut machine = self.target.baseline_machine(*lowered.clock());
+        Ok(lowered.run_on(&mut machine).total_time_secs)
     }
 
     /// Replays a decision sequence with full inter-layer switching costs.
@@ -179,11 +230,22 @@ impl Planner {
     ///
     /// # Errors
     ///
+    /// [`DaeDvfsError::InvalidRequest`] for NaN / non-positive windows;
     /// [`DaeDvfsError::Qos`] if even the fastest schedule misses the
     /// window.
     pub fn optimize(&self, qos_secs: f64) -> Result<DeploymentPlan, DaeDvfsError> {
+        validate_positive_time("qos_secs", qos_secs)?;
+        self.optimize_at(qos_secs, self.config.dp_resolution)
+    }
+
+    /// [`Planner::optimize`] at an explicit DP resolution (the request
+    /// path's override hook).
+    fn optimize_at(
+        &self,
+        qos_secs: f64,
+        resolution: usize,
+    ) -> Result<DeploymentPlan, DaeDvfsError> {
         let idle_power = self.config.power.clock_gated_power.as_f64();
-        let resolution = self.config.dp_resolution;
 
         let classes: Vec<Vec<MckpItem>> = self
             .fronts
@@ -209,11 +271,7 @@ impl Planner {
         // search only fails when the instance is genuinely infeasible.
         let min_time: f64 = classes
             .iter()
-            .map(|c| {
-                c.iter()
-                    .map(|i| i.time_secs)
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
             .sum();
         // Headroom so the DP's ceil-rounding (at most one bucket per class)
         // cannot round the fastest selection out of the smallest budget.
@@ -312,11 +370,21 @@ impl Planner {
     ///
     /// Same conditions as [`Planner::optimize`].
     pub fn optimize_sequence(&self, qos_secs: f64) -> Result<DeploymentPlan, DaeDvfsError> {
+        validate_positive_time("qos_secs", qos_secs)?;
+        self.optimize_sequence_at(qos_secs, self.config.dp_resolution)
+    }
+
+    /// [`Planner::optimize_sequence`] at an explicit DP resolution.
+    fn optimize_sequence_at(
+        &self,
+        qos_secs: f64,
+        resolution: usize,
+    ) -> Result<DeploymentPlan, DaeDvfsError> {
         let idle_power = self.config.power.clock_gated_power.as_f64();
         let solution = crate::seqdp::solve_sequence(
             &self.fronts,
             qos_secs,
-            self.config.dp_resolution,
+            resolution,
             &self.config,
             idle_power,
         )?;
@@ -391,11 +459,38 @@ impl Planner {
     ///
     /// # Errors
     ///
-    /// Propagates baseline, optimization and deployment errors.
+    /// [`DaeDvfsError::InvalidRequest`] for NaN / non-positive slacks;
+    /// propagates baseline, optimization and deployment errors.
     pub fn run(&self, slack: f64) -> Result<DeploymentReport, DaeDvfsError> {
+        validate_positive_time("slack", slack)?;
         let qos = qos_window(self.baseline_latency()?, slack);
         let plan = self.optimize(qos)?;
         self.deploy(&plan)
+    }
+
+    /// Solves a typed [`PlanRequest`] against the cached fronts: the
+    /// budget is resolved (slack → window via the target baseline), the
+    /// requested solver runs at the requested resolution, and degenerate
+    /// requests are rejected before any solver work.
+    ///
+    /// For a plain [`PlanRequest::qos`] request with default solver and
+    /// resolution this is exactly [`Planner::optimize`].
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::InvalidRequest`] for degenerate knobs; otherwise
+    /// the same conditions as the selected solver.
+    pub fn plan(&self, request: &PlanRequest) -> Result<DeploymentPlan, DaeDvfsError> {
+        request.validate()?;
+        let qos_secs = match request.budget() {
+            QosBudget::Window(qos) => qos,
+            QosBudget::Slack(slack) => qos_window(self.baseline_latency()?, slack),
+        };
+        let resolution = request.dp_resolution().unwrap_or(self.config.dp_resolution);
+        match request.solver() {
+            Solver::ReserveGrid => self.optimize_at(qos_secs, resolution),
+            Solver::SequenceDp => self.optimize_sequence_at(qos_secs, resolution),
+        }
     }
 }
 

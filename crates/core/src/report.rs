@@ -67,16 +67,27 @@ impl Planner {
     ///
     /// Propagates baseline and optimization errors.
     pub fn compare_with_baselines(&self, slack: f64) -> Result<EnergyComparison, DaeDvfsError> {
+        crate::request::validate_positive_time("slack", slack)?;
         let baseline = self.baseline()?;
-        let qos = qos_window(baseline.run().total_time_secs, slack);
+        let qos = qos_window(self.baseline_latency()?, slack);
 
         let plan = self.optimize(qos)?;
         let ours = self.deploy(&plan)?;
         // The paper's plain-TinyEngine baseline keeps "the board remaining
         // in an idle state with a constant frequency of 216 MHz": WFI sleep
         // with all clocks (including the 432 MHz-VCO PLL) still running.
-        let te = baseline.run_iso_latency(qos, IdlePolicy::Wfi216);
-        let gated = baseline.run_iso_latency(qos, IdlePolicy::ClockGated);
+        // Both baselines replay on the *target's* machine (same substrate
+        // the window was derived from), at the target's baseline clock.
+        let te = baseline.run_iso_latency_on(
+            &mut self.target().baseline_machine(*baseline.clock()),
+            qos,
+            IdlePolicy::Wfi216,
+        );
+        let gated = baseline.run_iso_latency_on(
+            &mut self.target().baseline_machine(*baseline.clock()),
+            qos,
+            IdlePolicy::ClockGated,
+        );
 
         Ok(EnergyComparison {
             model: self.model().name.clone(),
@@ -199,8 +210,7 @@ mod tests {
         let map = FrequencyMap::from_plan(&plan, 0.3);
         assert_eq!(map.rows.len(), model.layer_count());
 
-        let freqs: std::collections::BTreeSet<Hertz> =
-            map.rows.iter().map(|r| r.hfo).collect();
+        let freqs: std::collections::BTreeSet<Hertz> = map.rows.iter().map(|r| r.hfo).collect();
         let total: f64 = freqs.iter().map(|&f| map.overall_share_at(f)).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -211,14 +221,10 @@ mod tests {
         let engine = TinyEngine::new();
         let t = engine.run(&model).unwrap().total_time_secs;
         let cfg = DseConfig::paper();
-        let tight = FrequencyMap::from_plan(
-            &optimize(&model, qos_window(t, 0.1), &cfg).unwrap(),
-            0.1,
-        );
-        let relaxed = FrequencyMap::from_plan(
-            &optimize(&model, qos_window(t, 0.5), &cfg).unwrap(),
-            0.5,
-        );
+        let tight =
+            FrequencyMap::from_plan(&optimize(&model, qos_window(t, 0.1), &cfg).unwrap(), 0.1);
+        let relaxed =
+            FrequencyMap::from_plan(&optimize(&model, qos_window(t, 0.5), &cfg).unwrap(), 0.5);
         let max = Hertz::mhz(216);
         assert!(
             tight.overall_share_at(max) >= relaxed.overall_share_at(max),

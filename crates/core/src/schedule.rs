@@ -134,6 +134,8 @@ pub fn evaluate_schedule(
 ) -> DsePoint {
     let hfo_cfg = SysclkConfig::Pll(*hfo);
     let mut machine = Machine::new(hfo_cfg)
+        .with_cpu(config.cpu)
+        .with_memory(config.memory)
         .with_switch_model(config.switch_model)
         .with_power(Arc::clone(power));
     let mut first_stage_secs = 0.0;
@@ -252,6 +254,8 @@ pub fn replay_decisions(
     );
     let first_hfo = SysclkConfig::Pll(decisions[0].point.hfo);
     let mut machine = Machine::new(first_hfo)
+        .with_cpu(config.cpu)
+        .with_memory(config.memory)
         .with_switch_model(config.switch_model)
         .with_power(Arc::clone(power));
     for (layer, decision) in layers.iter().zip(decisions) {

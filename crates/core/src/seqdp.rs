@@ -128,8 +128,7 @@ pub fn solve_sequence(
             let f_new = freq_id(p.hfo.sysclk());
             let base_e = p.energy.as_f64() - idle_power_w * p.latency_secs;
             let overhead = entry_overhead_secs(p, config);
-            let overhead_e = entry_power(p, config).as_f64() * overhead
-                - idle_power_w * overhead;
+            let overhead_e = entry_power(p, config).as_f64() * overhead - idle_power_w * overhead;
             for (f_prev, dp_row) in dp.iter().enumerate() {
                 let (dt, de) = if f_prev == f_new {
                     (p.latency_secs, base_e)
@@ -146,8 +145,7 @@ pub fn solve_sequence(
                         let nb = b + w;
                         if cand < next[f_new][nb] {
                             next[f_new][nb] = cand;
-                            trace[f_new * buckets + nb] =
-                                (i as u32, f_prev as u16, b as u32);
+                            trace[f_new * buckets + nb] = (i as u32, f_prev as u16, b as u32);
                         }
                     }
                 }
@@ -283,7 +281,10 @@ mod tests {
             vec![point(1.0, 0.20, 150, 0.0), point(1.05, 0.28, 216, 0.0)],
         ];
         let tight = solve_sequence(&fronts, 2.1e-3, 2000, &cfg(), 0.0).expect("solves");
-        assert_eq!(tight.frequency_changes, 0, "tight budget must avoid the re-lock");
+        assert_eq!(
+            tight.frequency_changes, 0,
+            "tight budget must avoid the re-lock"
+        );
         // With a generous budget the cheaper 150 MHz option wins.
         let loose = solve_sequence(&fronts, 5e-3, 2000, &cfg(), 0.0).expect("solves");
         assert_eq!(loose.frequency_changes, 1);
@@ -322,8 +323,8 @@ mod tests {
             })
             .collect();
         for budget_ms in [21.0, 30.0, 45.0] {
-            let sol = solve_sequence(&fronts, budget_ms * 1e-3, 2000, &cfg(), 0.012)
-                .expect("solves");
+            let sol =
+                solve_sequence(&fronts, budget_ms * 1e-3, 2000, &cfg(), 0.012).expect("solves");
             assert!(
                 sol.total_time_secs <= budget_ms * 1e-3 + 1e-9,
                 "budget {budget_ms} ms violated: {}",

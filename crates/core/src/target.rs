@@ -1,0 +1,471 @@
+//! The target platform abstraction: everything board-specific behind one
+//! trait.
+//!
+//! The DATE'24 methodology — DAE split → per-layer DSE → Pareto → MCKP —
+//! is board-agnostic; only the *numbers* it prices against belong to a
+//! particular MCU: the operating-mode ladder (LFO + HFO points), the
+//! switch-cost model, the cache geometry and memory wait-state table the
+//! segments are priced with, the power coefficients, and how the baseline
+//! engine executes. [`Target`] packages exactly those numbers:
+//!
+//! * [`Stm32F767Target`] is the paper's simulated STM32F767ZI Nucleo —
+//!   the first implementation, bit-identical to the historical
+//!   `DseConfig`-driven path ([`crate::Planner::new`] is a thin wrapper
+//!   over [`crate::Planner::for_target`] with this target);
+//! * [`GenericCortexMTarget`] is a fully parameterized Cortex-M
+//!   description (clock ladder, wait-state table, power coefficients,
+//!   cache geometry, CPU timing) built on the existing `mcu-sim` /
+//!   `stm32-power` / `stm32-rcc` primitives. Configured with the F767's
+//!   parameters it reproduces the F767 Pareto fronts exactly (pinned by
+//!   `tests/target_api.rs`), which is what makes the abstraction real
+//!   rather than a rename.
+//!
+//! A target's [`Target::id`] is the stable string that ends up in
+//! serialized [`crate::PlanArtifact`]s, so plans optimized on one machine
+//! can be validated before being deployed on another.
+
+use std::fmt;
+
+use mcu_sim::cache::CacheConfig;
+use mcu_sim::{CpuModel, Machine, MemoryTiming};
+use stm32_power::PowerModel;
+use stm32_rcc::{SwitchCostModel, SysclkConfig};
+use tinyengine::{LoweredModel, TinyEngine};
+use tinynn::Model;
+
+use crate::dae::Granularity;
+use crate::dse::DseConfig;
+use crate::error::DaeDvfsError;
+use crate::modes::OperatingModes;
+
+/// A deployment platform: the complete board-specific parameter set the
+/// planning stack prices against.
+///
+/// The provided methods derive everything composite — the lowered
+/// [`DseConfig`], the baseline engine, the machines replays run on — from
+/// the granular getters, so a new board only describes its hardware.
+/// Implementations must be deterministic: two calls to any getter must
+/// return equal values, because compiled schedules and plan-artifact
+/// fingerprints assume the description is immutable.
+pub trait Target: fmt::Debug + Send + Sync {
+    /// Stable identifier of the platform (e.g. `"stm32f767"`), recorded in
+    /// plan artifacts and used to reject cross-target imports.
+    fn id(&self) -> &str;
+
+    /// The operating-mode universe: the fixed LFO plus the HFO ladder.
+    fn modes(&self) -> OperatingModes;
+
+    /// Decoupling granularities explored for DAE-capable layers.
+    fn granularities(&self) -> Vec<Granularity>;
+
+    /// L1 data-cache geometry the DAE lowering stages against.
+    fn cache(&self) -> CacheConfig;
+
+    /// Clock-switch cost model (PLL re-lock and mux-toggle times).
+    fn switch_model(&self) -> SwitchCostModel;
+
+    /// Board power model.
+    fn power(&self) -> PowerModel;
+
+    /// CPU timing model.
+    fn cpu(&self) -> CpuModel;
+
+    /// Memory-system timing, including the flash wait-state ladder.
+    fn memory(&self) -> MemoryTiming;
+
+    /// Default DP time-axis resolution for this platform.
+    fn dp_resolution(&self) -> usize {
+        DseConfig::DEFAULT_DP_RESOLUTION
+    }
+
+    /// Assembles the lowered exploration configuration every pricing and
+    /// solver routine consumes.
+    fn dse_config(&self) -> DseConfig {
+        DseConfig {
+            modes: self.modes(),
+            granularities: self.granularities(),
+            cache: self.cache(),
+            switch_model: self.switch_model(),
+            power: self.power(),
+            cpu: self.cpu(),
+            memory: self.memory(),
+            dp_resolution: self.dp_resolution(),
+        }
+    }
+
+    /// Lowers `model` into the platform's baseline (whole-layer,
+    /// fixed-clock) execution, the reference the QoS windows are derived
+    /// from.
+    ///
+    /// The default runs the TinyEngine baseline at the platform's fastest
+    /// HFO point with the platform cache — on the F767 that is exactly the
+    /// paper's 216 MHz TinyEngine setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors (shape mismatches, SRAM budget).
+    fn compile_baseline(&self, model: &Model) -> Result<LoweredModel, DaeDvfsError> {
+        let modes = self.modes();
+        TinyEngine::new()
+            .with_clock(SysclkConfig::Pll(*modes.fastest_hfo()))
+            .with_cache(self.cache())
+            .compile(model)
+            .map_err(DaeDvfsError::Engine)
+    }
+
+    /// Builds the machine a baseline replay executes on, starting at
+    /// `clock`.
+    ///
+    /// The default prices baselines on the *same* substrate the DSE uses —
+    /// this target's CPU, memory, switch-cost and power models — so QoS
+    /// windows and baseline comparisons stay consistent with the plans
+    /// measured against them. With the stock F767 models this is
+    /// numerically identical to the plain `mcu-sim` machine the historical
+    /// path used.
+    fn baseline_machine(&self, clock: SysclkConfig) -> Machine {
+        Machine::new(clock)
+            .with_cpu(self.cpu())
+            .with_memory(self.memory())
+            .with_switch_model(self.switch_model())
+            .with_power(self.power())
+    }
+}
+
+/// The paper's platform: the simulated STM32F767ZI Nucleo board.
+///
+/// Wraps a [`DseConfig`] verbatim, so ablated configurations (custom
+/// ladders, switch costs, cache geometries) remain expressible:
+/// [`crate::Planner::new`] forwards any `DseConfig` through
+/// [`Stm32F767Target::with_config`] unchanged and is therefore
+/// bit-identical to the pre-target pipeline.
+#[derive(Debug, Clone)]
+pub struct Stm32F767Target {
+    config: DseConfig,
+}
+
+impl Stm32F767Target {
+    /// The platform exactly as evaluated in the paper
+    /// ([`DseConfig::paper`]).
+    pub fn paper() -> Self {
+        Stm32F767Target {
+            config: DseConfig::paper(),
+        }
+    }
+
+    /// An F767 carrying an explicit (possibly ablated) configuration.
+    pub fn with_config(config: DseConfig) -> Self {
+        Stm32F767Target { config }
+    }
+}
+
+impl Default for Stm32F767Target {
+    fn default() -> Self {
+        Stm32F767Target::paper()
+    }
+}
+
+impl Target for Stm32F767Target {
+    fn id(&self) -> &str {
+        "stm32f767"
+    }
+
+    fn modes(&self) -> OperatingModes {
+        self.config.modes.clone()
+    }
+
+    fn granularities(&self) -> Vec<Granularity> {
+        self.config.granularities.clone()
+    }
+
+    fn cache(&self) -> CacheConfig {
+        self.config.cache
+    }
+
+    fn switch_model(&self) -> SwitchCostModel {
+        self.config.switch_model
+    }
+
+    fn power(&self) -> PowerModel {
+        self.config.power.clone()
+    }
+
+    fn cpu(&self) -> CpuModel {
+        self.config.cpu
+    }
+
+    fn memory(&self) -> MemoryTiming {
+        self.config.memory
+    }
+
+    fn dp_resolution(&self) -> usize {
+        self.config.dp_resolution
+    }
+
+    fn dse_config(&self) -> DseConfig {
+        self.config.clone()
+    }
+
+    fn compile_baseline(&self, model: &Model) -> Result<LoweredModel, DaeDvfsError> {
+        // The paper's baseline is TinyEngine at its stock 216 MHz clock and
+        // F767 cache, independent of any ladder ablation in `config` — this
+        // is what the historical `Planner::baseline` did.
+        TinyEngine::new()
+            .compile(model)
+            .map_err(DaeDvfsError::Engine)
+    }
+}
+
+/// A fully parameterized Cortex-M platform description.
+///
+/// Starts from the F767's parameters ([`GenericCortexMTarget::new`]) and
+/// lets every board knob be replaced builder-style: the clock ladder
+/// (via [`OperatingModes::custom`] / [`OperatingModes::from_sysclks`]),
+/// the flash wait-state table (via
+/// [`MemoryTiming::with_flash_ladder`]), the power coefficients (via the
+/// [`PowerModel`] builders), cache geometry, CPU timing, switch costs and
+/// granularity set.
+///
+/// # Examples
+///
+/// ```
+/// use dae_dvfs::{GenericCortexMTarget, OperatingModes, Planner, Target};
+/// use stm32_rcc::Hertz;
+/// use tinynn::models::vww_sized;
+///
+/// # fn main() -> Result<(), dae_dvfs::DaeDvfsError> {
+/// let modes = OperatingModes::from_sysclks(
+///     Hertz::mhz(25),
+///     Hertz::mhz(25),
+///     &[Hertz::mhz(75), Hertz::mhz(100), Hertz::mhz(150)],
+/// )
+/// .expect("ladder reachable");
+/// let board = GenericCortexMTarget::new("cortex-m-custom").with_modes(modes);
+/// let planner = Planner::for_target(board, &vww_sized(32))?;
+/// assert_eq!(planner.target().id(), "cortex-m-custom");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenericCortexMTarget {
+    id: String,
+    modes: OperatingModes,
+    granularities: Vec<Granularity>,
+    cache: CacheConfig,
+    switch_model: SwitchCostModel,
+    power: PowerModel,
+    cpu: CpuModel,
+    memory: MemoryTiming,
+    dp_resolution: usize,
+}
+
+impl GenericCortexMTarget {
+    /// A generic target initialized with the F767's parameters; customize
+    /// with the `with_*` builders.
+    pub fn new(id: impl Into<String>) -> Self {
+        GenericCortexMTarget {
+            id: id.into(),
+            modes: OperatingModes::paper(),
+            granularities: Granularity::PAPER_SET.to_vec(),
+            cache: CacheConfig::stm32f767(),
+            switch_model: SwitchCostModel::default(),
+            power: PowerModel::nucleo_f767zi(),
+            cpu: CpuModel::cortex_m7(),
+            memory: MemoryTiming::stm32f767(),
+            dp_resolution: DseConfig::DEFAULT_DP_RESOLUTION,
+        }
+    }
+
+    /// The F767 expressed through the generic description — used by the
+    /// cross-target parity tests to prove the abstraction does not bend
+    /// the numbers.
+    pub fn f767() -> Self {
+        GenericCortexMTarget::new("generic-f767")
+    }
+
+    /// Replaces the operating-mode universe (builder style).
+    pub fn with_modes(mut self, modes: OperatingModes) -> Self {
+        self.modes = modes;
+        self
+    }
+
+    /// Replaces the explored granularity set (builder style).
+    pub fn with_granularities(mut self, granularities: Vec<Granularity>) -> Self {
+        self.granularities = granularities;
+        self
+    }
+
+    /// Replaces the cache geometry (builder style).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the switch-cost model (builder style).
+    pub fn with_switch_model(mut self, switch_model: SwitchCostModel) -> Self {
+        self.switch_model = switch_model;
+        self
+    }
+
+    /// Replaces the power model (builder style).
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Replaces the CPU timing model (builder style).
+    pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Replaces the memory-system timing, including the flash wait-state
+    /// table (builder style).
+    pub fn with_memory(mut self, memory: MemoryTiming) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Replaces the default DP resolution (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn with_dp_resolution(mut self, resolution: usize) -> Self {
+        assert!(resolution > 0, "resolution must be non-zero");
+        self.dp_resolution = resolution;
+        self
+    }
+}
+
+impl Target for GenericCortexMTarget {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn modes(&self) -> OperatingModes {
+        self.modes.clone()
+    }
+
+    fn granularities(&self) -> Vec<Granularity> {
+        self.granularities.clone()
+    }
+
+    fn cache(&self) -> CacheConfig {
+        self.cache
+    }
+
+    fn switch_model(&self) -> SwitchCostModel {
+        self.switch_model
+    }
+
+    fn power(&self) -> PowerModel {
+        self.power.clone()
+    }
+
+    fn cpu(&self) -> CpuModel {
+        self.cpu
+    }
+
+    fn memory(&self) -> MemoryTiming {
+        self.memory
+    }
+
+    fn dp_resolution(&self) -> usize {
+        self.dp_resolution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm32_rcc::Hertz;
+
+    #[test]
+    fn f767_target_reproduces_paper_config() {
+        let target = Stm32F767Target::paper();
+        let via_target = target.dse_config();
+        let direct = DseConfig::paper();
+        assert_eq!(via_target.modes, direct.modes);
+        assert_eq!(via_target.granularities, direct.granularities);
+        assert_eq!(via_target.cache, direct.cache);
+        assert_eq!(via_target.switch_model, direct.switch_model);
+        assert_eq!(via_target.power, direct.power);
+        assert_eq!(via_target.cpu, direct.cpu);
+        assert_eq!(via_target.memory, direct.memory);
+        assert_eq!(via_target.dp_resolution, direct.dp_resolution);
+        assert_eq!(target.id(), "stm32f767");
+    }
+
+    #[test]
+    fn f767_with_config_passes_ablations_through() {
+        let ablated = DseConfig::paper().with_dp_resolution(500);
+        let target = Stm32F767Target::with_config(ablated.clone());
+        assert_eq!(target.dse_config().dp_resolution, 500);
+        assert_eq!(target.dp_resolution(), 500);
+    }
+
+    #[test]
+    fn generic_f767_matches_native_f767_config() {
+        let generic = GenericCortexMTarget::f767().dse_config();
+        let native = Stm32F767Target::paper().dse_config();
+        assert_eq!(generic.modes, native.modes);
+        assert_eq!(generic.granularities, native.granularities);
+        assert_eq!(generic.cache, native.cache);
+        assert_eq!(generic.switch_model, native.switch_model);
+        assert_eq!(generic.power, native.power);
+        assert_eq!(generic.cpu, native.cpu);
+        assert_eq!(generic.memory, native.memory);
+    }
+
+    #[test]
+    fn generic_builders_replace_every_knob() {
+        let modes = OperatingModes::fig4();
+        let cache = CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways: 2,
+        };
+        let target = GenericCortexMTarget::new("custom")
+            .with_modes(modes.clone())
+            .with_granularities(vec![Granularity(0), Granularity(4)])
+            .with_cache(cache)
+            .with_switch_model(SwitchCostModel::new(300e-6, 2e-6))
+            .with_power(PowerModel::nucleo_f767zi().with_core_w_per_hz(0.5e-9))
+            .with_cpu(CpuModel::cortex_m7())
+            .with_memory(
+                MemoryTiming::stm32f767()
+                    .with_flash_ladder(stm32_rcc::WaitStateLadder::new(Hertz::mhz(24), 9)),
+            )
+            .with_dp_resolution(1234);
+        let cfg = target.dse_config();
+        assert_eq!(cfg.modes, modes);
+        assert_eq!(cfg.granularities, vec![Granularity(0), Granularity(4)]);
+        assert_eq!(cfg.cache, cache);
+        assert_eq!(cfg.switch_model, SwitchCostModel::new(300e-6, 2e-6));
+        assert_eq!(cfg.memory.flash_ladder.max_wait_states, 9);
+        assert_eq!(cfg.dp_resolution, 1234);
+        assert_eq!(target.id(), "custom");
+    }
+
+    #[test]
+    fn generic_baseline_runs_at_own_fastest_hfo() {
+        let modes = OperatingModes::fig4();
+        let fastest = *modes.fastest_hfo();
+        let target = GenericCortexMTarget::new("slow-board").with_modes(modes);
+        let lowered = target
+            .compile_baseline(&tinynn::models::vww_sized(32))
+            .expect("baseline lowers");
+        assert_eq!(lowered.clock(), &SysclkConfig::Pll(fastest));
+    }
+
+    #[test]
+    fn f767_baseline_matches_tinyengine_stock() {
+        let model = tinynn::models::vww_sized(32);
+        let via_target = Stm32F767Target::paper()
+            .compile_baseline(&model)
+            .expect("lowers");
+        let stock = TinyEngine::new().compile(&model).expect("lowers");
+        assert_eq!(via_target.clock(), stock.clock());
+        assert_eq!(via_target.run(), stock.run());
+    }
+}

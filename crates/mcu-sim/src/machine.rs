@@ -85,9 +85,7 @@ impl Machine {
         Machine {
             cpu: CpuModel::cortex_m7(),
             memory: MemoryTiming::stm32f767(),
-            power: Arc::clone(
-                DEFAULT_POWER.get_or_init(|| Arc::new(PowerModel::nucleo_f767zi())),
-            ),
+            power: Arc::clone(DEFAULT_POWER.get_or_init(|| Arc::new(PowerModel::nucleo_f767zi()))),
             switch_model: SwitchCostModel::default(),
             warm_pll: clock.pll().copied(),
             pending_pll: None,
@@ -405,9 +403,7 @@ mod tests {
     use stm32_rcc::ClockSource;
 
     fn hfo(n: u32) -> SysclkConfig {
-        SysclkConfig::Pll(
-            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).unwrap(),
-        )
+        SysclkConfig::Pll(PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).unwrap())
     }
 
     fn lfo() -> SysclkConfig {
@@ -512,7 +508,10 @@ mod tests {
         })
         .collect();
         for w in energies.windows(2) {
-            assert!(w[0] > w[1], "idle energy must strictly decrease: {energies:?}");
+            assert!(
+                w[0] > w[1],
+                "idle energy must strictly decrease: {energies:?}"
+            );
         }
     }
 

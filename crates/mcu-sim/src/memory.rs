@@ -14,7 +14,7 @@
 //! Consequently, running a memory-bound segment at the LFO frequency wastes
 //! little time but saves a lot of power — the heart of the paper.
 
-use stm32_rcc::{flash_wait_states, Hertz};
+use stm32_rcc::{Hertz, WaitStateLadder};
 
 /// Timing parameters of the memory system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +29,8 @@ pub struct MemoryTiming {
     pub hit_cycles: u64,
     /// Fixed latency of a single uncached SRAM access, seconds.
     pub sram_single_fixed: f64,
+    /// Flash wait-state ladder (band width and cap are board parameters).
+    pub flash_ladder: WaitStateLadder,
 }
 
 impl MemoryTiming {
@@ -40,7 +42,15 @@ impl MemoryTiming {
             flash_reads_per_line: 2,
             hit_cycles: 1,
             sram_single_fixed: 12e-9,
+            flash_ladder: WaitStateLadder::stm32f767(),
         }
+    }
+
+    /// Replaces the flash wait-state ladder (builder style), the knob a
+    /// non-F767 target uses to describe its flash interface.
+    pub const fn with_flash_ladder(mut self, ladder: WaitStateLadder) -> Self {
+        self.flash_ladder = ladder;
+        self
     }
 
     /// Wall time of one cache-line fill from AXI SRAM at `sysclk`.
@@ -52,7 +62,7 @@ impl MemoryTiming {
     ///
     /// Uses the wait-state ladder: `flash_reads_per_line × (1 + WS(f)) / f`.
     pub fn flash_fill_time(&self, sysclk: Hertz) -> f64 {
-        let per_access = flash_wait_states(sysclk).access_cycles();
+        let per_access = self.flash_ladder.latency(sysclk).access_cycles();
         sysclk.cycles_to_secs(self.flash_reads_per_line * per_access)
     }
 
@@ -133,7 +143,10 @@ mod tests {
         let slow = t.flash_fill_time(Hertz::mhz(50));
         let fast = t.flash_fill_time(Hertz::mhz(216));
         // 2*(1+1)/50MHz = 80ns vs 2*(1+7)/216MHz ≈ 74ns.
-        assert!((slow / fast) < 1.2, "flash should barely speed up: {slow} vs {fast}");
+        assert!(
+            (slow / fast) < 1.2,
+            "flash should barely speed up: {slow} vs {fast}"
+        );
     }
 
     #[test]
@@ -177,6 +190,19 @@ mod tests {
     fn zero_traffic_zero_time() {
         let t = MemoryTiming::stm32f767();
         assert_eq!(MemoryTraffic::ZERO.time(&t, Hertz::mhz(216)), 0.0);
+    }
+
+    #[test]
+    fn custom_flash_ladder_changes_fill_time() {
+        // A slower flash (narrower bands, higher cap) pays more wait
+        // states at the same SYSCLK.
+        let f767 = MemoryTiming::stm32f767();
+        let slow =
+            MemoryTiming::stm32f767().with_flash_ladder(WaitStateLadder::new(Hertz::mhz(20), 15));
+        let f = Hertz::mhz(216);
+        assert!(slow.flash_fill_time(f) > f767.flash_fill_time(f));
+        // The default ladder is exactly the F767 one.
+        assert_eq!(f767.flash_ladder, WaitStateLadder::stm32f767());
     }
 
     #[test]

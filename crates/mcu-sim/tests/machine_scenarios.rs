@@ -5,9 +5,7 @@ use mcu_sim::{IdleMode, Machine, MemoryTraffic, OpCounts, Segment, TraceKind};
 use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
 
 fn hfo(n: u32) -> SysclkConfig {
-    SysclkConfig::Pll(
-        PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).expect("valid"),
-    )
+    SysclkConfig::Pll(PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).expect("valid"))
 }
 
 fn lfo() -> SysclkConfig {

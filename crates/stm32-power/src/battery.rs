@@ -28,7 +28,10 @@ impl Battery {
     /// Panics if the rating, voltage, or efficiency are not positive, or
     /// if efficiency exceeds 1.
     pub fn from_mah(mah: f64, volts: f64, efficiency: f64) -> Self {
-        assert!(mah > 0.0 && volts > 0.0, "capacity and voltage must be positive");
+        assert!(
+            mah > 0.0 && volts > 0.0,
+            "capacity and voltage must be positive"
+        );
         assert!(
             efficiency > 0.0 && efficiency <= 1.0,
             "efficiency must be in (0, 1]"

@@ -59,15 +59,41 @@ impl PowerModel {
     pub fn nucleo_f767zi() -> Self {
         PowerModel {
             static_power: Watts::milliwatts(20.0),
-            core_w_per_hz: 0.80e-9,  // 0.80 mW/MHz at scale 3
+            core_w_per_hz: 0.80e-9, // 0.80 mW/MHz at scale 3
             pll_base: Watts::milliwatts(3.0),
-            vco_w_per_hz: 0.12e-9,   // 0.12 mW/MHz of VCO
-            hse_w_per_hz: 0.04e-9,   // 2 mW at 50 MHz
+            vco_w_per_hz: 0.12e-9, // 0.12 mW/MHz of VCO
+            hse_w_per_hz: 0.04e-9, // 2 mW at 50 MHz
             hsi_power: Watts::milliwatts(3.5),
             wfi_core_fraction: 0.35,
             clock_gated_power: Watts::milliwatts(12.0),
             stop_power: Watts::milliwatts(1.5),
         }
+    }
+
+    /// Replaces the constant board + leakage power (builder style).
+    pub fn with_static_power(mut self, power: Watts) -> Self {
+        self.static_power = power;
+        self
+    }
+
+    /// Replaces the core dynamic-power coefficient, W/Hz at voltage scale 3
+    /// (builder style).
+    pub fn with_core_w_per_hz(mut self, coeff: f64) -> Self {
+        self.core_w_per_hz = coeff;
+        self
+    }
+
+    /// Replaces the PLL dynamic-power coefficient, W/Hz of VCO frequency
+    /// (builder style).
+    pub fn with_vco_w_per_hz(mut self, coeff: f64) -> Self {
+        self.vco_w_per_hz = coeff;
+        self
+    }
+
+    /// Replaces the clock-gated idle power (builder style).
+    pub fn with_clock_gated_power(mut self, power: Watts) -> Self {
+        self.clock_gated_power = power;
+        self
     }
 
     /// Power drawn by the clock *source* alone.
@@ -132,9 +158,7 @@ impl PowerModel {
                 p += match cfg {
                     SysclkConfig::HsiDirect => self.source_power(ClockSource::Hsi),
                     SysclkConfig::HseDirect(f) => self.source_power(ClockSource::Hse(*f)),
-                    SysclkConfig::Pll(pll) => {
-                        self.source_power(pll.source()) + self.pll_power(pll)
-                    }
+                    SysclkConfig::Pll(pll) => self.source_power(pll.source()) + self.pll_power(pll),
                 };
                 p
             }
@@ -230,8 +254,9 @@ mod tests {
     fn idle_state_ordering() {
         let model = PowerModel::nucleo_f767zi();
         let busy216 = model.power(&PowerState::Run(SysclkConfig::Pll(pll(50, 25, 216, 2))));
-        let wfi216 =
-            model.power(&PowerState::SleepWfi(SysclkConfig::Pll(pll(50, 25, 216, 2))));
+        let wfi216 = model.power(&PowerState::SleepWfi(SysclkConfig::Pll(pll(
+            50, 25, 216, 2,
+        ))));
         let gated = model.power(&PowerState::ClockGated);
         let stop = model.power(&PowerState::Stop);
         assert!(busy216 > wfi216, "WFI must beat busy idle");
@@ -253,6 +278,19 @@ mod tests {
             ratio > 2.0,
             "expected super-linear scaling, got ratio {ratio:.2}"
         );
+    }
+
+    #[test]
+    fn builder_overrides_coefficients() {
+        let custom = PowerModel::nucleo_f767zi()
+            .with_static_power(Watts::milliwatts(10.0))
+            .with_core_w_per_hz(0.4e-9)
+            .with_vco_w_per_hz(0.06e-9)
+            .with_clock_gated_power(Watts::milliwatts(6.0));
+        let stock = PowerModel::nucleo_f767zi();
+        let cfg = SysclkConfig::Pll(pll(50, 25, 216, 2));
+        assert!(custom.run_power(&cfg) < stock.run_power(&cfg));
+        assert_eq!(custom.clock_gated_power, Watts::milliwatts(6.0));
     }
 
     #[test]

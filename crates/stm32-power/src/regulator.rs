@@ -91,8 +91,14 @@ mod tests {
         assert_eq!(required_scale(Hertz::mhz(168)), VoltageScale::Scale2);
         assert_eq!(required_scale(Hertz::mhz(169)), VoltageScale::Scale1);
         assert_eq!(required_scale(Hertz::mhz(180)), VoltageScale::Scale1);
-        assert_eq!(required_scale(Hertz::mhz(181)), VoltageScale::Scale1OverDrive);
-        assert_eq!(required_scale(Hertz::mhz(216)), VoltageScale::Scale1OverDrive);
+        assert_eq!(
+            required_scale(Hertz::mhz(181)),
+            VoltageScale::Scale1OverDrive
+        );
+        assert_eq!(
+            required_scale(Hertz::mhz(216)),
+            VoltageScale::Scale1OverDrive
+        );
     }
 
     #[test]

@@ -54,13 +54,22 @@ impl BusPrescalers {
     /// [`BusPrescalers::APB_VALUES`]).
     pub fn new(ahb: u32, apb1: u32, apb2: u32) -> Result<Self, RccError> {
         if !Self::AHB_VALUES.contains(&ahb) {
-            return Err(RccError::PrescalerInvalid { bus: "AHB", value: ahb });
+            return Err(RccError::PrescalerInvalid {
+                bus: "AHB",
+                value: ahb,
+            });
         }
         if !Self::APB_VALUES.contains(&apb1) {
-            return Err(RccError::PrescalerInvalid { bus: "APB1", value: apb1 });
+            return Err(RccError::PrescalerInvalid {
+                bus: "APB1",
+                value: apb1,
+            });
         }
         if !Self::APB_VALUES.contains(&apb2) {
-            return Err(RccError::PrescalerInvalid { bus: "APB2", value: apb2 });
+            return Err(RccError::PrescalerInvalid {
+                bus: "APB2",
+                value: apb2,
+            });
         }
         Ok(BusPrescalers { ahb, apb1, apb2 })
     }
@@ -211,11 +220,9 @@ mod tests {
 
     #[test]
     fn usb_divider_found_only_for_multiples_of_48() {
-        let usb_capable =
-            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).unwrap(); // VCO 432
+        let usb_capable = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 216, 2).unwrap(); // VCO 432
         assert_eq!(pllq_for_usb(&usb_capable), Some(9));
-        let not_capable =
-            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 150, 2).unwrap(); // VCO 300
+        let not_capable = PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, 150, 2).unwrap(); // VCO 300
         assert_eq!(pllq_for_usb(&not_capable), None);
     }
 }

@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn min_vco_config_none_for_unreachable() {
-        assert_eq!(
-            ConfigSpace::paper().min_vco_config(Hertz::mhz(123)),
-            None
-        );
+        assert_eq!(ConfigSpace::paper().min_vco_config(Hertz::mhz(123)), None);
     }
 
     #[test]

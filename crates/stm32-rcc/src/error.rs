@@ -63,7 +63,10 @@ impl fmt::Display for RccError {
                 write!(f, "VCO input frequency {hz} outside the 1-2 MHz window")
             }
             RccError::VcoOutputOutOfRange(hz) => {
-                write!(f, "VCO output frequency {hz} outside the 100-432 MHz window")
+                write!(
+                    f,
+                    "VCO output frequency {hz} outside the 100-432 MHz window"
+                )
             }
             RccError::SysclkTooHigh(hz) => {
                 write!(f, "SYSCLK {hz} exceeds the 216 MHz device maximum")

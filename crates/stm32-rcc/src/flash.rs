@@ -29,7 +29,75 @@ impl FlashLatency {
     }
 }
 
+/// A parameterized wait-state ladder: one extra wait state per started
+/// `step` band of SYSCLK, capped at `max_wait_states`.
+///
+/// The STM32F767 instance ([`WaitStateLadder::stm32f767`]) reproduces
+/// RM0410 Table 7; other Cortex-M parts differ only in the band width and
+/// the cap (e.g. slower flash steps every 24 MHz, faster parts cap lower),
+/// which is exactly what a portable target description needs to express.
+///
+/// ```
+/// use stm32_rcc::{Hertz, WaitStateLadder};
+///
+/// let f767 = WaitStateLadder::stm32f767();
+/// assert_eq!(f767.latency(Hertz::mhz(216)).wait_states(), 7);
+/// let slow_flash = WaitStateLadder::new(Hertz::mhz(24), 15);
+/// assert_eq!(slow_flash.latency(Hertz::mhz(216)).wait_states(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WaitStateLadder {
+    /// Width of one wait-state band.
+    pub step: Hertz,
+    /// Upper bound on the inserted wait states.
+    pub max_wait_states: u8,
+}
+
+impl WaitStateLadder {
+    /// The STM32F7 ladder at nominal supply (RM0410, 2.7–3.6 V): one wait
+    /// state per started 30 MHz band, capped at 7.
+    pub const fn stm32f767() -> Self {
+        WaitStateLadder {
+            step: Hertz::mhz(30),
+            max_wait_states: 7,
+        }
+    }
+
+    /// Builds a ladder with an explicit band width and cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub const fn new(step: Hertz, max_wait_states: u8) -> Self {
+        assert!(step.as_u64() > 0, "wait-state band width must be non-zero");
+        WaitStateLadder {
+            step,
+            max_wait_states,
+        }
+    }
+
+    /// The wait states this ladder inserts at `sysclk`: zero up to and
+    /// including one band, then +1 per started band, capped.
+    pub const fn latency(&self, sysclk: Hertz) -> FlashLatency {
+        let hz = sysclk.as_u64();
+        if hz == 0 {
+            return FlashLatency(0);
+        }
+        let ws = (hz - 1) / self.step.as_u64();
+        let cap = self.max_wait_states as u64;
+        FlashLatency(if ws < cap { ws } else { cap } as u8)
+    }
+}
+
+impl Default for WaitStateLadder {
+    fn default() -> Self {
+        WaitStateLadder::stm32f767()
+    }
+}
+
 /// Computes the flash wait states required at `sysclk` (RM0410, 2.7–3.6 V).
+///
+/// Shorthand for the [`WaitStateLadder::stm32f767`] ladder.
 ///
 /// ```
 /// use stm32_rcc::{flash_wait_states, Hertz};
@@ -39,15 +107,7 @@ impl FlashLatency {
 /// assert_eq!(flash_wait_states(Hertz::mhz(216)).wait_states(), 7);
 /// ```
 pub fn flash_wait_states(sysclk: Hertz) -> FlashLatency {
-    let hz = sysclk.as_u64();
-    let step = 30_000_000u64;
-    if hz == 0 {
-        return FlashLatency(0);
-    }
-    // 0 WS up to and including 30 MHz, then +1 per started 30 MHz band,
-    // capped at 7 (216 MHz ceiling lives in band 8).
-    let ws = (hz - 1) / step;
-    FlashLatency(ws.min(7) as u8)
+    WaitStateLadder::stm32f767().latency(sysclk)
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ pub mod sysclk;
 pub use buses::{pllq_for_usb, BusPrescalers, APB1_MAX, APB2_MAX, USB_CLOCK};
 pub use enumerate::{ConfigSpace, IsoFrequencyGroup, PAPER_PLLM_VALUES, PAPER_PLLN_VALUES};
 pub use error::RccError;
-pub use flash::{flash_wait_states, FlashLatency};
+pub use flash::{flash_wait_states, FlashLatency, WaitStateLadder};
 pub use hertz::Hertz;
 pub use pll::PllConfig;
 pub use switching::{SwitchCost, SwitchCostModel};

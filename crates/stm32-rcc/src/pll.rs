@@ -62,12 +62,7 @@ impl PllConfig {
     /// Returns the specific [`RccError`] for the first violated datasheet
     /// constraint (divider register ranges, VCO windows, SYSCLK ceiling, or
     /// an invalid source).
-    pub fn new(
-        source: ClockSource,
-        pllm: u32,
-        plln: u32,
-        pllp: u32,
-    ) -> Result<Self, RccError> {
+    pub fn new(source: ClockSource, pllm: u32, plln: u32, pllp: u32) -> Result<Self, RccError> {
         source.validate()?;
         if !(2..=63).contains(&pllm) {
             return Err(RccError::PllmOutOfRange(pllm));

@@ -169,9 +169,7 @@ mod tests {
     use crate::sysclk::ClockSource;
 
     fn hfo(n: u32) -> SysclkConfig {
-        SysclkConfig::Pll(
-            PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).unwrap(),
-        )
+        SysclkConfig::Pll(PllConfig::new(ClockSource::hse(Hertz::mhz(50)), 25, n, 2).unwrap())
     }
 
     fn lfo() -> SysclkConfig {

@@ -35,7 +35,10 @@ fn accept_reject_matches_datasheet_arithmetic() {
         }
     }
     assert!(accepted > 100, "sweep accepted too few configs: {accepted}");
-    assert!(rejected > 1000, "sweep rejected too few configs: {rejected}");
+    assert!(
+        rejected > 1000,
+        "sweep rejected too few configs: {rejected}"
+    );
 }
 
 /// Integer-division subtlety: `vco_input` uses integer hertz, so the
@@ -55,13 +58,8 @@ fn non_divisible_inputs_behave() {
 fn every_enumerated_config_round_trips_its_label() {
     for cfg in ConfigSpace::wide().enumerate_pll() {
         let (hse, m, n) = cfg.label_tuple();
-        let rebuilt = PllConfig::new(
-            ClockSource::hse(Hertz::mhz(hse)),
-            m,
-            n,
-            cfg.pllp(),
-        )
-        .expect("enumerated config must rebuild");
+        let rebuilt = PllConfig::new(ClockSource::hse(Hertz::mhz(hse)), m, n, cfg.pllp())
+            .expect("enumerated config must rebuild");
         assert_eq!(rebuilt, cfg);
     }
 }

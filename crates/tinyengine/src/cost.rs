@@ -136,8 +136,7 @@ impl KernelProfile {
     fn dw_strided_fills(&self, tensor_lines: u64, touches: u64, cache: &CacheConfig) -> u64 {
         let ws_pass = self.dw_lines_per_pass(tensor_lines) * LINE_BYTES;
         let reuse = reuse_hit_ratio(ws_pass, cache);
-        let extra =
-            (touches.saturating_sub(1)) as f64 * tensor_lines as f64 * (1.0 - reuse);
+        let extra = (touches.saturating_sub(1)) as f64 * tensor_lines as f64 * (1.0 - reuse);
         tensor_lines + extra.round() as u64
     }
 
@@ -149,8 +148,7 @@ impl KernelProfile {
                 // Strided per-channel walks: each line is re-touched by
                 // every channel it holds; once the per-pass footprint
                 // exceeds the cache, those re-touches miss.
-                let fills =
-                    self.dw_strided_fills(tensor_lines, self.dw_touches_per_line(), cache);
+                let fills = self.dw_strided_fills(tensor_lines, self.dw_touches_per_line(), cache);
                 MemoryTraffic {
                     cache_hits: 0,
                     sram_line_fills: fills + out_fills,
@@ -168,7 +166,11 @@ impl KernelProfile {
                     flash_line_fills: lines(self.weight_bytes),
                     sram_uncached: 0,
                 }
-                .merged(&self.weight_rescan_traffic(self.units.div_ceil(self.baseline_unroll.max(1)), self.baseline_unroll, cache))
+                .merged(&self.weight_rescan_traffic(
+                    self.units.div_ceil(self.baseline_unroll.max(1)),
+                    self.baseline_unroll,
+                    cache,
+                ))
             }
             UnitGeometry::Monolithic => MemoryTraffic {
                 cache_hits: 0,
@@ -181,12 +183,7 @@ impl KernelProfile {
 
     /// Staging traffic of one DAE memory segment for a batch of `n` units
     /// (plus the weights, once, when `first` is set).
-    pub fn dae_stage_traffic(
-        &self,
-        n: u64,
-        first: bool,
-        cache: &CacheConfig,
-    ) -> MemoryTraffic {
+    pub fn dae_stage_traffic(&self, n: u64, first: bool, cache: &CacheConfig) -> MemoryTraffic {
         let weights = if first { lines(self.weight_bytes) } else { 0 };
         match self.geometry {
             UnitGeometry::DepthwiseChannels { tensor_lines, .. } => {
@@ -197,8 +194,7 @@ impl KernelProfile {
                 // strided-gather fills, plus the dense-buffer writes.
                 let touches = self.dw_touches_per_line();
                 let group_touches = touches.div_ceil(n.max(1));
-                let total_gather =
-                    self.dw_strided_fills(tensor_lines, group_touches, cache);
+                let total_gather = self.dw_strided_fills(tensor_lines, group_touches, cache);
                 let groups = self.units.div_ceil(n.max(1));
                 let share = total_gather.div_ceil(groups);
                 MemoryTraffic {
@@ -230,8 +226,7 @@ impl KernelProfile {
     pub fn dae_compute_traffic(&self, n: u64, groups: u64, cache: &CacheConfig) -> MemoryTraffic {
         let ws = n * self.unit_input_bytes + self.weight_bytes;
         let hit = reuse_hit_ratio(ws, cache);
-        let spilled =
-            ((1.0 - hit) * lines(n * self.unit_input_bytes) as f64).round() as u64;
+        let spilled = ((1.0 - hit) * lines(n * self.unit_input_bytes) as f64).round() as u64;
         MemoryTraffic {
             cache_hits: 0,
             sram_line_fills: spilled + lines(n * self.unit_output_bytes),
@@ -431,8 +426,7 @@ mod tests {
         for p in profiles_for(&model) {
             if let UnitGeometry::DepthwiseChannels { tensor_lines, .. } = p.geometry {
                 let t = p.baseline_traffic(&cache);
-                let pass_footprint =
-                    tensor_lines.min(p.unit_input_bytes) * LINE_BYTES;
+                let pass_footprint = tensor_lines.min(p.unit_input_bytes) * LINE_BYTES;
                 if pass_footprint > u64::from(cache.size_bytes) && p.units >= 16 {
                     assert!(
                         t.sram_line_fills > 4 * tensor_lines,
@@ -542,7 +536,7 @@ mod tests {
             unit_output_bytes: 32,
             unit_ops: OpCounts::ZERO,
             weight_walk_ops: OpCounts::ZERO,
-                baseline_unroll: 1,
+            baseline_unroll: 1,
             weight_bytes: 512,
         };
         assert_eq!(p.weight_rescan_traffic(64, 1, &cache), MemoryTraffic::ZERO);
@@ -559,7 +553,7 @@ mod tests {
             unit_output_bytes: 256,
             unit_ops: OpCounts::ZERO,
             weight_walk_ops: OpCounts::ZERO,
-                baseline_unroll: 1,
+            baseline_unroll: 1,
             weight_bytes: 20 * 1024,
         };
         let cache = CacheConfig::stm32f767();

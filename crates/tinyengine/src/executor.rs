@@ -179,7 +179,11 @@ impl TinyEngine {
     /// # Errors
     ///
     /// Same conditions as [`TinyEngine::lower`].
-    pub fn run_on(&self, model: &Model, machine: &mut Machine) -> Result<InferenceReport, EngineError> {
+    pub fn run_on(
+        &self,
+        model: &Model,
+        machine: &mut Machine,
+    ) -> Result<InferenceReport, EngineError> {
         Ok(self.compile(model)?.run_on(machine))
     }
 }

@@ -79,8 +79,27 @@ impl LoweredModel {
     /// Panics if the inference itself overruns the QoS window (see
     /// [`run_iso_latency`]).
     pub fn run_iso_latency(&self, qos_secs: f64, policy: IdlePolicy) -> IsoLatencyReport {
-        let mut machine = Machine::new(*self.clock());
-        let inference = self.run_on(&mut machine);
+        self.run_iso_latency_on(&mut Machine::new(*self.clock()), qos_secs, policy)
+    }
+
+    /// [`LoweredModel::run_iso_latency`] on a caller-supplied machine, so
+    /// non-stock substrates (custom CPU/memory/power models) price the
+    /// baseline window on their own hardware description. The machine is
+    /// switched to the engine clock by the replay; its elapsed time and
+    /// energy counters are treated as window-relative (pass a fresh
+    /// machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inference itself overruns the QoS window (see
+    /// [`run_iso_latency`]).
+    pub fn run_iso_latency_on(
+        &self,
+        machine: &mut Machine,
+        qos_secs: f64,
+        policy: IdlePolicy,
+    ) -> IsoLatencyReport {
+        let inference = self.run_on(machine);
         let remaining = qos_secs - inference.total_time_secs;
         assert!(
             remaining >= 0.0,
@@ -137,10 +156,10 @@ mod tests {
         let engine = TinyEngine::new();
         let model = vww_sized(32);
         let t = engine.run(&model).unwrap().total_time_secs;
-        let tight = run_iso_latency(&engine, &model, qos_window(t, 0.1), IdlePolicy::Busy216)
-            .unwrap();
-        let relaxed = run_iso_latency(&engine, &model, qos_window(t, 0.5), IdlePolicy::Busy216)
-            .unwrap();
+        let tight =
+            run_iso_latency(&engine, &model, qos_window(t, 0.1), IdlePolicy::Busy216).unwrap();
+        let relaxed =
+            run_iso_latency(&engine, &model, qos_window(t, 0.5), IdlePolicy::Busy216).unwrap();
         assert!(relaxed.idle_energy > tight.idle_energy);
         assert!(relaxed.total_energy > tight.total_energy);
     }

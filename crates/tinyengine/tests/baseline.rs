@@ -2,8 +2,7 @@
 
 use stm32_rcc::{ClockSource, Hertz, PllConfig, SysclkConfig};
 use tinyengine::{
-    plan_memory_with_budget, profile_model, qos_window, run_iso_latency, IdlePolicy,
-    TinyEngine,
+    plan_memory_with_budget, profile_model, qos_window, run_iso_latency, IdlePolicy, TinyEngine,
 };
 use tinynn::models::{paper_models, vww};
 
@@ -18,8 +17,14 @@ fn latency_scales_inversely_with_frequency_but_sublinearly() {
     // Compute scales with f; memory barely does — so the speedup from
     // 100 -> 216 MHz must be between 1x and 2.16x.
     let model = vww();
-    let fast = TinyEngine::new().with_clock(clock(216)).run(&model).expect("216");
-    let slow = TinyEngine::new().with_clock(clock(100)).run(&model).expect("100");
+    let fast = TinyEngine::new()
+        .with_clock(clock(216))
+        .run(&model)
+        .expect("216");
+    let slow = TinyEngine::new()
+        .with_clock(clock(100))
+        .run(&model)
+        .expect("100");
     let speedup = slow.total_time_secs / fast.total_time_secs;
     assert!(
         speedup > 1.5 && speedup < 2.16,
@@ -51,8 +56,7 @@ fn profiler_and_executor_agree_for_all_models() {
     for model in paper_models() {
         let report = engine.run(&model).expect("runs");
         let profile = profile_model(&engine, &model).expect("profiles");
-        let drift =
-            (profile.total_measured_secs() - report.total_time_secs).abs();
+        let drift = (profile.total_measured_secs() - report.total_time_secs).abs();
         assert!(drift < 1e-5, "{}: profiler drift {drift}", model.name);
     }
 }
@@ -62,10 +66,10 @@ fn iso_latency_energy_grows_linearly_with_window_for_fixed_policy() {
     let model = vww();
     let engine = TinyEngine::new();
     let t = engine.run(&model).expect("runs").total_time_secs;
-    let e1 = run_iso_latency(&engine, &model, qos_window(t, 0.2), IdlePolicy::ClockGated)
-        .expect("runs");
-    let e2 = run_iso_latency(&engine, &model, qos_window(t, 0.4), IdlePolicy::ClockGated)
-        .expect("runs");
+    let e1 =
+        run_iso_latency(&engine, &model, qos_window(t, 0.2), IdlePolicy::ClockGated).expect("runs");
+    let e2 =
+        run_iso_latency(&engine, &model, qos_window(t, 0.4), IdlePolicy::ClockGated).expect("runs");
     let delta = e2.total_energy.as_f64() - e1.total_energy.as_f64();
     // Window grew by 0.2 * t at 12 mW gated power.
     let expected = 0.012 * 0.2 * t;

@@ -60,7 +60,10 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::ShapeMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape ({expected} elements)")
+                write!(
+                    f,
+                    "data length {actual} does not match shape ({expected} elements)"
+                )
             }
             NnError::IndexOutOfBounds { y, x, c, shape } => {
                 write!(f, "index ({y},{x},{c}) outside tensor {shape}")

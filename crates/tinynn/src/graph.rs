@@ -310,12 +310,7 @@ impl Model {
         let _ = writeln!(
             out,
             "{:>18} | {:>10} | {:>11} | {:>11} | {:>10} | {:>7} B",
-            "total",
-            "",
-            "",
-            "",
-            total_macs,
-            total_weights
+            "total", "", "", "", total_macs, total_weights
         );
         Ok(out)
     }
@@ -336,7 +331,11 @@ impl Model {
         }
         let mut x = input.clone();
         for block in &self.blocks {
-            let block_in = if block.residual { Some(x.clone()) } else { None };
+            let block_in = if block.residual {
+                Some(x.clone())
+            } else {
+                None
+            };
             for nl in &block.layers {
                 x = nl.layer.forward(&x)?;
             }

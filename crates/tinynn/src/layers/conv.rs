@@ -104,9 +104,7 @@ impl Conv2d {
     /// Multiply-accumulates needed for `input`.
     pub fn macs(&self, input: Shape) -> u64 {
         match self.output_shape(input) {
-            Ok(out) => {
-                (out.h * out.w * self.c_out * self.kernel * self.kernel * self.c_in) as u64
-            }
+            Ok(out) => (out.h * out.w * self.c_out * self.kernel * self.kernel * self.c_in) as u64,
             Err(_) => 0,
         }
     }
@@ -140,8 +138,7 @@ impl Conv2d {
                     let w_base = oc * self.kernel * self.kernel * self.c_in;
                     for ky in 0..k {
                         for kx in 0..k {
-                            let wy = w_base
-                                + (ky as usize * self.kernel + kx as usize) * self.c_in;
+                            let wy = w_base + (ky as usize * self.kernel + kx as usize) * self.c_in;
                             for ic in 0..self.c_in {
                                 let xv = input.get_padded(base_y + ky, base_x + kx, ic);
                                 let wv = self.weights[wy + ic];

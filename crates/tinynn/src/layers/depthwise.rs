@@ -141,8 +141,7 @@ impl DepthwiseConv2d {
                 for ky in 0..k {
                     for kx in 0..k {
                         let xv = input.get_padded(base_y + ky, base_x + kx, channel);
-                        let wv =
-                            self.weights[w_base + (ky as usize * self.kernel + kx as usize)];
+                        let wv = self.weights[w_base + (ky as usize * self.kernel + kx as usize)];
                         acc += i32::from(xv) * i32::from(wv);
                     }
                 }

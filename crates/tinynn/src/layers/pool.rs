@@ -63,7 +63,10 @@ impl MaxPool2d {
     ///
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be non-zero");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be non-zero"
+        );
         MaxPool2d { kernel, stride }
     }
 

@@ -187,7 +187,10 @@ pub fn vww() -> Model {
 ///
 /// Panics if `input < 32`.
 pub fn person_detection_sized(input: usize) -> Model {
-    assert!(input >= 32, "person_detection needs input >= 32, got {input}");
+    assert!(
+        input >= 32,
+        "person_detection needs input >= 32, got {input}"
+    );
     let mut blocks = vec![Block {
         name: "stem".into(),
         residual: false,
@@ -291,11 +294,7 @@ mod tests {
                 .filter(|l| matches!(l.kind, LayerKind::Depthwise | LayerKind::Pointwise))
                 .count();
             let frac = targets as f64 / plan.len() as f64;
-            assert!(
-                frac > 0.7,
-                "{}: dw+pw fraction {frac:.2} too low",
-                m.name
-            );
+            assert!(frac > 0.7, "{}: dw+pw fraction {frac:.2} too low", m.name);
         }
     }
 

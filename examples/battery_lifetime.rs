@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example battery_lifetime`
 
-use dae_dvfs::{DseConfig, Planner};
+use dae_dvfs::{Planner, Stm32F767Target};
 use stm32_power::{Battery, Watts};
 use tinynn::models::person_detection;
 
@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One planner gives all three contenders over the same window: our
     // deployment plus both TinyEngine baselines (replayed from one cached
     // lowering).
-    let planner = Planner::new(&model, &DseConfig::paper())?;
+    let planner = Planner::for_target(Stm32F767Target::paper(), &model)?;
     let cmp = planner.compare_with_baselines(slack)?;
     let qos = cmp.qos_secs;
 
@@ -37,11 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("DAE + DVFS (this work)", cmp.ours),
     ] {
         let days = battery.lifetime_days(energy, qos, per_day, standby);
-        println!(
-            "{name:>28} | {:>9.3} mJ | {:>7.1} d",
-            energy.as_mj(),
-            days
-        );
+        println!("{name:>28} | {:>9.3} mJ | {:>7.1} d", energy.as_mj(), days);
     }
     println!(
         "\nper-window gain vs TinyEngine: {:.1}% -> proportionally longer deployments",

@@ -6,8 +6,7 @@
 
 use stm32_power::{PowerModel, PowerState};
 use stm32_rcc::{
-    flash_wait_states, ClockSource, ConfigSpace, Hertz, PllConfig, SwitchCostModel,
-    SysclkConfig,
+    flash_wait_states, ClockSource, ConfigSpace, Hertz, PllConfig, SwitchCostModel, SysclkConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

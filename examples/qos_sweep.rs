@@ -3,15 +3,14 @@
 //!
 //! Run with: `cargo run --release --example qos_sweep`
 
-use dae_dvfs::{DseConfig, FrequencyMap, Planner};
+use dae_dvfs::{FrequencyMap, Planner, Stm32F767Target};
 use tinynn::models::paper_models;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = DseConfig::paper();
     for model in paper_models() {
         // The planner compiles schedules and runs the DSE once; the seven
         // slack levels below only pay the (cheap) solver + replay.
-        let planner = Planner::new(&model, &cfg)?;
+        let planner = Planner::for_target(Stm32F767Target::paper(), &model)?;
         println!("\n{}: QoS slack sweep", model.name);
         println!(
             "{:>7} | {:>12} | {:>12} | {:>12} | {:>8}",

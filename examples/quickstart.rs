@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dae_dvfs::{DseConfig, Planner};
+use dae_dvfs::{PlanRequest, Planner, Stm32F767Target};
 use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
 use tinynn::models::vww;
 
@@ -28,11 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Our approach: DAE + DVFS with a 30% latency slack. The planner owns
-    // the compiled schedules and Pareto fronts; further QoS points would
-    // reuse them for free.
+    // the target description, compiled schedules and Pareto fronts;
+    // further QoS points would reuse them for free. The typed PlanRequest
+    // names the budget instead of a positional argument.
     let slack = 0.30;
-    let planner = Planner::new(&model, &DseConfig::paper())?;
-    let report = planner.run(slack)?;
+    let planner = Planner::for_target(Stm32F767Target::paper(), &model)?;
+    let plan = planner.plan(&PlanRequest::slack(slack))?;
+    let report = planner.deploy(&plan)?;
     println!(
         "DAE+DVFS @ {:.0}% slack: {:.2} ms inference, {:.3} mJ total window energy",
         slack * 100.0,

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example vww_deployment`
 
-use dae_dvfs::{
-    dae_forward_depthwise, DseConfig, FrequencyMap, Granularity, Planner,
-};
+use dae_dvfs::{dae_forward_depthwise, FrequencyMap, Granularity, Planner, Stm32F767Target};
 use tinyengine::{profile_model, qos_window, TinyEngine};
 use tinynn::models::{vww, vww_sized};
 use tinynn::{Layer, Tensor};
@@ -54,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Steps 2-3: optimize for a 30% slack window and deploy. The planner
     // compiles schedules + Pareto fronts once; optimize and deploy are
     // solver runs and replays against that cache.
-    let cfg = DseConfig::paper();
-    let planner = Planner::new(&model, &cfg)?;
+    let planner = Planner::for_target(Stm32F767Target::paper(), &model)?;
     let qos = qos_window(planner.baseline_latency()?, 0.30);
     let plan = planner.optimize(qos)?;
     println!(

@@ -15,12 +15,8 @@ fn infer_with_dae(model: &Model, input: &Tensor, g: Granularity) -> Tensor {
         let skip = block.residual.then(|| x.clone());
         for nl in &block.layers {
             x = match &nl.layer {
-                Layer::Depthwise(dw) => {
-                    dae_forward_depthwise(dw, &x, g).expect("dw forward")
-                }
-                Layer::Pointwise(pw) => {
-                    dae_forward_pointwise(pw, &x, g).expect("pw forward")
-                }
+                Layer::Depthwise(dw) => dae_forward_depthwise(dw, &x, g).expect("dw forward"),
+                Layer::Pointwise(pw) => dae_forward_pointwise(pw, &x, g).expect("pw forward"),
                 other => other.forward(&x).expect("layer forward"),
             };
         }
@@ -86,8 +82,5 @@ fn granularity_larger_than_unit_count_is_safe() {
     let model = vww_sized(32);
     let input = deterministic_input(model.input_shape);
     let reference = model.infer(&input).expect("baseline inference");
-    assert_eq!(
-        infer_with_dae(&model, &input, Granularity(16)),
-        reference
-    );
+    assert_eq!(infer_with_dae(&model, &input, Granularity(16)), reference);
 }

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full methodology from model zoo to
 //! deployed iso-latency windows.
 
-use dae_dvfs::{
-    compare_with_baselines, deploy, optimize, run_dae_dvfs, DseConfig, FrequencyMap,
-};
+use dae_dvfs::{compare_with_baselines, deploy, optimize, run_dae_dvfs, DseConfig, FrequencyMap};
 use tinyengine::{plan_memory, qos_window, run_iso_latency, IdlePolicy, TinyEngine};
 use tinynn::models::{mobilenet_v2, paper_models, person_detection, vww};
 
@@ -68,7 +66,10 @@ fn gains_grow_from_tight_to_moderate_slack() {
 fn plans_are_deterministic() {
     let model = vww();
     let cfg = DseConfig::paper();
-    let baseline = TinyEngine::new().run(&model).expect("baseline").total_time_secs;
+    let baseline = TinyEngine::new()
+        .run(&model)
+        .expect("baseline")
+        .total_time_secs;
     let qos = qos_window(baseline, 0.3);
     let a = optimize(&model, qos, &cfg).expect("first");
     let b = optimize(&model, qos, &cfg).expect("second");
@@ -82,7 +83,10 @@ fn plans_are_deterministic() {
 fn tight_qos_selects_no_slower_plan_than_relaxed() {
     let cfg = DseConfig::paper();
     let model = person_detection();
-    let baseline = TinyEngine::new().run(&model).expect("baseline").total_time_secs;
+    let baseline = TinyEngine::new()
+        .run(&model)
+        .expect("baseline")
+        .total_time_secs;
     let tight = optimize(&model, qos_window(baseline, 0.1), &cfg).expect("tight");
     let relaxed = optimize(&model, qos_window(baseline, 0.5), &cfg).expect("relaxed");
     assert!(tight.predicted_latency_secs <= relaxed.predicted_latency_secs + 1e-9);
@@ -93,7 +97,10 @@ fn tight_qos_selects_no_slower_plan_than_relaxed() {
 fn frequency_maps_cover_every_layer_with_valid_choices() {
     let cfg = DseConfig::paper();
     let model = mobilenet_v2();
-    let baseline = TinyEngine::new().run(&model).expect("baseline").total_time_secs;
+    let baseline = TinyEngine::new()
+        .run(&model)
+        .expect("baseline")
+        .total_time_secs;
     let plan = optimize(&model, qos_window(baseline, 0.3), &cfg).expect("plan");
     let map = FrequencyMap::from_plan(&plan, 0.3);
     assert_eq!(map.rows.len(), model.layer_count());

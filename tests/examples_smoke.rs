@@ -5,12 +5,13 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "clock_explorer",
     "qos_sweep",
     "battery_lifetime",
     "vww_deployment",
+    "cross_target",
 ];
 
 #[test]

@@ -10,7 +10,7 @@
 
 use dae_dvfs::{
     dae_segments, pareto_front, solve_dp, solve_sequence, DeploymentPlan, DseConfig, DsePoint,
-    Granularity, LayerDecision, MckpItem, Planner,
+    Granularity, LayerDecision, MckpItem, PlanRequest, Planner, Solver, Stm32F767Target,
 };
 use mcu_sim::{Machine, SegmentClass};
 use stm32_power::Joules;
@@ -150,11 +150,7 @@ fn legacy_optimize(model: &Model, qos_secs: f64, config: &DseConfig) -> Deployme
 
     let min_time: f64 = classes
         .iter()
-        .map(|c| {
-            c.iter()
-                .map(|i| i.time_secs)
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
         .sum();
     let rounding_margin = 1.0 + (classes.len() + 1) as f64 / LEGACY_DP_RESOLUTION as f64;
     let reserve_cap = (qos_secs - min_time * rounding_margin).max(0.0);
@@ -287,13 +283,67 @@ fn planner_optimize_matches_pre_refactor_path_on_all_models() {
     for model in tinynn::models::paper_models() {
         let baseline = engine.run(&model).expect("baseline runs").total_time_secs;
         // One planner amortizes the DSE across all three slacks; the
-        // legacy path recomputes everything per call.
-        let planner = Planner::new(&model, &config).expect("planner builds");
+        // legacy path recomputes everything per call. The planner is built
+        // through the new Target path, which `Planner::new` wraps — so
+        // this single test pins legacy ≡ Planner::new ≡ for_target.
+        let planner =
+            Planner::for_target(Stm32F767Target::paper(), &model).expect("planner builds");
         for slack in [0.1, 0.3, 0.5] {
             let qos = qos_window(baseline, slack);
             let cached = planner.optimize(qos).expect("planner optimizes");
             let fresh = legacy_optimize(&model, qos, &config);
             assert_plans_identical(&cached, &fresh, &format!("{} @ {slack}", model.name));
+        }
+    }
+}
+
+#[test]
+fn target_path_and_request_surface_match_legacy_free_functions() {
+    // The full matrix the issue pins: VWW / person detection / MobileNet-V2
+    // at slacks 0.1 / 0.3 / 0.5 — legacy free functions vs `Planner::new`
+    // vs `Planner::for_target(Stm32F767Target::paper())` vs the typed
+    // `PlanRequest` surface, all bit-identical.
+    let config = DseConfig::paper();
+    for model in tinynn::models::paper_models() {
+        let via_new = Planner::new(&model, &config).expect("Planner::new builds");
+        let via_target =
+            Planner::for_target(Stm32F767Target::paper(), &model).expect("for_target builds");
+        let baseline = via_target.baseline_latency().expect("baseline runs");
+        for slack in [0.1, 0.3, 0.5] {
+            let qos = qos_window(baseline, slack);
+            let context = format!("{} @ {slack}", model.name);
+
+            let wrapper = dae_dvfs::optimize(&model, qos, &config).expect("wrapper optimizes");
+            let new_plan = via_new.optimize(qos).expect("new optimizes");
+            let target_plan = via_target.optimize(qos).expect("target optimizes");
+            let via_qos_request = via_target
+                .plan(&PlanRequest::qos(qos))
+                .expect("qos request solves");
+            let via_slack_request = via_target
+                .plan(&PlanRequest::slack(slack))
+                .expect("slack request solves");
+            assert_plans_identical(&new_plan, &wrapper, &context);
+            assert_plans_identical(&target_plan, &wrapper, &context);
+            assert_plans_identical(&via_qos_request, &wrapper, &context);
+            assert_plans_identical(&via_slack_request, &wrapper, &context);
+
+            // The deployment report agrees between wrapper and target path.
+            let wrapper_report =
+                dae_dvfs::deploy(&model, &wrapper, &config).expect("wrapper deploys");
+            let target_report = via_target.deploy(&target_plan).expect("target deploys");
+            assert_eq!(wrapper_report.inference_secs, target_report.inference_secs);
+            assert_eq!(
+                wrapper_report.total_energy.as_f64(),
+                target_report.total_energy.as_f64()
+            );
+
+            // Sequence solver through the request surface.
+            let seq_wrapper =
+                dae_dvfs::optimize_sequence(&model, qos, &config).expect("seq wrapper");
+            let seq_request = via_target
+                .plan(&PlanRequest::qos(qos).with_solver(Solver::SequenceDp))
+                .expect("seq request solves");
+            assert_plans_identical(&seq_request, &seq_wrapper, &format!("seq {context}"));
         }
     }
 }
@@ -309,7 +359,9 @@ fn planner_sequence_matches_pre_refactor_path() {
     let planner = Planner::new(&model, &config).expect("planner builds");
     for slack in [0.1, 0.3, 0.5] {
         let qos = qos_window(baseline, slack);
-        let cached = planner.optimize_sequence(qos).expect("planner seq-optimizes");
+        let cached = planner
+            .optimize_sequence(qos)
+            .expect("planner seq-optimizes");
         let fresh = legacy_optimize_sequence(&model, qos, &config);
         assert_plans_identical(&cached, &fresh, &format!("seq vww @ {slack}"));
     }

@@ -2,8 +2,7 @@
 
 use dae_dvfs::{
     dae_forward_depthwise, dae_forward_pointwise, dae_segments, pareto_front, solve_dp,
-    solve_exhaustive, solve_sequence, DseConfig, DsePoint, Granularity, MckpItem,
-    OperatingModes,
+    solve_exhaustive, solve_sequence, DseConfig, DsePoint, Granularity, MckpItem, OperatingModes,
 };
 use mcu_sim::cache::{reuse_hit_ratio, Cache, CacheConfig};
 use mcu_sim::{MemoryTiming, MemoryTraffic, OpCounts};
@@ -296,11 +295,7 @@ proptest! {
 /// plus a full entry overhead whenever consecutive HFO frequencies differ
 /// (matching `seqdp`'s cost model with relock time reduced by the item's
 /// first staging segment).
-fn sequence_cost(
-    fronts: &[Vec<DsePoint>],
-    choices: &[usize],
-    config: &DseConfig,
-) -> (f64, f64) {
+fn sequence_cost(fronts: &[Vec<DsePoint>], choices: &[usize], config: &DseConfig) -> (f64, f64) {
     let relock = config.switch_model.pll_relock_secs();
     let mut t = 0.0;
     let mut e = 0.0;
@@ -460,6 +455,100 @@ proptest! {
             (None, Ok(sol)) => {
                 prop_assert!(false, "DP found {sol:?} where brute force found nothing");
             }
+        }
+    }
+}
+
+// ---- plan artifacts ---------------------------------------------------
+
+/// Composes an awkward but finite f64 from integer raw material:
+/// `mantissa × 10^(exp-20)`, covering sub-microsecond latencies up to
+/// astronomically scaled values, none of them round decimals.
+fn tricky_f64(mantissa: u64, exp: usize) -> f64 {
+    (mantissa as f64) * 10f64.powi(exp as i32 - 20)
+}
+
+proptest! {
+    #[test]
+    fn plan_artifact_json_round_trip_is_bit_identical(
+        layer_specs in prop::collection::vec(
+            (1u64..(1u64 << 53), 0usize..40, 0u64..(1u64 << 50), 0usize..6, 0usize..3, 0u64..1000),
+            1..12,
+        ),
+        qos_mantissa in 1u64..(1u64 << 53),
+        model_fp in any::<i32>(),
+        config_fp in any::<i32>(),
+    ) {
+        use dae_dvfs::{DeploymentPlan, LayerDecision, PlanArtifact};
+        use tinynn::LayerKind;
+
+        let modes = OperatingModes::paper();
+        let kinds = [LayerKind::Depthwise, LayerKind::Pointwise, LayerKind::Rest];
+        let decisions: Vec<LayerDecision> = layer_specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat_m, lat_e, energy_m, g_idx, kind_idx, switches))| {
+                LayerDecision {
+                    name: format!("layer-{i} \"odd\\name\""),
+                    kind: kinds[kind_idx],
+                    point: DsePoint {
+                        granularity: Granularity::PAPER_SET[g_idx],
+                        hfo: modes.hfo[i % modes.hfo.len()],
+                        latency_secs: tricky_f64(lat_m, lat_e),
+                        energy: Joules::new(tricky_f64(energy_m, lat_e % 25)),
+                        switches,
+                        first_stage_secs: tricky_f64(lat_m / 7 + 1, lat_e / 2),
+                    },
+                }
+            })
+            .collect();
+        let plan = DeploymentPlan {
+            model: "prop-model-π".into(),
+            qos_secs: tricky_f64(qos_mantissa, 21),
+            predicted_latency_secs: decisions.iter().map(|d| d.point.latency_secs).sum(),
+            predicted_energy: Joules::new(
+                decisions.iter().map(|d| d.point.energy.as_f64()).sum(),
+            ),
+            decisions,
+        };
+
+        let artifact = PlanArtifact::from_plan(
+            &plan,
+            "prop-target",
+            model_fp as u32 as u64,
+            config_fp as u32 as u64,
+        );
+        let json = artifact.to_json();
+        let parsed = PlanArtifact::from_json(&json).expect("artifact JSON parses back");
+        prop_assert_eq!(&parsed, &artifact);
+
+        let back = parsed.to_plan_unchecked().expect("artifact decodes");
+        prop_assert_eq!(&back.model, &plan.model);
+        prop_assert_eq!(back.qos_secs.to_bits(), plan.qos_secs.to_bits());
+        prop_assert_eq!(
+            back.predicted_latency_secs.to_bits(),
+            plan.predicted_latency_secs.to_bits()
+        );
+        prop_assert_eq!(
+            back.predicted_energy.as_f64().to_bits(),
+            plan.predicted_energy.as_f64().to_bits()
+        );
+        prop_assert_eq!(back.decisions.len(), plan.decisions.len());
+        for (b, a) in back.decisions.iter().zip(&plan.decisions) {
+            prop_assert_eq!(b, a);
+            // PartialEq admits -0.0 == 0.0; pin the exact bits too.
+            prop_assert_eq!(
+                b.point.latency_secs.to_bits(),
+                a.point.latency_secs.to_bits()
+            );
+            prop_assert_eq!(
+                b.point.energy.as_f64().to_bits(),
+                a.point.energy.as_f64().to_bits()
+            );
+            prop_assert_eq!(
+                b.point.first_stage_secs.to_bits(),
+                a.point.first_stage_secs.to_bits()
+            );
         }
     }
 }

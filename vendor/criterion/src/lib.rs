@@ -121,7 +121,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -199,7 +204,8 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let name = id.to_string();
-        self.benchmark_group(name.clone()).bench_function("bench", f);
+        self.benchmark_group(name.clone())
+            .bench_function("bench", f);
         self
     }
 }

@@ -188,19 +188,28 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { start: n, end_excl: n + 1 }
+            Self {
+                start: n,
+                end_excl: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            Self { start: r.start, end_excl: r.end }
+            Self {
+                start: r.start,
+                end_excl: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            Self { start: *r.start(), end_excl: *r.end() + 1 }
+            Self {
+                start: *r.start(),
+                end_excl: *r.end() + 1,
+            }
         }
     }
 
@@ -213,7 +222,10 @@ pub mod collection {
     /// `prop::collection::vec(element, 1..20)` — a vector whose length is
     /// drawn from `len` and whose elements are drawn from `element`.
     pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, len: len.into() }
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
