@@ -1,0 +1,73 @@
+//! Solver-core benches: per-call MCKP DP per budget vs one shared-grid
+//! sweep pass answering the whole budget batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dae_dvfs::{solve_dp, solve_dp_sweep, DseConfig, MckpItem};
+use std::hint::black_box;
+
+/// Deterministic synthetic MCKP instance shaped like a per-layer Pareto
+/// front: `layers` classes of `points` items each, times descending with
+/// energy ascending.
+fn instance(layers: usize, points: usize) -> Vec<Vec<MckpItem>> {
+    (0..layers)
+        .map(|k| {
+            (1..=points)
+                .map(|i| MckpItem {
+                    time_secs: 1e-3 * (points + 1 - i) as f64 * (1.0 + k as f64 * 0.07),
+                    energy: 1e-4 * i as f64 * (1.0 + k as f64 * 0.05),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A 10-point budget batch spanning tight to relaxed QoS, like the
+/// planner's sweep.
+fn budgets(classes: &[Vec<MckpItem>]) -> Vec<f64> {
+    let min_time: f64 = classes
+        .iter()
+        .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
+        .sum();
+    (0..10)
+        .map(|i| min_time * (1.05 + 0.10 * i as f64))
+        .collect()
+}
+
+fn bench_solver_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_sweep10");
+    let resolution = DseConfig::DEFAULT_DP_RESOLUTION;
+
+    // Small / medium / large fronts: roughly VWW-, MobileNet-V2- and
+    // beyond-paper-sized instances.
+    for &(layers, points) in &[(10usize, 6usize), (20, 10), (40, 12)] {
+        let classes = instance(layers, points);
+        let batch = budgets(&classes);
+
+        group.bench_with_input(BenchmarkId::new("percall", layers), &classes, |b, cl| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &budget in &batch {
+                    acc += solve_dp(cl, budget, resolution)
+                        .expect("solves")
+                        .total_energy;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", layers), &classes, |b, cl| {
+            b.iter(|| {
+                let out = solve_dp_sweep(cl, &batch, resolution).expect("sweep solves");
+                let acc: f64 = out
+                    .into_iter()
+                    .map(|s| s.expect("feasible").total_energy)
+                    .sum();
+                black_box(acc)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_sweep);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p repro-bench --bin ablation_solver`
 
-use dae_dvfs::{solve_dp, solve_greedy, Granularity, MckpItem, Planner};
+use dae_dvfs::{solve_dp_sweep, solve_greedy, Granularity, MckpItem, Planner};
 use repro_bench::{config, models, SLACKS};
 use tinyengine::qos_window;
 
@@ -37,9 +37,13 @@ fn main() {
             })
             .collect();
 
-        for slack in SLACKS {
-            let qos = qos_window(baseline, slack);
-            let dp = solve_dp(&classes, qos, cfg.dp_resolution).expect("dp solves");
+        // One shared-grid DP table answers all three QoS levels.
+        let windows: Vec<f64> = SLACKS.iter().map(|&s| qos_window(baseline, s)).collect();
+        let dp_solutions =
+            solve_dp_sweep(&classes, &windows, cfg.dp_resolution).expect("dp sweep solves");
+
+        for ((slack, &qos), dp) in SLACKS.iter().copied().zip(&windows).zip(dp_solutions) {
+            let dp = dp.expect("dp budget feasible");
             let greedy = solve_greedy(&classes, qos).expect("greedy solves");
 
             // Uniform frequency: per HFO candidate, take every layer's

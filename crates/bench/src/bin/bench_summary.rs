@@ -1,108 +1,231 @@
 //! BENCH-SUMMARY — machine-readable end-to-end timing of the planning
 //! stack.
 //!
-//! Times one [`Planner`] construction plus a 10-point QoS sweep for each
-//! paper model, and contrasts it with the historical per-call path (a
-//! fresh DSE per QoS point, i.e. `optimize()` called 10 times). Emits a
-//! single JSON object on stdout and writes it to `BENCH_SUMMARY.json` in
-//! the current directory, so CI and the repo's benchmark trajectory can
-//! track the numbers without scraping human-formatted tables.
+//! For each paper model, times three ways of answering a 10-point QoS
+//! sweep:
+//!
+//! 1. **historical per-call**: a fresh DSE per QoS point (`optimize()`
+//!    called 10 times);
+//! 2. **cached loop** (the PR 2 path): one [`Planner`], `optimize()` per
+//!    point — the DSE is shared but every point re-runs its own DPs;
+//! 3. **single-pass sweep**: [`Planner::sweep`] — one shared-grid DP
+//!    table answers every point's whole reserve search by extraction.
+//!
+//! It also times the solver in isolation (per-call `solve_dp` per budget
+//! vs one `solve_dp_sweep`) on the same per-layer fronts. Emits a single
+//! JSON object (schema v3) on stdout, self-validates it against the
+//! workspace JSON parser, and writes `BENCH_SUMMARY.json` to the current
+//! directory so CI and the repo's benchmark trajectory can track the
+//! numbers without scraping human-formatted tables.
 //!
 //! Run with: `cargo run --release -p repro-bench --bin bench_summary`
+//! CI smoke: `… --bin bench_summary -- --smoke` (smallest model only,
+//! no file written; exits non-zero if the emitted JSON fails validation).
 
 use std::time::Instant;
 
-use dae_dvfs::{optimize, Planner, Stm32F767Target, Target};
+use dae_dvfs::{optimize, solve_dp, solve_dp_sweep, MckpItem, Planner, Stm32F767Target, Target};
 use repro_bench::{config, json};
 use tinyengine::qos_window;
 
 /// Schema version of the `BENCH_SUMMARY.json` document.
-const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 2;
+const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 3;
 
 /// Slack levels of the 10-point sweep (5% … 95% in 10% steps).
 fn sweep_slacks() -> Vec<f64> {
     (0..10).map(|i| 0.05 + 0.10 * i as f64).collect()
 }
 
-fn main() {
-    let cfg = config();
-    let mut entries = Vec::new();
+struct ModelRow {
+    name: String,
+    layers: usize,
+    construction_secs: f64,
+    sweep_secs: f64,
+    percall_loop_secs: f64,
+    percall_total_secs: f64,
+    solver_percall_secs: f64,
+    solver_sweep_secs: f64,
+}
 
-    for model in repro_bench::models() {
-        // Cached path: one planner, ten QoS points.
-        let t0 = Instant::now();
-        let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
-        let construction_secs = t0.elapsed().as_secs_f64();
-
-        let baseline = planner.baseline_latency().expect("baseline runs");
-        let windows: Vec<f64> = sweep_slacks()
-            .into_iter()
-            .map(|s| qos_window(baseline, s))
-            .collect();
-
-        let t1 = Instant::now();
-        let plans = planner
-            .sweep(windows.iter().copied())
-            .expect("sweep solves");
-        let sweep_secs = t1.elapsed().as_secs_f64();
-
-        // Historical path: a fresh DSE per QoS point.
-        let t2 = Instant::now();
-        let mut percall_energy = 0.0;
-        for &qos in &windows {
-            percall_energy += optimize(&model, qos, &cfg)
-                .expect("per-call optimize solves")
-                .predicted_energy
-                .as_f64();
-        }
-        let percall_secs = t2.elapsed().as_secs_f64();
-
-        let cached_energy: f64 = plans.iter().map(|p| p.predicted_energy.as_f64()).sum();
-        assert!(
-            (cached_energy - percall_energy).abs() < 1e-12,
-            "cached and per-call sweeps must agree: {cached_energy} vs {percall_energy}"
-        );
-
-        let cached_total = construction_secs + sweep_secs;
-        entries.push((
-            model.name.clone(),
-            model.layer_count(),
-            construction_secs,
-            sweep_secs,
-            cached_total,
-            percall_secs,
-            percall_secs / cached_total,
-        ));
+impl ModelRow {
+    /// End-to-end speedup over the historical fresh-DSE-per-point path.
+    fn speedup(&self) -> f64 {
+        self.percall_total_secs / (self.construction_secs + self.sweep_secs)
     }
 
-    let rows: Vec<String> = entries
-        .iter()
-        .map(
-            |(name, layers, construction, sweep, cached, percall, speedup)| {
-                json::Object::new()
-                    .str_field("model", name)
-                    .u64_field("layers", *layers as u64)
-                    .f64_field("planner_construction_secs", *construction, 6)
-                    .f64_field("planner_sweep_secs", *sweep, 6)
-                    .f64_field("cached_total_secs", *cached, 6)
-                    .f64_field("percall_total_secs", *percall, 6)
-                    .f64_field("speedup", *speedup, 2)
-                    .render()
-            },
-        )
+    /// Additional sweep speedup over the PR 2 cached per-point loop.
+    fn sweep_speedup(&self) -> f64 {
+        self.percall_loop_secs / self.sweep_secs
+    }
+}
+
+fn measure(model: &tinynn::Model, smoke: bool) -> ModelRow {
+    let cfg = config();
+
+    // Cached paths: one planner shared by the loop and the sweep.
+    let t0 = Instant::now();
+    let planner = Planner::for_target(repro_bench::target(), model).expect("planner builds");
+    let construction_secs = t0.elapsed().as_secs_f64();
+
+    let baseline = planner.baseline_latency().expect("baseline runs");
+    let windows: Vec<f64> = sweep_slacks()
+        .into_iter()
+        .map(|s| qos_window(baseline, s))
         .collect();
-    let geomean: f64 = (entries.iter().map(|e| e.6.ln()).sum::<f64>() / entries.len() as f64).exp();
+
+    // PR 2 cached path: per-point optimize against the shared caches.
+    let t1 = Instant::now();
+    let loop_plans: Vec<_> = windows
+        .iter()
+        .map(|&q| planner.optimize(q).expect("per-point optimize solves"))
+        .collect();
+    let percall_loop_secs = t1.elapsed().as_secs_f64();
+
+    // Single-pass sweep: one shared-grid DP table for all ten points.
+    let t2 = Instant::now();
+    let sweep_plans = planner
+        .sweep(windows.iter().copied())
+        .expect("sweep solves");
+    let sweep_secs = t2.elapsed().as_secs_f64();
+
+    // The sweep answers every budget on a grid at least as fine as the
+    // per-point loop; replay-validated winners may differ within the
+    // solver's discretization bound, but never materially.
+    let loop_energy: f64 = loop_plans.iter().map(|p| p.predicted_energy.as_f64()).sum();
+    let sweep_energy: f64 = sweep_plans
+        .iter()
+        .map(|p| p.predicted_energy.as_f64())
+        .sum();
+    assert!(
+        ((sweep_energy - loop_energy) / loop_energy).abs() < 0.01,
+        "sweep and per-point energies must agree within the bound: {sweep_energy} vs {loop_energy}"
+    );
+    for (plan, &qos) in sweep_plans.iter().zip(&windows) {
+        assert!(
+            plan.predicted_latency_secs <= qos,
+            "sweep plan overran its window"
+        );
+    }
+
+    // Historical path: a fresh DSE per QoS point (skipped in smoke runs —
+    // it dominates wall-clock and the smoke gate only checks the schema).
+    let percall_total_secs = if smoke {
+        construction_secs + sweep_secs
+    } else {
+        let t3 = Instant::now();
+        for &qos in &windows {
+            optimize(model, qos, &cfg).expect("per-call optimize solves");
+        }
+        t3.elapsed().as_secs_f64()
+    };
+
+    // Solver-only timings on the model's own fronts: per-call DP per
+    // budget vs one shared table.
+    let idle_power = cfg.power.clock_gated_power.as_f64();
+    let classes: Vec<Vec<MckpItem>> = planner
+        .fronts()
+        .iter()
+        .map(|front| {
+            front
+                .iter()
+                .map(|pt| MckpItem {
+                    time_secs: pt.latency_secs,
+                    energy: pt.energy.as_f64() - idle_power * pt.latency_secs,
+                })
+                .collect()
+        })
+        .collect();
+    let t4 = Instant::now();
+    for &qos in &windows {
+        solve_dp(&classes, qos, cfg.dp_resolution).expect("per-call DP solves");
+    }
+    let solver_percall_secs = t4.elapsed().as_secs_f64();
+    let t5 = Instant::now();
+    let swept = solve_dp_sweep(&classes, &windows, cfg.dp_resolution).expect("sweep DP solves");
+    let solver_sweep_secs = t5.elapsed().as_secs_f64();
+    assert!(
+        swept.iter().all(|s| s.is_ok()),
+        "all sweep budgets feasible"
+    );
+
+    ModelRow {
+        name: model.name.clone(),
+        layers: model.layer_count(),
+        construction_secs,
+        sweep_secs,
+        percall_loop_secs,
+        percall_total_secs,
+        solver_percall_secs,
+        solver_sweep_secs,
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    (sum / n as f64).exp()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut models = repro_bench::models();
+    if smoke {
+        // Smallest model only: the smoke gate checks schema and wiring,
+        // not the headline numbers.
+        models.sort_by_key(tinynn::Model::layer_count);
+        models.truncate(1);
+    }
+
+    let rows: Vec<ModelRow> = models.iter().map(|m| measure(m, smoke)).collect();
+
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json::Object::new()
+                .str_field("model", &r.name)
+                .u64_field("layers", r.layers as u64)
+                .f64_field("planner_construction_secs", r.construction_secs, 6)
+                .f64_field("planner_sweep_secs", r.sweep_secs, 6)
+                .f64_field("percall_loop_secs", r.percall_loop_secs, 6)
+                .f64_field("percall_total_secs", r.percall_total_secs, 6)
+                .f64_field("solver_percall_secs", r.solver_percall_secs, 6)
+                .f64_field("solver_sweep_secs", r.solver_sweep_secs, 6)
+                .f64_field("speedup", r.speedup(), 2)
+                .f64_field("sweep_speedup", r.sweep_speedup(), 2)
+                .render()
+        })
+        .collect();
     let mut document = json::Object::new()
         .str_field("benchmark", "planner_sweep10")
         .u64_field("schema_version", BENCH_SUMMARY_SCHEMA_VERSION)
         .str_field("target", Stm32F767Target::paper().id())
         .u64_field("qos_points", 10)
-        .array_field("models", &rows)
-        .f64_field("speedup_geomean", geomean, 2)
+        .array_field("models", &rendered)
+        .f64_field(
+            "speedup_geomean",
+            geomean(rows.iter().map(ModelRow::speedup)),
+            2,
+        )
+        .f64_field(
+            "sweep_speedup_geomean",
+            geomean(rows.iter().map(ModelRow::sweep_speedup)),
+            2,
+        )
         .render_pretty();
 
     println!("{document}");
     document.push('\n');
+
+    if let Err(reason) = json::validate_summary(&document, BENCH_SUMMARY_SCHEMA_VERSION) {
+        eprintln!("error: emitted summary failed validation: {reason}");
+        std::process::exit(1);
+    }
+
+    if smoke {
+        eprintln!(
+            "smoke: summary validated (schema v{BENCH_SUMMARY_SCHEMA_VERSION}); no file written"
+        );
+        return;
+    }
     if let Err(e) = std::fs::write("BENCH_SUMMARY.json", &document) {
         eprintln!("warning: could not write BENCH_SUMMARY.json: {e}");
     }

@@ -20,12 +20,13 @@ fn main() {
     let mut max_cg: f64 = 0.0;
     for model in models() {
         // One planner per model: the DSE sweep is shared by all three
-        // slack levels.
+        // slack levels, and the per-slack comparisons run striped over
+        // the available cores.
         let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
-        for slack in SLACKS {
-            let cmp = planner
-                .compare_with_baselines(slack)
-                .expect("comparison runs for every model/slack");
+        let comparisons = planner
+            .compare_sweep(&SLACKS)
+            .expect("comparison runs for every model/slack");
+        for (slack, cmp) in SLACKS.iter().copied().zip(comparisons) {
             max_te = max_te.max(cmp.gain_vs_tinyengine_pct());
             max_cg = max_cg.max(cmp.gain_vs_gated_pct());
             println!(

@@ -17,10 +17,8 @@ fn main() {
 
     for model in models() {
         let planner = Planner::for_target(repro_bench::target(), &model).expect("planner builds");
-        for slack in SLACKS {
-            let cmp = planner
-                .compare_with_baselines(slack)
-                .expect("comparison runs");
+        let comparisons = planner.compare_sweep(&SLACKS).expect("comparison runs");
+        for (slack, cmp) in SLACKS.iter().copied().zip(comparisons) {
             max_te = max_te.max(cmp.gain_vs_tinyengine_pct());
             max_cg = max_cg.max(cmp.gain_vs_gated_pct());
             if model.name == "mobilenet-v2" {

@@ -108,6 +108,50 @@ impl Object {
     }
 }
 
+/// Validates a rendered `BENCH_SUMMARY.json` document: it must parse
+/// under the workspace's own JSON parser (the one plan artifacts use, so
+/// emitter and reader cannot diverge), carry the expected
+/// `schema_version`, and list at least one model row with the per-model
+/// timing fields.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_summary(document: &str, expected_schema: u64) -> Result<(), String> {
+    let value = dae_dvfs::artifact::json::parse(document)
+        .map_err(|e| format!("summary does not parse: {e}"))?;
+    let object = value
+        .as_object("bench summary")
+        .map_err(|e| e.to_string())?;
+    let schema = object
+        .get_u64("schema_version")
+        .map_err(|e| e.to_string())?;
+    if schema != expected_schema {
+        return Err(format!(
+            "schema_version {schema} != expected {expected_schema}"
+        ));
+    }
+    let models = object
+        .get("models")
+        .and_then(|m| m.as_array("models"))
+        .map_err(|e| e.to_string())?;
+    if models.is_empty() {
+        return Err("models array is empty".into());
+    }
+    for row in models {
+        let row = row.as_object("model row").map_err(|e| e.to_string())?;
+        for field in [
+            "planner_construction_secs",
+            "planner_sweep_secs",
+            "percall_loop_secs",
+            "sweep_speedup",
+        ] {
+            row.get_f64(field).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
 /// Renders an array from already-rendered element fragments.
 pub fn render_array(elements: &[String]) -> String {
     let mut out = String::from("[");

@@ -497,7 +497,11 @@ fn json_f64(v: f64) -> String {
 /// The minimal JSON subset parser behind [`PlanArtifact::from_json`]:
 /// objects, arrays, strings (with escapes), numbers (kept as raw text so
 /// `f64` parsing is exact), booleans and null.
-mod json {
+///
+/// Public so downstream emitters (e.g. `repro_bench`'s benchmark summary)
+/// can self-validate their hand-rolled output against the same parser the
+/// plan-artifact reader uses, instead of growing a second one.
+pub mod json {
     use super::parse_err;
     use crate::error::DaeDvfsError;
 

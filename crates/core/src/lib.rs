@@ -70,6 +70,7 @@ pub mod report;
 pub mod request;
 pub mod schedule;
 pub mod seqdp;
+pub mod solver;
 pub mod target;
 
 pub use artifact::{
@@ -92,4 +93,8 @@ pub use report::{compare_with_baselines, EnergyComparison, FrequencyMap, Frequen
 pub use request::{PlanRequest, QosBudget, Solver};
 pub use schedule::{evaluate_schedule, explore_compiled, explore_model, CompiledLayer};
 pub use seqdp::{solve_sequence, SequenceSolution};
+pub use solver::{
+    mckp_sweep, sequence_sweep, solve_dp_sweep, solve_sequence_sweep, MckpSweep, SequenceSweep,
+    SolverWorkspace, MAX_SWEEP_BUCKETS,
+};
 pub use target::{GenericCortexMTarget, Stm32F767Target, Target};

@@ -39,6 +39,15 @@ pub enum MckpError {
         /// Index of the offending class.
         class: usize,
     },
+    /// A solver argument is degenerate — a NaN / infinite / non-positive
+    /// budget, a zero resolution, or an empty budget batch. The solver
+    /// API boundary rejects these instead of panicking.
+    InvalidInput {
+        /// The offending argument (e.g. `"budget_secs"`, `"resolution"`).
+        field: &'static str,
+        /// Why the value was rejected, including the value itself.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MckpError {
@@ -53,6 +62,9 @@ impl fmt::Display for MckpError {
             ),
             MckpError::EmptyClass { class } => {
                 write!(f, "class {class} has no items")
+            }
+            MckpError::InvalidInput { field, reason } => {
+                write!(f, "invalid solver input: {field} {reason}")
             }
         }
     }
@@ -71,7 +83,7 @@ pub struct MckpSolution {
     pub total_energy: f64,
 }
 
-fn validate(classes: &[Vec<MckpItem>], budget_secs: f64) -> Result<(), MckpError> {
+pub(crate) fn validate(classes: &[Vec<MckpItem>], budget_secs: f64) -> Result<(), MckpError> {
     for (i, class) in classes.iter().enumerate() {
         if class.is_empty() {
             return Err(MckpError::EmptyClass { class: i });
@@ -90,7 +102,7 @@ fn validate(classes: &[Vec<MckpItem>], budget_secs: f64) -> Result<(), MckpError
     Ok(())
 }
 
-fn tally(classes: &[Vec<MckpItem>], choices: &[usize]) -> (f64, f64) {
+pub(crate) fn tally(classes: &[Vec<MckpItem>], choices: &[usize]) -> (f64, f64) {
     let mut t = 0.0;
     let mut e = 0.0;
     for (class, &c) in classes.iter().zip(choices) {
@@ -106,95 +118,30 @@ fn tally(classes: &[Vec<MckpItem>], choices: &[usize]) -> (f64, f64) {
 /// times are rounded *up* to buckets, so any returned solution is feasible
 /// in real time; optimality is within the discretization error.
 ///
+/// Thin single-budget wrapper over the shared solver core
+/// ([`crate::solver`]): the DP runs on the historical budget-relative grid
+/// (`scale = budget / resolution`), so results are bit-identical to the
+/// pre-sweep implementation. To answer many budgets on one model, use
+/// [`crate::solver::solve_dp_sweep`], which fills one table on a shared
+/// absolute grid and extracts every budget from it.
+///
 /// # Errors
 ///
-/// [`MckpError::EmptyClass`] if a class has no items;
-/// [`MckpError::Infeasible`] if even the fastest selection overruns.
-///
-/// # Panics
-///
-/// Panics if `budget_secs` is not positive/finite or `resolution` is zero.
+/// [`MckpError::InvalidInput`] if `budget_secs` is not positive/finite or
+/// `resolution` is zero; [`MckpError::EmptyClass`] if a class has no
+/// items; [`MckpError::Infeasible`] if even the fastest selection
+/// overruns.
 pub fn solve_dp(
     classes: &[Vec<MckpItem>],
     budget_secs: f64,
     resolution: usize,
 ) -> Result<MckpSolution, MckpError> {
-    assert!(
-        budget_secs.is_finite() && budget_secs > 0.0,
-        "budget must be a positive finite time"
-    );
-    assert!(resolution > 0, "resolution must be non-zero");
-    validate(classes, budget_secs)?;
-
-    let scale = budget_secs / resolution as f64;
-    let buckets = resolution + 1;
-    let weight = |t: f64| -> usize { (t / scale).ceil() as usize };
-
-    const INF: f64 = f64::INFINITY;
-    // dp[b] = min energy with total bucket-weight exactly ≤ b.
-    let mut dp = vec![INF; buckets];
-    dp[0] = 0.0;
-    // choice[k][b] = item chosen for class k at budget b.
-    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(classes.len());
-
-    for class in classes {
-        let mut next = vec![INF; buckets];
-        let mut pick = vec![u32::MAX; buckets];
-        for (i, item) in class.iter().enumerate() {
-            let w = weight(item.time_secs);
-            if w >= buckets {
-                continue;
-            }
-            for b in w..buckets {
-                let base = dp[b - w];
-                if base.is_finite() {
-                    let cand = base + item.energy;
-                    if cand < next[b] {
-                        next[b] = cand;
-                        pick[b] = i as u32;
-                    }
-                }
-            }
-        }
-        // Prefix-minimize so dp[b] means "≤ b": keep the cheapest energy at
-        // or below each budget, remembering where it sits via the pick
-        // table (we instead keep exact-weight semantics and scan at the
-        // end; prefix-minimizing here would corrupt backtracking).
-        dp = next;
-        choice.push(pick);
-    }
-
-    // Find the best reachable bucket.
-    let mut best_b = None;
-    let mut best_e = INF;
-    for (b, &e) in dp.iter().enumerate() {
-        if e < best_e {
-            best_e = e;
-            best_b = Some(b);
-        }
-    }
-    let mut b = best_b.ok_or(MckpError::Infeasible {
-        // All-finite was pre-validated; reaching here means rounding pushed
-        // everything out, which the ceil weighting makes near-impossible,
-        // but report honestly.
-        min_time_secs: budget_secs,
+    crate::solver::solve_dp_with(
+        classes,
         budget_secs,
-    })?;
-
-    // Backtrack.
-    let mut choices = vec![0usize; classes.len()];
-    for k in (0..classes.len()).rev() {
-        let i = choice[k][b];
-        assert!(i != u32::MAX, "backtracking hit an unreachable state");
-        choices[k] = i as usize;
-        b -= weight(classes[k][i as usize].time_secs);
-    }
-    let (total_time_secs, total_energy) = tally(classes, &choices);
-    Ok(MckpSolution {
-        choices,
-        total_time_secs,
-        total_energy,
-    })
+        resolution,
+        &mut crate::solver::SolverWorkspace::new(),
+    )
 }
 
 /// Exhaustive solver (for tests and tiny instances).
@@ -418,8 +365,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive finite")]
-    fn zero_budget_panics() {
-        let _ = solve_dp(&[vec![item(1.0, 1.0)]], 0.0, 10);
+    fn degenerate_inputs_are_typed_errors_not_panics() {
+        let classes = vec![vec![item(1.0, 1.0)]];
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    solve_dp(&classes, bad, 10),
+                    Err(MckpError::InvalidInput {
+                        field: "budget_secs",
+                        ..
+                    })
+                ),
+                "budget {bad} must be rejected"
+            );
+        }
+        assert!(matches!(
+            solve_dp(&classes, 1.0, 0),
+            Err(MckpError::InvalidInput {
+                field: "resolution",
+                ..
+            })
+        ));
     }
 }

@@ -98,6 +98,63 @@ impl Planner {
             tinyengine_gated: gated.total_energy,
         })
     }
+
+    /// Runs [`Planner::compare_with_baselines`] for a batch of slack
+    /// levels, striping the independent per-slack work (solve, deploy,
+    /// two baseline replays) over `std::thread::scope` when more than one
+    /// core is available. Results are returned in slack order and are
+    /// identical to the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::InvalidRequest`] for NaN / non-positive slacks;
+    /// the error of the earliest failing slack otherwise.
+    pub fn compare_sweep(&self, slacks: &[f64]) -> Result<Vec<EnergyComparison>, DaeDvfsError> {
+        for &s in slacks {
+            crate::request::validate_positive_time("slack", s)?;
+        }
+        // Prime the shared baseline lowering before fanning out, so the
+        // workers race on a cache hit rather than compiling it N times.
+        if !slacks.is_empty() {
+            self.baseline()?;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(slacks.len());
+        if threads <= 1 {
+            return slacks
+                .iter()
+                .map(|&s| self.compare_with_baselines(s))
+                .collect();
+        }
+        let mut slots: Vec<Option<Result<EnergyComparison, DaeDvfsError>>> =
+            (0..slacks.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || {
+                        slacks
+                            .iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(threads)
+                            .map(|(i, &slack)| (i, self.compare_with_baselines(slack)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, cmp) in handle.join().expect("comparison worker thread panicked") {
+                    slots[i] = Some(cmp);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slack is compared exactly once"))
+            .collect()
+    }
 }
 
 /// One row of the Fig. 6 frequency map: a layer's chosen HFO frequency and
@@ -199,6 +256,24 @@ mod tests {
         assert!(cmp.gain_vs_tinyengine_pct() > 0.0);
         assert!(cmp.gain_vs_gated_pct() > 0.0);
         assert!(cmp.gain_vs_tinyengine_pct() > cmp.gain_vs_gated_pct());
+    }
+
+    #[test]
+    fn compare_sweep_matches_sequential_loop() {
+        let model = vww();
+        let planner = Planner::new(&model, &DseConfig::paper()).unwrap();
+        let slacks = [0.1, 0.3, 0.5];
+        let swept = planner.compare_sweep(&slacks).unwrap();
+        assert_eq!(swept.len(), slacks.len());
+        for (cmp, &slack) in swept.iter().zip(&slacks) {
+            let solo = planner.compare_with_baselines(slack).unwrap();
+            assert_eq!(*cmp, solo, "slack {slack} diverged under striping");
+        }
+        assert!(matches!(
+            planner.compare_sweep(&[0.3, f64::NAN]),
+            Err(crate::error::DaeDvfsError::InvalidRequest { .. })
+        ));
+        assert!(planner.compare_sweep(&[]).unwrap().is_empty());
     }
 
     #[test]

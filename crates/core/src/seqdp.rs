@@ -24,17 +24,51 @@ use crate::mckp::MckpError;
 /// Entry overhead of a point when the previous layer left a *different*
 /// PLL configuration locked: the re-lock hides under the first staging
 /// segment; whatever does not fit stalls.
-fn entry_overhead_secs(point: &DsePoint, config: &DseConfig) -> f64 {
+pub(crate) fn entry_overhead_secs(point: &DsePoint, config: &DseConfig) -> f64 {
     (config.switch_model.pll_relock_secs() - point.first_stage_secs).max(0.0)
 }
 
 /// Power drawn while stalling for a re-lock: SYSCLK runs from the HSE with
 /// the target PLL locking in the background.
-fn entry_power(point: &DsePoint, config: &DseConfig) -> Watts {
+pub(crate) fn entry_power(point: &DsePoint, config: &DseConfig) -> Watts {
     config.power.power(&PowerState::RunWarmPll {
         sysclk: config.modes.lfo,
         warm_pll: point.hfo,
     })
+}
+
+/// Exact re-tally of a backtracked choice sequence: latency and energy
+/// with every inter-layer entry overhead priced, independent of the DP's
+/// bucketing (shared by the per-call and sweep extraction paths).
+pub(crate) fn tally_sequence(
+    fronts: &[Vec<DsePoint>],
+    choices: Vec<usize>,
+    config: &DseConfig,
+) -> SequenceSolution {
+    let mut total_time = 0.0;
+    let mut total_energy = 0.0;
+    let mut changes = 0usize;
+    let mut prev: Option<Hertz> = None;
+    for (front, &c) in fronts.iter().zip(&choices) {
+        let p = &front[c];
+        total_time += p.latency_secs;
+        total_energy += p.energy.as_f64();
+        if let Some(prev_f) = prev {
+            if prev_f != p.hfo.sysclk() {
+                let o = entry_overhead_secs(p, config);
+                total_time += o;
+                total_energy += entry_power(p, config).as_f64() * o;
+                changes += 1;
+            }
+        }
+        prev = Some(p.hfo.sysclk());
+    }
+    SequenceSolution {
+        choices,
+        total_time_secs: total_time,
+        total_energy,
+        frequency_changes: changes,
+    }
 }
 
 /// A solved sequence-aware selection.
@@ -57,14 +91,18 @@ pub struct SequenceSolution {
 /// gated idle power used for the window-energy objective (items are valued
 /// `E − P_idle·t`, as in [`crate::pipeline::optimize`]).
 ///
+/// Thin single-budget wrapper over the shared solver core
+/// ([`crate::solver`]): the DP runs on the historical budget-relative
+/// grid (`scale = budget / resolution`), so results are bit-identical to
+/// the pre-sweep implementation. To answer many budgets on one model, use
+/// [`crate::solver::solve_sequence_sweep`].
+///
 /// # Errors
 ///
+/// [`MckpError::InvalidInput`] if `budget_secs` is not positive/finite,
+/// `resolution` is zero, or `fronts` is empty;
 /// [`MckpError::EmptyClass`] if a layer has no candidates;
 /// [`MckpError::Infeasible`] if even the best schedule misses the budget.
-///
-/// # Panics
-///
-/// Panics if `budget_secs` is not positive/finite or `resolution` is zero.
 pub fn solve_sequence(
     fronts: &[Vec<DsePoint>],
     budget_secs: f64,
@@ -72,138 +110,14 @@ pub fn solve_sequence(
     config: &DseConfig,
     idle_power_w: f64,
 ) -> Result<SequenceSolution, MckpError> {
-    assert!(
-        budget_secs.is_finite() && budget_secs > 0.0,
-        "budget must be a positive finite time"
-    );
-    assert!(resolution > 0, "resolution must be non-zero");
-    for (k, f) in fronts.iter().enumerate() {
-        if f.is_empty() {
-            return Err(MckpError::EmptyClass { class: k });
-        }
-    }
-
-    // Frequency universe.
-    let mut freqs: Vec<Hertz> = fronts
-        .iter()
-        .flat_map(|f| f.iter().map(|p| p.hfo.sysclk()))
-        .collect();
-    freqs.sort();
-    freqs.dedup();
-    let freq_id = |f: Hertz| freqs.iter().position(|&x| x == f).expect("in universe");
-    let nf = freqs.len();
-
-    let scale = budget_secs / resolution as f64;
-    let buckets = resolution + 1;
-    let weight = |t: f64| -> usize { (t / scale).ceil() as usize };
-
-    const INF: f64 = f64::INFINITY;
-    // dp[f][b]: min adjusted energy after the current layer, having left
-    // frequency `f` locked, with total bucket-weight exactly `b`.
-    let mut dp = vec![vec![INF; buckets]; nf];
-    // Backtracking: per layer, per (f, b): (item, prev_f, prev_b).
-    let mut back: Vec<Vec<(u32, u16, u32)>> = Vec::with_capacity(fronts.len());
-
-    // Layer 0: the machine boots with the first layer's PLL locked (as the
-    // paper's setup does), so no entry cost.
-    let mut first = vec![(u32::MAX, 0u16, 0u32); nf * buckets];
-    for (i, p) in fronts[0].iter().enumerate() {
-        let w = weight(p.latency_secs);
-        if w >= buckets {
-            continue;
-        }
-        let e = p.energy.as_f64() - idle_power_w * p.latency_secs;
-        let f = freq_id(p.hfo.sysclk());
-        if e < dp[f][w] {
-            dp[f][w] = e;
-            first[f * buckets + w] = (i as u32, 0, 0);
-        }
-    }
-    back.push(first);
-
-    for front in &fronts[1..] {
-        let mut next = vec![vec![INF; buckets]; nf];
-        let mut trace = vec![(u32::MAX, 0u16, 0u32); nf * buckets];
-        for (i, p) in front.iter().enumerate() {
-            let f_new = freq_id(p.hfo.sysclk());
-            let base_e = p.energy.as_f64() - idle_power_w * p.latency_secs;
-            let overhead = entry_overhead_secs(p, config);
-            let overhead_e = entry_power(p, config).as_f64() * overhead - idle_power_w * overhead;
-            for (f_prev, dp_row) in dp.iter().enumerate() {
-                let (dt, de) = if f_prev == f_new {
-                    (p.latency_secs, base_e)
-                } else {
-                    (p.latency_secs + overhead, base_e + overhead_e)
-                };
-                let w = weight(dt);
-                if w >= buckets {
-                    continue;
-                }
-                for (b, &cur) in dp_row.iter().enumerate().take(buckets - w) {
-                    if cur.is_finite() {
-                        let cand = cur + de;
-                        let nb = b + w;
-                        if cand < next[f_new][nb] {
-                            next[f_new][nb] = cand;
-                            trace[f_new * buckets + nb] = (i as u32, f_prev as u16, b as u32);
-                        }
-                    }
-                }
-            }
-        }
-        dp = next;
-        back.push(trace);
-    }
-
-    // Best terminal state.
-    let mut best: Option<(usize, usize, f64)> = None;
-    for (f, row) in dp.iter().enumerate() {
-        for (b, &e) in row.iter().enumerate() {
-            if e.is_finite() && best.is_none_or(|(.., be)| e < be) {
-                best = Some((f, b, e));
-            }
-        }
-    }
-    let (mut f, mut b, _) = best.ok_or(MckpError::Infeasible {
-        min_time_secs: budget_secs,
+    crate::solver::solve_sequence_with(
+        fronts,
         budget_secs,
-    })?;
-
-    // Backtrack.
-    let mut choices = vec![0usize; fronts.len()];
-    for k in (0..fronts.len()).rev() {
-        let (item, pf, pb) = back[k][f * buckets + b];
-        assert!(item != u32::MAX, "backtracking hit an unreachable state");
-        choices[k] = item as usize;
-        f = pf as usize;
-        b = pb as usize;
-    }
-
-    // Exact tally of the chosen sequence.
-    let mut total_time = 0.0;
-    let mut total_energy = 0.0;
-    let mut changes = 0usize;
-    let mut prev: Option<Hertz> = None;
-    for (front, &c) in fronts.iter().zip(&choices) {
-        let p = &front[c];
-        total_time += p.latency_secs;
-        total_energy += p.energy.as_f64();
-        if let Some(prev_f) = prev {
-            if prev_f != p.hfo.sysclk() {
-                let o = entry_overhead_secs(p, config);
-                total_time += o;
-                total_energy += entry_power(p, config).as_f64() * o;
-                changes += 1;
-            }
-        }
-        prev = Some(p.hfo.sysclk());
-    }
-    Ok(SequenceSolution {
-        choices,
-        total_time_secs: total_time,
-        total_energy,
-        frequency_changes: changes,
-    })
+        resolution,
+        config,
+        idle_power_w,
+        &mut crate::solver::SolverWorkspace::new(),
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,388 @@
+//! The MCKP dynamic-program core: one table fill, per-budget extraction.
+//!
+//! See the [module docs](crate::solver) for the shared-grid argument and
+//! the discretization bound. [`crate::mckp::solve_dp`] wraps
+//! [`solve_dp_with`] on a single-budget grid and is bit-identical to the
+//! historical per-call implementation.
+
+use crate::mckp::{tally, validate, MckpError, MckpItem, MckpSolution};
+use crate::solver::workspace::SolverWorkspace;
+use crate::solver::{validate_budget, validate_resolution, Grid};
+
+const INF: f64 = f64::INFINITY;
+
+/// Read-only view of a filled DP table inside a workspace.
+#[derive(Debug, Clone, Copy)]
+struct TableRef<'a> {
+    dp: &'a [f64],
+    picks: &'a [u32],
+    weights: &'a [usize],
+    offsets: &'a [usize],
+}
+
+/// Precomputes every item's bucket weight once per solve (class-major into
+/// the workspace) instead of re-deriving it per DP transition.
+fn prepare_weights(classes: &[Vec<MckpItem>], scale: f64, ws: &mut SolverWorkspace) {
+    ws.mckp_offsets.clear();
+    ws.mckp_weights.clear();
+    for class in classes {
+        ws.mckp_offsets.push(ws.mckp_weights.len());
+        for item in class {
+            ws.mckp_weights
+                .push((item.time_secs / scale).ceil() as usize);
+        }
+    }
+    ws.mckp_offsets.push(ws.mckp_weights.len());
+}
+
+/// Fills the DP table: after the call, `ws.mckp_dp[b]` is the minimum
+/// energy over selections of total bucket-weight exactly `b`, and
+/// `ws.mckp_picks[k * buckets + b]` backtracks class `k`'s choice.
+fn fill_table(classes: &[Vec<MckpItem>], buckets: usize, ws: &mut SolverWorkspace) {
+    let SolverWorkspace {
+        mckp_dp: dp,
+        mckp_next: next,
+        mckp_picks: picks,
+        mckp_weights: weights,
+        mckp_offsets: offsets,
+        ..
+    } = ws;
+    dp.clear();
+    dp.resize(buckets, INF);
+    dp[0] = 0.0;
+    next.clear();
+    next.resize(buckets, INF);
+    picks.clear();
+    picks.resize(classes.len() * buckets, u32::MAX);
+
+    for (k, class) in classes.iter().enumerate() {
+        for slot in next.iter_mut() {
+            *slot = INF;
+        }
+        let pick = &mut picks[k * buckets..(k + 1) * buckets];
+        for (i, item) in class.iter().enumerate() {
+            let w = weights[offsets[k] + i];
+            if w >= buckets {
+                continue;
+            }
+            for b in w..buckets {
+                let base = dp[b - w];
+                if base.is_finite() {
+                    let cand = base + item.energy;
+                    if cand < next[b] {
+                        next[b] = cand;
+                        pick[b] = i as u32;
+                    }
+                }
+            }
+        }
+        // `dp[b]` keeps exact-weight semantics across classes; the
+        // best-reachable bucket is found by the extraction scan, which is
+        // what lets one table answer every budget.
+        std::mem::swap(dp, next);
+    }
+}
+
+/// Scans the buckets `0..=limit` for the cheapest reachable state and
+/// backtracks it into a per-class selection.
+fn extract(
+    classes: &[Vec<MckpItem>],
+    buckets: usize,
+    limit: usize,
+    budget_secs: f64,
+    t: TableRef<'_>,
+) -> Result<MckpSolution, MckpError> {
+    let mut best_b = None;
+    let mut best_e = INF;
+    for (b, &e) in t.dp.iter().enumerate().take(limit + 1) {
+        if e < best_e {
+            best_e = e;
+            best_b = Some(b);
+        }
+    }
+    let mut b = best_b.ok_or(MckpError::Infeasible {
+        // All-finite was pre-validated; reaching here means ceil-rounding
+        // pushed every selection past the budget, which the validation
+        // margin makes near-impossible, but report honestly.
+        min_time_secs: budget_secs,
+        budget_secs,
+    })?;
+
+    let mut choices = vec![0usize; classes.len()];
+    for k in (0..classes.len()).rev() {
+        let i = t.picks[k * buckets + b];
+        assert!(i != u32::MAX, "backtracking hit an unreachable state");
+        choices[k] = i as usize;
+        b -= t.weights[t.offsets[k] + i as usize];
+    }
+    let (total_time_secs, total_energy) = tally(classes, &choices);
+    Ok(MckpSolution {
+        choices,
+        total_time_secs,
+        total_energy,
+    })
+}
+
+/// [`crate::mckp::solve_dp`] against a caller-provided workspace: same
+/// validation, same single-budget grid, zero steady-state allocation.
+pub(crate) fn solve_dp_with(
+    classes: &[Vec<MckpItem>],
+    budget_secs: f64,
+    resolution: usize,
+    ws: &mut SolverWorkspace,
+) -> Result<MckpSolution, MckpError> {
+    validate_budget(budget_secs)?;
+    validate_resolution(resolution)?;
+    validate(classes, budget_secs)?;
+    let grid = Grid::single(budget_secs, resolution);
+    prepare_weights(classes, grid.scale, ws);
+    fill_table(classes, grid.buckets, ws);
+    extract(
+        classes,
+        grid.buckets,
+        grid.buckets - 1,
+        budget_secs,
+        TableRef {
+            dp: &ws.mckp_dp,
+            picks: &ws.mckp_picks,
+            weights: &ws.mckp_weights,
+            offsets: &ws.mckp_offsets,
+        },
+    )
+}
+
+/// A filled multi-budget MCKP table: one DP pass over a shared absolute
+/// grid, ready to answer any budget up to its maximum with a cheap
+/// scan-and-backtrack.
+///
+/// Borrows the classes it was solved for and the workspace holding the
+/// table; extraction ([`MckpSweep::best_for`]) takes `&self`, so budgets
+/// can be answered concurrently from several threads.
+#[derive(Debug, Clone, Copy)]
+pub struct MckpSweep<'a> {
+    classes: &'a [Vec<MckpItem>],
+    grid: Grid,
+    min_time_secs: f64,
+    dp: &'a [f64],
+    picks: &'a [u32],
+    weights: &'a [usize],
+    offsets: &'a [usize],
+}
+
+/// Runs one MCKP DP pass over the shared grid of `budgets` into `ws` and
+/// returns the extraction handle.
+///
+/// The grid is sized by `Grid::shared`: scaled to the largest budget,
+/// with the smallest budget keeping at least `resolution` buckets (see
+/// the module docs for the cap on pathological spreads).
+///
+/// # Errors
+///
+/// [`MckpError::InvalidInput`] for an empty batch, non-finite /
+/// non-positive budgets or zero resolution; [`MckpError::EmptyClass`] if
+/// a class has no items. Per-budget infeasibility is reported by
+/// [`MckpSweep::best_for`], not here.
+pub fn mckp_sweep<'a>(
+    classes: &'a [Vec<MckpItem>],
+    budgets: &[f64],
+    resolution: usize,
+    ws: &'a mut SolverWorkspace,
+) -> Result<MckpSweep<'a>, MckpError> {
+    let grid = Grid::shared(budgets, resolution)?;
+    for (i, class) in classes.iter().enumerate() {
+        if class.is_empty() {
+            return Err(MckpError::EmptyClass { class: i });
+        }
+    }
+    let min_time_secs: f64 = classes
+        .iter()
+        .map(|c| c.iter().map(|i| i.time_secs).fold(INF, f64::min))
+        .sum();
+    prepare_weights(classes, grid.scale, ws);
+    fill_table(classes, grid.buckets, ws);
+    Ok(MckpSweep {
+        classes,
+        grid,
+        min_time_secs,
+        dp: &ws.mckp_dp,
+        picks: &ws.mckp_picks,
+        weights: &ws.mckp_weights,
+        offsets: &ws.mckp_offsets,
+    })
+}
+
+impl MckpSweep<'_> {
+    /// The shared grid's bucket width in seconds (the `s` of the
+    /// discretization bound `OPT(B) ≤ E ≤ OPT(B − n·s)`).
+    pub fn scale(&self) -> f64 {
+        self.grid.scale
+    }
+
+    /// Number of buckets in the shared table.
+    pub fn buckets(&self) -> usize {
+        self.grid.buckets
+    }
+
+    /// Sum of per-class minimum times — the feasibility floor every
+    /// budget is checked against.
+    pub fn min_time_secs(&self) -> f64 {
+        self.min_time_secs
+    }
+
+    /// Extracts the energy-minimal feasible selection for one budget from
+    /// the shared table (a bucket scan plus a backtrack; no DP work).
+    ///
+    /// The budget is rounded *down* to the grid, so the returned selection
+    /// is feasible in real time. Budgets above the grid's maximum are
+    /// answered as if they were the maximum (the table cannot contain
+    /// heavier selections).
+    ///
+    /// # Errors
+    ///
+    /// [`MckpError::InvalidInput`] for a non-finite / non-positive budget;
+    /// [`MckpError::Infeasible`] if even the fastest selection overruns
+    /// `budget_secs`.
+    pub fn best_for(&self, budget_secs: f64) -> Result<MckpSolution, MckpError> {
+        validate_budget(budget_secs)?;
+        if self.min_time_secs > budget_secs {
+            return Err(MckpError::Infeasible {
+                min_time_secs: self.min_time_secs,
+                budget_secs,
+            });
+        }
+        extract(
+            self.classes,
+            self.grid.buckets,
+            self.grid.limit_for(budget_secs),
+            budget_secs,
+            TableRef {
+                dp: self.dp,
+                picks: self.picks,
+                weights: self.weights,
+                offsets: self.offsets,
+            },
+        )
+    }
+}
+
+/// Solves every budget of a batch from **one** DP pass: builds the shared
+/// table ([`mckp_sweep`]) and extracts each budget in order.
+///
+/// The outer `Result` carries batch-level errors (degenerate inputs,
+/// empty classes); the per-budget entries carry each budget's own
+/// feasibility. Results match per-call [`crate::mckp::solve_dp`] within
+/// the documented discretization bound.
+///
+/// # Errors
+///
+/// Same batch-level conditions as [`mckp_sweep`].
+pub fn solve_dp_sweep(
+    classes: &[Vec<MckpItem>],
+    budgets: &[f64],
+    resolution: usize,
+) -> Result<Vec<Result<MckpSolution, MckpError>>, MckpError> {
+    let mut ws = SolverWorkspace::new();
+    let sweep = mckp_sweep(classes, budgets, resolution, &mut ws)?;
+    Ok(budgets.iter().map(|&b| sweep.best_for(b)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mckp::{solve_dp, solve_exhaustive};
+
+    fn item(t: f64, e: f64) -> MckpItem {
+        MckpItem {
+            time_secs: t,
+            energy: e,
+        }
+    }
+
+    fn classes() -> Vec<Vec<MckpItem>> {
+        vec![
+            vec![item(1.0, 10.0), item(2.0, 6.0), item(4.0, 3.0)],
+            vec![item(1.0, 8.0), item(3.0, 2.0)],
+            vec![item(0.5, 5.0), item(1.5, 4.0), item(2.5, 1.0)],
+        ]
+    }
+
+    #[test]
+    fn sweep_matches_per_call_within_the_bound() {
+        let classes = classes();
+        let budgets = [3.0, 4.5, 6.0, 9.0];
+        let resolution = 4000;
+        let sweep = solve_dp_sweep(&classes, &budgets, resolution).unwrap();
+        for (sol, &budget) in sweep.iter().zip(&budgets) {
+            let sol = sol.as_ref().unwrap();
+            let per_call = solve_dp(&classes, budget, resolution).unwrap();
+            // Both lie in [OPT(B), OPT(B − n·scale_percall)]; the sweep's
+            // grid is at least as fine for every budget in the batch.
+            let slack = classes.len() as f64 * budget / resolution as f64;
+            let opt = solve_exhaustive(&classes, budget).unwrap();
+            let opt_tight = solve_exhaustive(&classes, budget - slack).unwrap();
+            assert!(sol.total_time_secs <= budget + 1e-9);
+            assert!(sol.total_energy >= opt.total_energy - 1e-9);
+            assert!(sol.total_energy <= opt_tight.total_energy + 1e-9);
+            assert!(per_call.total_energy >= opt.total_energy - 1e-9);
+            assert!(per_call.total_energy <= opt_tight.total_energy + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_reports_per_budget_feasibility() {
+        let classes = vec![vec![item(2.0, 1.0)], vec![item(3.0, 1.0)]];
+        let out = solve_dp_sweep(&classes, &[4.0, 6.0], 500).unwrap();
+        assert!(matches!(out[0], Err(MckpError::Infeasible { .. })));
+        assert!(out[1].is_ok());
+    }
+
+    #[test]
+    fn sweep_rejects_empty_class_up_front() {
+        let classes = vec![vec![item(1.0, 1.0)], vec![]];
+        assert_eq!(
+            solve_dp_sweep(&classes, &[5.0], 100).unwrap_err(),
+            MckpError::EmptyClass { class: 1 }
+        );
+    }
+
+    #[test]
+    fn single_budget_sweep_agrees_with_solve_dp_exactly() {
+        // With one budget the shared grid *is* the historical grid, so the
+        // results must be bit-identical, not merely within the bound.
+        let classes = classes();
+        for budget in [3.0, 4.5, 6.0, 9.0] {
+            let per_call = solve_dp(&classes, budget, 2000).unwrap();
+            let via_sweep = solve_dp_sweep(&classes, &[budget], 2000).unwrap()[0]
+                .clone()
+                .unwrap();
+            assert_eq!(per_call, via_sweep);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_shapes() {
+        let mut ws = SolverWorkspace::new();
+        let a = classes();
+        let b = vec![vec![item(0.2, 1.0), item(0.7, 0.4)]; 7];
+        for _ in 0..3 {
+            for (cl, budget) in [(&a, 6.0), (&b, 3.0), (&a, 3.5)] {
+                let fresh = solve_dp(cl, budget, 777).unwrap();
+                let reused = solve_dp_with(cl, budget, 777, &mut ws).unwrap();
+                assert_eq!(fresh, reused);
+            }
+        }
+    }
+
+    #[test]
+    fn relaxing_budget_within_one_table_never_costs_more() {
+        let classes = classes();
+        let budgets: Vec<f64> = (0..12).map(|i| 3.0 + 0.5 * i as f64).collect();
+        let out = solve_dp_sweep(&classes, &budgets, 1000).unwrap();
+        let mut prev = f64::INFINITY;
+        for sol in out {
+            let e = sol.unwrap().total_energy;
+            assert!(e <= prev + 1e-12, "relaxed budget got costlier");
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The sequence-DP core: layered-graph table fill over `(frequency,
+//! time-bucket)` states, with per-budget extraction.
+//!
+//! See the [module docs](crate::solver) for the shared-grid argument.
+//! [`crate::seqdp::solve_sequence`] wraps [`solve_sequence_with`] on a
+//! single-budget grid and is bit-identical to the historical per-call
+//! implementation.
+
+use stm32_rcc::Hertz;
+
+use crate::dse::{DseConfig, DsePoint};
+use crate::mckp::MckpError;
+use crate::seqdp::{entry_overhead_secs, entry_power, tally_sequence, SequenceSolution};
+use crate::solver::workspace::{SeqItem, SolverWorkspace};
+use crate::solver::{validate_budget, validate_resolution, Grid, MAX_SWEEP_STATES};
+
+const INF: f64 = f64::INFINITY;
+
+fn validate_fronts(fronts: &[Vec<DsePoint>]) -> Result<(), MckpError> {
+    if fronts.is_empty() {
+        return Err(MckpError::InvalidInput {
+            field: "fronts",
+            reason: "sequence needs at least one layer".into(),
+        });
+    }
+    for (k, f) in fronts.iter().enumerate() {
+        if f.is_empty() {
+            return Err(MckpError::EmptyClass { class: k });
+        }
+    }
+    Ok(())
+}
+
+/// Builds the solve's sorted, deduplicated frequency universe into the
+/// workspace and returns its size.
+fn build_freqs(fronts: &[Vec<DsePoint>], ws: &mut SolverWorkspace) -> usize {
+    ws.freqs.clear();
+    ws.freqs
+        .extend(fronts.iter().flat_map(|f| f.iter().map(|p| p.hfo.sysclk())));
+    ws.freqs.sort();
+    ws.freqs.dedup();
+    ws.freqs.len()
+}
+
+/// Precomputes every item's frequency id, bucket weights and adjusted
+/// energies once — the inner DP transition then only selects between the
+/// same/changed variants instead of re-deriving overheads and
+/// re-searching `freqs` per layer. Expects [`build_freqs`] to have run.
+fn prepare_items(
+    fronts: &[Vec<DsePoint>],
+    scale: f64,
+    config: &DseConfig,
+    idle_power_w: f64,
+    ws: &mut SolverWorkspace,
+) {
+    let freq_id = |f: Hertz, freqs: &[Hertz]| -> u16 {
+        freqs.iter().position(|&x| x == f).expect("in universe") as u16
+    };
+    let weight = |t: f64| -> usize { (t / scale).ceil() as usize };
+
+    ws.seq_offsets.clear();
+    ws.seq_items.clear();
+    for front in fronts {
+        ws.seq_offsets.push(ws.seq_items.len());
+        for p in front {
+            let base_e = p.energy.as_f64() - idle_power_w * p.latency_secs;
+            let overhead = entry_overhead_secs(p, config);
+            let overhead_e = entry_power(p, config).as_f64() * overhead - idle_power_w * overhead;
+            ws.seq_items.push(SeqItem {
+                f_new: freq_id(p.hfo.sysclk(), &ws.freqs),
+                w_same: weight(p.latency_secs),
+                w_diff: weight(p.latency_secs + overhead),
+                de_same: base_e,
+                de_diff: base_e + overhead_e,
+            });
+        }
+    }
+    ws.seq_offsets.push(ws.seq_items.len());
+}
+
+/// Fills the layered DP grid: after the call `ws.seq_dp[f * buckets + b]`
+/// is the minimum adjusted energy having left frequency `f` locked with
+/// total bucket-weight exactly `b`, and `ws.seq_back` traces every
+/// `(layer, f, b)` state.
+fn fill_table(fronts: &[Vec<DsePoint>], buckets: usize, ws: &mut SolverWorkspace) {
+    let nf = ws.freqs.len();
+    let states = nf * buckets;
+    let SolverWorkspace {
+        seq_dp: dp,
+        seq_next: next,
+        seq_back: back,
+        seq_items: items,
+        seq_offsets: offsets,
+        ..
+    } = ws;
+    dp.clear();
+    dp.resize(states, INF);
+    next.clear();
+    next.resize(states, INF);
+    back.clear();
+    back.resize(fronts.len() * states, (u32::MAX, 0u16, 0u32));
+
+    // Layer 0: the machine boots with the first layer's PLL locked (as
+    // the paper's setup does), so no entry cost.
+    for i in 0..fronts[0].len() {
+        let it = items[offsets[0] + i];
+        let w = it.w_same;
+        if w >= buckets {
+            continue;
+        }
+        let f = it.f_new as usize;
+        if it.de_same < dp[f * buckets + w] {
+            dp[f * buckets + w] = it.de_same;
+            back[f * buckets + w] = (i as u32, 0, 0);
+        }
+    }
+
+    for (k, front) in fronts.iter().enumerate().skip(1) {
+        for slot in next.iter_mut() {
+            *slot = INF;
+        }
+        let trace = &mut back[k * states..(k + 1) * states];
+        for i in 0..front.len() {
+            let it = items[offsets[k] + i];
+            let f_new = it.f_new as usize;
+            for f_prev in 0..nf {
+                let (w, de) = if f_prev == f_new {
+                    (it.w_same, it.de_same)
+                } else {
+                    (it.w_diff, it.de_diff)
+                };
+                if w >= buckets {
+                    continue;
+                }
+                let row = &dp[f_prev * buckets..(f_prev + 1) * buckets];
+                for (b, &cur) in row.iter().enumerate().take(buckets - w) {
+                    if cur.is_finite() {
+                        let cand = cur + de;
+                        let nb = b + w;
+                        if cand < next[f_new * buckets + nb] {
+                            next[f_new * buckets + nb] = cand;
+                            trace[f_new * buckets + nb] = (i as u32, f_prev as u16, b as u32);
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(dp, next);
+    }
+}
+
+/// Read-only view of a filled sequence-DP table inside a workspace.
+#[derive(Debug, Clone, Copy)]
+struct SeqTableRef<'a> {
+    nf: usize,
+    buckets: usize,
+    dp: &'a [f64],
+    back: &'a [(u32, u16, u32)],
+}
+
+/// Scans the terminal states within `limit` buckets and backtracks the
+/// cheapest one into a per-layer selection, then re-tallies it exactly.
+fn extract(
+    fronts: &[Vec<DsePoint>],
+    config: &DseConfig,
+    limit: usize,
+    budget_secs: f64,
+    t: SeqTableRef<'_>,
+) -> Result<SequenceSolution, MckpError> {
+    let states = t.nf * t.buckets;
+    let mut best: Option<(usize, usize, f64)> = None;
+    for f in 0..t.nf {
+        for b in 0..=limit {
+            let e = t.dp[f * t.buckets + b];
+            if e.is_finite() && best.is_none_or(|(.., be)| e < be) {
+                best = Some((f, b, e));
+            }
+        }
+    }
+    let (mut f, mut b, _) = best.ok_or(MckpError::Infeasible {
+        min_time_secs: budget_secs,
+        budget_secs,
+    })?;
+
+    let mut choices = vec![0usize; fronts.len()];
+    for k in (0..fronts.len()).rev() {
+        let (item, pf, pb) = t.back[k * states + f * t.buckets + b];
+        assert!(item != u32::MAX, "backtracking hit an unreachable state");
+        choices[k] = item as usize;
+        f = pf as usize;
+        b = pb as usize;
+    }
+    Ok(tally_sequence(fronts, choices, config))
+}
+
+/// [`crate::seqdp::solve_sequence`] against a caller-provided workspace:
+/// same validation, same single-budget grid, zero steady-state
+/// allocation.
+pub(crate) fn solve_sequence_with(
+    fronts: &[Vec<DsePoint>],
+    budget_secs: f64,
+    resolution: usize,
+    config: &DseConfig,
+    idle_power_w: f64,
+    ws: &mut SolverWorkspace,
+) -> Result<SequenceSolution, MckpError> {
+    validate_budget(budget_secs)?;
+    validate_resolution(resolution)?;
+    validate_fronts(fronts)?;
+    let grid = Grid::single(budget_secs, resolution);
+    build_freqs(fronts, ws);
+    prepare_items(fronts, grid.scale, config, idle_power_w, ws);
+    fill_table(fronts, grid.buckets, ws);
+    extract(
+        fronts,
+        config,
+        grid.buckets - 1,
+        budget_secs,
+        SeqTableRef {
+            nf: ws.freqs.len(),
+            buckets: grid.buckets,
+            dp: &ws.seq_dp,
+            back: &ws.seq_back,
+        },
+    )
+}
+
+/// A filled multi-budget sequence-DP table (the [`MckpSweep`] analogue
+/// for the re-lock-aware solver).
+///
+/// [`SequenceSweep::best_for`] takes `&self`, so budgets can be answered
+/// concurrently.
+///
+/// [`MckpSweep`]: crate::solver::MckpSweep
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceSweep<'a> {
+    fronts: &'a [Vec<DsePoint>],
+    config: &'a DseConfig,
+    grid: Grid,
+    nf: usize,
+    dp: &'a [f64],
+    back: &'a [(u32, u16, u32)],
+}
+
+/// Runs one sequence-DP pass over the shared grid of `budgets` into `ws`
+/// and returns the extraction handle.
+///
+/// # Errors
+///
+/// [`MckpError::InvalidInput`] for an empty batch / degenerate budgets or
+/// resolution / zero layers; [`MckpError::EmptyClass`] if a layer has no
+/// candidates. Per-budget infeasibility is reported by
+/// [`SequenceSweep::best_for`].
+pub fn sequence_sweep<'a>(
+    fronts: &'a [Vec<DsePoint>],
+    budgets: &[f64],
+    resolution: usize,
+    config: &'a DseConfig,
+    idle_power_w: f64,
+    ws: &'a mut SolverWorkspace,
+) -> Result<SequenceSweep<'a>, MckpError> {
+    validate_fronts(fronts)?;
+    let nf = build_freqs(fronts, ws);
+    // The backtrace holds one state per (layer, frequency, bucket), so
+    // the bucket axis is capped by the total state budget rather than
+    // MAX_SWEEP_BUCKETS alone (never below the per-call grid, whose
+    // trace every historical call already allocated).
+    let max_buckets = MAX_SWEEP_STATES / (nf * fronts.len()).max(1);
+    let grid = Grid::shared_with_cap(budgets, resolution, max_buckets)?;
+    prepare_items(fronts, grid.scale, config, idle_power_w, ws);
+    fill_table(fronts, grid.buckets, ws);
+    Ok(SequenceSweep {
+        fronts,
+        config,
+        grid,
+        nf: ws.freqs.len(),
+        dp: &ws.seq_dp,
+        back: &ws.seq_back,
+    })
+}
+
+impl SequenceSweep<'_> {
+    /// The shared grid's bucket width in seconds.
+    pub fn scale(&self) -> f64 {
+        self.grid.scale
+    }
+
+    /// Extracts the best feasible sequence for one budget from the shared
+    /// table. Budgets above the grid's maximum are answered as if they
+    /// were the maximum.
+    ///
+    /// # Errors
+    ///
+    /// [`MckpError::InvalidInput`] for a degenerate budget;
+    /// [`MckpError::Infeasible`] if no schedule fits `budget_secs`.
+    pub fn best_for(&self, budget_secs: f64) -> Result<SequenceSolution, MckpError> {
+        validate_budget(budget_secs)?;
+        extract(
+            self.fronts,
+            self.config,
+            self.grid.limit_for(budget_secs),
+            budget_secs,
+            SeqTableRef {
+                nf: self.nf,
+                buckets: self.grid.buckets,
+                dp: self.dp,
+                back: self.back,
+            },
+        )
+    }
+}
+
+/// Solves every budget of a batch from **one** sequence-DP pass.
+///
+/// The outer `Result` carries batch-level errors; per-budget entries
+/// carry each budget's own feasibility. Results match per-call
+/// [`crate::seqdp::solve_sequence`] within the documented discretization
+/// bound.
+///
+/// # Errors
+///
+/// Same batch-level conditions as [`sequence_sweep`].
+pub fn solve_sequence_sweep(
+    fronts: &[Vec<DsePoint>],
+    budgets: &[f64],
+    resolution: usize,
+    config: &DseConfig,
+    idle_power_w: f64,
+) -> Result<Vec<Result<SequenceSolution, MckpError>>, MckpError> {
+    let mut ws = SolverWorkspace::new();
+    let sweep = sequence_sweep(fronts, budgets, resolution, config, idle_power_w, &mut ws)?;
+    Ok(budgets.iter().map(|&b| sweep.best_for(b)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqdp::solve_sequence;
+    use stm32_power::Joules;
+
+    fn cfg() -> DseConfig {
+        DseConfig::paper()
+    }
+
+    fn point(t_ms: f64, e_mj: f64, mhz: u64, stage_ms: f64) -> DsePoint {
+        let modes = crate::modes::OperatingModes::paper();
+        DsePoint {
+            granularity: crate::dae::Granularity(if stage_ms > 0.0 { 8 } else { 0 }),
+            hfo: *modes.hfo_at(Hertz::mhz(mhz)).expect("in ladder"),
+            latency_secs: t_ms * 1e-3,
+            energy: Joules::new(e_mj * 1e-3),
+            switches: 0,
+            first_stage_secs: stage_ms * 1e-3,
+        }
+    }
+
+    fn fronts() -> Vec<Vec<DsePoint>> {
+        vec![
+            vec![point(1.0, 0.30, 216, 0.0)],
+            vec![point(1.0, 0.20, 150, 0.0), point(1.05, 0.28, 216, 0.0)],
+            vec![point(0.8, 0.15, 108, 0.1), point(0.6, 0.25, 216, 0.0)],
+        ]
+    }
+
+    #[test]
+    fn single_budget_sweep_agrees_with_solve_sequence_exactly() {
+        let fronts = fronts();
+        for budget_ms in [2.7, 3.2, 5.0, 9.0] {
+            let budget = budget_ms * 1e-3;
+            let per_call = solve_sequence(&fronts, budget, 1500, &cfg(), 0.012).unwrap();
+            let via_sweep = solve_sequence_sweep(&fronts, &[budget], 1500, &cfg(), 0.012).unwrap()
+                [0]
+            .clone()
+            .unwrap();
+            assert_eq!(per_call, via_sweep);
+        }
+    }
+
+    #[test]
+    fn sweep_answers_every_budget_feasibly() {
+        let fronts = fronts();
+        let budgets: Vec<f64> = [2.7, 3.0, 4.0, 6.0, 9.0].map(|b| b * 1e-3).to_vec();
+        let out = solve_sequence_sweep(&fronts, &budgets, 2000, &cfg(), 0.012).unwrap();
+        let mut prev = f64::INFINITY;
+        for (sol, &b) in out.iter().zip(&budgets) {
+            let sol = sol.as_ref().unwrap();
+            let adjusted = sol.total_energy - 0.012 * sol.total_time_secs;
+            assert!(sol.total_time_secs <= b + 1e-9, "budget {b} violated");
+            assert!(adjusted <= prev + 1e-12, "relaxed budget got costlier");
+            prev = adjusted;
+        }
+    }
+
+    #[test]
+    fn sweep_reports_per_budget_infeasibility() {
+        let fronts = vec![vec![point(5.0, 0.1, 216, 0.0)]];
+        let out = solve_sequence_sweep(&fronts, &[1e-3, 6e-3], 400, &cfg(), 0.0).unwrap();
+        assert!(matches!(out[0], Err(MckpError::Infeasible { .. })));
+        assert!(out[1].is_ok());
+    }
+
+    #[test]
+    fn zero_layer_sequence_is_a_typed_error() {
+        assert!(matches!(
+            solve_sequence_sweep(&[], &[1.0], 100, &cfg(), 0.0),
+            Err(MckpError::InvalidInput {
+                field: "fronts",
+                ..
+            })
+        ));
+    }
+}

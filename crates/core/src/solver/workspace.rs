@@ -1,0 +1,90 @@
+//! Reusable flat DP storage for the solver core.
+//!
+//! Every solve used to allocate its DP rows (`vec![vec![INF; buckets]]`),
+//! per-class pick tables and backtracking traces from scratch. A
+//! [`SolverWorkspace`] owns all of those buffers as row-major flat vectors
+//! and hands them to the DP cores, which resize-and-refill instead of
+//! reallocating. The [`crate::Planner`] holds one behind a mutex and
+//! reuses it across `optimize` / `sweep` calls; standalone callers can
+//! create one per thread and amortize it over a batch of solves.
+//!
+//! The workspace carries no results — after a solve it is an opaque bag of
+//! scratch capacity, safe to reuse for any later solve of any shape.
+
+use stm32_rcc::Hertz;
+
+/// Per-item precomputed data for the sequence DP: the item's frequency id
+/// in the solve's frequency universe, its bucket weights and adjusted
+/// energies for the same-frequency and changed-frequency transitions.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SeqItem {
+    /// Index of the item's HFO sysclk in the sorted frequency universe.
+    pub f_new: u16,
+    /// Bucket weight when the previous layer left the same HFO locked.
+    pub w_same: usize,
+    /// Bucket weight when entering from a different HFO (adds the exposed
+    /// re-lock overhead).
+    pub w_diff: usize,
+    /// Adjusted energy (window objective) for the same-frequency entry.
+    pub de_same: f64,
+    /// Adjusted energy for the changed-frequency entry.
+    pub de_diff: f64,
+}
+
+/// Reusable flat buffers for the MCKP and sequence DPs.
+///
+/// Construct once, pass to the `*_with` solver entry points (or to
+/// [`crate::solver::mckp_sweep`] / [`crate::solver::sequence_sweep`]), and
+/// keep it around: buffer capacity is retained between solves, so steady
+/// state solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    /// Current MCKP DP row (`buckets` entries; min energy per exact
+    /// bucket-weight).
+    pub(crate) mckp_dp: Vec<f64>,
+    /// Next MCKP DP row being built (swapped with `mckp_dp` per class).
+    pub(crate) mckp_next: Vec<f64>,
+    /// Row-major pick table: `picks[k * buckets + b]` is the item chosen
+    /// for class `k` at bucket `b` (`u32::MAX` = unreachable).
+    pub(crate) mckp_picks: Vec<u32>,
+    /// Per-item bucket weights, class-major (see `mckp_offsets`).
+    pub(crate) mckp_weights: Vec<usize>,
+    /// Start offset of each class in `mckp_weights` (plus a final
+    /// end-of-data sentinel).
+    pub(crate) mckp_offsets: Vec<usize>,
+    /// Current sequence DP grid (`nf * buckets` entries, row-major by
+    /// frequency).
+    pub(crate) seq_dp: Vec<f64>,
+    /// Next sequence DP grid being built.
+    pub(crate) seq_next: Vec<f64>,
+    /// Flat backtracking trace: `(item, prev_freq, prev_bucket)` per
+    /// `(layer, freq, bucket)` state.
+    pub(crate) seq_back: Vec<(u32, u16, u32)>,
+    /// Per-item precomputed weights / energies / frequency ids,
+    /// front-major (see `seq_offsets`).
+    pub(crate) seq_items: Vec<SeqItem>,
+    /// Start offset of each front in `seq_items` (plus a final sentinel).
+    pub(crate) seq_offsets: Vec<usize>,
+    /// The solve's sorted, deduplicated frequency universe.
+    pub(crate) freqs: Vec<Hertz>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_reusable_scratch() {
+        let ws = SolverWorkspace::new();
+        assert!(ws.mckp_dp.is_empty());
+        // Clone + Default make it cheap to hand one per worker thread.
+        let _ = ws.clone();
+    }
+}

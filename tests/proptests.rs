@@ -2,7 +2,8 @@
 
 use dae_dvfs::{
     dae_forward_depthwise, dae_forward_pointwise, dae_segments, pareto_front, solve_dp,
-    solve_exhaustive, solve_sequence, DseConfig, DsePoint, Granularity, MckpItem, OperatingModes,
+    solve_dp_sweep, solve_exhaustive, solve_sequence, solve_sequence_sweep, DseConfig, DsePoint,
+    Granularity, MckpItem, OperatingModes,
 };
 use mcu_sim::cache::{reuse_hit_ratio, Cache, CacheConfig};
 use mcu_sim::{MemoryTiming, MemoryTraffic, OpCounts};
@@ -289,6 +290,70 @@ proptest! {
             prop_assert!(dp.total_energy <= ex.total_energy + 1e-9);
         }
     }
+
+    // ---- solver core: multi-budget sweeps --------------------------------
+
+    #[test]
+    fn dp_sweep_matches_per_call_within_discretization_bound(
+        class_sizes in prop::collection::vec(1usize..5, 1..5),
+        seed in 0u64..300,
+        budget_factors in prop::collection::vec(10u64..200, 1..5),
+        resolution in 100usize..500,
+        edge_bucket in 0usize..300,
+    ) {
+        let mut rng = synth::SplitMix64::new(seed);
+        let classes: Vec<Vec<MckpItem>> = class_sizes
+            .iter()
+            .map(|&n| {
+                (0..n)
+                    .map(|_| MckpItem {
+                        time_secs: (rng.next_u64() % 1000 + 1) as f64 * 1e-3,
+                        energy: (rng.next_u64() % 1000 + 1) as f64 * 1e-3,
+                    })
+                    .collect()
+            })
+            .collect();
+        let min_time: f64 = classes
+            .iter()
+            .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
+            .sum();
+        // Budgets ≥ 1.1 × the feasibility floor so ceil-rounding cannot
+        // push the fastest selection past any budget at these resolutions.
+        let mut budgets: Vec<f64> = budget_factors
+            .iter()
+            .map(|&f| min_time * (1.1 + f as f64 * 1e-2))
+            .collect();
+        // One budget sitting *exactly* on a bucket edge of the shared
+        // grid: the grid's scale depends only on the smallest budget, so
+        // appending a larger edge-aligned budget leaves the scale intact.
+        let scale = budgets.iter().cloned().fold(f64::INFINITY, f64::min) / resolution as f64;
+        budgets.push(scale * (resolution + edge_bucket) as f64);
+
+        let swept = solve_dp_sweep(&classes, &budgets, resolution).expect("batch is valid");
+        prop_assert_eq!(swept.len(), budgets.len());
+        for (sol, &budget) in swept.iter().zip(&budgets) {
+            let sol = sol.as_ref().expect("feasible by construction");
+            let per_call = solve_dp(&classes, budget, resolution).expect("feasible");
+            // Feasible in real time (up to the solver's float rounding).
+            prop_assert!(sol.total_time_secs <= budget * (1.0 + 1e-9) + 1e-12);
+            // Both answers lie in [OPT(B), OPT(B − n·B/resolution)] — the
+            // per-call grid is the coarser of the two.
+            let slack = classes.len() as f64 * budget / resolution as f64;
+            let opt = solve_exhaustive(&classes, budget).expect("feasible");
+            prop_assert!(sol.total_energy >= opt.total_energy - 1e-9);
+            prop_assert!(per_call.total_energy >= opt.total_energy - 1e-9);
+            if budget - slack > min_time {
+                let opt_tight = solve_exhaustive(&classes, budget - slack).expect("feasible");
+                prop_assert!(
+                    sol.total_energy <= opt_tight.total_energy + 1e-9,
+                    "sweep {} worse than shrunken-budget optimum {}",
+                    sol.total_energy,
+                    opt_tight.total_energy
+                );
+                prop_assert!(per_call.total_energy <= opt_tight.total_energy + 1e-9);
+            }
+        }
+    }
 }
 
 /// Brute-force sequence cost of a choice vector: per-item latency/energy
@@ -454,6 +519,97 @@ proptest! {
             }
             (None, Ok(sol)) => {
                 prop_assert!(false, "DP found {sol:?} where brute force found nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_sweep_matches_per_call_within_discretization_bound(
+        layer_specs in prop::collection::vec(
+            prop::collection::vec((1u64..40, 1u64..40, 0usize..3, 0u64..3), 1..3),
+            1..4,
+        ),
+        budget_factors in prop::collection::vec(0u64..150, 1..4),
+    ) {
+        let config = DseConfig::paper();
+        let modes = OperatingModes::fig4();
+        let mhz = [100u64, 168, 216];
+        let fronts: Vec<Vec<DsePoint>> = layer_specs
+            .iter()
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|&(t, e, f_idx, stage)| DsePoint {
+                        granularity: Granularity(if stage > 0 { 8 } else { 0 }),
+                        hfo: *modes
+                            .hfo_at(stm32_rcc::Hertz::mhz(mhz[f_idx]))
+                            .expect("ladder frequency"),
+                        latency_secs: t as f64 * 1e-4,
+                        energy: Joules::new(e as f64 * 1e-5),
+                        switches: 0,
+                        first_stage_secs: stage as f64 * 1e-4,
+                    })
+                    .collect()
+            })
+            .collect();
+        let min_time: f64 = fronts
+            .iter()
+            .map(|f| f.iter().map(|p| p.latency_secs).fold(f64::INFINITY, f64::min))
+            .sum();
+        // Every budget clears the all-fastest schedule including a full
+        // re-lock at every boundary, so per-call and sweep are both
+        // feasible by construction.
+        let budgets: Vec<f64> = budget_factors
+            .iter()
+            .map(|&f| min_time * (1.5 + f as f64 * 1e-2) + fronts.len() as f64 * 250e-6)
+            .collect();
+        let resolution = 4000;
+
+        let swept = solve_sequence_sweep(&fronts, &budgets, resolution, &config, 0.0)
+            .expect("batch is valid");
+        for (sol, &budget) in swept.iter().zip(&budgets) {
+            let sol = sol.as_ref().expect("feasible by construction");
+            let per_call =
+                solve_sequence(&fronts, budget, resolution, &config, 0.0).expect("feasible");
+            prop_assert!(sol.total_time_secs <= budget * (1.0 + 1e-9) + 1e-12);
+            // Both lie in [OPT(B), OPT(B − (n+1)·B/resolution)] of the
+            // exact sequence objective (idle power 0 ⇒ objective = raw
+            // energy), pinned by brute force over all choice vectors.
+            let mut opt: Option<f64> = None;
+            let mut opt_tight: Option<f64> = None;
+            let slack = (fronts.len() + 1) as f64 * budget / resolution as f64;
+            let mut ch = vec![0usize; fronts.len()];
+            'bf: loop {
+                let (t, e) = sequence_cost(&fronts, &ch, &config);
+                if t <= budget && opt.is_none_or(|b| e < b) {
+                    opt = Some(e);
+                }
+                if t <= budget - slack && opt_tight.is_none_or(|b| e < b) {
+                    opt_tight = Some(e);
+                }
+                let mut k = 0;
+                loop {
+                    if k == fronts.len() {
+                        break 'bf;
+                    }
+                    ch[k] += 1;
+                    if ch[k] < fronts[k].len() {
+                        break;
+                    }
+                    ch[k] = 0;
+                    k += 1;
+                }
+            }
+            let opt = opt.expect("feasible by construction");
+            prop_assert!(sol.total_energy >= opt - 1e-12);
+            prop_assert!(per_call.total_energy >= opt - 1e-12);
+            if let Some(tight) = opt_tight {
+                prop_assert!(
+                    sol.total_energy <= tight + 1e-9,
+                    "sweep {} worse than shrunken-budget optimum {tight}",
+                    sol.total_energy
+                );
+                prop_assert!(per_call.total_energy <= tight + 1e-9);
             }
         }
     }
