@@ -12,24 +12,32 @@
 //!    table answers every point's whole reserve search by extraction.
 //!
 //! It also times the solver in isolation (per-call `solve_dp` per budget
-//! vs one `solve_dp_sweep`) on the same per-layer fronts. Emits a single
-//! JSON object (schema v3) on stdout, self-validates it against the
-//! workspace JSON parser, and writes `BENCH_SUMMARY.json` to the current
-//! directory so CI and the repo's benchmark trajectory can track the
-//! numbers without scraping human-formatted tables.
+//! vs one `solve_dp_sweep`) on the same per-layer fronts, and the
+//! **plan-serving subsystem** on the smallest model: cold `plan()` vs
+//! cached hits vs one coalesced batch, plus hit rate and throughput on a
+//! hot-key-skewed trace. Emits a single JSON object (schema v4) on
+//! stdout, self-validates it against the workspace JSON parser, and
+//! writes `BENCH_SUMMARY.json` to the current directory so CI and the
+//! repo's benchmark trajectory can track the numbers without scraping
+//! human-formatted tables.
 //!
 //! Run with: `cargo run --release -p repro-bench --bin bench_summary`
 //! CI smoke: `… --bin bench_summary -- --smoke` (smallest model only,
 //! no file written; exits non-zero if the emitted JSON fails validation).
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use dae_dvfs::{optimize, solve_dp, solve_dp_sweep, MckpItem, Planner, Stm32F767Target, Target};
+use dae_dvfs::{
+    optimize, solve_dp, solve_dp_sweep, MckpItem, PlanRequest, PlanService, Planner, ServiceConfig,
+    Stm32F767Target, Target,
+};
 use repro_bench::{config, json};
 use tinyengine::qos_window;
+use tinynn::models::synth::SplitMix64;
 
 /// Schema version of the `BENCH_SUMMARY.json` document.
-const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 3;
+const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 4;
 
 /// Slack levels of the 10-point sweep (5% … 95% in 10% steps).
 fn sweep_slacks() -> Vec<f64> {
@@ -160,6 +168,129 @@ fn measure(model: &tinynn::Model, smoke: bool) -> ModelRow {
     }
 }
 
+/// Plan-service measurements on one model (schema v4's `service`
+/// section).
+struct ServiceRow {
+    model: String,
+    qos_points: usize,
+    /// Mean cold `Planner::plan` latency per request.
+    cold_plan_secs: f64,
+    /// Mean warm-cache hit latency per request.
+    cache_hit_secs: f64,
+    /// Wall time of the distinct-window batch through per-request
+    /// `plan()` calls.
+    percall_batch_secs: f64,
+    /// Wall time of the same batch submitted concurrently to the
+    /// service (shared-grid coalescing).
+    coalesced_batch_secs: f64,
+    trace_requests: usize,
+    hit_rate: f64,
+    throughput_rps: f64,
+}
+
+impl ServiceRow {
+    fn cache_hit_speedup(&self) -> f64 {
+        self.cold_plan_secs / self.cache_hit_secs
+    }
+
+    fn coalescing_speedup(&self) -> f64 {
+        self.percall_batch_secs / self.coalesced_batch_secs
+    }
+}
+
+fn measure_service(model: &tinynn::Model) -> ServiceRow {
+    let planner =
+        Arc::new(Planner::for_target(repro_bench::target(), model).expect("planner builds"));
+    let baseline = planner.baseline_latency().expect("baseline runs");
+    let windows: Vec<f64> = (0..12)
+        .map(|i| qos_window(baseline, 0.06 + 0.08 * i as f64))
+        .collect();
+
+    // Cold serial reference: one independent plan() per window.
+    let t0 = Instant::now();
+    for &w in &windows {
+        planner
+            .plan(&PlanRequest::qos(w))
+            .expect("cold plan solves");
+    }
+    let percall_batch_secs = t0.elapsed().as_secs_f64();
+    let cold_plan_secs = percall_batch_secs / windows.len() as f64;
+
+    // The same batch as one concurrent burst through the service, then
+    // warm-cache hits against it.
+    let service_config = ServiceConfig::default()
+        .with_workers(4)
+        .with_batch_linger(Duration::from_micros(500));
+    let mut service = PlanService::new(service_config.clone()).expect("config validates");
+    let key = service.register(planner.clone());
+    let (coalesced_batch_secs, cache_hit_secs) = service.run(|svc| {
+        let t1 = Instant::now();
+        let tickets: Vec<_> = windows
+            .iter()
+            .map(|&w| svc.submit(key, &PlanRequest::qos(w)).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("coalesced batch solves");
+        }
+        let coalesced = t1.elapsed().as_secs_f64();
+        let hot = PlanRequest::qos(windows[0]);
+        let hits = 2000;
+        let t2 = Instant::now();
+        for _ in 0..hits {
+            svc.plan(key, &hot).expect("cache hit");
+        }
+        (coalesced, t2.elapsed().as_secs_f64() / hits as f64)
+    });
+
+    // Hot-key-skewed trace on a fresh service: 70% of requests replay 3
+    // hot windows, the tail spreads over the full window set.
+    let mut trace_service = PlanService::new(service_config).expect("config validates");
+    let key = trace_service.register(planner.clone());
+    let mut rng = SplitMix64::new(0xBE5C);
+    let trace_requests = 400;
+    let trace: Vec<f64> = (0..trace_requests)
+        .map(|_| {
+            if rng.next_u64() % 100 < 70 {
+                windows[(rng.next_u64() % 3) as usize]
+            } else {
+                windows[(rng.next_u64() % windows.len() as u64) as usize]
+            }
+        })
+        .collect();
+    let t3 = Instant::now();
+    trace_service.run(|svc| {
+        std::thread::scope(|s| {
+            for offset in 0..4 {
+                let trace = &trace;
+                s.spawn(move || {
+                    for &w in trace.iter().skip(offset).step_by(4) {
+                        svc.plan(key, &PlanRequest::qos(w)).expect("trace solves");
+                    }
+                });
+            }
+        });
+    });
+    let trace_secs = t3.elapsed().as_secs_f64();
+    let stats = trace_service.stats();
+    assert_eq!(
+        stats.cache.hits + stats.cache.misses,
+        trace_requests as u64,
+        "service cache counters must account for every trace request"
+    );
+
+    ServiceRow {
+        model: model.name.clone(),
+        qos_points: windows.len(),
+        cold_plan_secs,
+        cache_hit_secs,
+        percall_batch_secs,
+        coalesced_batch_secs,
+        trace_requests,
+        hit_rate: stats.hit_rate(),
+        throughput_rps: trace_requests as f64 / trace_secs,
+    }
+}
+
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
     (sum / n as f64).exp()
@@ -176,6 +307,14 @@ fn main() {
     }
 
     let rows: Vec<ModelRow> = models.iter().map(|m| measure(m, smoke)).collect();
+
+    // Plan-service measurements on the smallest model (cheap enough for
+    // the smoke gate, representative for the headline ratios).
+    let smallest = models
+        .iter()
+        .min_by_key(|m| m.layer_count())
+        .expect("at least one model");
+    let service_row = measure_service(smallest);
 
     let rendered: Vec<String> = rows
         .iter()
@@ -194,12 +333,26 @@ fn main() {
                 .render()
         })
         .collect();
+    let service_json = json::Object::new()
+        .str_field("model", &service_row.model)
+        .u64_field("qos_points", service_row.qos_points as u64)
+        .f64_field("cold_plan_secs", service_row.cold_plan_secs, 6)
+        .f64_field("cache_hit_secs", service_row.cache_hit_secs, 9)
+        .f64_field("cache_hit_speedup", service_row.cache_hit_speedup(), 1)
+        .f64_field("percall_batch_secs", service_row.percall_batch_secs, 6)
+        .f64_field("coalesced_batch_secs", service_row.coalesced_batch_secs, 6)
+        .f64_field("coalescing_speedup", service_row.coalescing_speedup(), 2)
+        .u64_field("trace_requests", service_row.trace_requests as u64)
+        .f64_field("hit_rate", service_row.hit_rate, 4)
+        .f64_field("throughput_rps", service_row.throughput_rps, 1)
+        .render();
     let mut document = json::Object::new()
         .str_field("benchmark", "planner_sweep10")
         .u64_field("schema_version", BENCH_SUMMARY_SCHEMA_VERSION)
         .str_field("target", Stm32F767Target::paper().id())
         .u64_field("qos_points", 10)
         .array_field("models", &rendered)
+        .raw_field("service", service_json)
         .f64_field(
             "speedup_geomean",
             geomean(rows.iter().map(ModelRow::speedup)),

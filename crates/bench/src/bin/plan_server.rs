@@ -1,0 +1,325 @@
+//! PLAN-SERVER — synthetic multi-tenant trace replay through the
+//! concurrent plan-serving subsystem.
+//!
+//! Builds planners for a mix of models × targets, generates a
+//! deterministic request trace with hot-key skew (a few
+//! `(tenant, budget)` pairs dominate, the tail spreads over many QoS
+//! levels, solvers and jittered absolute windows), then answers the
+//! trace two ways:
+//!
+//! 1. **serial**: `Planner::plan` per request, no cache, no coalescing —
+//!    what N independent callers would pay;
+//! 2. **served**: the same trace through a `PlanService` (fingerprint
+//!    cache + single-flight + shared-grid coalescing) from several
+//!    submitter threads.
+//!
+//! Prints the service stats (throughput, hit rate, batch shape) and the
+//! end-to-end speedup, and verifies the serving invariants: cache
+//! counters account for every request, and sampled answers are
+//! bit-identical to their serial reference (`Planner::plan` in exact
+//! mode, singleton `Planner::sweep` in the default swept mode).
+//!
+//! Run with: `cargo run --release -p repro-bench --bin plan_server`
+//! CI smoke: `… --bin plan_server -- --smoke` (small trace; exits
+//! non-zero if any invariant fails).
+//! Flags: `--requests N`, `--workers N`, `--exact` (per-request solves
+//! instead of shared-grid coalescing).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dae_dvfs::{
+    CoalesceMode, GenericCortexMTarget, OperatingModes, PlanRequest, PlanService, Planner,
+    PlannerKey, ServiceConfig, Solver, Stm32F767Target, Target,
+};
+use stm32_rcc::Hertz;
+use tinyengine::qos_window;
+use tinynn::models::synth::SplitMix64;
+
+/// One tenant: a planner plus its submission key and baseline latency.
+struct Tenant {
+    name: String,
+    key: PlannerKey,
+    baseline: f64,
+}
+
+/// A trace entry: which tenant asks, and what for.
+struct TraceRequest {
+    tenant: usize,
+    request: PlanRequest,
+}
+
+/// The QoS slack levels the trace draws from.
+const SLACKS: [f64; 10] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.85, 0.95];
+
+fn build_planners() -> Vec<(String, Arc<Planner>)> {
+    let f767 = Stm32F767Target::paper();
+    // A second, genuinely different platform: a leaner clock ladder, so
+    // its plans (and its config fingerprint) differ from the F767's.
+    let lean = GenericCortexMTarget::new("cortex-m-lean").with_modes(
+        OperatingModes::from_sysclks(
+            Hertz::mhz(50),
+            Hertz::mhz(50),
+            &[Hertz::mhz(80), Hertz::mhz(120), Hertz::mhz(160)],
+        )
+        .expect("lean ladder reachable"),
+    );
+    let vww = tinynn::models::vww_sized(32);
+    let pd = tinynn::models::person_detection_sized(32);
+    vec![
+        (
+            format!("{}@{}", vww.name, f767.id()),
+            Arc::new(Planner::for_target(f767.clone(), &vww).expect("planner builds")),
+        ),
+        (
+            format!("{}@{}", vww.name, lean.id()),
+            Arc::new(Planner::for_target(lean.clone(), &vww).expect("planner builds")),
+        ),
+        (
+            format!("{}@{}", pd.name, f767.id()),
+            Arc::new(Planner::for_target(f767, &pd).expect("planner builds")),
+        ),
+        (
+            format!("{}@{}", pd.name, lean.id()),
+            Arc::new(Planner::for_target(lean, &pd).expect("planner builds")),
+        ),
+    ]
+}
+
+/// Deterministic multi-tenant trace with hot-key skew: `hot_share` of
+/// requests replay one of a handful of hot `(tenant, request)` pairs;
+/// the tail mixes slack levels, solvers and jittered absolute windows.
+fn generate_trace(tenants: &[Tenant], requests: usize, rng: &mut SplitMix64) -> Vec<TraceRequest> {
+    let hot: Vec<(usize, PlanRequest)> = vec![
+        (0, PlanRequest::slack(0.3)),
+        (0, PlanRequest::slack(0.5)),
+        (1, PlanRequest::slack(0.3)),
+        (2, PlanRequest::slack(0.1)),
+        (0, PlanRequest::slack(0.3).with_solver(Solver::SequenceDp)),
+    ];
+    (0..requests)
+        .map(|_| {
+            let roll = rng.next_u64() % 100;
+            if roll < 70 {
+                // Hot keys: 70% of traffic replays 5 request shapes.
+                let (tenant, request) = &hot[(rng.next_u64() % hot.len() as u64) as usize];
+                TraceRequest {
+                    tenant: *tenant,
+                    request: request.clone(),
+                }
+            } else {
+                let tenant = (rng.next_u64() % tenants.len() as u64) as usize;
+                let slack = SLACKS[(rng.next_u64() % SLACKS.len() as u64) as usize];
+                let request = if roll < 85 {
+                    PlanRequest::slack(slack)
+                } else {
+                    // Absolute windows with sub-quantum jitter: the
+                    // service's QoS quantum coalesces these onto shared
+                    // cache entries.
+                    let jitter = (rng.next_u64() % 1000) as f64 * 1e-9;
+                    PlanRequest::qos(qos_window(tenants[tenant].baseline, slack) + jitter)
+                };
+                let request = if roll >= 97 {
+                    request.with_solver(Solver::SequenceDp)
+                } else {
+                    request
+                };
+                TraceRequest { tenant, request }
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let exact = args.iter().any(|a| a == "--exact");
+    let flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let requests = flag("--requests", if smoke { 150 } else { 1200 });
+    let workers = flag("--workers", 4);
+    let submitters = 4;
+
+    println!("building planners (one DSE per model x target)...");
+    let t0 = Instant::now();
+    let planners = build_planners();
+    println!(
+        "  {} planners in {:.2}s",
+        planners.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mode = if exact {
+        CoalesceMode::Exact
+    } else {
+        CoalesceMode::Swept
+    };
+    let mut service = PlanService::new(
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_mode(mode)
+            .with_batch_linger(Duration::from_millis(2))
+            // Windows are a few milliseconds; a 1 µs quantum folds the
+            // trace's sub-µs jitter onto shared entries without moving
+            // any deadline by a meaningful amount.
+            .with_qos_quantum_secs(1e-6),
+    )
+    .expect("service config validates");
+    let tenants: Vec<Tenant> = planners
+        .iter()
+        .map(|(name, planner)| {
+            let baseline = planner.baseline_latency().expect("baseline runs");
+            Tenant {
+                name: name.clone(),
+                key: service.register(planner.clone()),
+                baseline,
+            }
+        })
+        .collect();
+
+    let mut rng = SplitMix64::new(0xDAE_D5F5);
+    let trace = generate_trace(&tenants, requests, &mut rng);
+    println!(
+        "trace: {} requests over {} tenants ({:?} coalescing, {} workers, {} submitters)",
+        trace.len(),
+        tenants.len(),
+        mode,
+        workers,
+        submitters
+    );
+
+    // Serial reference: every request answered by a bare Planner::plan.
+    let t1 = Instant::now();
+    let serial: Vec<_> = trace
+        .iter()
+        .map(|r| {
+            planners[r.tenant]
+                .1
+                .plan(&r.request)
+                .expect("serial plan solves")
+        })
+        .collect();
+    let serial_secs = t1.elapsed().as_secs_f64();
+
+    // Served: the same trace through the service, submitters striping it.
+    let t2 = Instant::now();
+    let answers: Vec<_> = service.run(|svc| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..submitters)
+                .map(|offset| {
+                    let trace = &trace;
+                    let tenants = &tenants;
+                    s.spawn(move || {
+                        trace
+                            .iter()
+                            .enumerate()
+                            .skip(offset)
+                            .step_by(submitters)
+                            .map(|(i, r)| {
+                                let plan = svc
+                                    .plan(tenants[r.tenant].key, &r.request)
+                                    .expect("served plan solves");
+                                (i, plan)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut answers = vec![None; trace.len()];
+            for handle in handles {
+                for (i, plan) in handle.join().expect("submitter panicked") {
+                    answers[i] = Some(plan);
+                }
+            }
+            answers
+                .into_iter()
+                .map(|a| a.expect("answered"))
+                .collect::<Vec<_>>()
+        })
+    });
+    let served_secs = t2.elapsed().as_secs_f64();
+
+    // ---- invariants -----------------------------------------------------
+    let stats = service.stats();
+    assert_eq!(
+        stats.submitted,
+        trace.len() as u64,
+        "every request admitted"
+    );
+    assert_eq!(stats.completed, stats.submitted, "every ticket fulfilled");
+    assert_eq!(
+        stats.cache.hits + stats.cache.misses,
+        stats.submitted,
+        "cache counters must account for every request: {stats:?}"
+    );
+    assert_eq!(stats.failed, 0, "trace requests are all feasible");
+    for (i, (answer, reference)) in answers.iter().zip(&serial).enumerate() {
+        // Feasibility for the *original* request (quantization only ever
+        // tightens the window).
+        assert!(
+            answer.predicted_latency_secs <= reference.qos_secs + 1e-12,
+            "request {i} overran its window"
+        );
+    }
+    // Sampled bit-identical pins against the mode's serial reference.
+    for i in (0..trace.len()).step_by((trace.len() / 25).max(1)) {
+        let r = &trace[i];
+        let planner = &planners[r.tenant].1;
+        let quantized = {
+            let window = answers[i].qos_secs;
+            PlanRequest::qos(window)
+                .with_solver(r.request.solver())
+                .with_dp_resolution(
+                    r.request
+                        .dp_resolution()
+                        .unwrap_or(planner.config().dp_resolution),
+                )
+        };
+        let reference = match (mode, r.request.solver()) {
+            (CoalesceMode::Swept, Solver::ReserveGrid) => planner
+                .sweep([answers[i].qos_secs])
+                .expect("singleton sweep solves")
+                .remove(0),
+            _ => planner.plan(&quantized).expect("reference solves"),
+        };
+        assert_eq!(
+            *answers[i], reference,
+            "request {i} diverged from its serial reference"
+        );
+    }
+
+    // ---- report ---------------------------------------------------------
+    println!("\nper-tenant baselines");
+    for tenant in &tenants {
+        println!("  {:<24} {:>8.3} ms", tenant.name, tenant.baseline * 1e3);
+    }
+    println!("\nresults");
+    println!("  serial plan() loop   {:>9.3} s", serial_secs);
+    println!(
+        "  served (cache+coalesce) {:>6.3} s  ({:.1}x speedup)",
+        served_secs,
+        serial_secs / served_secs
+    );
+    println!(
+        "  throughput           {:>9.0} req/s",
+        stats.throughput_rps()
+    );
+    println!("  hit rate             {:>9.1} %", stats.hit_rate() * 100.0);
+    println!("  single-flight joins  {:>9}", stats.cache.joined);
+    println!("  distinct solves      {:>9}", stats.cache.inserted);
+    println!(
+        "  batches              {:>9} (mean {:.1}, max {})",
+        stats.batches,
+        stats.mean_batch(),
+        stats.max_batch
+    );
+    println!("  peak queue depth     {:>9}", stats.max_queue_depth);
+    if smoke {
+        eprintln!("smoke: invariants hold ({} requests)", trace.len());
+    }
+}

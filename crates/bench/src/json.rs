@@ -112,7 +112,9 @@ impl Object {
 /// under the workspace's own JSON parser (the one plan artifacts use, so
 /// emitter and reader cannot diverge), carry the expected
 /// `schema_version`, and list at least one model row with the per-model
-/// timing fields.
+/// timing fields. Schema v4 additionally requires the `service` section
+/// (plan-service cache-hit speedup, coalescing speedup, hit rate and
+/// throughput).
 ///
 /// # Errors
 ///
@@ -147,6 +149,20 @@ pub fn validate_summary(document: &str, expected_schema: u64) -> Result<(), Stri
             "sweep_speedup",
         ] {
             row.get_f64(field).map_err(|e| e.to_string())?;
+        }
+    }
+    if expected_schema >= 4 {
+        let service = object
+            .get("service")
+            .and_then(|s| s.as_object("service section"))
+            .map_err(|e| e.to_string())?;
+        for field in [
+            "cache_hit_speedup",
+            "coalescing_speedup",
+            "hit_rate",
+            "throughput_rps",
+        ] {
+            service.get_f64(field).map_err(|e| e.to_string())?;
         }
     }
     Ok(())
@@ -248,6 +264,40 @@ mod tests {
             .array_field("grid", &["[1, 2]".to_string(), "[3, 4]".to_string()])
             .render_pretty();
         assert_eq!(out, "{\n  \"grid\": [\n    [1, 2],\n    [3, 4]\n  ]\n}");
+    }
+
+    #[test]
+    fn v4_summaries_require_the_service_section() {
+        let row = Object::new()
+            .str_field("model", "vww")
+            .f64_field("planner_construction_secs", 1.0, 6)
+            .f64_field("planner_sweep_secs", 1.0, 6)
+            .f64_field("percall_loop_secs", 1.0, 6)
+            .f64_field("sweep_speedup", 2.0, 2)
+            .render();
+        let without_service = Object::new()
+            .u64_field("schema_version", 4)
+            .array_field("models", std::slice::from_ref(&row))
+            .render_pretty();
+        assert!(validate_summary(&without_service, 4)
+            .unwrap_err()
+            .contains("service"));
+        // The same document passes as v3 (no service requirement)...
+        let v3 = without_service.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        assert!(validate_summary(&v3, 3).is_ok());
+        // ...and as v4 once the service section carries its fields.
+        let service = Object::new()
+            .f64_field("cache_hit_speedup", 100.0, 2)
+            .f64_field("coalescing_speedup", 3.0, 2)
+            .f64_field("hit_rate", 0.9, 4)
+            .f64_field("throughput_rps", 5000.0, 1)
+            .render();
+        let with_service = Object::new()
+            .u64_field("schema_version", 4)
+            .array_field("models", &[row])
+            .raw_field("service", service)
+            .render_pretty();
+        assert!(validate_summary(&with_service, 4).is_ok());
     }
 
     #[test]

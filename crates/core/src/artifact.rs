@@ -69,8 +69,9 @@ const ARTIFACT_KIND: &str = "dae-dvfs-deployment-plan";
 
 // ---- fingerprints -------------------------------------------------------
 
-/// 64-bit FNV-1a over a byte string.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a over a byte string (also the service cache's shard
+/// mixer — one primitive, one set of constants).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

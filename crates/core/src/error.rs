@@ -99,6 +99,73 @@ impl From<MckpError> for DaeDvfsError {
     }
 }
 
+/// Errors of the concurrent plan-serving front end
+/// ([`crate::service::PlanService`]): admission-control rejections are
+/// distinct, typed variants so callers can tell backpressure from
+/// planning failures and react (shed load, retry later, re-register).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The bounded submission queue is full — backpressure. The request
+    /// was **not** admitted; retry later or shed load.
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The service has no running workers (submitted outside
+    /// [`crate::service::PlanService::run`], or after the drain began).
+    NotServing,
+    /// The planner key does not belong to this service.
+    UnknownPlanner {
+        /// The offending key's index.
+        key: usize,
+    },
+    /// The request itself failed to plan (degenerate knobs, infeasible
+    /// QoS, …) — the planner-level error, verbatim.
+    Plan(DaeDvfsError),
+    /// A worker thread panicked while solving the batch holding this
+    /// request; the panic propagates out of
+    /// [`crate::service::PlanService::run`], and blocked waiters receive
+    /// this instead of hanging.
+    WorkerPanicked,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServiceError::NotServing => write!(f, "service has no running workers"),
+            ServiceError::UnknownPlanner { key } => {
+                write!(f, "planner key {key} is not registered with this service")
+            }
+            ServiceError::Plan(e) => write!(f, "planning failed: {e}"),
+            ServiceError::WorkerPanicked => {
+                write!(f, "a worker thread panicked while solving this request")
+            }
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Plan(e) => Some(e),
+            ServiceError::QueueFull { .. }
+            | ServiceError::NotServing
+            | ServiceError::UnknownPlanner { .. }
+            | ServiceError::WorkerPanicked => None,
+        }
+    }
+}
+
+impl From<DaeDvfsError> for ServiceError {
+    fn from(e: DaeDvfsError) -> Self {
+        ServiceError::Plan(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +197,22 @@ mod tests {
             reason: "unexpected end of input".into(),
         };
         assert!(parse.to_string().contains("unexpected end"));
+    }
+
+    #[test]
+    fn service_error_chains_to_plan_errors() {
+        let full = ServiceError::QueueFull { capacity: 64 };
+        assert!(full.to_string().contains("64"));
+        assert!(full.source().is_none());
+
+        let plan: ServiceError = DaeDvfsError::EmptyModel { model: "m".into() }.into();
+        assert!(plan.to_string().contains("planning failed"));
+        assert!(plan.source().is_some());
+
+        assert!(ServiceError::NotServing.to_string().contains("workers"));
+        assert!(ServiceError::UnknownPlanner { key: 3 }
+            .to_string()
+            .contains('3'));
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! paper's platform, [`GenericCortexMTarget`] a parameterized alternative),
 //! requests are expressed with the typed [`PlanRequest`] builder, and
 //! optimized plans travel across processes as versioned [`PlanArtifact`]s.
+//! For *streams* of concurrent requests, the [`service::PlanService`]
+//! front end adds a fingerprint-keyed plan cache with single-flight miss
+//! deduplication and coalesces same-model batches onto shared-grid
+//! sweeps — the serving entry point when many tenants ask for plans at
+//! once.
 //!
 //! # Examples
 //!
@@ -70,7 +75,9 @@ pub mod report;
 pub mod request;
 pub mod schedule;
 pub mod seqdp;
+pub mod service;
 pub mod solver;
+mod sync;
 pub mod target;
 
 pub use artifact::{
@@ -80,7 +87,7 @@ pub use artifact::{
 pub use classes::{QosClass, QosClassLadder};
 pub use dae::{dae_forward_depthwise, dae_forward_pointwise, dae_segments, Granularity};
 pub use dse::{evaluate_point, explore_layer, DseConfig, DsePoint};
-pub use error::DaeDvfsError;
+pub use error::{DaeDvfsError, ServiceError};
 pub use mckp::{solve_dp, solve_exhaustive, solve_greedy, MckpError, MckpItem, MckpSolution};
 pub use modes::OperatingModes;
 pub use pareto::{dominates, pareto_front};
@@ -93,8 +100,11 @@ pub use report::{compare_with_baselines, EnergyComparison, FrequencyMap, Frequen
 pub use request::{PlanRequest, QosBudget, Solver};
 pub use schedule::{evaluate_schedule, explore_compiled, explore_model, CompiledLayer};
 pub use seqdp::{solve_sequence, SequenceSolution};
+pub use service::{
+    CacheStats, CoalesceMode, PlanService, PlanTicket, PlannerKey, ServiceConfig, ServiceStats,
+};
 pub use solver::{
     mckp_sweep, sequence_sweep, solve_dp_sweep, solve_sequence_sweep, MckpSweep, SequenceSweep,
-    SolverWorkspace, MAX_SWEEP_BUCKETS,
+    SolverWorkspace, WorkspacePool, MAX_SWEEP_BUCKETS,
 };
 pub use target::{GenericCortexMTarget, Stm32F767Target, Target};

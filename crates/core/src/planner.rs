@@ -14,7 +14,7 @@
 //! throw-away `Planner`; their results are bit-identical to the
 //! pre-`Planner` straight-line pipeline.
 
-use std::sync::{Arc, Mutex, OnceLock, TryLockError};
+use std::sync::{Arc, OnceLock};
 
 use stm32_power::{Joules, PowerModel};
 use tinyengine::{qos_window, LoweredModel};
@@ -27,7 +27,9 @@ use crate::pareto::pareto_front;
 use crate::pipeline::{DeploymentPlan, DeploymentReport, LayerDecision};
 use crate::request::{validate_positive_time, PlanRequest, QosBudget, Solver};
 use crate::schedule::{explore_model, replay_decisions, CompiledLayer};
-use crate::solver::{mckp_sweep, solve_dp_with, solve_sequence_with, SolverWorkspace};
+use crate::solver::{
+    mckp_sweep, solve_dp_with, solve_sequence_with, Grid, SolverWorkspace, WorkspacePool,
+};
 use crate::target::{Stm32F767Target, Target};
 
 /// A reusable planner for one `(model, target)` pair.
@@ -63,10 +65,12 @@ pub struct Planner {
     layers: Vec<CompiledLayer>,
     fronts: Vec<Vec<DsePoint>>,
     baseline: OnceLock<LoweredModel>,
-    /// Reusable flat DP buffers shared by every solver call on this
-    /// planner; contended callers fall back to a throw-away workspace, so
-    /// plans never depend on who held the lock.
-    workspace: Mutex<SolverWorkspace>,
+    /// Pool of reusable flat DP buffers shared by every solver call on
+    /// this planner; concurrent solves check out distinct workspaces, so
+    /// contended callers still reuse warmed buffers instead of allocating
+    /// throw-aways (plans never depend on which workspace was used — the
+    /// buffers are pure scratch).
+    workspace: WorkspacePool,
 }
 
 impl Planner {
@@ -141,7 +145,7 @@ impl Planner {
             layers,
             fronts,
             baseline: OnceLock::new(),
-            workspace: Mutex::new(SolverWorkspace::new()),
+            workspace: WorkspacePool::for_parallelism(),
         })
     }
 
@@ -278,16 +282,13 @@ impl Planner {
         min_time * rounding_margin
     }
 
-    /// Runs `f` against this planner's shared solver workspace, falling
-    /// back to a throw-away workspace when another thread holds it (the
+    /// Runs `f` against a workspace checked out of this planner's pool:
+    /// concurrent solves get distinct workspaces (no blocking), and every
+    /// workspace returns to the pool with its warmed buffers intact (the
     /// buffers are pure scratch, so results never depend on which one was
     /// used).
     fn with_workspace<R>(&self, f: impl FnOnce(&mut SolverWorkspace) -> R) -> R {
-        match self.workspace.try_lock() {
-            Ok(mut guard) => f(&mut guard),
-            Err(TryLockError::Poisoned(poisoned)) => f(&mut poisoned.into_inner()),
-            Err(TryLockError::WouldBlock) => f(&mut SolverWorkspace::new()),
-        }
+        self.workspace.run(f)
     }
 
     /// [`Planner::optimize`] at an explicit DP resolution (the request
@@ -513,6 +514,16 @@ impl Planner {
     /// the shared table, so results are identical to the sequential
     /// order.
     ///
+    /// Duplicate windows are solved **once** and fanned back out to every
+    /// occurrence (bit-identical: the solve for a window is
+    /// deterministic). A window's plan is also independent of which other
+    /// windows share the batch — for windows above the feasibility floor
+    /// the shared grid's scale is `floor / resolution` regardless of the
+    /// batch, and a DP table's prefix does not depend on the buckets
+    /// above it — which is what lets [`crate::service`] coalesce
+    /// concurrent requests through this path without changing any
+    /// caller's answer.
+    ///
     /// Every returned plan is feasible and matches what
     /// [`Planner::optimize`] would return within the solver's documented
     /// discretization bound (the shared grid resolves every budget at
@@ -534,70 +545,209 @@ impl Planner {
         if windows.is_empty() {
             return Ok(Vec::new());
         }
-        let resolution = self.config.dp_resolution;
-        let classes = self.mckp_classes();
+        // Dedup repeated windows (first-occurrence order); NaN was
+        // rejected above, so bit equality is value equality.
+        let mut distinct: Vec<f64> = Vec::new();
+        let mapping: Vec<usize> = windows
+            .iter()
+            .map(|&w| {
+                distinct
+                    .iter()
+                    .position(|&d| d.to_bits() == w.to_bits())
+                    .unwrap_or_else(|| {
+                        distinct.push(w);
+                        distinct.len() - 1
+                    })
+            })
+            .collect();
+        let solved = self.sweep_distinct(&distinct, self.config.dp_resolution, usize::MAX);
+        // Fan results back out in window order; the earliest failing
+        // window's error surfaces, as before.
+        mapping.into_iter().map(|p| solved[p].clone()).collect()
+    }
 
-        // The shared grid must resolve the deepest reserve budget the
-        // search can extract (the feasibility floor), not just the
-        // windows, so deep reserves keep full resolution too.
+    /// Solves a batch of **distinct** QoS windows at an explicit DP
+    /// resolution, returning one `Result` per window — the engine behind
+    /// [`Planner::sweep`] and the coalescing core of [`crate::service`].
+    ///
+    /// Windows at or above the feasibility floor share one DP table whose
+    /// scale is `floor / resolution` — a function of the planner and the
+    /// resolution only, never of the batch — and a DP table's prefix does
+    /// not depend on how many buckets lie above it, so **a window's plan
+    /// is independent of which other windows were batched with it** (in
+    /// particular, bit-identical to a singleton [`Planner::sweep`] of
+    /// that window). Windows below the floor, and batches whose spread
+    /// would cap the shared grid ([`crate::solver::MAX_SWEEP_BUCKETS`]),
+    /// are solved on per-window grids, preserving the invariance at the
+    /// cost of extra DP fills.
+    ///
+    /// `max_threads` caps the extraction striping (the table fill itself
+    /// is single-threaded): callers that are already one of several
+    /// parallel workers — the [`crate::service`] batch solvers — pass
+    /// their share of the machine so concurrent batches do not
+    /// oversubscribe it; [`Planner::sweep`] passes `usize::MAX` (cap by
+    /// available parallelism alone).
+    pub(crate) fn sweep_distinct(
+        &self,
+        windows: &[f64],
+        resolution: usize,
+        max_threads: usize,
+    ) -> Vec<Result<DeploymentPlan, DaeDvfsError>> {
+        let classes = self.mckp_classes();
+        let min_time: f64 = classes
+            .iter()
+            .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
+            .sum();
         let floor = Planner::qos_floor(&classes, resolution);
-        let mut grid_budgets = windows.clone();
-        if floor.is_finite() && floor > 0.0 {
-            grid_budgets.push(floor);
+        let mut slots: Vec<Option<Result<DeploymentPlan, DaeDvfsError>>> =
+            vec![None; windows.len()];
+
+        // Windows below the fastest selection are infeasible before any
+        // DP work — the same error the table extraction would report.
+        for (i, &w) in windows.iter().enumerate() {
+            if min_time > w {
+                slots[i] = Some(Err(DaeDvfsError::Qos(MckpError::Infeasible {
+                    min_time_secs: min_time,
+                    budget_secs: w,
+                })));
+            }
         }
 
-        self.with_workspace(|ws| {
-            let table = mckp_sweep(&classes, &grid_budgets, resolution, ws)?;
-            let points = windows.len();
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(points);
-            let mut slots: Vec<Option<Result<DeploymentPlan, DaeDvfsError>>> =
-                (0..points).map(|_| None).collect();
-            if threads <= 1 {
-                for (i, &qos) in windows.iter().enumerate() {
-                    slots[i] = Some(
-                        self.search_reserve_grid(qos, &classes, resolution, |b| table.best_for(b)),
+        let floor_ok = floor.is_finite() && floor > 0.0;
+        let mut singles: Vec<(usize, f64)> = Vec::new();
+        let mut shared: Vec<(usize, f64)> = Vec::new();
+        for (i, &w) in windows.iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            if floor_ok && w >= floor {
+                shared.push((i, w));
+            } else {
+                singles.push((i, w));
+            }
+        }
+
+        if !shared.is_empty() {
+            let mut budgets: Vec<f64> = shared.iter().map(|&(_, w)| w).collect();
+            budgets.push(floor);
+            // The batch-independent scale the shared grid resolves to
+            // when uncapped; a capped grid would couple every window's
+            // answer to the batch maximum, so capped batches fall back to
+            // per-window grids instead.
+            let floor_scale = floor / resolution as f64;
+            match Grid::shared(&budgets, resolution) {
+                Ok(grid) if grid.scale == floor_scale => {
+                    self.solve_on_shared_grid(
+                        &classes,
+                        &budgets,
+                        resolution,
+                        max_threads,
+                        &shared,
+                        &mut slots,
                     );
                 }
-            } else {
-                std::thread::scope(|s| {
-                    let classes = &classes;
-                    let windows = &windows;
-                    let table = &table;
-                    let handles: Vec<_> = (0..threads)
-                        .map(|t| {
-                            s.spawn(move || {
-                                windows
-                                    .iter()
-                                    .enumerate()
-                                    .skip(t)
-                                    .step_by(threads)
-                                    .map(|(i, &qos)| {
-                                        let plan = self.search_reserve_grid(
-                                            qos,
-                                            classes,
-                                            resolution,
-                                            |b| table.best_for(b),
-                                        );
-                                        (i, plan)
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    for handle in handles {
-                        for (i, plan) in handle.join().expect("sweep worker thread panicked") {
-                            slots[i] = Some(plan);
-                        }
-                    }
-                });
+                _ => singles.append(&mut shared),
             }
-            slots
-                .into_iter()
-                .map(|slot| slot.expect("every window is solved exactly once"))
-                .collect()
+        }
+
+        for &(i, w) in &singles {
+            slots[i] = Some(self.sweep_single(&classes, w, floor, floor_ok, resolution));
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every window is solved exactly once"))
+            .collect()
+    }
+
+    /// Fills one shared-grid table for `budgets` and answers every
+    /// `(slot, window)` target by extraction, striping the per-window
+    /// reserve searches over `std::thread::scope`.
+    fn solve_on_shared_grid(
+        &self,
+        classes: &[Vec<MckpItem>],
+        budgets: &[f64],
+        resolution: usize,
+        max_threads: usize,
+        targets: &[(usize, f64)],
+        slots: &mut [Option<Result<DeploymentPlan, DaeDvfsError>>],
+    ) {
+        let mut ws = self.workspace.take();
+        match mckp_sweep(classes, budgets, resolution, &mut ws) {
+            Ok(table) => {
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(max_threads.max(1))
+                    .min(targets.len());
+                if threads <= 1 {
+                    for &(i, qos) in targets {
+                        slots[i] =
+                            Some(self.search_reserve_grid(qos, classes, resolution, |b| {
+                                table.best_for(b)
+                            }));
+                    }
+                } else {
+                    let solved: Vec<_> = std::thread::scope(|s| {
+                        let table = &table;
+                        let handles: Vec<_> = (0..threads)
+                            .map(|t| {
+                                s.spawn(move || {
+                                    targets
+                                        .iter()
+                                        .skip(t)
+                                        .step_by(threads)
+                                        .map(|&(i, qos)| {
+                                            let plan = self.search_reserve_grid(
+                                                qos,
+                                                classes,
+                                                resolution,
+                                                |b| table.best_for(b),
+                                            );
+                                            (i, plan)
+                                        })
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("sweep worker thread panicked"))
+                            .collect()
+                    });
+                    for (i, plan) in solved {
+                        slots[i] = Some(plan);
+                    }
+                }
+            }
+            Err(e) => {
+                for &(i, _) in targets {
+                    slots[i] = Some(Err(DaeDvfsError::Qos(e.clone())));
+                }
+            }
+        }
+        self.workspace.put(ws);
+    }
+
+    /// Solves one window on its own grid (used when the window sits below
+    /// the shared floor grid, or the batch's spread capped the shared
+    /// table): budgets `{window, floor}` — exactly the grid a singleton
+    /// sweep builds, so the answer stays batch-independent.
+    fn sweep_single(
+        &self,
+        classes: &[Vec<MckpItem>],
+        qos_secs: f64,
+        floor: f64,
+        floor_ok: bool,
+        resolution: usize,
+    ) -> Result<DeploymentPlan, DaeDvfsError> {
+        let mut budgets = vec![qos_secs];
+        if floor_ok {
+            budgets.push(floor);
+        }
+        self.with_workspace(|ws| {
+            let table = mckp_sweep(classes, &budgets, resolution, ws)?;
+            self.search_reserve_grid(qos_secs, classes, resolution, |b| table.best_for(b))
         })
     }
 
@@ -700,6 +850,28 @@ mod tests {
                 window(plan),
                 window(&solo)
             );
+        }
+    }
+
+    #[test]
+    fn sweep_dedups_duplicate_windows_bit_identically() {
+        let model = vww();
+        let planner = Planner::new(&model, &DseConfig::paper()).unwrap();
+        let baseline = planner.baseline_latency().unwrap();
+        let [a, b, c] = [0.1, 0.3, 0.5].map(|s| qos_window(baseline, s));
+        let unique = planner.sweep([a, b, c]).unwrap();
+        // Duplicated windows must fan the deduped answers back out
+        // bit-identically to solving every occurrence.
+        let duped = planner.sweep([a, b, a, c, b, c, a]).unwrap();
+        let expected: Vec<_> = [0usize, 1, 0, 2, 1, 2, 0]
+            .iter()
+            .map(|&i| unique[i].clone())
+            .collect();
+        assert_eq!(duped, expected);
+        // Batch invariance: a singleton sweep of each window answers
+        // exactly what the batched sweep answered for it.
+        for (i, &w) in [a, b, c].iter().enumerate() {
+            assert_eq!(planner.sweep([w]).unwrap()[0], unique[i]);
         }
     }
 

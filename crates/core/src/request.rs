@@ -23,7 +23,7 @@
 use crate::error::DaeDvfsError;
 
 /// Which QoS optimizer a request runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum Solver {
     /// The paper's MCKP DP with the replay-validated switching-reserve

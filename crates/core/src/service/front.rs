@@ -1,0 +1,973 @@
+//! The `PlanService` front end: worker pool, bounded submission queue,
+//! tickets, drain and stats.
+//!
+//! See the [module docs](crate::service) for the architecture; this file
+//! holds the moving parts. Locking is deliberately simple: the
+//! submission queue is one mutex + condvar, and the cache's shard locks
+//! are only ever taken *while holding* the queue lock on the submit path
+//! (never the other way around), so the lock order is acyclic. Workers
+//! take the queue lock to pop a batch, release it to solve, and touch
+//! only cache/ticket locks to publish results.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::artifact::{config_fingerprint, model_fingerprint};
+use crate::error::{DaeDvfsError, ServiceError};
+use crate::pipeline::DeploymentPlan;
+use crate::planner::Planner;
+use crate::request::PlanRequest;
+use crate::service::cache::{CacheStats, Lookup, PlanCache, PlanKey};
+use crate::service::coalesce::{canonicalize, solve_batch, GroupKey};
+use crate::service::ServiceConfig;
+use crate::sync::{lock, wait, wait_timeout};
+
+/// Handle to a planner registered with a [`PlanService`]; cheap to copy
+/// and required by [`PlanService::submit`].
+///
+/// Keys index into the service they came from — a key from one service
+/// is rejected by another (unless it happens to be in range, in which
+/// case it addresses that service's planner at the same position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerKey(pub(crate) usize);
+
+#[derive(Debug)]
+struct Registered {
+    planner: Arc<Planner>,
+    model_fingerprint: u64,
+    config_fingerprint: u64,
+}
+
+/// One admitted request waiting in the queue (always a cache-miss
+/// *leader*; hits and joiners never occupy queue slots).
+#[derive(Debug)]
+struct Pending {
+    planner: usize,
+    group: GroupKey,
+    key: PlanKey,
+    window_secs: f64,
+    ticket: Arc<TicketInner>,
+}
+
+#[derive(Debug, Default)]
+struct TicketInner {
+    slot: Mutex<Option<Result<Arc<DeploymentPlan>, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    fn fulfill(&self, result: Result<Arc<DeploymentPlan>, ServiceError>) {
+        *lock(&self.slot) = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<DeploymentPlan>, ServiceError> {
+        let mut slot = lock(&self.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = wait(&self.ready, slot);
+        }
+    }
+
+    fn ready(&self) -> bool {
+        lock(&self.slot).is_some()
+    }
+}
+
+/// A submitted request's result handle. Obtained from
+/// [`PlanService::submit`]; every admitted ticket is fulfilled before
+/// [`PlanService::run`] returns (graceful drain), so [`PlanTicket::wait`]
+/// never blocks past the serving scope.
+#[derive(Debug)]
+pub struct PlanTicket {
+    inner: Arc<TicketInner>,
+}
+
+impl PlanTicket {
+    /// Blocks until the request is answered and returns the shared plan
+    /// (an `Arc` clone of the cached entry) or the request's typed error.
+    pub fn wait(self) -> Result<Arc<DeploymentPlan>, ServiceError> {
+        self.inner.wait()
+    }
+
+    /// Whether the result is already available ([`PlanTicket::wait`]
+    /// would return without blocking).
+    pub fn ready(&self) -> bool {
+        self.inner.ready()
+    }
+}
+
+#[derive(Debug)]
+struct Queue {
+    items: VecDeque<Pending>,
+    /// Workers are running (inside [`PlanService::run`]).
+    serving: bool,
+    /// Drain has begun: no new admissions, workers exit on empty.
+    draining: bool,
+    max_depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Timing {
+    accumulated: Duration,
+    current: Option<Instant>,
+}
+
+/// Point-in-time service counters ([`PlanService::stats`]).
+///
+/// Consistency invariant: once the service has drained,
+/// `cache.hits + cache.misses == submitted == completed` — every
+/// admitted request performed exactly one cache lookup and was fulfilled
+/// exactly once (`rejected` submissions never reach the cache).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Requests admitted (ticket handed out).
+    pub submitted: u64,
+    /// Tickets fulfilled (including failures).
+    pub completed: u64,
+    /// Submissions rejected before admission (backpressure, invalid
+    /// request, unknown planner, not serving).
+    pub rejected: u64,
+    /// Tickets fulfilled with an error.
+    pub failed: u64,
+    /// Coalesced batches solved by workers.
+    pub batches: u64,
+    /// Leader requests answered across all batches.
+    pub batched_requests: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+    /// Current submission-queue depth.
+    pub queue_depth: u64,
+    /// High-water mark of the submission queue.
+    pub max_queue_depth: u64,
+    /// Cumulative wall-clock time spent serving (across
+    /// [`PlanService::run`] scopes).
+    pub elapsed_secs: f64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Fraction of admitted requests answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Completed requests per serving second (0 before any serving).
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.completed as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean batch size across coalesced solves (0 before any batch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches > 0 {
+            self.batched_requests as f64 / self.batches as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The concurrent plan-serving front end: a fingerprint-keyed plan cache
+/// plus a request coalescer behind a worker pool.
+///
+/// Construct with [`PlanService::new`], [`PlanService::register`] one or
+/// more planners, then enter the serving scope with
+/// [`PlanService::run`] — workers live on `std::thread::scope`, so the
+/// service borrows its planners instead of demanding `'static`
+/// ownership. Inside the scope, any thread holding `&PlanService` may
+/// [`PlanService::submit`] (non-blocking, typed backpressure) or
+/// [`PlanService::plan`] (submit + wait).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dae_dvfs::{PlanRequest, Planner, PlanService, ServiceConfig};
+/// use tinynn::models::vww_sized;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let planner = Arc::new(Planner::new(&vww_sized(32), &Default::default())?);
+/// let mut service = PlanService::new(ServiceConfig::default())?;
+/// let key = service.register(planner);
+/// let plan = service.run(|svc| svc.plan(key, &PlanRequest::slack(0.3)))?;
+/// assert!(plan.predicted_latency_secs <= plan.qos_secs);
+/// assert_eq!(service.stats().completed, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PlanService {
+    config: ServiceConfig,
+    planners: Vec<Registered>,
+    cache: PlanCache<Arc<TicketInner>>,
+    queue: Mutex<Queue>,
+    arrived: Condvar,
+    counters: Counters,
+    timing: Mutex<Timing>,
+    /// Lock-free mirrors of the queue's `serving`/`draining` flags: the
+    /// submit fast path serves cache hits without touching the queue
+    /// mutex, so hot-key traffic contends only on the cache shards. The
+    /// queue's own flags stay authoritative for admission and workers.
+    serving_hint: AtomicBool,
+    draining_hint: AtomicBool,
+}
+
+/// Guarantees the drain begins even when the serving closure panics:
+/// without it, workers would wait on `arrived` forever and
+/// `std::thread::scope`'s implicit join would deadlock the unwind.
+struct DrainOnDrop<'a>(&'a PlanService);
+
+impl Drop for DrainOnDrop<'_> {
+    fn drop(&mut self) {
+        lock(&self.0.queue).draining = true;
+        self.0.draining_hint.store(true, Ordering::Release);
+        self.0.arrived.notify_all();
+    }
+}
+
+/// Runs [`PlanService::run`]'s post-scope cleanup (stop serving, settle
+/// the timing clock) on both the normal path and an unwinding one, so a
+/// panicked serving closure leaves the service stopped but reusable.
+struct StopServingOnDrop<'a>(&'a PlanService);
+
+impl Drop for StopServingOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.serving_hint.store(false, Ordering::Release);
+        lock(&self.0.queue).serving = false;
+        let mut timing = lock(&self.0.timing);
+        if let Some(started) = timing.current.take() {
+            timing.accumulated += started.elapsed();
+        }
+    }
+}
+
+impl PlanService {
+    /// A service with no planners yet; [`PlanService::register`] at least
+    /// one before serving.
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::InvalidRequest`] naming the offending
+    /// [`ServiceConfig`] field for degenerate configurations.
+    pub fn new(config: ServiceConfig) -> Result<Self, DaeDvfsError> {
+        config.validate()?;
+        Ok(PlanService {
+            cache: PlanCache::new(config.cache_capacity, config.cache_shards),
+            config,
+            planners: Vec::new(),
+            queue: Mutex::new(Queue {
+                items: VecDeque::new(),
+                serving: false,
+                draining: false,
+                max_depth: 0,
+            }),
+            arrived: Condvar::new(),
+            counters: Counters::default(),
+            timing: Mutex::new(Timing::default()),
+            serving_hint: AtomicBool::new(false),
+            draining_hint: AtomicBool::new(false),
+        })
+    }
+
+    /// Registers a planner and returns its submission key. Fingerprints
+    /// are derived here, once — two planners built from the same model
+    /// and board configuration get equal fingerprints and therefore
+    /// share cache entries and coalesced batches.
+    pub fn register(&mut self, planner: Arc<Planner>) -> PlannerKey {
+        let model_fingerprint = model_fingerprint(&planner.model().name, planner.layers());
+        let config_fingerprint = config_fingerprint(planner.config());
+        self.planners.push(Registered {
+            planner,
+            model_fingerprint,
+            config_fingerprint,
+        });
+        PlannerKey(self.planners.len() - 1)
+    }
+
+    /// The planner a key addresses, if it belongs to this service.
+    pub fn planner(&self, key: PlannerKey) -> Option<&Arc<Planner>> {
+        self.planners.get(key.0).map(|r| &r.planner)
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Runs the worker pool for the duration of `f`: workers spawn on a
+    /// `std::thread::scope`, `f` receives `&self` to submit against (from
+    /// as many threads as it likes), and on return the service **drains**
+    /// — no new admissions, every queued request is still answered — and
+    /// joins its workers before handing back `f`'s result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called re-entrantly (the service is already serving),
+    /// or if a worker thread panics.
+    pub fn run<R: Send>(&self, f: impl FnOnce(&Self) -> R + Send) -> R {
+        {
+            let mut queue = lock(&self.queue);
+            assert!(!queue.serving, "PlanService::run is not re-entrant");
+            queue.serving = true;
+            queue.draining = false;
+        }
+        self.draining_hint.store(false, Ordering::Release);
+        self.serving_hint.store(true, Ordering::Release);
+        lock(&self.timing).current = Some(Instant::now());
+        let _stop_serving = StopServingOnDrop(self);
+        std::thread::scope(|s| {
+            for _ in 0..self.effective_workers() {
+                s.spawn(|| self.worker_loop());
+            }
+            // The guard drains on unwind too: a panic in `f` must still
+            // release the workers or the scope's join would deadlock.
+            let drain = DrainOnDrop(self);
+            let out = f(self);
+            drop(drain);
+            out
+        })
+    }
+
+    /// The number of worker threads [`PlanService::run`] spawns.
+    fn effective_workers(&self) -> usize {
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.workers
+        };
+        workers.max(1)
+    }
+
+    /// Submits a request; never blocks. On success the returned ticket
+    /// will be fulfilled by a worker (or was already fulfilled from the
+    /// cache). Identical in-flight requests are deduplicated: only a
+    /// cache-miss *leader* occupies a queue slot, so backpressure applies
+    /// to distinct work, not to raw request volume.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownPlanner`] for a foreign key;
+    /// [`ServiceError::NotServing`] outside [`PlanService::run`] or
+    /// after the drain began; [`ServiceError::Plan`] for requests that
+    /// fail validation/canonicalization; [`ServiceError::QueueFull`]
+    /// when the bounded queue cannot admit a new leader.
+    pub fn submit(
+        &self,
+        key: PlannerKey,
+        request: &PlanRequest,
+    ) -> Result<PlanTicket, ServiceError> {
+        let Some(registered) = self.planners.get(key.0) else {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::UnknownPlanner { key: key.0 });
+        };
+        let canonical = canonicalize(
+            &registered.planner,
+            registered.model_fingerprint,
+            registered.config_fingerprint,
+            request,
+            self.config.qos_quantum_secs,
+        )
+        .map_err(|e| {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            ServiceError::Plan(e)
+        })?;
+
+        // Fast path: completed hits are served without the queue mutex,
+        // so hot-key traffic contends only on the cache shards. The
+        // hints are a conservative snapshot — a stale `true` can at most
+        // serve one more hit while the drain begins (harmless: no queue
+        // slot, ticket fulfilled immediately); when stale-`false`, the
+        // locked path below re-checks authoritatively.
+        if self.serving_hint.load(Ordering::Acquire) && !self.draining_hint.load(Ordering::Acquire)
+        {
+            if let Some(plan) = self.cache.get(canonical.key) {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                let ticket = Arc::new(TicketInner::default());
+                ticket.fulfill(Ok(plan));
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                return Ok(PlanTicket { inner: ticket });
+            }
+        }
+
+        let ticket = Arc::new(TicketInner::default());
+        // For misses, the cache lookup happens under the queue lock:
+        // admission and leadership are decided together, so a leader
+        // that cannot be queued rolls its flight back immediately.
+        let mut queue = lock(&self.queue);
+        if !queue.serving || queue.draining {
+            drop(queue);
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::NotServing);
+        }
+        match self.cache.lookup_or_join(canonical.key, ticket.clone()) {
+            Lookup::Hit(plan, waiter) => {
+                drop(queue);
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                waiter.fulfill(Ok(plan));
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(PlanTicket { inner: ticket })
+            }
+            Lookup::Joined => {
+                drop(queue);
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(PlanTicket { inner: ticket })
+            }
+            Lookup::Lead(waiter) => {
+                if queue.items.len() >= self.config.queue_capacity {
+                    drop(queue);
+                    // The queue lock is released, so a concurrent submit
+                    // may join the doomed flight before `abort` removes
+                    // it; those stray waiters are failed here (their
+                    // misses were counted, so completing them with the
+                    // error keeps hits + misses == admitted; `abort`
+                    // un-counts only the lead's own lookup).
+                    for stray in self.cache.abort(canonical.key) {
+                        stray.fulfill(Err(ServiceError::QueueFull {
+                            capacity: self.config.queue_capacity,
+                        }));
+                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::QueueFull {
+                        capacity: self.config.queue_capacity,
+                    });
+                }
+                queue.items.push_back(Pending {
+                    planner: key.0,
+                    group: canonical.group,
+                    key: canonical.key,
+                    window_secs: canonical.window_secs,
+                    ticket: waiter,
+                });
+                queue.max_depth = queue.max_depth.max(queue.items.len());
+                drop(queue);
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                // notify_all, not notify_one: a worker lingering for
+                // same-group stragglers also sleeps on this condvar, and
+                // a single wakeup aimed at an idle worker could be
+                // swallowed by a lingerer that takes nothing from the
+                // queue, stalling a different-group request.
+                self.arrived.notify_all();
+                Ok(PlanTicket { inner: ticket })
+            }
+        }
+    }
+
+    /// Submit and wait: the blocking convenience for callers that want
+    /// the plan inline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanService::submit`], plus the request's own
+    /// planning error.
+    pub fn plan(
+        &self,
+        key: PlannerKey,
+        request: &PlanRequest,
+    ) -> Result<Arc<DeploymentPlan>, ServiceError> {
+        self.submit(key, request)?.wait()
+    }
+
+    /// A point-in-time counters snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let (queue_depth, max_queue_depth) = {
+            let queue = lock(&self.queue);
+            (queue.items.len() as u64, queue.max_depth as u64)
+        };
+        let elapsed = {
+            let timing = lock(&self.timing);
+            timing.accumulated
+                + timing
+                    .current
+                    .map(|started| started.elapsed())
+                    .unwrap_or_default()
+        };
+        ServiceStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.counters.max_batch.load(Ordering::Relaxed),
+            queue_depth,
+            max_queue_depth,
+            elapsed_secs: elapsed.as_secs_f64(),
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(batch) = self.next_batch() {
+            self.solve(batch);
+        }
+    }
+
+    /// Pops the next batch: the oldest queued request plus every queued
+    /// request of the same group, bounded by `max_batch`; with a non-zero
+    /// `batch_linger`, waits up to that long for same-group stragglers
+    /// before solving. Returns `None` when the queue is drained and the
+    /// worker should exit.
+    fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut queue = lock(&self.queue);
+        let first = loop {
+            if let Some(pending) = queue.items.pop_front() {
+                break pending;
+            }
+            if queue.draining {
+                return None;
+            }
+            queue = wait(&self.arrived, queue);
+        };
+        let group = first.group;
+        let mut batch = vec![first];
+        Self::extract_group(&mut queue.items, group, self.config.max_batch, &mut batch);
+        if self.config.batch_linger > Duration::ZERO {
+            let deadline = Instant::now() + self.config.batch_linger;
+            while batch.len() < self.config.max_batch && !queue.draining {
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, timeout) = wait_timeout(&self.arrived, queue, remaining);
+                queue = guard;
+                Self::extract_group(&mut queue.items, group, self.config.max_batch, &mut batch);
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Moves queued requests matching `group` into `batch` (up to `cap`
+    /// total), preserving the relative order of everything left behind.
+    fn extract_group(
+        items: &mut VecDeque<Pending>,
+        group: GroupKey,
+        cap: usize,
+        batch: &mut Vec<Pending>,
+    ) {
+        let mut i = 0;
+        while i < items.len() && batch.len() < cap {
+            if items[i].group == group {
+                batch.push(items.remove(i).expect("index checked"));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Solves one coalesced batch and publishes every result: the cache
+    /// is completed first (releasing joined waiters), then all tickets
+    /// are fulfilled.
+    fn solve(&self, batch: Vec<Pending>) {
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.counters
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        let planner = &self.planners[batch[0].planner].planner;
+        let group = batch[0].group;
+        let windows: Vec<f64> = batch.iter().map(|p| p.window_secs).collect();
+        // Each worker gets its share of the machine for the swept path's
+        // extraction striping; the workers themselves already provide
+        // batch-level parallelism, so this avoids oversubscription.
+        let sweep_threads = (std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            / self.effective_workers())
+        .max(1);
+        // A panicking solve must still release the batch's tickets (and
+        // any joined waiters) before the panic unwinds the worker —
+        // otherwise a submitter blocked in `PlanTicket::wait` inside the
+        // serving closure would deadlock the scope's join.
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            solve_batch(
+                planner,
+                self.config.mode,
+                group.solver,
+                group.dp_resolution,
+                &windows,
+                sweep_threads,
+            )
+        }));
+        let results = match results {
+            Ok(results) => results,
+            Err(payload) => {
+                for pending in batch {
+                    let waiters = self.cache.complete(pending.key, None);
+                    for ticket in std::iter::once(pending.ticket).chain(waiters) {
+                        ticket.fulfill(Err(ServiceError::WorkerPanicked));
+                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::panic::resume_unwind(payload);
+            }
+        };
+        for (pending, result) in batch.into_iter().zip(results) {
+            let outcome: Result<Arc<DeploymentPlan>, ServiceError> = match result {
+                Ok(plan) => Ok(Arc::new(plan)),
+                Err(e) => Err(ServiceError::Plan(e)),
+            };
+            let waiters = self
+                .cache
+                .complete(pending.key, outcome.as_ref().ok().cloned());
+            for ticket in std::iter::once(pending.ticket).chain(waiters) {
+                ticket.fulfill(outcome.clone());
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                if outcome.is_err() {
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::DseConfig;
+    use crate::service::CoalesceMode;
+    use tinynn::models::vww_sized;
+
+    fn small_planner() -> Arc<Planner> {
+        Arc::new(Planner::new(&vww_sized(32), &DseConfig::paper()).expect("planner builds"))
+    }
+
+    fn exact_config() -> ServiceConfig {
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_mode(CoalesceMode::Exact)
+    }
+
+    #[test]
+    fn submit_outside_run_is_not_serving() {
+        let mut service = PlanService::new(ServiceConfig::default()).unwrap();
+        let key = service.register(small_planner());
+        assert_eq!(
+            service.submit(key, &PlanRequest::slack(0.3)).unwrap_err(),
+            ServiceError::NotServing
+        );
+        assert_eq!(service.stats().rejected, 1);
+        assert_eq!(service.stats().submitted, 0);
+    }
+
+    #[test]
+    fn foreign_keys_and_invalid_requests_are_rejected_before_admission() {
+        let mut service = PlanService::new(ServiceConfig::default()).unwrap();
+        let key = service.register(small_planner());
+        service.run(|svc| {
+            assert_eq!(
+                svc.submit(PlannerKey(7), &PlanRequest::slack(0.3))
+                    .unwrap_err(),
+                ServiceError::UnknownPlanner { key: 7 }
+            );
+            assert!(matches!(
+                svc.submit(key, &PlanRequest::qos(f64::NAN)).unwrap_err(),
+                ServiceError::Plan(DaeDvfsError::InvalidRequest { .. })
+            ));
+        });
+        let stats = service.stats();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.cache.lookups(), 0);
+    }
+
+    #[test]
+    fn queue_full_is_typed_backpressure_and_rolls_the_flight_back() {
+        let mut service = PlanService::new(
+            ServiceConfig::default()
+                .with_queue_capacity(1)
+                .with_mode(CoalesceMode::Exact),
+        )
+        .unwrap();
+        let key = service.register(small_planner());
+        // Mark the service as serving without spawning workers, so queued
+        // leaders stay queued and the capacity bound is observable.
+        lock(&service.queue).serving = true;
+        let first = service.submit(key, &PlanRequest::slack(0.3)).unwrap();
+        assert!(!first.ready());
+        // A duplicate joins the in-flight leader: no queue slot needed.
+        let joined = service.submit(key, &PlanRequest::slack(0.3)).unwrap();
+        assert!(!joined.ready());
+        // A distinct request needs a slot and the queue is full.
+        assert_eq!(
+            service.submit(key, &PlanRequest::slack(0.5)).unwrap_err(),
+            ServiceError::QueueFull { capacity: 1 }
+        );
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.queue_depth, 1);
+        // The aborted leader's lookup was rolled back: accounting stays
+        // hits + misses == submitted.
+        assert_eq!(stats.cache.lookups(), 2);
+        // The rejected window can be admitted once capacity frees up; a
+        // fresh leader is nominated (no stale flight left behind).
+        lock(&service.queue).items.clear();
+        let retried = service.submit(key, &PlanRequest::slack(0.5)).unwrap();
+        assert!(!retried.ready());
+        lock(&service.queue).serving = false;
+    }
+
+    #[test]
+    fn duplicate_requests_compute_once_and_share_the_plan() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let key = service.register(small_planner());
+        let request = PlanRequest::slack(0.3);
+        let plans = service.run(|svc| {
+            let tickets: Vec<_> = (0..6)
+                .map(|_| svc.submit(key, &request).expect("admitted"))
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().expect("planned"))
+                .collect::<Vec<_>>()
+        });
+        for plan in &plans {
+            assert_eq!(&**plan, &*plans[0]);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.cache.lookups(), 6);
+        // Exactly one solve: everything else hit the cache or joined the
+        // in-flight leader.
+        assert_eq!(stats.cache.inserted, 1);
+        assert_eq!(stats.cache.hits + stats.cache.misses, 6);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn slack_and_equivalent_window_share_one_cache_entry() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let planner = small_planner();
+        let baseline = planner.baseline_latency().unwrap();
+        let key = service.register(planner);
+        let window = tinyengine::qos_window(baseline, 0.3);
+        service.run(|svc| {
+            let a = svc.plan(key, &PlanRequest::slack(0.3)).unwrap();
+            let b = svc.plan(key, &PlanRequest::qos(window)).unwrap();
+            assert_eq!(&*a, &*b);
+        });
+        let stats = service.stats();
+        assert_eq!(stats.cache.inserted, 1);
+        assert_eq!(stats.cache.hits, 1);
+    }
+
+    #[test]
+    fn equal_fingerprint_planners_share_the_cache() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let key_a = service.register(small_planner());
+        let key_b = service.register(small_planner());
+        service.run(|svc| {
+            let a = svc.plan(key_a, &PlanRequest::slack(0.3)).unwrap();
+            let b = svc.plan(key_b, &PlanRequest::slack(0.3)).unwrap();
+            assert_eq!(&*a, &*b);
+        });
+        let stats = service.stats();
+        assert_eq!(stats.cache.inserted, 1);
+        assert_eq!(stats.cache.hits, 1);
+    }
+
+    #[test]
+    fn quantized_windows_coalesce_onto_one_entry_and_stay_feasible() {
+        let quantum = 1e-4;
+        let mut service = PlanService::new(exact_config().with_qos_quantum_secs(quantum)).unwrap();
+        let planner = small_planner();
+        let baseline = planner.baseline_latency().unwrap();
+        let key = service.register(planner);
+        // Anchor mid-quantum so the jitter cannot straddle a boundary.
+        let base =
+            (tinyengine::qos_window(baseline, 0.4) / quantum).floor() * quantum + quantum / 2.0;
+        let jittered: Vec<f64> = (0..4).map(|i| base + i as f64 * 1e-6).collect();
+        let plans = service.run(|svc| {
+            jittered
+                .iter()
+                .map(|&w| svc.plan(key, &PlanRequest::qos(w)).unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (plan, &requested) in plans.iter().zip(&jittered) {
+            // The canonical window never exceeds the requested one, so
+            // the shared plan is feasible for every jittered request.
+            assert!(plan.qos_secs <= requested);
+            assert!(plan.predicted_latency_secs <= requested);
+            assert_eq!(&**plan, &*plans[0]);
+        }
+        assert_eq!(service.stats().cache.inserted, 1);
+    }
+
+    #[test]
+    fn infeasible_requests_fail_typed_and_are_not_cached() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let key = service.register(small_planner());
+        service.run(|svc| {
+            for _ in 0..2 {
+                let err = svc.plan(key, &PlanRequest::qos(1e-9)).unwrap_err();
+                assert!(matches!(err, ServiceError::Plan(DaeDvfsError::Qos(_))));
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 2);
+        // Failures are never cached: both requests missed.
+        assert_eq!(stats.cache.inserted, 0);
+        assert_eq!(stats.cache.hits, 0);
+    }
+
+    #[test]
+    fn swept_mode_coalesces_a_burst_into_few_batches() {
+        let mut service = PlanService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_mode(CoalesceMode::Swept)
+                .with_batch_linger(Duration::from_millis(20)),
+        )
+        .unwrap();
+        let planner = small_planner();
+        let baseline = planner.baseline_latency().unwrap();
+        let key = service.register(planner.clone());
+        let windows: Vec<f64> = (0..6)
+            .map(|i| tinyengine::qos_window(baseline, 0.15 + 0.1 * i as f64))
+            .collect();
+        let plans = service.run(|svc| {
+            let tickets: Vec<_> = windows
+                .iter()
+                .map(|&w| svc.submit(key, &PlanRequest::qos(w)).expect("admitted"))
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().expect("planned"))
+                .collect::<Vec<_>>()
+        });
+        // Batch-invariance: each coalesced answer equals its singleton
+        // sweep, bit for bit.
+        for (plan, &w) in plans.iter().zip(&windows) {
+            let solo = planner.sweep([w]).unwrap().remove(0);
+            assert_eq!(&**plan, &solo);
+        }
+        let stats = service.stats();
+        assert!(stats.batches < 6, "burst was not coalesced: {stats:?}");
+        assert!(stats.max_batch >= 2);
+        assert_eq!(stats.batched_requests, 6);
+    }
+
+    #[test]
+    fn run_drains_every_admitted_ticket() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let key = service.register(small_planner());
+        let tickets = service.run(|svc| {
+            (0..4)
+                .map(|i| {
+                    svc.submit(key, &PlanRequest::slack(0.2 + 0.1 * i as f64))
+                        .expect("admitted")
+                })
+                .collect::<Vec<_>>()
+        });
+        // `run` returned: the drain has fulfilled every ticket already.
+        for ticket in &tickets {
+            assert!(ticket.ready());
+        }
+        for ticket in tickets {
+            ticket.wait().expect("planned during drain");
+        }
+        assert_eq!(service.stats().completed, 4);
+        // And submissions after the scope are rejected again.
+        assert_eq!(
+            service.submit(key, &PlanRequest::slack(0.3)).unwrap_err(),
+            ServiceError::NotServing
+        );
+    }
+
+    #[test]
+    fn panicking_serving_closure_drains_and_leaves_the_service_reusable() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let key = service.register(small_planner());
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.run(|svc| {
+                svc.plan(key, &PlanRequest::slack(0.3)).unwrap();
+                panic!("serving closure exploded");
+            })
+        }));
+        // The panic propagated (no deadlock on the worker join) and the
+        // service stopped cleanly.
+        assert!(unwound.is_err());
+        assert_eq!(
+            service.submit(key, &PlanRequest::slack(0.3)).unwrap_err(),
+            ServiceError::NotServing
+        );
+        // A later run serves again (and hits the still-warm cache).
+        let plan = service
+            .run(|svc| svc.plan(key, &PlanRequest::slack(0.3)))
+            .unwrap();
+        assert!(plan.predicted_latency_secs <= plan.qos_secs);
+        assert_eq!(service.stats().cache.hits, 1);
+    }
+
+    #[test]
+    fn hit_fast_path_counts_like_the_locked_path() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let key = service.register(small_planner());
+        service.run(|svc| {
+            svc.plan(key, &PlanRequest::slack(0.3)).unwrap();
+            for _ in 0..5 {
+                svc.plan(key, &PlanRequest::slack(0.3)).unwrap();
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.cache.hits, 5);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn stats_snapshot_reports_throughput_and_batches() {
+        let stats = ServiceStats {
+            submitted: 10,
+            completed: 10,
+            rejected: 1,
+            failed: 0,
+            batches: 2,
+            batched_requests: 6,
+            max_batch: 4,
+            queue_depth: 0,
+            max_queue_depth: 5,
+            elapsed_secs: 2.0,
+            cache: CacheStats::default(),
+        };
+        assert!((stats.throughput_rps() - 5.0).abs() < 1e-12);
+        assert!((stats.mean_batch() - 3.0).abs() < 1e-12);
+    }
+}

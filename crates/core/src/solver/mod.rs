@@ -70,7 +70,7 @@ pub(crate) use mckp::solve_dp_with;
 pub use mckp::{mckp_sweep, solve_dp_sweep, MckpSweep};
 pub(crate) use seqdp::solve_sequence_with;
 pub use seqdp::{sequence_sweep, solve_sequence_sweep, SequenceSweep};
-pub use workspace::SolverWorkspace;
+pub use workspace::{SolverWorkspace, WorkspacePool};
 
 use crate::mckp::MckpError;
 

@@ -4,12 +4,14 @@
 //! per-class pick tables and backtracking traces from scratch. A
 //! [`SolverWorkspace`] owns all of those buffers as row-major flat vectors
 //! and hands them to the DP cores, which resize-and-refill instead of
-//! reallocating. The [`crate::Planner`] holds one behind a mutex and
-//! reuses it across `optimize` / `sweep` calls; standalone callers can
-//! create one per thread and amortize it over a batch of solves.
+//! reallocating. The [`crate::Planner`] holds a [`WorkspacePool`] of them
+//! and reuses them across `optimize` / `sweep` calls; standalone callers
+//! can create one per thread and amortize it over a batch of solves.
 //!
 //! The workspace carries no results — after a solve it is an opaque bag of
 //! scratch capacity, safe to reuse for any later solve of any shape.
+
+use std::sync::Mutex;
 
 use stm32_rcc::Hertz;
 
@@ -76,6 +78,76 @@ impl SolverWorkspace {
     }
 }
 
+/// A small pool of [`SolverWorkspace`]s shared by concurrent solvers.
+///
+/// The [`crate::Planner`] historically kept **one** workspace behind a
+/// `try_lock`: the loser of any contention solved into a throw-away
+/// workspace and its warmed buffers were dropped on the floor. The pool
+/// keeps up to `capacity` workspaces around instead, so every concurrent
+/// solve checks one out, reuses its retained buffers, and returns it —
+/// steady-state contended solves allocate nothing.
+///
+/// Checkouts never block on other solvers: [`WorkspacePool::take`] only
+/// holds the pool lock long enough to pop a slot, and an empty pool hands
+/// out a fresh workspace (warmed ones are returned up to the capacity,
+/// extras are dropped). Results can never depend on which workspace a
+/// solve used — the buffers are pure scratch.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    slots: Mutex<Vec<SolverWorkspace>>,
+    capacity: usize,
+}
+
+impl WorkspacePool {
+    /// A pool retaining at most `capacity` idle workspaces (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        WorkspacePool {
+            slots: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism — one retained
+    /// workspace per hardware thread that could be solving concurrently.
+    pub fn for_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkspacePool::new(threads)
+    }
+
+    /// Checks a workspace out of the pool (a fresh one when the pool is
+    /// empty). Pair with [`WorkspacePool::put`], or use
+    /// [`WorkspacePool::run`] for the scoped form.
+    pub fn take(&self) -> SolverWorkspace {
+        crate::sync::lock(&self.slots).pop().unwrap_or_default()
+    }
+
+    /// Returns a workspace to the pool; dropped if the pool already holds
+    /// `capacity` idle workspaces.
+    pub fn put(&self, workspace: SolverWorkspace) {
+        let mut slots = crate::sync::lock(&self.slots);
+        if slots.len() < self.capacity.max(1) {
+            slots.push(workspace);
+        }
+    }
+
+    /// Runs `f` with a pooled workspace, returning it afterwards. The
+    /// closure runs outside any lock, so concurrent `run` calls proceed
+    /// in parallel on distinct workspaces.
+    pub fn run<R>(&self, f: impl FnOnce(&mut SolverWorkspace) -> R) -> R {
+        let mut workspace = self.take();
+        let result = f(&mut workspace);
+        self.put(workspace);
+        result
+    }
+
+    /// Number of idle workspaces currently retained (diagnostics/tests).
+    pub fn idle(&self) -> usize {
+        crate::sync::lock(&self.slots).len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +158,57 @@ mod tests {
         assert!(ws.mckp_dp.is_empty());
         // Clone + Default make it cheap to hand one per worker thread.
         let _ = ws.clone();
+    }
+
+    #[test]
+    fn pool_reuses_returned_workspaces() {
+        let pool = WorkspacePool::new(2);
+        assert_eq!(pool.idle(), 0);
+        let mut ws = pool.take();
+        ws.mckp_dp.resize(128, 0.0);
+        let capacity = ws.mckp_dp.capacity();
+        pool.put(ws);
+        assert_eq!(pool.idle(), 1);
+        // The warmed buffer comes back on the next checkout.
+        let ws = pool.take();
+        assert!(ws.mckp_dp.capacity() >= capacity);
+        assert_eq!(pool.idle(), 0);
+        pool.put(ws);
+    }
+
+    #[test]
+    fn pool_caps_retained_workspaces() {
+        let pool = WorkspacePool::new(2);
+        for _ in 0..5 {
+            pool.put(SolverWorkspace::new());
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn run_returns_the_workspace() {
+        let pool = WorkspacePool::new(4);
+        let out = pool.run(|ws| {
+            ws.mckp_dp.push(1.0);
+            ws.mckp_dp.len()
+        });
+        assert_eq!(out, 1);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_workspaces() {
+        let pool = WorkspacePool::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    pool.run(|ws| {
+                        ws.mckp_dp.clear();
+                        ws.mckp_dp.resize(64, 0.0);
+                    });
+                });
+            }
+        });
+        assert!(pool.idle() >= 1 && pool.idle() <= 8);
     }
 }

@@ -1,0 +1,57 @@
+//! Poison-tolerant locking helpers shared by the planner's workspace
+//! pool and the serving subsystem.
+//!
+//! Every `Mutex`/`Condvar` in this crate guards plain data whose
+//! invariants hold between any two lock acquisitions (maps, counters,
+//! queues of owned values) — a panic elsewhere cannot leave them
+//! logically inconsistent, so lock poisoning is uniformly ignored. This
+//! module is the single home of that policy; if it ever needs to
+//! change, it changes here.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard from a poisoned lock.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// [`Condvar::wait`], recovering the guard from a poisoned lock.
+pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// [`Condvar::wait_timeout`], recovering the guard from a poisoned lock.
+pub(crate) fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok(pair) => pair,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_from_poisoning() {
+        let mutex = Mutex::new(7);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock(&mutex), 7);
+    }
+}

@@ -1,0 +1,118 @@
+//! Plan-service tour: serving concurrent plan requests through the
+//! fingerprint-keyed cache and the shared-grid request coalescer.
+//!
+//! Three phases against one `PlanService`:
+//!
+//! 1. a **cold burst** of distinct QoS windows submitted at once — the
+//!    coalescer groups them and answers the batch from one shared-grid
+//!    DP instead of N independent solves;
+//! 2. a **hot-key storm** — many threads ask for the same few plans;
+//!    single-flight dedups the concurrent misses and everything else
+//!    hits the cache;
+//! 3. a **second tenant** registered from the same model and board
+//!    description — equal fingerprints mean it shares the warm cache.
+//!
+//! Run with: `cargo run --release --example plan_service`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dae_dvfs::{PlanRequest, PlanService, Planner, ServiceConfig, Stm32F767Target};
+use tinyengine::qos_window;
+use tinynn::models::vww_sized;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = vww_sized(32);
+    let planner = Arc::new(Planner::for_target(Stm32F767Target::paper(), &model)?);
+    let baseline = planner.baseline_latency()?;
+
+    let mut service = PlanService::new(
+        ServiceConfig::default()
+            .with_workers(4)
+            .with_batch_linger(Duration::from_millis(5)),
+    )?;
+    let tenant_a = service.register(planner.clone());
+    // Same model + board description => same fingerprints => shared cache.
+    let tenant_b = service.register(Arc::new(Planner::for_target(
+        Stm32F767Target::paper(),
+        &model,
+    )?));
+
+    let windows: Vec<f64> = (0..8)
+        .map(|i| qos_window(baseline, 0.1 + 0.1 * i as f64))
+        .collect();
+
+    service.run(|svc| -> Result<(), dae_dvfs::ServiceError> {
+        // Phase 1: cold burst of distinct windows — coalesced solve.
+        let tickets: Vec<_> = windows
+            .iter()
+            .map(|&w| svc.submit(tenant_a, &PlanRequest::qos(w)))
+            .collect::<Result<_, _>>()?;
+        println!("cold burst: {} distinct windows submitted", tickets.len());
+        for (ticket, &w) in tickets.into_iter().zip(&windows) {
+            let plan = ticket.wait()?;
+            println!(
+                "  window {:>6.2} ms -> latency {:>6.2} ms, energy {:>7.4} mJ",
+                w * 1e3,
+                plan.predicted_latency_secs * 1e3,
+                plan.predicted_energy.as_mj()
+            );
+        }
+        let after_cold = svc.stats();
+        println!(
+            "  {} batches (max size {}), {} solves for {} requests\n",
+            after_cold.batches,
+            after_cold.max_batch,
+            after_cold.cache.inserted,
+            after_cold.submitted
+        );
+
+        // Phase 2: hot-key storm from many threads.
+        let hot = [PlanRequest::slack(0.3), PlanRequest::slack(0.5)];
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let hot = &hot;
+                s.spawn(move || {
+                    for request in hot.iter().cycle().take(50) {
+                        let plan = svc.plan(tenant_a, request).expect("hot request solves");
+                        assert!(plan.predicted_latency_secs <= plan.qos_secs);
+                    }
+                });
+            }
+        });
+        let after_storm = svc.stats();
+        println!("hot-key storm: 400 requests from 8 threads");
+        println!(
+            "  hit rate {:.1}%, joined in-flight {}, total solves {}",
+            after_storm.hit_rate() * 100.0,
+            after_storm.cache.joined,
+            after_storm.cache.inserted
+        );
+
+        // Phase 3: the second tenant rides the warm cache.
+        let shared = svc.plan(tenant_b, &PlanRequest::slack(0.3))?;
+        let again = svc.plan(tenant_a, &PlanRequest::slack(0.3))?;
+        assert!(Arc::ptr_eq(&shared, &again));
+        println!("\nsecond tenant: slack(0.3) answered from the shared cache");
+        Ok(())
+    })?;
+
+    let stats = service.stats();
+    println!("\nfinal stats");
+    println!("  requests    {:>8}", stats.submitted);
+    println!("  completed   {:>8}", stats.completed);
+    println!("  hit rate    {:>7.1}%", stats.hit_rate() * 100.0);
+    println!("  solves      {:>8}", stats.cache.inserted);
+    println!(
+        "  batches     {:>8} (mean {:.1})",
+        stats.batches,
+        stats.mean_batch()
+    );
+    println!("  throughput  {:>8.0} req/s", stats.throughput_rps());
+    assert_eq!(
+        stats.cache.hits + stats.cache.misses,
+        stats.submitted,
+        "cache counters must account for every admitted request"
+    );
+    Ok(())
+}

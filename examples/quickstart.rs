@@ -1,6 +1,11 @@
 //! Quickstart: optimize and deploy one model under a QoS budget.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! This walks the single-request path (`Planner` + `PlanRequest`); for
+//! serving *streams* of concurrent requests through the plan cache and
+//! request coalescer, see `examples/plan_service.rs`
+//! (`dae_dvfs::PlanService`).
 
 use dae_dvfs::{PlanRequest, Planner, Stm32F767Target};
 use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};

@@ -5,13 +5,14 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "clock_explorer",
     "qos_sweep",
     "battery_lifetime",
     "vww_deployment",
     "cross_target",
+    "plan_service",
 ];
 
 #[test]
