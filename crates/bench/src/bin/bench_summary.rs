@@ -32,12 +32,10 @@ use dae_dvfs::{
     optimize, solve_dp, solve_dp_sweep, MckpItem, PlanRequest, PlanService, Planner, ServiceConfig,
     Stm32F767Target, Target,
 };
+use repro_bench::json::BENCH_SUMMARY_SCHEMA_VERSION;
 use repro_bench::{config, json};
 use tinyengine::qos_window;
 use tinynn::models::synth::SplitMix64;
-
-/// Schema version of the `BENCH_SUMMARY.json` document.
-const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 4;
 
 /// Slack levels of the 10-point sweep (5% … 95% in 10% steps).
 fn sweep_slacks() -> Vec<f64> {

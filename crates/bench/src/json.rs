@@ -9,6 +9,12 @@
 
 use std::fmt::Write as _;
 
+/// Schema version of the `BENCH_SUMMARY.json` document. This constant is
+/// the single source of truth: `repro-lint`'s consistency rule checks
+/// that the committed `BENCH_SUMMARY.json` and every `schema v<N>`
+/// mention in `DESIGN.md` agree with it.
+pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 4;
+
 /// Escapes and quotes a string for JSON.
 ///
 /// Delegates to the single escaper the plan-artifact writer uses

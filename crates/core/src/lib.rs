@@ -25,6 +25,13 @@
 //! sweeps — the serving entry point when many tenants ask for plans at
 //! once.
 //!
+//! The serving stack's invariants are machine-checked: all locking goes
+//! through the ranked mutexes in this crate's `sync` module (debug
+//! builds panic on out-of-rank acquisition, citing both sites), and
+//! `cargo run -p repro-lint -- --check` statically enforces the locking,
+//! determinism, and panic-hygiene rules — see DESIGN.md, "Static
+//! analysis & concurrency discipline".
+//!
 //! # Examples
 //!
 //! The typed request surface: build a [`Planner`] for a target, describe

@@ -22,9 +22,9 @@
 //! a submission-queue slot.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
-use crate::sync::lock;
+use crate::sync::{lock, rank, RankedGuard, RankedMutex};
 
 use crate::pipeline::DeploymentPlan;
 use crate::request::Solver;
@@ -213,7 +213,9 @@ impl<W> Shard<W> {
 /// inspects it.
 #[derive(Debug)]
 pub(crate) struct PlanCache<W> {
-    shards: Vec<Mutex<Shard<W>>>,
+    /// Shard locks carry [`rank::CACHE_SHARD`]: above the submission
+    /// queue (taken while holding it on the submit path), below tickets.
+    shards: Vec<RankedMutex<Shard<W>>>,
     /// Completed-entry capacity per shard (the configured total split
     /// evenly, floored at one).
     shard_capacity: usize,
@@ -226,11 +228,13 @@ impl<W> PlanCache<W> {
         let shards = shards.max(1);
         PlanCache {
             shard_capacity: capacity.div_ceil(shards).max(1),
-            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..shards)
+                .map(|_| RankedMutex::new(rank::CACHE_SHARD, Shard::new()))
+                .collect(),
         }
     }
 
-    fn shard(&self, key: &PlanKey) -> MutexGuard<'_, Shard<W>> {
+    fn shard(&self, key: &PlanKey) -> RankedGuard<'_, Shard<W>> {
         let index = (key.fnv() % self.shards.len() as u64) as usize;
         lock(&self.shards[index])
     }

@@ -7,11 +7,15 @@
 //! are only ever taken *while holding* the queue lock on the submit path
 //! (never the other way around), so the lock order is acyclic. Workers
 //! take the queue lock to pop a batch, release it to solve, and touch
-//! only cache/ticket locks to publish results.
+//! only cache/ticket locks to publish results. That acyclic order is
+//! executable, not just documented: every lock here is a
+//! [`crate::sync::RankedMutex`] (queue 10 < cache-shard 20 < ticket 30 <
+//! timing 40), and under `debug_assertions` an out-of-rank acquisition
+//! panics with both sites — see the [`crate::sync`] module docs.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::artifact::{config_fingerprint, model_fingerprint};
@@ -22,7 +26,7 @@ use crate::request::PlanRequest;
 use crate::service::cache::{CacheStats, Lookup, PlanCache, PlanKey};
 use crate::service::coalesce::{canonicalize, solve_batch, GroupKey};
 use crate::service::ServiceConfig;
-use crate::sync::{lock, wait, wait_timeout};
+use crate::sync::{lock, rank, wait, wait_timeout, RankedCondvar, RankedMutex};
 
 /// Handle to a planner registered with a [`PlanService`]; cheap to copy
 /// and required by [`PlanService::submit`].
@@ -51,13 +55,20 @@ struct Pending {
     ticket: Arc<TicketInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct TicketInner {
-    slot: Mutex<Option<Result<Arc<DeploymentPlan>, ServiceError>>>,
-    ready: Condvar,
+    slot: RankedMutex<Option<Result<Arc<DeploymentPlan>, ServiceError>>>,
+    ready: RankedCondvar,
 }
 
 impl TicketInner {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketInner {
+            slot: RankedMutex::new(rank::TICKET, None),
+            ready: RankedCondvar::new(),
+        })
+    }
+
     fn fulfill(&self, result: Result<Arc<DeploymentPlan>, ServiceError>) {
         *lock(&self.slot) = Some(result);
         self.ready.notify_all();
@@ -221,10 +232,10 @@ pub struct PlanService {
     config: ServiceConfig,
     planners: Vec<Registered>,
     cache: PlanCache<Arc<TicketInner>>,
-    queue: Mutex<Queue>,
-    arrived: Condvar,
+    queue: RankedMutex<Queue>,
+    arrived: RankedCondvar,
     counters: Counters,
-    timing: Mutex<Timing>,
+    timing: RankedMutex<Timing>,
     /// Lock-free mirrors of the queue's `serving`/`draining` flags: the
     /// submit fast path serves cache hits without touching the queue
     /// mutex, so hot-key traffic contends only on the cache shards. The
@@ -276,15 +287,18 @@ impl PlanService {
             cache: PlanCache::new(config.cache_capacity, config.cache_shards),
             config,
             planners: Vec::new(),
-            queue: Mutex::new(Queue {
-                items: VecDeque::new(),
-                serving: false,
-                draining: false,
-                max_depth: 0,
-            }),
-            arrived: Condvar::new(),
+            queue: RankedMutex::new(
+                rank::QUEUE,
+                Queue {
+                    items: VecDeque::new(),
+                    serving: false,
+                    draining: false,
+                    max_depth: 0,
+                },
+            ),
+            arrived: RankedCondvar::new(),
             counters: Counters::default(),
-            timing: Mutex::new(Timing::default()),
+            timing: RankedMutex::new(rank::TIMING, Timing::default()),
             serving_hint: AtomicBool::new(false),
             draining_hint: AtomicBool::new(false),
         })
@@ -405,14 +419,14 @@ impl PlanService {
         {
             if let Some(plan) = self.cache.get(canonical.key) {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                let ticket = Arc::new(TicketInner::default());
+                let ticket = TicketInner::new();
                 ticket.fulfill(Ok(plan));
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
                 return Ok(PlanTicket { inner: ticket });
             }
         }
 
-        let ticket = Arc::new(TicketInner::default());
+        let ticket = TicketInner::new();
         // For misses, the cache lookup happens under the queue lock:
         // admission and leadership are decided together, so a leader
         // that cannot be queued rolls its flight back immediately.
@@ -549,9 +563,8 @@ impl PlanService {
         if self.config.batch_linger > Duration::ZERO {
             let deadline = Instant::now() + self.config.batch_linger;
             while batch.len() < self.config.max_batch && !queue.draining {
-                let now = Instant::now();
                 let Some(remaining) = deadline
-                    .checked_duration_since(now)
+                    .checked_duration_since(Instant::now())
                     .filter(|d| !d.is_zero())
                 else {
                     break;
@@ -578,7 +591,13 @@ impl PlanService {
         let mut i = 0;
         while i < items.len() && batch.len() < cap {
             if items[i].group == group {
-                batch.push(items.remove(i).expect("index checked"));
+                match items.remove(i) {
+                    Some(pending) => batch.push(pending),
+                    // `i < items.len()` makes this unreachable; an empty
+                    // removal simply ends the scan rather than panicking
+                    // a worker (panic hygiene: no unwrap/expect here).
+                    None => break,
+                }
             } else {
                 i += 1;
             }

@@ -46,15 +46,28 @@ fn build_freqs(fronts: &[Vec<DsePoint>], ws: &mut SolverWorkspace) -> usize {
 /// energies once — the inner DP transition then only selects between the
 /// same/changed variants instead of re-deriving overheads and
 /// re-searching `freqs` per layer. Expects [`build_freqs`] to have run.
+///
+/// # Errors
+///
+/// [`MckpError::InvalidInput`] if an item's sysclk is missing from the
+/// workspace's frequency universe — impossible when [`build_freqs`] ran
+/// over the same fronts, but reported as a typed error rather than a
+/// panic so a corrupted workspace cannot take a serving worker down.
 fn prepare_items(
     fronts: &[Vec<DsePoint>],
     scale: f64,
     config: &DseConfig,
     idle_power_w: f64,
     ws: &mut SolverWorkspace,
-) {
-    let freq_id = |f: Hertz, freqs: &[Hertz]| -> u16 {
-        freqs.iter().position(|&x| x == f).expect("in universe") as u16
+) -> Result<(), MckpError> {
+    let freq_id = |f: Hertz, freqs: &[Hertz]| -> Result<u16, MckpError> {
+        match freqs.iter().position(|&x| x == f) {
+            Some(id) => Ok(id as u16),
+            None => Err(MckpError::InvalidInput {
+                field: "fronts",
+                reason: format!("sysclk {f} missing from the solve's frequency universe"),
+            }),
+        }
     };
     let weight = |t: f64| -> usize { (t / scale).ceil() as usize };
 
@@ -67,7 +80,7 @@ fn prepare_items(
             let overhead = entry_overhead_secs(p, config);
             let overhead_e = entry_power(p, config).as_f64() * overhead - idle_power_w * overhead;
             ws.seq_items.push(SeqItem {
-                f_new: freq_id(p.hfo.sysclk(), &ws.freqs),
+                f_new: freq_id(p.hfo.sysclk(), &ws.freqs)?,
                 w_same: weight(p.latency_secs),
                 w_diff: weight(p.latency_secs + overhead),
                 de_same: base_e,
@@ -76,6 +89,7 @@ fn prepare_items(
         }
     }
     ws.seq_offsets.push(ws.seq_items.len());
+    Ok(())
 }
 
 /// Fills the layered DP grid: after the call `ws.seq_dp[f * buckets + b]`
@@ -209,7 +223,7 @@ pub(crate) fn solve_sequence_with(
     validate_fronts(fronts)?;
     let grid = Grid::single(budget_secs, resolution);
     build_freqs(fronts, ws);
-    prepare_items(fronts, grid.scale, config, idle_power_w, ws);
+    prepare_items(fronts, grid.scale, config, idle_power_w, ws)?;
     fill_table(fronts, grid.buckets, ws);
     extract(
         fronts,
@@ -267,7 +281,7 @@ pub fn sequence_sweep<'a>(
     // trace every historical call already allocated).
     let max_buckets = MAX_SWEEP_STATES / (nf * fronts.len()).max(1);
     let grid = Grid::shared_with_cap(budgets, resolution, max_buckets)?;
-    prepare_items(fronts, grid.scale, config, idle_power_w, ws);
+    prepare_items(fronts, grid.scale, config, idle_power_w, ws)?;
     fill_table(fronts, grid.buckets, ws);
     Ok(SequenceSweep {
         fronts,

@@ -11,9 +11,9 @@
 //! The workspace carries no results — after a solve it is an opaque bag of
 //! scratch capacity, safe to reuse for any later solve of any shape.
 
-use std::sync::Mutex;
-
 use stm32_rcc::Hertz;
+
+use crate::sync::{lock, rank, RankedMutex};
 
 /// Per-item precomputed data for the sequence DP: the item's frequency id
 /// in the solve's frequency universe, its bucket weights and adjusted
@@ -92,17 +92,27 @@ impl SolverWorkspace {
 /// out a fresh workspace (warmed ones are returned up to the capacity,
 /// extras are dropped). Results can never depend on which workspace a
 /// solve used — the buffers are pure scratch.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WorkspacePool {
-    slots: Mutex<Vec<SolverWorkspace>>,
+    /// Carries [`rank::WORKSPACE`], the highest rank in the workspace's
+    /// lock order: a solve may run under any service lock regime without
+    /// inverting the acquisition order.
+    slots: RankedMutex<Vec<SolverWorkspace>>,
     capacity: usize,
+}
+
+impl Default for WorkspacePool {
+    /// A single-slot pool (the smallest useful capacity).
+    fn default() -> Self {
+        WorkspacePool::new(1)
+    }
 }
 
 impl WorkspacePool {
     /// A pool retaining at most `capacity` idle workspaces (floored at 1).
     pub fn new(capacity: usize) -> Self {
         WorkspacePool {
-            slots: Mutex::new(Vec::new()),
+            slots: RankedMutex::new(rank::WORKSPACE, Vec::new()),
             capacity: capacity.max(1),
         }
     }
@@ -120,13 +130,13 @@ impl WorkspacePool {
     /// empty). Pair with [`WorkspacePool::put`], or use
     /// [`WorkspacePool::run`] for the scoped form.
     pub fn take(&self) -> SolverWorkspace {
-        crate::sync::lock(&self.slots).pop().unwrap_or_default()
+        lock(&self.slots).pop().unwrap_or_default()
     }
 
     /// Returns a workspace to the pool; dropped if the pool already holds
     /// `capacity` idle workspaces.
     pub fn put(&self, workspace: SolverWorkspace) {
-        let mut slots = crate::sync::lock(&self.slots);
+        let mut slots = lock(&self.slots);
         if slots.len() < self.capacity.max(1) {
             slots.push(workspace);
         }
@@ -144,7 +154,7 @@ impl WorkspacePool {
 
     /// Number of idle workspaces currently retained (diagnostics/tests).
     pub fn idle(&self) -> usize {
-        crate::sync::lock(&self.slots).len()
+        lock(&self.slots).len()
     }
 }
 

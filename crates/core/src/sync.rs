@@ -1,4 +1,4 @@
-//! Poison-tolerant locking helpers shared by the planner's workspace
+//! Poison-tolerant, **rank-checked** locking for the planner's workspace
 //! pool and the serving subsystem.
 //!
 //! Every `Mutex`/`Condvar` in this crate guards plain data whose
@@ -6,52 +6,444 @@
 //! queues of owned values) — a panic elsewhere cannot leave them
 //! logically inconsistent, so lock poisoning is uniformly ignored. This
 //! module is the single home of that policy; if it ever needs to
-//! change, it changes here.
+//! change, it changes here. The workspace linter (`repro-lint`) enforces
+//! the single-home property: raw `Mutex`/`Condvar` types and `.lock()` /
+//! `.wait()` method calls are rejected everywhere outside this file.
+//!
+//! # Lock ranks
+//!
+//! The serving stack's "acyclic lock order" used to be a comment in
+//! `service/front.rs`. It is now an executable invariant: every
+//! [`RankedMutex`] carries a [`LockRank`], and under `debug_assertions` a
+//! thread-local stack of held ranks is maintained — acquiring a lock
+//! whose rank is not strictly greater than the highest rank already held
+//! panics with **both** acquisition sites. Release builds compile the
+//! check away entirely.
+//!
+//! The rank map (low acquires first, high acquires last):
+//!
+//! | rank | lock | home |
+//! |------|------|------|
+//! | 10 `queue` | submission queue + drain flags | `service/front.rs` |
+//! | 20 `cache-shard` | plan-cache shard (LRU map **and** its single-flight table share this lock) | `service/cache.rs` |
+//! | 30 `ticket` | per-request result slot | `service/front.rs` |
+//! | 40 `timing` | serving wall-clock accumulator | `service/front.rs` |
+//! | 50 `workspace-pool` | idle solver-workspace slots | `solver/workspace.rs` |
+//!
+//! A condvar wait *releases* its mutex, so [`wait`] / [`wait_timeout`]
+//! pop the rank for the duration of the block and re-check it on wakeup.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
 use std::time::Duration;
 
-/// Locks `mutex`, recovering the guard from a poisoned lock.
-pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    match mutex.lock() {
+/// Deadlock-avoidance rank of a [`RankedMutex`]. On any one thread,
+/// locks must be acquired in strictly increasing rank order; see the
+/// [module docs](self) for the workspace's rank map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LockRank {
+    /// Position in the global acquisition order (strictly increasing).
+    pub(crate) level: u16,
+    /// Human-readable name used in violation reports.
+    pub(crate) name: &'static str,
+}
+
+impl fmt::Display for LockRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` (rank {})", self.name, self.level)
+    }
+}
+
+/// The workspace's lock-rank map. Levels are spaced by 10 so a future
+/// lock can slot between existing ones without renumbering.
+pub(crate) mod rank {
+    use super::LockRank;
+
+    /// The service's submission queue (and its serving/draining flags).
+    pub(crate) const QUEUE: LockRank = LockRank {
+        level: 10,
+        name: "queue",
+    };
+    /// One plan-cache shard: the LRU map and the single-flight table
+    /// share this lock, so the ISSUE-level "queue < flight table < cache
+    /// shard" order collapses to queue < cache-shard here.
+    pub(crate) const CACHE_SHARD: LockRank = LockRank {
+        level: 20,
+        name: "cache-shard",
+    };
+    /// A request ticket's result slot.
+    pub(crate) const TICKET: LockRank = LockRank {
+        level: 30,
+        name: "ticket",
+    };
+    /// The serving wall-clock accumulator.
+    pub(crate) const TIMING: LockRank = LockRank {
+        level: 40,
+        name: "timing",
+    };
+    /// The solver workspace pool's idle slots.
+    pub(crate) const WORKSPACE: LockRank = LockRank {
+        level: 50,
+        name: "workspace-pool",
+    };
+}
+
+#[cfg(debug_assertions)]
+mod check {
+    //! The debug-only held-rank stack. Thread-local because the rank
+    //! discipline is a per-thread property: a deadlock cycle needs one
+    //! thread acquiring out of order relative to another, and forbidding
+    //! non-increasing acquisition on *every* thread excludes all cycles.
+
+    use super::LockRank;
+    use std::cell::RefCell;
+    use std::panic::Location;
+
+    struct Held {
+        token: u64,
+        level: u16,
+        name: &'static str,
+        site: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+        static NEXT_TOKEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Records an acquisition, panicking (with both sites) if `rank` is
+    /// not strictly above every rank this thread already holds.
+    pub(super) fn acquire(rank: LockRank, site: &'static Location<'static>) -> u64 {
+        let conflict = HELD.with(|held| {
+            let held = held.borrow();
+            held.last()
+                .filter(|top| rank.level <= top.level)
+                .map(|top| (top.level, top.name, top.site))
+        });
+        if let Some((level, name, held_site)) = conflict {
+            panic!(
+                "lock-rank violation: acquiring {rank} at {site} while holding `{name}` \
+                 (rank {level}) acquired at {held_site}; locks must be taken in strictly \
+                 increasing rank order (rank map: crates/core/src/sync.rs)"
+            );
+        }
+        let token = NEXT_TOKEN.with(|t| {
+            let token = t.get();
+            t.set(token + 1);
+            token
+        });
+        HELD.with(|held| {
+            held.borrow_mut().push(Held {
+                token,
+                level: rank.level,
+                name: rank.name,
+                site,
+            });
+        });
+        token
+    }
+
+    /// Removes the acquisition identified by `token` (usually the top of
+    /// the stack; out-of-order guard drops are tolerated).
+    pub(super) fn release(token: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(index) = held.iter().rposition(|h| h.token == token) {
+                held.remove(index);
+            }
+        });
+    }
+}
+
+/// A [`Mutex`] with a [`LockRank`]; the only mutex type the workspace
+/// uses outside this module. Acquire with the free function [`lock`].
+#[derive(Debug)]
+pub(crate) struct RankedMutex<T> {
+    rank_level: u16,
+    rank_name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> RankedMutex<T> {
+    /// A mutex guarding `value` at `rank`.
+    pub(crate) const fn new(rank: LockRank, value: T) -> Self {
+        RankedMutex {
+            rank_level: rank.level,
+            rank_name: rank.name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    fn rank(&self) -> LockRank {
+        LockRank {
+            level: self.rank_level,
+            name: self.rank_name,
+        }
+    }
+}
+
+/// A [`Condvar`] paired with [`RankedMutex`] guards; the only condvar
+/// type the workspace uses outside this module. Wait with the free
+/// functions [`wait`] / [`wait_timeout`].
+#[derive(Debug, Default)]
+pub(crate) struct RankedCondvar {
+    inner: Condvar,
+}
+
+impl RankedCondvar {
+    /// A fresh condvar.
+    pub(crate) const fn new() -> Self {
+        RankedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Wakes every waiter. (There is deliberately no `notify_one`: the
+    /// serving stack's enqueue wakeups must be broadcast so a lingering
+    /// batch worker cannot swallow a wakeup aimed at an idle one — see
+    /// `service/front.rs`.)
+    pub(crate) fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// The guard of a [`RankedMutex`]; releases the lock — and its rank —
+/// on drop.
+pub(crate) struct RankedGuard<'a, T> {
+    /// `None` only transiently: while the guard is surrendered to a
+    /// condvar wait, and in `Drop` after the hand-off.
+    inner: Option<MutexGuard<'a, T>>,
+    rank: LockRank,
+    #[cfg(debug_assertions)]
+    token: u64,
+}
+
+impl<'a, T> RankedGuard<'a, T> {
+    /// Wraps a freshly acquired raw guard, registering its rank.
+    #[track_caller]
+    fn register(inner: MutexGuard<'a, T>, rank: LockRank) -> Self {
+        #[cfg(debug_assertions)]
+        let token = check::acquire(rank, std::panic::Location::caller());
+        RankedGuard {
+            inner: Some(inner),
+            rank,
+            #[cfg(debug_assertions)]
+            token,
+        }
+    }
+
+    /// Surrenders the raw guard (for a condvar wait), unregistering the
+    /// rank for the duration of the block.
+    fn surrender(mut self) -> (MutexGuard<'a, T>, LockRank) {
+        #[cfg(debug_assertions)]
+        check::release(self.token);
+        let inner = self.inner.take().unwrap_or_else(|| unreachable!());
+        let rank = self.rank;
+        (inner, rank)
+    }
+}
+
+impl<T> Deref for RankedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(guard) => guard,
+            None => unreachable!("guard accessed while surrendered"),
+        }
+    }
+}
+
+impl<T> DerefMut for RankedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(guard) => guard,
+            None => unreachable!("guard accessed while surrendered"),
+        }
+    }
+}
+
+impl<T> Drop for RankedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            #[cfg(debug_assertions)]
+            check::release(self.token);
+        }
+    }
+}
+
+/// Recovers a raw guard from a poisoned lock result — the single home of
+/// the workspace's poison-tolerance policy.
+fn recover<'a, T>(
+    result: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    match result {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     }
 }
 
-/// [`Condvar::wait`], recovering the guard from a poisoned lock.
-pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    match condvar.wait(guard) {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+/// Locks `mutex`, recovering the guard from a poisoned lock and (under
+/// `debug_assertions`) enforcing the rank order against every lock the
+/// calling thread already holds.
+#[track_caller]
+pub(crate) fn lock<T>(mutex: &RankedMutex<T>) -> RankedGuard<'_, T> {
+    let inner = recover(mutex.inner.lock());
+    RankedGuard::register(inner, mutex.rank())
 }
 
-/// [`Condvar::wait_timeout`], recovering the guard from a poisoned lock.
+/// [`Condvar::wait`] over ranked guards: the rank is released for the
+/// blocking interval (the mutex is unlocked while waiting) and
+/// re-checked on wakeup.
+#[track_caller]
+pub(crate) fn wait<'a, T>(
+    condvar: &RankedCondvar,
+    guard: RankedGuard<'a, T>,
+) -> RankedGuard<'a, T> {
+    let (inner, rank) = guard.surrender();
+    let inner = recover(condvar.inner.wait(inner));
+    RankedGuard::register(inner, rank)
+}
+
+/// [`Condvar::wait_timeout`] over ranked guards; same rank hand-off as
+/// [`wait`].
+#[track_caller]
 pub(crate) fn wait_timeout<'a, T>(
-    condvar: &Condvar,
-    guard: MutexGuard<'a, T>,
+    condvar: &RankedCondvar,
+    guard: RankedGuard<'a, T>,
     timeout: Duration,
-) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
-    match condvar.wait_timeout(guard, timeout) {
+) -> (RankedGuard<'a, T>, WaitTimeoutResult) {
+    let (inner, rank) = guard.surrender();
+    let (inner, result) = match condvar.inner.wait_timeout(inner, timeout) {
         Ok(pair) => pair,
         Err(poisoned) => poisoned.into_inner(),
-    }
+    };
+    (RankedGuard::register(inner, rank), result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
     #[test]
     fn lock_recovers_from_poisoning() {
-        let mutex = Mutex::new(7);
+        let mutex = RankedMutex::new(rank::QUEUE, 7);
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = mutex.lock().unwrap();
+            let _guard = lock(&mutex);
             panic!("poison the lock");
         }));
-        assert!(mutex.is_poisoned());
         assert_eq!(*lock(&mutex), 7);
+    }
+
+    #[test]
+    fn ascending_acquisition_passes() {
+        let queue = RankedMutex::new(rank::QUEUE, 1);
+        let shard = RankedMutex::new(rank::CACHE_SHARD, 2);
+        let ticket = RankedMutex::new(rank::TICKET, 3);
+        let q = lock(&queue);
+        let s = lock(&shard);
+        let t = lock(&ticket);
+        assert_eq!(*q + *s + *t, 6);
+        // Releasing out of stack order is fine too.
+        drop(s);
+        drop(t);
+        drop(q);
+        // And sequential (non-nested) re-acquisition at any rank is fine.
+        assert_eq!(*lock(&queue), 1);
+        assert_eq!(*lock(&queue), 1);
+    }
+
+    /// The acceptance scenario: an inverted acquisition (cache shard held,
+    /// then queue) is detected and the panic names **both** sites.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn inverted_acquisition_panics_with_both_sites() {
+        let queue = RankedMutex::new(rank::QUEUE, 1);
+        let shard = RankedMutex::new(rank::CACHE_SHARD, 2);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _shard = lock(&shard); // first site
+            let _queue = lock(&queue); // second site: rank 10 under rank 20
+        }));
+        let payload = unwound.expect_err("inversion must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into());
+        assert!(
+            message.contains("lock-rank violation"),
+            "unexpected panic: {message}"
+        );
+        assert!(message.contains("`queue` (rank 10)"), "{message}");
+        assert!(message.contains("`cache-shard` (rank 20)"), "{message}");
+        // Both acquisition sites are file:line references into this test.
+        assert_eq!(
+            message.matches("sync.rs:").count(),
+            2,
+            "expected both acquisition sites in: {message}"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn same_rank_reacquisition_is_rejected() {
+        let a = RankedMutex::new(rank::CACHE_SHARD, 1);
+        let b = RankedMutex::new(rank::CACHE_SHARD, 2);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _a = lock(&a);
+            let _b = lock(&b); // equal rank: would deadlock against a peer
+        }));
+        assert!(unwound.is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn violation_unwinds_clean_and_the_thread_stays_usable() {
+        let queue = RankedMutex::new(rank::QUEUE, 1);
+        let timing = RankedMutex::new(rank::TIMING, 4);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _t = lock(&timing);
+            let _q = lock(&queue);
+        }));
+        assert!(unwound.is_err());
+        // The unwound guards released their ranks: a fresh ascending
+        // sequence on this thread passes.
+        let q = lock(&queue);
+        let t = lock(&timing);
+        assert_eq!(*q + *t, 5);
+    }
+
+    #[test]
+    fn condvar_wait_releases_the_rank_while_blocked() {
+        // A waiter parked on `ticket` (rank 30) must not poison the rank
+        // stack: the worker thread acquires queue→shard→ticket while the
+        // waiter blocks, and the waiter's wakeup re-registers cleanly.
+        let slot = RankedMutex::new(rank::TICKET, None::<u32>);
+        let ready = RankedCondvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut guard = lock(&slot);
+                while guard.is_none() {
+                    guard = wait(&ready, guard);
+                }
+                assert_eq!(*guard, Some(42));
+                // While still holding `ticket`, a higher rank is fine...
+                let timing = RankedMutex::new(rank::TIMING, ());
+                let _t = lock(&timing);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            *lock(&slot) = Some(42);
+            ready.notify_all();
+        });
+    }
+
+    #[test]
+    fn wait_timeout_times_out_and_keeps_the_guard() {
+        let slot = RankedMutex::new(rank::TICKET, 0u32);
+        let ready = RankedCondvar::new();
+        let guard = lock(&slot);
+        let (guard, result) = wait_timeout(&ready, guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+        assert_eq!(*guard, 0);
     }
 }

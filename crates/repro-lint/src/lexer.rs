@@ -1,0 +1,491 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The workspace builds offline, so the linter cannot lean on `syn` or
+//! `proc-macro2`; it tokenizes source files itself. The lexer is
+//! deliberately lossless: every byte of the input ends up in exactly one
+//! token, so `tokens.concat() == source` holds for any file it accepts
+//! (the round-trip property the workspace-wide property test pins).
+//!
+//! It recognizes just enough structure for the lint rules: identifiers
+//! (including raw `r#ident`), lifetimes vs. char literals, all the string
+//! flavors (`"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`), nested block
+//! comments, numbers with suffixes, and multi-character punctuation
+//! (`::`, `->`, `..=`, …). It does **not** parse; rules pattern-match on
+//! the token stream.
+
+/// Classification of a [`Token`]. `Whitespace`, `LineComment` and
+/// `BlockComment` are "trivia": rules skip them via
+/// [`significant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace characters.
+    Whitespace,
+    /// `// …` up to (not including) the newline. Doc line comments too.
+    LineComment,
+    /// `/* … */`, nesting handled. Doc block comments too.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime such as `'a` (or the loop label form `'outer`).
+    Lifetime,
+    /// Integer or float literal, including any type suffix (`1_000u32`).
+    Number,
+    /// String-like literal: `"…"`, `r"…"`, `b"…"`, `br#"…"#`, `c"…"`,
+    /// or a char/byte-char literal `'x'` / `b'\n'`.
+    Str,
+    /// A single punctuation token, possibly multi-character (`::`, `=>`).
+    Punct,
+}
+
+/// One lexed token: its kind, the exact source slice it covers, and the
+/// 1-based line its first byte sits on.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+/// A lexing failure, with the 1-based line where it was detected.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Multi-character punctuation, longest first so greedy matching is
+/// correct (`..=` before `..` before `.`).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "..", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.src.get(self.pos + offset..)?.chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    /// Consumes a double-quoted body after the opening `"`, honoring
+    /// backslash escapes.
+    fn quoted_body(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    /// Consumes `#…#"…"#…#` after the leading `r` (hashes may be zero).
+    fn raw_string_body(&mut self) -> Result<(), LexError> {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.bump() != Some('"') {
+            return Err(self.error("malformed raw string opener"));
+        }
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.error("unterminated raw string literal")),
+            }
+        }
+    }
+
+    /// Consumes a char/byte-char body after the opening `'`.
+    fn char_body(&mut self) -> Result<(), LexError> {
+        match self.bump() {
+            Some('\\') => {
+                self.bump();
+                // `\u{…}` escapes run until the closing brace.
+                if self.src[..self.pos].ends_with('u') && self.peek() == Some('{') {
+                    while let Some(c) = self.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => return Err(self.error("unterminated char literal")),
+        }
+        if self.bump() == Some('\'') {
+            Ok(())
+        } else {
+            Err(self.error("unterminated char literal"))
+        }
+    }
+
+    fn ident_run(&mut self) {
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    /// Lexes one token starting at `self.pos`; returns its kind.
+    fn next_kind(&mut self) -> Result<TokenKind, LexError> {
+        let c = self.peek().expect("next_kind called at end of input");
+
+        if c.is_whitespace() {
+            while self.peek().is_some_and(char::is_whitespace) {
+                self.bump();
+            }
+            return Ok(TokenKind::Whitespace);
+        }
+
+        if c == '/' {
+            match self.peek_at(1) {
+                Some('/') => {
+                    while self.peek().is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    return Ok(TokenKind::LineComment);
+                }
+                Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match self.bump() {
+                            Some('/') if self.peek() == Some('*') => {
+                                self.bump();
+                                depth += 1;
+                            }
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    return Ok(TokenKind::BlockComment);
+                                }
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // String-family prefixes: r"", r#""#, r#ident, b"", b'', br"", c"".
+        if matches!(c, 'r' | 'b' | 'c') {
+            let one = self.peek_at(1);
+            let two = self.peek_at(2);
+            match (c, one, two) {
+                ('r', Some('"'), _) | ('r', Some('#'), Some('"' | '#')) => {
+                    self.bump();
+                    self.raw_string_body()?;
+                    return Ok(TokenKind::Str);
+                }
+                ('r', Some('#'), Some(i)) if is_ident_start(i) => {
+                    self.bump();
+                    self.bump();
+                    self.ident_run();
+                    return Ok(TokenKind::Ident);
+                }
+                ('b' | 'c', Some('"'), _) => {
+                    self.bump();
+                    self.bump();
+                    self.quoted_body()?;
+                    return Ok(TokenKind::Str);
+                }
+                ('b', Some('\''), _) => {
+                    self.bump();
+                    self.bump();
+                    self.char_body()?;
+                    return Ok(TokenKind::Str);
+                }
+                ('b', Some('r'), Some('"' | '#')) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body()?;
+                    return Ok(TokenKind::Str);
+                }
+                _ => {}
+            }
+        }
+
+        if is_ident_start(c) {
+            self.ident_run();
+            return Ok(TokenKind::Ident);
+        }
+
+        if c == '"' {
+            self.bump();
+            self.quoted_body()?;
+            return Ok(TokenKind::Str);
+        }
+
+        if c == '\'' {
+            // Lifetime (`'a`, not followed by a closing quote) vs. char
+            // literal (`'a'`, `'\n'`, `'∞'`).
+            if self.peek_at(1).is_some_and(is_ident_start) {
+                let mut probe = self.pos + 1;
+                while self.src[probe..]
+                    .chars()
+                    .next()
+                    .is_some_and(is_ident_continue)
+                {
+                    probe += self.src[probe..]
+                        .chars()
+                        .next()
+                        .expect("checked")
+                        .len_utf8();
+                }
+                if self.bytes.get(probe) != Some(&b'\'') {
+                    self.bump();
+                    self.ident_run();
+                    return Ok(TokenKind::Lifetime);
+                }
+            }
+            self.bump();
+            self.char_body()?;
+            return Ok(TokenKind::Str);
+        }
+
+        if c.is_ascii_digit() {
+            self.bump();
+            if c == '0' && matches!(self.peek(), Some('x' | 'o' | 'b')) {
+                self.bump();
+            }
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+            // A fractional part only if the dot is followed by a digit
+            // (so `0..n` and `1.max(2)` stay method/range punctuation).
+            if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+                while self.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+            // Exponent, only when it looks like one (`1e9`, `2.5E-3`).
+            if matches!(self.peek(), Some('e' | 'E')) {
+                let after = self.peek_at(1);
+                let signed_digit = matches!(after, Some('+' | '-'))
+                    && self.peek_at(2).is_some_and(|c| c.is_ascii_digit());
+                if after.is_some_and(|c| c.is_ascii_digit()) || signed_digit {
+                    self.bump();
+                    if matches!(self.peek(), Some('+' | '-')) {
+                        self.bump();
+                    }
+                    while self.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+            // Type suffix (`u32`, `f64`, `usize`) rides with the number.
+            if self.peek().is_some_and(is_ident_start) {
+                self.ident_run();
+            }
+            return Ok(TokenKind::Number);
+        }
+
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return Ok(TokenKind::Punct);
+            }
+        }
+        self.bump();
+        Ok(TokenKind::Punct)
+    }
+}
+
+/// Tokenizes `source` losslessly: the concatenation of the returned
+/// tokens' `text` slices is byte-identical to `source`.
+///
+/// # Errors
+///
+/// Unterminated strings, chars or block comments (the only constructs
+/// with a required closer) report the line they started failing on.
+pub fn tokenize(source: &str) -> Result<Vec<Token<'_>>, LexError> {
+    let mut lexer = Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while lexer.pos < source.len() {
+        let start = lexer.pos;
+        let line = lexer.line;
+        let kind = lexer.next_kind()?;
+        debug_assert!(lexer.pos > start, "lexer must always make progress");
+        tokens.push(Token {
+            kind,
+            text: &source[start..lexer.pos],
+            line,
+        });
+    }
+    Ok(tokens)
+}
+
+/// Filters trivia out of a token stream: the rules operate on the
+/// significant tokens only (identifiers, literals, punctuation).
+pub fn significant<'a, 'b>(tokens: &'b [Token<'a>]) -> Vec<&'b Token<'a>> {
+    tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token<'_>> {
+        let tokens = tokenize(src).expect("tokenize");
+        let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src, "round-trip must be byte-identical");
+        tokens
+    }
+
+    #[test]
+    fn idents_keywords_and_raw_idents() {
+        let tokens = roundtrip("fn r#match(x_1: u32) {}");
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, ["fn", "r#match", "x_1", "u32"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let tokens = roundtrip("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "'x'"));
+    }
+
+    #[test]
+    fn string_flavors() {
+        for src in [
+            r#""plain \"escaped\"""#,
+            r##"r#"raw "inner" body"#"##,
+            r#"b"bytes""#,
+            r#"br"raw bytes""#,
+            "b'\\n'",
+            "'\\u{1F600}'",
+        ] {
+            let tokens = roundtrip(src);
+            assert_eq!(tokens.len(), 1, "{src:?}");
+            assert_eq!(tokens[0].kind, TokenKind::Str, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let tokens = roundtrip("/* outer /* inner */ still outer */ x");
+        assert_eq!(tokens[0].kind, TokenKind::BlockComment);
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers_with_suffixes_ranges_and_methods() {
+        let tokens = roundtrip("0..n 1.max(2) 2.5e-3f64 0xFF_u8 1_000");
+        let numbers: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(numbers, ["0", "1", "2", "2.5e-3f64", "0xFF_u8", "1_000"]);
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Punct && t.text == ".."));
+    }
+
+    #[test]
+    fn multi_char_puncts_lex_greedily() {
+        let tokens = roundtrip("a..=b c::d e->f g=>h i<<=j");
+        let puncts: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, ["..=", "::", "->", "=>", "<<="]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let tokens = roundtrip("a\nb\n\nc");
+        let lines: Vec<(u32, &str)> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text))
+            .collect();
+        assert_eq!(lines, [(1, "a"), (2, "b"), (4, "c")]);
+    }
+}

@@ -1,0 +1,147 @@
+//! `repro-lint` — the workspace's invariant linter.
+//!
+//! A hand-rolled static-analysis pass (own lexer, no external parser
+//! crates — the build environment is offline) over every Rust source in
+//! the workspace, enforcing the invariants the serving stack depends on:
+//!
+//! - **Locking discipline** — raw `std::sync` primitives live only in
+//!   `crates/core/src/sync.rs`; everyone else uses the ranked wrappers.
+//! - **Lock order** — a static simulation of guard lifetimes that
+//!   mirrors the runtime rank checker: acquisitions must strictly
+//!   increase in rank, and violations cite both acquisition sites.
+//! - **Determinism** — no wall clocks, randomness or hash-ordered
+//!   iteration in the modules whose outputs are pinned bit-identical.
+//! - **Panic hygiene** — no `unwrap`/`expect`/`panic!` in non-test
+//!   serving and solver code.
+//! - **Consistency** — the bench-summary schema version agrees across
+//!   code, document and data; error-enum variants are all alive.
+//! - **Hygiene** — `#[allow]` attributes and stale comment markers are
+//!   either justified in `lint-waivers.toml` or removed.
+//!
+//! See the "Static analysis & concurrency discipline" section of
+//! `DESIGN.md` for the rule catalog and waiver policy, and
+//! [`rules`] for the rule implementations.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+pub mod waivers;
+
+use rules::{AuxDocs, Finding, SourceFile};
+use waivers::Waiver;
+
+/// Outcome of a full lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings not covered by any waiver — these fail `--check`.
+    pub findings: Vec<Finding>,
+    /// Findings covered by a waiver, paired with the waiver's reason.
+    pub waived: Vec<(Finding, String)>,
+    /// Waivers that matched nothing — stale entries also fail `--check`.
+    pub stale_waivers: Vec<Waiver>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run is clean enough for CI: no unwaivered findings
+    /// and no stale waivers.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_waivers.is_empty()
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github", "node_modules"];
+
+/// Collects every `.rs` file under `root` (sorted, repo-relative paths),
+/// skipping build output and vendored stand-ins.
+pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs the full lint over the workspace at `root`.
+///
+/// # Errors
+///
+/// I/O failures, lexer failures (a source file the lexer cannot
+/// round-trip is itself a hard error), and malformed waiver files.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for path in workspace_sources(root)? {
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        files.push(SourceFile::parse(&relative(root, &path), &source)?);
+    }
+
+    let read_aux = |name: &str| -> Option<(String, String)> {
+        let content = fs::read_to_string(root.join(name)).ok()?;
+        Some((name.to_string(), content))
+    };
+    let aux = AuxDocs {
+        design_md: read_aux("DESIGN.md"),
+        bench_summary: read_aux("BENCH_SUMMARY.json"),
+    };
+
+    let waiver_list = match fs::read_to_string(root.join("lint-waivers.toml")) {
+        Ok(text) => waivers::parse(&text)?,
+        Err(_) => Vec::new(),
+    };
+
+    let all = rules::check_all(&files, &aux);
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    let mut used = vec![false; waiver_list.len()];
+    for finding in all {
+        let hit = waiver_list
+            .iter()
+            .position(|w| w.matches(finding.rule, &finding.path, &finding.line_text));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                waived.push((finding, waiver_list[i].reason.clone()));
+            }
+            None => findings.push(finding),
+        }
+    }
+    let stale_waivers = waiver_list
+        .into_iter()
+        .zip(used)
+        .filter_map(|(w, u)| (!u).then_some(w))
+        .collect();
+
+    Ok(Report {
+        findings,
+        waived,
+        stale_waivers,
+        files_scanned: files.len(),
+    })
+}

@@ -1,0 +1,76 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p repro-lint --release -- --check
+//! ```
+//!
+//! Prints findings as `path:line: [rule] message`. `--check` exits
+//! nonzero when any unwaivered finding (or stale waiver) remains — the
+//! CI gate. `--verbose` additionally lists waived findings with their
+//! reasons. `--root <dir>` lints a different tree (default: the current
+//! directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut verbose = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--verbose" => verbose = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("repro-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("repro-lint: unknown argument `{other}`");
+                eprintln!("usage: repro-lint [--check] [--verbose] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match repro_lint::run(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for waiver in &report.stale_waivers {
+        println!(
+            "lint-waivers.toml:{}: [stale-waiver] waiver for `{}` on `{}` (pattern `{}`) \
+             matched nothing; remove it",
+            waiver.line, waiver.rule, waiver.file, waiver.pattern
+        );
+    }
+    if verbose {
+        for (finding, reason) in &report.waived {
+            println!("{finding} [waived: {reason}]");
+        }
+    }
+    println!(
+        "repro-lint: {} finding(s), {} waived, {} stale waiver(s), {} files scanned",
+        report.findings.len(),
+        report.waived.len(),
+        report.stale_waivers.len(),
+        report.files_scanned
+    );
+
+    if check && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,190 @@
+//! The `lint-waivers.toml` parser and matcher.
+//!
+//! The workspace builds offline (no `toml` crate), so this module parses
+//! the one shape the waiver file uses — a sequence of `[[waiver]]` tables
+//! with `key = "value"` string entries — and rejects anything else.
+//! Every waiver must carry a non-trivial `reason`: a waiver that cannot
+//! say *why* the finding is acceptable is itself a finding.
+
+/// One entry from `lint-waivers.toml`. A finding is waived when its rule
+/// matches `rule`, its path ends with `file`, and the source line it
+/// flags contains `pattern`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule id the waiver applies to (e.g. `determinism`).
+    pub rule: String,
+    /// Path suffix the waiver applies to (e.g. `service/front.rs`).
+    pub file: String,
+    /// Substring of the flagged source line.
+    pub pattern: String,
+    /// Why the finding is acceptable. Required, and required to be more
+    /// than a shrug.
+    pub reason: String,
+    /// 1-based line of the `[[waiver]]` header, for stale-waiver reports.
+    pub line: u32,
+}
+
+impl Waiver {
+    /// Whether this waiver covers a finding produced by `rule` at `path`
+    /// on a line whose text is `line_text`.
+    pub fn matches(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        rule == self.rule && path.ends_with(&self.file) && line_text.contains(&self.pattern)
+    }
+}
+
+/// Parses the waiver file.
+///
+/// # Errors
+///
+/// Reports the first malformed line: unknown keys, missing required
+/// keys, non-string values, or a `reason` too short to justify anything.
+pub fn parse(source: &str) -> Result<Vec<Waiver>, String> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut current: Option<Waiver> = None;
+
+    for (index, raw) in source.lines().enumerate() {
+        let line_no = (index + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(done) = current.take() {
+                finish(done, &mut waivers)?;
+            }
+            current = Some(Waiver {
+                rule: String::new(),
+                file: String::new(),
+                pattern: String::new(),
+                reason: String::new(),
+                line: line_no,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-waivers.toml:{line_no}: expected `key = \"value\"` or `[[waiver]]`, got `{line}`"
+            ));
+        };
+        let Some(waiver) = current.as_mut() else {
+            return Err(format!(
+                "lint-waivers.toml:{line_no}: key `{}` outside any [[waiver]] table",
+                key.trim()
+            ));
+        };
+        let value = value.trim();
+        let unquoted = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| {
+                format!(
+                    "lint-waivers.toml:{line_no}: value for `{}` must be a double-quoted string",
+                    key.trim()
+                )
+            })?;
+        if unquoted.contains('\\') {
+            return Err(format!(
+                "lint-waivers.toml:{line_no}: escape sequences are not supported; use a plain substring pattern"
+            ));
+        }
+        let slot = match key.trim() {
+            "rule" => &mut waiver.rule,
+            "file" => &mut waiver.file,
+            "pattern" => &mut waiver.pattern,
+            "reason" => &mut waiver.reason,
+            other => {
+                return Err(format!(
+                    "lint-waivers.toml:{line_no}: unknown key `{other}` (expected rule/file/pattern/reason)"
+                ))
+            }
+        };
+        if !slot.is_empty() {
+            return Err(format!(
+                "lint-waivers.toml:{line_no}: duplicate key `{}`",
+                key.trim()
+            ));
+        }
+        *slot = unquoted.to_string();
+    }
+    if let Some(done) = current.take() {
+        finish(done, &mut waivers)?;
+    }
+    Ok(waivers)
+}
+
+fn finish(waiver: Waiver, out: &mut Vec<Waiver>) -> Result<(), String> {
+    let at = waiver.line;
+    for (name, value) in [
+        ("rule", &waiver.rule),
+        ("file", &waiver.file),
+        ("pattern", &waiver.pattern),
+        ("reason", &waiver.reason),
+    ] {
+        if value.is_empty() {
+            return Err(format!(
+                "lint-waivers.toml:{at}: waiver is missing required key `{name}`"
+            ));
+        }
+    }
+    // A reason has to actually explain something. Four words is a floor,
+    // not a standard, but it rejects "ok", "legacy" and friends.
+    if waiver.reason.split_whitespace().count() < 4 {
+        return Err(format!(
+            "lint-waivers.toml:{at}: reason `{}` is too short to justify a waiver",
+            waiver.reason
+        ));
+    }
+    out.push(waiver);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[waiver]]
+rule = "determinism"
+file = "service/front.rs"
+pattern = "deadline"
+reason = "the batch linger deadline is wall-clock by design"
+
+[[waiver]]
+rule = "allow-attr"
+file = "service/cache.rs"
+pattern = "unreachable_patterns"
+reason = "single-planner builds collapse the match arms"
+"#;
+
+    #[test]
+    fn parses_waivers_and_matches_by_suffix_and_substring() {
+        let waivers = parse(GOOD).expect("parse");
+        assert_eq!(waivers.len(), 2);
+        assert!(waivers[0].matches(
+            "determinism",
+            "crates/core/src/service/front.rs",
+            "let deadline = start + linger;"
+        ));
+        assert!(!waivers[0].matches("determinism", "crates/core/src/service/front.rs", "other"));
+        assert!(!waivers[0].matches(
+            "panic-hygiene",
+            "crates/core/src/service/front.rs",
+            "deadline"
+        ));
+        assert!(!waivers[0].matches("determinism", "crates/core/src/solver/front.rs", "deadline"));
+    }
+
+    #[test]
+    fn rejects_missing_keys_short_reasons_and_unknown_keys() {
+        assert!(parse("[[waiver]]\nrule = \"x\"")
+            .unwrap_err()
+            .contains("missing required key"));
+        let short = "[[waiver]]\nrule = \"r\"\nfile = \"f\"\npattern = \"p\"\nreason = \"ok\"";
+        assert!(parse(short).unwrap_err().contains("too short"));
+        let unknown = "[[waiver]]\nbogus = \"x\"";
+        assert!(parse(unknown).unwrap_err().contains("unknown key"));
+        let bare = "rule = \"x\"";
+        assert!(parse(bare).unwrap_err().contains("outside any"));
+    }
+}

@@ -5,7 +5,9 @@
 //! This walks the single-request path (`Planner` + `PlanRequest`); for
 //! serving *streams* of concurrent requests through the plan cache and
 //! request coalescer, see `examples/plan_service.rs`
-//! (`dae_dvfs::PlanService`).
+//! (`dae_dvfs::PlanService`). Workspace invariants (locking discipline,
+//! determinism, panic hygiene) are enforced by `repro-lint`; see
+//! DESIGN.md, "Static analysis & concurrency discipline".
 
 use dae_dvfs::{PlanRequest, Planner, Stm32F767Target};
 use tinyengine::{qos_window, run_iso_latency, IdlePolicy, TinyEngine};
