@@ -1,8 +1,11 @@
 //! Solver-core benches: per-call MCKP DP per budget vs one shared-grid
-//! sweep pass answering the whole budget batch.
+//! sweep pass answering the whole budget batch, plus the quantized
+//! kernel split out into fill / extract / incremental re-solve.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dae_dvfs::{solve_dp, solve_dp_sweep, DseConfig, MckpItem};
+use dae_dvfs::{
+    mckp_resweep, mckp_sweep, solve_dp, solve_dp_sweep, DseConfig, MckpItem, SolverWorkspace,
+};
 use std::hint::black_box;
 
 /// Deterministic synthetic MCKP instance shaped like a per-layer Pareto
@@ -64,6 +67,47 @@ fn bench_solver_sweep(c: &mut Criterion) {
                 black_box(acc)
             })
         });
+
+        // The kernel split out: table fill alone, the 10 extractions
+        // alone, and an incremental re-solve after a single-class drift
+        // (the middle class's first item flips its energy each iteration,
+        // so every resweep sees exactly one changed class).
+        group.bench_with_input(BenchmarkId::new("fill", layers), &classes, |b, cl| {
+            let mut ws = SolverWorkspace::new();
+            b.iter(|| {
+                let table = mckp_sweep(cl, &batch, resolution, &mut ws).map(|t| t.buckets());
+                black_box(table).expect("fill solves");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("extract", layers), &classes, |b, cl| {
+            let mut ws = SolverWorkspace::new();
+            let table = mckp_sweep(cl, &batch, resolution, &mut ws).expect("fill solves");
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &budget in &batch {
+                    acc += table.best_for(budget).expect("feasible").total_energy;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental", layers),
+            &classes,
+            |b, cl| {
+                let mut drifted = cl.clone();
+                let mid = drifted.len() / 2;
+                let mut ws = SolverWorkspace::new();
+                mckp_resweep(&drifted, &batch, resolution, &mut ws).expect("prime solves");
+                let mut sign = 1.0;
+                b.iter(|| {
+                    drifted[mid][0].energy += sign * 0.37e-6;
+                    sign = -sign;
+                    let table = mckp_resweep(&drifted, &batch, resolution, &mut ws)
+                        .expect("resweep solves");
+                    black_box(table.refilled_classes())
+                })
+            },
+        );
     }
 
     group.finish();

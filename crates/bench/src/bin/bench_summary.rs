@@ -12,10 +12,13 @@
 //!    table answers every point's whole reserve search by extraction.
 //!
 //! It also times the solver in isolation (per-call `solve_dp` per budget
-//! vs one `solve_dp_sweep`) on the same per-layer fronts, and the
-//! **plan-serving subsystem** on the smallest model: cold `plan()` vs
+//! vs one `solve_dp_sweep`) on the same per-layer fronts, the
+//! **quantized DP kernels** (one shared-grid fill, the per-window
+//! extractions, and an incremental re-solve after a single-class drift
+//! vs the full refill it replaces), and the **plan-serving subsystem**
+//! on the smallest model: cold `plan()` vs
 //! cached hits vs one coalesced batch, plus hit rate and throughput on a
-//! hot-key-skewed trace. Emits a single JSON object (schema v4) on
+//! hot-key-skewed trace. Emits a single JSON object (schema v5) on
 //! stdout, self-validates it against the workspace JSON parser, and
 //! writes `BENCH_SUMMARY.json` to the current directory so CI and the
 //! repo's benchmark trajectory can track the numbers without scraping
@@ -29,8 +32,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dae_dvfs::{
-    optimize, solve_dp, solve_dp_sweep, MckpItem, PlanRequest, PlanService, Planner, ServiceConfig,
-    Stm32F767Target, Target,
+    mckp_resweep, mckp_sweep, optimize, solve_dp, solve_dp_sweep, MckpItem, PlanRequest,
+    PlanService, Planner, ServiceConfig, SolverWorkspace, Stm32F767Target, Target,
 };
 use repro_bench::json::BENCH_SUMMARY_SCHEMA_VERSION;
 use repro_bench::{config, json};
@@ -51,6 +54,9 @@ struct ModelRow {
     percall_total_secs: f64,
     solver_percall_secs: f64,
     solver_sweep_secs: f64,
+    kernel_fill_secs: f64,
+    kernel_extract_secs: f64,
+    incremental_speedup: f64,
 }
 
 impl ModelRow {
@@ -154,6 +160,47 @@ fn measure(model: &tinynn::Model, smoke: bool) -> ModelRow {
         "all sweep budgets feasible"
     );
 
+    // Quantized-kernel timings (schema v5): one shared-grid fill, the
+    // per-window extractions, and an incremental re-solve after a
+    // single-class drift vs the full refill it replaces.
+    let mut ws = SolverWorkspace::new();
+    let t6 = Instant::now();
+    let table = mckp_sweep(&classes, &windows, cfg.dp_resolution, &mut ws).expect("kernel fill");
+    let kernel_fill_secs = t6.elapsed().as_secs_f64();
+    let t7 = Instant::now();
+    for &qos in &windows {
+        table.best_for(qos).expect("kernel extract");
+    }
+    let kernel_extract_secs = t7.elapsed().as_secs_f64();
+
+    // Drift the middle class's first item back and forth so every
+    // iteration presents exactly one changed class: the full path refills
+    // the whole table, the incremental path only the suffix behind it.
+    let mut drifted = classes.clone();
+    let mid = drifted.len() / 2;
+    let iters = if smoke { 3 } else { 20 };
+    let mut ws_full = SolverWorkspace::new();
+    let mut ws_inc = SolverWorkspace::new();
+    mckp_sweep(&drifted, &windows, cfg.dp_resolution, &mut ws_full).expect("prime full");
+    mckp_resweep(&drifted, &windows, cfg.dp_resolution, &mut ws_inc).expect("prime warm");
+    let (mut full_secs, mut inc_secs) = (0.0, 0.0);
+    for i in 0..iters {
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        drifted[mid][0].energy += sign * 0.37e-6;
+        let t = Instant::now();
+        mckp_sweep(&drifted, &windows, cfg.dp_resolution, &mut ws_full).expect("full refill");
+        full_secs += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let warm =
+            mckp_resweep(&drifted, &windows, cfg.dp_resolution, &mut ws_inc).expect("resweep");
+        inc_secs += t.elapsed().as_secs_f64();
+        assert!(
+            warm.refilled_classes() <= drifted.len() - mid,
+            "single-class drift must refill only the suffix"
+        );
+    }
+    let incremental_speedup = full_secs / inc_secs;
+
     ModelRow {
         name: model.name.clone(),
         layers: model.layer_count(),
@@ -163,6 +210,9 @@ fn measure(model: &tinynn::Model, smoke: bool) -> ModelRow {
         percall_total_secs,
         solver_percall_secs,
         solver_sweep_secs,
+        kernel_fill_secs,
+        kernel_extract_secs,
+        incremental_speedup,
     }
 }
 
@@ -326,6 +376,9 @@ fn main() {
                 .f64_field("percall_total_secs", r.percall_total_secs, 6)
                 .f64_field("solver_percall_secs", r.solver_percall_secs, 6)
                 .f64_field("solver_sweep_secs", r.solver_sweep_secs, 6)
+                .f64_field("kernel_fill_secs", r.kernel_fill_secs, 6)
+                .f64_field("kernel_extract_secs", r.kernel_extract_secs, 6)
+                .f64_field("incremental_speedup", r.incremental_speedup, 2)
                 .f64_field("speedup", r.speedup(), 2)
                 .f64_field("sweep_speedup", r.sweep_speedup(), 2)
                 .render()

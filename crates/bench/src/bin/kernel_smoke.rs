@@ -1,0 +1,179 @@
+//! KERNEL-SMOKE — CI gate for the quantized DP kernels and incremental
+//! re-solve.
+//!
+//! Deterministic and fast: builds synthetic MCKP and sequence instances,
+//! fills them cold, drifts a single class/layer, and asserts that the
+//! incremental re-solve (a) refills only the suffix behind the drift —
+//! strictly less than a full fill — and (b) answers every budget
+//! bit-identically to a cold scratch fill. Exits non-zero on any
+//! violation, so CI catches a kernel regression without waiting for the
+//! full bench run.
+//!
+//! Run with: `cargo run --release -p repro-bench --bin kernel_smoke`
+
+use dae_dvfs::{
+    mckp_resweep, mckp_sweep, sequence_resweep, sequence_sweep, DseConfig, DsePoint, Granularity,
+    MckpItem, OperatingModes, SolverWorkspace,
+};
+use stm32_power::Joules;
+use stm32_rcc::Hertz;
+
+fn fail(msg: String) -> ! {
+    eprintln!("kernel_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Deterministic synthetic MCKP instance shaped like per-layer Pareto
+/// fronts (same family as the solver bench).
+fn instance(layers: usize, points: usize) -> Vec<Vec<MckpItem>> {
+    (0..layers)
+        .map(|k| {
+            (1..=points)
+                .map(|i| MckpItem {
+                    time_secs: 1e-3 * (points + 1 - i) as f64 * (1.0 + k as f64 * 0.07),
+                    energy: 1e-4 * i as f64 * (1.0 + k as f64 * 0.05),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn budgets_for(classes: &[Vec<MckpItem>]) -> Vec<f64> {
+    let min_time: f64 = classes
+        .iter()
+        .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
+        .sum();
+    (0..10)
+        .map(|i| min_time * (1.05 + 0.10 * i as f64))
+        .collect()
+}
+
+fn check_mckp() {
+    let classes = instance(24, 8);
+    let budgets = budgets_for(&classes);
+    let resolution = 2000;
+    let drift_class = 12;
+
+    let mut ws = SolverWorkspace::new();
+    mckp_sweep(&classes, &budgets, resolution, &mut ws).expect("base fill solves");
+
+    let mut drifted = classes.clone();
+    drifted[drift_class][0].energy += 0.41e-6;
+
+    let mut scratch = SolverWorkspace::new();
+    let warm = mckp_resweep(&drifted, &budgets, resolution, &mut ws).expect("resweep solves");
+    let cold = mckp_sweep(&drifted, &budgets, resolution, &mut scratch).expect("cold fill solves");
+
+    let bound = drifted.len() - drift_class;
+    if warm.refilled_classes() > bound {
+        fail(format!(
+            "mckp: single-class drift at {} refilled {} of {} classes (bound {})",
+            drift_class,
+            warm.refilled_classes(),
+            drifted.len(),
+            bound
+        ));
+    }
+    for &budget in &budgets {
+        let inc = warm.best_for(budget).expect("feasible by construction");
+        let full = cold.best_for(budget).expect("feasible by construction");
+        if inc.choices != full.choices
+            || inc.total_time_secs.to_bits() != full.total_time_secs.to_bits()
+            || inc.total_energy.to_bits() != full.total_energy.to_bits()
+        {
+            fail(format!(
+                "mckp: resweep diverged from full refill at budget {budget}: {inc:?} vs {full:?}"
+            ));
+        }
+    }
+    println!(
+        "kernel_smoke: mckp ok ({} budgets bit-identical, refilled {}/{} classes)",
+        budgets.len(),
+        warm.refilled_classes(),
+        drifted.len()
+    );
+}
+
+fn check_sequence() {
+    let config = DseConfig::paper();
+    let modes = OperatingModes::fig4();
+    let mhz = [100u64, 168, 216];
+    let nlayers = 12;
+    let drift_layer = 6;
+
+    let fronts: Vec<Vec<DsePoint>> = (0..nlayers)
+        .map(|k| {
+            (0..3usize)
+                .map(|i| DsePoint {
+                    granularity: Granularity(8),
+                    hfo: *modes.hfo_at(Hertz::mhz(mhz[i])).expect("ladder frequency"),
+                    latency_secs: 1e-3 * (3 - i) as f64 * (1.0 + k as f64 * 0.05),
+                    energy: Joules::new(1e-4 * (i + 1) as f64 * (1.0 + k as f64 * 0.03)),
+                    switches: 0,
+                    first_stage_secs: 1e-4,
+                })
+                .collect()
+        })
+        .collect();
+    let min_time: f64 = fronts
+        .iter()
+        .map(|f| {
+            f.iter()
+                .map(|p| p.latency_secs)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    let budgets: Vec<f64> = (0..8)
+        .map(|i| min_time * (1.5 + 0.15 * i as f64) + nlayers as f64 * 250e-6)
+        .collect();
+    let resolution = 2000;
+
+    let mut ws = SolverWorkspace::new();
+    sequence_sweep(&fronts, &budgets, resolution, &config, 0.0, &mut ws).expect("base fill solves");
+
+    let mut drifted = fronts.clone();
+    let e = drifted[drift_layer][0].energy.as_f64();
+    drifted[drift_layer][0].energy = Joules::new(e + 0.53e-6);
+
+    let mut scratch = SolverWorkspace::new();
+    let warm = sequence_resweep(&drifted, &budgets, resolution, &config, 0.0, &mut ws)
+        .expect("resweep solves");
+    let cold = sequence_sweep(&drifted, &budgets, resolution, &config, 0.0, &mut scratch)
+        .expect("cold fill solves");
+
+    let bound = nlayers - drift_layer;
+    if warm.refilled_layers() > bound {
+        fail(format!(
+            "seq: single-layer drift at {} refilled {} of {} layers (bound {})",
+            drift_layer,
+            warm.refilled_layers(),
+            nlayers,
+            bound
+        ));
+    }
+    for &budget in &budgets {
+        let inc = warm.best_for(budget).expect("feasible by construction");
+        let full = cold.best_for(budget).expect("feasible by construction");
+        if inc.choices != full.choices
+            || inc.total_time_secs.to_bits() != full.total_time_secs.to_bits()
+            || inc.total_energy.to_bits() != full.total_energy.to_bits()
+            || inc.frequency_changes != full.frequency_changes
+        {
+            fail(format!(
+                "seq: resweep diverged from full refill at budget {budget}: {inc:?} vs {full:?}"
+            ));
+        }
+    }
+    println!(
+        "kernel_smoke: sequence ok ({} budgets bit-identical, refilled {}/{} layers)",
+        budgets.len(),
+        warm.refilled_layers(),
+        nlayers
+    );
+}
+
+fn main() {
+    check_mckp();
+    check_sequence();
+    println!("kernel_smoke: PASS");
+}

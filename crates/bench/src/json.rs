@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 /// the single source of truth: `repro-lint`'s consistency rule checks
 /// that the committed `BENCH_SUMMARY.json` and every `schema v<N>`
 /// mention in `DESIGN.md` agree with it.
-pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 4;
+pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 5;
 
 /// Escapes and quotes a string for JSON.
 ///
@@ -120,7 +120,10 @@ impl Object {
 /// `schema_version`, and list at least one model row with the per-model
 /// timing fields. Schema v4 additionally requires the `service` section
 /// (plan-service cache-hit speedup, coalescing speedup, hit rate and
-/// throughput).
+/// throughput). Schema v5 additionally requires the quantized-kernel
+/// fields on every model row: `kernel_fill_secs`, `kernel_extract_secs`
+/// and `incremental_speedup` (full refill over incremental re-solve
+/// after a single-class drift).
 ///
 /// # Errors
 ///
@@ -155,6 +158,15 @@ pub fn validate_summary(document: &str, expected_schema: u64) -> Result<(), Stri
             "sweep_speedup",
         ] {
             row.get_f64(field).map_err(|e| e.to_string())?;
+        }
+        if expected_schema >= 5 {
+            for field in [
+                "kernel_fill_secs",
+                "kernel_extract_secs",
+                "incremental_speedup",
+            ] {
+                row.get_f64(field).map_err(|e| e.to_string())?;
+            }
         }
     }
     if expected_schema >= 4 {
@@ -304,6 +316,51 @@ mod tests {
             .raw_field("service", service)
             .render_pretty();
         assert!(validate_summary(&with_service, 4).is_ok());
+    }
+
+    #[test]
+    fn v5_summaries_require_the_kernel_fields_per_model() {
+        let service = Object::new()
+            .f64_field("cache_hit_speedup", 100.0, 2)
+            .f64_field("coalescing_speedup", 3.0, 2)
+            .f64_field("hit_rate", 0.9, 4)
+            .f64_field("throughput_rps", 5000.0, 1)
+            .render();
+        let v4_row = Object::new()
+            .str_field("model", "vww")
+            .f64_field("planner_construction_secs", 1.0, 6)
+            .f64_field("planner_sweep_secs", 1.0, 6)
+            .f64_field("percall_loop_secs", 1.0, 6)
+            .f64_field("sweep_speedup", 2.0, 2)
+            .render();
+        let without_kernel = Object::new()
+            .u64_field("schema_version", 5)
+            .array_field("models", std::slice::from_ref(&v4_row))
+            .raw_field("service", service.clone())
+            .render_pretty();
+        assert!(validate_summary(&without_kernel, 5)
+            .unwrap_err()
+            .contains("kernel_fill_secs"));
+        // The same rows still pass as v4...
+        let v4 = without_kernel.replace("\"schema_version\": 5", "\"schema_version\": 4");
+        assert!(validate_summary(&v4, 4).is_ok());
+        // ...and as v5 once every row carries the kernel timings.
+        let v5_row = Object::new()
+            .str_field("model", "vww")
+            .f64_field("planner_construction_secs", 1.0, 6)
+            .f64_field("planner_sweep_secs", 1.0, 6)
+            .f64_field("percall_loop_secs", 1.0, 6)
+            .f64_field("sweep_speedup", 2.0, 2)
+            .f64_field("kernel_fill_secs", 0.5, 6)
+            .f64_field("kernel_extract_secs", 0.01, 6)
+            .f64_field("incremental_speedup", 8.0, 2)
+            .render();
+        let with_kernel = Object::new()
+            .u64_field("schema_version", 5)
+            .array_field("models", &[v5_row])
+            .raw_field("service", service)
+            .render_pretty();
+        assert!(validate_summary(&with_kernel, 5).is_ok());
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! front end adds a fingerprint-keyed plan cache with single-flight miss
 //! deduplication and coalesces same-model batches onto shared-grid
 //! sweeps — the serving entry point when many tenants ask for plans at
-//! once.
+//! once. The DP fills themselves run through branch-free quantized
+//! kernels with checkpointed rows, so a planner whose inputs drifted in
+//! one class can re-solve incrementally via [`Planner::resweep`] /
+//! [`mckp_resweep`] / [`sequence_resweep`] — bit-identical to a cold
+//! fill (DESIGN.md, "Quantized DP kernels & incremental re-solve").
 //!
 //! The serving stack's invariants are machine-checked: all locking goes
 //! through the ranked mutexes in this crate's `sync` module (debug
@@ -111,7 +115,8 @@ pub use service::{
     CacheStats, CoalesceMode, PlanService, PlanTicket, PlannerKey, ServiceConfig, ServiceStats,
 };
 pub use solver::{
-    mckp_sweep, sequence_sweep, solve_dp_sweep, solve_sequence_sweep, MckpSweep, SequenceSweep,
-    SolverWorkspace, WorkspacePool, MAX_SWEEP_BUCKETS,
+    mckp_resweep, mckp_sweep, sequence_resweep, sequence_sweep, solve_dp_sweep,
+    solve_sequence_sweep, MckpSweep, SequenceSweep, SolverWorkspace, WorkspacePool,
+    MAX_SWEEP_BUCKETS,
 };
 pub use target::{GenericCortexMTarget, Stm32F767Target, Target};

@@ -48,6 +48,18 @@ pub enum MckpError {
         /// Why the value was rejected, including the value itself.
         reason: String,
     },
+    /// Backtracking found no item reproducing a stored DP value: the
+    /// table and the item lanes it was filled from are out of sync
+    /// (a corrupted or externally mutated workspace). Unreachable through
+    /// the public entry points — they always fill and extract against the
+    /// same lanes — but reported as a typed error rather than a panic so
+    /// a corrupted workspace cannot take a serving worker down.
+    CorruptTable {
+        /// The class (MCKP) or layer (sequence DP) whose backtrack failed.
+        class: usize,
+        /// The bucket whose stored value no item reproduces.
+        bucket: usize,
+    },
 }
 
 impl fmt::Display for MckpError {
@@ -66,6 +78,11 @@ impl fmt::Display for MckpError {
             MckpError::InvalidInput { field, reason } => {
                 write!(f, "invalid solver input: {field} {reason}")
             }
+            MckpError::CorruptTable { class, bucket } => write!(
+                f,
+                "DP backtrack found no item producing the stored value for class {class} at \
+                 bucket {bucket}: the table and its item lanes are out of sync"
+            ),
         }
     }
 }

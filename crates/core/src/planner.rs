@@ -28,7 +28,8 @@ use crate::pipeline::{DeploymentPlan, DeploymentReport, LayerDecision};
 use crate::request::{validate_positive_time, PlanRequest, QosBudget, Solver};
 use crate::schedule::{explore_model, replay_decisions, CompiledLayer};
 use crate::solver::{
-    mckp_sweep, solve_dp_with, solve_sequence_with, Grid, SolverWorkspace, WorkspacePool,
+    mckp_resweep, mckp_sweep, solve_dp_with, solve_sequence_with, Grid, SolverWorkspace,
+    WorkspacePool,
 };
 use crate::target::{Stm32F767Target, Target};
 
@@ -538,6 +539,37 @@ impl Planner {
         &self,
         qos_windows: impl IntoIterator<Item = f64>,
     ) -> Result<Vec<DeploymentPlan>, DaeDvfsError> {
+        self.sweep_windows(qos_windows, false)
+    }
+
+    /// [`Planner::sweep`] with **incremental re-solve**: the shared-grid
+    /// fill runs through [`crate::solver::mckp_resweep`], so when the
+    /// pooled workspace still holds this planner's checkpointed table
+    /// from an earlier sweep at the same resolution — the hot-group
+    /// serving pattern, where the same model is re-swept batch after
+    /// batch — the DP fill is skipped entirely and only the per-window
+    /// extractions run. Results are **bit-identical** to
+    /// [`Planner::sweep`] (pinned by `tests/planner_equivalence.rs`):
+    /// checkpoints are reused only when the grid and every item lane byte
+    /// match, and the shared grid's scale is a function of the planner
+    /// and resolution alone, so the retained table is exactly the table
+    /// a fresh fill would produce.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Planner::sweep`].
+    pub fn resweep(
+        &self,
+        qos_windows: impl IntoIterator<Item = f64>,
+    ) -> Result<Vec<DeploymentPlan>, DaeDvfsError> {
+        self.sweep_windows(qos_windows, true)
+    }
+
+    fn sweep_windows(
+        &self,
+        qos_windows: impl IntoIterator<Item = f64>,
+        reuse: bool,
+    ) -> Result<Vec<DeploymentPlan>, DaeDvfsError> {
         let windows: Vec<f64> = qos_windows.into_iter().collect();
         for &q in &windows {
             validate_positive_time("qos_secs", q)?;
@@ -560,7 +592,7 @@ impl Planner {
                     })
             })
             .collect();
-        let solved = self.sweep_distinct(&distinct, self.config.dp_resolution, usize::MAX);
+        let solved = self.sweep_distinct(&distinct, self.config.dp_resolution, usize::MAX, reuse);
         // Fan results back out in window order; the earliest failing
         // window's error surfaces, as before.
         mapping.into_iter().map(|p| solved[p].clone()).collect()
@@ -587,11 +619,18 @@ impl Planner {
     /// their share of the machine so concurrent batches do not
     /// oversubscribe it; [`Planner::sweep`] passes `usize::MAX` (cap by
     /// available parallelism alone).
+    ///
+    /// `reuse` routes the shared-grid fill through
+    /// [`crate::solver::mckp_resweep`], reusing the pooled workspace's
+    /// checkpointed table when it matches (bit-identical either way; see
+    /// [`Planner::resweep`]). The service coalescer passes `true` so hot
+    /// groups skip the fill across batch windows.
     pub(crate) fn sweep_distinct(
         &self,
         windows: &[f64],
         resolution: usize,
         max_threads: usize,
+        reuse: bool,
     ) -> Vec<Result<DeploymentPlan, DaeDvfsError>> {
         let classes = self.mckp_classes();
         let min_time: f64 = classes
@@ -637,14 +676,16 @@ impl Planner {
             let floor_scale = floor / resolution as f64;
             match Grid::shared(&budgets, resolution) {
                 Ok(grid) if grid.scale == floor_scale => {
-                    self.solve_on_shared_grid(
+                    for (i, plan) in self.solve_on_shared_grid(
                         &classes,
                         &budgets,
                         resolution,
                         max_threads,
+                        reuse,
                         &shared,
-                        &mut slots,
-                    );
+                    ) {
+                        slots[i] = Some(plan);
+                    }
                 }
                 _ => singles.append(&mut shared),
             }
@@ -669,11 +710,16 @@ impl Planner {
         budgets: &[f64],
         resolution: usize,
         max_threads: usize,
+        reuse: bool,
         targets: &[(usize, f64)],
-        slots: &mut [Option<Result<DeploymentPlan, DaeDvfsError>>],
-    ) {
+    ) -> Vec<(usize, Result<DeploymentPlan, DaeDvfsError>)> {
         let mut ws = self.workspace.take();
-        match mckp_sweep(classes, budgets, resolution, &mut ws) {
+        let table = if reuse {
+            mckp_resweep(classes, budgets, resolution, &mut ws)
+        } else {
+            mckp_sweep(classes, budgets, resolution, &mut ws)
+        };
+        let solved = match table {
             Ok(table) => {
                 let threads = std::thread::available_parallelism()
                     .map(|n| n.get())
@@ -681,14 +727,17 @@ impl Planner {
                     .min(max_threads.max(1))
                     .min(targets.len());
                 if threads <= 1 {
-                    for &(i, qos) in targets {
-                        slots[i] =
-                            Some(self.search_reserve_grid(qos, classes, resolution, |b| {
+                    targets
+                        .iter()
+                        .map(|&(i, qos)| {
+                            let plan = self.search_reserve_grid(qos, classes, resolution, |b| {
                                 table.best_for(b)
-                            }));
-                    }
+                            });
+                            (i, plan)
+                        })
+                        .collect()
                 } else {
-                    let solved: Vec<_> = std::thread::scope(|s| {
+                    std::thread::scope(|s| {
                         let table = &table;
                         let handles: Vec<_> = (0..threads)
                             .map(|t| {
@@ -714,19 +763,16 @@ impl Planner {
                             .into_iter()
                             .flat_map(|h| h.join().expect("sweep worker thread panicked"))
                             .collect()
-                    });
-                    for (i, plan) in solved {
-                        slots[i] = Some(plan);
-                    }
+                    })
                 }
             }
-            Err(e) => {
-                for &(i, _) in targets {
-                    slots[i] = Some(Err(DaeDvfsError::Qos(e.clone())));
-                }
-            }
-        }
+            Err(e) => targets
+                .iter()
+                .map(|&(i, _)| (i, Err(DaeDvfsError::Qos(e.clone()))))
+                .collect(),
+        };
         self.workspace.put(ws);
+        solved
     }
 
     /// Solves one window on its own grid (used when the window sits below

@@ -157,7 +157,11 @@ pub(crate) fn solve_batch(
 ) -> Vec<Result<DeploymentPlan, DaeDvfsError>> {
     match (mode, solver) {
         (CoalesceMode::Swept, Solver::ReserveGrid) => {
-            planner.sweep_distinct(windows, dp_resolution, sweep_threads)
+            // reuse=true: hot groups hit the same planner (and so the same
+            // workspace pool) batch after batch, and the checkpointed DP
+            // table lets an unchanged group skip the shared-grid fill
+            // entirely. Bit-identical to a cold fill by construction.
+            planner.sweep_distinct(windows, dp_resolution, sweep_threads, true)
         }
         _ => windows
             .iter()

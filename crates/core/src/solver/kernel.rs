@@ -1,0 +1,214 @@
+//! Branch-free relaxation kernels shared by the MCKP and sequence DPs.
+//!
+//! The historical inner loops were branchy:
+//!
+//! ```text
+//! if base.is_finite() {
+//!     let cand = base + energy;
+//!     if cand < next[b] { next[b] = cand; pick[b] = i; }
+//! }
+//! ```
+//!
+//! Two data-dependent branches per bucket defeat the autovectorizer, and
+//! the side-band `pick` store forces a mixed f64/u32 blend even where the
+//! candidate loses. This module replaces them with a select-form
+//! min-reduction over contiguous bucket ranges ([`relax_min_into`]) plus
+//! a backtrack-time pick *reconstruction* ([`reconstruct_pick`]), which
+//! together are bit-identical to the branchy original:
+//!
+//! * **The `is_finite` guard is redundant.** `+∞` is the table's
+//!   infeasibility sentinel and it is *absorbing*: `INF + e == INF` for
+//!   every finite `e`, and `INF < x` is false for every stored `x`, so a
+//!   candidate built on an infeasible base can never win the strict `<`
+//!   select. Dropping the guard changes no stored value. (NaN candidates
+//!   lose every `cand < incumbent` comparison exactly as they did under
+//!   the branchy form, so they are never stored either.)
+//! * **The select preserves tie order.** `*n = if cand < *n { cand }
+//!   else { *n }` keeps the first-item-wins semantics of the original
+//!   strict `<` update (this is also exactly x86 `vminpd`'s operand
+//!   order, which is why LLVM lifts the loop to packed min + unrolled
+//!   lanes). `f64::min` would *not* be equivalent: its `±0.0` / NaN
+//!   operand preferences differ from strict `<`.
+//! * **Picks need not be stored at all.** With per-class row checkpoints
+//!   retained (see [`crate::solver::SolverWorkspace`]), the winning item
+//!   at bucket `b` of class `k` is recomputed at backtrack time as the
+//!   *first* item `i` (in class order) whose candidate reproduces the
+//!   stored value bit-for-bit: `(rows[k][b - w_i] + e_i).to_bits() ==
+//!   rows[k+1][b].to_bits()`. Values at a bucket only decrease during a
+//!   class pass and the update comparison is strict, so if an earlier
+//!   item's candidate had equalled the final value bitwise, it would have
+//!   been stored and every later equal candidate would have lost `<` —
+//!   i.e. the first bitwise match *is* the stored winner. (The comparison
+//!   must be on bits, not `==`: `-0.0 == +0.0` as floats, but under
+//!   strict `<` a later `-0.0` candidate never displaces a stored `+0.0`,
+//!   and the bitwise test reproduces exactly that.)
+//!
+//! Item data is quantized into contiguous lanes at prepare time (see
+//! `prepare_lanes` in the DP cores): bucket weights into a `u32` lane
+//! (with `u32::MAX` marking items wider than the table, exactly the
+//! buckets-saturating skip of the historical `usize` cast) and energies
+//! into a dense `f64` lane. Energies stay `f64` — narrowing them to
+//! `f32` would violate the bit-identity constraint the planner
+//! equivalence pins enforce. Item energies are expected finite (the
+//! planner only produces finite values); non-finite energies keep the
+//! kernels deterministic but make the selection unspecified.
+
+/// Unroll width of the chunked min-reduction. Eight f64 lanes = two
+/// AVX2 / one AVX-512 vector per chunk; the remainder loop handles the
+/// tail scalar-wise with identical semantics.
+const LANES: usize = 8;
+
+/// The branch-free DP relaxation: `next[j] = min(next[j], prev[j] + delta)`
+/// for every `j`, with strict-`<` select semantics (first writer wins
+/// ties; NaN/∞ candidates never stored). `prev` and `next` must be the
+/// same length — the caller passes the shifted contiguous bucket ranges
+/// `prev[..buckets - w]` / `next[w..]`.
+#[inline]
+pub(crate) fn relax_min_into(prev: &[f64], next: &mut [f64], delta: f64) {
+    debug_assert_eq!(prev.len(), next.len());
+    let mut next_chunks = next.chunks_exact_mut(LANES);
+    let mut prev_chunks = prev.chunks_exact(LANES);
+    for (n, p) in (&mut next_chunks).zip(&mut prev_chunks) {
+        for l in 0..LANES {
+            let cand = p[l] + delta;
+            n[l] = if cand < n[l] { cand } else { n[l] };
+        }
+    }
+    for (n, &p) in next_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(prev_chunks.remainder())
+    {
+        let cand = p + delta;
+        *n = if cand < *n { cand } else { *n };
+    }
+}
+
+/// Reconstructs the pick the branchy kernel would have stored at bucket
+/// `b`: the first item `i` whose candidate `prev[b - w_i] + e_i`
+/// reproduces `value` bit-for-bit (see the module docs for why first
+/// bitwise match ≡ stored winner). `prev` is the full predecessor row;
+/// `weights`/`energies` are one class's lane slices. Returns `None` only
+/// when the table and lanes are out of sync (a corrupted workspace).
+pub(crate) fn reconstruct_pick(
+    prev: &[f64],
+    weights: &[u32],
+    energies: &[f64],
+    b: usize,
+    value: f64,
+) -> Option<usize> {
+    let bits = value.to_bits();
+    for (i, (&w, &e)) in weights.iter().zip(energies).enumerate() {
+        let w = w as usize;
+        if w > b || w >= prev.len() {
+            continue;
+        }
+        if (prev[b - w] + e).to_bits() == bits {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: f64 = f64::INFINITY;
+
+    /// The historical branchy relaxation, kept as the reference oracle.
+    fn relax_branchy(prev: &[f64], next: &mut [f64], delta: f64) {
+        for (n, &p) in next.iter_mut().zip(prev) {
+            if p.is_finite() {
+                let cand = p + delta;
+                if cand < *n {
+                    *n = cand;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_relax_is_bit_identical_to_the_branchy_form() {
+        // Mix of reachable, unreachable (INF) and negative values, across
+        // lengths straddling the chunk width.
+        let base: Vec<f64> = (0..37)
+            .map(|i| match i % 5 {
+                0 => INF,
+                1 => -0.25 * i as f64,
+                2 => 1.5 * i as f64,
+                3 => 0.0,
+                _ => 1e-9 * i as f64,
+            })
+            .collect();
+        for len in [0, 1, 7, 8, 9, 16, 23, 37] {
+            for delta in [0.0, -1.5, 2.25, 1e-12] {
+                let mut a: Vec<f64> = base[..len].iter().map(|x| x * 0.5 + 1.0).collect();
+                let mut b = a.clone();
+                relax_branchy(&base[..len], &mut a, delta);
+                relax_min_into(&base[..len], &mut b, delta);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "len {len} delta {delta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinity_bases_and_nan_candidates_never_win() {
+        let prev = [INF, 1.0, f64::NAN];
+        let mut next = [0.5, 0.5, 0.5];
+        relax_min_into(&prev, &mut next, -1.0);
+        assert_eq!(next[0], 0.5, "INF base must stay absorbing");
+        assert_eq!(next[1], 0.0, "finite base relaxes normally");
+        assert_eq!(next[2], 0.5, "NaN candidate must lose the select");
+    }
+
+    #[test]
+    fn reconstruction_returns_the_first_winner_in_class_order() {
+        // Two items produce the same value at b = 3; the first wins.
+        let prev = [0.0, INF, 1.0, INF];
+        let weights = [1u32, 3, 2];
+        let energies = [2.0, 3.0, 2.0];
+        // Candidates at b = 3: item0 = prev[2]+2 = 3, item1 = prev[0]+3 = 3,
+        // item2 = prev[1]+2 = INF.
+        assert_eq!(
+            reconstruct_pick(&prev, &weights, &energies, 3, 3.0),
+            Some(0)
+        );
+        // A value nothing produced is a corrupt table.
+        assert_eq!(reconstruct_pick(&prev, &weights, &energies, 3, 4.0), None);
+    }
+
+    #[test]
+    fn reconstruction_distinguishes_signed_zero_bitwise() {
+        let prev = [0.0];
+        let weights = [0u32, 0];
+        let energies = [-0.0, 0.0];
+        // 0.0 + -0.0 = 0.0 (IEEE), 0.0 + 0.0 = 0.0: both candidates are
+        // +0.0 here, so the first item wins.
+        assert_eq!(
+            reconstruct_pick(&prev, &weights, &energies, 0, 0.0),
+            Some(0)
+        );
+        // But a stored -0.0 only matches a candidate with -0.0 bits.
+        let prev2 = [-0.0];
+        let energies2 = [0.0, -0.0];
+        assert_eq!(
+            reconstruct_pick(&prev2, &weights, &energies2, 0, -0.0),
+            Some(1),
+            "-0.0 + 0.0 = +0.0 must not match the stored -0.0 bits"
+        );
+    }
+
+    #[test]
+    fn items_wider_than_the_table_are_skipped() {
+        let prev = [0.0, 1.0];
+        let weights = [u32::MAX, 1];
+        let energies = [0.0, 1.0];
+        assert_eq!(
+            reconstruct_pick(&prev, &weights, &energies, 1, 1.0),
+            Some(1)
+        );
+    }
+}

@@ -23,8 +23,18 @@
 //!   conveniences over those handles.
 //! * All storage lives in a reusable [`SolverWorkspace`] of row-major
 //!   flat buffers — no per-call, per-layer `vec![vec![…]]` allocations —
-//!   and per-item bucket weights / frequency ids are precomputed once per
-//!   solve instead of per layer transition.
+//!   and per-item bucket weights / energies / frequency ids are quantized
+//!   once per solve into contiguous `u32`/`f64` lanes instead of being
+//!   re-derived per layer transition.
+//! * The table fills run on the branch-free kernels of `solver/kernel.rs`
+//!   (select-form chunked min-reductions the autovectorizer lifts to
+//!   SIMD; `+∞` is the absorbing infeasibility sentinel, picks are
+//!   reconstructed at backtrack time instead of stored) and the DP table
+//!   is retained as per-class **checkpoint rows**, which is what
+//!   [`mckp_resweep`] / [`sequence_resweep`] resume from: when only a
+//!   suffix of the classes/layers changed since the workspace's last
+//!   solve, the unaffected prefix is reused and only the suffix refills —
+//!   bit-identically to a from-scratch fill.
 //!
 //! The single-budget entry points [`crate::mckp::solve_dp`] and
 //! [`crate::seqdp::solve_sequence`] are thin wrappers over the same cores
@@ -62,14 +72,15 @@
 //! above still holds with the actual scale, which [`MckpSweep::scale`]
 //! reports).
 
+mod kernel;
 mod mckp;
 mod seqdp;
 mod workspace;
 
 pub(crate) use mckp::solve_dp_with;
-pub use mckp::{mckp_sweep, solve_dp_sweep, MckpSweep};
+pub use mckp::{mckp_resweep, mckp_sweep, solve_dp_sweep, MckpSweep};
 pub(crate) use seqdp::solve_sequence_with;
-pub use seqdp::{sequence_sweep, solve_sequence_sweep, SequenceSweep};
+pub use seqdp::{sequence_resweep, sequence_sweep, solve_sequence_sweep, SequenceSweep};
 pub use workspace::{SolverWorkspace, WorkspacePool};
 
 use crate::mckp::MckpError;

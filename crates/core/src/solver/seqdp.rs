@@ -1,10 +1,20 @@
 //! The sequence-DP core: layered-graph table fill over `(frequency,
 //! time-bucket)` states, with per-budget extraction.
 //!
-//! See the [module docs](crate::solver) for the shared-grid argument.
-//! [`crate::seqdp::solve_sequence`] wraps [`solve_sequence_with`] on a
-//! single-budget grid and is bit-identical to the historical per-call
-//! implementation.
+//! See the [module docs](crate::solver) for the shared-grid argument and
+//! [`crate::solver::kernel`] for the branch-free relaxation and the
+//! backtrack-reconstruction argument. [`crate::seqdp::solve_sequence`]
+//! wraps [`solve_sequence_with`] on a single-budget grid and is
+//! bit-identical to the historical per-call implementation.
+//!
+//! The table is stored as **per-layer checkpoint rows**: `layers × (nf ×
+//! buckets)` with row `k` holding the state after layer `k` (layer 0 is
+//! the boot-initialized row). The rows replace the historical
+//! `(item, prev_freq, prev_bucket)` trace table — backtracking
+//! reconstructs each layer's transition from two adjacent rows, which
+//! shrinks the table by the 12-byte-per-state trace — and they are what
+//! [`sequence_resweep`] resumes from when only a suffix of the layers
+//! changed.
 
 use stm32_rcc::Hertz;
 
@@ -12,7 +22,7 @@ use crate::dse::{DseConfig, DsePoint};
 use crate::mckp::MckpError;
 use crate::seqdp::{entry_overhead_secs, entry_power, tally_sequence, SequenceSolution};
 use crate::solver::workspace::{SeqItem, SolverWorkspace};
-use crate::solver::{validate_budget, validate_resolution, Grid, MAX_SWEEP_STATES};
+use crate::solver::{kernel, validate_budget, validate_resolution, Grid, MAX_SWEEP_STATES};
 
 const INF: f64 = f64::INFINITY;
 
@@ -32,27 +42,30 @@ fn validate_fronts(fronts: &[Vec<DsePoint>]) -> Result<(), MckpError> {
 }
 
 /// Builds the solve's sorted, deduplicated frequency universe into the
-/// workspace and returns its size.
+/// workspace's *staging* buffer and returns its size. Staging keeps the
+/// previous solve's universe intact for the incremental diff (item
+/// frequency ids are only comparable when the universes match).
 fn build_freqs(fronts: &[Vec<DsePoint>], ws: &mut SolverWorkspace) -> usize {
-    ws.freqs.clear();
-    ws.freqs
+    ws.stage_freqs.clear();
+    ws.stage_freqs
         .extend(fronts.iter().flat_map(|f| f.iter().map(|p| p.hfo.sysclk())));
-    ws.freqs.sort();
-    ws.freqs.dedup();
-    ws.freqs.len()
+    ws.stage_freqs.sort();
+    ws.stage_freqs.dedup();
+    ws.stage_freqs.len()
 }
 
 /// Precomputes every item's frequency id, bucket weights and adjusted
-/// energies once — the inner DP transition then only selects between the
-/// same/changed variants instead of re-deriving overheads and
-/// re-searching `freqs` per layer. Expects [`build_freqs`] to have run.
+/// energies once into the *staging* lanes — the inner DP transition then
+/// only selects between the same/changed variants instead of re-deriving
+/// overheads and re-searching `freqs` per layer. Expects [`build_freqs`]
+/// to have run.
 ///
 /// # Errors
 ///
 /// [`MckpError::InvalidInput`] if an item's sysclk is missing from the
-/// workspace's frequency universe — impossible when [`build_freqs`] ran
-/// over the same fronts, but reported as a typed error rather than a
-/// panic so a corrupted workspace cannot take a serving worker down.
+/// staged frequency universe — impossible when [`build_freqs`] ran over
+/// the same fronts, but reported as a typed error rather than a panic so
+/// a corrupted workspace cannot take a serving worker down.
 fn prepare_items(
     fronts: &[Vec<DsePoint>],
     scale: f64,
@@ -71,16 +84,16 @@ fn prepare_items(
     };
     let weight = |t: f64| -> usize { (t / scale).ceil() as usize };
 
-    ws.seq_offsets.clear();
-    ws.seq_items.clear();
+    ws.seq_stage_offsets.clear();
+    ws.seq_stage_items.clear();
     for front in fronts {
-        ws.seq_offsets.push(ws.seq_items.len());
+        ws.seq_stage_offsets.push(ws.seq_stage_items.len());
         for p in front {
             let base_e = p.energy.as_f64() - idle_power_w * p.latency_secs;
             let overhead = entry_overhead_secs(p, config);
             let overhead_e = entry_power(p, config).as_f64() * overhead - idle_power_w * overhead;
-            ws.seq_items.push(SeqItem {
-                f_new: freq_id(p.hfo.sysclk(), &ws.freqs)?,
+            ws.seq_stage_items.push(SeqItem {
+                f_new: freq_id(p.hfo.sysclk(), &ws.stage_freqs)?,
                 w_same: weight(p.latency_secs),
                 w_diff: weight(p.latency_secs + overhead),
                 de_same: base_e,
@@ -88,54 +101,88 @@ fn prepare_items(
             });
         }
     }
-    ws.seq_offsets.push(ws.seq_items.len());
+    ws.seq_stage_offsets.push(ws.seq_stage_items.len());
     Ok(())
 }
 
-/// Fills the layered DP grid: after the call `ws.seq_dp[f * buckets + b]`
-/// is the minimum adjusted energy having left frequency `f` locked with
-/// total bucket-weight exactly `b`, and `ws.seq_back` traces every
-/// `(layer, f, b)` state.
-fn fill_table(fronts: &[Vec<DsePoint>], buckets: usize, ws: &mut SolverWorkspace) {
+/// Number of leading layers whose staged lanes (and frequency universe)
+/// are bit-identical to the workspace's committed state and whose
+/// checkpoint rows are valid for `grid` — the DP prefix a resweep may
+/// reuse. Returns 0 (full refill) on any grid / universe / shape change.
+fn reusable_prefix(ws: &SolverWorkspace, grid: Grid, nlayers: usize) -> usize {
+    if ws.seq_grid != Some(grid)
+        || ws.freqs != ws.stage_freqs
+        || ws.seq_offsets.len() != nlayers + 1
+        || ws.seq_stage_offsets.len() != nlayers + 1
+        || ws.seq_rows.len() != nlayers * ws.stage_freqs.len() * grid.buckets
+    {
+        return 0;
+    }
+    for k in 0..nlayers {
+        let (lo, hi) = (ws.seq_offsets[k], ws.seq_offsets[k + 1]);
+        let (slo, shi) = (ws.seq_stage_offsets[k], ws.seq_stage_offsets[k + 1]);
+        if (lo, hi) != (slo, shi)
+            || ws.seq_items[lo..hi]
+                .iter()
+                .zip(&ws.seq_stage_items[lo..hi])
+                .any(|(a, b)| !a.bits_eq(b))
+        {
+            return k;
+        }
+    }
+    nlayers
+}
+
+/// Swaps the staged sequence lanes and frequency universe in as the
+/// committed ones and records the grid they quantize to.
+fn commit_lanes(ws: &mut SolverWorkspace, grid: Grid) {
+    std::mem::swap(&mut ws.seq_items, &mut ws.seq_stage_items);
+    std::mem::swap(&mut ws.seq_offsets, &mut ws.seq_stage_offsets);
+    std::mem::swap(&mut ws.freqs, &mut ws.stage_freqs);
+    ws.seq_grid = Some(grid);
+}
+
+/// Fills the checkpointed layered DP grid from layer `start` on:
+/// afterwards `rows[k * states + f * buckets + b]` is the minimum
+/// adjusted energy over layers `0..=k` having left frequency `f` locked
+/// with total bucket-weight exactly `b`.
+fn fill_table_from(nlayers: usize, buckets: usize, start: usize, ws: &mut SolverWorkspace) {
     let nf = ws.freqs.len();
     let states = nf * buckets;
     let SolverWorkspace {
-        seq_dp: dp,
-        seq_next: next,
-        seq_back: back,
+        seq_rows: rows,
         seq_items: items,
         seq_offsets: offsets,
         ..
     } = ws;
-    dp.clear();
-    dp.resize(states, INF);
-    next.clear();
-    next.resize(states, INF);
-    back.clear();
-    back.resize(fronts.len() * states, (u32::MAX, 0u16, 0u32));
-
-    // Layer 0: the machine boots with the first layer's PLL locked (as
-    // the paper's setup does), so no entry cost.
-    for i in 0..fronts[0].len() {
-        let it = items[offsets[0] + i];
-        let w = it.w_same;
-        if w >= buckets {
-            continue;
-        }
-        let f = it.f_new as usize;
-        if it.de_same < dp[f * buckets + w] {
-            dp[f * buckets + w] = it.de_same;
-            back[f * buckets + w] = (i as u32, 0, 0);
+    if start == 0 {
+        rows.clear();
+        rows.resize(nlayers * states, INF);
+        // Layer 0: the machine boots with the first layer's PLL locked
+        // (as the paper's setup does), so no entry cost. The handful of
+        // scattered stores stays branchy — it is O(items), not O(states).
+        let row0 = &mut rows[..states];
+        for it in &items[offsets[0]..offsets[1]] {
+            let w = it.w_same;
+            if w >= buckets {
+                continue;
+            }
+            let s = it.f_new as usize * buckets + w;
+            if it.de_same < row0[s] {
+                row0[s] = it.de_same;
+            }
         }
     }
-
-    for (k, front) in fronts.iter().enumerate().skip(1) {
-        for slot in next.iter_mut() {
-            *slot = INF;
+    for k in start.max(1)..nlayers {
+        let (prev_rows, cur_rows) = rows.split_at_mut(k * states);
+        let prev = &prev_rows[(k - 1) * states..];
+        let cur = &mut cur_rows[..states];
+        if start != 0 {
+            // Suffix refill over a retained table (fresh tables are
+            // already all-INF from the resize above).
+            cur.fill(INF);
         }
-        let trace = &mut back[k * states..(k + 1) * states];
-        for i in 0..front.len() {
-            let it = items[offsets[k] + i];
+        for it in &items[offsets[k]..offsets[k + 1]] {
             let f_new = it.f_new as usize;
             for f_prev in 0..nf {
                 let (w, de) = if f_prev == f_new {
@@ -146,20 +193,11 @@ fn fill_table(fronts: &[Vec<DsePoint>], buckets: usize, ws: &mut SolverWorkspace
                 if w >= buckets {
                     continue;
                 }
-                let row = &dp[f_prev * buckets..(f_prev + 1) * buckets];
-                for (b, &cur) in row.iter().enumerate().take(buckets - w) {
-                    if cur.is_finite() {
-                        let cand = cur + de;
-                        let nb = b + w;
-                        if cand < next[f_new * buckets + nb] {
-                            next[f_new * buckets + nb] = cand;
-                            trace[f_new * buckets + nb] = (i as u32, f_prev as u16, b as u32);
-                        }
-                    }
-                }
+                let prev_row = &prev[f_prev * buckets..f_prev * buckets + (buckets - w)];
+                let cur_row = &mut cur[f_new * buckets + w..(f_new + 1) * buckets];
+                kernel::relax_min_into(prev_row, cur_row, de);
             }
         }
-        std::mem::swap(dp, next);
     }
 }
 
@@ -168,8 +206,47 @@ fn fill_table(fronts: &[Vec<DsePoint>], buckets: usize, ws: &mut SolverWorkspace
 struct SeqTableRef<'a> {
     nf: usize,
     buckets: usize,
-    dp: &'a [f64],
-    back: &'a [(u32, u16, u32)],
+    rows: &'a [f64],
+    items: &'a [SeqItem],
+    offsets: &'a [usize],
+}
+
+/// Reconstructs the transition the historical trace table would have
+/// stored for state `(f, b)` of layer `k ≥ 1`: the first `(item,
+/// prev_freq)` pair — in the fill's iteration order, item-major — whose
+/// candidate reproduces `value` bit-for-bit against the previous layer's
+/// checkpoint row (see [`crate::solver::kernel`] for why first bitwise
+/// match ≡ stored winner). Returns `(item, prev_freq, prev_bucket)`.
+fn reconstruct_transition(
+    prev: &[f64],
+    items: &[SeqItem],
+    nf: usize,
+    buckets: usize,
+    f: usize,
+    b: usize,
+    value: f64,
+) -> Option<(usize, usize, usize)> {
+    let bits = value.to_bits();
+    for (i, it) in items.iter().enumerate() {
+        if it.f_new as usize != f {
+            continue;
+        }
+        for f_prev in 0..nf {
+            let (w, de) = if f_prev == f {
+                (it.w_same, it.de_same)
+            } else {
+                (it.w_diff, it.de_diff)
+            };
+            if w >= buckets || w > b {
+                continue;
+            }
+            let pb = b - w;
+            if (prev[f_prev * buckets + pb] + de).to_bits() == bits {
+                return Some((i, f_prev, pb));
+            }
+        }
+    }
+    None
 }
 
 /// Scans the terminal states within `limit` buckets and backtracks the
@@ -182,10 +259,12 @@ fn extract(
     t: SeqTableRef<'_>,
 ) -> Result<SequenceSolution, MckpError> {
     let states = t.nf * t.buckets;
+    let nlayers = fronts.len();
+    let last = &t.rows[(nlayers - 1) * states..nlayers * states];
     let mut best: Option<(usize, usize, f64)> = None;
     for f in 0..t.nf {
         for b in 0..=limit {
-            let e = t.dp[f * t.buckets + b];
+            let e = last[f * t.buckets + b];
             if e.is_finite() && best.is_none_or(|(.., be)| e < be) {
                 best = Some((f, b, e));
             }
@@ -196,14 +275,39 @@ fn extract(
         budget_secs,
     })?;
 
-    let mut choices = vec![0usize; fronts.len()];
-    for k in (0..fronts.len()).rev() {
-        let (item, pf, pb) = t.back[k * states + f * t.buckets + b];
-        assert!(item != u32::MAX, "backtracking hit an unreachable state");
-        choices[k] = item as usize;
-        f = pf as usize;
-        b = pb as usize;
+    let mut choices = vec![0usize; nlayers];
+    for k in (1..nlayers).rev() {
+        let value = t.rows[k * states + f * t.buckets + b];
+        let prev = &t.rows[(k - 1) * states..k * states];
+        let (item, pf, pb) = reconstruct_transition(
+            prev,
+            &t.items[t.offsets[k]..t.offsets[k + 1]],
+            t.nf,
+            t.buckets,
+            f,
+            b,
+            value,
+        )
+        .ok_or(MckpError::CorruptTable {
+            class: k,
+            bucket: b,
+        })?;
+        choices[k] = item;
+        f = pf;
+        b = pb;
     }
+    // Layer 0 has no predecessor: its state was written directly by the
+    // boot init, so the choice is the first item landing exactly on
+    // `(f, b)` with the stored energy bits.
+    let value = t.rows[f * t.buckets + b];
+    let bits = value.to_bits();
+    choices[0] = t.items[t.offsets[0]..t.offsets[1]]
+        .iter()
+        .position(|it| it.f_new as usize == f && it.w_same == b && it.de_same.to_bits() == bits)
+        .ok_or(MckpError::CorruptTable {
+            class: 0,
+            bucket: b,
+        })?;
     Ok(tally_sequence(fronts, choices, config))
 }
 
@@ -224,7 +328,8 @@ pub(crate) fn solve_sequence_with(
     let grid = Grid::single(budget_secs, resolution);
     build_freqs(fronts, ws);
     prepare_items(fronts, grid.scale, config, idle_power_w, ws)?;
-    fill_table(fronts, grid.buckets, ws);
+    commit_lanes(ws, grid);
+    fill_table_from(fronts.len(), grid.buckets, 0, ws);
     extract(
         fronts,
         config,
@@ -233,8 +338,9 @@ pub(crate) fn solve_sequence_with(
         SeqTableRef {
             nf: ws.freqs.len(),
             buckets: grid.buckets,
-            dp: &ws.seq_dp,
-            back: &ws.seq_back,
+            rows: &ws.seq_rows,
+            items: &ws.seq_items,
+            offsets: &ws.seq_offsets,
         },
     )
 }
@@ -252,12 +358,52 @@ pub struct SequenceSweep<'a> {
     config: &'a DseConfig,
     grid: Grid,
     nf: usize,
-    dp: &'a [f64],
-    back: &'a [(u32, u16, u32)],
+    refilled: usize,
+    rows: &'a [f64],
+    items: &'a [SeqItem],
+    offsets: &'a [usize],
+}
+
+fn sweep_impl<'a>(
+    fronts: &'a [Vec<DsePoint>],
+    budgets: &[f64],
+    resolution: usize,
+    config: &'a DseConfig,
+    idle_power_w: f64,
+    ws: &'a mut SolverWorkspace,
+    reuse: bool,
+) -> Result<SequenceSweep<'a>, MckpError> {
+    validate_fronts(fronts)?;
+    let nf = build_freqs(fronts, ws);
+    // The checkpoint table holds one state per (layer, frequency,
+    // bucket), so the bucket axis is capped by the total state budget
+    // rather than MAX_SWEEP_BUCKETS alone (never below the per-call
+    // grid, whose table every historical call already allocated).
+    let max_buckets = MAX_SWEEP_STATES / (nf * fronts.len()).max(1);
+    let grid = Grid::shared_with_cap(budgets, resolution, max_buckets)?;
+    prepare_items(fronts, grid.scale, config, idle_power_w, ws)?;
+    let start = if reuse {
+        reusable_prefix(ws, grid, fronts.len())
+    } else {
+        0
+    };
+    commit_lanes(ws, grid);
+    fill_table_from(fronts.len(), grid.buckets, start, ws);
+    Ok(SequenceSweep {
+        fronts,
+        config,
+        grid,
+        nf,
+        refilled: fronts.len() - start,
+        rows: &ws.seq_rows,
+        items: &ws.seq_items,
+        offsets: &ws.seq_offsets,
+    })
 }
 
 /// Runs one sequence-DP pass over the shared grid of `budgets` into `ws`
-/// and returns the extraction handle.
+/// and returns the extraction handle. The table is always filled from
+/// scratch; use [`sequence_resweep`] to reuse retained checkpoints.
 ///
 /// # Errors
 ///
@@ -273,30 +419,43 @@ pub fn sequence_sweep<'a>(
     idle_power_w: f64,
     ws: &'a mut SolverWorkspace,
 ) -> Result<SequenceSweep<'a>, MckpError> {
-    validate_fronts(fronts)?;
-    let nf = build_freqs(fronts, ws);
-    // The backtrace holds one state per (layer, frequency, bucket), so
-    // the bucket axis is capped by the total state budget rather than
-    // MAX_SWEEP_BUCKETS alone (never below the per-call grid, whose
-    // trace every historical call already allocated).
-    let max_buckets = MAX_SWEEP_STATES / (nf * fronts.len()).max(1);
-    let grid = Grid::shared_with_cap(budgets, resolution, max_buckets)?;
-    prepare_items(fronts, grid.scale, config, idle_power_w, ws)?;
-    fill_table(fronts, grid.buckets, ws);
-    Ok(SequenceSweep {
-        fronts,
-        config,
-        grid,
-        nf: ws.freqs.len(),
-        dp: &ws.seq_dp,
-        back: &ws.seq_back,
-    })
+    sweep_impl(fronts, budgets, resolution, config, idle_power_w, ws, false)
+}
+
+/// [`sequence_sweep`] with **incremental re-solve**: diffs the freshly
+/// prepared item lanes and frequency universe against the checkpointed
+/// table retained in `ws` and refills only the layers from the first
+/// change on (the fleet-drift scenario: one layer's Pareto front moved,
+/// the prefix below it is reused). Bit-identical to [`sequence_sweep`]
+/// on the same inputs — see [`crate::solver::mckp_resweep`] for the
+/// reuse-safety argument; [`SequenceSweep::refilled_layers`] reports the
+/// work done.
+///
+/// # Errors
+///
+/// Same conditions as [`sequence_sweep`].
+pub fn sequence_resweep<'a>(
+    fronts: &'a [Vec<DsePoint>],
+    budgets: &[f64],
+    resolution: usize,
+    config: &'a DseConfig,
+    idle_power_w: f64,
+    ws: &'a mut SolverWorkspace,
+) -> Result<SequenceSweep<'a>, MckpError> {
+    sweep_impl(fronts, budgets, resolution, config, idle_power_w, ws, true)
 }
 
 impl SequenceSweep<'_> {
     /// The shared grid's bucket width in seconds.
     pub fn scale(&self) -> f64 {
         self.grid.scale
+    }
+
+    /// How many trailing layers the producing fill actually refilled:
+    /// the layer count for [`sequence_sweep`], the changed suffix length
+    /// (possibly 0) for [`sequence_resweep`].
+    pub fn refilled_layers(&self) -> usize {
+        self.refilled
     }
 
     /// Extracts the best feasible sequence for one budget from the shared
@@ -317,8 +476,9 @@ impl SequenceSweep<'_> {
             SeqTableRef {
                 nf: self.nf,
                 buckets: self.grid.buckets,
-                dp: self.dp,
-                back: self.back,
+                rows: self.rows,
+                items: self.items,
+                offsets: self.offsets,
             },
         )
     }
@@ -422,5 +582,60 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn resweep_skips_the_fill_when_nothing_changed() {
+        let fronts = fronts();
+        let budgets: Vec<f64> = [2.7, 4.0, 9.0].map(|b| b * 1e-3).to_vec();
+        let cfg = cfg();
+        let mut ws = SolverWorkspace::new();
+        let full: Vec<_> = {
+            let sweep = sequence_sweep(&fronts, &budgets, 1200, &cfg, 0.012, &mut ws).unwrap();
+            assert_eq!(sweep.refilled_layers(), fronts.len());
+            budgets.iter().map(|&b| sweep.best_for(b)).collect()
+        };
+        let again: Vec<_> = {
+            let sweep = sequence_resweep(&fronts, &budgets, 1200, &cfg, 0.012, &mut ws).unwrap();
+            assert_eq!(sweep.refilled_layers(), 0, "identical solve must reuse");
+            budgets.iter().map(|&b| sweep.best_for(b)).collect()
+        };
+        assert_eq!(full, again);
+    }
+
+    #[test]
+    fn resweep_refills_only_the_drifted_suffix() {
+        let mut fronts = fronts();
+        let budgets: Vec<f64> = [2.7, 4.0, 9.0].map(|b| b * 1e-3).to_vec();
+        let cfg = cfg();
+        let mut ws = SolverWorkspace::new();
+        let _ = sequence_sweep(&fronts, &budgets, 1200, &cfg, 0.012, &mut ws).unwrap();
+        // Drift the last layer's front (energy only: the frequency
+        // universe is unchanged, so the prefix stays valid).
+        fronts[2][0].energy = Joules::new(0.17e-3);
+        let incremental: Vec<_> = {
+            let sweep = sequence_resweep(&fronts, &budgets, 1200, &cfg, 0.012, &mut ws).unwrap();
+            assert_eq!(sweep.refilled_layers(), 1, "only the drifted layer refills");
+            budgets.iter().map(|&b| sweep.best_for(b)).collect()
+        };
+        let scratch = solve_sequence_sweep(&fronts, &budgets, 1200, &cfg, 0.012).unwrap();
+        assert_eq!(incremental, scratch, "incremental must be bit-identical");
+    }
+
+    #[test]
+    fn resweep_invalidates_on_frequency_universe_change() {
+        let mut fronts = fronts();
+        let budgets: Vec<f64> = [2.7, 9.0].map(|b| b * 1e-3).to_vec();
+        let cfg = cfg();
+        let mut ws = SolverWorkspace::new();
+        let _ = sequence_sweep(&fronts, &budgets, 800, &cfg, 0.012, &mut ws).unwrap();
+        // A new sysclk anywhere renumbers every item's frequency id, so
+        // even a last-layer change must trigger a full refill.
+        fronts[2].push(point(0.9, 0.22, 75, 0.0));
+        let sweep = sequence_resweep(&fronts, &budgets, 800, &cfg, 0.012, &mut ws).unwrap();
+        assert_eq!(sweep.refilled_layers(), fronts.len());
+        let scratch = solve_sequence_sweep(&fronts, &budgets, 800, &cfg, 0.012).unwrap();
+        let inc: Vec<_> = budgets.iter().map(|&b| sweep.best_for(b)).collect();
+        assert_eq!(inc, scratch);
     }
 }

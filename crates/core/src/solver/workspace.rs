@@ -8,11 +8,23 @@
 //! and reuses them across `optimize` / `sweep` calls; standalone callers
 //! can create one per thread and amortize it over a batch of solves.
 //!
-//! The workspace carries no results — after a solve it is an opaque bag of
-//! scratch capacity, safe to reuse for any later solve of any shape.
+//! Since the quantized-kernel rewrite the workspace also retains the
+//! **checkpointed** DP table of its last solve: one row per class/layer
+//! prefix (`mckp_rows` / `seq_rows`) together with the quantized item
+//! lanes and grid that produced it. The incremental entry points
+//! ([`crate::solver::mckp_resweep`] / [`crate::solver::sequence_resweep`])
+//! diff freshly prepared lanes against the retained ones bitwise and
+//! refill only the suffix rows after the first changed class. The scratch
+//! contract is therefore refined, not weakened: **results never depend on
+//! which workspace a solve used** — retained checkpoints only change how
+//! much of the table is *refilled*, never its contents, because a prefix
+//! is reused only when the grid and every lane byte feeding it are
+//! identical. A workspace stays safe to reuse for any later solve of any
+//! shape.
 
 use stm32_rcc::Hertz;
 
+use crate::solver::Grid;
 use crate::sync::{lock, rank, RankedMutex};
 
 /// Per-item precomputed data for the sequence DP: the item's frequency id
@@ -33,42 +45,76 @@ pub(crate) struct SeqItem {
     pub de_diff: f64,
 }
 
+impl SeqItem {
+    /// Bitwise equality (energies compared via `to_bits`), the comparison
+    /// the incremental re-solve diff uses: a reused prefix must have been
+    /// produced by *byte-identical* lanes, so NaN-safe bit comparison is
+    /// the only acceptable notion of "unchanged".
+    pub fn bits_eq(&self, other: &SeqItem) -> bool {
+        self.f_new == other.f_new
+            && self.w_same == other.w_same
+            && self.w_diff == other.w_diff
+            && self.de_same.to_bits() == other.de_same.to_bits()
+            && self.de_diff.to_bits() == other.de_diff.to_bits()
+    }
+}
+
 /// Reusable flat buffers for the MCKP and sequence DPs.
 ///
 /// Construct once, pass to the `*_with` solver entry points (or to
 /// [`crate::solver::mckp_sweep`] / [`crate::solver::sequence_sweep`]), and
 /// keep it around: buffer capacity is retained between solves, so steady
-/// state solves allocate nothing.
+/// state solves allocate nothing, and the checkpointed table of the last
+/// solve stays available for [`crate::solver::mckp_resweep`] /
+/// [`crate::solver::sequence_resweep`] to reuse.
 #[derive(Debug, Clone, Default)]
 pub struct SolverWorkspace {
-    /// Current MCKP DP row (`buckets` entries; min energy per exact
-    /// bucket-weight).
-    pub(crate) mckp_dp: Vec<f64>,
-    /// Next MCKP DP row being built (swapped with `mckp_dp` per class).
-    pub(crate) mckp_next: Vec<f64>,
-    /// Row-major pick table: `picks[k * buckets + b]` is the item chosen
-    /// for class `k` at bucket `b` (`u32::MAX` = unreachable).
-    pub(crate) mckp_picks: Vec<u32>,
-    /// Per-item bucket weights, class-major (see `mckp_offsets`).
-    pub(crate) mckp_weights: Vec<usize>,
-    /// Start offset of each class in `mckp_weights` (plus a final
+    /// Checkpointed MCKP DP table, `(classes + 1) × buckets` row-major:
+    /// row `0` is the empty prefix (`[0, ∞, …]`), row `k + 1` the state
+    /// after relaxing class `k`. The last row is the answer table; the
+    /// interior rows are the per-class checkpoints incremental re-solve
+    /// resumes from (they also back the pick reconstruction at extract
+    /// time, replacing the historical pick table).
+    pub(crate) mckp_rows: Vec<f64>,
+    /// Quantized per-item bucket weights, class-major (see
+    /// `mckp_offsets`); `u32::MAX` marks an item wider than the table.
+    pub(crate) mckp_weights: Vec<u32>,
+    /// Per-item energies, class-major, densely packed for the kernel.
+    pub(crate) mckp_energies: Vec<f64>,
+    /// Start offset of each class in the MCKP lanes (plus a final
     /// end-of-data sentinel).
     pub(crate) mckp_offsets: Vec<usize>,
-    /// Current sequence DP grid (`nf * buckets` entries, row-major by
-    /// frequency).
-    pub(crate) seq_dp: Vec<f64>,
-    /// Next sequence DP grid being built.
-    pub(crate) seq_next: Vec<f64>,
-    /// Flat backtracking trace: `(item, prev_freq, prev_bucket)` per
-    /// `(layer, freq, bucket)` state.
-    pub(crate) seq_back: Vec<(u32, u16, u32)>,
+    /// Staging lane for freshly quantized weights, diffed against
+    /// `mckp_weights` before being committed (swap, not copy).
+    pub(crate) mckp_stage_weights: Vec<u32>,
+    /// Staging lane for fresh energies (see `mckp_stage_weights`).
+    pub(crate) mckp_stage_energies: Vec<f64>,
+    /// Staging offsets for the fresh lanes.
+    pub(crate) mckp_stage_offsets: Vec<usize>,
+    /// The grid `mckp_rows` was filled on; `None` until the first solve.
+    /// A retained prefix is only reused when the new grid is identical.
+    pub(crate) mckp_grid: Option<Grid>,
+    /// Checkpointed sequence DP table, `layers × (nf × buckets)`
+    /// row-major: row `k` is the state after layer `k` (layer 0 is the
+    /// boot-initialized row). Backs both incremental re-solve and the
+    /// backtrack reconstruction, replacing the historical trace table.
+    pub(crate) seq_rows: Vec<f64>,
     /// Per-item precomputed weights / energies / frequency ids,
     /// front-major (see `seq_offsets`).
     pub(crate) seq_items: Vec<SeqItem>,
     /// Start offset of each front in `seq_items` (plus a final sentinel).
     pub(crate) seq_offsets: Vec<usize>,
+    /// Staging buffer for freshly prepared sequence items.
+    pub(crate) seq_stage_items: Vec<SeqItem>,
+    /// Staging offsets for the fresh sequence lanes.
+    pub(crate) seq_stage_offsets: Vec<usize>,
     /// The solve's sorted, deduplicated frequency universe.
     pub(crate) freqs: Vec<Hertz>,
+    /// Staging buffer for the fresh frequency universe (the item lanes'
+    /// `f_new` ids are only comparable when the universes match).
+    pub(crate) stage_freqs: Vec<Hertz>,
+    /// The grid `seq_rows` was filled on; `None` until the first solve.
+    pub(crate) seq_grid: Option<Grid>,
 }
 
 impl SolverWorkspace {
@@ -85,13 +131,16 @@ impl SolverWorkspace {
 /// workspace and its warmed buffers were dropped on the floor. The pool
 /// keeps up to `capacity` workspaces around instead, so every concurrent
 /// solve checks one out, reuses its retained buffers, and returns it —
-/// steady-state contended solves allocate nothing.
+/// steady-state contended solves allocate nothing, and a hot group's
+/// checkpointed table tends to come back on the next checkout, letting
+/// the incremental entry points skip the fill entirely.
 ///
 /// Checkouts never block on other solvers: [`WorkspacePool::take`] only
 /// holds the pool lock long enough to pop a slot, and an empty pool hands
 /// out a fresh workspace (warmed ones are returned up to the capacity,
 /// extras are dropped). Results can never depend on which workspace a
-/// solve used — the buffers are pure scratch.
+/// solve used — retained checkpoints only change how much of the table is
+/// refilled, never its contents (see [`SolverWorkspace`]).
 #[derive(Debug)]
 pub struct WorkspacePool {
     /// Carries [`rank::WORKSPACE`], the highest rank in the workspace's
@@ -165,9 +214,32 @@ mod tests {
     #[test]
     fn workspace_is_reusable_scratch() {
         let ws = SolverWorkspace::new();
-        assert!(ws.mckp_dp.is_empty());
+        assert!(ws.mckp_rows.is_empty());
+        assert!(ws.mckp_grid.is_none());
         // Clone + Default make it cheap to hand one per worker thread.
         let _ = ws.clone();
+    }
+
+    #[test]
+    fn seq_item_bit_equality_is_nan_safe_and_sign_aware() {
+        let a = SeqItem {
+            f_new: 1,
+            w_same: 2,
+            w_diff: 3,
+            de_same: 0.5,
+            de_diff: f64::NAN,
+        };
+        // NaN != NaN as floats, but the lane diff must treat an unchanged
+        // NaN byte pattern as unchanged.
+        assert!(a.bits_eq(&a));
+        let mut b = a;
+        b.de_same = -0.5;
+        assert!(!a.bits_eq(&b));
+        let mut c = a;
+        c.de_same = -0.0;
+        let mut d = a;
+        d.de_same = 0.0;
+        assert!(!c.bits_eq(&d), "signed zeros differ bitwise");
     }
 
     #[test]
@@ -175,13 +247,13 @@ mod tests {
         let pool = WorkspacePool::new(2);
         assert_eq!(pool.idle(), 0);
         let mut ws = pool.take();
-        ws.mckp_dp.resize(128, 0.0);
-        let capacity = ws.mckp_dp.capacity();
+        ws.mckp_rows.resize(128, 0.0);
+        let capacity = ws.mckp_rows.capacity();
         pool.put(ws);
         assert_eq!(pool.idle(), 1);
         // The warmed buffer comes back on the next checkout.
         let ws = pool.take();
-        assert!(ws.mckp_dp.capacity() >= capacity);
+        assert!(ws.mckp_rows.capacity() >= capacity);
         assert_eq!(pool.idle(), 0);
         pool.put(ws);
     }
@@ -199,8 +271,8 @@ mod tests {
     fn run_returns_the_workspace() {
         let pool = WorkspacePool::new(4);
         let out = pool.run(|ws| {
-            ws.mckp_dp.push(1.0);
-            ws.mckp_dp.len()
+            ws.mckp_rows.push(1.0);
+            ws.mckp_rows.len()
         });
         assert_eq!(out, 1);
         assert_eq!(pool.idle(), 1);
@@ -213,8 +285,8 @@ mod tests {
             for _ in 0..8 {
                 s.spawn(|| {
                     pool.run(|ws| {
-                        ws.mckp_dp.clear();
-                        ws.mckp_dp.resize(64, 0.0);
+                        ws.mckp_rows.clear();
+                        ws.mckp_rows.resize(64, 0.0);
                     });
                 });
             }

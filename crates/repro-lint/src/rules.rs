@@ -283,6 +283,13 @@ pub fn lock_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
 /// Modules whose outputs are pinned bit-identical across runs and thread
 /// schedules. Wall-clock reads, randomness and hash-map iteration order
 /// are all nondeterminism that could leak into plan bits.
+///
+/// The `crates/core/src/solver/` entry is a directory match and covers
+/// every kernel under it — in particular `solver/kernel.rs`, the
+/// branch-free quantized DP kernels whose select/reconstruct loops are
+/// exactly the code the bit-identity pins run through (see
+/// `kernel_module_is_determinism_pinned`). New solver kernels are picked
+/// up automatically; do not narrow this to a file list.
 fn pinned(path: &str) -> bool {
     path.contains("crates/core/src/solver/")
         || path.contains("crates/core/src/service/")
@@ -1362,6 +1369,23 @@ impl Service {{
         let mut out = Vec::new();
         determinism(&unpinned, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn kernel_module_is_determinism_pinned() {
+        // The quantized DP kernel module must stay inside the determinism
+        // perimeter: a wall-clock read (or any nondeterminism) in the
+        // branch-free select loops would leak straight into plan bits.
+        let src = "pub(crate) fn relax(next: &mut [f64]) { let _t = Instant::now(); }";
+        let file = parse("crates/core/src/solver/kernel.rs", src);
+        let mut out = Vec::new();
+        determinism(&file, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("Instant::now"),
+            "{}",
+            out[0].message
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Property-based tests over the core invariants of every substrate.
 
 use dae_dvfs::{
-    dae_forward_depthwise, dae_forward_pointwise, dae_segments, pareto_front, solve_dp,
-    solve_dp_sweep, solve_exhaustive, solve_sequence, solve_sequence_sweep, DseConfig, DsePoint,
-    Granularity, MckpItem, OperatingModes,
+    dae_forward_depthwise, dae_forward_pointwise, dae_segments, mckp_resweep, mckp_sweep,
+    pareto_front, sequence_resweep, sequence_sweep, solve_dp, solve_dp_sweep, solve_exhaustive,
+    solve_sequence, solve_sequence_sweep, DseConfig, DsePoint, Granularity, MckpItem,
+    OperatingModes, SolverWorkspace,
 };
 use mcu_sim::cache::{reuse_hit_ratio, Cache, CacheConfig};
 use mcu_sim::{MemoryTiming, MemoryTraffic, OpCounts};
@@ -351,6 +352,232 @@ proptest! {
                     opt_tight.total_energy
                 );
                 prop_assert!(per_call.total_energy <= opt_tight.total_energy + 1e-9);
+            }
+        }
+    }
+
+    // ---- incremental re-solve ≡ full refill ------------------------------
+
+    #[test]
+    fn mckp_resweep_after_mutation_matches_full_refill_bit_for_bit(
+        class_sizes in prop::collection::vec(1usize..5, 2..6),
+        seed in 0u64..500,
+        budget_factors in prop::collection::vec(10u64..200, 1..4),
+        resolution in 200usize..800,
+        class_idx in 0usize..8,
+        mutation in 0usize..5,
+    ) {
+        let mut rng = synth::SplitMix64::new(seed);
+        let mut classes: Vec<Vec<MckpItem>> = class_sizes
+            .iter()
+            .map(|&n| {
+                (0..n)
+                    .map(|_| MckpItem {
+                        time_secs: (rng.next_u64() % 1000 + 1) as f64 * 1e-3,
+                        energy: (rng.next_u64() % 1000 + 1) as f64 * 1e-3,
+                    })
+                    .collect()
+            })
+            .collect();
+        let min_time: f64 = classes
+            .iter()
+            .map(|c| c.iter().map(|i| i.time_secs).fold(f64::INFINITY, f64::min))
+            .sum();
+        let budgets: Vec<f64> = budget_factors
+            .iter()
+            .map(|&f| min_time * (1.1 + f as f64 * 1e-2))
+            .collect();
+
+        // Prime the workspace checkpoints with a full fill of the base
+        // instance, remembering the exact shared-grid scale.
+        let mut ws = SolverWorkspace::new();
+        let scale = mckp_sweep(&classes, &budgets, resolution, &mut ws)
+            .expect("base sweep is valid")
+            .scale();
+
+        // One mutation confined to class `j`.
+        let nclasses = classes.len();
+        let j = class_idx % nclasses;
+        match mutation {
+            0 => classes[j][0].energy += 0.373e-3,
+            // Push the quantized weight across at least two bucket
+            // boundaries of the (unchanged) shared grid:
+            // ceil((t + 2·scale)/scale) ≥ ceil(t/scale) + 2.
+            1 => classes[j][0].time_secs += 2.0 * scale,
+            2 => {
+                // Class shrink (energy nudge when already a singleton).
+                if classes[j].len() > 1 {
+                    classes[j].pop();
+                } else {
+                    classes[j][0].energy += 0.211e-3;
+                }
+            }
+            3 => classes[j].push(MckpItem {
+                time_secs: (rng.next_u64() % 1000 + 1) as f64 * 1e-3,
+                energy: (rng.next_u64() % 1000 + 1) as f64 * 1e-3,
+            }),
+            _ => {} // no drift at all
+        }
+
+        // Incremental re-solve on the warm workspace vs a cold full fill.
+        let mut scratch = SolverWorkspace::new();
+        let warm = mckp_resweep(&classes, &budgets, resolution, &mut ws)
+            .expect("resweep is valid");
+        let cold = mckp_sweep(&classes, &budgets, resolution, &mut scratch)
+            .expect("scratch sweep is valid");
+
+        // Incremental cost bound: only the suffix from the mutated class
+        // on refills (nothing at all when nothing drifted).
+        if mutation == 4 {
+            prop_assert_eq!(warm.refilled_classes(), 0);
+        } else {
+            prop_assert!(
+                warm.refilled_classes() <= nclasses - j,
+                "mutating class {} of {} refilled {} classes",
+                j,
+                nclasses,
+                warm.refilled_classes()
+            );
+        }
+
+        for &budget in &budgets {
+            match (warm.best_for(budget), cold.best_for(budget)) {
+                (Ok(inc), Ok(full)) => {
+                    prop_assert_eq!(&inc.choices, &full.choices);
+                    prop_assert_eq!(
+                        inc.total_time_secs.to_bits(),
+                        full.total_time_secs.to_bits()
+                    );
+                    prop_assert_eq!(
+                        inc.total_energy.to_bits(),
+                        full.total_energy.to_bits()
+                    );
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => prop_assert!(false, "warm {a:?} vs cold {b:?} disagree"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_resweep_after_mutation_matches_full_refill_bit_for_bit(
+        layer_specs in prop::collection::vec(
+            prop::collection::vec((1u64..40, 1u64..40, 0usize..3, 0u64..3), 1..3),
+            1..4,
+        ),
+        budget_factors in prop::collection::vec(0u64..150, 1..4),
+        layer_idx in 0usize..8,
+        mutation in 0usize..5,
+    ) {
+        let config = DseConfig::paper();
+        let modes = OperatingModes::fig4();
+        let mhz = [100u64, 168, 216];
+        let mut fronts: Vec<Vec<DsePoint>> = layer_specs
+            .iter()
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|&(t, e, f_idx, stage)| DsePoint {
+                        granularity: Granularity(if stage > 0 { 8 } else { 0 }),
+                        hfo: *modes
+                            .hfo_at(stm32_rcc::Hertz::mhz(mhz[f_idx]))
+                            .expect("ladder frequency"),
+                        latency_secs: t as f64 * 1e-4,
+                        energy: Joules::new(e as f64 * 1e-5),
+                        switches: 0,
+                        first_stage_secs: stage as f64 * 1e-4,
+                    })
+                    .collect()
+            })
+            .collect();
+        let min_time: f64 = fronts
+            .iter()
+            .map(|f| f.iter().map(|p| p.latency_secs).fold(f64::INFINITY, f64::min))
+            .sum();
+        let budgets: Vec<f64> = budget_factors
+            .iter()
+            .map(|&f| min_time * (1.5 + f as f64 * 1e-2) + fronts.len() as f64 * 250e-6)
+            .collect();
+        let resolution = 4000;
+
+        let mut ws = SolverWorkspace::new();
+        let scale = sequence_sweep(&fronts, &budgets, resolution, &config, 0.0, &mut ws)
+            .expect("base sweep is valid")
+            .scale();
+
+        let nlayers = fronts.len();
+        let j = layer_idx % nlayers;
+        match mutation {
+            0 => {
+                let e = fronts[j][0].energy.as_f64();
+                fronts[j][0].energy = Joules::new(e + 0.173e-4);
+            }
+            // Latency drift crossing bucket boundaries of the shared grid.
+            1 => fronts[j][0].latency_secs += 2.0 * scale,
+            2 => {
+                // Front shrink (energy nudge when already a singleton).
+                // Popping may remove a frequency from the universe, which
+                // invalidates all checkpoints — still bit-identical.
+                if fronts[j].len() > 1 {
+                    fronts[j].pop();
+                } else {
+                    let e = fronts[j][0].energy.as_f64();
+                    fronts[j][0].energy = Joules::new(e + 0.211e-4);
+                }
+            }
+            3 => {
+                let f = mhz[layer_idx % mhz.len()];
+                fronts[j].push(DsePoint {
+                    granularity: Granularity(8),
+                    hfo: *modes
+                        .hfo_at(stm32_rcc::Hertz::mhz(f))
+                        .expect("ladder frequency"),
+                    latency_secs: 17e-4,
+                    energy: Joules::new(13e-5),
+                    switches: 0,
+                    first_stage_secs: 1e-4,
+                });
+            }
+            _ => {} // no drift at all
+        }
+
+        let mut scratch = SolverWorkspace::new();
+        let warm = sequence_resweep(&fronts, &budgets, resolution, &config, 0.0, &mut ws)
+            .expect("resweep is valid");
+        let cold = sequence_sweep(&fronts, &budgets, resolution, &config, 0.0, &mut scratch)
+            .expect("scratch sweep is valid");
+
+        // Value/latency drifts keep the frequency universe intact, so the
+        // refill bound holds; shrink/grow may invalidate the universe and
+        // only promise bit-identity.
+        if mutation == 4 {
+            prop_assert_eq!(warm.refilled_layers(), 0);
+        } else if mutation < 2 {
+            prop_assert!(
+                warm.refilled_layers() <= nlayers - j,
+                "mutating layer {} of {} refilled {} layers",
+                j,
+                nlayers,
+                warm.refilled_layers()
+            );
+        }
+
+        for &budget in &budgets {
+            match (warm.best_for(budget), cold.best_for(budget)) {
+                (Ok(inc), Ok(full)) => {
+                    prop_assert_eq!(&inc.choices, &full.choices);
+                    prop_assert_eq!(
+                        inc.total_time_secs.to_bits(),
+                        full.total_time_secs.to_bits()
+                    );
+                    prop_assert_eq!(
+                        inc.total_energy.to_bits(),
+                        full.total_energy.to_bits()
+                    );
+                    prop_assert_eq!(inc.frequency_changes, full.frequency_changes);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => prop_assert!(false, "warm {a:?} vs cold {b:?} disagree"),
             }
         }
     }
