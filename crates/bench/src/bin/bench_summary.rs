@@ -18,7 +18,11 @@
 //! vs the full refill it replaces), and the **plan-serving subsystem**
 //! on the smallest model: cold `plan()` vs
 //! cached hits vs one coalesced batch, plus hit rate and throughput on a
-//! hot-key-skewed trace. Emits a single JSON object (schema v5) on
+//! hot-key-skewed trace. The `server` section (schema v6) replays a
+//! trace over real loopback HTTP twice — cold against an empty on-disk
+//! registry, then warm after a simulated restart — and records the
+//! latency percentiles and the warm-vs-cold solve split. Emits a single
+//! JSON object (schema v6) on
 //! stdout, self-validates it against the workspace JSON parser, and
 //! writes `BENCH_SUMMARY.json` to the current directory so CI and the
 //! repo's benchmark trajectory can track the numbers without scraping
@@ -33,10 +37,10 @@ use std::time::{Duration, Instant};
 
 use dae_dvfs::{
     mckp_resweep, mckp_sweep, optimize, solve_dp, solve_dp_sweep, MckpItem, PlanRequest,
-    PlanService, Planner, ServiceConfig, SolverWorkspace, Stm32F767Target, Target,
+    PlanService, Planner, ServerConfig, ServiceConfig, SolverWorkspace, Stm32F767Target, Target,
 };
 use repro_bench::json::BENCH_SUMMARY_SCHEMA_VERSION;
-use repro_bench::{config, json};
+use repro_bench::{config, json, serving};
 use tinyengine::qos_window;
 use tinynn::models::synth::SplitMix64;
 
@@ -339,6 +343,74 @@ fn measure_service(model: &tinynn::Model) -> ServiceRow {
     }
 }
 
+/// HTTP-serving measurements on one model (schema v6's `server`
+/// section): the deterministic trace replayed over loopback sockets,
+/// cold against a wiped registry and warm after a simulated restart.
+/// The shared harness asserts the restart contract (zero warm solves,
+/// byte-identical responses); this row records what CI tracks.
+struct ServerRow {
+    http_requests: u64,
+    cold_solves: u64,
+    warm_solves: u64,
+    warm_registry_hits: u64,
+    http_p50_ms: f64,
+    http_p99_ms: f64,
+}
+
+fn measure_server(model: &tinynn::Model) -> ServerRow {
+    let target = repro_bench::target();
+    let route = format!("{}@{}", model.name, target.id());
+    let planner = Arc::new(Planner::for_target(target, model).expect("planner builds"));
+    let baseline = planner.baseline_latency().expect("baseline runs");
+    let planners = vec![(route.clone(), planner)];
+
+    // 8 hot request shapes replayed round-robin: enough distinct keys to
+    // exercise the registry, enough repeats to exercise the LRU.
+    let requests = 96;
+    let trace: Vec<(String, String)> = (0..requests)
+        .map(|i| {
+            let body = if i % 2 == 0 {
+                let slack = 0.1 + 0.2 * ((i / 2) % 4) as f64;
+                format!(
+                    "{{\"planner\": {}, \"slack\": {slack}}}",
+                    json::quote(&route)
+                )
+            } else {
+                let window = tinyengine::qos_window(baseline, 0.15 + 0.2 * ((i / 2) % 4) as f64);
+                format!(
+                    "{{\"planner\": {}, \"qos_secs\": {window}}}",
+                    json::quote(&route)
+                )
+            };
+            ("/v1/plan".to_string(), body)
+        })
+        .collect();
+
+    let service_config = ServiceConfig::default()
+        .with_workers(4)
+        .with_batch_linger(Duration::from_millis(1))
+        .with_qos_quantum_secs(1e-6);
+    let registry_dir = std::env::temp_dir().join(format!("dae-dvfs-bench-{}", std::process::id()));
+    let measured = serving::measure_serving(
+        &planners,
+        &service_config,
+        &ServerConfig::default(),
+        &trace,
+        &registry_dir,
+        4,
+    );
+    let _ = std::fs::remove_dir_all(&registry_dir);
+
+    ServerRow {
+        http_requests: measured.http_requests,
+        cold_solves: measured.cold.stats.cache.inserted,
+        warm_solves: measured.warm.stats.batches,
+        warm_registry_hits: measured.warm.stats.registry_hits,
+        http_p50_ms: measured.warm.p50_ms,
+        http_p99_ms: measured.warm.p99_ms,
+    }
+}
+
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
     (sum / n as f64).exp()
@@ -363,6 +435,7 @@ fn main() {
         .min_by_key(|m| m.layer_count())
         .expect("at least one model");
     let service_row = measure_service(smallest);
+    let server_row = measure_server(smallest);
 
     let rendered: Vec<String> = rows
         .iter()
@@ -397,6 +470,14 @@ fn main() {
         .f64_field("hit_rate", service_row.hit_rate, 4)
         .f64_field("throughput_rps", service_row.throughput_rps, 1)
         .render();
+    let server_json = json::Object::new()
+        .u64_field("http_requests", server_row.http_requests)
+        .u64_field("cold_solves", server_row.cold_solves)
+        .u64_field("warm_solves", server_row.warm_solves)
+        .u64_field("warm_registry_hits", server_row.warm_registry_hits)
+        .f64_field("http_p50_ms", server_row.http_p50_ms, 3)
+        .f64_field("http_p99_ms", server_row.http_p99_ms, 3)
+        .render();
     let mut document = json::Object::new()
         .str_field("benchmark", "planner_sweep10")
         .u64_field("schema_version", BENCH_SUMMARY_SCHEMA_VERSION)
@@ -404,6 +485,7 @@ fn main() {
         .u64_field("qos_points", 10)
         .array_field("models", &rendered)
         .raw_field("service", service_json)
+        .raw_field("server", server_json)
         .f64_field(
             "speedup_geomean",
             geomean(rows.iter().map(ModelRow::speedup)),

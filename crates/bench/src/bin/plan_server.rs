@@ -19,19 +19,30 @@
 //! bit-identical to their serial reference (`Planner::plan` in exact
 //! mode, singleton `Planner::sweep` in the default swept mode).
 //!
+//! With `--serve` (alias `--http-trace`) the same deterministic trace is
+//! instead replayed **over real loopback sockets** against the
+//! `PlanServer` HTTP front end, twice: a cold pass against an empty
+//! on-disk `PlanRegistry`, then — after tearing the service down and
+//! rebuilding it (the simulated process restart) — a warm pass that must
+//! be answered entirely from the re-opened registry without a single
+//! solve, byte-identical to the cold responses. Prints request latency
+//! percentiles and the warm-vs-cold solve split.
+//!
 //! Run with: `cargo run --release -p repro-bench --bin plan_server`
-//! CI smoke: `… --bin plan_server -- --smoke` (small trace; exits
+//! CI smoke: `… --bin plan_server -- --smoke` and
+//! `… --bin plan_server -- --serve --smoke` (small traces; exit
 //! non-zero if any invariant fails).
 //! Flags: `--requests N`, `--workers N`, `--exact` (per-request solves
-//! instead of shared-grid coalescing).
+//! instead of shared-grid coalescing), `--serve` (HTTP replay).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dae_dvfs::{
     CoalesceMode, GenericCortexMTarget, OperatingModes, PlanRequest, PlanService, Planner,
-    PlannerKey, ServiceConfig, Solver, Stm32F767Target, Target,
+    PlannerKey, QosBudget, ServerConfig, ServiceConfig, Solver, Stm32F767Target, Target,
 };
+use repro_bench::{json, serving};
 use stm32_rcc::Hertz;
 use tinyengine::qos_window;
 use tinynn::models::synth::SplitMix64;
@@ -89,7 +100,9 @@ fn build_planners() -> Vec<(String, Arc<Planner>)> {
 /// Deterministic multi-tenant trace with hot-key skew: `hot_share` of
 /// requests replay one of a handful of hot `(tenant, request)` pairs;
 /// the tail mixes slack levels, solvers and jittered absolute windows.
-fn generate_trace(tenants: &[Tenant], requests: usize, rng: &mut SplitMix64) -> Vec<TraceRequest> {
+/// Takes bare baselines (not `Tenant`s) so the HTTP serve mode can build
+/// the trace before any service exists to hand out keys.
+fn generate_trace(baselines: &[f64], requests: usize, rng: &mut SplitMix64) -> Vec<TraceRequest> {
     let hot: Vec<(usize, PlanRequest)> = vec![
         (0, PlanRequest::slack(0.3)),
         (0, PlanRequest::slack(0.5)),
@@ -108,7 +121,7 @@ fn generate_trace(tenants: &[Tenant], requests: usize, rng: &mut SplitMix64) -> 
                     request: request.clone(),
                 }
             } else {
-                let tenant = (rng.next_u64() % tenants.len() as u64) as usize;
+                let tenant = (rng.next_u64() % baselines.len() as u64) as usize;
                 let slack = SLACKS[(rng.next_u64() % SLACKS.len() as u64) as usize];
                 let request = if roll < 85 {
                     PlanRequest::slack(slack)
@@ -117,7 +130,7 @@ fn generate_trace(tenants: &[Tenant], requests: usize, rng: &mut SplitMix64) -> 
                     // service's QoS quantum coalesces these onto shared
                     // cache entries.
                     let jitter = (rng.next_u64() % 1000) as f64 * 1e-9;
-                    PlanRequest::qos(qos_window(tenants[tenant].baseline, slack) + jitter)
+                    PlanRequest::qos(qos_window(baselines[tenant], slack) + jitter)
                 };
                 let request = if roll >= 97 {
                     request.with_solver(Solver::SequenceDp)
@@ -130,10 +143,119 @@ fn generate_trace(tenants: &[Tenant], requests: usize, rng: &mut SplitMix64) -> 
         .collect()
 }
 
+/// Serializes one trace request as the `POST /v1/plan` JSON body the
+/// HTTP front end decodes. `f64` `Display` prints the shortest exact
+/// round-trip form, so the body re-parses to the bit-identical budget.
+fn request_body(route: &str, request: &PlanRequest) -> String {
+    let mut fields = vec![format!("\"planner\": {}", json::quote(route))];
+    if let QosBudget::Window(window) = request.budget() {
+        fields.push(format!("\"qos_secs\": {window}"));
+    } else if let QosBudget::Slack(slack) = request.budget() {
+        fields.push(format!("\"slack\": {slack}"));
+    }
+    if request.solver() == Solver::SequenceDp {
+        fields.push("\"solver\": \"sequence-dp\"".to_string());
+    }
+    if let Some(resolution) = request.dp_resolution() {
+        fields.push(format!("\"dp_resolution\": {resolution}"));
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// The `--serve` path: the deterministic trace replayed over loopback
+/// HTTP, cold against an empty registry and warm after a simulated
+/// restart. The shared harness asserts the restart contract; this
+/// function reports the latency split.
+fn serve_mode(smoke: bool, requests: usize, workers: usize) {
+    let clients = 8;
+    println!("building planners (one DSE per model x target)...");
+    let t0 = Instant::now();
+    let planners = build_planners();
+    println!(
+        "  {} planners in {:.2}s",
+        planners.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let baselines: Vec<f64> = planners
+        .iter()
+        .map(|(_, planner)| planner.baseline_latency().expect("baseline runs"))
+        .collect();
+    let mut rng = SplitMix64::new(0xDAE_D5F5);
+    let trace: Vec<(String, String)> = generate_trace(&baselines, requests, &mut rng)
+        .iter()
+        .map(|r| {
+            (
+                "/v1/plan".to_string(),
+                request_body(&planners[r.tenant].0, &r.request),
+            )
+        })
+        .collect();
+    println!(
+        "trace: {} requests over {} tenants, replayed twice over HTTP ({} client connections)",
+        trace.len(),
+        planners.len(),
+        clients
+    );
+
+    let service_config = ServiceConfig::default()
+        .with_workers(workers)
+        .with_batch_linger(Duration::from_millis(2))
+        .with_qos_quantum_secs(1e-6);
+    let server_config = ServerConfig::default().with_workers(clients);
+    let registry_dir = std::env::temp_dir().join(format!("dae-dvfs-serve-{}", std::process::id()));
+    let measured = serving::measure_serving(
+        &planners,
+        &service_config,
+        &server_config,
+        &trace,
+        &registry_dir,
+        clients,
+    );
+    let _ = std::fs::remove_dir_all(&registry_dir);
+
+    println!("\ncold pass (empty registry: every distinct request solves)");
+    println!(
+        "  p50 / p99 latency    {:>9.3} / {:.3} ms",
+        measured.cold.p50_ms, measured.cold.p99_ms
+    );
+    println!(
+        "  distinct solves      {:>9}",
+        measured.cold.stats.cache.inserted
+    );
+    println!(
+        "  registry writes      {:>9}",
+        measured.cold.stats.registry_writes
+    );
+    println!("  wall time            {:>9.3} s", measured.cold.total_secs);
+    println!("\nwarm pass (restarted process: answered from disk, zero solves)");
+    println!(
+        "  p50 / p99 latency    {:>9.3} / {:.3} ms",
+        measured.warm.p50_ms, measured.warm.p99_ms
+    );
+    println!("  solve batches        {:>9}", measured.warm.stats.batches);
+    println!(
+        "  registry hits        {:>9}",
+        measured.warm.stats.registry_hits
+    );
+    println!("  wall time            {:>9.3} s", measured.warm.total_secs);
+    println!(
+        "\nresponses byte-identical across the restart ({} HTTP requests total)",
+        measured.http_requests
+    );
+    if smoke {
+        eprintln!(
+            "smoke: serve invariants hold ({} http requests)",
+            measured.http_requests
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let exact = args.iter().any(|a| a == "--exact");
+    let serve = args.iter().any(|a| a == "--serve" || a == "--http-trace");
     let flag = |name: &str, default: usize| -> usize {
         args.iter()
             .position(|a| a == name)
@@ -144,6 +266,10 @@ fn main() {
     let requests = flag("--requests", if smoke { 150 } else { 1200 });
     let workers = flag("--workers", 4);
     let submitters = 4;
+    if serve {
+        serve_mode(smoke, requests, workers);
+        return;
+    }
 
     println!("building planners (one DSE per model x target)...");
     let t0 = Instant::now();
@@ -182,8 +308,9 @@ fn main() {
         })
         .collect();
 
+    let baselines: Vec<f64> = tenants.iter().map(|t| t.baseline).collect();
     let mut rng = SplitMix64::new(0xDAE_D5F5);
-    let trace = generate_trace(&tenants, requests, &mut rng);
+    let trace = generate_trace(&baselines, requests, &mut rng);
     println!(
         "trace: {} requests over {} tenants ({:?} coalescing, {} workers, {} submitters)",
         trace.len(),

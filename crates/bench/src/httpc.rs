@@ -1,0 +1,208 @@
+//! A minimal blocking HTTP/1.1 client for the serving benchmarks and the
+//! wire-conformance tests.
+//!
+//! One request per connection (`Connection: close`), hand-rolled over
+//! [`TcpStream`] like everything else in this offline workspace. The
+//! point is not generality — it speaks exactly the protocol subset the
+//! plan server serves, and keeps the measuring side dependency-free so
+//! client and server cannot share a parsing bug through a common
+//! library.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed response: the status code plus the raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Body bytes (everything past the blank line; with
+    /// `Connection: close` that is exactly the payload).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The body as UTF-8, lossily.
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues one `GET` over a fresh connection.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed response heads
+/// as [`std::io::Error`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+/// Issues one `POST` with a body over a fresh connection.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed response heads
+/// as [`std::io::Error`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Sends raw request bytes and parses the close-delimited response.
+fn request(addr: SocketAddr, raw: &str) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(raw.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    parse_response(&response)
+}
+
+/// Splits status line and body out of a complete response.
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response head never terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let status_line = head.split("\r\n").next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok(HttpResponse {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// The result of replaying a request list against a server.
+#[derive(Debug)]
+pub struct Replay {
+    /// Per-request wall-clock latency, in trace order.
+    pub latency_secs: Vec<f64>,
+    /// Per-request response bodies, in trace order.
+    pub bodies: Vec<String>,
+}
+
+impl Replay {
+    /// The `q`-quantile (0…1) of the latency distribution, in
+    /// milliseconds (nearest-rank on the sorted sample).
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        if self.latency_secs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latency_secs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)] * 1e3
+    }
+}
+
+/// Replays `(path, body)` POST requests against `addr` from `clients`
+/// threads (striped round-robin, preserving trace order in the result),
+/// panicking on any non-200 — the benches and the smoke gate want loud
+/// failures, not averaged-in errors.
+///
+/// # Errors
+///
+/// The first transport failure any client hit.
+pub fn replay_posts(
+    addr: SocketAddr,
+    requests: &[(String, String)],
+    clients: usize,
+) -> std::io::Result<Replay> {
+    let clients = clients.max(1);
+    let slots: Vec<std::io::Result<(f64, String)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|offset| {
+                scope.spawn(move || {
+                    requests
+                        .iter()
+                        .enumerate()
+                        .skip(offset)
+                        .step_by(clients)
+                        .map(|(i, (path, body))| {
+                            let t = Instant::now();
+                            let response = post(addr, path, body)?;
+                            let latency = t.elapsed().as_secs_f64();
+                            assert_eq!(
+                                response.status,
+                                200,
+                                "request {i} failed: {}",
+                                response.body_str()
+                            );
+                            Ok((i, latency, response.body_str()))
+                        })
+                        .collect::<Vec<std::io::Result<(usize, f64, String)>>>()
+                })
+            })
+            .collect();
+        let mut slots: Vec<std::io::Result<(f64, String)>> = (0..requests.len())
+            .map(|_| Err(std::io::Error::other("unanswered")))
+            .collect();
+        for handle in handles {
+            for item in handle.join().expect("replay client panicked") {
+                match item {
+                    Ok((i, latency, body)) => slots[i] = Ok((latency, body)),
+                    Err(e) => return vec![Err(e)],
+                }
+            }
+        }
+        slots
+    });
+    let mut latency_secs = Vec::with_capacity(requests.len());
+    let mut bodies = Vec::with_capacity(requests.len());
+    for slot in slots {
+        let (latency, body) = slot?;
+        latency_secs.push(latency);
+        bodies.push(body);
+    }
+    Ok(Replay {
+        latency_secs,
+        bodies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_extracts_status_and_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\ncontent-length: 2\r\n\r\nhi";
+        let response = parse_response(raw).expect("parses");
+        assert_eq!(response.status, 429);
+        assert_eq!(response.body, b"hi");
+    }
+
+    #[test]
+    fn truncated_responses_are_errors_not_panics() {
+        assert!(parse_response(b"HTTP/1.1 200").is_err());
+        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let replay = Replay {
+            latency_secs: vec![0.001, 0.002, 0.003, 0.004, 0.010],
+            bodies: Vec::new(),
+        };
+        assert_eq!(replay.percentile_ms(0.5), 3.0);
+        assert_eq!(replay.percentile_ms(1.0), 10.0);
+        assert_eq!(replay.percentile_ms(0.0), 1.0);
+    }
+}

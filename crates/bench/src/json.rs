@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 /// the single source of truth: `repro-lint`'s consistency rule checks
 /// that the committed `BENCH_SUMMARY.json` and every `schema v<N>`
 /// mention in `DESIGN.md` agree with it.
-pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 5;
+pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 6;
 
 /// Escapes and quotes a string for JSON.
 ///
@@ -123,7 +123,12 @@ impl Object {
 /// throughput). Schema v5 additionally requires the quantized-kernel
 /// fields on every model row: `kernel_fill_secs`, `kernel_extract_secs`
 /// and `incremental_speedup` (full refill over incremental re-solve
-/// after a single-class drift).
+/// after a single-class drift). Schema v6 additionally requires the
+/// `server` section — the HTTP serving measurement over real loopback
+/// sockets: request count and latency percentiles (`http_requests`,
+/// `http_p50_ms`, `http_p99_ms`) plus the warm-vs-cold split proving the
+/// registry tier answered the restarted pass without a solve
+/// (`cold_solves`, `warm_solves`, `warm_registry_hits`).
 ///
 /// # Errors
 ///
@@ -181,6 +186,23 @@ pub fn validate_summary(document: &str, expected_schema: u64) -> Result<(), Stri
             "throughput_rps",
         ] {
             service.get_f64(field).map_err(|e| e.to_string())?;
+        }
+    }
+    if expected_schema >= 6 {
+        let server = object
+            .get("server")
+            .and_then(|s| s.as_object("server section"))
+            .map_err(|e| e.to_string())?;
+        for field in [
+            "http_requests",
+            "cold_solves",
+            "warm_solves",
+            "warm_registry_hits",
+        ] {
+            server.get_u64(field).map_err(|e| e.to_string())?;
+        }
+        for field in ["http_p50_ms", "http_p99_ms"] {
+            server.get_f64(field).map_err(|e| e.to_string())?;
         }
     }
     Ok(())
@@ -361,6 +383,53 @@ mod tests {
             .raw_field("service", service)
             .render_pretty();
         assert!(validate_summary(&with_kernel, 5).is_ok());
+    }
+
+    #[test]
+    fn v6_summaries_require_the_server_section() {
+        let row = Object::new()
+            .str_field("model", "vww")
+            .f64_field("planner_construction_secs", 1.0, 6)
+            .f64_field("planner_sweep_secs", 1.0, 6)
+            .f64_field("percall_loop_secs", 1.0, 6)
+            .f64_field("sweep_speedup", 2.0, 2)
+            .f64_field("kernel_fill_secs", 0.5, 6)
+            .f64_field("kernel_extract_secs", 0.01, 6)
+            .f64_field("incremental_speedup", 8.0, 2)
+            .render();
+        let service = Object::new()
+            .f64_field("cache_hit_speedup", 100.0, 2)
+            .f64_field("coalescing_speedup", 3.0, 2)
+            .f64_field("hit_rate", 0.9, 4)
+            .f64_field("throughput_rps", 5000.0, 1)
+            .render();
+        let without_server = Object::new()
+            .u64_field("schema_version", 6)
+            .array_field("models", std::slice::from_ref(&row))
+            .raw_field("service", service.clone())
+            .render_pretty();
+        assert!(validate_summary(&without_server, 6)
+            .unwrap_err()
+            .contains("server"));
+        // The same document still passes as v5 (no server requirement)...
+        let v5 = without_server.replace("\"schema_version\": 6", "\"schema_version\": 5");
+        assert!(validate_summary(&v5, 5).is_ok());
+        // ...and as v6 once the server section carries its fields.
+        let server = Object::new()
+            .u64_field("http_requests", 64)
+            .f64_field("http_p50_ms", 0.4, 3)
+            .f64_field("http_p99_ms", 2.5, 3)
+            .u64_field("cold_solves", 8)
+            .u64_field("warm_solves", 0)
+            .u64_field("warm_registry_hits", 8)
+            .render();
+        let with_server = Object::new()
+            .u64_field("schema_version", 6)
+            .array_field("models", &[row])
+            .raw_field("service", service)
+            .raw_field("server", server)
+            .render_pretty();
+        assert!(validate_summary(&with_server, 6).is_ok());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! regenerates it (see DESIGN.md's experiment index) and a Criterion bench
 //! under `benches/` that measures the code paths behind it.
 
+pub mod httpc;
 pub mod json;
+pub mod serving;
 
 use dae_dvfs::{DseConfig, FrequencyMap, Stm32F767Target};
 use stm32_rcc::Hertz;

@@ -1,0 +1,168 @@
+//! The shared cold/warm HTTP serving harness behind `plan_server
+//! --serve` and the bench summary's `server` section.
+//!
+//! One measurement is two passes of the same deterministic trace over
+//! real loopback sockets:
+//!
+//! 1. **cold**: a fresh [`PlanService`] with an *empty* on-disk
+//!    [`PlanRegistry`] — every distinct request solves, and every solve
+//!    is written through to disk;
+//! 2. **warm**: the service is torn down and rebuilt (the simulated
+//!    process restart), the registry re-opened and re-validated, and the
+//!    identical trace replayed — now answered entirely from the LRU and
+//!    the disk tier, with **zero** solves.
+//!
+//! The harness asserts the restart contract, not just measures it: the
+//! warm pass must run no batches, write nothing back, account for every
+//! LRU insert with a registry hit, and produce response bodies
+//! byte-identical to the cold pass — the end-to-end restart bit-identity
+//! guarantee of DESIGN.md, "Network serving & artifact registry".
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dae_dvfs::{
+    PlanRegistry, PlanServer, PlanService, Planner, ServerConfig, ServiceConfig, ServiceStats,
+};
+
+use crate::httpc;
+
+/// One pass's latency distribution and service counters.
+#[derive(Debug)]
+pub struct PassStats {
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Wall-clock of the whole replay.
+    pub total_secs: f64,
+    /// The service's counters after the pass.
+    pub stats: ServiceStats,
+}
+
+/// Both passes of a cold/warm serving measurement.
+#[derive(Debug)]
+pub struct ServingMeasurement {
+    /// The cold pass (empty registry; every distinct request solves).
+    pub cold: PassStats,
+    /// The warm pass (after the simulated restart; zero solves).
+    pub warm: PassStats,
+    /// Requests served across both passes.
+    pub http_requests: u64,
+}
+
+/// Runs one pass: fresh service over `planners`, registry attached from
+/// `registry_dir`, `trace` replayed by `clients` connections at a time.
+/// Returns the pass stats plus the response bodies in trace order.
+fn pass(
+    planners: &[(String, Arc<Planner>)],
+    service_config: &ServiceConfig,
+    server_config: &ServerConfig,
+    trace: &[(String, String)],
+    registry_dir: &Path,
+    clients: usize,
+) -> (PassStats, Vec<String>) {
+    let mut service = PlanService::new(service_config.clone()).expect("service config validates");
+    let keys: Vec<_> = planners
+        .iter()
+        .map(|(_, planner)| service.register(planner.clone()))
+        .collect();
+    service
+        .attach_registry(PlanRegistry::open(registry_dir).expect("registry opens"))
+        .expect("registry re-validation walks the directory");
+    let t = Instant::now();
+    let replay = service.run(|svc| {
+        let mut server =
+            PlanServer::new(svc, server_config.clone()).expect("server config validates");
+        for ((name, _), key) in planners.iter().zip(&keys) {
+            server = server.route(name, *key).expect("route registers");
+        }
+        server
+            .serve(|handle| httpc::replay_posts(handle.addr(), trace, clients))
+            .expect("server binds an ephemeral loopback port")
+            .expect("every replayed request answered")
+    });
+    let total_secs = t.elapsed().as_secs_f64();
+    let stats = service.stats();
+    (
+        PassStats {
+            p50_ms: replay.percentile_ms(0.5),
+            p99_ms: replay.percentile_ms(0.99),
+            total_secs,
+            stats,
+        },
+        replay.bodies,
+    )
+}
+
+/// Runs the full cold/warm measurement over `trace` (`(URL path, JSON
+/// body)` POST pairs — the route is the body's `"planner"` field) and
+/// asserts the restart contract along the way; see the module docs.
+/// `registry_dir` is wiped first so the cold pass is genuinely cold.
+pub fn measure_serving(
+    planners: &[(String, Arc<Planner>)],
+    service_config: &ServiceConfig,
+    server_config: &ServerConfig,
+    trace: &[(String, String)],
+    registry_dir: &Path,
+    clients: usize,
+) -> ServingMeasurement {
+    let _ = std::fs::remove_dir_all(registry_dir);
+
+    let (cold, cold_bodies) = pass(
+        planners,
+        service_config,
+        server_config,
+        trace,
+        registry_dir,
+        clients,
+    );
+    assert_eq!(
+        cold.stats.registry_hits, 0,
+        "a wiped registry cannot answer the cold pass"
+    );
+    assert_eq!(
+        cold.stats.registry_writes, cold.stats.cache.inserted,
+        "every cold solve must be written through to the registry"
+    );
+    assert!(cold.stats.batches > 0, "the cold pass must actually solve");
+
+    // The simulated restart: the first service (and its LRU) is gone;
+    // only the registry directory carries state across.
+    let (warm, warm_bodies) = pass(
+        planners,
+        service_config,
+        server_config,
+        trace,
+        registry_dir,
+        clients,
+    );
+    assert_eq!(
+        warm.stats.batches, 0,
+        "the warm pass must be answered without a single solve: {:?}",
+        warm.stats
+    );
+    assert_eq!(
+        warm.stats.registry_writes, 0,
+        "nothing new to write back on the warm pass"
+    );
+    assert_eq!(
+        warm.stats.registry_hits, warm.stats.cache.inserted,
+        "every warm LRU insert must come off disk"
+    );
+    assert_eq!(
+        warm.stats.quarantined, 0,
+        "the registry's own writes must re-validate cleanly"
+    );
+    assert_eq!(
+        cold_bodies, warm_bodies,
+        "restart bit-identity: warm responses must be byte-identical to cold ones"
+    );
+
+    ServingMeasurement {
+        http_requests: (cold_bodies.len() + warm_bodies.len()) as u64,
+        cold,
+        warm,
+    }
+}

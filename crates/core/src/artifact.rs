@@ -312,7 +312,19 @@ impl PlanArtifact {
     /// [`DaeDvfsError::ArtifactParse`] for malformed JSON, a wrong
     /// `"artifact"` discriminator, missing fields or out-of-range values.
     pub fn from_json(text: &str) -> Result<Self, DaeDvfsError> {
-        let value = json::parse(text)?;
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parses an artifact from an already-parsed [`json::Value`] — the
+    /// same decoding as [`PlanArtifact::from_json`], for callers that
+    /// embed an artifact inside a larger JSON document (e.g. the on-disk
+    /// registry's envelope, `crate::registry`).
+    ///
+    /// # Errors
+    ///
+    /// [`DaeDvfsError::ArtifactParse`] under the same conditions as
+    /// [`PlanArtifact::from_json`].
+    pub fn from_value(value: &json::Value) -> Result<Self, DaeDvfsError> {
         let obj = value.as_object("artifact root")?;
         let kind = obj.get_str("artifact")?;
         if kind != ARTIFACT_KIND {

@@ -166,6 +166,68 @@ impl From<DaeDvfsError> for ServiceError {
     }
 }
 
+/// Errors of the on-disk plan registry
+/// ([`crate::registry::PlanRegistry`]). Only *infrastructure* failures
+/// surface here — an undecodable or mismatched artifact file is not an
+/// error but a quarantine event (the file is moved aside and counted; see
+/// the registry module docs), because a corrupt cold-tier entry must
+/// never take the serving path down.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RegistryError {
+    /// A filesystem operation on the registry directory failed.
+    Io {
+        /// The failing operation (e.g. `"create-dir"`, `"rename"`).
+        op: &'static str,
+        /// The path the operation targeted.
+        path: String,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io { op, path, reason } => {
+                write!(f, "registry {op} failed for {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for RegistryError {}
+
+/// Errors of the HTTP plan server ([`crate::server::PlanServer`]).
+/// Per-connection failures (malformed requests, timeouts, client drops)
+/// are wire-level events answered with HTTP status codes or a closed
+/// socket, never surfaced here; only failures that prevent the server
+/// from serving at all are typed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// The listener could not be set up on the configured address
+    /// (bind, local-address query, or non-blocking mode).
+    Bind {
+        /// The configured bind address.
+        addr: String,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Bind { addr, reason } => {
+                write!(f, "server failed to listen on {addr}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ServerError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

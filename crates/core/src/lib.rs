@@ -23,7 +23,12 @@
 //! front end adds a fingerprint-keyed plan cache with single-flight miss
 //! deduplication and coalesces same-model batches onto shared-grid
 //! sweeps — the serving entry point when many tenants ask for plans at
-//! once. The DP fills themselves run through branch-free quantized
+//! once. Below the LRU, the [`registry::PlanRegistry`] persists every
+//! artifact to a content-addressed on-disk cold tier so a restarted
+//! process answers warm requests without a solve, and the
+//! [`server::PlanServer`] puts a dependency-free HTTP/1.1 wire protocol
+//! in front of the whole stack (DESIGN.md, "Network serving & artifact
+//! registry"). The DP fills themselves run through branch-free quantized
 //! kernels with checkpointed rows, so a planner whose inputs drifted in
 //! one class can re-solve incrementally via [`Planner::resweep`] /
 //! [`mckp_resweep`] / [`sequence_resweep`] — bit-identical to a cold
@@ -82,10 +87,12 @@ pub mod modes;
 pub mod pareto;
 pub mod pipeline;
 pub mod planner;
+pub mod registry;
 pub mod report;
 pub mod request;
 pub mod schedule;
 pub mod seqdp;
+pub mod server;
 pub mod service;
 pub mod solver;
 mod sync;
@@ -98,7 +105,7 @@ pub use artifact::{
 pub use classes::{QosClass, QosClassLadder};
 pub use dae::{dae_forward_depthwise, dae_forward_pointwise, dae_segments, Granularity};
 pub use dse::{evaluate_point, explore_layer, DseConfig, DsePoint};
-pub use error::{DaeDvfsError, ServiceError};
+pub use error::{DaeDvfsError, RegistryError, ServerError, ServiceError};
 pub use mckp::{solve_dp, solve_exhaustive, solve_greedy, MckpError, MckpItem, MckpSolution};
 pub use modes::OperatingModes;
 pub use pareto::{dominates, pareto_front};
@@ -107,10 +114,12 @@ pub use pipeline::{
     DeploymentReport, LayerDecision,
 };
 pub use planner::Planner;
+pub use registry::{PlanRegistry, RegistryStats, REGISTRY_SCHEMA_VERSION};
 pub use report::{compare_with_baselines, EnergyComparison, FrequencyMap, FrequencyMapRow};
 pub use request::{PlanRequest, QosBudget, Solver};
 pub use schedule::{evaluate_schedule, explore_compiled, explore_model, CompiledLayer};
 pub use seqdp::{solve_sequence, SequenceSolution};
+pub use server::{PlanServer, ServerConfig, ServerHandle};
 pub use service::{
     CacheStats, CoalesceMode, PlanService, PlanTicket, PlannerKey, ServiceConfig, ServiceStats,
 };

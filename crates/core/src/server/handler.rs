@@ -1,0 +1,302 @@
+//! Request routing and the [`ServiceError`] → HTTP status mapping.
+//!
+//! The handler is a pure function from a parsed [`Request`] (plus the
+//! server's route table and [`PlanService`]) to a [`Response`]; all
+//! socket concerns live in [`super::http`] and the connection loop. The
+//! wire format is documented in DESIGN.md, "Network serving & artifact
+//! registry".
+
+use crate::artifact::{json, json_quote};
+use crate::error::{DaeDvfsError, ServiceError};
+use crate::request::PlanRequest;
+use crate::service::ServiceStats;
+
+use super::http::{Request, Response};
+use super::PlanServer;
+
+/// Builds a JSON error response: `{"error": "<message>"}`.
+pub(crate) fn error_response(status: u16, reason: &'static str, message: &str) -> Response {
+    Response {
+        status,
+        reason,
+        content_type: "application/json",
+        body: format!("{{\"error\": {}}}\n", json_quote(message)).into_bytes(),
+    }
+}
+
+/// Builds a 200 response with a JSON body.
+fn ok_json(body: String) -> Response {
+    Response {
+        status: 200,
+        reason: "OK",
+        content_type: "application/json",
+        body: body.into_bytes(),
+    }
+}
+
+/// Maps a [`ServiceError`] to its HTTP status line.
+///
+/// | error | status |
+/// |---|---|
+/// | `QueueFull` | 429 (retryable backpressure) |
+/// | `NotServing` | 503 (startup/drain; retry elsewhere) |
+/// | `UnknownPlanner` | 404 (the route resolves to nothing) |
+/// | `Plan(InvalidRequest \| ArtifactParse)` | 400 (caller's request) |
+/// | `Plan(Qos \| EmptyModel)` | 422 (well-formed but unsatisfiable) |
+/// | `Plan(Engine \| ArtifactMismatch)`, `WorkerPanicked` | 500 |
+pub(crate) fn status_for(error: &ServiceError) -> (u16, &'static str) {
+    match error {
+        ServiceError::QueueFull { .. } => (429, "Too Many Requests"),
+        ServiceError::NotServing => (503, "Service Unavailable"),
+        ServiceError::UnknownPlanner { .. } => (404, "Not Found"),
+        ServiceError::Plan(plan) => match plan {
+            DaeDvfsError::InvalidRequest { .. } | DaeDvfsError::ArtifactParse { .. } => {
+                (400, "Bad Request")
+            }
+            DaeDvfsError::Qos(_) | DaeDvfsError::EmptyModel { .. } => {
+                (422, "Unprocessable Content")
+            }
+            DaeDvfsError::Engine(_) | DaeDvfsError::ArtifactMismatch { .. } => {
+                (500, "Internal Server Error")
+            }
+        },
+        ServiceError::WorkerPanicked => (500, "Internal Server Error"),
+    }
+}
+
+/// Routes one request. Never panics and never returns transport errors —
+/// every outcome, including handler-side failures, is a [`Response`].
+pub(crate) fn handle(server: &PlanServer<'_>, request: &Request) -> Response {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => Response {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain",
+            body: b"ok\n".to_vec(),
+        },
+        ("GET", "/stats") => ok_json(stats_json(&server.service().stats())),
+        ("POST", "/v1/plan") => plan_response(server, request),
+        ("GET" | "POST", _) => error_response(404, "Not Found", "unknown path"),
+        (_, "/healthz" | "/stats" | "/v1/plan") => error_response(
+            405,
+            "Method Not Allowed",
+            "method not allowed for this path",
+        ),
+        _ => error_response(404, "Not Found", "unknown path"),
+    }
+}
+
+/// Decodes the `POST /v1/plan` body: `{"planner": <route name>,
+/// "qos_secs": <f64> | "slack": <f64>, "solver"?: <tag>,
+/// "dp_resolution"?: <u64>}`.
+fn decode_plan_request(body: &str) -> Result<(String, PlanRequest), String> {
+    let value = json::parse(body).map_err(|e| e.to_string())?;
+    let obj = value.as_object("plan request").map_err(|e| e.to_string())?;
+    let planner = obj
+        .get_str("planner")
+        .map_err(|e| e.to_string())?
+        .to_string();
+    let mut request = match (obj.get("qos_secs").is_ok(), obj.get("slack").is_ok()) {
+        (true, false) => PlanRequest::qos(obj.get_f64("qos_secs").map_err(|e| e.to_string())?),
+        (false, true) => PlanRequest::slack(obj.get_f64("slack").map_err(|e| e.to_string())?),
+        (true, true) => return Err("specify exactly one of qos_secs and slack".to_string()),
+        (false, false) => return Err("missing budget: provide qos_secs or slack".to_string()),
+    };
+    if obj.get("solver").is_ok() {
+        let tag = obj.get_str("solver").map_err(|e| e.to_string())?;
+        let Some(solver) = crate::registry::parse_solver(tag) else {
+            return Err(format!(
+                "unknown solver {tag:?} (expected reserve-grid or sequence-dp)"
+            ));
+        };
+        request = request.with_solver(solver);
+    }
+    if obj.get("dp_resolution").is_ok() {
+        let resolution = obj.get_u64("dp_resolution").map_err(|e| e.to_string())?;
+        request = request.with_dp_resolution(resolution as usize);
+    }
+    Ok((planner, request))
+}
+
+/// Serves `POST /v1/plan`: decode → route → [`PlanService::plan`] →
+/// artifact JSON (the same bytes [`crate::PlanArtifact::to_json`]
+/// produces everywhere else, so responses are bit-comparable across
+/// restarts).
+///
+/// [`PlanService::plan`]: crate::PlanService::plan
+fn plan_response(server: &PlanServer<'_>, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return error_response(400, "Bad Request", "body is not UTF-8"),
+    };
+    let (planner_name, plan_request) = match decode_plan_request(body) {
+        Ok(decoded) => decoded,
+        Err(reason) => return error_response(400, "Bad Request", &reason),
+    };
+    let Some(key) = server.route_key(&planner_name) else {
+        return error_response(
+            404,
+            "Not Found",
+            &format!("unknown planner {planner_name:?}"),
+        );
+    };
+    match server.service().plan(key, &plan_request) {
+        Ok(plan) => {
+            let Some(planner) = server.service().planner(key) else {
+                // Routes are validated against the service at build time,
+                // so this is unreachable in practice; fail closed anyway.
+                return error_response(500, "Internal Server Error", "route lost its planner");
+            };
+            ok_json(plan.to_artifact(planner).to_json())
+        }
+        Err(error) => {
+            let (status, reason) = status_for(&error);
+            error_response(status, reason, &error.to_string())
+        }
+    }
+}
+
+/// Hand-rolled JSON for `GET /stats`: the [`ServiceStats`] snapshot,
+/// including the registry tier counters (all zero when no registry is
+/// attached).
+fn stats_json(stats: &ServiceStats) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"submitted\": {},\n",
+            "  \"completed\": {},\n",
+            "  \"rejected\": {},\n",
+            "  \"failed\": {},\n",
+            "  \"batches\": {},\n",
+            "  \"batched_requests\": {},\n",
+            "  \"max_batch\": {},\n",
+            "  \"queue_depth\": {},\n",
+            "  \"max_queue_depth\": {},\n",
+            "  \"elapsed_secs\": {},\n",
+            "  \"registry_hits\": {},\n",
+            "  \"registry_writes\": {},\n",
+            "  \"quarantined\": {},\n",
+            "  \"cache\": {{\n",
+            "    \"hits\": {},\n",
+            "    \"misses\": {},\n",
+            "    \"joined\": {},\n",
+            "    \"inserted\": {},\n",
+            "    \"evicted\": {},\n",
+            "    \"entries\": {}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        stats.submitted,
+        stats.completed,
+        stats.rejected,
+        stats.failed,
+        stats.batches,
+        stats.batched_requests,
+        stats.max_batch,
+        stats.queue_depth,
+        stats.max_queue_depth,
+        stats.elapsed_secs,
+        stats.registry_hits,
+        stats.registry_writes,
+        stats.quarantined,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.joined,
+        stats.cache.inserted,
+        stats.cache.evicted,
+        stats.cache.entries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping_matches_the_documented_table() {
+        assert_eq!(status_for(&ServiceError::QueueFull { capacity: 4 }).0, 429);
+        assert_eq!(status_for(&ServiceError::NotServing).0, 503);
+        assert_eq!(status_for(&ServiceError::UnknownPlanner { key: 7 }).0, 404);
+        assert_eq!(status_for(&ServiceError::WorkerPanicked).0, 500);
+        assert_eq!(
+            status_for(&ServiceError::Plan(DaeDvfsError::InvalidRequest {
+                field: "qos_secs",
+                reason: "must be positive".to_string(),
+            }))
+            .0,
+            400
+        );
+        assert_eq!(
+            status_for(&ServiceError::Plan(DaeDvfsError::ArtifactParse {
+                reason: "truncated".to_string(),
+            }))
+            .0,
+            400
+        );
+        assert_eq!(
+            status_for(&ServiceError::Plan(DaeDvfsError::Qos(
+                crate::mckp::MckpError::Infeasible {
+                    min_time_secs: 2.0,
+                    budget_secs: 1.0,
+                }
+            )))
+            .0,
+            422
+        );
+        assert_eq!(
+            status_for(&ServiceError::Plan(DaeDvfsError::EmptyModel {
+                model: "m".to_string(),
+            }))
+            .0,
+            422
+        );
+        assert_eq!(
+            status_for(&ServiceError::Plan(DaeDvfsError::ArtifactMismatch {
+                field: "model_fingerprint",
+                expected: "0".to_string(),
+                found: "1".to_string(),
+            }))
+            .0,
+            500
+        );
+    }
+
+    #[test]
+    fn plan_body_decoding_accepts_both_budgets_and_rejects_ambiguity() {
+        let (name, request) =
+            decode_plan_request("{\"planner\": \"vww\", \"qos_secs\": 0.25}").unwrap();
+        assert_eq!(name, "vww");
+        assert!(matches!(
+            request.budget(),
+            crate::QosBudget::Window(w) if w == 0.25
+        ));
+
+        let (_, request) = decode_plan_request(
+            "{\"planner\": \"vww\", \"slack\": 0.3, \"solver\": \"sequence-dp\", \
+             \"dp_resolution\": 512}",
+        )
+        .unwrap();
+        assert!(matches!(request.solver(), crate::Solver::SequenceDp));
+        assert_eq!(request.dp_resolution(), Some(512));
+
+        assert!(decode_plan_request("{\"planner\": \"vww\"}").is_err());
+        assert!(
+            decode_plan_request("{\"planner\": \"vww\", \"qos_secs\": 0.2, \"slack\": 0.3}")
+                .is_err()
+        );
+        assert!(decode_plan_request(
+            "{\"planner\": \"vww\", \"slack\": 0.3, \"solver\": \"magic\"}"
+        )
+        .is_err());
+        assert!(decode_plan_request("not json").is_err());
+    }
+
+    #[test]
+    fn error_responses_are_json_objects() {
+        let response = error_response(400, "Bad Request", "a \"quoted\" reason");
+        assert_eq!(response.status, 400);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.starts_with("{\"error\": "));
+        assert!(body.contains("\\\"quoted\\\""));
+    }
+}

@@ -1,0 +1,298 @@
+//! HTTP/1.1 wire handling: request assembly (with size limits and
+//! timeouts) and response writing over a raw [`TcpStream`].
+//!
+//! This is a deliberately small subset of RFC 9112 — exactly what the
+//! plan server needs: request line + headers + `Content-Length` bodies,
+//! keep-alive/`Connection: close`, and pipelining (a connection buffer
+//! that retains bytes beyond the current request). Chunked transfer
+//! encoding is not supported and is rejected as malformed rather than
+//! misparsed.
+//!
+//! Every failure is a typed [`ReadOutcome`] the connection loop turns
+//! into a status code or a closed socket; nothing here panics and no
+//! `io::Error` escapes.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Size and time bounds applied while assembling one request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Limits {
+    /// Cap on the request line + headers, bytes.
+    pub max_header_bytes: usize,
+    /// Cap on the declared `Content-Length`, bytes.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for assembling one full request. The socket
+    /// read timeout only bounds a *single* read; this bounds the sum, so
+    /// a trickling client cannot pin a worker indefinitely.
+    pub read_timeout: Duration,
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// Uppercase method token, verbatim.
+    pub method: String,
+    /// The request target (path), verbatim.
+    pub target: String,
+    /// Body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection:` headers).
+    pub keep_alive: bool,
+}
+
+/// Outcome of one [`Conn::read_request`] call.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// A complete request was assembled.
+    Request(Request),
+    /// The peer closed (or errored) the connection cleanly between
+    /// requests; nothing to answer.
+    Closed,
+    /// The per-request read budget elapsed; the connection is abandoned
+    /// without a response (the peer is not listening usefully).
+    TimedOut,
+    /// The bytes cannot be a request this server understands → 400.
+    Malformed(&'static str),
+    /// Request line + headers exceed the configured cap → 431.
+    HeadersTooLarge,
+    /// Declared body exceeds the configured cap → 413.
+    BodyTooLarge,
+}
+
+/// Result of one socket fill.
+enum Fill {
+    /// More bytes (possibly zero after an `Interrupted` retry) arrived.
+    Data,
+    /// Orderly end of stream.
+    Eof,
+    /// The socket timeout or the overall deadline fired.
+    TimedOut,
+    /// A hard transport error; treat like a close.
+    Error,
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub(crate) struct Response {
+    pub status: u16,
+    pub reason: &'static str,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+/// One accepted connection: the stream plus the pipeline buffer of bytes
+/// read past the previous request.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// Index just past `\r\n\r\n`'s first byte pair — i.e. the offset of the
+/// terminator — if the head is complete.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Assembles the next request from the pipeline buffer plus the
+    /// socket. With `drain` set (server shutting down) an *empty* buffer
+    /// returns [`ReadOutcome::Closed`] immediately instead of blocking
+    /// for a request that may never come; already-received (pipelined)
+    /// requests are still parsed and answered.
+    pub fn read_request(&mut self, limits: &Limits, drain: bool) -> ReadOutcome {
+        let deadline = Instant::now() + limits.read_timeout;
+        let head_len = loop {
+            if let Some(end) = head_end(&self.buf) {
+                if end > limits.max_header_bytes {
+                    return ReadOutcome::HeadersTooLarge;
+                }
+                break end;
+            }
+            if self.buf.len() > limits.max_header_bytes {
+                return ReadOutcome::HeadersTooLarge;
+            }
+            if drain && self.buf.is_empty() {
+                return ReadOutcome::Closed;
+            }
+            match self.fill(deadline) {
+                Fill::Data => {}
+                Fill::Eof => {
+                    return if self.buf.is_empty() {
+                        ReadOutcome::Closed
+                    } else {
+                        ReadOutcome::Malformed("connection closed mid-request")
+                    };
+                }
+                Fill::TimedOut => return ReadOutcome::TimedOut,
+                Fill::Error => return ReadOutcome::Closed,
+            }
+        };
+        let head = match std::str::from_utf8(&self.buf[..head_len]) {
+            Ok(head) => head,
+            Err(_) => return ReadOutcome::Malformed("non-UTF-8 request head"),
+        };
+        let mut lines = lines_of(head);
+        let Some(request_line) = lines.next() else {
+            return ReadOutcome::Malformed("empty request head");
+        };
+        let mut parts = request_line.split(' ');
+        let (Some(method), Some(target), Some(version), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return ReadOutcome::Malformed("malformed request line");
+        };
+        if method.is_empty() || target.is_empty() {
+            return ReadOutcome::Malformed("malformed request line");
+        }
+        let default_keep_alive = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            _ => return ReadOutcome::Malformed("unsupported HTTP version"),
+        };
+        let mut keep_alive = default_keep_alive;
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return ReadOutcome::Malformed("malformed header line");
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    let Ok(len) = value.parse::<usize>() else {
+                        return ReadOutcome::Malformed("bad content-length");
+                    };
+                    if content_length.is_some_and(|prev| prev != len) {
+                        return ReadOutcome::Malformed("conflicting content-length");
+                    }
+                    content_length = Some(len);
+                }
+                "transfer-encoding" => {
+                    return ReadOutcome::Malformed("transfer-encoding not supported");
+                }
+                "connection" => {
+                    let value = value.to_ascii_lowercase();
+                    if value.split(',').any(|t| t.trim() == "close") {
+                        keep_alive = false;
+                    } else if value.split(',').any(|t| t.trim() == "keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Own the request-line tokens before the body reads below
+        // re-borrow the buffer mutably.
+        let method = method.to_string();
+        let target = target.to_string();
+        let body_len = content_length.unwrap_or(0);
+        if body_len > limits.max_body_bytes {
+            return ReadOutcome::BodyTooLarge;
+        }
+        let body_start = head_len + 4;
+        while self.buf.len() < body_start + body_len {
+            match self.fill(deadline) {
+                Fill::Data => {}
+                Fill::Eof => return ReadOutcome::Malformed("connection closed mid-body"),
+                Fill::TimedOut => return ReadOutcome::TimedOut,
+                Fill::Error => return ReadOutcome::Closed,
+            }
+        }
+        let request = Request {
+            method,
+            target,
+            body: self.buf[body_start..body_start + body_len].to_vec(),
+            keep_alive,
+        };
+        // Keep everything past this request: pipelined requests are
+        // parsed on the next call without touching the socket.
+        self.buf.drain(..body_start + body_len);
+        ReadOutcome::Request(request)
+    }
+
+    /// Reads one chunk off the socket into the buffer, honoring both the
+    /// socket's own read timeout and the overall request deadline.
+    fn fill(&mut self, deadline: Instant) -> Fill {
+        if Instant::now() >= deadline {
+            return Fill::TimedOut;
+        }
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Fill::Eof,
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Fill::Data
+            }
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Fill::TimedOut,
+                std::io::ErrorKind::Interrupted => Fill::Data,
+                _ => Fill::Error,
+            },
+        }
+    }
+
+    /// Serializes and flushes `response`. `close` selects the
+    /// `Connection:` header (the caller decides based on the request and
+    /// the drain state); write failures (peer dropped mid-response) are
+    /// reported so the caller abandons the connection, never the server.
+    pub fn write_response(&mut self, response: &Response, close: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            response.status,
+            response.reason,
+            response.content_type,
+            response.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(&response.body)?;
+        self.stream.flush()
+    }
+}
+
+/// Iterates the non-empty `\r\n`-separated lines of a request head.
+fn lines_of(head: &str) -> impl Iterator<Item = &str> {
+    head.split("\r\n").filter(|l| !l.is_empty())
+}
+
+/// Writes a minimal one-shot response on a stream that never became a
+/// [`Conn`] (the accept backlog was full); best-effort by design.
+pub(crate) fn reject_busy(stream: &mut TcpStream) {
+    let _ = stream.write_all(
+        b"HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\n\
+          content-length: 36\r\nconnection: close\r\n\r\n\
+          {\"error\": \"connection backlog full\"}",
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_finds_the_terminator() {
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(14));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(head_end(b""), None);
+    }
+
+    #[test]
+    fn busy_rejection_content_length_matches_the_body() {
+        // The hand-written 503 declares its body length inline; keep the
+        // two in sync.
+        let body = "{\"error\": \"connection backlog full\"}";
+        assert_eq!(body.len(), 36);
+    }
+}

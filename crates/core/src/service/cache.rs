@@ -57,8 +57,9 @@ impl PlanKey {
     /// Stable FNV-1a mix of the key's fields — the same primitive the
     /// artifact fingerprints use ([`crate::artifact::fnv1a`]); used for
     /// shard selection (the map inside a shard uses the standard
-    /// hasher).
-    fn fnv(&self) -> u64 {
+    /// hasher) and as the registry's on-disk content address
+    /// (`crate::registry`).
+    pub(crate) fn fnv(&self) -> u64 {
         let solver_tag = match self.solver {
             Solver::ReserveGrid => 0u64,
             Solver::SequenceDp => 1u64,

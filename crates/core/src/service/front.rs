@@ -19,9 +19,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::artifact::{config_fingerprint, model_fingerprint};
-use crate::error::{DaeDvfsError, ServiceError};
+use crate::error::{DaeDvfsError, RegistryError, ServiceError};
 use crate::pipeline::DeploymentPlan;
 use crate::planner::Planner;
+use crate::registry::PlanRegistry;
 use crate::request::PlanRequest;
 use crate::service::cache::{CacheStats, Lookup, PlanCache, PlanKey};
 use crate::service::coalesce::{canonicalize, solve_batch, GroupKey};
@@ -144,7 +145,11 @@ struct Timing {
 /// Consistency invariant: once the service has drained,
 /// `cache.hits + cache.misses == submitted == completed` — every
 /// admitted request performed exactly one cache lookup and was fulfilled
-/// exactly once (`rejected` submissions never reach the cache).
+/// exactly once (`rejected` submissions never reach the cache). With a
+/// registry attached the invariant extends across the cold tier:
+/// `cache.inserted == registry_hits + registry_writes` — every plan that
+/// entered the LRU either came off disk or was written through to it
+/// (modulo advisory store failures, which leave the plan memory-only).
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct ServiceStats {
@@ -170,6 +175,15 @@ pub struct ServiceStats {
     /// Cumulative wall-clock time spent serving (across
     /// [`PlanService::run`] scopes).
     pub elapsed_secs: f64,
+    /// Cache misses answered from the on-disk registry without a solve
+    /// (0 when no registry is attached).
+    pub registry_hits: u64,
+    /// Fresh solves written through to the on-disk registry (0 when no
+    /// registry is attached).
+    pub registry_writes: u64,
+    /// Registry entries quarantined as corrupt or mismatched (0 when no
+    /// registry is attached).
+    pub quarantined: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
 }
@@ -232,6 +246,10 @@ pub struct PlanService {
     config: ServiceConfig,
     planners: Vec<Registered>,
     cache: PlanCache<Arc<TicketInner>>,
+    /// The persistent cold tier, when attached: consulted by workers on
+    /// every cache miss before solving, written through after every
+    /// fresh solve ([`PlanService::attach_registry`]).
+    registry: Option<PlanRegistry>,
     queue: RankedMutex<Queue>,
     arrived: RankedCondvar,
     counters: Counters,
@@ -287,6 +305,7 @@ impl PlanService {
             cache: PlanCache::new(config.cache_capacity, config.cache_shards),
             config,
             planners: Vec::new(),
+            registry: None,
             queue: RankedMutex::new(
                 rank::QUEUE,
                 Queue {
@@ -322,6 +341,40 @@ impl PlanService {
     /// The planner a key addresses, if it belongs to this service.
     pub fn planner(&self, key: PlannerKey) -> Option<&Arc<Planner>> {
         self.planners.get(key.0).map(|r| &r.planner)
+    }
+
+    /// Attaches a persistent on-disk registry as the cold tier below the
+    /// LRU. Register every planner **first**: attaching re-validates each
+    /// stored entry against the currently registered planners (replaying
+    /// it through [`DeploymentPlan::from_artifact`]) and quarantines
+    /// corrupt or mismatched files before the registry serves its first
+    /// hit. Once attached, workers consult the registry on every cache
+    /// miss before solving and write every fresh solve through.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the registry directory cannot be
+    /// scanned; individual bad entries are quarantined, not errors.
+    pub fn attach_registry(&mut self, registry: PlanRegistry) -> Result<(), RegistryError> {
+        let planners: Vec<(u64, u64, &Planner)> = self
+            .planners
+            .iter()
+            .map(|r| {
+                (
+                    r.model_fingerprint,
+                    r.config_fingerprint,
+                    r.planner.as_ref(),
+                )
+            })
+            .collect();
+        registry.revalidate(&planners)?;
+        self.registry = Some(registry);
+        Ok(())
+    }
+
+    /// The attached registry, if any.
+    pub fn registry(&self) -> Option<&PlanRegistry> {
+        self.registry.as_ref()
     }
 
     /// The service's configuration.
@@ -508,6 +561,11 @@ impl PlanService {
 
     /// A point-in-time counters snapshot.
     pub fn stats(&self) -> ServiceStats {
+        let registry = self
+            .registry
+            .as_ref()
+            .map(|r| r.stats())
+            .unwrap_or_default();
         let (queue_depth, max_queue_depth) = {
             let queue = lock(&self.queue);
             (queue.items.len() as u64, queue.max_depth as u64)
@@ -531,6 +589,9 @@ impl PlanService {
             queue_depth,
             max_queue_depth,
             elapsed_secs: elapsed.as_secs_f64(),
+            registry_hits: registry.hits,
+            registry_writes: registry.writes,
+            quarantined: registry.quarantined,
             cache: self.cache.stats(),
         }
     }
@@ -607,7 +668,36 @@ impl PlanService {
     /// Solves one coalesced batch and publishes every result: the cache
     /// is completed first (releasing joined waiters), then all tickets
     /// are fulfilled.
+    ///
+    /// With a registry attached, each leader first consults the cold
+    /// tier: disk hits are published without a solve (and without
+    /// counting toward the batch counters — `batches` counts *solves*),
+    /// and only the remainder pays for the coalesced solve, whose fresh
+    /// plans are then written through to disk.
     fn solve(&self, batch: Vec<Pending>) {
+        let planner = &self.planners[batch[0].planner].planner;
+        let batch = match &self.registry {
+            Some(registry) => {
+                let mut remaining = Vec::with_capacity(batch.len());
+                for pending in batch {
+                    match registry.load(pending.key, planner) {
+                        Some(plan) => {
+                            let waiters = self.cache.complete(pending.key, Some(plan.clone()));
+                            for ticket in std::iter::once(pending.ticket).chain(waiters) {
+                                ticket.fulfill(Ok(plan.clone()));
+                                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => remaining.push(pending),
+                    }
+                }
+                remaining
+            }
+            None => batch,
+        };
+        if batch.is_empty() {
+            return;
+        }
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters
             .batched_requests
@@ -615,7 +705,6 @@ impl PlanService {
         self.counters
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        let planner = &self.planners[batch[0].planner].planner;
         let group = batch[0].group;
         let windows: Vec<f64> = batch.iter().map(|p| p.window_secs).collect();
         // Each worker gets its share of the machine for the swept path's
@@ -659,6 +748,14 @@ impl PlanService {
                 Ok(plan) => Ok(Arc::new(plan)),
                 Err(e) => Err(ServiceError::Plan(e)),
             };
+            if let (Ok(plan), Some(registry)) = (&outcome, &self.registry) {
+                // Write-through: a failed store is advisory (the plan is
+                // still served from memory); `registry_writes` counts
+                // successes only, so the cold-tier invariant
+                // `inserted == registry_hits + registry_writes` can lag
+                // by exactly the failed stores, never silently drift.
+                let _ = registry.store(pending.key, &plan.to_artifact(planner));
+            }
             let waiters = self
                 .cache
                 .complete(pending.key, outcome.as_ref().ok().cloned());
@@ -984,6 +1081,9 @@ mod tests {
             queue_depth: 0,
             max_queue_depth: 5,
             elapsed_secs: 2.0,
+            registry_hits: 0,
+            registry_writes: 0,
+            quarantined: 0,
             cache: CacheStats::default(),
         };
         assert!((stats.throughput_rps() - 5.0).abs() < 1e-12);

@@ -24,6 +24,7 @@
 //!
 //! | rank | lock | home |
 //! |------|------|------|
+//! | 5 `server-conn` | HTTP server's accepted-connection queue | `server/mod.rs` |
 //! | 10 `queue` | submission queue + drain flags | `service/front.rs` |
 //! | 20 `cache-shard` | plan-cache shard (LRU map **and** its single-flight table share this lock) | `service/cache.rs` |
 //! | 30 `ticket` | per-request result slot | `service/front.rs` |
@@ -60,6 +61,14 @@ impl fmt::Display for LockRank {
 pub(crate) mod rank {
     use super::LockRank;
 
+    /// The HTTP server's queue of accepted-but-unserviced connections.
+    /// Below everything else: a connection worker drops this guard
+    /// before touching the plan service, so the rank never composes —
+    /// but ranking it lowest keeps any future composition legal.
+    pub(crate) const SERVER_CONN: LockRank = LockRank {
+        level: 5,
+        name: "server-conn",
+    };
     /// The service's submission queue (and its serving/draining flags).
     pub(crate) const QUEUE: LockRank = LockRank {
         level: 10,

@@ -293,6 +293,8 @@ pub fn lock_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
 fn pinned(path: &str) -> bool {
     path.contains("crates/core/src/solver/")
         || path.contains("crates/core/src/service/")
+        || path.contains("crates/core/src/server/")
+        || path.contains("crates/core/src/registry/")
         || path.ends_with("crates/core/src/schedule.rs")
         || path.ends_with("crates/core/src/mckp.rs")
         || path.ends_with("crates/core/src/seqdp.rs")
@@ -395,9 +397,14 @@ pub fn determinism(file: &SourceFile, out: &mut Vec<Finding>) {
 
 /// Serving-stack and solver code must not panic: a worker panic tears
 /// down the service and poisons nothing useful. Non-test code under
-/// `service/` and `solver/` must use the typed error paths.
+/// `service/`, `server/`, `registry/` and `solver/` must use the typed
+/// error paths (`ServiceError`/`ServerError`/`RegistryError`/
+/// `DaeDvfsError`) — on the HTTP and registry I/O paths a panic would
+/// turn one bad connection or one corrupt file into a dead server.
 pub fn panic_hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
     if !(file.path.contains("crates/core/src/service/")
+        || file.path.contains("crates/core/src/server/")
+        || file.path.contains("crates/core/src/registry/")
         || file.path.contains("crates/core/src/solver/"))
     {
         return;
@@ -1091,7 +1098,12 @@ fn schema_versions(files: &[SourceFile], aux: &AuxDocs, out: &mut Vec<Finding>) 
 }
 
 /// The enums whose variants must all be alive.
-const CHECKED_ENUMS: &[&str] = &["DaeDvfsError", "ServiceError"];
+const CHECKED_ENUMS: &[&str] = &[
+    "DaeDvfsError",
+    "ServiceError",
+    "RegistryError",
+    "ServerError",
+];
 
 fn dead_variants(files: &[SourceFile], out: &mut Vec<Finding>) {
     let Some(error_rs) = files
@@ -1401,6 +1413,35 @@ impl Service {{
         let mut out = Vec::new();
         panic_hygiene(&elsewhere, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn server_and_registry_are_inside_both_perimeters() {
+        // PR 8 put the HTTP front end and the on-disk registry inside the
+        // panic-hygiene and determinism perimeters: an unwrap on a socket
+        // or registry I/O path would turn one bad connection / corrupt
+        // file into a dead server, and nondeterminism there would leak
+        // into served artifact bytes.
+        let panicky = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        for path in [
+            "crates/core/src/server/http.rs",
+            "crates/core/src/registry/mod.rs",
+        ] {
+            let file = parse(path, panicky);
+            let mut out = Vec::new();
+            panic_hygiene(&file, &mut out);
+            assert_eq!(out.len(), 1, "{path}: {out:?}");
+        }
+        let clocky = "fn f() { let _t = Instant::now(); }";
+        for path in [
+            "crates/core/src/server/mod.rs",
+            "crates/core/src/registry/mod.rs",
+        ] {
+            let file = parse(path, clocky);
+            let mut out = Vec::new();
+            determinism(&file, &mut out);
+            assert_eq!(out.len(), 1, "{path}: {out:?}");
+        }
     }
 
     #[test]

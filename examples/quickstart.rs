@@ -5,7 +5,10 @@
 //! This walks the single-request path (`Planner` + `PlanRequest`); for
 //! serving *streams* of concurrent requests through the plan cache and
 //! request coalescer, see `examples/plan_service.rs`
-//! (`dae_dvfs::PlanService`). Workspace invariants (locking discipline,
+//! (`dae_dvfs::PlanService`); to put that service on a socket and give
+//! its cache a durable on-disk tier, see `dae_dvfs::PlanServer` and
+//! `dae_dvfs::PlanRegistry` (DESIGN.md, "Network serving & artifact
+//! registry"). Workspace invariants (locking discipline,
 //! determinism, panic hygiene) are enforced by `repro-lint`; see
 //! DESIGN.md, "Static analysis & concurrency discipline".
 

@@ -1,0 +1,239 @@
+//! End-to-end tests of the on-disk plan registry under the serving
+//! stack: a "process restart" (new service, new server, re-opened
+//! registry directory) must answer the same requests from disk — no
+//! solver run — with responses byte-identical to the ones the first
+//! process served; corrupt entries must be quarantined at startup and
+//! never served; and slack budgets must warm-start exactly like the
+//! in-memory hit path, including `qos_quantum_secs` snapping.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dae_dvfs::{
+    PlanRegistry, PlanServer, PlanService, Planner, ServerConfig, ServiceConfig, ServiceStats,
+    Stm32F767Target,
+};
+use repro_bench::httpc;
+use tinynn::models::vww_sized;
+
+/// A per-test registry directory under the system temp dir; tests run in
+/// one process, so the test tag keeps them from colliding.
+fn unique_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dae-dvfs-e2e-{}-{tag}", std::process::id()))
+}
+
+fn planner() -> Arc<Planner> {
+    Arc::new(Planner::for_target(Stm32F767Target::paper(), &vww_sized(32)).expect("planner builds"))
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig::default()
+        .with_workers(2)
+        .with_batch_linger(Duration::from_millis(1))
+        .with_qos_quantum_secs(1e-6)
+}
+
+/// One simulated process lifetime: a fresh service over `planner` with
+/// the registry at `dir` attached, serving HTTP under the route `vww`.
+/// Replays `bodies` as `POST /v1/plan`, returns the responses in order
+/// plus the stats after the drain.
+fn one_process(
+    planner: &Arc<Planner>,
+    config: &ServiceConfig,
+    dir: &PathBuf,
+    bodies: &[String],
+) -> (Vec<String>, ServiceStats) {
+    let mut service = PlanService::new(config.clone()).expect("service config validates");
+    let key = service.register(planner.clone());
+    service
+        .attach_registry(PlanRegistry::open(dir).expect("registry opens"))
+        .expect("startup re-validation scans the directory");
+    let responses = service.run(|svc| {
+        PlanServer::new(svc, ServerConfig::default())
+            .expect("server config validates")
+            .route("vww", key)
+            .expect("route registers")
+            .serve(|handle| {
+                bodies
+                    .iter()
+                    .map(|body| {
+                        let response =
+                            httpc::post(handle.addr(), "/v1/plan", body).expect("answers");
+                        assert_eq!(response.status, 200, "{}", response.body_str());
+                        response.body_str()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .expect("server binds")
+    });
+    (responses, service.stats())
+}
+
+#[test]
+fn a_restarted_process_answers_from_disk_bit_identically() {
+    let dir = unique_dir("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let planner = planner();
+    let config = service_config();
+    let bodies: Vec<String> = [
+        "{\"planner\": \"vww\", \"slack\": 0.3}",
+        "{\"planner\": \"vww\", \"slack\": 0.5}",
+        "{\"planner\": \"vww\", \"slack\": 0.3, \"solver\": \"sequence-dp\"}",
+    ]
+    .map(String::from)
+    .to_vec();
+
+    let (cold, cold_stats) = one_process(&planner, &config, &dir, &bodies);
+    assert!(cold_stats.batches > 0, "the first process must solve");
+    assert_eq!(cold_stats.registry_hits, 0);
+    assert_eq!(
+        cold_stats.registry_writes, cold_stats.cache.inserted,
+        "every solve must be written through: {cold_stats:?}"
+    );
+
+    // The restart: a brand-new service and server — only the directory
+    // carries state across.
+    let (warm, warm_stats) = one_process(&planner, &config, &dir, &bodies);
+    assert_eq!(
+        warm_stats.batches, 0,
+        "the restarted process must not solve at all: {warm_stats:?}"
+    );
+    assert_eq!(warm_stats.registry_hits, warm_stats.cache.inserted);
+    assert_eq!(warm_stats.registry_writes, 0);
+    assert_eq!(warm_stats.quarantined, 0);
+    assert_eq!(
+        cold, warm,
+        "disk-warmed responses must be byte-identical to the originals"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slack_requests_warm_start_with_quantum_snapping_bit_identically() {
+    // The bugfix pin: a slack budget must be re-resolved against the
+    // cached baseline and snapped onto the `qos_quantum_secs` grid on the
+    // registry warm-start path exactly like the in-memory hit path — a
+    // raw (unsnapped) window would compute a different content address
+    // and silently cold-solve (or worse, serve a differently-quantized
+    // plan).
+    let dir = unique_dir("snap");
+    let _ = std::fs::remove_dir_all(&dir);
+    let planner = planner();
+    // A quantum coarse enough that snapping visibly moves the window.
+    let config = service_config().with_qos_quantum_secs(1e-4);
+    let body = vec!["{\"planner\": \"vww\", \"slack\": 0.37}".to_string()];
+
+    let (cold, cold_stats) = one_process(&planner, &config, &dir, &body);
+    assert_eq!(cold_stats.cache.inserted, 1);
+
+    let (warm, warm_stats) = one_process(&planner, &config, &dir, &body);
+    assert_eq!(
+        (warm_stats.batches, warm_stats.registry_hits),
+        (0, 1),
+        "the snapped slack window must hit the stored entry: {warm_stats:?}"
+    );
+    assert_eq!(cold, warm, "snapped warm-start must be bit-identical");
+    // The served window really is on the quantum grid, not the raw
+    // baseline-resolved value.
+    let qos = warm[0]
+        .split("\"qos_secs\": ")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '\n']).next())
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .expect("response carries qos_secs");
+    let quantum = 1e-4;
+    let snapped = (qos / quantum).floor() * quantum;
+    assert!(
+        (qos - snapped).abs() < 1e-12,
+        "served window {qos} must sit on the {quantum} grid"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evicted_entries_come_back_from_disk_not_the_solver() {
+    let dir = unique_dir("evict");
+    let _ = std::fs::remove_dir_all(&dir);
+    let planner = planner();
+    // A one-entry LRU: the second request evicts the first.
+    let config = service_config().with_cache_capacity(1);
+    let a = "{\"planner\": \"vww\", \"slack\": 0.3}".to_string();
+    let b = "{\"planner\": \"vww\", \"slack\": 0.6}".to_string();
+    let bodies = vec![a.clone(), b, a];
+
+    let (responses, stats) = one_process(&planner, &config, &dir, &bodies);
+    assert_eq!(
+        responses[0], responses[2],
+        "the disk-warmed replay of an evicted entry must be byte-identical"
+    );
+    assert_eq!(stats.cache.evicted, 2, "{stats:?}");
+    assert_eq!(
+        stats.registry_hits, 1,
+        "the evicted entry must come back from disk, not a solve: {stats:?}"
+    );
+    assert_eq!(stats.batches, 2, "only the two distinct windows solve");
+    assert_eq!(stats.registry_writes, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entries_are_quarantined_at_startup_and_never_served() {
+    let dir = unique_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let planner = planner();
+    let config = service_config();
+    let bodies: Vec<String> = [
+        "{\"planner\": \"vww\", \"slack\": 0.3}",
+        "{\"planner\": \"vww\", \"slack\": 0.5}",
+    ]
+    .map(String::from)
+    .to_vec();
+
+    let (cold, cold_stats) = one_process(&planner, &config, &dir, &bodies);
+    assert_eq!(cold_stats.registry_writes, 2);
+
+    // Corrupt both stored entries: one truncated mid-file, one with a
+    // flipped bit inside the artifact payload.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("reads dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 2);
+    let truncated = std::fs::read(&entries[0]).expect("reads");
+    std::fs::write(&entries[0], &truncated[..truncated.len() / 2]).expect("truncates");
+    let mut flipped = std::fs::read(&entries[1]).expect("reads");
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    std::fs::write(&entries[1], &flipped).expect("flips");
+
+    // Restart: startup re-validation must quarantine both, the requests
+    // must be solved fresh (never served from the corrupt bytes), and
+    // the fresh solves must be written back and byte-identical anyway —
+    // determinism, not the disk, is what guarantees the bytes here.
+    let (warm, warm_stats) = one_process(&planner, &config, &dir, &bodies);
+    assert_eq!(
+        warm_stats.quarantined, 2,
+        "both corrupt entries must be quarantined: {warm_stats:?}"
+    );
+    assert_eq!(
+        warm_stats.registry_hits, 0,
+        "corrupt bytes are never served"
+    );
+    assert!(warm_stats.batches > 0, "the requests are solved fresh");
+    assert_eq!(warm_stats.registry_writes, 2, "fresh solves re-populate");
+    assert_eq!(cold, warm, "fresh solves reproduce the original bytes");
+    // The corrupt bytes moved to quarantine/; the original content
+    // addresses now hold the fresh re-writes (same names — the address
+    // is the key, and the key did not change).
+    assert_eq!(
+        std::fs::read_dir(dir.join("quarantine"))
+            .expect("quarantine dir exists")
+            .count(),
+        2
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
