@@ -76,7 +76,8 @@ pub(crate) fn handle(server: &PlanServer<'_>, request: &Request) -> Response {
         },
         ("GET", "/stats") => ok_json(stats_json(&server.service().stats())),
         ("POST", "/v1/plan") => plan_response(server, request),
-        ("GET" | "POST", _) => error_response(404, "Not Found", "unknown path"),
+        // Known path, wrong method — checked before the catch-all so
+        // e.g. `GET /v1/plan` is a 405, not an "unknown path" 404.
         (_, "/healthz" | "/stats" | "/v1/plan") => error_response(
             405,
             "Method Not Allowed",

@@ -170,6 +170,14 @@ impl Conn {
             let value = value.trim();
             match name.as_str() {
                 "content-length" => {
+                    // RFC 9110 §8.6: the value is 1*DIGIT. `parse` alone
+                    // also accepts a leading `+`, which a stricter proxy
+                    // in front of this server would reject — a parsing
+                    // disagreement is request-smuggling surface, so
+                    // digits only.
+                    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                        return ReadOutcome::Malformed("bad content-length");
+                    }
                     let Ok(len) = value.parse::<usize>() else {
                         return ReadOutcome::Malformed("bad content-length");
                     };
@@ -221,11 +229,20 @@ impl Conn {
         ReadOutcome::Request(request)
     }
 
-    /// Reads one chunk off the socket into the buffer, honoring both the
-    /// socket's own read timeout and the overall request deadline.
+    /// Reads one chunk off the socket into the buffer, honoring the
+    /// overall request deadline: the socket's read timeout is clamped to
+    /// the budget's remainder before every blocking read, so the *sum*
+    /// of reads — not each read alone — is what the deadline bounds. (A
+    /// fixed per-read timeout would let a client trickling one byte just
+    /// before the deadline hold the worker for up to a full extra
+    /// timeout inside the final read.)
     fn fill(&mut self, deadline: Instant) -> Fill {
-        if Instant::now() >= deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
             return Fill::TimedOut;
+        }
+        if self.stream.set_read_timeout(Some(remaining)).is_err() {
+            return Fill::Error;
         }
         let mut chunk = [0u8; 4096];
         match self.stream.read(&mut chunk) {

@@ -225,8 +225,19 @@ impl Shared {
     }
 
     /// Begins the drain: stop accepting, wake every worker. Idempotent.
+    ///
+    /// The flag is stored while the queue lock is held so the store is
+    /// ordered against every worker's check-then-wait critical section
+    /// in [`next_connection`]: a worker that saw the flag clear under
+    /// the lock is either already parked in `wait` (the broadcast below
+    /// wakes it) or has not yet locked (it will observe the flag).
+    /// Storing outside the lock would let the store + broadcast land
+    /// between a worker's check and its park — the worker's last wakeup,
+    /// missed, and `serve` would never join.
     fn begin_shutdown(&self) {
+        let queue = lock(&self.queue);
         self.shutdown.store(true, Ordering::Release);
+        drop(queue);
         self.available.notify_all();
     }
 
@@ -616,5 +627,24 @@ mod tests {
             })
             .expect("ephemeral loopback bind succeeds");
         assert_eq!(value, 42);
+    }
+
+    /// Regression: `begin_shutdown` must order its flag-store against the
+    /// workers' check-then-wait critical section (it takes the queue lock
+    /// while storing). An unordered store + broadcast landing between a
+    /// worker's check and its park is that worker's last wakeup — missed,
+    /// the scope never joins and `serve` hangs. Shutting down immediately
+    /// after spawn, many times over, hammers exactly that window.
+    #[test]
+    fn immediate_shutdown_never_strands_a_worker() {
+        let (service, key) = service_with_route();
+        let server = PlanServer::new(&service, ServerConfig::default().with_workers(4))
+            .and_then(|s| s.route("vww", key))
+            .expect("server builds");
+        for _ in 0..50 {
+            server
+                .serve(|handle| handle.shutdown())
+                .expect("ephemeral loopback bind succeeds");
+        }
     }
 }

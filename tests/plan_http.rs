@@ -81,6 +81,11 @@ fn malformed_request_lines_get_400_not_a_dead_server() {
             b"\x00\xffbinary\r\n\r\n",
             b"GET /healthz HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 7\r\n\r\nabc",
             b"POST /v1/plan HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            // RFC 9110 content-length is 1*DIGIT: a leading sign parses
+            // under usize::parse but must be rejected, or this server
+            // disagrees with any stricter proxy in front of it.
+            b"POST /v1/plan HTTP/1.1\r\ncontent-length: +5\r\n\r\n{1:2}",
+            b"POST /v1/plan HTTP/1.1\r\ncontent-length: \r\n\r\n",
         ] {
             let response = raw_exchange(handle.addr(), garbage);
             assert_eq!(status_of(&response), 400, "for {garbage:?}");
@@ -158,6 +163,39 @@ fn a_stalled_client_is_timed_out_and_the_slot_reclaimed() {
 }
 
 #[test]
+fn a_trickling_client_is_bounded_by_one_read_budget_not_two() {
+    // A client that lands one byte just before the deadline must not buy
+    // itself a whole extra socket timeout inside the final blocking read:
+    // the server clamps the socket timeout to the budget's remainder, so
+    // total assembly time stays ~read_timeout, not ~2x.
+    let budget = Duration::from_millis(400);
+    let config = ServerConfig::default().with_read_timeout(budget);
+    with_server(config, |handle| {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout sets");
+        let started = std::time::Instant::now();
+        stream.write_all(b"GET /heal").expect("partial write lands");
+        std::thread::sleep(Duration::from_millis(300));
+        stream.write_all(b"t").expect("late byte lands");
+        let mut leftovers = Vec::new();
+        stream.read_to_end(&mut leftovers).expect("EOF, not a hang");
+        let elapsed = started.elapsed();
+        assert!(
+            leftovers.is_empty(),
+            "a timed-out read must close silently, got {leftovers:?}"
+        );
+        // Unclamped, the read that began at ~300ms would block until
+        // ~700ms; leave slack for scheduler jitter but stay well below.
+        assert!(
+            elapsed < Duration::from_millis(600),
+            "assembly must be cut off at ~one budget, took {elapsed:?}"
+        );
+    });
+}
+
+#[test]
 fn a_client_dropping_mid_exchange_does_not_kill_the_server() {
     with_server(ServerConfig::default(), |handle| {
         for _ in 0..4 {
@@ -210,6 +248,22 @@ fn unknown_routes_and_methods_map_to_404_and_405() {
             b"PUT /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
         );
         assert_eq!(status_of(&put), 405);
+        // Known paths with the wrong *supported* method are still 405,
+        // not "unknown path" 404s.
+        assert_eq!(
+            httpc::get(handle.addr(), "/v1/plan")
+                .expect("answers")
+                .status,
+            405
+        );
+        for path in ["/healthz", "/stats"] {
+            assert_eq!(
+                httpc::post(handle.addr(), path, "")
+                    .expect("answers")
+                    .status,
+                405
+            );
+        }
     });
 }
 
