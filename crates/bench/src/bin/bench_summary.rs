@@ -18,11 +18,13 @@
 //! vs the full refill it replaces), and the **plan-serving subsystem**
 //! on the smallest model: cold `plan()` vs
 //! cached hits vs one coalesced batch, plus hit rate and throughput on a
-//! hot-key-skewed trace. The `server` section (schema v6) replays a
-//! trace over real loopback HTTP twice — cold against an empty on-disk
-//! registry, then warm after a simulated restart — and records the
-//! latency percentiles and the warm-vs-cold solve split. Emits a single
-//! JSON object (schema v6) on
+//! hot-key-skewed trace, plus the measured allocations per warm hit
+//! (schema v7, via a counting global allocator). The `server` section
+//! replays a trace over real loopback HTTP three times — cold against
+//! an empty on-disk registry, warm after a simulated restart, then hot
+//! inside the warm process — and records the latency percentiles, the
+//! warm-vs-cold solve split, and the hot replay's inline-hit rate and
+//! percentiles (schema v7). Emits a single JSON object (schema v7) on
 //! stdout, self-validates it against the workspace JSON parser, and
 //! writes `BENCH_SUMMARY.json` to the current directory so CI and the
 //! repo's benchmark trajectory can track the numbers without scraping
@@ -32,6 +34,8 @@
 //! CI smoke: `… --bin bench_summary -- --smoke` (smallest model only,
 //! no file written; exits non-zero if the emitted JSON fails validation).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +47,32 @@ use repro_bench::json::BENCH_SUMMARY_SCHEMA_VERSION;
 use repro_bench::{config, json, serving};
 use tinyengine::qos_window;
 use tinynn::models::synth::SplitMix64;
+
+/// Allocation counter behind [`CountingAlloc`]; read around the hit
+/// loop to report `allocs_per_hit` (schema v7).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator: the only way to
+/// *measure* (rather than assert by inspection) that the warm-hit path
+/// is allocation-free. Counting is a single relaxed increment, far below
+/// the noise floor of anything else this binary times.
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Slack levels of the 10-point sweep (5% … 95% in 10% steps).
 fn sweep_slacks() -> Vec<f64> {
@@ -238,6 +268,10 @@ struct ServiceRow {
     trace_requests: usize,
     hit_rate: f64,
     throughput_rps: f64,
+    /// Heap allocations per warm-cache hit, measured by the counting
+    /// global allocator around the hit loop (schema v7). The inline hot
+    /// path is designed to allocate nothing; this keeps it honest.
+    allocs_per_hit: f64,
 }
 
 impl ServiceRow {
@@ -275,7 +309,7 @@ fn measure_service(model: &tinynn::Model) -> ServiceRow {
         .with_batch_linger(Duration::from_micros(500));
     let mut service = PlanService::new(service_config.clone()).expect("config validates");
     let key = service.register(planner.clone());
-    let (coalesced_batch_secs, cache_hit_secs) = service.run(|svc| {
+    let (coalesced_batch_secs, cache_hit_secs, allocs_per_hit) = service.run(|svc| {
         let t1 = Instant::now();
         let tickets: Vec<_> = windows
             .iter()
@@ -287,11 +321,14 @@ fn measure_service(model: &tinynn::Model) -> ServiceRow {
         let coalesced = t1.elapsed().as_secs_f64();
         let hot = PlanRequest::qos(windows[0]);
         let hits = 2000;
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
         let t2 = Instant::now();
         for _ in 0..hits {
             svc.plan(key, &hot).expect("cache hit");
         }
-        (coalesced, t2.elapsed().as_secs_f64() / hits as f64)
+        let hit_secs = t2.elapsed().as_secs_f64() / hits as f64;
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+        (coalesced, hit_secs, allocs as f64 / hits as f64)
     });
 
     // Hot-key-skewed trace on a fresh service: 70% of requests replay 3
@@ -340,14 +377,16 @@ fn measure_service(model: &tinynn::Model) -> ServiceRow {
         trace_requests,
         hit_rate: stats.hit_rate(),
         throughput_rps: trace_requests as f64 / trace_secs,
+        allocs_per_hit,
     }
 }
 
-/// HTTP-serving measurements on one model (schema v6's `server`
-/// section): the deterministic trace replayed over loopback sockets,
-/// cold against a wiped registry and warm after a simulated restart.
-/// The shared harness asserts the restart contract (zero warm solves,
-/// byte-identical responses); this row records what CI tracks.
+/// HTTP-serving measurements on one model (the `server` section): the
+/// deterministic trace replayed over loopback sockets, cold against a
+/// wiped registry, warm after a simulated restart, and hot inside the
+/// warm process. The shared harness asserts the restart and hot-path
+/// contracts (zero warm solves, zero hot enqueues, byte-identical
+/// responses); this row records what CI tracks.
 struct ServerRow {
     http_requests: u64,
     cold_solves: u64,
@@ -355,6 +394,14 @@ struct ServerRow {
     warm_registry_hits: u64,
     http_p50_ms: f64,
     http_p99_ms: f64,
+    /// Hot-replay median latency (schema v7): every request an inline
+    /// in-memory hit — the serving hot path's end-to-end number.
+    warm_p50_ms: f64,
+    /// Hot-replay 99th percentile (schema v7).
+    warm_p99_ms: f64,
+    /// Fraction of hot-replay requests answered on the lock-free inline
+    /// fast path (schema v7); the harness asserts it is exactly 1.
+    inline_hit_rate: f64,
 }
 
 fn measure_server(model: &tinynn::Model) -> ServerRow {
@@ -401,6 +448,8 @@ fn measure_server(model: &tinynn::Model) -> ServerRow {
     );
     let _ = std::fs::remove_dir_all(&registry_dir);
 
+    let hot_submitted = measured.hot.stats.submitted - measured.warm.stats.submitted;
+    let hot_inline = measured.hot.stats.inline_hits - measured.warm.stats.inline_hits;
     ServerRow {
         http_requests: measured.http_requests,
         cold_solves: measured.cold.stats.cache.inserted,
@@ -408,6 +457,9 @@ fn measure_server(model: &tinynn::Model) -> ServerRow {
         warm_registry_hits: measured.warm.stats.registry_hits,
         http_p50_ms: measured.warm.p50_ms,
         http_p99_ms: measured.warm.p99_ms,
+        warm_p50_ms: measured.hot.p50_ms,
+        warm_p99_ms: measured.hot.p99_ms,
+        inline_hit_rate: hot_inline as f64 / hot_submitted as f64,
     }
 }
 
@@ -469,6 +521,7 @@ fn main() {
         .u64_field("trace_requests", service_row.trace_requests as u64)
         .f64_field("hit_rate", service_row.hit_rate, 4)
         .f64_field("throughput_rps", service_row.throughput_rps, 1)
+        .f64_field("allocs_per_hit", service_row.allocs_per_hit, 3)
         .render();
     let server_json = json::Object::new()
         .u64_field("http_requests", server_row.http_requests)
@@ -477,6 +530,9 @@ fn main() {
         .u64_field("warm_registry_hits", server_row.warm_registry_hits)
         .f64_field("http_p50_ms", server_row.http_p50_ms, 3)
         .f64_field("http_p99_ms", server_row.http_p99_ms, 3)
+        .f64_field("warm_p50_ms", server_row.warm_p50_ms, 3)
+        .f64_field("warm_p99_ms", server_row.warm_p99_ms, 3)
+        .f64_field("inline_hit_rate", server_row.inline_hit_rate, 4)
         .render();
     let mut document = json::Object::new()
         .str_field("benchmark", "planner_sweep10")

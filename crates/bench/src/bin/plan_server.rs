@@ -21,12 +21,16 @@
 //!
 //! With `--serve` (alias `--http-trace`) the same deterministic trace is
 //! instead replayed **over real loopback sockets** against the
-//! `PlanServer` HTTP front end, twice: a cold pass against an empty
-//! on-disk `PlanRegistry`, then — after tearing the service down and
-//! rebuilding it (the simulated process restart) — a warm pass that must
-//! be answered entirely from the re-opened registry without a single
-//! solve, byte-identical to the cold responses. Prints request latency
-//! percentiles and the warm-vs-cold solve split.
+//! `PlanServer` HTTP front end, three times: a cold pass against an
+//! empty on-disk `PlanRegistry`; then — after tearing the service down
+//! and rebuilding it (the simulated process restart) — a warm pass that
+//! must be answered entirely from the re-opened registry without a
+//! single solve, byte-identical to the cold responses; then a hot replay
+//! in the same process that must ride the inline fast path end-to-end —
+//! zero solves, zero ticket enqueues, every request an inline cache hit
+//! served from the cached artifact bytes (asserted by the harness, so
+//! `--serve --smoke` gates on them). Prints request latency percentiles
+//! and the per-pass solve split.
 //!
 //! Run with: `cargo run --release -p repro-bench --bin plan_server`
 //! CI smoke: `… --bin plan_server -- --smoke` and
@@ -239,13 +243,32 @@ fn serve_mode(smoke: bool, requests: usize, workers: usize) {
         measured.warm.stats.registry_hits
     );
     println!("  wall time            {:>9.3} s", measured.warm.total_secs);
+    println!("\nhot replay (same process: the inline serving fast path)");
+    println!(
+        "  p50 / p99 latency    {:>9.3} / {:.3} ms",
+        measured.hot.p50_ms, measured.hot.p99_ms
+    );
+    println!(
+        "  inline hits          {:>9}",
+        measured.hot.stats.inline_hits - measured.warm.stats.inline_hits
+    );
+    println!(
+        "  ticket enqueues      {:>9}",
+        measured.hot.stats.enqueued - measured.warm.stats.enqueued
+    );
+    println!(
+        "  bytes served         {:>9}",
+        measured.hot.stats.bytes_served - measured.warm.stats.bytes_served
+    );
+    println!("  wall time            {:>9.3} s", measured.hot.total_secs);
     println!(
         "\nresponses byte-identical across the restart ({} HTTP requests total)",
         measured.http_requests
     );
     if smoke {
         eprintln!(
-            "smoke: serve invariants hold ({} http requests)",
+            "smoke: serve invariants hold ({} http requests; hot replay: zero solves, \
+             zero enqueues, all hits inline)",
             measured.http_requests
         );
     }

@@ -1,12 +1,16 @@
 //! A minimal blocking HTTP/1.1 client for the serving benchmarks and the
 //! wire-conformance tests.
 //!
-//! One request per connection (`Connection: close`), hand-rolled over
-//! [`TcpStream`] like everything else in this offline workspace. The
-//! point is not generality — it speaks exactly the protocol subset the
-//! plan server serves, and keeps the measuring side dependency-free so
-//! client and server cannot share a parsing bug through a common
-//! library.
+//! Two shapes, both hand-rolled over [`TcpStream`] like everything else
+//! in this offline workspace: the one-shot [`get`]/[`post`] helpers
+//! (`Connection: close`, used by the conformance tests), and the
+//! keep-alive [`Client`] the replay harness uses — one persistent
+//! connection per client thread, responses framed by `Content-Length`,
+//! so the measured warm-path latency is the request round-trip, not a
+//! TCP handshake per request. The point is not generality — it speaks
+//! exactly the protocol subset the plan server serves, and keeps the
+//! measuring side dependency-free so client and server cannot share a
+//! parsing bug through a common library.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -89,6 +93,93 @@ fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
     })
 }
 
+/// A keep-alive connection to the plan server: one persistent stream,
+/// requests written back-to-back, responses framed by their
+/// `Content-Length` (which the server always sends).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and configures timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures as [`std::io::Error`].
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Issues one `POST` on the persistent connection and reads its
+    /// framed response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed/unframed response
+    /// heads as [`std::io::Error`].
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Reads one `Content-Length`-framed response off the stream.
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let head_end = loop {
+            if let Some(end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break end;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed before the response head")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+        let status_line = head.split("\r\n").next().unwrap_or_default();
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let content_length = head
+            .split("\r\n")
+            .skip(1)
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse::<usize>().ok())?
+            })
+            .ok_or_else(|| bad("keep-alive response without content-length"))?;
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed mid-body")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(HttpResponse { status, body })
+    }
+}
+
 /// The result of replaying a request list against a server.
 #[derive(Debug)]
 pub struct Replay {
@@ -117,6 +208,12 @@ impl Replay {
 /// panicking on any non-200 — the benches and the smoke gate want loud
 /// failures, not averaged-in errors.
 ///
+/// Each client thread holds **one keep-alive [`Client`] connection** for
+/// its whole stripe, so the per-request latency is the server round-trip
+/// alone. A server worker serves one connection at a time, so `clients`
+/// must not exceed the server's connection-worker count or the extra
+/// connections queue behind the first round.
+///
 /// # Errors
 ///
 /// The first transport failure any client hit.
@@ -130,6 +227,10 @@ pub fn replay_posts(
         let handles: Vec<_> = (0..clients)
             .map(|offset| {
                 scope.spawn(move || {
+                    let mut client = match Client::connect(addr) {
+                        Ok(client) => client,
+                        Err(e) => return vec![Err(e)],
+                    };
                     requests
                         .iter()
                         .enumerate()
@@ -137,7 +238,7 @@ pub fn replay_posts(
                         .step_by(clients)
                         .map(|(i, (path, body))| {
                             let t = Instant::now();
-                            let response = post(addr, path, body)?;
+                            let response = client.post(path, body)?;
                             let latency = t.elapsed().as_secs_f64();
                             assert_eq!(
                                 response.status,

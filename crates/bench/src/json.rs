@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 /// the single source of truth: `repro-lint`'s consistency rule checks
 /// that the committed `BENCH_SUMMARY.json` and every `schema v<N>`
 /// mention in `DESIGN.md` agree with it.
-pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 6;
+pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 7;
 
 /// Escapes and quotes a string for JSON.
 ///
@@ -128,7 +128,13 @@ impl Object {
 /// sockets: request count and latency percentiles (`http_requests`,
 /// `http_p50_ms`, `http_p99_ms`) plus the warm-vs-cold split proving the
 /// registry tier answered the restarted pass without a solve
-/// (`cold_solves`, `warm_solves`, `warm_registry_hits`).
+/// (`cold_solves`, `warm_solves`, `warm_registry_hits`). Schema v7
+/// additionally requires the serving hot-path fields: `warm_p50_ms`,
+/// `warm_p99_ms` and `inline_hit_rate` on the `server` section (the hot
+/// replay's latency over keep-alive connections and its inline-hit
+/// share) and `allocs_per_hit` on the `service` section (heap
+/// allocations per in-memory cache hit, measured by a counting
+/// allocator).
 ///
 /// # Errors
 ///
@@ -187,6 +193,11 @@ pub fn validate_summary(document: &str, expected_schema: u64) -> Result<(), Stri
         ] {
             service.get_f64(field).map_err(|e| e.to_string())?;
         }
+        if expected_schema >= 7 {
+            service
+                .get_f64("allocs_per_hit")
+                .map_err(|e| e.to_string())?;
+        }
     }
     if expected_schema >= 6 {
         let server = object
@@ -203,6 +214,11 @@ pub fn validate_summary(document: &str, expected_schema: u64) -> Result<(), Stri
         }
         for field in ["http_p50_ms", "http_p99_ms"] {
             server.get_f64(field).map_err(|e| e.to_string())?;
+        }
+        if expected_schema >= 7 {
+            for field in ["warm_p50_ms", "warm_p99_ms", "inline_hit_rate"] {
+                server.get_f64(field).map_err(|e| e.to_string())?;
+            }
         }
     }
     Ok(())
@@ -430,6 +446,83 @@ mod tests {
             .raw_field("server", server)
             .render_pretty();
         assert!(validate_summary(&with_server, 6).is_ok());
+    }
+
+    #[test]
+    fn v7_summaries_require_the_hot_path_fields() {
+        let row = Object::new()
+            .str_field("model", "vww")
+            .f64_field("planner_construction_secs", 1.0, 6)
+            .f64_field("planner_sweep_secs", 1.0, 6)
+            .f64_field("percall_loop_secs", 1.0, 6)
+            .f64_field("sweep_speedup", 2.0, 2)
+            .f64_field("kernel_fill_secs", 0.5, 6)
+            .f64_field("kernel_extract_secs", 0.01, 6)
+            .f64_field("incremental_speedup", 8.0, 2)
+            .render();
+        let v6_service = Object::new()
+            .f64_field("cache_hit_speedup", 100.0, 2)
+            .f64_field("coalescing_speedup", 3.0, 2)
+            .f64_field("hit_rate", 0.9, 4)
+            .f64_field("throughput_rps", 5000.0, 1)
+            .render();
+        let v6_server = Object::new()
+            .u64_field("http_requests", 64)
+            .f64_field("http_p50_ms", 0.4, 3)
+            .f64_field("http_p99_ms", 2.5, 3)
+            .u64_field("cold_solves", 8)
+            .u64_field("warm_solves", 0)
+            .u64_field("warm_registry_hits", 8)
+            .render();
+        let without_hot = Object::new()
+            .u64_field("schema_version", 7)
+            .array_field("models", std::slice::from_ref(&row))
+            .raw_field("service", v6_service.clone())
+            .raw_field("server", v6_server.clone())
+            .render_pretty();
+        assert!(validate_summary(&without_hot, 7)
+            .unwrap_err()
+            .contains("allocs_per_hit"));
+        // The same document still passes as v6 (no hot-path fields)...
+        let v6 = without_hot.replace("\"schema_version\": 7", "\"schema_version\": 6");
+        assert!(validate_summary(&v6, 6).is_ok());
+        // A service with allocs_per_hit but a v6 server still fails on
+        // the server's missing hot-replay fields...
+        let v7_service = Object::new()
+            .f64_field("cache_hit_speedup", 100.0, 2)
+            .f64_field("coalescing_speedup", 3.0, 2)
+            .f64_field("hit_rate", 0.9, 4)
+            .f64_field("throughput_rps", 5000.0, 1)
+            .f64_field("allocs_per_hit", 0.0, 3)
+            .render();
+        let stale_server = Object::new()
+            .u64_field("schema_version", 7)
+            .array_field("models", std::slice::from_ref(&row))
+            .raw_field("service", v7_service.clone())
+            .raw_field("server", v6_server)
+            .render_pretty();
+        assert!(validate_summary(&stale_server, 7)
+            .unwrap_err()
+            .contains("warm_p50_ms"));
+        // ...and passes once both sections carry the v7 fields.
+        let v7_server = Object::new()
+            .u64_field("http_requests", 96)
+            .f64_field("http_p50_ms", 0.4, 3)
+            .f64_field("http_p99_ms", 2.5, 3)
+            .f64_field("warm_p50_ms", 0.1, 3)
+            .f64_field("warm_p99_ms", 0.5, 3)
+            .f64_field("inline_hit_rate", 1.0, 4)
+            .u64_field("cold_solves", 8)
+            .u64_field("warm_solves", 0)
+            .u64_field("warm_registry_hits", 8)
+            .render();
+        let with_hot = Object::new()
+            .u64_field("schema_version", 7)
+            .array_field("models", &[row])
+            .raw_field("service", v7_service)
+            .raw_field("server", v7_server)
+            .render_pretty();
+        assert!(validate_summary(&with_hot, 7).is_ok());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The shared cold/warm HTTP serving harness behind `plan_server
 //! --serve` and the bench summary's `server` section.
 //!
-//! One measurement is two passes of the same deterministic trace over
+//! One measurement is three replays of the same deterministic trace over
 //! real loopback sockets:
 //!
 //! 1. **cold**: a fresh [`PlanService`] with an *empty* on-disk
@@ -10,13 +10,23 @@
 //! 2. **warm**: the service is torn down and rebuilt (the simulated
 //!    process restart), the registry re-opened and re-validated, and the
 //!    identical trace replayed — now answered entirely from the LRU and
-//!    the disk tier, with **zero** solves.
+//!    the disk tier, with **zero** solves;
+//! 3. **hot**: without tearing anything down, the trace replayed once
+//!    more inside the warm pass's serve scope — every request is now an
+//!    in-memory cache hit, answered on the serving hot path: zero
+//!    solves, zero ticket enqueues, every hit inline, every body served
+//!    from the cached artifact bytes.
 //!
-//! The harness asserts the restart contract, not just measures it: the
-//! warm pass must run no batches, write nothing back, account for every
-//! LRU insert with a registry hit, and produce response bodies
-//! byte-identical to the cold pass — the end-to-end restart bit-identity
-//! guarantee of DESIGN.md, "Network serving & artifact registry".
+//! The harness asserts those contracts, not just measures them: the warm
+//! pass must run no batches, write nothing back, account for every LRU
+//! insert with a registry hit, and produce response bodies
+//! byte-identical to the cold pass; the hot replay must additionally
+//! leave the `batches` and `enqueued` counters untouched, raise
+//! `inline_hits` by exactly the trace length, account for every payload
+//! byte in `bytes_served`, and serve bodies byte-identical to the warm
+//! ones — the end-to-end bit-identity and zero-serialization guarantees
+//! of DESIGN.md, "Network serving & artifact registry" and "Serving hot
+//! path".
 
 use std::path::Path;
 use std::sync::Arc;
@@ -41,20 +51,27 @@ pub struct PassStats {
     pub stats: ServiceStats,
 }
 
-/// Both passes of a cold/warm serving measurement.
+/// All three passes of a cold/warm/hot serving measurement.
 #[derive(Debug)]
 pub struct ServingMeasurement {
     /// The cold pass (empty registry; every distinct request solves).
     pub cold: PassStats,
-    /// The warm pass (after the simulated restart; zero solves).
+    /// The warm pass (after the simulated restart; zero solves,
+    /// answered from the disk tier into the LRU).
     pub warm: PassStats,
-    /// Requests served across both passes.
+    /// The hot replay (same process as the warm pass; every request an
+    /// inline in-memory hit — the serving hot path CI tracks).
+    pub hot: PassStats,
+    /// Requests served across all passes.
     pub http_requests: u64,
 }
 
 /// Runs one pass: fresh service over `planners`, registry attached from
 /// `registry_dir`, `trace` replayed by `clients` connections at a time.
-/// Returns the pass stats plus the response bodies in trace order.
+/// With `hot` set the trace is replayed a second time inside the same
+/// serve scope and the hot-path invariants are asserted on the counter
+/// deltas. Returns the pass stats, the first replay's bodies in trace
+/// order, and the hot replay's stats when it ran.
 fn pass(
     planners: &[(String, Arc<Planner>)],
     service_config: &ServiceConfig,
@@ -62,7 +79,8 @@ fn pass(
     trace: &[(String, String)],
     registry_dir: &Path,
     clients: usize,
-) -> (PassStats, Vec<String>) {
+    hot: bool,
+) -> (PassStats, Vec<String>, Option<PassStats>) {
     let mut service = PlanService::new(service_config.clone()).expect("service config validates");
     let keys: Vec<_> = planners
         .iter()
@@ -72,19 +90,66 @@ fn pass(
         .attach_registry(PlanRegistry::open(registry_dir).expect("registry opens"))
         .expect("registry re-validation walks the directory");
     let t = Instant::now();
-    let replay = service.run(|svc| {
+    let (replay, mid_stats, hot_pass) = service.run(|svc| {
         let mut server =
             PlanServer::new(svc, server_config.clone()).expect("server config validates");
         for ((name, _), key) in planners.iter().zip(&keys) {
             server = server.route(name, *key).expect("route registers");
         }
         server
-            .serve(|handle| httpc::replay_posts(handle.addr(), trace, clients))
+            .serve(|handle| -> std::io::Result<_> {
+                let replay = httpc::replay_posts(handle.addr(), trace, clients)?;
+                if !hot {
+                    return Ok((replay, None, None));
+                }
+                // The hot replay: same process, same sockets, LRU fully
+                // warm — every request must ride the inline fast path.
+                let mid = svc.stats();
+                let t_hot = Instant::now();
+                let hot_replay = httpc::replay_posts(handle.addr(), trace, clients)?;
+                let hot_secs = t_hot.elapsed().as_secs_f64();
+                let after = svc.stats();
+                assert_eq!(
+                    after.batches, mid.batches,
+                    "the hot replay must not run a single solve batch"
+                );
+                assert_eq!(
+                    after.enqueued, mid.enqueued,
+                    "the hot replay must not enqueue a single ticket"
+                );
+                assert_eq!(
+                    after.inline_hits - mid.inline_hits,
+                    trace.len() as u64,
+                    "every hot request must be an inline cache hit"
+                );
+                let hot_bytes: u64 = hot_replay.bodies.iter().map(|b| b.len() as u64).sum();
+                assert_eq!(
+                    after.bytes_served - mid.bytes_served,
+                    hot_bytes,
+                    "bytes_served must account for every hot payload byte"
+                );
+                assert_eq!(
+                    hot_replay.bodies, replay.bodies,
+                    "hot responses must be byte-identical to the warm ones"
+                );
+                Ok((
+                    replay,
+                    Some(mid),
+                    Some(PassStats {
+                        p50_ms: hot_replay.percentile_ms(0.5),
+                        p99_ms: hot_replay.percentile_ms(0.99),
+                        total_secs: hot_secs,
+                        stats: after,
+                    }),
+                ))
+            })
             .expect("server binds an ephemeral loopback port")
             .expect("every replayed request answered")
     });
     let total_secs = t.elapsed().as_secs_f64();
-    let stats = service.stats();
+    // The pass's own counters exclude the hot replay's traffic: when it
+    // ran, use the snapshot taken between the two replays.
+    let stats = mid_stats.unwrap_or_else(|| service.stats());
     (
         PassStats {
             p50_ms: replay.percentile_ms(0.5),
@@ -93,13 +158,15 @@ fn pass(
             stats,
         },
         replay.bodies,
+        hot_pass,
     )
 }
 
-/// Runs the full cold/warm measurement over `trace` (`(URL path, JSON
-/// body)` POST pairs — the route is the body's `"planner"` field) and
-/// asserts the restart contract along the way; see the module docs.
-/// `registry_dir` is wiped first so the cold pass is genuinely cold.
+/// Runs the full cold/warm/hot measurement over `trace` (`(URL path,
+/// JSON body)` POST pairs — the route is the body's `"planner"` field)
+/// and asserts the restart and hot-path contracts along the way; see the
+/// module docs. `registry_dir` is wiped first so the cold pass is
+/// genuinely cold.
 pub fn measure_serving(
     planners: &[(String, Arc<Planner>)],
     service_config: &ServiceConfig,
@@ -110,13 +177,14 @@ pub fn measure_serving(
 ) -> ServingMeasurement {
     let _ = std::fs::remove_dir_all(registry_dir);
 
-    let (cold, cold_bodies) = pass(
+    let (cold, cold_bodies, _) = pass(
         planners,
         service_config,
         server_config,
         trace,
         registry_dir,
         clients,
+        false,
     );
     assert_eq!(
         cold.stats.registry_hits, 0,
@@ -129,15 +197,18 @@ pub fn measure_serving(
     assert!(cold.stats.batches > 0, "the cold pass must actually solve");
 
     // The simulated restart: the first service (and its LRU) is gone;
-    // only the registry directory carries state across.
-    let (warm, warm_bodies) = pass(
+    // only the registry directory carries state across. The hot replay
+    // rides inside this pass's serve scope.
+    let (warm, warm_bodies, hot) = pass(
         planners,
         service_config,
         server_config,
         trace,
         registry_dir,
         clients,
+        true,
     );
+    let hot = hot.expect("the warm pass runs the hot replay");
     assert_eq!(
         warm.stats.batches, 0,
         "the warm pass must be answered without a single solve: {:?}",
@@ -161,8 +232,9 @@ pub fn measure_serving(
     );
 
     ServingMeasurement {
-        http_requests: (cold_bodies.len() + warm_bodies.len()) as u64,
+        http_requests: (cold_bodies.len() + 2 * warm_bodies.len()) as u64,
         cold,
         warm,
+        hot,
     }
 }

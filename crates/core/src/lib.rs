@@ -121,7 +121,8 @@ pub use schedule::{evaluate_schedule, explore_compiled, explore_model, CompiledL
 pub use seqdp::{solve_sequence, SequenceSolution};
 pub use server::{PlanServer, ServerConfig, ServerHandle};
 pub use service::{
-    CacheStats, CoalesceMode, PlanService, PlanTicket, PlannerKey, ServiceConfig, ServiceStats,
+    CacheStats, CoalesceMode, PlanService, PlanTicket, PlannerKey, ServedPlan, ServiceConfig,
+    ServiceStats,
 };
 pub use solver::{
     mckp_resweep, mckp_sweep, sequence_resweep, sequence_sweep, solve_dp_sweep,

@@ -53,7 +53,7 @@ use crate::error::RegistryError;
 use crate::pipeline::DeploymentPlan;
 use crate::planner::Planner;
 use crate::request::Solver;
-use crate::service::PlanKey;
+use crate::service::{PlanKey, ServedPlan};
 
 /// Version of the registry envelope schema this build writes and accepts.
 pub const REGISTRY_SCHEMA_VERSION: u32 = 1;
@@ -173,11 +173,13 @@ impl PlanRegistry {
         self.dir.join(format!("{:016x}.json", key.fnv()))
     }
 
-    /// Renders the envelope for `key`/`artifact`. The artifact JSON is
-    /// embedded verbatim — the envelope parser hands the nested object
-    /// straight to [`PlanArtifact::from_value`], so the artifact bytes a
-    /// load reproduces are exactly the bytes a store was given.
-    fn render_envelope(key: PlanKey, artifact: &PlanArtifact) -> String {
+    /// Renders the envelope for `key` around pre-rendered artifact JSON.
+    /// The artifact JSON is embedded verbatim — the envelope parser
+    /// hands the nested object straight to [`PlanArtifact::from_value`],
+    /// so the artifact bytes a load reproduces are exactly the bytes a
+    /// store was given (and exactly the response bytes the service's
+    /// byte cache serves).
+    fn render_envelope(key: PlanKey, artifact_json: &str) -> String {
         let mut out = String::with_capacity(256);
         out.push_str("{\n");
         out.push_str(&format!("  \"registry\": \"{REGISTRY_KIND}\",\n"));
@@ -191,7 +193,7 @@ impl PlanRegistry {
         ));
         out.push_str(&format!("  \"dp_resolution\": {},\n", key.dp_resolution));
         out.push_str("  \"artifact\": ");
-        out.push_str(artifact.to_json().trim_end());
+        out.push_str(artifact_json.trim_end());
         out.push_str("\n}\n");
         out
     }
@@ -206,6 +208,18 @@ impl PlanRegistry {
     /// rename fails. The caller may treat a failed store as advisory —
     /// the in-memory tier still holds the plan.
     pub fn store(&self, key: PlanKey, artifact: &PlanArtifact) -> Result<(), RegistryError> {
+        self.store_json(key, &artifact.to_json())
+    }
+
+    /// [`PlanRegistry::store`] over artifact JSON the caller already
+    /// rendered: the write-through path hands in the service's cached
+    /// response bytes, so a solve is serialized exactly once — the same
+    /// bytes land on disk, in the LRU, and on the wire.
+    pub(crate) fn store_json(
+        &self,
+        key: PlanKey,
+        artifact_json: &str,
+    ) -> Result<(), RegistryError> {
         let final_path = self.entry_path(key);
         let temp_path = self.dir.join(format!(
             "tmp-{}-{}.part",
@@ -220,7 +234,7 @@ impl PlanRegistry {
                 reason: e.to_string(),
             }
         };
-        let text = Self::render_envelope(key, artifact);
+        let text = Self::render_envelope(key, artifact_json);
         let write_all = |path: &Path| -> std::io::Result<()> {
             let mut f = fs::File::create(path)?;
             f.write_all(text.as_bytes())?;
@@ -244,13 +258,22 @@ impl PlanRegistry {
     /// bits, and [`DeploymentPlan::from_artifact`] against `planner`).
     /// Any validation failure quarantines the file and reports a miss —
     /// a corrupt entry costs one extra solve, never a bad plan.
-    pub(crate) fn load(&self, key: PlanKey, planner: &Planner) -> Option<Arc<DeploymentPlan>> {
+    ///
+    /// The returned [`ServedPlan`] carries the canonical artifact bytes
+    /// alongside the plan, rendered once here (a disk hit is a cold-tier
+    /// event: it happens at most once per key per process; the LRU then
+    /// serves the pair by `Arc` clone). Because the stored envelope
+    /// embeds `to_json` output verbatim and the parser round-trips it
+    /// bit-identically (pinned by the registry tests), these bytes equal
+    /// the bytes the original store was given.
+    pub(crate) fn load(&self, key: PlanKey, planner: &Planner) -> Option<ServedPlan> {
         let path = self.entry_path(key);
         let text = fs::read_to_string(&path).ok()?;
         match Self::decode_entry(&text, Some(key), planner) {
-            Ok(plan) => {
+            Ok((plan, artifact)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::new(plan))
+                let bytes: Arc<[u8]> = artifact.to_json().into_bytes().into();
+                Some(ServedPlan::new(Arc::new(plan), bytes))
             }
             Err(_) => {
                 self.quarantine(&path);
@@ -262,14 +285,15 @@ impl PlanRegistry {
     /// Decodes and validates one envelope. With `expected` the entry must
     /// match that key exactly; without it the key is reconstructed from
     /// the envelope (startup re-validation, where the filename supplies
-    /// the expected address). Returns the validated plan and never
-    /// panics — every failure is a typed reason used only to decide
-    /// quarantine.
+    /// the expected address). Returns the validated plan together with
+    /// the decoded artifact (so a load can render the canonical bytes
+    /// without re-reading the file) and never panics — every failure is
+    /// a typed reason used only to decide quarantine.
     fn decode_entry(
         text: &str,
         expected: Option<PlanKey>,
         planner: &Planner,
-    ) -> Result<DeploymentPlan, String> {
+    ) -> Result<(DeploymentPlan, PlanArtifact), String> {
         let (key, artifact) = Self::decode_envelope(text)?;
         if let Some(expected) = expected {
             if key != expected {
@@ -283,7 +307,9 @@ impl PlanRegistry {
             // bit-identical to the originally served artifact.
             return Err("artifact qos_secs does not match the canonical window bits".into());
         }
-        DeploymentPlan::from_artifact(&artifact, planner).map_err(|e| e.to_string())
+        DeploymentPlan::from_artifact(&artifact, planner)
+            .map(|plan| (plan, artifact))
+            .map_err(|e| e.to_string())
     }
 
     /// Parses the envelope into its reconstructed key and artifact.
@@ -442,9 +468,14 @@ mod tests {
 
         let loaded = registry.load(key, &planner).expect("loads");
         assert_eq!(
-            loaded.to_artifact(&planner).to_json(),
+            loaded.plan().to_artifact(&planner).to_json(),
             artifact.to_json(),
             "disk-warmed artifact must be byte-identical"
+        );
+        assert_eq!(
+            &**loaded.bytes(),
+            artifact.to_json().as_bytes(),
+            "cached response bytes must equal the stored artifact JSON"
         );
         let stats = registry.stats();
         assert_eq!((stats.hits, stats.writes, stats.quarantined), (1, 1, 0));
@@ -470,7 +501,11 @@ mod tests {
             .expect("revalidates");
         assert_eq!(reopened.stats().quarantined, 0);
         let loaded = reopened.load(key, &planner).expect("loads");
-        assert_eq!(loaded.to_artifact(&planner).to_json(), artifact.to_json());
+        assert_eq!(
+            loaded.plan().to_artifact(&planner).to_json(),
+            artifact.to_json()
+        );
+        assert_eq!(&**loaded.bytes(), artifact.to_json().as_bytes());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -5,13 +5,21 @@
 //! socket concerns live in [`super::http`] and the connection loop. The
 //! wire format is documented in DESIGN.md, "Network serving & artifact
 //! registry".
+//!
+//! The plan route is **zero-serialization**: a successful plan is
+//! answered with the service's cached artifact bytes
+//! ([`crate::PlanService::plan_served`] → [`Body::Shared`]) — rendered
+//! exactly once when the plan was solved, never re-serialized here — so
+//! a cache hit performs no JSON work and no body allocation at all.
+//!
+//! [`PlanService`]: crate::PlanService
 
 use crate::artifact::{json, json_quote};
 use crate::error::{DaeDvfsError, ServiceError};
 use crate::request::PlanRequest;
 use crate::service::ServiceStats;
 
-use super::http::{Request, Response};
+use super::http::{Body, Conn, Request, Response};
 use super::PlanServer;
 
 /// Builds a JSON error response: `{"error": "<message>"}`.
@@ -20,17 +28,17 @@ pub(crate) fn error_response(status: u16, reason: &'static str, message: &str) -
         status,
         reason,
         content_type: "application/json",
-        body: format!("{{\"error\": {}}}\n", json_quote(message)).into_bytes(),
+        body: Body::Owned(format!("{{\"error\": {}}}\n", json_quote(message)).into_bytes()),
     }
 }
 
 /// Builds a 200 response with a JSON body.
-fn ok_json(body: String) -> Response {
+fn ok_json(body: Body) -> Response {
     Response {
         status: 200,
         reason: "OK",
         content_type: "application/json",
-        body: body.into_bytes(),
+        body,
     }
 }
 
@@ -64,18 +72,21 @@ pub(crate) fn status_for(error: &ServiceError) -> (u16, &'static str) {
     }
 }
 
-/// Routes one request. Never panics and never returns transport errors —
-/// every outcome, including handler-side failures, is a [`Response`].
-pub(crate) fn handle(server: &PlanServer<'_>, request: &Request) -> Response {
-    match (request.method.as_str(), request.target.as_str()) {
+/// Routes one request (whose tokens live in `conn`'s read buffer).
+/// Never panics and never returns transport errors — every outcome,
+/// including handler-side failures, is a [`Response`].
+pub(crate) fn handle(server: &PlanServer<'_>, conn: &Conn, request: &Request) -> Response {
+    match (conn.method(request), conn.target(request)) {
         ("GET", "/healthz") => Response {
             status: 200,
             reason: "OK",
             content_type: "text/plain",
-            body: b"ok\n".to_vec(),
+            body: Body::Static(b"ok\n"),
         },
-        ("GET", "/stats") => ok_json(stats_json(&server.service().stats())),
-        ("POST", "/v1/plan") => plan_response(server, request),
+        ("GET", "/stats") => ok_json(Body::Owned(
+            stats_json(&server.service().stats()).into_bytes(),
+        )),
+        ("POST", "/v1/plan") => plan_response(server, conn.body(request)),
         // Known path, wrong method — checked before the catch-all so
         // e.g. `GET /v1/plan` is a 405, not an "unknown path" 404.
         (_, "/healthz" | "/stats" | "/v1/plan") => error_response(
@@ -119,14 +130,16 @@ fn decode_plan_request(body: &str) -> Result<(String, PlanRequest), String> {
     Ok((planner, request))
 }
 
-/// Serves `POST /v1/plan`: decode → route → [`PlanService::plan`] →
-/// artifact JSON (the same bytes [`crate::PlanArtifact::to_json`]
-/// produces everywhere else, so responses are bit-comparable across
-/// restarts).
+/// Serves `POST /v1/plan`: decode → route →
+/// [`PlanService::plan_served`] → the plan's cached artifact bytes (the
+/// same bytes [`crate::PlanArtifact::to_json`] produced when the plan
+/// was solved, shared by `Arc` — so responses are bit-comparable across
+/// requests, restarts, and the on-disk registry, and a cache hit
+/// serializes nothing).
 ///
-/// [`PlanService::plan`]: crate::PlanService::plan
-fn plan_response(server: &PlanServer<'_>, request: &Request) -> Response {
-    let body = match std::str::from_utf8(&request.body) {
+/// [`PlanService::plan_served`]: crate::PlanService::plan_served
+fn plan_response(server: &PlanServer<'_>, body: &[u8]) -> Response {
+    let body = match std::str::from_utf8(body) {
         Ok(body) => body,
         Err(_) => return error_response(400, "Bad Request", "body is not UTF-8"),
     };
@@ -141,15 +154,8 @@ fn plan_response(server: &PlanServer<'_>, request: &Request) -> Response {
             &format!("unknown planner {planner_name:?}"),
         );
     };
-    match server.service().plan(key, &plan_request) {
-        Ok(plan) => {
-            let Some(planner) = server.service().planner(key) else {
-                // Routes are validated against the service at build time,
-                // so this is unreachable in practice; fail closed anyway.
-                return error_response(500, "Internal Server Error", "route lost its planner");
-            };
-            ok_json(plan.to_artifact(planner).to_json())
-        }
+    match server.service().plan_served(key, &plan_request) {
+        Ok(served) => ok_json(Body::Shared(served.into_bytes())),
         Err(error) => {
             let (status, reason) = status_for(&error);
             error_response(status, reason, &error.to_string())
@@ -159,7 +165,8 @@ fn plan_response(server: &PlanServer<'_>, request: &Request) -> Response {
 
 /// Hand-rolled JSON for `GET /stats`: the [`ServiceStats`] snapshot,
 /// including the registry tier counters (all zero when no registry is
-/// attached).
+/// attached) and the serving hot-path counters (`inline_hits`,
+/// `bytes_served`, `enqueued`).
 fn stats_json(stats: &ServiceStats) -> String {
     format!(
         concat!(
@@ -171,6 +178,9 @@ fn stats_json(stats: &ServiceStats) -> String {
             "  \"batches\": {},\n",
             "  \"batched_requests\": {},\n",
             "  \"max_batch\": {},\n",
+            "  \"inline_hits\": {},\n",
+            "  \"bytes_served\": {},\n",
+            "  \"enqueued\": {},\n",
             "  \"queue_depth\": {},\n",
             "  \"max_queue_depth\": {},\n",
             "  \"elapsed_secs\": {},\n",
@@ -194,6 +204,9 @@ fn stats_json(stats: &ServiceStats) -> String {
         stats.batches,
         stats.batched_requests,
         stats.max_batch,
+        stats.inline_hits,
+        stats.bytes_served,
+        stats.enqueued,
         stats.queue_depth,
         stats.max_queue_depth,
         stats.elapsed_secs,
@@ -296,8 +309,35 @@ mod tests {
     fn error_responses_are_json_objects() {
         let response = error_response(400, "Bad Request", "a \"quoted\" reason");
         assert_eq!(response.status, 400);
-        let body = String::from_utf8(response.body).unwrap();
+        let body = std::str::from_utf8(response.body.as_bytes()).unwrap();
         assert!(body.starts_with("{\"error\": "));
         assert!(body.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn stats_json_includes_the_hot_path_counters() {
+        let stats = ServiceStats {
+            submitted: 14,
+            completed: 14,
+            rejected: 0,
+            failed: 0,
+            batches: 1,
+            batched_requests: 2,
+            max_batch: 2,
+            inline_hits: 12,
+            bytes_served: 3456,
+            enqueued: 2,
+            queue_depth: 0,
+            max_queue_depth: 2,
+            elapsed_secs: 1.0,
+            registry_hits: 0,
+            registry_writes: 0,
+            quarantined: 0,
+            cache: crate::service::CacheStats::default(),
+        };
+        let rendered = stats_json(&stats);
+        assert!(rendered.contains("\"inline_hits\": 12"));
+        assert!(rendered.contains("\"bytes_served\": 3456"));
+        assert!(rendered.contains("\"enqueued\": 2"));
     }
 }

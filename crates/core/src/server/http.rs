@@ -8,12 +8,21 @@
 //! encoding is not supported and is rejected as malformed rather than
 //! misparsed.
 //!
+//! The per-request wire path is **allocation-free**: a parsed
+//! [`Request`] is a set of byte *ranges* into the connection's reusable
+//! read buffer (no `String`/`Vec` per request; the buffer is drained
+//! only after the response is built), and [`Conn::write_response`]
+//! assembles head + body into a reusable output buffer — integers
+//! rendered digit-by-digit, one `write_all`, so a cache-hit response is
+//! one syscall over bytes that already existed ([`Body::Shared`]).
+//!
 //! Every failure is a typed [`ReadOutcome`] the connection loop turns
 //! into a status code or a closed socket; nothing here panics and no
 //! `io::Error` escapes.
 
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Size and time bounds applied while assembling one request.
@@ -29,15 +38,23 @@ pub(crate) struct Limits {
     pub read_timeout: Duration,
 }
 
-/// One parsed request.
+/// One parsed request: byte ranges into the connection's read buffer
+/// (resolved through [`Conn::method`] / [`Conn::target`] /
+/// [`Conn::body`]) instead of owned copies. The ranges are plain
+/// offsets, so they survive buffer growth during the body reads; they
+/// are valid until [`Conn::consume`] retires the request.
 #[derive(Debug)]
 pub(crate) struct Request {
-    /// Uppercase method token, verbatim.
-    pub method: String,
-    /// The request target (path), verbatim.
-    pub target: String,
-    /// Body bytes (empty without a `Content-Length`).
-    pub body: Vec<u8>,
+    /// Uppercase method token, as a `(start, end)` range.
+    method: (usize, usize),
+    /// The request target (path), as a `(start, end)` range.
+    target: (usize, usize),
+    /// Body bytes, as a `(start, end)` range (empty without a
+    /// `Content-Length`).
+    body: (usize, usize),
+    /// Total bytes this request occupies at the front of the buffer
+    /// (head + terminator + body) — what [`Conn::consume`] drains.
+    len: usize,
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default, overridden by `Connection:` headers).
     pub keep_alive: bool,
@@ -74,21 +91,47 @@ enum Fill {
     Error,
 }
 
+/// A response payload. The hot path serves [`Body::Shared`] — the
+/// service's cached artifact bytes by `Arc` clone, no copy, no
+/// serialization; error and stats paths own their (small) bodies.
+#[derive(Debug)]
+pub(crate) enum Body {
+    /// A compile-time constant body (`/healthz`).
+    Static(&'static [u8]),
+    /// A body rendered for this response (errors, `/stats`).
+    Owned(Vec<u8>),
+    /// The service's cached response bytes, shared by reference count.
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Static(bytes) => bytes,
+            Body::Owned(bytes) => bytes,
+            Body::Shared(bytes) => bytes,
+        }
+    }
+}
+
 /// A response ready to serialize.
 #[derive(Debug)]
 pub(crate) struct Response {
     pub status: u16,
     pub reason: &'static str,
     pub content_type: &'static str,
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
-/// One accepted connection: the stream plus the pipeline buffer of bytes
-/// read past the previous request.
+/// One accepted connection: the stream, the pipeline buffer of bytes
+/// read past the previous request, and the reusable response buffer.
+/// Both buffers keep their capacity across requests, so a keep-alive
+/// connection stops allocating after its first round.
 #[derive(Debug)]
 pub(crate) struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
+    out: Vec<u8>,
 }
 
 /// Index just past `\r\n\r\n`'s first byte pair — i.e. the offset of the
@@ -97,12 +140,60 @@ fn head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// The offset of `inner` within `outer`, both borrowed from the same
+/// buffer. Plain pointer arithmetic on shared borrows — no `unsafe` —
+/// used to turn the head parser's `&str` tokens back into ranges.
+fn offset_in(outer: &[u8], inner: &str) -> usize {
+    inner.as_ptr() as usize - outer.as_ptr() as usize
+}
+
+/// Appends `value`'s decimal digits to `out` without allocating (the
+/// `format!`-free half of the one-write response path).
+fn push_usize(out: &mut Vec<u8>, mut value: usize) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
 impl Conn {
     pub fn new(stream: TcpStream) -> Self {
         Conn {
             stream,
             buf: Vec::new(),
+            out: Vec::new(),
         }
+    }
+
+    /// The request's method token. The head was validated as UTF-8
+    /// during parsing, so the fallback is unreachable; it exists to keep
+    /// this accessor panic-free.
+    pub fn method<'a>(&'a self, request: &Request) -> &'a str {
+        std::str::from_utf8(&self.buf[request.method.0..request.method.1]).unwrap_or("")
+    }
+
+    /// The request's target (path), same contract as [`Conn::method`].
+    pub fn target<'a>(&'a self, request: &Request) -> &'a str {
+        std::str::from_utf8(&self.buf[request.target.0..request.target.1]).unwrap_or("")
+    }
+
+    /// The request's body bytes.
+    pub fn body<'a>(&'a self, request: &Request) -> &'a [u8] {
+        &self.buf[request.body.0..request.body.1]
+    }
+
+    /// Retires `request`: drains its bytes from the front of the buffer
+    /// (keeping capacity and any pipelined bytes behind it). Call after
+    /// the response is built; the request's ranges are dead afterwards.
+    pub fn consume(&mut self, request: &Request) {
+        self.buf.drain(..request.len);
     }
 
     /// Assembles the next request from the pipeline buffer plus the
@@ -166,44 +257,47 @@ impl Conn {
             let Some((name, value)) = line.split_once(':') else {
                 return ReadOutcome::Malformed("malformed header line");
             };
-            let name = name.trim().to_ascii_lowercase();
+            let name = name.trim();
             let value = value.trim();
-            match name.as_str() {
-                "content-length" => {
-                    // RFC 9110 §8.6: the value is 1*DIGIT. `parse` alone
-                    // also accepts a leading `+`, which a stricter proxy
-                    // in front of this server would reject — a parsing
-                    // disagreement is request-smuggling surface, so
-                    // digits only.
-                    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
-                        return ReadOutcome::Malformed("bad content-length");
-                    }
-                    let Ok(len) = value.parse::<usize>() else {
-                        return ReadOutcome::Malformed("bad content-length");
-                    };
-                    if content_length.is_some_and(|prev| prev != len) {
-                        return ReadOutcome::Malformed("conflicting content-length");
-                    }
-                    content_length = Some(len);
+            if name.eq_ignore_ascii_case("content-length") {
+                // RFC 9110 §8.6: the value is 1*DIGIT. `parse` alone
+                // also accepts a leading `+`, which a stricter proxy
+                // in front of this server would reject — a parsing
+                // disagreement is request-smuggling surface, so
+                // digits only.
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return ReadOutcome::Malformed("bad content-length");
                 }
-                "transfer-encoding" => {
-                    return ReadOutcome::Malformed("transfer-encoding not supported");
+                let Ok(len) = value.parse::<usize>() else {
+                    return ReadOutcome::Malformed("bad content-length");
+                };
+                if content_length.is_some_and(|prev| prev != len) {
+                    return ReadOutcome::Malformed("conflicting content-length");
                 }
-                "connection" => {
-                    let value = value.to_ascii_lowercase();
-                    if value.split(',').any(|t| t.trim() == "close") {
-                        keep_alive = false;
-                    } else if value.split(',').any(|t| t.trim() == "keep-alive") {
-                        keep_alive = true;
-                    }
+                content_length = Some(len);
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return ReadOutcome::Malformed("transfer-encoding not supported");
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value
+                    .split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case("close"))
+                {
+                    keep_alive = false;
+                } else if value
+                    .split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case("keep-alive"))
+                {
+                    keep_alive = true;
                 }
-                _ => {}
             }
         }
-        // Own the request-line tokens before the body reads below
-        // re-borrow the buffer mutably.
-        let method = method.to_string();
-        let target = target.to_string();
+        // Turn the borrowed tokens into plain offsets before the body
+        // reads below re-borrow the buffer mutably (offsets survive
+        // buffer growth; borrows would not).
+        let method_start = offset_in(&self.buf, method);
+        let method = (method_start, method_start + method.len());
+        let target_start = offset_in(&self.buf, target);
+        let target = (target_start, target_start + target.len());
         let body_len = content_length.unwrap_or(0);
         if body_len > limits.max_body_bytes {
             return ReadOutcome::BodyTooLarge;
@@ -217,16 +311,15 @@ impl Conn {
                 Fill::Error => return ReadOutcome::Closed,
             }
         }
-        let request = Request {
+        // The bytes stay in the buffer (pipelined requests behind them
+        // included) until the caller responds and calls `consume`.
+        ReadOutcome::Request(Request {
             method,
             target,
-            body: self.buf[body_start..body_start + body_len].to_vec(),
+            body: (body_start, body_start + body_len),
+            len: body_start + body_len,
             keep_alive,
-        };
-        // Keep everything past this request: pipelined requests are
-        // parsed on the next call without touching the socket.
-        self.buf.drain(..body_start + body_len);
-        ReadOutcome::Request(request)
+        })
     }
 
     /// Reads one chunk off the socket into the buffer, honoring the
@@ -259,21 +352,31 @@ impl Conn {
         }
     }
 
-    /// Serializes and flushes `response`. `close` selects the
-    /// `Connection:` header (the caller decides based on the request and
-    /// the drain state); write failures (peer dropped mid-response) are
-    /// reported so the caller abandons the connection, never the server.
+    /// Serializes and flushes `response` through the connection's
+    /// reusable output buffer: head and body in **one** `write_all`
+    /// (one syscall, no interleaving partial writes on the wire), no
+    /// per-response allocation once the buffer has grown to its working
+    /// size. `close` selects the `Connection:` header (the caller
+    /// decides based on the request and the drain state); write failures
+    /// (peer dropped mid-response) are reported so the caller abandons
+    /// the connection, never the server.
     pub fn write_response(&mut self, response: &Response, close: bool) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-            response.status,
-            response.reason,
-            response.content_type,
-            response.body.len(),
-            if close { "close" } else { "keep-alive" },
-        );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(&response.body)?;
+        let body = response.body.as_bytes();
+        self.out.clear();
+        self.out.extend_from_slice(b"HTTP/1.1 ");
+        push_usize(&mut self.out, usize::from(response.status));
+        self.out.push(b' ');
+        self.out.extend_from_slice(response.reason.as_bytes());
+        self.out.extend_from_slice(b"\r\ncontent-type: ");
+        self.out.extend_from_slice(response.content_type.as_bytes());
+        self.out.extend_from_slice(b"\r\ncontent-length: ");
+        push_usize(&mut self.out, body.len());
+        self.out.extend_from_slice(b"\r\nconnection: ");
+        self.out
+            .extend_from_slice(if close { b"close" } else { b"keep-alive" });
+        self.out.extend_from_slice(b"\r\n\r\n");
+        self.out.extend_from_slice(body);
+        self.stream.write_all(&self.out)?;
         self.stream.flush()
     }
 }
@@ -311,5 +414,37 @@ mod tests {
         // two in sync.
         let body = "{\"error\": \"connection backlog full\"}";
         assert_eq!(body.len(), 36);
+    }
+
+    #[test]
+    fn push_usize_renders_decimal_digits() {
+        for (value, expected) in [
+            (0usize, "0"),
+            (7, "7"),
+            (200, "200"),
+            (431, "431"),
+            (usize::MAX, &usize::MAX.to_string()),
+        ] {
+            let mut out = Vec::new();
+            push_usize(&mut out, value);
+            assert_eq!(out, expected.as_bytes());
+        }
+    }
+
+    #[test]
+    fn offset_in_recovers_token_positions() {
+        let buf = b"POST /v1/plan HTTP/1.1".to_vec();
+        let head = std::str::from_utf8(&buf).unwrap();
+        let target = head.split(' ').nth(1).unwrap();
+        assert_eq!(offset_in(&buf, target), 5);
+        assert_eq!(target.len(), 8);
+    }
+
+    #[test]
+    fn body_variants_expose_the_same_bytes() {
+        let shared: Arc<[u8]> = Arc::from(b"xyz".to_vec().into_boxed_slice());
+        assert_eq!(Body::Static(b"xyz").as_bytes(), b"xyz");
+        assert_eq!(Body::Owned(b"xyz".to_vec()).as_bytes(), b"xyz");
+        assert_eq!(Body::Shared(shared).as_bytes(), b"xyz");
     }
 }

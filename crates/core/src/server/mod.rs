@@ -470,11 +470,14 @@ impl<'a> PlanServer<'a> {
             let draining = shared.draining();
             match conn.read_request(&limits, draining) {
                 http::ReadOutcome::Request(request) => {
-                    let response = handler::handle(self, &request);
+                    let response = handler::handle(self, &conn, &request);
                     // Re-check the drain flag: a request admitted just as
                     // the drain began is answered, but the connection is
                     // told to go away.
                     let close = !request.keep_alive || shared.draining();
+                    // The response no longer borrows the read buffer, so
+                    // the request's bytes can be retired before the write.
+                    conn.consume(&request);
                     if conn.write_response(&response, close).is_err() || close {
                         return;
                     }

@@ -85,12 +85,54 @@ impl PlanKey {
     }
 }
 
+/// A completed plan paired with its canonical serialized artifact — the
+/// exact bytes [`crate::PlanArtifact::to_json`] produced when the plan
+/// entered the cache. The serving hot path answers with the shared
+/// bytes, so a cache hit never re-serializes; cloning is two `Arc`
+/// reference bumps.
+#[derive(Debug, Clone)]
+pub struct ServedPlan {
+    plan: Arc<DeploymentPlan>,
+    bytes: Arc<[u8]>,
+}
+
+impl ServedPlan {
+    /// Pairs a plan with its canonical artifact serialization. The bytes
+    /// must be exactly what `plan.to_artifact(..).to_json()` renders —
+    /// the byte-identity proptests pin this pairing on every answer
+    /// path.
+    pub(crate) fn new(plan: Arc<DeploymentPlan>, bytes: Arc<[u8]>) -> Self {
+        ServedPlan { plan, bytes }
+    }
+
+    /// The shared plan.
+    pub fn plan(&self) -> &Arc<DeploymentPlan> {
+        &self.plan
+    }
+
+    /// The canonical artifact JSON (the bytes
+    /// [`crate::PlanArtifact::to_json`] rendered once, at insert).
+    pub fn bytes(&self) -> &Arc<[u8]> {
+        &self.bytes
+    }
+
+    /// Consumes the pair, keeping the plan.
+    pub fn into_plan(self) -> Arc<DeploymentPlan> {
+        self.plan
+    }
+
+    /// Consumes the pair, keeping the serialized bytes.
+    pub fn into_bytes(self) -> Arc<[u8]> {
+        self.bytes
+    }
+}
+
 /// Outcome of [`PlanCache::lookup_or_join`].
 #[derive(Debug)]
 pub(crate) enum Lookup<W> {
     /// A completed plan was resident; the waiter is handed back for the
     /// caller to fulfill immediately.
-    Hit(Arc<DeploymentPlan>, W),
+    Hit(ServedPlan, W),
     /// Another caller is already computing this key; the waiter was
     /// attached to the in-flight entry and will be fulfilled when the
     /// leader completes.
@@ -142,7 +184,7 @@ impl CacheStats {
 
 #[derive(Debug)]
 struct Entry {
-    plan: Arc<DeploymentPlan>,
+    served: ServedPlan,
     /// Stamp of this entry's most recent touch; recency-queue records
     /// with older stamps are stale and skipped lazily.
     stamp: u64,
@@ -241,26 +283,26 @@ impl<W> PlanCache<W> {
     }
 
     /// Looks `key` up without any single-flight side effects: returns the
-    /// resident plan (counting a hit and touching the LRU) or `None` —
-    /// in which case **nothing** was counted, so a follow-up
-    /// [`PlanCache::lookup_or_join`] still accounts the request exactly
-    /// once.
-    pub fn get(&self, key: PlanKey) -> Option<Arc<DeploymentPlan>> {
+    /// resident plan-plus-bytes pair (counting a hit and touching the
+    /// LRU) or `None` — in which case **nothing** was counted, so a
+    /// follow-up [`PlanCache::lookup_or_join`] still accounts the
+    /// request exactly once.
+    pub fn get(&self, key: PlanKey) -> Option<ServedPlan> {
         let mut shard = self.shard(&key);
-        let plan = shard.map.get(&key).map(|e| e.plan.clone())?;
+        let served = shard.map.get(&key).map(|e| e.served.clone())?;
         shard.hits += 1;
         shard.touch(key, self.shard_capacity);
-        Some(plan)
+        Some(served)
     }
 
     /// Looks `key` up; on a miss, either joins the in-flight leader or
     /// nominates the caller as leader (see [`Lookup`]).
     pub fn lookup_or_join(&self, key: PlanKey, waiter: W) -> Lookup<W> {
         let mut shard = self.shard(&key);
-        if let Some(plan) = shard.map.get(&key).map(|e| e.plan.clone()) {
+        if let Some(served) = shard.map.get(&key).map(|e| e.served.clone()) {
             shard.hits += 1;
             shard.touch(key, self.shard_capacity);
-            return Lookup::Hit(plan, waiter);
+            return Lookup::Hit(served, waiter);
         }
         shard.misses += 1;
         if let Some(waiters) = shard.flights.get_mut(&key) {
@@ -272,19 +314,19 @@ impl<W> PlanCache<W> {
         Lookup::Lead(waiter)
     }
 
-    /// Completes `key`'s in-flight computation: caches the plan (when
-    /// `Some`, evicting LRU entries past capacity) and returns every
-    /// waiter that joined, for the leader to fulfill. On `None` (the
-    /// solve failed) nothing is cached — the next request for the key
-    /// leads a fresh attempt.
-    pub fn complete(&self, key: PlanKey, plan: Option<Arc<DeploymentPlan>>) -> Vec<W> {
+    /// Completes `key`'s in-flight computation: caches the plan and its
+    /// canonical serialization (when `Some`, evicting LRU entries past
+    /// capacity) and returns every waiter that joined, for the leader to
+    /// fulfill. On `None` (the solve failed) nothing is cached — the
+    /// next request for the key leads a fresh attempt.
+    pub fn complete(&self, key: PlanKey, served: Option<ServedPlan>) -> Vec<W> {
         let mut shard = self.shard(&key);
         let waiters = shard.flights.remove(&key).unwrap_or_default();
-        if let Some(plan) = plan {
+        if let Some(served) = served {
             if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
                 shard.evict_lru();
             }
-            shard.map.insert(key, Entry { plan, stamp: 0 });
+            shard.map.insert(key, Entry { served, stamp: 0 });
             shard.inserted += 1;
             shard.touch(key, self.shard_capacity);
         }
@@ -333,14 +375,21 @@ mod tests {
         }
     }
 
-    fn plan(qos: f64) -> Arc<DeploymentPlan> {
-        Arc::new(DeploymentPlan {
-            model: "m".into(),
-            qos_secs: qos,
-            decisions: Vec::new(),
-            predicted_latency_secs: qos * 0.9,
-            predicted_energy: Joules::new(1.0),
-        })
+    fn plan(qos: f64) -> ServedPlan {
+        ServedPlan::new(
+            Arc::new(DeploymentPlan {
+                model: "m".into(),
+                qos_secs: qos,
+                decisions: Vec::new(),
+                predicted_latency_secs: qos * 0.9,
+                predicted_energy: Joules::new(1.0),
+            }),
+            Arc::from(
+                format!("{{\"qos\": {qos}}}")
+                    .into_bytes()
+                    .into_boxed_slice(),
+            ),
+        )
     }
 
     /// A miss that leads, completes, and is then hit.
@@ -353,16 +402,22 @@ mod tests {
         }
         assert!(cache.complete(key(1), Some(plan(0.5))).is_empty());
         match cache.lookup_or_join(key(1), 8) {
-            Lookup::Hit(p, w) => {
-                assert_eq!(p.qos_secs, 0.5);
+            Lookup::Hit(served, w) => {
+                assert_eq!(served.plan().qos_secs, 0.5);
+                // The hit hands back the bytes the insert provided,
+                // byte-for-byte (shared, never re-rendered).
+                assert_eq!(&**served.bytes(), b"{\"qos\": 0.5}");
                 assert_eq!(w, 8);
             }
             other => panic!("expected Hit, got {other:?}"),
         }
+        // `get` (the lock-free fast path's lookup) answers the same pair.
+        let got = cache.get(key(1)).expect("resident");
+        assert_eq!(&**got.bytes(), b"{\"qos\": 0.5}");
         let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
-        assert_eq!(stats.lookups(), 2);
-        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+        assert_eq!(stats.lookups(), 3);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::pipeline::DeploymentPlan;
 use crate::planner::Planner;
 use crate::registry::PlanRegistry;
 use crate::request::PlanRequest;
-use crate::service::cache::{CacheStats, Lookup, PlanCache, PlanKey};
+use crate::service::cache::{CacheStats, Lookup, PlanCache, PlanKey, ServedPlan};
 use crate::service::coalesce::{canonicalize, solve_batch, GroupKey};
 use crate::service::ServiceConfig;
 use crate::sync::{lock, rank, wait, wait_timeout, RankedCondvar, RankedMutex};
@@ -58,7 +58,7 @@ struct Pending {
 
 #[derive(Debug)]
 struct TicketInner {
-    slot: RankedMutex<Option<Result<Arc<DeploymentPlan>, ServiceError>>>,
+    slot: RankedMutex<Option<Result<ServedPlan, ServiceError>>>,
     ready: RankedCondvar,
 }
 
@@ -70,12 +70,12 @@ impl TicketInner {
         })
     }
 
-    fn fulfill(&self, result: Result<Arc<DeploymentPlan>, ServiceError>) {
+    fn fulfill(&self, result: Result<ServedPlan, ServiceError>) {
         *lock(&self.slot) = Some(result);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<Arc<DeploymentPlan>, ServiceError> {
+    fn wait(&self) -> Result<ServedPlan, ServiceError> {
         let mut slot = lock(&self.slot);
         loop {
             if let Some(result) = slot.as_ref() {
@@ -90,26 +90,53 @@ impl TicketInner {
     }
 }
 
+/// A ticket's backing state: inline hits are answered at submit time and
+/// carry their result by value — no shared slot, no condvar, no heap
+/// allocation on the hot path.
+#[derive(Debug)]
+enum TicketState {
+    /// Answered inline (cache-hit fast path): the result travelled back
+    /// on the submitting thread's stack.
+    Ready(Result<ServedPlan, ServiceError>),
+    /// Waiting on a worker or an in-flight leader.
+    Pending(Arc<TicketInner>),
+}
+
 /// A submitted request's result handle. Obtained from
 /// [`PlanService::submit`]; every admitted ticket is fulfilled before
 /// [`PlanService::run`] returns (graceful drain), so [`PlanTicket::wait`]
-/// never blocks past the serving scope.
+/// never blocks past the serving scope. Cache-hit submissions come back
+/// already answered ([`PlanTicket::ready`] is immediately true) without
+/// touching the queue or a worker.
 #[derive(Debug)]
 pub struct PlanTicket {
-    inner: Arc<TicketInner>,
+    state: TicketState,
 }
 
 impl PlanTicket {
     /// Blocks until the request is answered and returns the shared plan
     /// (an `Arc` clone of the cached entry) or the request's typed error.
     pub fn wait(self) -> Result<Arc<DeploymentPlan>, ServiceError> {
-        self.inner.wait()
+        self.wait_served().map(ServedPlan::into_plan)
+    }
+
+    /// Like [`PlanTicket::wait`], but keeps the plan paired with its
+    /// canonical artifact serialization ([`ServedPlan`]) — the
+    /// zero-serialization handle the HTTP layer answers with.
+    pub fn wait_served(self) -> Result<ServedPlan, ServiceError> {
+        match self.state {
+            TicketState::Ready(result) => result,
+            TicketState::Pending(inner) => inner.wait(),
+        }
     }
 
     /// Whether the result is already available ([`PlanTicket::wait`]
     /// would return without blocking).
     pub fn ready(&self) -> bool {
-        self.inner.ready()
+        match &self.state {
+            TicketState::Ready(_) => true,
+            TicketState::Pending(inner) => inner.ready(),
+        }
     }
 }
 
@@ -132,6 +159,9 @@ struct Counters {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
+    inline_hits: AtomicU64,
+    bytes_served: AtomicU64,
+    enqueued: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -145,8 +175,10 @@ struct Timing {
 /// Consistency invariant: once the service has drained,
 /// `cache.hits + cache.misses == submitted == completed` — every
 /// admitted request performed exactly one cache lookup and was fulfilled
-/// exactly once (`rejected` submissions never reach the cache). With a
-/// registry attached the invariant extends across the cold tier:
+/// exactly once (`rejected` submissions never reach the cache), and
+/// `inline_hits <= cache.hits` — inline answers are the subset of hits
+/// served on the lock-free fast path. With a registry attached the
+/// invariant extends across the cold tier:
 /// `cache.inserted == registry_hits + registry_writes` — every plan that
 /// entered the LRU either came off disk or was written through to it
 /// (modulo advisory store failures, which leave the plan memory-only).
@@ -168,6 +200,19 @@ pub struct ServiceStats {
     pub batched_requests: u64,
     /// Largest single batch.
     pub max_batch: u64,
+    /// Cache hits answered inline on the submit fast path: no queue
+    /// slot, no ticket allocation, no worker handoff. Always
+    /// `<= cache.hits` (hits observed under the queue lock — a
+    /// startup/drain race — are fulfilled through a ticket instead).
+    pub inline_hits: u64,
+    /// Cumulative payload bytes of successfully answered requests (the
+    /// shared canonical artifact serialization; failed requests
+    /// contribute nothing).
+    pub bytes_served: u64,
+    /// Leaders pushed onto the submission queue. Hits, joiners and
+    /// rejected submissions never enqueue, so a fully warm trace adds
+    /// zero.
+    pub enqueued: u64,
     /// Current submission-queue depth.
     pub queue_depth: u64,
     /// High-water mark of the submission queue.
@@ -198,6 +243,16 @@ impl ServiceStats {
     pub fn throughput_rps(&self) -> f64 {
         if self.elapsed_secs > 0.0 {
             self.completed as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of admitted requests answered inline on the submit fast
+    /// path (0 before any submission).
+    pub fn inline_hit_rate(&self) -> f64 {
+        if self.submitted > 0 {
+            self.inline_hits as f64 / self.submitted as f64
         } else {
             0.0
         }
@@ -462,20 +517,26 @@ impl PlanService {
             ServiceError::Plan(e)
         })?;
 
-        // Fast path: completed hits are served without the queue mutex,
-        // so hot-key traffic contends only on the cache shards. The
-        // hints are a conservative snapshot — a stale `true` can at most
+        // Fast path: completed hits are answered inline, without the
+        // queue mutex, a ticket allocation, or a worker handoff — the
+        // result rides back on the submitting thread's stack and
+        // hot-key traffic contends only on the cache shards. The hints
+        // are a conservative snapshot — a stale `true` can at most
         // serve one more hit while the drain begins (harmless: no queue
-        // slot, ticket fulfilled immediately); when stale-`false`, the
-        // locked path below re-checks authoritatively.
+        // slot, the request is already answered); when stale-`false`,
+        // the locked path below re-checks authoritatively.
         if self.serving_hint.load(Ordering::Acquire) && !self.draining_hint.load(Ordering::Acquire)
         {
-            if let Some(plan) = self.cache.get(canonical.key) {
+            if let Some(served) = self.cache.get(canonical.key) {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                let ticket = TicketInner::new();
-                ticket.fulfill(Ok(plan));
+                self.counters.inline_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_served
+                    .fetch_add(served.bytes().len() as u64, Ordering::Relaxed);
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                return Ok(PlanTicket { inner: ticket });
+                return Ok(PlanTicket {
+                    state: TicketState::Ready(Ok(served)),
+                });
             }
         }
 
@@ -490,17 +551,20 @@ impl PlanService {
             return Err(ServiceError::NotServing);
         }
         match self.cache.lookup_or_join(canonical.key, ticket.clone()) {
-            Lookup::Hit(plan, waiter) => {
+            Lookup::Hit(served, waiter) => {
                 drop(queue);
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                waiter.fulfill(Ok(plan));
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                Ok(PlanTicket { inner: ticket })
+                self.fulfill(&waiter, &Ok(served));
+                Ok(PlanTicket {
+                    state: TicketState::Pending(ticket),
+                })
             }
             Lookup::Joined => {
                 drop(queue);
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(PlanTicket { inner: ticket })
+                Ok(PlanTicket {
+                    state: TicketState::Pending(ticket),
+                })
             }
             Lookup::Lead(waiter) => {
                 if queue.items.len() >= self.config.queue_capacity {
@@ -511,12 +575,11 @@ impl PlanService {
                     // misses were counted, so completing them with the
                     // error keeps hits + misses == admitted; `abort`
                     // un-counts only the lead's own lookup).
+                    let full = Err(ServiceError::QueueFull {
+                        capacity: self.config.queue_capacity,
+                    });
                     for stray in self.cache.abort(canonical.key) {
-                        stray.fulfill(Err(ServiceError::QueueFull {
-                            capacity: self.config.queue_capacity,
-                        }));
-                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        self.fulfill(&stray, &full);
                     }
                     self.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(ServiceError::QueueFull {
@@ -533,13 +596,34 @@ impl PlanService {
                 queue.max_depth = queue.max_depth.max(queue.items.len());
                 drop(queue);
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
                 // notify_all, not notify_one: a worker lingering for
                 // same-group stragglers also sleeps on this condvar, and
                 // a single wakeup aimed at an idle worker could be
                 // swallowed by a lingerer that takes nothing from the
                 // queue, stalling a different-group request.
                 self.arrived.notify_all();
-                Ok(PlanTicket { inner: ticket })
+                Ok(PlanTicket {
+                    state: TicketState::Pending(ticket),
+                })
+            }
+        }
+    }
+
+    /// Fulfills one ticket and keeps the completion counters exact:
+    /// every fulfillment counts `completed`, errors count `failed`, and
+    /// successes accumulate their shared payload into `bytes_served`.
+    fn fulfill(&self, ticket: &TicketInner, result: &Result<ServedPlan, ServiceError>) {
+        ticket.fulfill(result.clone());
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(served) => {
+                self.counters
+                    .bytes_served
+                    .fetch_add(served.bytes().len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -557,6 +641,22 @@ impl PlanService {
         request: &PlanRequest,
     ) -> Result<Arc<DeploymentPlan>, ServiceError> {
         self.submit(key, request)?.wait()
+    }
+
+    /// Like [`PlanService::plan`], but returns the plan paired with its
+    /// canonical artifact serialization ([`ServedPlan`]): the
+    /// zero-serialization handle — cache hits hand back the bytes
+    /// rendered once at insert, never a fresh serialization.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanService::plan`].
+    pub fn plan_served(
+        &self,
+        key: PlannerKey,
+        request: &PlanRequest,
+    ) -> Result<ServedPlan, ServiceError> {
+        self.submit(key, request)?.wait_served()
     }
 
     /// A point-in-time counters snapshot.
@@ -586,6 +686,9 @@ impl PlanService {
             batches: self.counters.batches.load(Ordering::Relaxed),
             batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
             max_batch: self.counters.max_batch.load(Ordering::Relaxed),
+            inline_hits: self.counters.inline_hits.load(Ordering::Relaxed),
+            bytes_served: self.counters.bytes_served.load(Ordering::Relaxed),
+            enqueued: self.counters.enqueued.load(Ordering::Relaxed),
             queue_depth,
             max_queue_depth,
             elapsed_secs: elapsed.as_secs_f64(),
@@ -681,11 +784,11 @@ impl PlanService {
                 let mut remaining = Vec::with_capacity(batch.len());
                 for pending in batch {
                     match registry.load(pending.key, planner) {
-                        Some(plan) => {
-                            let waiters = self.cache.complete(pending.key, Some(plan.clone()));
+                        Some(served) => {
+                            let waiters = self.cache.complete(pending.key, Some(served.clone()));
+                            let outcome = Ok(served);
                             for ticket in std::iter::once(pending.ticket).chain(waiters) {
-                                ticket.fulfill(Ok(plan.clone()));
-                                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                                self.fulfill(&ticket, &outcome);
                             }
                         }
                         None => remaining.push(pending),
@@ -732,39 +835,45 @@ impl PlanService {
         let results = match results {
             Ok(results) => results,
             Err(payload) => {
+                let panicked = Err(ServiceError::WorkerPanicked);
                 for pending in batch {
                     let waiters = self.cache.complete(pending.key, None);
                     for ticket in std::iter::once(pending.ticket).chain(waiters) {
-                        ticket.fulfill(Err(ServiceError::WorkerPanicked));
-                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        self.fulfill(&ticket, &panicked);
                     }
                 }
                 std::panic::resume_unwind(payload);
             }
         };
         for (pending, result) in batch.into_iter().zip(results) {
-            let outcome: Result<Arc<DeploymentPlan>, ServiceError> = match result {
-                Ok(plan) => Ok(Arc::new(plan)),
+            let outcome: Result<ServedPlan, ServiceError> = match result {
+                Ok(plan) => {
+                    // The one serialization this plan will ever get: the
+                    // rendered JSON becomes the registry entry's embedded
+                    // artifact *and* the cached response bytes, so disk,
+                    // LRU and the wire all serve the same bytes.
+                    let plan = Arc::new(plan);
+                    let artifact_json = plan.to_artifact(planner).to_json();
+                    if let Some(registry) = &self.registry {
+                        // Write-through: a failed store is advisory (the
+                        // plan is still served from memory);
+                        // `registry_writes` counts successes only, so the
+                        // cold-tier invariant
+                        // `inserted == registry_hits + registry_writes`
+                        // can lag by exactly the failed stores, never
+                        // silently drift.
+                        let _ = registry.store_json(pending.key, &artifact_json);
+                    }
+                    let bytes: Arc<[u8]> = artifact_json.into_bytes().into();
+                    Ok(ServedPlan::new(plan, bytes))
+                }
                 Err(e) => Err(ServiceError::Plan(e)),
             };
-            if let (Ok(plan), Some(registry)) = (&outcome, &self.registry) {
-                // Write-through: a failed store is advisory (the plan is
-                // still served from memory); `registry_writes` counts
-                // successes only, so the cold-tier invariant
-                // `inserted == registry_hits + registry_writes` can lag
-                // by exactly the failed stores, never silently drift.
-                let _ = registry.store(pending.key, &plan.to_artifact(planner));
-            }
             let waiters = self
                 .cache
                 .complete(pending.key, outcome.as_ref().ok().cloned());
             for ticket in std::iter::once(pending.ticket).chain(waiters) {
-                ticket.fulfill(outcome.clone());
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                if outcome.is_err() {
-                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                }
+                self.fulfill(&ticket, &outcome);
             }
         }
     }
@@ -1055,17 +1164,60 @@ mod tests {
     fn hit_fast_path_counts_like_the_locked_path() {
         let mut service = PlanService::new(exact_config()).unwrap();
         let key = service.register(small_planner());
-        service.run(|svc| {
+        let served = service.run(|svc| {
             svc.plan(key, &PlanRequest::slack(0.3)).unwrap();
-            for _ in 0..5 {
+            for _ in 0..4 {
                 svc.plan(key, &PlanRequest::slack(0.3)).unwrap();
             }
+            svc.plan_served(key, &PlanRequest::slack(0.3)).unwrap()
         });
         let stats = service.stats();
         assert_eq!(stats.submitted, 6);
         assert_eq!(stats.completed, 6);
         assert_eq!(stats.cache.hits, 5);
         assert_eq!(stats.cache.misses, 1);
+        // All five hits were answered inline: no ticket, no queue slot.
+        assert_eq!(stats.inline_hits, 5);
+        assert!(stats.inline_hits <= stats.cache.hits);
+        assert_eq!(stats.enqueued, 1);
+        assert!((stats.inline_hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+        // Every fulfillment accumulated the same shared payload.
+        assert_eq!(stats.bytes_served, 6 * served.bytes().len() as u64);
+    }
+
+    #[test]
+    fn locked_path_hit_serves_the_same_bytes_without_an_inline_count() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let planner = small_planner();
+        let key = service.register(planner.clone());
+        // Warm the cache with one solve.
+        let warm = service
+            .run(|svc| svc.plan_served(key, &PlanRequest::slack(0.3)))
+            .unwrap();
+        // Mark the queue as serving without raising the lock-free hints:
+        // the fast path is skipped and the hit happens under the queue
+        // lock (the startup-race path).
+        {
+            let mut queue = lock(&service.queue);
+            queue.serving = true;
+            queue.draining = false;
+        }
+        let served = service
+            .submit(key, &PlanRequest::slack(0.3))
+            .unwrap()
+            .wait_served()
+            .unwrap();
+        lock(&service.queue).serving = false;
+        assert_eq!(served.bytes(), warm.bytes());
+        // Byte-identical to a fresh serialization of the same plan.
+        assert_eq!(
+            &**served.bytes(),
+            served.plan().to_artifact(&planner).to_json().as_bytes()
+        );
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.inline_hits, 0, "locked-path hits are not inline");
+        assert_eq!(stats.completed, 2);
     }
 
     #[test]
@@ -1078,6 +1230,9 @@ mod tests {
             batches: 2,
             batched_requests: 6,
             max_batch: 4,
+            inline_hits: 7,
+            bytes_served: 0,
+            enqueued: 3,
             queue_depth: 0,
             max_queue_depth: 5,
             elapsed_secs: 2.0,
@@ -1088,5 +1243,6 @@ mod tests {
         };
         assert!((stats.throughput_rps() - 5.0).abs() < 1e-12);
         assert!((stats.mean_batch() - 3.0).abs() < 1e-12);
+        assert!((stats.inline_hit_rate() - 0.7).abs() < 1e-12);
     }
 }

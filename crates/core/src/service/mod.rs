@@ -69,7 +69,7 @@ mod cache;
 mod coalesce;
 mod front;
 
-pub use cache::{CacheStats, PlanKey};
+pub use cache::{CacheStats, PlanKey, ServedPlan};
 pub use coalesce::CoalesceMode;
 pub use front::{PlanService, PlanTicket, PlannerKey, ServiceStats};
 

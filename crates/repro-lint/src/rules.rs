@@ -290,6 +290,10 @@ pub fn lock_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
 /// exactly the code the bit-identity pins run through (see
 /// `kernel_module_is_determinism_pinned`). New solver kernels are picked
 /// up automatically; do not narrow this to a file list.
+///
+/// `artifact.rs` is pinned because the serving hot path caches its JSON
+/// rendering verbatim: the cached bytes are only byte-identical to a
+/// fresh `to_artifact().to_json()` if that rendering is deterministic.
 fn pinned(path: &str) -> bool {
     path.contains("crates/core/src/solver/")
         || path.contains("crates/core/src/service/")
@@ -298,6 +302,7 @@ fn pinned(path: &str) -> bool {
         || path.ends_with("crates/core/src/schedule.rs")
         || path.ends_with("crates/core/src/mckp.rs")
         || path.ends_with("crates/core/src/seqdp.rs")
+        || path.ends_with("crates/core/src/artifact.rs")
 }
 
 /// Flags nondeterminism sources in pinned modules (non-test code only).

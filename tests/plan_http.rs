@@ -355,6 +355,47 @@ fn concurrent_identical_requests_share_one_solve_visible_in_stats() {
 }
 
 #[test]
+fn warm_repeats_are_served_inline_with_byte_identical_bodies() {
+    let repeats = 5u64;
+    let (cold_len, stats) = with_server(ServerConfig::default(), |handle| {
+        let body = "{\"planner\": \"vww\", \"slack\": 0.4}";
+        let cold = httpc::post(handle.addr(), "/v1/plan", body).expect("answers");
+        assert_eq!(cold.status, 200, "{}", cold.body_str());
+        for _ in 0..repeats {
+            let warm = httpc::post(handle.addr(), "/v1/plan", body).expect("answers");
+            assert_eq!(warm.status, 200);
+            assert_eq!(
+                warm.body, cold.body,
+                "fast-path responses must be byte-identical to the cold one"
+            );
+        }
+        // The hot-path counters are on the wire, not just in the struct.
+        let report = httpc::get(handle.addr(), "/stats").expect("answers");
+        assert_eq!(report.status, 200);
+        let text = report.body_str();
+        for field in ["\"inline_hits\"", "\"bytes_served\"", "\"enqueued\""] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+        cold.body.len() as u64
+    });
+    assert_eq!(stats.submitted, 1 + repeats);
+    assert_eq!(stats.enqueued, 1, "only the cold request may enqueue");
+    assert_eq!(
+        stats.inline_hits, repeats,
+        "every repeat must ride the inline fast path: {stats:?}"
+    );
+    assert!(
+        stats.inline_hits <= stats.cache.hits,
+        "inline hits are a subset of cache hits: {stats:?}"
+    );
+    assert_eq!(
+        stats.bytes_served,
+        (1 + repeats) * cold_len,
+        "bytes_served must account for every payload byte"
+    );
+}
+
+#[test]
 fn graceful_drain_fulfills_every_admitted_request() {
     let clients = 8;
     let (outcomes, stats) = with_server(ServerConfig::default().with_workers(4), |handle| {

@@ -986,3 +986,102 @@ proptest! {
         prop_assert_eq!(via_fallback.as_ref(), fresh.as_slice());
     }
 }
+
+// ---- serving byte-identity -------------------------------------------
+
+/// The one planner shared by every case of the serving byte-identity
+/// property: planner construction dominates the per-case cost, and the
+/// property is about the serving paths, not the planner.
+fn serving_planner() -> std::sync::Arc<dae_dvfs::Planner> {
+    use std::sync::{Arc, OnceLock};
+    static PLANNER: OnceLock<Arc<dae_dvfs::Planner>> = OnceLock::new();
+    PLANNER
+        .get_or_init(|| {
+            let model = tinynn::models::vww_sized(32);
+            Arc::new(
+                dae_dvfs::Planner::for_target(dae_dvfs::Stm32F767Target::paper(), &model)
+                    .expect("planner builds"),
+            )
+        })
+        .clone()
+}
+
+proptest! {
+    /// Every way the service can answer — post-solve write-through,
+    /// warm in-memory hit on the inline fast path, and a registry load
+    /// after a restart — must hand back cached bytes identical to a
+    /// fresh `DeploymentPlan::to_artifact(..).to_json()` rendering of
+    /// the plan it carries. This is the zero-serialization contract:
+    /// the bytes rendered once at solve time *are* the canonical
+    /// serialization, not an approximation of it.
+    #[test]
+    fn served_bytes_are_the_fresh_artifact_rendering_on_every_path(
+        steps in prop::collection::vec(2u8..19, 1..4),
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use dae_dvfs::{PlanRegistry, PlanRequest, PlanService, ServedPlan, ServiceConfig};
+
+        // Each case spins up two services and a real on-disk registry;
+        // six sampled inputs cover the property, 128 would just burn CI.
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        if case >= 6 {
+            return;
+        }
+        let planner = serving_planner();
+        let requests: Vec<PlanRequest> = steps
+            .iter()
+            .map(|&s| PlanRequest::slack(0.05 * f64::from(s)))
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "dae-dvfs-prop-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = |served: &ServedPlan| served.plan().to_artifact(&planner).to_json().into_bytes();
+
+        // First life: cold solves (the write-through path) and warm
+        // repeats (the inline fast path).
+        let mut service = PlanService::new(ServiceConfig::default()).expect("config validates");
+        let key = service.register(planner.clone());
+        service
+            .attach_registry(PlanRegistry::open(&dir).expect("registry opens"))
+            .expect("empty registry validates");
+        let cold_bytes = service.run(|svc| {
+            let cold: Vec<ServedPlan> = requests
+                .iter()
+                .map(|r| svc.plan_served(key, r).expect("cold request solves"))
+                .collect();
+            for served in &cold {
+                prop_assert_eq!(&**served.bytes(), fresh(served).as_slice());
+            }
+            for (request, cold) in requests.iter().zip(&cold) {
+                let hit = svc.plan_served(key, request).expect("warm hit answers");
+                prop_assert_eq!(hit.bytes(), cold.bytes());
+                prop_assert_eq!(&**hit.bytes(), fresh(&hit).as_slice());
+            }
+            cold.iter().map(|s| s.bytes().to_vec()).collect::<Vec<_>>()
+        });
+
+        // Second life: the LRU is gone, only the registry carries state.
+        // Every answer must come off disk — and still render identically.
+        let mut reopened = PlanService::new(ServiceConfig::default()).expect("config validates");
+        let key = reopened.register(planner.clone());
+        reopened
+            .attach_registry(PlanRegistry::open(&dir).expect("registry reopens"))
+            .expect("written artifacts re-validate");
+        reopened.run(|svc| {
+            for (request, cold) in requests.iter().zip(&cold_bytes) {
+                let loaded = svc.plan_served(key, request).expect("registry hit answers");
+                prop_assert_eq!(&**loaded.bytes(), cold.as_slice());
+                prop_assert_eq!(&**loaded.bytes(), fresh(&loaded).as_slice());
+            }
+        });
+        prop_assert_eq!(
+            reopened.stats().batches,
+            0,
+            "the reopened service must answer from the registry, not solve"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

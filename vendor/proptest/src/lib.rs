@@ -177,7 +177,7 @@ pub mod collection {
     use super::{Rng, Strategy};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]; the concrete `usize`-based type
+    /// Length specification for [`vec()`](fn@vec); the concrete `usize`-based type
     /// (mirroring real proptest) is what pins bare `1..20` literals to
     /// `usize` during inference.
     #[derive(Debug, Clone, Copy)]
