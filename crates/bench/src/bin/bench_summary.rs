@@ -24,11 +24,15 @@
 //! an empty on-disk registry, warm after a simulated restart, then hot
 //! inside the warm process — and records the latency percentiles, the
 //! warm-vs-cold solve split, and the hot replay's inline-hit rate and
-//! percentiles (schema v7). Emits a single JSON object (schema v7) on
-//! stdout, self-validates it against the workspace JSON parser, and
-//! writes `BENCH_SUMMARY.json` to the current directory so CI and the
-//! repo's benchmark trajectory can track the numbers without scraping
-//! human-formatted tables.
+//! percentiles (schema v7). Schema v8 adds the observability numbers: a
+//! second hot replay with receipts disabled gives the before/after cost
+//! of stamping a receipt on every response (`warm_noreceipt_p50_ms`,
+//! `receipt_overhead_frac`), and the service's fixed-bucket latency
+//! histograms are summarized per serving path (`path_histograms`).
+//! Emits a single JSON object (schema v8) on stdout, self-validates it
+//! against the workspace JSON parser, and writes `BENCH_SUMMARY.json`
+//! to the current directory so CI and the repo's benchmark trajectory
+//! can track the numbers without scraping human-formatted tables.
 //!
 //! Run with: `cargo run --release -p repro-bench --bin bench_summary`
 //! CI smoke: `… --bin bench_summary -- --smoke` (smallest model only,
@@ -41,10 +45,11 @@ use std::time::{Duration, Instant};
 
 use dae_dvfs::{
     mckp_resweep, mckp_sweep, optimize, solve_dp, solve_dp_sweep, MckpItem, PlanRequest,
-    PlanService, Planner, ServerConfig, ServiceConfig, SolverWorkspace, Stm32F767Target, Target,
+    PlanServer, PlanService, Planner, ServerConfig, ServiceConfig, SolverWorkspace,
+    Stm32F767Target, Target,
 };
 use repro_bench::json::BENCH_SUMMARY_SCHEMA_VERSION;
-use repro_bench::{config, json, serving};
+use repro_bench::{config, httpc, json, serving};
 use tinyengine::qos_window;
 use tinynn::models::synth::SplitMix64;
 
@@ -402,6 +407,16 @@ struct ServerRow {
     /// Fraction of hot-replay requests answered on the lock-free inline
     /// fast path (schema v7); the harness asserts it is exactly 1.
     inline_hit_rate: f64,
+    /// Hot-replay median with receipts disabled (schema v8): the before
+    /// number of the receipt-overhead comparison.
+    warm_noreceipt_p50_ms: f64,
+    /// Fractional hot-path p50 cost of stamping a receipt on every
+    /// response (schema v8): `warm_p50_ms / warm_noreceipt_p50_ms - 1`.
+    receipt_overhead_frac: f64,
+    /// Per-path latency summaries off the service's fixed-bucket
+    /// histograms (schema v8): `(label, count, p50_us, p99_us)` for
+    /// every populated serving path.
+    path_histograms: Vec<(&'static str, u64, f64, f64)>,
 }
 
 fn measure_server(model: &tinynn::Model) -> ServerRow {
@@ -448,6 +463,30 @@ fn measure_server(model: &tinynn::Model) -> ServerRow {
     );
     let _ = std::fs::remove_dir_all(&registry_dir);
 
+    // The before/after cost of stamping a receipt (fingerprint, path,
+    // plan hash, timings) on every response, measured paired so ambient
+    // drift cannot masquerade as overhead.
+    let (warm_noreceipt_p50_ms, receipt_p50_ms) =
+        measure_receipt_overhead(&planners, &service_config, &trace, 4);
+
+    // Per-path latency summaries off the receipted measurement's final
+    // stats (the warm pass plus its hot replay, all receipted paths).
+    let path_histograms: Vec<(&'static str, u64, f64, f64)> = measured
+        .hot
+        .stats
+        .paths
+        .iter()
+        .filter(|(_, snapshot)| snapshot.count() > 0)
+        .map(|(label, snapshot)| {
+            (
+                label,
+                snapshot.count(),
+                snapshot.percentile_upper_nanos(0.5) as f64 / 1e3,
+                snapshot.percentile_upper_nanos(0.99) as f64 / 1e3,
+            )
+        })
+        .collect();
+
     let hot_submitted = measured.hot.stats.submitted - measured.warm.stats.submitted;
     let hot_inline = measured.hot.stats.inline_hits - measured.warm.stats.inline_hits;
     ServerRow {
@@ -460,7 +499,70 @@ fn measure_server(model: &tinynn::Model) -> ServerRow {
         warm_p50_ms: measured.hot.p50_ms,
         warm_p99_ms: measured.hot.p99_ms,
         inline_hit_rate: hot_inline as f64 / hot_submitted as f64,
+        warm_noreceipt_p50_ms,
+        receipt_overhead_frac: receipt_p50_ms / warm_noreceipt_p50_ms - 1.0,
+        path_histograms,
     }
+}
+
+/// Paired receipt-overhead measurement: one warm service, two loopback
+/// servers over it — receipts off and receipts on — replaying the same
+/// hot trace in alternating rounds so ambient drift hits both sides
+/// equally. Every request is an inline LRU hit, so the medians compare
+/// exactly the receipt work: the timing reads, the histogram record,
+/// the ring/trace bookkeeping and the extra response header. The replay
+/// runs a *single* keep-alive client — sequential requests have no
+/// queueing jitter — and each side reports the *median of its per-round
+/// medians*, so a stray slow round cannot masquerade as (or hide)
+/// receipt overhead. Returns the two hot p50s `(off_ms, on_ms)`.
+fn measure_receipt_overhead(
+    planners: &[(String, Arc<Planner>)],
+    service_config: &ServiceConfig,
+    trace: &[(String, String)],
+    clients: usize,
+) -> (f64, f64) {
+    let mut service = PlanService::new(service_config.clone()).expect("config validates");
+    let keys: Vec<_> = planners
+        .iter()
+        .map(|(_, planner)| service.register(planner.clone()))
+        .collect();
+    service.run(|svc| {
+        let mut off = PlanServer::new(
+            svc,
+            ServerConfig::default()
+                .with_workers(clients)
+                .with_receipts(false),
+        )
+        .expect("server config validates");
+        let mut on = PlanServer::new(svc, ServerConfig::default().with_workers(clients))
+            .expect("server config validates");
+        for ((name, _), key) in planners.iter().zip(&keys) {
+            off = off.route(name, *key).expect("route registers");
+            on = on.route(name, *key).expect("route registers");
+        }
+        off.serve(|handle_off| {
+            on.serve(|handle_on| -> std::io::Result<(f64, f64)> {
+                // Warm the LRU (and both servers' connection paths).
+                httpc::replay_posts(handle_on.addr(), trace, 1)?;
+                httpc::replay_posts(handle_off.addr(), trace, 1)?;
+                let (mut p50s_off, mut p50s_on) = (Vec::new(), Vec::new());
+                for _ in 0..16 {
+                    let round = httpc::replay_posts(handle_off.addr(), trace, 1)?;
+                    p50s_off.push(round.percentile_ms(0.5));
+                    let round = httpc::replay_posts(handle_on.addr(), trace, 1)?;
+                    p50s_on.push(round.percentile_ms(0.5));
+                }
+                let median = |mut p50s: Vec<f64>| {
+                    p50s.sort_by(f64::total_cmp);
+                    p50s[p50s.len() / 2]
+                };
+                Ok((median(p50s_off), median(p50s_on)))
+            })
+            .expect("inner server binds an ephemeral loopback port")
+        })
+        .expect("outer server binds an ephemeral loopback port")
+        .expect("every overhead-replay request answered")
+    })
 }
 
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
@@ -523,6 +625,18 @@ fn main() {
         .f64_field("throughput_rps", service_row.throughput_rps, 1)
         .f64_field("allocs_per_hit", service_row.allocs_per_hit, 3)
         .render();
+    let histogram_rows: Vec<String> = server_row
+        .path_histograms
+        .iter()
+        .map(|(label, count, p50_us, p99_us)| {
+            json::Object::new()
+                .str_field("path", label)
+                .u64_field("count", *count)
+                .f64_field("p50_us", *p50_us, 3)
+                .f64_field("p99_us", *p99_us, 3)
+                .render()
+        })
+        .collect();
     let server_json = json::Object::new()
         .u64_field("http_requests", server_row.http_requests)
         .u64_field("cold_solves", server_row.cold_solves)
@@ -533,6 +647,9 @@ fn main() {
         .f64_field("warm_p50_ms", server_row.warm_p50_ms, 3)
         .f64_field("warm_p99_ms", server_row.warm_p99_ms, 3)
         .f64_field("inline_hit_rate", server_row.inline_hit_rate, 4)
+        .f64_field("warm_noreceipt_p50_ms", server_row.warm_noreceipt_p50_ms, 3)
+        .f64_field("receipt_overhead_frac", server_row.receipt_overhead_frac, 4)
+        .array_field("path_histograms", &histogram_rows)
         .render();
     let mut document = json::Object::new()
         .str_field("benchmark", "planner_sweep10")

@@ -29,24 +29,37 @@
 //! in the same process that must ride the inline fast path end-to-end —
 //! zero solves, zero ticket enqueues, every request an inline cache hit
 //! served from the cached artifact bytes (asserted by the harness, so
-//! `--serve --smoke` gates on them). Prints request latency percentiles
-//! and the per-pass solve split.
+//! `--serve --smoke` gates on them — including a receipt on every
+//! response whose hash pins the served bytes). Prints request latency
+//! percentiles and the per-pass solve split, then runs the **record →
+//! replay gate**: the same trace is recorded through a trace-streaming
+//! server (`PlanServer::trace_to`) and the resulting JSONL is replayed
+//! offline through a fresh service + registry, demanding per-request
+//! plan-hash equality against the recorded receipts.
+//!
+//! With `--replay <trace.jsonl>` a previously recorded trace is replayed
+//! the same way on its own: requests are re-driven in arrival order and
+//! every response's plan hash is checked against the receipt the
+//! recording server vouched for — byte-level reproducibility across
+//! processes, machines and time.
 //!
 //! Run with: `cargo run --release -p repro-bench --bin plan_server`
 //! CI smoke: `… --bin plan_server -- --smoke` and
 //! `… --bin plan_server -- --serve --smoke` (small traces; exit
 //! non-zero if any invariant fails).
 //! Flags: `--requests N`, `--workers N`, `--exact` (per-request solves
-//! instead of shared-grid coalescing), `--serve` (HTTP replay).
+//! instead of shared-grid coalescing), `--serve` (HTTP replay),
+//! `--replay <trace.jsonl>` (offline replay of a recorded trace).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dae_dvfs::{
-    CoalesceMode, GenericCortexMTarget, OperatingModes, PlanRequest, PlanService, Planner,
-    PlannerKey, QosBudget, ServerConfig, ServiceConfig, Solver, Stm32F767Target, Target,
+    CoalesceMode, GenericCortexMTarget, OperatingModes, PlanRegistry, PlanRequest, PlanServer,
+    PlanService, Planner, PlannerKey, QosBudget, ServerConfig, ServiceConfig, Solver,
+    Stm32F767Target, Target,
 };
-use repro_bench::{json, serving};
+use repro_bench::{httpc, json, serving};
 use stm32_rcc::Hertz;
 use tinyengine::qos_window;
 use tinynn::models::synth::SplitMix64;
@@ -166,6 +179,185 @@ fn request_body(route: &str, request: &PlanRequest) -> String {
     format!("{{{}}}", fields.join(", "))
 }
 
+/// The service configuration every serving-mode pass shares — the serve
+/// harness, the trace recording and the offline replay must canonicalize
+/// requests identically (same QoS quantum) or replayed plan hashes could
+/// not reproduce the recorded ones.
+fn serving_config(workers: usize) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_workers(workers)
+        .with_batch_linger(Duration::from_millis(2))
+        // Windows are a few milliseconds; a 1 µs quantum folds the
+        // trace's sub-µs jitter onto shared entries without moving any
+        // deadline by a meaningful amount.
+        .with_qos_quantum_secs(1e-6)
+}
+
+/// Records one serve pass to a JSONL trace: a fresh service over a fresh
+/// registry answers `trace` over loopback HTTP while the server streams
+/// every receipted admission to `trace_path`. Returns the request count.
+fn record_trace(
+    planners: &[(String, Arc<Planner>)],
+    trace: &[(String, String)],
+    workers: usize,
+    clients: usize,
+    trace_path: &std::path::Path,
+) -> usize {
+    let registry_dir = std::env::temp_dir().join(format!("dae-dvfs-record-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let mut service = PlanService::new(serving_config(workers)).expect("service config validates");
+    let keys: Vec<_> = planners
+        .iter()
+        .map(|(_, planner)| service.register(planner.clone()))
+        .collect();
+    service
+        .attach_registry(PlanRegistry::open(&registry_dir).expect("registry opens"))
+        .expect("fresh registry validates");
+    let replay = service.run(|svc| {
+        let mut server = PlanServer::new(svc, ServerConfig::default().with_workers(clients))
+            .expect("server config validates");
+        for ((name, _), key) in planners.iter().zip(&keys) {
+            server = server.route(name, *key).expect("route registers");
+        }
+        let server = server
+            .trace_to(&trace_path.to_string_lossy())
+            .expect("trace file opens");
+        server
+            .serve(|handle| httpc::replay_posts(handle.addr(), trace, clients))
+            .expect("server binds an ephemeral loopback port")
+            .expect("every recorded request answered")
+    });
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    assert!(
+        replay.receipts.iter().all(Option::is_some),
+        "recording requires a receipt on every response"
+    );
+    replay.bodies.len()
+}
+
+/// One recorded trace line: arrival order, request target and body, and
+/// the plan hash the recording server's receipt vouched for.
+struct TraceRecord {
+    seq: u64,
+    target: String,
+    plan_hash: u64,
+    body: String,
+}
+
+/// Parses a JSONL request trace (as written by `PlanServer::trace_to`)
+/// into arrival order.
+fn parse_trace(text: &str) -> Vec<TraceRecord> {
+    let mut records: Vec<TraceRecord> = text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            let value = dae_dvfs::artifact::json::parse(line).expect("trace line parses");
+            let record = value
+                .as_object("trace record")
+                .expect("trace record is an object");
+            TraceRecord {
+                seq: record.get_u64("seq").expect("seq field"),
+                target: record.get_str("target").expect("target field").to_string(),
+                plan_hash: record.get_hex64("plan_hash").expect("plan_hash field"),
+                body: record.get_str("body").expect("body field").to_string(),
+            }
+        })
+        .collect();
+    records.sort_by_key(|r| r.seq);
+    records
+}
+
+/// Drives a fresh service + fresh registry through a recorded trace in
+/// arrival order (one keep-alive connection, strictly sequential) and
+/// checks every response's plan hash — and its receipt's claimed hash —
+/// against the recorded receipt. Returns `(requests, divergences)`.
+fn replay_trace(
+    planners: &[(String, Arc<Planner>)],
+    workers: usize,
+    trace_path: &std::path::Path,
+) -> (usize, usize) {
+    let text = std::fs::read_to_string(trace_path).expect("trace file reads");
+    let records = parse_trace(&text);
+    let registry_dir = std::env::temp_dir().join(format!("dae-dvfs-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let mut service = PlanService::new(serving_config(workers)).expect("service config validates");
+    let keys: Vec<_> = planners
+        .iter()
+        .map(|(_, planner)| service.register(planner.clone()))
+        .collect();
+    service
+        .attach_registry(PlanRegistry::open(&registry_dir).expect("registry opens"))
+        .expect("fresh registry validates");
+    let answers: Vec<(u64, Option<String>)> = service.run(|svc| {
+        let mut server =
+            PlanServer::new(svc, ServerConfig::default()).expect("server config validates");
+        for ((name, _), key) in planners.iter().zip(&keys) {
+            server = server.route(name, *key).expect("route registers");
+        }
+        server
+            .serve(|handle| -> std::io::Result<_> {
+                let mut client = httpc::Client::connect(handle.addr())?;
+                records
+                    .iter()
+                    .map(|record| {
+                        let response = client.post(&record.target, &record.body)?;
+                        assert_eq!(
+                            response.status,
+                            200,
+                            "replayed request {} failed: {}",
+                            record.seq,
+                            response.body_str()
+                        );
+                        Ok((dae_dvfs::obs::plan_hash(&response.body), response.receipt))
+                    })
+                    .collect()
+            })
+            .expect("server binds an ephemeral loopback port")
+            .expect("every replayed request answered")
+    });
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let mut divergences = 0;
+    for (record, (hash, receipt)) in records.iter().zip(&answers) {
+        let receipt = receipt.as_deref().expect("replay responses carry receipts");
+        assert_eq!(
+            serving::receipt_hash(receipt),
+            Some(*hash),
+            "request {}: receipt hash must pin the replayed body bytes",
+            record.seq
+        );
+        if *hash != record.plan_hash {
+            eprintln!(
+                "divergence at seq {}: recorded {:016x}, replayed {:016x}",
+                record.seq, record.plan_hash, hash
+            );
+            divergences += 1;
+        }
+    }
+    (records.len(), divergences)
+}
+
+/// The `--replay` path: re-drive a previously recorded JSONL trace
+/// through a fresh service + registry and hold every plan hash to the
+/// recorded receipts.
+fn replay_mode(trace_path: &str, workers: usize) {
+    println!("building planners (one DSE per model x target)...");
+    let t0 = Instant::now();
+    let planners = build_planners();
+    println!(
+        "  {} planners in {:.2}s",
+        planners.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let (requests, divergences) =
+        replay_trace(&planners, workers, std::path::Path::new(trace_path));
+    println!("replay: {requests} requests from {trace_path}, {divergences} divergences");
+    assert_eq!(
+        divergences, 0,
+        "replayed plan hashes must match the recorded receipts"
+    );
+    println!("plan-hash equality: 100%");
+}
+
 /// The `--serve` path: the deterministic trace replayed over loopback
 /// HTTP, cold against an empty registry and warm after a simulated
 /// restart. The shared harness asserts the restart contract; this
@@ -202,10 +394,7 @@ fn serve_mode(smoke: bool, requests: usize, workers: usize) {
         clients
     );
 
-    let service_config = ServiceConfig::default()
-        .with_workers(workers)
-        .with_batch_linger(Duration::from_millis(2))
-        .with_qos_quantum_secs(1e-6);
+    let service_config = serving_config(workers);
     let server_config = ServerConfig::default().with_workers(clients);
     let registry_dir = std::env::temp_dir().join(format!("dae-dvfs-serve-{}", std::process::id()));
     let measured = serving::measure_serving(
@@ -265,10 +454,33 @@ fn serve_mode(smoke: bool, requests: usize, workers: usize) {
         "\nresponses byte-identical across the restart ({} HTTP requests total)",
         measured.http_requests
     );
+
+    // The record → replay determinism gate: stream the same trace
+    // through a trace-recording server, then drive a fresh service +
+    // registry through the JSONL offline and demand per-request
+    // plan-hash equality against the recorded receipts.
+    let jsonl = std::env::temp_dir().join(format!("dae-dvfs-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&jsonl);
+    let recorded = record_trace(&planners, &trace, workers, clients, &jsonl);
+    let (replayed, divergences) = replay_trace(&planners, workers, &jsonl);
+    let _ = std::fs::remove_file(&jsonl);
+    assert_eq!(
+        recorded, replayed,
+        "the replay must answer every recorded request"
+    );
+    assert_eq!(
+        divergences, 0,
+        "replayed plan hashes must match the recorded receipts"
+    );
+    println!(
+        "\nrecord -> replay: {replayed} requests re-driven offline, \
+         100% plan-hash equality, 0 divergences"
+    );
     if smoke {
         eprintln!(
-            "smoke: serve invariants hold ({} http requests; hot replay: zero solves, \
-             zero enqueues, all hits inline)",
+            "smoke: serve invariants hold ({} http requests, receipt on every response; \
+             hot replay: zero solves, zero enqueues, all hits inline; \
+             record->replay: {replayed} requests, 0 divergences)",
             measured.http_requests
         );
     }
@@ -289,6 +501,14 @@ fn main() {
     let requests = flag("--requests", if smoke { 150 } else { 1200 });
     let workers = flag("--workers", 4);
     let submitters = 4;
+    if let Some(trace_path) = args
+        .iter()
+        .position(|a| a == "--replay")
+        .and_then(|i| args.get(i + 1))
+    {
+        replay_mode(trace_path, workers);
+        return;
+    }
     if serve {
         serve_mode(smoke, requests, workers);
         return;

@@ -24,6 +24,9 @@ pub struct HttpResponse {
     /// Body bytes (everything past the blank line; with
     /// `Connection: close` that is exactly the payload).
     pub body: Vec<u8>,
+    /// The `X-Plan-Receipt` header value, when the server sent one
+    /// (plan responses with receipts enabled).
+    pub receipt: Option<String>,
 }
 
 impl HttpResponse {
@@ -90,6 +93,18 @@ fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
     Ok(HttpResponse {
         status,
         body: raw[head_end + 4..].to_vec(),
+        receipt: receipt_header(head),
+    })
+}
+
+/// Extracts the `X-Plan-Receipt` header value from a response head, if
+/// present (header names compared case-insensitively, as HTTP requires).
+fn receipt_header(head: &str) -> Option<String> {
+    head.split("\r\n").skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("x-plan-receipt")
+            .then(|| value.trim().to_string())
     })
 }
 
@@ -166,6 +181,7 @@ impl Client {
                     .then(|| value.trim().parse::<usize>().ok())?
             })
             .ok_or_else(|| bad("keep-alive response without content-length"))?;
+        let receipt = receipt_header(head);
         let body_start = head_end + 4;
         while self.buf.len() < body_start + content_length {
             let mut chunk = [0u8; 4096];
@@ -176,7 +192,11 @@ impl Client {
         }
         let body = self.buf[body_start..body_start + content_length].to_vec();
         self.buf.drain(..body_start + content_length);
-        Ok(HttpResponse { status, body })
+        Ok(HttpResponse {
+            status,
+            body,
+            receipt,
+        })
     }
 }
 
@@ -187,6 +207,9 @@ pub struct Replay {
     pub latency_secs: Vec<f64>,
     /// Per-request response bodies, in trace order.
     pub bodies: Vec<String>,
+    /// Per-request `X-Plan-Receipt` header values, in trace order
+    /// (`None` where the server sent no receipt).
+    pub receipts: Vec<Option<String>>,
 }
 
 impl Replay {
@@ -223,7 +246,8 @@ pub fn replay_posts(
     clients: usize,
 ) -> std::io::Result<Replay> {
     let clients = clients.max(1);
-    let slots: Vec<std::io::Result<(f64, String)>> = std::thread::scope(|scope| {
+    type Slot = (f64, String, Option<String>);
+    let slots: Vec<std::io::Result<Slot>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|offset| {
                 scope.spawn(move || {
@@ -246,19 +270,19 @@ pub fn replay_posts(
                                 "request {i} failed: {}",
                                 response.body_str()
                             );
-                            Ok((i, latency, response.body_str()))
+                            Ok((i, latency, response.body_str(), response.receipt))
                         })
-                        .collect::<Vec<std::io::Result<(usize, f64, String)>>>()
+                        .collect::<Vec<std::io::Result<(usize, f64, String, Option<String>)>>>()
                 })
             })
             .collect();
-        let mut slots: Vec<std::io::Result<(f64, String)>> = (0..requests.len())
+        let mut slots: Vec<std::io::Result<Slot>> = (0..requests.len())
             .map(|_| Err(std::io::Error::other("unanswered")))
             .collect();
         for handle in handles {
             for item in handle.join().expect("replay client panicked") {
                 match item {
-                    Ok((i, latency, body)) => slots[i] = Ok((latency, body)),
+                    Ok((i, latency, body, receipt)) => slots[i] = Ok((latency, body, receipt)),
                     Err(e) => return vec![Err(e)],
                 }
             }
@@ -267,14 +291,17 @@ pub fn replay_posts(
     });
     let mut latency_secs = Vec::with_capacity(requests.len());
     let mut bodies = Vec::with_capacity(requests.len());
+    let mut receipts = Vec::with_capacity(requests.len());
     for slot in slots {
-        let (latency, body) = slot?;
+        let (latency, body, receipt) = slot?;
         latency_secs.push(latency);
         bodies.push(body);
+        receipts.push(receipt);
     }
     Ok(Replay {
         latency_secs,
         bodies,
+        receipts,
     })
 }
 
@@ -288,6 +315,19 @@ mod tests {
         let response = parse_response(raw).expect("parses");
         assert_eq!(response.status, 429);
         assert_eq!(response.body, b"hi");
+        assert_eq!(response.receipt, None);
+    }
+
+    #[test]
+    fn response_parsing_extracts_the_receipt_header() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\
+                    x-plan-receipt: fp=00ff;path=solved\r\n\r\nok";
+        let response = parse_response(raw).expect("parses");
+        assert_eq!(response.receipt.as_deref(), Some("fp=00ff;path=solved"));
+        // Case-insensitive header-name match, like content-length.
+        let raw = b"HTTP/1.1 200 OK\r\nX-Plan-Receipt: fp=1\r\ncontent-length: 0\r\n\r\n";
+        let response = parse_response(raw).expect("parses");
+        assert_eq!(response.receipt.as_deref(), Some("fp=1"));
     }
 
     #[test]
@@ -301,6 +341,7 @@ mod tests {
         let replay = Replay {
             latency_secs: vec![0.001, 0.002, 0.003, 0.004, 0.010],
             bodies: Vec::new(),
+            receipts: Vec::new(),
         };
         assert_eq!(replay.percentile_ms(0.5), 3.0);
         assert_eq!(replay.percentile_ms(1.0), 10.0);

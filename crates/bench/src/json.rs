@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 /// the single source of truth: `repro-lint`'s consistency rule checks
 /// that the committed `BENCH_SUMMARY.json` and every `schema v<N>`
 /// mention in `DESIGN.md` agree with it.
-pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 7;
+pub const BENCH_SUMMARY_SCHEMA_VERSION: u64 = 8;
 
 /// Escapes and quotes a string for JSON.
 ///
@@ -134,7 +134,14 @@ impl Object {
 /// replay's latency over keep-alive connections and its inline-hit
 /// share) and `allocs_per_hit` on the `service` section (heap
 /// allocations per in-memory cache hit, measured by a counting
-/// allocator).
+/// allocator). Schema v8 additionally requires the observability fields
+/// on the `server` section: `warm_noreceipt_p50_ms` (the hot replay's
+/// median with receipts disabled — the before number),
+/// `receipt_overhead_frac` (the fractional p50 cost of stamping a
+/// receipt on every response), and a non-empty `path_histograms` array
+/// with one row per populated serving path carrying `path`, `count`,
+/// `p50_us` and `p99_us` from the service's fixed-bucket latency
+/// histograms.
 ///
 /// # Errors
 ///
@@ -218,6 +225,28 @@ pub fn validate_summary(document: &str, expected_schema: u64) -> Result<(), Stri
         if expected_schema >= 7 {
             for field in ["warm_p50_ms", "warm_p99_ms", "inline_hit_rate"] {
                 server.get_f64(field).map_err(|e| e.to_string())?;
+            }
+        }
+        if expected_schema >= 8 {
+            for field in ["warm_noreceipt_p50_ms", "receipt_overhead_frac"] {
+                server.get_f64(field).map_err(|e| e.to_string())?;
+            }
+            let histograms = server
+                .get("path_histograms")
+                .and_then(|h| h.as_array("path_histograms"))
+                .map_err(|e| e.to_string())?;
+            if histograms.is_empty() {
+                return Err("path_histograms array is empty".into());
+            }
+            for row in histograms {
+                let row = row
+                    .as_object("path histogram row")
+                    .map_err(|e| e.to_string())?;
+                row.get_str("path").map_err(|e| e.to_string())?;
+                row.get_u64("count").map_err(|e| e.to_string())?;
+                for field in ["p50_us", "p99_us"] {
+                    row.get_f64(field).map_err(|e| e.to_string())?;
+                }
             }
         }
     }
@@ -523,6 +552,91 @@ mod tests {
             .raw_field("server", v7_server)
             .render_pretty();
         assert!(validate_summary(&with_hot, 7).is_ok());
+    }
+
+    #[test]
+    fn v8_summaries_require_the_observability_fields() {
+        let row = Object::new()
+            .str_field("model", "vww")
+            .f64_field("planner_construction_secs", 1.0, 6)
+            .f64_field("planner_sweep_secs", 1.0, 6)
+            .f64_field("percall_loop_secs", 1.0, 6)
+            .f64_field("sweep_speedup", 2.0, 2)
+            .f64_field("kernel_fill_secs", 0.5, 6)
+            .f64_field("kernel_extract_secs", 0.01, 6)
+            .f64_field("incremental_speedup", 8.0, 2)
+            .render();
+        let service = Object::new()
+            .f64_field("cache_hit_speedup", 100.0, 2)
+            .f64_field("coalescing_speedup", 3.0, 2)
+            .f64_field("hit_rate", 0.9, 4)
+            .f64_field("throughput_rps", 5000.0, 1)
+            .f64_field("allocs_per_hit", 0.0, 3)
+            .render();
+        let v7_server = Object::new()
+            .u64_field("http_requests", 96)
+            .f64_field("http_p50_ms", 0.4, 3)
+            .f64_field("http_p99_ms", 2.5, 3)
+            .f64_field("warm_p50_ms", 0.1, 3)
+            .f64_field("warm_p99_ms", 0.5, 3)
+            .f64_field("inline_hit_rate", 1.0, 4)
+            .u64_field("cold_solves", 8)
+            .u64_field("warm_solves", 0)
+            .u64_field("warm_registry_hits", 8)
+            .render();
+        let without_obs = Object::new()
+            .u64_field("schema_version", 8)
+            .array_field("models", std::slice::from_ref(&row))
+            .raw_field("service", service.clone())
+            .raw_field("server", v7_server.clone())
+            .render_pretty();
+        assert!(validate_summary(&without_obs, 8)
+            .unwrap_err()
+            .contains("warm_noreceipt_p50_ms"));
+        // The same document still passes as v7 (no observability fields)...
+        let v7 = without_obs.replace("\"schema_version\": 8", "\"schema_version\": 7");
+        assert!(validate_summary(&v7, 7).is_ok());
+        // ...an empty histogram array is rejected...
+        let lane = Object::new()
+            .str_field("path", "inline-hit")
+            .u64_field("count", 96)
+            .f64_field("p50_us", 63.0, 3)
+            .f64_field("p99_us", 255.0, 3)
+            .render();
+        let obs_server = |histograms: &[String]| {
+            Object::new()
+                .u64_field("http_requests", 96)
+                .f64_field("http_p50_ms", 0.4, 3)
+                .f64_field("http_p99_ms", 2.5, 3)
+                .f64_field("warm_p50_ms", 0.1, 3)
+                .f64_field("warm_p99_ms", 0.5, 3)
+                .f64_field("warm_noreceipt_p50_ms", 0.095, 3)
+                .f64_field("receipt_overhead_frac", 0.05, 4)
+                .f64_field("inline_hit_rate", 1.0, 4)
+                .u64_field("cold_solves", 8)
+                .u64_field("warm_solves", 0)
+                .u64_field("warm_registry_hits", 8)
+                .array_field("path_histograms", histograms)
+                .render()
+        };
+        let empty_hist = Object::new()
+            .u64_field("schema_version", 8)
+            .array_field("models", std::slice::from_ref(&row))
+            .raw_field("service", service.clone())
+            .raw_field("server", obs_server(&[]))
+            .render_pretty();
+        assert!(validate_summary(&empty_hist, 8)
+            .unwrap_err()
+            .contains("path_histograms"));
+        // ...and the document passes once the server carries the before/
+        // after receipt numbers and a populated per-path histogram row.
+        let with_obs = Object::new()
+            .u64_field("schema_version", 8)
+            .array_field("models", &[row])
+            .raw_field("service", service)
+            .raw_field("server", obs_server(&[lane]))
+            .render_pretty();
+        assert!(validate_summary(&with_obs, 8).is_ok());
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //! byte in `bytes_served`, and serve bodies byte-identical to the warm
 //! ones — the end-to-end bit-identity and zero-serialization guarantees
 //! of DESIGN.md, "Network serving & artifact registry" and "Serving hot
-//! path".
+//! path". With receipts enabled (the default), every plan response must
+//! additionally carry an `X-Plan-Receipt` header whose `hash=` field is
+//! the FNV-1a of exactly the body bytes the client read — the receipt
+//! contract of DESIGN.md, "Observability: receipts, metrics & trace
+//! replay".
 
 use std::path::Path;
 use std::sync::Arc;
@@ -66,6 +70,32 @@ pub struct ServingMeasurement {
     pub http_requests: u64,
 }
 
+/// Extracts the `hash=<hex16>` field of an `X-Plan-Receipt` header
+/// value as the plan hash it claims.
+pub fn receipt_hash(receipt: &str) -> Option<u64> {
+    receipt
+        .split(';')
+        .find_map(|field| field.strip_prefix("hash="))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+}
+
+/// Asserts the receipt contract over one replay: every response carries
+/// a receipt whose claimed plan hash is the FNV-1a of exactly the body
+/// bytes the client read.
+fn assert_receipts(replay: &httpc::Replay, what: &str) {
+    assert_eq!(replay.receipts.len(), replay.bodies.len());
+    for (i, (receipt, body)) in replay.receipts.iter().zip(&replay.bodies).enumerate() {
+        let receipt = receipt
+            .as_deref()
+            .unwrap_or_else(|| panic!("{what} request {i} came back without a receipt"));
+        assert_eq!(
+            receipt_hash(receipt),
+            Some(dae_dvfs::obs::plan_hash(body.as_bytes())),
+            "{what} request {i}: receipt hash must pin the served body bytes ({receipt})"
+        );
+    }
+}
+
 /// Runs one pass: fresh service over `planners`, registry attached from
 /// `registry_dir`, `trace` replayed by `clients` connections at a time.
 /// With `hot` set the trace is replayed a second time inside the same
@@ -99,6 +129,9 @@ fn pass(
         server
             .serve(|handle| -> std::io::Result<_> {
                 let replay = httpc::replay_posts(handle.addr(), trace, clients)?;
+                if server_config.receipts {
+                    assert_receipts(&replay, if hot { "warm" } else { "cold" });
+                }
                 if !hot {
                     return Ok((replay, None, None));
                 }
@@ -108,6 +141,9 @@ fn pass(
                 let t_hot = Instant::now();
                 let hot_replay = httpc::replay_posts(handle.addr(), trace, clients)?;
                 let hot_secs = t_hot.elapsed().as_secs_f64();
+                if server_config.receipts {
+                    assert_receipts(&hot_replay, "hot");
+                }
                 let after = svc.stats();
                 assert_eq!(
                     after.batches, mid.batches,

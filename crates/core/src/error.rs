@@ -214,6 +214,16 @@ pub enum ServerError {
         /// The underlying I/O error, rendered.
         reason: String,
     },
+    /// The request-trace JSONL file could not be opened
+    /// ([`crate::server::PlanServer::trace_to`]). Only *setup* failures
+    /// are typed: once recording, a failed trace append is advisory and
+    /// never takes the serving path down.
+    Trace {
+        /// The configured trace file path.
+        path: String,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -221,6 +231,9 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Bind { addr, reason } => {
                 write!(f, "server failed to listen on {addr}: {reason}")
+            }
+            ServerError::Trace { path, reason } => {
+                write!(f, "server failed to open trace file {path}: {reason}")
             }
         }
     }
@@ -275,6 +288,21 @@ mod tests {
         assert!(ServiceError::UnknownPlanner { key: 3 }
             .to_string()
             .contains('3'));
+    }
+
+    #[test]
+    fn server_errors_name_their_target() {
+        let bind = ServerError::Bind {
+            addr: "127.0.0.1:80".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(bind.to_string().contains("127.0.0.1:80"));
+        let trace = ServerError::Trace {
+            path: "/tmp/trace.jsonl".into(),
+            reason: "read-only file system".into(),
+        };
+        let s = trace.to_string();
+        assert!(s.contains("/tmp/trace.jsonl") && s.contains("read-only"));
     }
 
     #[test]

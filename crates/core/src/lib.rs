@@ -28,7 +28,13 @@
 //! process answers warm requests without a solve, and the
 //! [`server::PlanServer`] puts a dependency-free HTTP/1.1 wire protocol
 //! in front of the whole stack (DESIGN.md, "Network serving & artifact
-//! registry"). The DP fills themselves run through branch-free quantized
+//! registry"). Every served answer can carry an [`obs::Receipt`] — the
+//! request's full cache identity, the serving path that answered it,
+//! and an FNV-1a hash of the exact bytes served — surfaced on the wire
+//! as `X-Plan-Receipt` headers, aggregated into per-path latency
+//! histograms on [`ServiceStats`], and replayable offline via
+//! `plan_server --replay` (DESIGN.md, "Observability: receipts, metrics
+//! & trace replay"). The DP fills themselves run through branch-free quantized
 //! kernels with checkpointed rows, so a planner whose inputs drifted in
 //! one class can re-solve incrementally via [`Planner::resweep`] /
 //! [`mckp_resweep`] / [`sequence_resweep`] — bit-identical to a cold
@@ -84,6 +90,7 @@ pub mod dse;
 pub mod error;
 pub mod mckp;
 pub mod modes;
+pub mod obs;
 pub mod pareto;
 pub mod pipeline;
 pub mod planner;
@@ -108,6 +115,7 @@ pub use dse::{evaluate_point, explore_layer, DseConfig, DsePoint};
 pub use error::{DaeDvfsError, RegistryError, ServerError, ServiceError};
 pub use mckp::{solve_dp, solve_exhaustive, solve_greedy, MckpError, MckpItem, MckpSolution};
 pub use modes::OperatingModes;
+pub use obs::{HistogramSnapshot, PathStats, Receipt, ServePath};
 pub use pareto::{dominates, pareto_front};
 pub use pipeline::{
     deploy, lower_model, optimize, optimize_sequence, run_dae_dvfs, DeploymentPlan,

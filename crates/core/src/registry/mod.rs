@@ -64,8 +64,9 @@ const REGISTRY_KIND: &str = "dae-dvfs-plan-registry-entry";
 /// Name of the quarantine subdirectory.
 const QUARANTINE_DIR: &str = "quarantine";
 
-/// Serializes a solver to its envelope tag.
-fn solver_tag(solver: Solver) -> &'static str {
+/// Serializes a solver to its envelope tag. Shared with the receipt
+/// surface (`crate::obs`), whose `solver` field uses the same tags.
+pub(crate) fn solver_tag(solver: Solver) -> &'static str {
     match solver {
         Solver::ReserveGrid => "reserve-grid",
         Solver::SequenceDp => "sequence-dp",

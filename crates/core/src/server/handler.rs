@@ -29,6 +29,7 @@ pub(crate) fn error_response(status: u16, reason: &'static str, message: &str) -
         reason,
         content_type: "application/json",
         body: Body::Owned(format!("{{\"error\": {}}}\n", json_quote(message)).into_bytes()),
+        receipt: None,
     }
 }
 
@@ -39,6 +40,7 @@ fn ok_json(body: Body) -> Response {
         reason: "OK",
         content_type: "application/json",
         body,
+        receipt: None,
     }
 }
 
@@ -72,29 +74,98 @@ pub(crate) fn status_for(error: &ServiceError) -> (u16, &'static str) {
     }
 }
 
+/// Where one request routes. Resolved from borrowed method/target
+/// tokens *before* dispatch, so the dispatch arms are free to borrow
+/// the connection mutably (the `/stats` scratch buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Healthz,
+    Stats,
+    Metrics,
+    Plan,
+    /// `GET /v1/receipt/<fp>` with a well-formed 16-hex fingerprint.
+    Receipt(u64),
+    /// `GET /v1/receipt/<fp>` whose fingerprint is not 16 hex digits.
+    BadFingerprint,
+    MethodNotAllowed,
+    NotFound,
+}
+
+/// Maps a method/path pair to its route. The target arrives with any
+/// query string already stripped ([`Conn::target`]).
+fn route_of(method: &str, target: &str) -> Route {
+    if let Some(fingerprint) = target.strip_prefix("/v1/receipt/") {
+        if method != "GET" {
+            return Route::MethodNotAllowed;
+        }
+        if fingerprint.len() != 16 || !fingerprint.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Route::BadFingerprint;
+        }
+        return match u64::from_str_radix(fingerprint, 16) {
+            Ok(fp) => Route::Receipt(fp),
+            Err(_) => Route::BadFingerprint,
+        };
+    }
+    match (method, target) {
+        ("GET", "/healthz") => Route::Healthz,
+        ("GET", "/stats") => Route::Stats,
+        ("GET", "/metrics") => Route::Metrics,
+        ("POST", "/v1/plan") => Route::Plan,
+        // Known path, wrong method — checked before the catch-all so
+        // e.g. `GET /v1/plan` is a 405, not an "unknown path" 404.
+        (_, "/healthz" | "/stats" | "/metrics" | "/v1/plan") => Route::MethodNotAllowed,
+        _ => Route::NotFound,
+    }
+}
+
 /// Routes one request (whose tokens live in `conn`'s read buffer).
 /// Never panics and never returns transport errors — every outcome,
 /// including handler-side failures, is a [`Response`].
-pub(crate) fn handle(server: &PlanServer<'_>, conn: &Conn, request: &Request) -> Response {
-    match (conn.method(request), conn.target(request)) {
-        ("GET", "/healthz") => Response {
+pub(crate) fn handle(server: &PlanServer<'_>, conn: &mut Conn, request: &Request) -> Response {
+    let route = route_of(conn.method(request), conn.target(request));
+    match route {
+        Route::Healthz => Response {
             status: 200,
             reason: "OK",
             content_type: "text/plain",
             body: Body::Static(b"ok\n"),
+            receipt: None,
         },
-        ("GET", "/stats") => ok_json(Body::Owned(
-            stats_json(&server.service().stats()).into_bytes(),
-        )),
-        ("POST", "/v1/plan") => plan_response(server, conn.body(request)),
-        // Known path, wrong method — checked before the catch-all so
-        // e.g. `GET /v1/plan` is a 405, not an "unknown path" 404.
-        (_, "/healthz" | "/stats" | "/v1/plan") => error_response(
+        Route::Stats => {
+            // Rendered into the connection's reusable scratch buffer:
+            // no per-field Strings, no per-response body allocation on
+            // a warmed keep-alive connection.
+            let stats = server.service().stats();
+            render_stats(conn.scratch_mut(), &stats);
+            ok_json(Body::Scratch)
+        }
+        Route::Metrics => Response {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain",
+            body: Body::Owned(render_metrics(&server.service().stats()).into_bytes()),
+            receipt: None,
+        },
+        Route::Plan => plan_response(server, conn.body(request)),
+        Route::Receipt(fingerprint) => match server.receipt_for(fingerprint) {
+            Some(receipt) => ok_json(Body::Owned(receipt.to_json().into_bytes())),
+            None => error_response(
+                404,
+                "Not Found",
+                "no receipt for this fingerprint in the ring",
+            ),
+        },
+        Route::BadFingerprint => error_response(
+            400,
+            "Bad Request",
+            "receipt fingerprint must be 16 hex digits",
+        ),
+        Route::MethodNotAllowed => error_response(
             405,
             "Method Not Allowed",
             "method not allowed for this path",
         ),
-        _ => error_response(404, "Not Found", "unknown path"),
+        Route::NotFound => error_response(404, "Not Found", "unknown path"),
     }
 }
 
@@ -154,21 +225,41 @@ fn plan_response(server: &PlanServer<'_>, body: &[u8]) -> Response {
             &format!("unknown planner {planner_name:?}"),
         );
     };
-    match server.service().plan_served(key, &plan_request) {
-        Ok(served) => ok_json(Body::Shared(served.into_bytes())),
-        Err(error) => {
-            let (status, reason) = status_for(&error);
-            error_response(status, reason, &error.to_string())
+    if server.config().receipts {
+        match server.service().plan_receipted(key, &plan_request) {
+            Ok((served, receipt)) => {
+                server.record(&receipt, body);
+                let mut response = ok_json(Body::Shared(served.into_bytes()));
+                response.receipt = Some(receipt.to_header_value());
+                response
+            }
+            Err(error) => {
+                let (status, reason) = status_for(&error);
+                error_response(status, reason, &error.to_string())
+            }
+        }
+    } else {
+        match server.service().plan_served(key, &plan_request) {
+            Ok(served) => ok_json(Body::Shared(served.into_bytes())),
+            Err(error) => {
+                let (status, reason) = status_for(&error);
+                error_response(status, reason, &error.to_string())
+            }
         }
     }
 }
 
-/// Hand-rolled JSON for `GET /stats`: the [`ServiceStats`] snapshot,
-/// including the registry tier counters (all zero when no registry is
-/// attached) and the serving hot-path counters (`inline_hits`,
-/// `bytes_served`, `enqueued`).
-fn stats_json(stats: &ServiceStats) -> String {
-    format!(
+/// Hand-rolled JSON for `GET /stats`, written into the connection's
+/// reusable scratch buffer: the [`ServiceStats`] snapshot, including
+/// the registry tier counters (all zero when no registry is attached)
+/// and the serving hot-path counters (`inline_hits`, `bytes_served`,
+/// `enqueued`). One `write!` into a `Vec<u8>` — which cannot fail — so
+/// a warmed buffer renders with zero allocations and no per-field
+/// `String`s.
+fn render_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
+    use std::io::Write as _;
+    let _ = write!(
+        out,
         concat!(
             "{{\n",
             "  \"submitted\": {},\n",
@@ -219,7 +310,59 @@ fn stats_json(stats: &ServiceStats) -> String {
         stats.cache.inserted,
         stats.cache.evicted,
         stats.cache.entries,
-    )
+    );
+}
+
+/// Plain-text rendering for `GET /metrics`: the counter snapshot plus
+/// one latency histogram block per serving path — sample count,
+/// conservative p50/p99 (bucket upper bounds), and the non-empty
+/// power-of-two buckets as `le=<upper-bound-ns>` cumulative-free pairs.
+/// Empty lanes render their count only, keeping the payload small.
+fn render_metrics(stats: &ServiceStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in [
+        ("plan_requests_submitted_total", stats.submitted),
+        ("plan_requests_completed_total", stats.completed),
+        ("plan_requests_rejected_total", stats.rejected),
+        ("plan_requests_failed_total", stats.failed),
+        ("plan_batches_total", stats.batches),
+        ("plan_inline_hits_total", stats.inline_hits),
+        ("plan_bytes_served_total", stats.bytes_served),
+        ("plan_cache_hits_total", stats.cache.hits),
+        ("plan_cache_misses_total", stats.cache.misses),
+        ("plan_registry_hits_total", stats.registry_hits),
+        ("plan_registry_writes_total", stats.registry_writes),
+    ] {
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (label, histogram) in stats.paths.iter() {
+        let count = histogram.count();
+        let _ = writeln!(out, "plan_path_requests_total{{path=\"{label}\"}} {count}");
+        if count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "plan_path_latency_ns{{path=\"{label}\",quantile=\"0.5\"}} {}",
+            histogram.percentile_upper_nanos(0.5)
+        );
+        let _ = writeln!(
+            out,
+            "plan_path_latency_ns{{path=\"{label}\",quantile=\"0.99\"}} {}",
+            histogram.percentile_upper_nanos(0.99)
+        );
+        for (index, &samples) in histogram.buckets.iter().enumerate() {
+            if samples > 0 {
+                let _ = writeln!(
+                    out,
+                    "plan_path_latency_ns_bucket{{path=\"{label}\",le=\"{}\"}} {samples}",
+                    crate::obs::bucket_upper_nanos(index)
+                );
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -314,9 +457,8 @@ mod tests {
         assert!(body.contains("\\\"quoted\\\""));
     }
 
-    #[test]
-    fn stats_json_includes_the_hot_path_counters() {
-        let stats = ServiceStats {
+    fn sample_stats() -> ServiceStats {
+        ServiceStats {
             submitted: 14,
             completed: 14,
             rejected: 0,
@@ -334,10 +476,60 @@ mod tests {
             registry_writes: 0,
             quarantined: 0,
             cache: crate::service::CacheStats::default(),
-        };
-        let rendered = stats_json(&stats);
+            paths: crate::obs::PathStats::empty(),
+        }
+    }
+
+    #[test]
+    fn stats_json_includes_the_hot_path_counters() {
+        let mut out = Vec::new();
+        render_stats(&mut out, &sample_stats());
+        let rendered = String::from_utf8(out).unwrap();
         assert!(rendered.contains("\"inline_hits\": 12"));
         assert!(rendered.contains("\"bytes_served\": 3456"));
         assert!(rendered.contains("\"enqueued\": 2"));
+    }
+
+    #[test]
+    fn metrics_render_counters_and_only_populated_lanes() {
+        let mut stats = sample_stats();
+        let rendered = render_metrics(&stats);
+        assert!(rendered.contains("plan_requests_submitted_total 14"));
+        // Empty lanes contribute their count line and nothing else.
+        assert!(rendered.contains("plan_path_requests_total{path=\"inline-hit\"} 0"));
+        assert!(!rendered.contains("quantile"));
+
+        stats.paths.histograms[crate::obs::ServePath::InlineHit.index()].buckets[10] = 3;
+        let rendered = render_metrics(&stats);
+        assert!(rendered.contains("plan_path_requests_total{path=\"inline-hit\"} 3"));
+        assert!(
+            rendered.contains("plan_path_latency_ns{path=\"inline-hit\",quantile=\"0.5\"} 2047")
+        );
+        assert!(rendered.contains("plan_path_latency_ns_bucket{path=\"inline-hit\",le=\"2047\"} 3"));
+    }
+
+    #[test]
+    fn routes_resolve_methods_paths_and_receipt_fingerprints() {
+        assert_eq!(route_of("GET", "/healthz"), Route::Healthz);
+        assert_eq!(route_of("GET", "/stats"), Route::Stats);
+        assert_eq!(route_of("GET", "/metrics"), Route::Metrics);
+        assert_eq!(route_of("POST", "/v1/plan"), Route::Plan);
+        assert_eq!(
+            route_of("GET", "/v1/receipt/00ff00ff00ff00ff"),
+            Route::Receipt(0x00ff_00ff_00ff_00ff)
+        );
+        assert_eq!(route_of("GET", "/v1/receipt/short"), Route::BadFingerprint);
+        assert_eq!(
+            route_of("GET", "/v1/receipt/zzzzzzzzzzzzzzzz"),
+            Route::BadFingerprint
+        );
+        assert_eq!(
+            route_of("POST", "/v1/receipt/00ff00ff00ff00ff"),
+            Route::MethodNotAllowed
+        );
+        for path in ["/healthz", "/stats", "/metrics", "/v1/plan"] {
+            assert_eq!(route_of("PUT", path), Route::MethodNotAllowed, "{path}");
+        }
+        assert_eq!(route_of("GET", "/nope"), Route::NotFound);
     }
 }

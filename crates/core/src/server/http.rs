@@ -93,23 +93,31 @@ enum Fill {
 
 /// A response payload. The hot path serves [`Body::Shared`] — the
 /// service's cached artifact bytes by `Arc` clone, no copy, no
-/// serialization; error and stats paths own their (small) bodies.
+/// serialization; error paths own their (small) bodies, and `/stats`
+/// renders into the connection's reusable scratch buffer
+/// ([`Body::Scratch`]) so the warm path stays allocation-free.
 #[derive(Debug)]
 pub(crate) enum Body {
     /// A compile-time constant body (`/healthz`).
     Static(&'static [u8]),
-    /// A body rendered for this response (errors, `/stats`).
+    /// A body rendered for this response (errors, `/metrics`).
     Owned(Vec<u8>),
     /// The service's cached response bytes, shared by reference count.
     Shared(Arc<[u8]>),
+    /// The body lives in the connection's reusable scratch buffer
+    /// ([`Conn::scratch_mut`]); resolved by [`Conn::write_response`].
+    Scratch,
 }
 
 impl Body {
+    /// The body's bytes; [`Body::Scratch`] resolves through the
+    /// connection in [`Conn::write_response`], so it is empty here.
     pub fn as_bytes(&self) -> &[u8] {
         match self {
             Body::Static(bytes) => bytes,
             Body::Owned(bytes) => bytes,
             Body::Shared(bytes) => bytes,
+            Body::Scratch => &[],
         }
     }
 }
@@ -121,6 +129,9 @@ pub(crate) struct Response {
     pub reason: &'static str,
     pub content_type: &'static str,
     pub body: Body,
+    /// Rendered `X-Plan-Receipt` header value, when the answer carries
+    /// its audit receipt ([`crate::obs::Receipt::to_header_value`]).
+    pub receipt: Option<String>,
 }
 
 /// One accepted connection: the stream, the pipeline buffer of bytes
@@ -132,6 +143,10 @@ pub(crate) struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
     out: Vec<u8>,
+    /// Reusable body scratch for handler-rendered responses
+    /// ([`Body::Scratch`]): `/stats` writes its JSON here instead of
+    /// allocating a fresh `String` per request.
+    scratch: Vec<u8>,
 }
 
 /// Index just past `\r\n\r\n`'s first byte pair — i.e. the offset of the
@@ -169,7 +184,17 @@ impl Conn {
             stream,
             buf: Vec::new(),
             out: Vec::new(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// Clears and hands out the connection's scratch buffer for a
+    /// [`Body::Scratch`] response. The capacity persists across
+    /// requests, so a keep-alive connection renders `/stats` with zero
+    /// allocations once the buffer has grown to its working size.
+    pub fn scratch_mut(&mut self) -> &mut Vec<u8> {
+        self.scratch.clear();
+        &mut self.scratch
     }
 
     /// The request's method token. The head was validated as UTF-8
@@ -179,9 +204,16 @@ impl Conn {
         std::str::from_utf8(&self.buf[request.method.0..request.method.1]).unwrap_or("")
     }
 
-    /// The request's target (path), same contract as [`Conn::method`].
+    /// The request's target **path**, same contract as [`Conn::method`].
+    /// Any query string is stripped before route matching (RFC 9112
+    /// origin-form is `path [?query]`), so `GET /stats?x=1` routes like
+    /// `GET /stats` instead of falling through to 404.
     pub fn target<'a>(&'a self, request: &Request) -> &'a str {
-        std::str::from_utf8(&self.buf[request.target.0..request.target.1]).unwrap_or("")
+        let raw = std::str::from_utf8(&self.buf[request.target.0..request.target.1]).unwrap_or("");
+        match raw.find('?') {
+            Some(query) => &raw[..query],
+            None => raw,
+        }
     }
 
     /// The request's body bytes.
@@ -361,7 +393,10 @@ impl Conn {
     /// (peer dropped mid-response) are reported so the caller abandons
     /// the connection, never the server.
     pub fn write_response(&mut self, response: &Response, close: bool) -> std::io::Result<()> {
-        let body = response.body.as_bytes();
+        let body: &[u8] = match &response.body {
+            Body::Scratch => &self.scratch,
+            other => other.as_bytes(),
+        };
         self.out.clear();
         self.out.extend_from_slice(b"HTTP/1.1 ");
         push_usize(&mut self.out, usize::from(response.status));
@@ -371,6 +406,10 @@ impl Conn {
         self.out.extend_from_slice(response.content_type.as_bytes());
         self.out.extend_from_slice(b"\r\ncontent-length: ");
         push_usize(&mut self.out, body.len());
+        if let Some(receipt) = &response.receipt {
+            self.out.extend_from_slice(b"\r\nx-plan-receipt: ");
+            self.out.extend_from_slice(receipt.as_bytes());
+        }
         self.out.extend_from_slice(b"\r\nconnection: ");
         self.out
             .extend_from_slice(if close { b"close" } else { b"keep-alive" });
@@ -446,5 +485,7 @@ mod tests {
         assert_eq!(Body::Static(b"xyz").as_bytes(), b"xyz");
         assert_eq!(Body::Owned(b"xyz".to_vec()).as_bytes(), b"xyz");
         assert_eq!(Body::Shared(shared).as_bytes(), b"xyz");
+        // Scratch bodies resolve through the connection at write time.
+        assert_eq!(Body::Scratch.as_bytes(), b"");
     }
 }

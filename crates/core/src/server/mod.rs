@@ -12,9 +12,15 @@
 //! * `POST /v1/plan` — JSON plan request → the planner's
 //!   [`crate::PlanArtifact`] JSON, byte-identical to
 //!   [`crate::PlanArtifact::to_json`] so responses can be compared
-//!   bit-for-bit across processes and restarts;
+//!   bit-for-bit across processes and restarts; each answer carries its
+//!   audit [`crate::obs::Receipt`] in an `X-Plan-Receipt` header
+//!   (unless [`ServerConfig::receipts`] is off);
+//! * `GET /v1/receipt/<fp>` — the most recent receipt for a request
+//!   fingerprint, from a bounded in-memory ring;
 //! * `GET /stats` — the [`crate::ServiceStats`] snapshot (including the
 //!   registry cold-tier counters) as JSON;
+//! * `GET /metrics` — plain-text counters plus per-path power-of-two
+//!   latency histograms;
 //! * `GET /healthz` — liveness.
 //!
 //! Backpressure is layered: the accept thread bounds *connections*
@@ -70,7 +76,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::artifact::json_quote;
 use crate::error::{DaeDvfsError, ServerError};
+use crate::obs::Receipt;
 use crate::service::{PlanService, PlannerKey};
 use crate::sync::{lock, rank, wait, RankedCondvar, RankedMutex};
 
@@ -80,6 +88,11 @@ mod http;
 /// How long the accept thread sleeps when the (non-blocking) listener
 /// has nothing to accept, which doubles as its shutdown-poll latency.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Bound on the in-memory receipt ring served by `GET /v1/receipt/<fp>`:
+/// the newest receipts win, the oldest are dropped — an audit window,
+/// not an archive (the JSONL trace is the durable record).
+const RECEIPT_RING_CAPACITY: usize = 1024;
 
 /// Tuning knobs of a [`PlanServer`]; start from `Default` and adjust
 /// builder-style.
@@ -101,6 +114,11 @@ pub struct ServerConfig {
     /// Per-request read budget and keep-alive idle timeout. Also bounds
     /// how long a drain waits on a connection that is mid-request.
     pub read_timeout: Duration,
+    /// Whether plan answers carry receipts (`X-Plan-Receipt` header,
+    /// receipt ring, trace records, per-path histograms). On by default;
+    /// turning it off serves plans through the receipt-free path — the
+    /// before/after lever the receipt-overhead benchmark uses.
+    pub receipts: bool,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +130,7 @@ impl Default for ServerConfig {
             max_header_bytes: 8192,
             max_body_bytes: 65536,
             read_timeout: Duration::from_secs(2),
+            receipts: true,
         }
     }
 }
@@ -150,6 +169,12 @@ impl ServerConfig {
     /// Replaces the per-request read budget (builder style).
     pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = timeout;
+        self
+    }
+
+    /// Enables or disables plan receipts (builder style).
+    pub fn with_receipts(mut self, receipts: bool) -> Self {
+        self.receipts = receipts;
         self
     }
 
@@ -286,11 +311,28 @@ impl Drop for ShutdownOnDrop<'_> {
 ///
 /// See the [module docs](self) for the wire protocol and an end-to-end
 /// example.
+/// The JSONL request-trace recorder ([`PlanServer::trace_to`]): one
+/// line per receipted plan admission, in fulfillment order.
+#[derive(Debug)]
+struct TraceWriter {
+    file: std::fs::File,
+    /// Arrival-order sequence number stamped on each trace line.
+    seq: u64,
+}
+
 #[derive(Debug)]
 pub struct PlanServer<'a> {
     service: &'a PlanService,
     config: ServerConfig,
     routes: Vec<(String, PlannerKey)>,
+    /// Bounded ring of the newest receipts, behind `GET
+    /// /v1/receipt/<fp>`. Ranked above every service lock and never
+    /// held across a service call — recording happens strictly after
+    /// the answer is in hand.
+    ring: RankedMutex<VecDeque<Receipt>>,
+    /// The optional trace recorder; acquired strictly after (and never
+    /// while holding) the ring.
+    trace: RankedMutex<Option<TraceWriter>>,
 }
 
 impl<'a> PlanServer<'a> {
@@ -307,6 +349,8 @@ impl<'a> PlanServer<'a> {
             service,
             config,
             routes: Vec::new(),
+            ring: RankedMutex::new(rank::OBS_RING, VecDeque::new()),
+            trace: RankedMutex::new(rank::OBS_TRACE, None),
         })
     }
 
@@ -356,6 +400,71 @@ impl<'a> PlanServer<'a> {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, key)| *key)
+    }
+
+    /// Streams every receipted plan admission to a JSONL trace file
+    /// (builder style): one line per answered `POST /v1/plan`, carrying
+    /// the arrival sequence number, the request fingerprint, the path
+    /// taken, the served plan hash, and the verbatim request body — the
+    /// record `plan_server --replay` drives a fresh stack through to
+    /// re-assert plan-hash equality offline. Appends to an existing
+    /// file, so one trace can span server restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Trace`] when the file cannot be opened; append
+    /// failures during serving are advisory (dropped, never fatal).
+    pub fn trace_to(self, path: &str) -> Result<Self, ServerError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ServerError::Trace {
+                path: path.to_string(),
+                reason: e.to_string(),
+            })?;
+        *lock(&self.trace) = Some(TraceWriter { file, seq: 0 });
+        Ok(self)
+    }
+
+    /// Records one answered plan request: pushes the receipt onto the
+    /// bounded ring (newest wins) and, when tracing, appends the JSONL
+    /// trace line. Called with no other lock held; the two locks are
+    /// taken in rank order and released between, so recording can never
+    /// deadlock the serving path.
+    pub(crate) fn record(&self, receipt: &Receipt, body: &str) {
+        {
+            let mut ring = lock(&self.ring);
+            if ring.len() >= RECEIPT_RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(*receipt);
+        }
+        let mut trace = lock(&self.trace);
+        if let Some(writer) = trace.as_mut() {
+            let line = format!(
+                "{{\"seq\": {}, \"target\": \"/v1/plan\", \"fingerprint\": \"{:016x}\", \
+                 \"path\": \"{}\", \"plan_hash\": \"{:016x}\", \"body\": {}}}\n",
+                writer.seq,
+                receipt.fingerprint(),
+                receipt.path.label(),
+                receipt.plan_hash,
+                json_quote(body),
+            );
+            writer.seq += 1;
+            use std::io::Write as _;
+            // Advisory: a full disk must not take the serving path down.
+            let _ = writer.file.write_all(line.as_bytes());
+        }
+    }
+
+    /// Looks a fingerprint up in the receipt ring, newest first.
+    pub(crate) fn receipt_for(&self, fingerprint: u64) -> Option<Receipt> {
+        lock(&self.ring)
+            .iter()
+            .rev()
+            .find(|r| r.fingerprint() == fingerprint)
+            .copied()
     }
 
     /// Binds the listener and serves until the closure returns: `f` runs
@@ -470,7 +579,7 @@ impl<'a> PlanServer<'a> {
             let draining = shared.draining();
             match conn.read_request(&limits, draining) {
                 http::ReadOutcome::Request(request) => {
-                    let response = handler::handle(self, &conn, &request);
+                    let response = handler::handle(self, &mut conn, &request);
                     // Re-check the drain flag: a request admitted just as
                     // the drain began is answered, but the connection is
                     // told to go away.
@@ -612,8 +721,68 @@ mod tests {
         )
         .expect("config itself is well-formed");
         let err = server.serve(|_| ()).expect_err("bogus address fails");
-        let ServerError::Bind { addr, .. } = err;
-        assert_eq!(addr, "256.256.256.256:1");
+        match err {
+            ServerError::Bind { addr, .. } => assert_eq!(addr, "256.256.256.256:1"),
+            other => panic!("expected Bind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_setup_failure_is_a_typed_error() {
+        let (service, key) = service_with_route();
+        let err = PlanServer::new(&service, ServerConfig::default())
+            .and_then(|s| s.route("vww", key))
+            .expect("server builds")
+            .trace_to("/nonexistent-dir/trace.jsonl")
+            .expect_err("unopenable trace path fails");
+        match err {
+            ServerError::Trace { path, .. } => assert_eq!(path, "/nonexistent-dir/trace.jsonl"),
+            other => panic!("expected Trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receipt_ring_is_bounded_and_newest_wins() {
+        fn key_of(seed: u64) -> crate::service::PlanKey {
+            crate::service::PlanKey {
+                model_fingerprint: seed,
+                config_fingerprint: seed ^ 0xabc,
+                solver: crate::request::Solver::ReserveGrid,
+                window_bits: 0.25f64.to_bits(),
+                dp_resolution: 2000,
+            }
+        }
+        let (service, key) = service_with_route();
+        let server = PlanServer::new(&service, ServerConfig::default())
+            .and_then(|s| s.route("vww", key))
+            .expect("server builds");
+        assert_eq!(server.receipt_for(1), None);
+        let mut receipt = crate::obs::Receipt {
+            key: key_of(0),
+            path: crate::obs::ServePath::Solved,
+            solver: "reserve-grid",
+            artifact_schema_version: 1,
+            plan_hash: 0,
+            solve_nanos: 0,
+            total_nanos: 0,
+        };
+        for i in 0..(RECEIPT_RING_CAPACITY as u64 + 8) {
+            receipt.key = key_of(i);
+            receipt.plan_hash = i;
+            server.record(&receipt, "{}");
+        }
+        assert_eq!(lock(&server.ring).len(), RECEIPT_RING_CAPACITY);
+        // The oldest eight were evicted; the newest are all present.
+        let newest = {
+            let ring = lock(&server.ring);
+            *ring.back().expect("ring non-empty")
+        };
+        assert_eq!(newest.plan_hash, RECEIPT_RING_CAPACITY as u64 + 7);
+        assert_eq!(
+            server.receipt_for(newest.fingerprint()),
+            Some(newest),
+            "lookup finds the newest receipt for its fingerprint"
+        );
     }
 
     #[test]

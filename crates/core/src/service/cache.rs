@@ -94,15 +94,25 @@ impl PlanKey {
 pub struct ServedPlan {
     plan: Arc<DeploymentPlan>,
     bytes: Arc<[u8]>,
+    /// FNV-1a of `bytes`, computed once here so receipts can pin the
+    /// served payload without re-hashing tens of kilobytes per request.
+    bytes_hash: u64,
 }
 
 impl ServedPlan {
     /// Pairs a plan with its canonical artifact serialization. The bytes
     /// must be exactly what `plan.to_artifact(..).to_json()` renders —
     /// the byte-identity proptests pin this pairing on every answer
-    /// path.
+    /// path. Hashes the bytes once, at construction: every entry is
+    /// built exactly once (solve completion or registry load) and then
+    /// served arbitrarily many times.
     pub(crate) fn new(plan: Arc<DeploymentPlan>, bytes: Arc<[u8]>) -> Self {
-        ServedPlan { plan, bytes }
+        let bytes_hash = crate::artifact::fnv1a(&bytes);
+        ServedPlan {
+            plan,
+            bytes,
+            bytes_hash,
+        }
     }
 
     /// The shared plan.
@@ -114,6 +124,13 @@ impl ServedPlan {
     /// [`crate::PlanArtifact::to_json`] rendered once, at insert).
     pub fn bytes(&self) -> &Arc<[u8]> {
         &self.bytes
+    }
+
+    /// FNV-1a of [`ServedPlan::bytes`] ([`crate::obs::plan_hash`]),
+    /// precomputed at construction — the receipt's `plan_hash`, free on
+    /// the serving hot path.
+    pub fn bytes_hash(&self) -> u64 {
+        self.bytes_hash
     }
 
     /// Consumes the pair, keeping the plan.
@@ -414,6 +431,9 @@ mod tests {
         // `get` (the lock-free fast path's lookup) answers the same pair.
         let got = cache.get(key(1)).expect("resident");
         assert_eq!(&**got.bytes(), b"{\"qos\": 0.5}");
+        // The precomputed hash is the FNV-1a of exactly those bytes —
+        // what receipts report without re-hashing per request.
+        assert_eq!(got.bytes_hash(), crate::artifact::fnv1a(got.bytes()));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
         assert_eq!(stats.lookups(), 3);

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use crate::artifact::{config_fingerprint, model_fingerprint};
 use crate::error::{DaeDvfsError, RegistryError, ServiceError};
+use crate::obs::{self, PathStamp, Receipt, ServePath};
 use crate::pipeline::DeploymentPlan;
 use crate::planner::Planner;
 use crate::registry::PlanRegistry;
@@ -58,7 +59,7 @@ struct Pending {
 
 #[derive(Debug)]
 struct TicketInner {
-    slot: RankedMutex<Option<Result<ServedPlan, ServiceError>>>,
+    slot: RankedMutex<Option<(Result<ServedPlan, ServiceError>, PathStamp)>>,
     ready: RankedCondvar,
 }
 
@@ -70,16 +71,16 @@ impl TicketInner {
         })
     }
 
-    fn fulfill(&self, result: Result<ServedPlan, ServiceError>) {
-        *lock(&self.slot) = Some(result);
+    fn fulfill(&self, result: Result<ServedPlan, ServiceError>, stamp: PathStamp) {
+        *lock(&self.slot) = Some((result, stamp));
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<ServedPlan, ServiceError> {
+    fn wait_stamped(&self) -> (Result<ServedPlan, ServiceError>, PathStamp) {
         let mut slot = lock(&self.slot);
         loop {
-            if let Some(result) = slot.as_ref() {
-                return result.clone();
+            if let Some((result, stamp)) = slot.as_ref() {
+                return (result.clone(), *stamp);
             }
             slot = wait(&self.ready, slot);
         }
@@ -96,8 +97,8 @@ impl TicketInner {
 #[derive(Debug)]
 enum TicketState {
     /// Answered inline (cache-hit fast path): the result travelled back
-    /// on the submitting thread's stack.
-    Ready(Result<ServedPlan, ServiceError>),
+    /// on the submitting thread's stack, stamped with its serving path.
+    Ready(Result<ServedPlan, ServiceError>, PathStamp),
     /// Waiting on a worker or an in-flight leader.
     Pending(Arc<TicketInner>),
 }
@@ -124,9 +125,17 @@ impl PlanTicket {
     /// canonical artifact serialization ([`ServedPlan`]) — the
     /// zero-serialization handle the HTTP layer answers with.
     pub fn wait_served(self) -> Result<ServedPlan, ServiceError> {
+        self.wait_stamped().0
+    }
+
+    /// Like [`PlanTicket::wait_served`], but also reports *how* the
+    /// request was answered (the [`crate::obs::ServePath`] stamp every
+    /// fulfillment carries) — the building block of
+    /// [`PlanService::plan_receipted`].
+    pub(crate) fn wait_stamped(self) -> (Result<ServedPlan, ServiceError>, PathStamp) {
         match self.state {
-            TicketState::Ready(result) => result,
-            TicketState::Pending(inner) => inner.wait(),
+            TicketState::Ready(result, stamp) => (result, stamp),
+            TicketState::Pending(inner) => inner.wait_stamped(),
         }
     }
 
@@ -134,7 +143,7 @@ impl PlanTicket {
     /// would return without blocking).
     pub fn ready(&self) -> bool {
         match &self.state {
-            TicketState::Ready(_) => true,
+            TicketState::Ready(..) => true,
             TicketState::Pending(inner) => inner.ready(),
         }
     }
@@ -231,6 +240,11 @@ pub struct ServiceStats {
     pub quarantined: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Per-path end-to-end latency histograms, recorded for requests
+    /// served through [`PlanService::plan_receipted`] (the HTTP serving
+    /// path). Power-of-two nanosecond buckets, one lane per
+    /// [`crate::obs::ServePath`].
+    pub paths: obs::PathStats,
 }
 
 impl ServiceStats {
@@ -308,6 +322,9 @@ pub struct PlanService {
     queue: RankedMutex<Queue>,
     arrived: RankedCondvar,
     counters: Counters,
+    /// Lock-free per-path latency histograms, fed by
+    /// [`PlanService::plan_receipted`].
+    paths: obs::PathHistograms,
     timing: RankedMutex<Timing>,
     /// Lock-free mirrors of the queue's `serving`/`draining` flags: the
     /// submit fast path serves cache hits without touching the queue
@@ -372,6 +389,7 @@ impl PlanService {
             ),
             arrived: RankedCondvar::new(),
             counters: Counters::default(),
+            paths: obs::PathHistograms::new(),
             timing: RankedMutex::new(rank::TIMING, Timing::default()),
             serving_hint: AtomicBool::new(false),
             draining_hint: AtomicBool::new(false),
@@ -501,6 +519,16 @@ impl PlanService {
         key: PlannerKey,
         request: &PlanRequest,
     ) -> Result<PlanTicket, ServiceError> {
+        self.submit_keyed(key, request).map(|(ticket, _)| ticket)
+    }
+
+    /// [`PlanService::submit`] plus the request's canonical cache
+    /// identity — the [`PlanKey`] the receipt fingerprints.
+    fn submit_keyed(
+        &self,
+        key: PlannerKey,
+        request: &PlanRequest,
+    ) -> Result<(PlanTicket, PlanKey), ServiceError> {
         let Some(registered) = self.planners.get(key.0) else {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::UnknownPlanner { key: key.0 });
@@ -534,9 +562,15 @@ impl PlanService {
                     .bytes_served
                     .fetch_add(served.bytes().len() as u64, Ordering::Relaxed);
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                return Ok(PlanTicket {
-                    state: TicketState::Ready(Ok(served)),
-                });
+                return Ok((
+                    PlanTicket {
+                        state: TicketState::Ready(
+                            Ok(served),
+                            PathStamp::instant(ServePath::InlineHit),
+                        ),
+                    },
+                    canonical.key,
+                ));
             }
         }
 
@@ -554,17 +588,27 @@ impl PlanService {
             Lookup::Hit(served, waiter) => {
                 drop(queue);
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                self.fulfill(&waiter, &Ok(served));
-                Ok(PlanTicket {
-                    state: TicketState::Pending(ticket),
-                })
+                self.fulfill(
+                    &waiter,
+                    &Ok(served),
+                    PathStamp::instant(ServePath::CacheHit),
+                );
+                Ok((
+                    PlanTicket {
+                        state: TicketState::Pending(ticket),
+                    },
+                    canonical.key,
+                ))
             }
             Lookup::Joined => {
                 drop(queue);
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(PlanTicket {
-                    state: TicketState::Pending(ticket),
-                })
+                Ok((
+                    PlanTicket {
+                        state: TicketState::Pending(ticket),
+                    },
+                    canonical.key,
+                ))
             }
             Lookup::Lead(waiter) => {
                 if queue.items.len() >= self.config.queue_capacity {
@@ -579,7 +623,7 @@ impl PlanService {
                         capacity: self.config.queue_capacity,
                     });
                     for stray in self.cache.abort(canonical.key) {
-                        self.fulfill(&stray, &full);
+                        self.fulfill(&stray, &full, PathStamp::instant(ServePath::FlightJoin));
                     }
                     self.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(ServiceError::QueueFull {
@@ -603,9 +647,12 @@ impl PlanService {
                 // swallowed by a lingerer that takes nothing from the
                 // queue, stalling a different-group request.
                 self.arrived.notify_all();
-                Ok(PlanTicket {
-                    state: TicketState::Pending(ticket),
-                })
+                Ok((
+                    PlanTicket {
+                        state: TicketState::Pending(ticket),
+                    },
+                    canonical.key,
+                ))
             }
         }
     }
@@ -613,8 +660,14 @@ impl PlanService {
     /// Fulfills one ticket and keeps the completion counters exact:
     /// every fulfillment counts `completed`, errors count `failed`, and
     /// successes accumulate their shared payload into `bytes_served`.
-    fn fulfill(&self, ticket: &TicketInner, result: &Result<ServedPlan, ServiceError>) {
-        ticket.fulfill(result.clone());
+    /// The `stamp` records *how* the ticket was answered, for receipts.
+    fn fulfill(
+        &self,
+        ticket: &TicketInner,
+        result: &Result<ServedPlan, ServiceError>,
+        stamp: PathStamp,
+    ) {
+        ticket.fulfill(result.clone(), stamp);
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         match result {
             Ok(served) => {
@@ -659,6 +712,42 @@ impl PlanService {
         self.submit(key, request)?.wait_served()
     }
 
+    /// Like [`PlanService::plan_served`], but pairs the answer with its
+    /// audit [`Receipt`]: the request's full canonical identity, the
+    /// serving path that answered it, the FNV-1a hash of the exact bytes
+    /// served, and per-stage timing. Also records the request's
+    /// end-to-end latency on the path's histogram lane
+    /// ([`ServiceStats::paths`]). The receipt's `plan_hash` is a
+    /// bit-identity pin: for a given key it must agree across paths,
+    /// restarts and machines.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlanService::plan_served`] (failed requests
+    /// produce no receipt).
+    pub fn plan_receipted(
+        &self,
+        key: PlannerKey,
+        request: &PlanRequest,
+    ) -> Result<(ServedPlan, Receipt), ServiceError> {
+        let start = obs::monotonic_nanos();
+        let (ticket, plan_key) = self.submit_keyed(key, request)?;
+        let (result, stamp) = ticket.wait_stamped();
+        let served = result?;
+        let total_nanos = obs::monotonic_nanos().saturating_sub(start);
+        self.paths.record(stamp.path, total_nanos);
+        let receipt = Receipt {
+            key: plan_key,
+            path: stamp.path,
+            solver: crate::registry::solver_tag(plan_key.solver),
+            artifact_schema_version: crate::artifact::PLAN_ARTIFACT_SCHEMA_VERSION,
+            plan_hash: served.bytes_hash(),
+            solve_nanos: stamp.solve_nanos,
+            total_nanos,
+        };
+        Ok((served, receipt))
+    }
+
     /// A point-in-time counters snapshot.
     pub fn stats(&self) -> ServiceStats {
         let registry = self
@@ -696,6 +785,7 @@ impl PlanService {
             registry_writes: registry.writes,
             quarantined: registry.quarantined,
             cache: self.cache.stats(),
+            paths: self.paths.snapshot(),
         }
     }
 
@@ -787,8 +877,19 @@ impl PlanService {
                         Some(served) => {
                             let waiters = self.cache.complete(pending.key, Some(served.clone()));
                             let outcome = Ok(served);
-                            for ticket in std::iter::once(pending.ticket).chain(waiters) {
-                                self.fulfill(&ticket, &outcome);
+                            // The leader paid for the disk load; joiners
+                            // merely shared its flight.
+                            self.fulfill(
+                                &pending.ticket,
+                                &outcome,
+                                PathStamp::instant(ServePath::RegistryHit),
+                            );
+                            for ticket in waiters {
+                                self.fulfill(
+                                    &ticket,
+                                    &outcome,
+                                    PathStamp::instant(ServePath::FlightJoin),
+                                );
                             }
                         }
                         None => remaining.push(pending),
@@ -822,6 +923,7 @@ impl PlanService {
         // any joined waiters) before the panic unwinds the worker —
         // otherwise a submitter blocked in `PlanTicket::wait` inside the
         // serving closure would deadlock the scope's join.
+        let solve_start = obs::monotonic_nanos();
         let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             solve_batch(
                 planner,
@@ -832,14 +934,33 @@ impl PlanService {
                 sweep_threads,
             )
         }));
+        let solve_nanos = obs::monotonic_nanos().saturating_sub(solve_start);
+        // Leaders of a shared solve are stamped with the batch they rode
+        // in (each paid the whole shared solve, so each carries its full
+        // duration); a singleton batch is a plain solve.
+        let leader_stamp = PathStamp {
+            path: if batch.len() > 1 {
+                ServePath::Coalesced {
+                    batch: batch.len() as u32,
+                }
+            } else {
+                ServePath::Solved
+            },
+            solve_nanos,
+        };
         let results = match results {
             Ok(results) => results,
             Err(payload) => {
                 let panicked = Err(ServiceError::WorkerPanicked);
                 for pending in batch {
                     let waiters = self.cache.complete(pending.key, None);
-                    for ticket in std::iter::once(pending.ticket).chain(waiters) {
-                        self.fulfill(&ticket, &panicked);
+                    self.fulfill(&pending.ticket, &panicked, leader_stamp);
+                    for ticket in waiters {
+                        self.fulfill(
+                            &ticket,
+                            &panicked,
+                            PathStamp::instant(ServePath::FlightJoin),
+                        );
                     }
                 }
                 std::panic::resume_unwind(payload);
@@ -872,8 +993,9 @@ impl PlanService {
             let waiters = self
                 .cache
                 .complete(pending.key, outcome.as_ref().ok().cloned());
-            for ticket in std::iter::once(pending.ticket).chain(waiters) {
-                self.fulfill(&ticket, &outcome);
+            self.fulfill(&pending.ticket, &outcome, leader_stamp);
+            for ticket in waiters {
+                self.fulfill(&ticket, &outcome, PathStamp::instant(ServePath::FlightJoin));
             }
         }
     }
@@ -1240,9 +1362,45 @@ mod tests {
             registry_writes: 0,
             quarantined: 0,
             cache: CacheStats::default(),
+            paths: obs::PathStats::empty(),
         };
         assert!((stats.throughput_rps() - 5.0).abs() < 1e-12);
         assert!((stats.mean_batch() - 3.0).abs() < 1e-12);
         assert!((stats.inline_hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receipts_stamp_the_serving_path_and_pin_the_served_bytes() {
+        let mut service = PlanService::new(exact_config()).unwrap();
+        let key = service.register(small_planner());
+        let (cold, warm) = service.run(|svc| {
+            let cold = svc.plan_receipted(key, &PlanRequest::slack(0.3)).unwrap();
+            let warm = svc.plan_receipted(key, &PlanRequest::slack(0.3)).unwrap();
+            (cold, warm)
+        });
+        let (cold_served, cold_receipt) = cold;
+        let (warm_served, warm_receipt) = warm;
+        assert_eq!(cold_receipt.path, ServePath::Solved);
+        assert_eq!(warm_receipt.path, ServePath::InlineHit);
+        // Same key, same bytes, same hash — across different paths.
+        assert_eq!(cold_receipt.key, warm_receipt.key);
+        assert_eq!(cold_receipt.plan_hash, warm_receipt.plan_hash);
+        assert_eq!(cold_served.bytes(), warm_served.bytes());
+        assert_eq!(cold_receipt.plan_hash, obs::plan_hash(cold_served.bytes()));
+        assert_eq!(cold_receipt.solver, "reserve-grid");
+        assert_eq!(
+            cold_receipt.artifact_schema_version,
+            crate::artifact::PLAN_ARTIFACT_SCHEMA_VERSION
+        );
+        // The solve stage was timed for the leader, not for the hit.
+        assert_eq!(warm_receipt.solve_nanos, 0);
+        // Both requests landed on their path's histogram lane.
+        let stats = service.stats();
+        assert_eq!(stats.paths.histograms[ServePath::Solved.index()].count(), 1);
+        assert_eq!(
+            stats.paths.histograms[ServePath::InlineHit.index()].count(),
+            1
+        );
+        assert_eq!(stats.paths.total_count(), 2);
     }
 }

@@ -29,6 +29,8 @@
 //! | 20 `cache-shard` | plan-cache shard (LRU map **and** its single-flight table share this lock) | `service/cache.rs` |
 //! | 30 `ticket` | per-request result slot | `service/front.rs` |
 //! | 40 `timing` | serving wall-clock accumulator | `service/front.rs` |
+//! | 45 `obs-ring` | HTTP server's bounded receipt ring | `server/mod.rs` |
+//! | 46 `obs-trace` | HTTP server's JSONL trace writer | `server/mod.rs` |
 //! | 50 `workspace-pool` | idle solver-workspace slots | `solver/workspace.rs` |
 //!
 //! A condvar wait *releases* its mutex, so [`wait`] / [`wait_timeout`]
@@ -90,6 +92,21 @@ pub(crate) mod rank {
     pub(crate) const TIMING: LockRank = LockRank {
         level: 40,
         name: "timing",
+    };
+    /// The HTTP server's bounded ring of recent plan receipts. Acquired
+    /// after the request is fully answered (no service lock is held),
+    /// but ranked above `timing` so a stats snapshot may legally consult
+    /// the ring while holding its accumulator.
+    pub(crate) const OBS_RING: LockRank = LockRank {
+        level: 45,
+        name: "obs-ring",
+    };
+    /// The HTTP server's JSONL trace writer (admitted-request recording).
+    /// Acquired strictly after the receipt ring when both are touched
+    /// for one response, and never held across service calls.
+    pub(crate) const OBS_TRACE: LockRank = LockRank {
+        level: 46,
+        name: "obs-trace",
     };
     /// The solver workspace pool's idle slots.
     pub(crate) const WORKSPACE: LockRank = LockRank {

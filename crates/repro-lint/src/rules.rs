@@ -294,11 +294,17 @@ pub fn lock_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
 /// `artifact.rs` is pinned because the serving hot path caches its JSON
 /// rendering verbatim: the cached bytes are only byte-identical to a
 /// fresh `to_artifact().to_json()` if that rendering is deterministic.
+///
+/// `obs/` is pinned so the observability subsystem cannot quietly grow
+/// clock reads: its receipts hash the served bytes and must stay a pure
+/// function of them, with the single monotonic-clock site explicitly
+/// waivered rather than exempted wholesale.
 fn pinned(path: &str) -> bool {
     path.contains("crates/core/src/solver/")
         || path.contains("crates/core/src/service/")
         || path.contains("crates/core/src/server/")
         || path.contains("crates/core/src/registry/")
+        || path.contains("crates/core/src/obs/")
         || path.ends_with("crates/core/src/schedule.rs")
         || path.ends_with("crates/core/src/mckp.rs")
         || path.ends_with("crates/core/src/seqdp.rs")
@@ -410,7 +416,8 @@ pub fn panic_hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
     if !(file.path.contains("crates/core/src/service/")
         || file.path.contains("crates/core/src/server/")
         || file.path.contains("crates/core/src/registry/")
-        || file.path.contains("crates/core/src/solver/"))
+        || file.path.contains("crates/core/src/solver/")
+        || file.path.contains("crates/core/src/obs/"))
     {
         return;
     }
@@ -1447,6 +1454,25 @@ impl Service {{
             determinism(&file, &mut out);
             assert_eq!(out.len(), 1, "{path}: {out:?}");
         }
+    }
+
+    #[test]
+    fn obs_module_is_inside_both_perimeters() {
+        // PR 10 put the observability subsystem inside both perimeters:
+        // obs/ is precisely where clock reads are tempting, so every one
+        // must go through the single waivered monotonic-clock site, and
+        // an unwrap in receipt/histogram code would let a telemetry bug
+        // take down the serving path it is meant to observe.
+        let panicky = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let file = parse("crates/core/src/obs/mod.rs", panicky);
+        let mut out = Vec::new();
+        panic_hygiene(&file, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        let clocky = "fn f() { let _t = Instant::now(); }";
+        let file = parse("crates/core/src/obs/mod.rs", clocky);
+        let mut out = Vec::new();
+        determinism(&file, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use dae_dvfs::{
     PlanServer, PlanService, Planner, ServerConfig, ServerHandle, ServiceConfig, ServiceStats,
     Stm32F767Target,
 };
-use repro_bench::httpc;
+use repro_bench::{httpc, serving};
 use tinynn::models::vww_sized;
 
 /// Builds the one-planner service every test serves, runs `f` against a
@@ -393,6 +393,134 @@ fn warm_repeats_are_served_inline_with_byte_identical_bodies() {
         (1 + repeats) * cold_len,
         "bytes_served must account for every payload byte"
     );
+}
+
+#[test]
+fn query_strings_are_stripped_before_route_matching() {
+    with_server(ServerConfig::default(), |handle| {
+        // Probes and scrapers tack query strings onto fixed paths; the
+        // route table must see the path alone.
+        for path in ["/healthz?probe=k8s", "/stats?verbose=1", "/metrics?f=1"] {
+            let response = httpc::get(handle.addr(), path).expect("answers");
+            assert_eq!(response.status, 200, "{path}: {}", response.body_str());
+        }
+        // Stripping must not loosen the method mapping: a known path
+        // with a query string and the wrong method is still a 405.
+        assert_eq!(
+            httpc::post(handle.addr(), "/stats?x=1", "")
+                .expect("answers")
+                .status,
+            405
+        );
+        // An unknown path stays unknown no matter the query string.
+        assert_eq!(
+            httpc::get(handle.addr(), "/nope?x=1")
+                .expect("answers")
+                .status,
+            404
+        );
+    });
+}
+
+#[test]
+fn plan_responses_carry_receipts_the_ring_and_metrics_confirm() {
+    with_server(ServerConfig::default(), |handle| {
+        let body = "{\"planner\": \"vww\", \"slack\": 0.35}";
+        let cold = httpc::post(handle.addr(), "/v1/plan", body).expect("answers");
+        assert_eq!(cold.status, 200, "{}", cold.body_str());
+
+        // Every plan response carries an `X-Plan-Receipt` whose `hash=`
+        // field is the FNV-1a of exactly the body bytes on the wire.
+        let receipt = cold
+            .receipt
+            .as_deref()
+            .expect("cold response has a receipt");
+        assert_eq!(
+            serving::receipt_hash(receipt),
+            Some(dae_dvfs::obs::plan_hash(&cold.body)),
+            "receipt must pin the served bytes: {receipt}"
+        );
+        let fingerprint = receipt
+            .strip_prefix("fp=")
+            .and_then(|rest| rest.split(';').next())
+            .expect("receipt leads with fp=");
+
+        // The warm repeat answers with the same fingerprint and hash but
+        // a hit path — the receipt tells the paths apart on the wire.
+        let warm = httpc::post(handle.addr(), "/v1/plan", body).expect("answers");
+        let warm_receipt = warm
+            .receipt
+            .as_deref()
+            .expect("warm response has a receipt");
+        assert!(
+            warm_receipt.starts_with(&format!("fp={fingerprint};path=inline-hit;")),
+            "warm repeat must ride the inline fast path: {warm_receipt}"
+        );
+        assert_eq!(
+            serving::receipt_hash(warm_receipt),
+            serving::receipt_hash(receipt),
+            "one key, one hash, every path"
+        );
+
+        // The ring replays the receipt as JSON at its fingerprint.
+        let ring =
+            httpc::get(handle.addr(), &format!("/v1/receipt/{fingerprint}")).expect("answers");
+        assert_eq!(ring.status, 200, "{}", ring.body_str());
+        let text = ring.body_str();
+        assert!(
+            text.contains(&format!("\"fingerprint\": \"{fingerprint}\"")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "\"plan_hash\": \"{:016x}\"",
+                dae_dvfs::obs::plan_hash(&cold.body)
+            )),
+            "{text}"
+        );
+
+        // Malformed and unknown fingerprints map to 400 and 404.
+        assert_eq!(
+            httpc::get(handle.addr(), "/v1/receipt/short")
+                .expect("answers")
+                .status,
+            400
+        );
+        assert_eq!(
+            httpc::get(handle.addr(), "/v1/receipt/0000000000000000")
+                .expect("answers")
+                .status,
+            404
+        );
+
+        // `/metrics` folds the same traffic into per-path histograms.
+        let metrics = httpc::get(handle.addr(), "/metrics").expect("answers");
+        assert_eq!(metrics.status, 200);
+        let text = metrics.body_str();
+        for needle in ["inline-hit", "solved", "requests_total"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    });
+}
+
+#[test]
+fn disabling_receipts_strips_the_header_and_empties_the_ring() {
+    with_server(ServerConfig::default().with_receipts(false), |handle| {
+        let body = "{\"planner\": \"vww\", \"slack\": 0.35}";
+        let response = httpc::post(handle.addr(), "/v1/plan", body).expect("answers");
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        assert_eq!(
+            response.receipt, None,
+            "receipts off must mean no X-Plan-Receipt header"
+        );
+        // Nothing was recorded: any well-formed fingerprint misses.
+        assert_eq!(
+            httpc::get(handle.addr(), "/v1/receipt/0123456789abcdef")
+                .expect("answers")
+                .status,
+            404
+        );
+    });
 }
 
 #[test]

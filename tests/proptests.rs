@@ -1085,3 +1085,88 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+// ---- receipt plan-hash stability -------------------------------------
+
+proptest! {
+    /// A receipt's `plan_hash` is a bit-identity pin: on every serving
+    /// path — cold solve, warm in-memory hit, registry load after a
+    /// restart — it must equal both the FNV-1a of the bytes actually
+    /// served *and* the FNV-1a of a fresh
+    /// `DeploymentPlan::to_artifact(..).to_json()` rendering of the plan
+    /// those bytes carry. Together with the byte-identity property above
+    /// this pins the receipt contract: for one canonical request, every
+    /// path, restart and machine reports one hash.
+    #[test]
+    fn receipt_plan_hash_pins_the_served_bytes_on_every_path(
+        steps in prop::collection::vec(2u8..19, 1..4),
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use dae_dvfs::{obs, PlanRegistry, PlanRequest, PlanService, ServedPlan, ServiceConfig};
+
+        // Same budget rationale as the byte-identity property: each case
+        // spins up two services and an on-disk registry.
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        if case >= 6 {
+            return;
+        }
+        let planner = serving_planner();
+        let requests: Vec<PlanRequest> = steps
+            .iter()
+            .map(|&s| PlanRequest::slack(0.05 * f64::from(s)))
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "dae-dvfs-receipt-prop-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh_hash = |served: &ServedPlan| {
+            obs::plan_hash(served.plan().to_artifact(&planner).to_json().as_bytes())
+        };
+
+        // First life: cold solves, then warm repeats of the same keys.
+        let mut service = PlanService::new(ServiceConfig::default()).expect("config validates");
+        let key = service.register(planner.clone());
+        service
+            .attach_registry(PlanRegistry::open(&dir).expect("registry opens"))
+            .expect("empty registry validates");
+        let cold_hashes = service.run(|svc| {
+            let mut cold_hashes = Vec::new();
+            for request in &requests {
+                let (served, receipt) =
+                    svc.plan_receipted(key, request).expect("cold request solves");
+                prop_assert_eq!(receipt.plan_hash, obs::plan_hash(served.bytes()));
+                prop_assert_eq!(receipt.plan_hash, fresh_hash(&served));
+                cold_hashes.push((receipt.fingerprint(), receipt.plan_hash));
+            }
+            for (request, (fingerprint, hash)) in requests.iter().zip(&cold_hashes) {
+                let (served, receipt) =
+                    svc.plan_receipted(key, request).expect("warm hit answers");
+                prop_assert_eq!(receipt.fingerprint(), *fingerprint);
+                prop_assert_eq!(receipt.plan_hash, *hash);
+                prop_assert_eq!(receipt.plan_hash, obs::plan_hash(served.bytes()));
+            }
+            cold_hashes
+        });
+
+        // Second life: only the registry carries state; the receipts off
+        // the disk tier must report the cold hashes bit-for-bit.
+        let mut reopened = PlanService::new(ServiceConfig::default()).expect("config validates");
+        let key = reopened.register(planner.clone());
+        reopened
+            .attach_registry(PlanRegistry::open(&dir).expect("registry reopens"))
+            .expect("written artifacts re-validate");
+        reopened.run(|svc| {
+            for (request, (fingerprint, hash)) in requests.iter().zip(&cold_hashes) {
+                let (served, receipt) =
+                    svc.plan_receipted(key, request).expect("registry hit answers");
+                prop_assert_eq!(receipt.fingerprint(), *fingerprint);
+                prop_assert_eq!(receipt.plan_hash, *hash);
+                prop_assert_eq!(receipt.plan_hash, obs::plan_hash(served.bytes()));
+                prop_assert_eq!(receipt.plan_hash, fresh_hash(&served));
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
